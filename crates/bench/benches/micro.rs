@@ -1,0 +1,184 @@
+//! Criterion micro-benchmarks for the substrates.
+//!
+//! These are not paper figures — they validate the building blocks the
+//! models are calibrated against: queue and runtime per-item overheads,
+//! and the per-byte/per-probe costs of the Dedup algorithms. Keep runs
+//! short: this reproduction machine has a single core, so farm/pipeline
+//! results measure overhead, not speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+fn bench_spsc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spsc");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let (p, q) = fastflow::spsc::ring::<u64>(1024);
+            for i in 0..10_000u64 {
+                while p.try_push(i).is_err() {
+                    let _ = std::hint::black_box(q.try_pop());
+                }
+                let _ = std::hint::black_box(q.try_pop());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel");
+    g.throughput(Throughput::Elements(50_000));
+    for ws in [fastflow::WaitStrategy::Spin, fastflow::WaitStrategy::Block] {
+        g.bench_with_input(
+            BenchmarkId::new("cross_thread_50k", format!("{ws:?}")),
+            &ws,
+            |b, &ws| {
+                b.iter(|| {
+                    let (tx, rx) = fastflow::channel::<u64>(256, ws);
+                    let t = std::thread::spawn(move || {
+                        for i in 0..50_000u64 {
+                            tx.send(i).unwrap();
+                        }
+                    });
+                    let mut sum = 0u64;
+                    while let Some(v) = rx.recv() {
+                        sum += v;
+                    }
+                    t.join().unwrap();
+                    std::hint::black_box(sum)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("fastflow_farm_20k", |b| {
+        b.iter(|| {
+            let out = fastflow::Pipeline::builder()
+                .from_iter(0..20_000u64)
+                .farm_ordered(2, |_| fastflow::node::map(|x: u64| x + 1))
+                .collect();
+            std::hint::black_box(out.len())
+        })
+    });
+    g.bench_function("spar_region_20k", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            spar::ToStream::new()
+                .source_iter(0..20_000u64)
+                .stage(2, |x| x + 1)
+                .last_stage(|_| n += 1);
+            std::hint::black_box(n)
+        })
+    });
+    g.bench_function("tbb_pipeline_20k", |b| {
+        let pool = Arc::new(tbbx::TaskPool::new(2));
+        b.iter(|| {
+            let n = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            tbbx::Pipeline::from_iter(0..20_000u64)
+                .parallel(|x| x + 1)
+                .serial_in_order(move |_x| {
+                    n2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                })
+                .build()
+                .run(&pool, 8);
+            std::hint::black_box(n.load(std::sync::atomic::Ordering::Relaxed))
+        })
+    });
+    g.finish();
+}
+
+fn bench_dedup_algorithms(c: &mut Criterion) {
+    let data = dedup::datasets::silesia_like(256 * 1024, 7).data;
+
+    let mut g = c.benchmark_group("dedup_algorithms");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("sha1_256k", |b| {
+        b.iter(|| std::hint::black_box(dedup::sha1(&data)))
+    });
+    g.bench_function("rabin_chunking_256k", |b| {
+        let params = dedup::RabinParams::default();
+        b.iter(|| std::hint::black_box(dedup::rabin::chunk_starts(&data, &params).len()))
+    });
+    g.finish();
+
+    let block = &data[..16 * 1024];
+    let mut g = c.benchmark_group("lzss");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(block.len() as u64));
+    for window in [256usize, 1024] {
+        g.bench_with_input(BenchmarkId::new("encode_16k", window), &window, |b, &w| {
+            let cfg = dedup::LzssConfig { window: w, min_coded: 3 };
+            b.iter(|| std::hint::black_box(dedup::lzss::encode_block(block, &cfg).len()))
+        });
+    }
+    g.bench_function("decode_16k", |b| {
+        let cfg = dedup::LzssConfig { window: 1024, min_coded: 3 };
+        let enc = dedup::lzss::encode_block(block, &cfg);
+        b.iter(|| std::hint::black_box(dedup::lzss::decode_block(&enc, block.len(), &cfg).expect("valid stream").len()))
+    });
+    g.finish();
+}
+
+fn bench_mandel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mandel");
+    let params = mandel::FractalParams::view(256, 500);
+    g.throughput(Throughput::Elements(params.dim as u64));
+    g.bench_function("line_256px_500iter", |b| {
+        b.iter(|| std::hint::black_box(mandel::compute_line(&params, 128).iters.len()))
+    });
+    g.finish();
+}
+
+fn bench_gpusim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpusim");
+    g.sample_size(20);
+    g.bench_function("kernel_launch_roundtrip", |b| {
+        let system = gpusim::GpuSystem::new(1, gpusim::DeviceProps::titan_xp());
+        let params = mandel::FractalParams::view(128, 100);
+        b.iter(|| {
+            let (img, _) = mandel::gpu::cuda_batch(&system, &params, 32);
+            std::hint::black_box(img.digest())
+        })
+    });
+    g.finish();
+}
+
+fn bench_des(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simtime");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("event_loop_100k", |b| {
+        b.iter(|| {
+            let mut sim = simtime::Sim::new();
+            fn tick(sim: &mut simtime::Sim, left: u32) {
+                if left > 0 {
+                    sim.schedule(simtime::SimDuration::from_nanos(10), move |sim| {
+                        tick(sim, left - 1)
+                    });
+                }
+            }
+            tick(&mut sim, 100_000);
+            std::hint::black_box(sim.run().as_nanos())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spsc,
+    bench_channel,
+    bench_pipelines,
+    bench_dedup_algorithms,
+    bench_mandel,
+    bench_gpusim,
+    bench_des
+);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Fig. 4 — "Mandelbrot results": every programming model and combination
+//! (sequential; SPar/TBB/FastFlow CPU-only; CUDA/OpenCL GPU-only; each CPU
+//! model combined with each GPU API) on 1 and 2 GPUs.
+//!
+//! CPU-only and combined versions are timed on the testbed queueing model
+//! (worker capacity, runtime overheads, per-device engine contention);
+//! GPU-only versions are measured on the simulated devices. Configurations
+//! follow §V-A: 19 workers for CPU-only, 10 workers for combined versions,
+//! TBB tokens 38 (CPU) / 50 (GPU), GPU-only with 4× memory spaces.
+//!
+//! Usage: `cargo run --release -p bench --bin fig4 [--dim 600] [--niter 2000]`
+
+use bench::{arg, secs, Report, ShapeChecks};
+use gpusim::{DeviceProps, GpuSystem};
+use mandel::core::FractalParams;
+use mandel::gpu;
+use perfmodel::machine::{CpuModel, CpuRuntime};
+use perfmodel::mandelmodel::{self, characterize};
+use simtime::SimDuration;
+
+fn main() {
+    let dim: usize = arg("--dim", 600);
+    let niter: u32 = arg("--niter", 2_000);
+    let batch: usize = arg("--batch", 32);
+    let params = FractalParams::view(dim, niter);
+    println!(
+        "Fig. 4 reproduction — Mandelbrot across programming models \
+         ({dim}x{dim}, niter={niter}; CPU workers 19, GPU-version workers 10)"
+    );
+
+    let workload = characterize(&params);
+    let cpu = CpuModel::default();
+    let props = DeviceProps::titan_xp();
+    let t_seq = mandelmodel::seq_time(&workload, &cpu);
+
+    let mut report = Report::new(
+        "Fig. 4 — execution time and speedup per version",
+        vec!["version", "gpus", "modeled time", "speedup"],
+    );
+    let mut results: Vec<(String, usize, SimDuration)> = Vec::new();
+    let add = |results: &mut Vec<(String, usize, SimDuration)>, name: String, gpus: usize, t: SimDuration| {
+        results.push((name, gpus, t));
+    };
+
+    add(&mut results, "sequential".into(), 0, t_seq);
+    for (name, rt) in [
+        ("spar", CpuRuntime::Spar),
+        ("tbb", CpuRuntime::Tbb),
+        ("fastflow", CpuRuntime::FastFlow),
+    ] {
+        let t = mandelmodel::cpu_pipeline_time(&workload, &cpu, rt, 19);
+        add(&mut results, name.into(), 0, t);
+    }
+
+    // GPU-only (single host thread, 4x memory spaces), measured on the
+    // simulated devices.
+    let system = GpuSystem::new(2, DeviceProps::titan_xp());
+    for gpus in [1usize, 2] {
+        let spaces = 4.max(2 * gpus);
+        let (_, t_cuda) = gpu::cuda_overlap(&system, &params, batch, spaces, gpus);
+        let (_, t_ocl) = gpu::ocl_overlap(&system, &params, batch, spaces, gpus);
+        add(&mut results, "cuda".into(), gpus, t_cuda);
+        add(&mut results, "opencl".into(), gpus, t_ocl);
+    }
+
+    // Combined versions: 10 workers offloading batches.
+    for (name, rt) in [
+        ("spar", CpuRuntime::Spar),
+        ("tbb", CpuRuntime::Tbb),
+        ("fastflow", CpuRuntime::FastFlow),
+    ] {
+        for api in ["cuda", "opencl"] {
+            for gpus in [1usize, 2] {
+                let t = mandelmodel::hybrid_pipeline_time(&workload, &cpu, &props, rt, 10, batch, gpus);
+                // The OpenCL API costs a little more per enqueue; fold a
+                // small per-batch penalty into the modeled time.
+                let t = if api == "opencl" {
+                    let batches = dim.div_ceil(batch) as u64;
+                    t + SimDuration::from_micros(12) * batches
+                } else {
+                    t
+                };
+                add(&mut results, format!("{name}+{api}"), gpus, t);
+            }
+        }
+    }
+
+    for (name, gpus, t) in &results {
+        report.row(vec![
+            name.clone(),
+            if *gpus == 0 { "-".into() } else { gpus.to_string() },
+            secs(*t),
+            format!("{:.1}x", t_seq.as_secs_f64() / t.as_secs_f64()),
+        ]);
+    }
+    report.emit("fig4");
+
+    let get = |name: &str, gpus: usize| -> SimDuration {
+        results
+            .iter()
+            .find(|(n, g, _)| n == name && *g == gpus)
+            .unwrap_or_else(|| panic!("missing {name}/{gpus}"))
+            .2
+    };
+
+    println!("\nShape checks (the paper's qualitative claims):");
+    let mut checks = ShapeChecks::new();
+    // CPU models land close together.
+    let spar = get("spar", 0).as_secs_f64();
+    let tbb = get("tbb", 0).as_secs_f64();
+    let ff = get("fastflow", 0).as_secs_f64();
+    checks.check(
+        "SPar / TBB / FastFlow CPU versions within 10% of each other",
+        (tbb / spar) < 1.10 && (ff / spar) < 1.05 && (spar / ff) < 1.05,
+    );
+    // Single GPU: spar+cuda ≈ cuda-only.
+    let spar_cuda_1 = get("spar+cuda", 1).as_secs_f64();
+    let cuda_1 = get("cuda", 1).as_secs_f64();
+    checks.check(
+        "on 1 GPU, SPar+CUDA is within 35% of GPU-only CUDA",
+        (spar_cuda_1 / cuda_1) < 1.35 && (cuda_1 / spar_cuda_1) < 1.35,
+    );
+    // Two GPUs: combined versions beat the single-threaded GPU-only ones.
+    let spar_cuda_2 = get("spar+cuda", 2).as_secs_f64();
+    let cuda_2 = get("cuda", 2).as_secs_f64();
+    checks.check(
+        "on 2 GPUs, SPar+CUDA beats single-threaded CUDA (host thread saturates)",
+        spar_cuda_2 < cuda_2,
+    );
+    // All GPU versions beat all CPU versions.
+    checks.check("every GPU version beats every CPU-only version", {
+        let worst_gpu = results
+            .iter()
+            .filter(|(_, g, _)| *g > 0)
+            .map(|(_, _, t)| t.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        let best_cpu = [spar, tbb, ff].into_iter().fold(f64::MAX, f64::min);
+        worst_gpu < best_cpu
+    });
+    // 2 GPUs scale.
+    checks.check(
+        "2 GPUs beat 1 GPU for the combined versions",
+        spar_cuda_2 < spar_cuda_1,
+    );
+    checks.finish();
+}

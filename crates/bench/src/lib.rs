@@ -1,0 +1,223 @@
+//! `bench` — harnesses regenerating every figure of the paper, plus shared
+//! reporting helpers.
+//!
+//! Figure binaries (run with `--release`):
+//!
+//! * `cargo run --release -p bench --bin fig1` — the Mandelbrot
+//!   optimization ladder (§IV-A / Fig. 1);
+//! * `cargo run --release -p bench --bin fig4` — Mandelbrot across
+//!   programming models and GPU counts (Fig. 4);
+//! * `cargo run --release -p bench --bin fig5` — Dedup throughput across
+//!   datasets and versions (Fig. 5).
+//!
+//! Each binary prints an aligned table, writes a CSV under
+//! `target/figures/`, and checks the paper's qualitative *shape* claims,
+//! exiting non-zero if one fails. Criterion micro-benchmarks for the
+//! substrates live in `benches/`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple table accumulator that renders aligned text and CSV.
+pub struct Report {
+    title: String,
+    columns: Vec<&'static str>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// New report with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: Vec<&'static str>) -> Self {
+        Report {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render the aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Render CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{}", escaped.join(","));
+        }
+        out
+    }
+
+    /// Print the table and write the CSV under `target/figures/<name>.csv`.
+    pub fn emit(&self, name: &str) {
+        print!("{}", self.to_table());
+        let dir = figures_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{name}.csv"));
+            if std::fs::write(&path, self.to_csv()).is_ok() {
+                println!("[csv written to {}]", path.display());
+            }
+        }
+    }
+}
+
+/// Where figure CSVs land.
+pub fn figures_dir() -> PathBuf {
+    PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .join("figures")
+}
+
+/// A named shape assertion: prints PASS/FAIL and tracks overall status.
+pub struct ShapeChecks {
+    failures: Vec<String>,
+}
+
+impl Default for ShapeChecks {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShapeChecks {
+    /// Empty checker.
+    pub fn new() -> Self {
+        ShapeChecks {
+            failures: Vec::new(),
+        }
+    }
+
+    /// Assert a qualitative claim from the paper.
+    pub fn check(&mut self, claim: &str, ok: bool) {
+        if ok {
+            println!("  PASS  {claim}");
+        } else {
+            println!("  FAIL  {claim}");
+            self.failures.push(claim.to_string());
+        }
+    }
+
+    /// Exit non-zero if any claim failed.
+    pub fn finish(self) {
+        println!();
+        if self.failures.is_empty() {
+            println!("all shape checks passed");
+        } else {
+            println!("{} shape check(s) FAILED:", self.failures.len());
+            for f in &self.failures {
+                println!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Format a `SimDuration` as seconds with sensible precision.
+pub fn secs(d: simtime::SimDuration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Parse `--key value` style arguments with a default.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1) {
+                if let Ok(parsed) = v.parse() {
+                    return parsed;
+                }
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_table_and_csv() {
+        let mut r = Report::new("t", vec!["a", "bb"]);
+        r.row(vec!["1".into(), "2,3".into()]);
+        let table = r.to_table();
+        assert!(table.contains("a "));
+        assert!(table.contains('1'));
+        let csv = r.to_csv();
+        assert!(csv.starts_with("a,bb\n"));
+        assert!(csv.contains("\"2,3\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut r = Report::new("t", vec!["a"]);
+        r.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(simtime::SimDuration::from_secs(400)), "400s");
+        assert_eq!(secs(simtime::SimDuration::from_millis(1500)), "1.50s");
+        assert_eq!(secs(simtime::SimDuration::from_micros(250)), "250.0us");
+    }
+
+    #[test]
+    fn arg_returns_default_when_absent() {
+        assert_eq!(arg("--definitely-not-passed", 42u32), 42);
+    }
+}

@@ -1,0 +1,332 @@
+//! The `ToStream` builder: SPar's annotation semantics as a fluent API.
+//!
+//! This is the *target* of the [`to_stream!`](crate::to_stream) macro, in the
+//! same way FastFlow calls are the target of the SPar source-to-source
+//! compiler; it can also be used directly.
+//!
+//! Attribute mapping (paper §III-C → this API):
+//!
+//! | SPar attribute | Here |
+//! |---|---|
+//! | `[[spar::ToStream]]`  | [`ToStream::new`] / [`ToStream::annotate`] |
+//! | `[[spar::Stage]]`     | [`StreamStage::stage`] (and variants) |
+//! | `[[spar::Replicate(n)]]` | the `replicate` argument |
+//! | `[[spar::Input(...)]]` / `[[spar::Output(...)]]` | closure captures and argument/return types — Rust's ownership rules make the data-flow declaration implicit and compiler-checked |
+//! | `-spar_ordered` flag  | [`ToStream::ordered`] |
+
+use fastflow::node::{self, Node};
+use fastflow::pipeline::{Pipeline, PipelineBuilder};
+use fastflow::{Emitter, SchedPolicy, WaitStrategy};
+
+/// Configuration of a stream region (SPar's `ToStream` scope).
+#[derive(Clone, Copy, Debug)]
+pub struct SparConfig {
+    /// Capacity of the queues the generated runtime uses between stages.
+    pub queue_capacity: usize,
+    /// Wait strategy of the generated runtime queues.
+    pub wait: WaitStrategy,
+    /// Preserve stream order across replicated stages (SPar's
+    /// `-spar_ordered` compiler flag).
+    pub ordered: bool,
+    /// Scheduling policy for replicated stages.
+    pub policy: SchedPolicy,
+}
+
+impl Default for SparConfig {
+    fn default() -> Self {
+        SparConfig {
+            queue_capacity: 64,
+            wait: WaitStrategy::default(),
+            ordered: true,
+            policy: SchedPolicy::default(),
+        }
+    }
+}
+
+/// A stream region being annotated — SPar's `[[spar::ToStream]]`.
+#[derive(Default)]
+pub struct ToStream {
+    cfg: SparConfig,
+}
+
+/// Alias used by the prelude and examples.
+pub type StreamBuilder = ToStream;
+
+impl ToStream {
+    /// Open a stream region with default configuration (ordered, blocking
+    /// queues of capacity 64).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a stream region with explicit configuration.
+    pub fn annotate(cfg: SparConfig) -> Self {
+        ToStream { cfg }
+    }
+
+    /// Toggle order preservation across replicated stages.
+    pub fn ordered(mut self, ordered: bool) -> Self {
+        self.cfg.ordered = ordered;
+        self
+    }
+
+    /// Set the inter-stage queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.queue_capacity = capacity;
+        self
+    }
+
+    /// Set the queue wait strategy.
+    pub fn wait(mut self, wait: WaitStrategy) -> Self {
+        self.cfg.wait = wait;
+        self
+    }
+
+    /// Set the scheduling policy for replicated stages.
+    pub fn policy(mut self, policy: SchedPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// The stream-generation loop (the code between `ToStream` and the first
+    /// `Stage` in the paper's Listing 1): runs on its own thread and emits
+    /// stream items.
+    pub fn source<T, F>(self, f: F) -> StreamStage<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut Emitter<'_, T>) + Send + 'static,
+    {
+        let inner = Pipeline::builder()
+            .capacity(self.cfg.queue_capacity)
+            .wait(self.cfg.wait)
+            .source(f);
+        StreamStage {
+            cfg: self.cfg,
+            inner,
+        }
+    }
+
+    /// Convenience: generate the stream from an iterator.
+    pub fn source_iter<I>(self, iter: I) -> StreamStage<I::Item>
+    where
+        I: IntoIterator + Send + 'static,
+        I::Item: Send + 'static,
+    {
+        self.source(move |em| {
+            for item in iter {
+                if !em.send(item) {
+                    break;
+                }
+            }
+        })
+    }
+}
+
+/// A stream region with at least the source attached; append `Stage`s.
+pub struct StreamStage<T: Send + 'static> {
+    cfg: SparConfig,
+    inner: PipelineBuilder<T>,
+}
+
+impl<T: Send + 'static> StreamStage<T> {
+    /// `[[spar::Stage, spar::Replicate(replicate)]]` over a pure function.
+    ///
+    /// `replicate == 1` produces a plain sequential stage; `replicate > 1`
+    /// produces a farm (ordered if the region is ordered). The closure is
+    /// cloned once per replica, which is what makes the stage *stateless*
+    /// in SPar's sense — per-replica mutable state needs
+    /// [`stage_factory`](Self::stage_factory).
+    pub fn stage<U, F>(self, replicate: usize, f: F) -> StreamStage<U>
+    where
+        U: Send + 'static,
+        F: FnMut(T) -> U + Send + Clone + 'static,
+    {
+        self.stage_factory(replicate, move |_replica| f.clone())
+    }
+
+    /// A replicated stage whose per-replica worker function is built by
+    /// `factory(replica_id)` on the worker's own thread context.
+    ///
+    /// This is the hook the paper's GPU integrations need: each replica can
+    /// own non-thread-safe handles (an OpenCL `cl_kernel` analogue) and run
+    /// per-thread initialization (`cudaSetDevice`).
+    pub fn stage_factory<U, F, G>(self, replicate: usize, mut factory: G) -> StreamStage<U>
+    where
+        U: Send + 'static,
+        F: FnMut(T) -> U + Send + 'static,
+        G: FnMut(usize) -> F,
+    {
+        assert!(replicate >= 1, "Replicate(n) requires n >= 1");
+        let cfg = self.cfg;
+        let inner = if replicate == 1 {
+            self.inner.node(node::map(factory(0)))
+        } else {
+            self.inner.farm_with(
+                replicate,
+                move |replica| node::map(factory(replica)),
+                cfg.policy,
+                cfg.ordered,
+            )
+        };
+        StreamStage { cfg, inner }
+    }
+
+    /// A replicated stage over a full [`Node`] (multi-output, EOS hooks).
+    pub fn stage_node<N, G>(self, replicate: usize, factory: G) -> StreamStage<N::Out>
+    where
+        N: Node<In = T>,
+        G: FnMut(usize) -> N,
+    {
+        assert!(replicate >= 1, "Replicate(n) requires n >= 1");
+        let cfg = self.cfg;
+        let inner = if replicate == 1 {
+            let mut factory = factory;
+            self.inner.node(factory(0))
+        } else {
+            self.inner
+                .farm_with(replicate, factory, cfg.policy, cfg.ordered)
+        };
+        StreamStage { cfg, inner }
+    }
+
+    /// A feedback stage (the wrap-around farm the SPar→FastFlow toolchain
+    /// can target): each item circulates through the replicas until the
+    /// worker returns [`fastflow::feedback::Loop::Emit`]. Output order is
+    /// not preserved (feedback and ordering are mutually exclusive, as in
+    /// FastFlow's wrap-around farms).
+    pub fn stage_feedback<U, W, G>(self, replicate: usize, factory: G) -> StreamStage<U>
+    where
+        U: Send + 'static,
+        W: FnMut(T) -> fastflow::feedback::Loop<T, U> + Send + 'static,
+        G: FnMut(usize) -> W,
+    {
+        assert!(replicate >= 1, "Replicate(n) requires n >= 1");
+        let cfg = self.cfg;
+        let inner = self.inner.feedback_farm(replicate, factory);
+        StreamStage { cfg, inner }
+    }
+
+    /// The final `Stage` (the collector): runs on the calling thread and
+    /// returns when the stream region completes, like exiting the annotated
+    /// loop in SPar.
+    pub fn last_stage<F>(self, f: F)
+    where
+        F: FnMut(T),
+    {
+        self.inner.for_each(f)
+    }
+
+    /// Terminal convenience: collect the stream into a `Vec`.
+    pub fn collect(self) -> Vec<T> {
+        self.inner.collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_region_matches_loop() {
+        let out = ToStream::new()
+            .source_iter(0..50u64)
+            .stage(1, |x| x * 2)
+            .collect();
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn replicated_ordered_stage_preserves_order() {
+        let out = ToStream::new()
+            .source_iter(0..300u64)
+            .stage(4, |x| x + 1000)
+            .collect();
+        assert_eq!(out, (0..300).map(|x| x + 1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn unordered_region_still_processes_everything() {
+        let mut out = ToStream::new()
+            .ordered(false)
+            .source_iter(0..300u64)
+            .stage(4, |x| x + 1)
+            .collect();
+        out.sort_unstable();
+        assert_eq!(out, (1..=300).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn multi_stage_region() {
+        let out = ToStream::new()
+            .source_iter(1..=20u64)
+            .stage(3, |x| x * x)
+            .stage(1, |x| x + 1)
+            .collect();
+        assert_eq!(out, (1..=20).map(|x| x * x + 1).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn last_stage_runs_in_order() {
+        let mut seen = Vec::new();
+        ToStream::new()
+            .source_iter(0..100u32)
+            .stage(5, |x| x)
+            .last_stage(|x| seen.push(x));
+        assert_eq!(seen, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn stage_factory_gives_each_replica_its_own_state() {
+        // Each replica stamps items with its own id; with round-robin over
+        // 3 replicas, ids must cycle 0,1,2,0,1,2,...
+        let out = ToStream::new()
+            .source_iter(0..9u64)
+            .stage_factory(3, |replica| move |x: u64| (x, replica))
+            .collect();
+        for (i, &(x, rep)) in out.iter().enumerate() {
+            assert_eq!(x, i as u64);
+            assert_eq!(rep, i % 3);
+        }
+    }
+
+    #[test]
+    fn on_demand_policy_processes_everything() {
+        let mut out = ToStream::new()
+            .policy(SchedPolicy::OnDemand)
+            .source_iter(0..200u64)
+            .stage(4, |x| x * 3)
+            .collect();
+        out.sort_unstable();
+        let mut expected: Vec<u64> = (0..200).map(|x| x * 3).collect();
+        expected.sort_unstable();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn feedback_stage_iterates_until_done() {
+        // Integer square root by iteration: refine until stable.
+        let mut out = ToStream::new()
+            .source_iter([100u64, 64, 2, 1_000_000].map(|n| (n, n.max(1))))
+            .stage_feedback(3, |_| {
+                |(n, guess): (u64, u64)| {
+                    let next = (guess + n / guess.max(1)) / 2;
+                    if next == guess || next == guess - 1 && next * next <= n {
+                        fastflow::feedback::Loop::Emit((n, next))
+                    } else {
+                        fastflow::feedback::Loop::Recycle((n, next))
+                    }
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        for (n, root) in out {
+            assert!(root * root <= n && (root + 1) * (root + 1) > n, "isqrt({n}) = {root}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Replicate(n) requires n >= 1")]
+    fn replicate_zero_panics() {
+        let _ = ToStream::new().source_iter(0..1u32).stage(0, |x| x);
+    }
+}

@@ -1,0 +1,510 @@
+//! Stage backends: CPU, CUDA and OpenCL implementations of the hashing
+//! (stage 2) and compression (stage 4) work.
+//!
+//! GPU backends keep the batch resident on the device between stages by
+//! attaching the device buffers to the stream item ("this stage reuses
+//! data already on GPU to prevent unnecessary data transfers", §IV-B) —
+//! stage 4 targets whatever device stage 2 uploaded to.
+//!
+//! `batched = false` reproduces the paper's first, slow integration: one
+//! kernel launch per block instead of per batch.
+
+use std::sync::Arc;
+
+use gpusim::cuda::{Cuda, CudaBuffer};
+use gpusim::opencl::{ClBuffer, ClKernel, CommandQueue, Context, Platform};
+use gpusim::GpuSystem;
+
+use crate::archive::BlockEntry;
+use crate::batch::Batch;
+use crate::dedupe::BlockClass;
+use crate::kernels::{
+    FindMatchBlockKernel, FindMatchKernel, Sha1BlockKernel, Sha1Kernel,
+};
+use crate::lzss::{encode_block_from_matches, LzssConfig, Match};
+use crate::sha1::{sha1, Digest};
+
+const BLOCK_1D: u32 = 256;
+
+/// Configuration shared by all backends of one pipeline run.
+#[derive(Clone)]
+pub struct BackendCtx {
+    /// The simulated GPU system (absent for the CPU backend).
+    pub system: Option<Arc<GpuSystem>>,
+    /// Devices to spread batches over.
+    pub n_gpus: usize,
+    /// Use the batched kernels (the optimization) or per-block launches.
+    pub batched: bool,
+    /// Codec parameters.
+    pub lzss: LzssConfig,
+}
+
+impl BackendCtx {
+    /// CPU-only context.
+    pub fn cpu(lzss: LzssConfig) -> Self {
+        BackendCtx {
+            system: None,
+            n_gpus: 0,
+            batched: true,
+            lzss,
+        }
+    }
+
+    /// GPU context over `n_gpus` devices of `system`.
+    pub fn gpu(system: Arc<GpuSystem>, n_gpus: usize, batched: bool, lzss: LzssConfig) -> Self {
+        assert!(n_gpus >= 1 && n_gpus <= system.device_count());
+        BackendCtx {
+            system: Some(system),
+            n_gpus,
+            batched,
+            lzss,
+        }
+    }
+}
+
+/// Device-resident copy of a batch, handed from stage 2 to stage 4.
+pub enum GpuData {
+    /// CUDA buffers plus their owning device.
+    Cuda {
+        /// Device index the buffers live on.
+        device: usize,
+        /// Batch bytes.
+        d_data: CudaBuffer<u8>,
+        /// Block starts.
+        d_starts: CudaBuffer<u32>,
+    },
+    /// OpenCL buffers plus their owning device index.
+    Ocl {
+        /// Device index the buffers live on.
+        device: usize,
+        /// Batch bytes.
+        d_data: ClBuffer<u8>,
+        /// Block starts.
+        d_starts: ClBuffer<u32>,
+    },
+}
+
+/// Item emitted by stage 2.
+pub struct HashedBatch {
+    /// The batch (host copy).
+    pub batch: Batch,
+    /// SHA-1 per block.
+    pub digests: Vec<Digest>,
+    /// Device-resident data, if a GPU backend produced it.
+    pub gpu: Option<GpuData>,
+}
+
+/// Item emitted by stage 3.
+pub struct ClassifiedBatch {
+    /// The batch (host copy).
+    pub batch: Batch,
+    /// Unique/dup class per block.
+    pub classes: Vec<BlockClass>,
+    /// Device-resident data, forwarded from stage 2.
+    pub gpu: Option<GpuData>,
+}
+
+/// Item emitted by stage 4.
+pub struct CompressedBatch {
+    /// Stream position (reorder key).
+    pub index: usize,
+    /// Output records for this batch, in block order.
+    pub entries: Vec<BlockEntry>,
+}
+
+/// A stage-2/stage-4 implementation. One instance per stage replica,
+/// constructed on the replica's own thread (GPU state is thread-bound).
+pub trait DedupBackend: Send + 'static {
+    /// Build a replica backend. `replica` picks the device
+    /// (`replica % n_gpus`).
+    fn new(ctx: &BackendCtx, replica: usize) -> Self;
+
+    /// Stage 2: hash every block of the batch.
+    fn hash_stage(&mut self, batch: Batch) -> HashedBatch;
+
+    /// Stage 4: compress every unique block.
+    fn compress_stage(&mut self, item: ClassifiedBatch) -> CompressedBatch;
+}
+
+/// Pure-CPU backend (the paper's SPar CPU-only version).
+pub struct CpuBackend {
+    lzss: LzssConfig,
+}
+
+impl DedupBackend for CpuBackend {
+    fn new(ctx: &BackendCtx, _replica: usize) -> Self {
+        CpuBackend { lzss: ctx.lzss }
+    }
+
+    fn hash_stage(&mut self, batch: Batch) -> HashedBatch {
+        let digests = (0..batch.block_count())
+            .map(|b| sha1(batch.block(b)))
+            .collect();
+        HashedBatch {
+            batch,
+            digests,
+            gpu: None,
+        }
+    }
+
+    fn compress_stage(&mut self, item: ClassifiedBatch) -> CompressedBatch {
+        let entries = item
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(b, class)| match class {
+                BlockClass::Unique { .. } => {
+                    BlockEntry::compress_unique(item.batch.block(b), &self.lzss)
+                }
+                BlockClass::Dup { of } => BlockEntry::Dup(*of),
+            })
+            .collect();
+        CompressedBatch {
+            index: item.batch.index,
+            entries,
+        }
+    }
+}
+
+fn starts_u32(batch: &Batch) -> Vec<u32> {
+    batch.starts.iter().map(|&s| s as u32).collect()
+}
+
+/// Walk the classes and encode unique blocks from per-position matches.
+fn entries_from_matches(
+    batch: &Batch,
+    classes: &[BlockClass],
+    lens: &[u32],
+    offs: &[u32],
+    lzss: &LzssConfig,
+) -> Vec<BlockEntry> {
+    classes
+        .iter()
+        .enumerate()
+        .map(|(b, class)| match class {
+            BlockClass::Unique { .. } => {
+                let r = batch.block_range(b);
+                let block = &batch.data[r.clone()];
+                let matches: Vec<Match> = (r.start..r.end)
+                    .map(|i| Match {
+                        dist: offs[i],
+                        len: lens[i],
+                    })
+                    .collect();
+                let encoded = encode_block_from_matches(block, &matches, lzss);
+                BlockEntry::from_encoded(block, encoded)
+            }
+            BlockClass::Dup { of } => BlockEntry::Dup(*of),
+        })
+        .collect()
+}
+
+/// CUDA backend. Host buffers are *pageable* (Dedup `realloc`s its buffers,
+/// §V-B), so all copies are synchronous — faithful to the paper's CUDA
+/// behaviour.
+pub struct CudaBackend {
+    cuda: Cuda,
+    device: usize,
+    batched: bool,
+    lzss: LzssConfig,
+}
+
+impl DedupBackend for CudaBackend {
+    fn new(ctx: &BackendCtx, replica: usize) -> Self {
+        let system = ctx.system.as_ref().expect("CUDA backend needs a GpuSystem");
+        let cuda = Cuda::new(Arc::clone(system));
+        let device = replica % ctx.n_gpus;
+        cuda.set_device(device); // per-thread, as §IV-A requires
+        CudaBackend {
+            cuda,
+            device,
+            batched: ctx.batched,
+            lzss: ctx.lzss,
+        }
+    }
+
+    fn hash_stage(&mut self, batch: Batch) -> HashedBatch {
+        self.cuda.set_device(self.device);
+        let stream = self.cuda.stream_create();
+        let n = batch.block_count();
+        let d_data: CudaBuffer<u8> = self.cuda.malloc(batch.data.len()).expect("device mem");
+        let d_starts: CudaBuffer<u32> = self.cuda.malloc(n.max(1)).expect("device mem");
+        let d_out: CudaBuffer<u8> = self.cuda.malloc(n * 20).expect("device mem");
+        self.cuda
+            .memcpy_h2d_pageable(&d_data, 0, &batch.data, &stream);
+        self.cuda
+            .memcpy_h2d_pageable(&d_starts, 0, &starts_u32(&batch), &stream);
+        let mut raw: Vec<u8>;
+        if self.batched {
+            let k = Sha1Kernel {
+                data: d_data.ptr(),
+                starts: d_starts.ptr(),
+                data_len: batch.data.len(),
+                n_blocks: n,
+                out: d_out.ptr(),
+            };
+            let blocks = (n as u64).div_ceil(64) as u32;
+            self.cuda.launch(&k, blocks.max(1), 64u32, &stream);
+            // One read for the whole digest array.
+            let mut all = vec![0u8; n * 20];
+            self.cuda.memcpy_d2h_pageable(&mut all, &d_out, 0, &stream);
+            self.cuda.stream_synchronize(&stream);
+            raw = all;
+        } else {
+            // The naive integration: one launch AND one read-back per
+            // block — "the GPU kernel function has been invoked too many
+            // times without using efficiently the GPU resources" (§IV-B).
+            raw = vec![0u8; n * 20];
+            for b in 0..n {
+                let r = batch.block_range(b);
+                let k = Sha1BlockKernel {
+                    data: d_data.ptr(),
+                    start: r.start,
+                    end: r.end,
+                    out: d_out.ptr(),
+                    slot: b,
+                };
+                self.cuda.launch(&k, 1u32, 32u32, &stream);
+                self.cuda
+                    .memcpy_d2h_pageable(&mut raw[b * 20..b * 20 + 20], &d_out, b * 20, &stream);
+            }
+            self.cuda.stream_synchronize(&stream);
+        }
+        let digests = raw
+            .chunks_exact(20)
+            .map(|c| Digest(c.try_into().expect("20 bytes")))
+            .collect();
+        HashedBatch {
+            batch,
+            digests,
+            gpu: Some(GpuData::Cuda {
+                device: self.device,
+                d_data,
+                d_starts,
+            }),
+        }
+    }
+
+    fn compress_stage(&mut self, item: ClassifiedBatch) -> CompressedBatch {
+        let ClassifiedBatch {
+            batch,
+            classes,
+            gpu,
+        } = item;
+        let Some(GpuData::Cuda {
+            device,
+            d_data,
+            d_starts,
+        }) = gpu
+        else {
+            panic!("CUDA compress stage received an item without CUDA buffers");
+        };
+        // The data lives on whatever device stage 2 used.
+        self.cuda.set_device(device);
+        let stream = self.cuda.stream_create();
+        let len = batch.data.len();
+        let d_len: CudaBuffer<u32> = self.cuda.malloc(len).expect("device mem");
+        let d_off: CudaBuffer<u32> = self.cuda.malloc(len).expect("device mem");
+        let mut lens = vec![0u32; len];
+        let mut offs = vec![0u32; len];
+        if self.batched {
+            let k = FindMatchKernel {
+                data: d_data.ptr(),
+                data_len: len,
+                starts: d_starts.ptr(),
+                n_blocks: batch.block_count(),
+                matches_len: d_len.ptr(),
+                matches_off: d_off.ptr(),
+                cfg: self.lzss,
+            };
+            let blocks = (len as u64).div_ceil(BLOCK_1D as u64) as u32;
+            self.cuda.launch(&k, blocks.max(1), BLOCK_1D, &stream);
+            self.cuda.memcpy_d2h_pageable(&mut lens, &d_len, 0, &stream);
+            self.cuda.memcpy_d2h_pageable(&mut offs, &d_off, 0, &stream);
+        } else {
+            // Naive integration: launch AND read back per block.
+            for (b, class) in classes.iter().enumerate() {
+                if matches!(class, BlockClass::Dup { .. }) {
+                    continue; // per-block mode can skip duplicate blocks
+                }
+                let r = batch.block_range(b);
+                let k = FindMatchBlockKernel {
+                    data: d_data.ptr(),
+                    start: r.start,
+                    end: r.end,
+                    matches_len: d_len.ptr(),
+                    matches_off: d_off.ptr(),
+                    cfg: self.lzss,
+                };
+                let lanes = (r.end - r.start) as u64;
+                let blocks = lanes.div_ceil(BLOCK_1D as u64) as u32;
+                self.cuda.launch(&k, blocks.max(1), BLOCK_1D, &stream);
+                self.cuda
+                    .memcpy_d2h_pageable(&mut lens[r.clone()], &d_len, r.start, &stream);
+                self.cuda
+                    .memcpy_d2h_pageable(&mut offs[r.clone()], &d_off, r.start, &stream);
+            }
+        }
+        self.cuda.stream_synchronize(&stream);
+        let entries = entries_from_matches(&batch, &classes, &lens, &offs, &self.lzss);
+        CompressedBatch {
+            index: batch.index,
+            entries,
+        }
+    }
+}
+
+/// OpenCL backend. Queues and kernel objects are per replica (they are not
+/// thread-safe); events order the enqueues.
+pub struct OclBackend {
+    ctx: Context,
+    queues: Vec<CommandQueue>, // one per device, created lazily
+    device: usize,
+    batched: bool,
+    lzss: LzssConfig,
+}
+
+impl OclBackend {
+    fn queue(&self, device: usize) -> &CommandQueue {
+        &self.queues[device]
+    }
+}
+
+impl DedupBackend for OclBackend {
+    fn new(ctx: &BackendCtx, replica: usize) -> Self {
+        let system = ctx.system.as_ref().expect("OpenCL backend needs a GpuSystem");
+        let platform = Platform::new(Arc::clone(system));
+        let ids = platform.device_ids();
+        let cl_ctx = Context::create(&platform, &ids[..ctx.n_gpus]);
+        let queues = cl_ctx
+            .devices()
+            .iter()
+            .map(|&d| cl_ctx.create_queue(d))
+            .collect();
+        OclBackend {
+            ctx: cl_ctx,
+            queues,
+            device: replica % ctx.n_gpus,
+            batched: ctx.batched,
+            lzss: ctx.lzss,
+        }
+    }
+
+    fn hash_stage(&mut self, batch: Batch) -> HashedBatch {
+        let dev = self.ctx.devices()[self.device];
+        let n = batch.block_count();
+        let d_data: ClBuffer<u8> = self.ctx.create_buffer(dev, batch.data.len()).expect("mem");
+        let d_starts: ClBuffer<u32> = self.ctx.create_buffer(dev, n.max(1)).expect("mem");
+        let d_out: ClBuffer<u8> = self.ctx.create_buffer(dev, n * 20).expect("mem");
+        let q = self.queue(self.device);
+        let w1 = q.enqueue_write_buffer(&d_data, false, 0, &batch.data, &[]);
+        let w2 = q.enqueue_write_buffer(&d_starts, false, 0, &starts_u32(&batch), &[]);
+        let mut raw = vec![0u8; n * 20];
+        if self.batched {
+            let kernel = ClKernel::create(Sha1Kernel {
+                data: d_data.ptr(),
+                starts: d_starts.ptr(),
+                data_len: batch.data.len(),
+                n_blocks: n,
+                out: d_out.ptr(),
+            });
+            let k_ev =
+                q.enqueue_nd_range(&kernel, (n as u64).next_multiple_of(64).max(64), 64, &[w1, w2]);
+            let r_ev = q.enqueue_read_buffer(&d_out, false, 0, &mut raw, &[k_ev]);
+            self.ctx.wait_for_events(&[r_ev]);
+        } else {
+            // Naive integration: one launch and one blocking read per block.
+            for b in 0..n {
+                let r = batch.block_range(b);
+                let kernel = ClKernel::create(Sha1BlockKernel {
+                    data: d_data.ptr(),
+                    start: r.start,
+                    end: r.end,
+                    out: d_out.ptr(),
+                    slot: b,
+                });
+                let k_ev = q.enqueue_nd_range(&kernel, 32, 32, &[w1, w2]);
+                q.enqueue_read_buffer(&d_out, true, b * 20, &mut raw[b * 20..b * 20 + 20], &[k_ev]);
+            }
+        }
+        let digests = raw
+            .chunks_exact(20)
+            .map(|c| Digest(c.try_into().expect("20 bytes")))
+            .collect();
+        HashedBatch {
+            batch,
+            digests,
+            gpu: Some(GpuData::Ocl {
+                device: self.device,
+                d_data,
+                d_starts,
+            }),
+        }
+    }
+
+    fn compress_stage(&mut self, item: ClassifiedBatch) -> CompressedBatch {
+        let ClassifiedBatch {
+            batch,
+            classes,
+            gpu,
+        } = item;
+        let Some(GpuData::Ocl {
+            device,
+            d_data,
+            d_starts,
+        }) = gpu
+        else {
+            panic!("OpenCL compress stage received an item without OpenCL buffers");
+        };
+        let dev = self.ctx.devices()[device];
+        let len = batch.data.len();
+        let d_len: ClBuffer<u32> = self.ctx.create_buffer(dev, len).expect("mem");
+        let d_off: ClBuffer<u32> = self.ctx.create_buffer(dev, len).expect("mem");
+        let q = self.queue(device);
+        let mut lens = vec![0u32; len];
+        let mut offs = vec![0u32; len];
+        if self.batched {
+            let kernel = ClKernel::create(FindMatchKernel {
+                data: d_data.ptr(),
+                data_len: len,
+                starts: d_starts.ptr(),
+                n_blocks: batch.block_count(),
+                matches_len: d_len.ptr(),
+                matches_off: d_off.ptr(),
+                cfg: self.lzss,
+            });
+            let global = (len as u64).next_multiple_of(BLOCK_1D as u64).max(BLOCK_1D as u64);
+            let k_ev = q.enqueue_nd_range(&kernel, global, BLOCK_1D, &[]);
+            let r1 = q.enqueue_read_buffer(&d_len, false, 0, &mut lens, &[k_ev]);
+            let r2 = q.enqueue_read_buffer(&d_off, false, 0, &mut offs, &[k_ev]);
+            self.ctx.wait_for_events(&[r1, r2]);
+        } else {
+            // Naive integration: launch and read back per block.
+            for (b, class) in classes.iter().enumerate() {
+                if matches!(class, BlockClass::Dup { .. }) {
+                    continue;
+                }
+                let r = batch.block_range(b);
+                let kernel = ClKernel::create(FindMatchBlockKernel {
+                    data: d_data.ptr(),
+                    start: r.start,
+                    end: r.end,
+                    matches_len: d_len.ptr(),
+                    matches_off: d_off.ptr(),
+                    cfg: self.lzss,
+                });
+                let lanes = ((r.end - r.start) as u64)
+                    .next_multiple_of(BLOCK_1D as u64)
+                    .max(BLOCK_1D as u64);
+                let k_ev = q.enqueue_nd_range(&kernel, lanes, BLOCK_1D, &[]);
+                q.enqueue_read_buffer(&d_len, true, r.start, &mut lens[r.clone()], &[k_ev]);
+                q.enqueue_read_buffer(&d_off, true, r.start, &mut offs[r.clone()], &[k_ev]);
+            }
+        }
+        let entries = entries_from_matches(&batch, &classes, &lens, &offs, &self.lzss);
+        CompressedBatch {
+            index: batch.index,
+            entries,
+        }
+    }
+}

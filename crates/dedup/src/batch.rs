@@ -1,0 +1,111 @@
+//! Batches and blocks — the data layout of Fig. 2.
+//!
+//! The paper's GPU redesign fixes the *batch* size (1 MB) so kernels always
+//! get a worthwhile amount of work, and keeps rabin fingerprinting for the
+//! *block* boundaries inside each batch (`startPos`), "to still benefit
+//! from the rabin fingerprint ... saved all the indexes where the algorithm
+//! would fragment the data" (§IV-B).
+
+use crate::rabin::{chunk_starts, RabinParams};
+
+/// Default batch size: the paper's 1 MB.
+pub const DEFAULT_BATCH_SIZE: usize = 1 << 20;
+
+/// A fixed-size batch of input data plus its content-defined block starts.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// Position of this batch in the stream (reorder key for stage 5).
+    pub index: usize,
+    /// Raw input bytes (≤ batch size; the tail batch may be shorter).
+    pub data: Vec<u8>,
+    /// Start offset of every block within `data` (Fig. 2's `startPos`);
+    /// `starts[0] == 0`.
+    pub starts: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Byte range of block `b`.
+    pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        let start = self.starts[b];
+        let end = self
+            .starts
+            .get(b + 1)
+            .copied()
+            .unwrap_or(self.data.len());
+        start..end
+    }
+
+    /// Borrow block `b`'s bytes.
+    pub fn block(&self, b: usize) -> &[u8] {
+        &self.data[self.block_range(b)]
+    }
+}
+
+/// Split `input` into fixed-size batches and fingerprint each (stage 1 of
+/// the Fig. 3 pipeline, minus the file I/O).
+pub fn make_batches(input: &[u8], batch_size: usize, rabin: &RabinParams) -> Vec<Batch> {
+    assert!(batch_size > 0);
+    input
+        .chunks(batch_size)
+        .enumerate()
+        .map(|(index, chunk)| Batch {
+            index,
+            data: chunk.to_vec(),
+            starts: chunk_starts(chunk, rabin),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn batches_cover_input_exactly() {
+        let input = data(100_000);
+        let batches = make_batches(&input, 1 << 14, &RabinParams::default());
+        let glued: Vec<u8> = batches.iter().flat_map(|b| b.data.clone()).collect();
+        assert_eq!(glued, input);
+        assert_eq!(batches.len(), 100_000usize.div_ceil(1 << 14));
+        for (i, b) in batches.iter().enumerate() {
+            assert_eq!(b.index, i);
+        }
+    }
+
+    #[test]
+    fn blocks_tile_each_batch() {
+        let input = data(50_000);
+        for b in make_batches(&input, 1 << 14, &RabinParams::default()) {
+            let mut covered = 0;
+            for blk in 0..b.block_count() {
+                let r = b.block_range(blk);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+            }
+            assert_eq!(covered, b.data.len());
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_batches() {
+        assert!(make_batches(&[], 1024, &RabinParams::default()).is_empty());
+    }
+
+    #[test]
+    fn tail_batch_is_short() {
+        let input = data(1000);
+        let batches = make_batches(&input, 512, &RabinParams::default());
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].data.len(), 512);
+        assert_eq!(batches[1].data.len(), 488);
+    }
+}

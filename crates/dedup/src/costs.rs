@@ -1,0 +1,95 @@
+//! Host-side CPU cost model for Dedup stages.
+//!
+//! The reproduction machine cannot measure the paper's i9-7900X, so
+//! CPU-side service times are modeled: each stage's work is *counted*
+//! during functional execution (bytes hashed, window probes, blocks
+//! classified) and converted to virtual time with the per-unit costs here.
+//! The constants are calibrated to published single-thread throughputs of
+//! the paper's CPU generation (Skylake-X @ 3.3 GHz): scalar SHA-1
+//! ≈ 400 MB/s, rolling-fingerprint chunking ≈ 700 MB/s, byte-probe loops
+//! ≈ 1 probe/cycle.
+
+use simtime::SimDuration;
+
+/// Per-unit CPU costs (nanoseconds), single thread.
+#[derive(Clone, Copy, Debug)]
+pub struct HostCosts {
+    /// Rabin fingerprint + batch building, per input byte.
+    pub rabin_ns_per_byte: f64,
+    /// SHA-1 hashing, per byte.
+    pub sha1_ns_per_byte: f64,
+    /// LZSS match search, per window probe (CPU compressor).
+    pub lzss_ns_per_probe: f64,
+    /// Greedy encode walk + bit packing, per input byte.
+    pub encode_ns_per_byte: f64,
+    /// Hash-table lookup/insert, per block.
+    pub classify_ns_per_block: f64,
+    /// Output assembly (memcpy + bookkeeping), per byte written.
+    pub write_ns_per_byte: f64,
+}
+
+impl Default for HostCosts {
+    fn default() -> Self {
+        HostCosts {
+            rabin_ns_per_byte: 1.4,
+            sha1_ns_per_byte: 2.5,
+            lzss_ns_per_probe: 1.1,
+            encode_ns_per_byte: 1.8,
+            classify_ns_per_block: 120.0,
+            write_ns_per_byte: 0.25,
+        }
+    }
+}
+
+impl HostCosts {
+    /// Time to fingerprint/batch `bytes` of input.
+    pub fn rabin(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.rabin_ns_per_byte * bytes as f64 * 1e-9)
+    }
+
+    /// Time to SHA-1 `bytes` on the CPU.
+    pub fn sha1(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.sha1_ns_per_byte * bytes as f64 * 1e-9)
+    }
+
+    /// Time for `probes` window probes of the CPU match search.
+    pub fn lzss_probes(&self, probes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.lzss_ns_per_probe * probes as f64 * 1e-9)
+    }
+
+    /// Time to run the encode walk over `bytes` (match arrays in hand).
+    pub fn encode(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.encode_ns_per_byte * bytes as f64 * 1e-9)
+    }
+
+    /// Time to classify `blocks` against the cache.
+    pub fn classify(&self, blocks: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.classify_ns_per_block * blocks as f64 * 1e-9)
+    }
+
+    /// Time to assemble `bytes` of output.
+    pub fn write(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.write_ns_per_byte * bytes as f64 * 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_scale_linearly() {
+        let c = HostCosts::default();
+        assert_eq!(c.sha1(2_000).as_nanos(), 2 * c.sha1(1_000).as_nanos());
+        assert_eq!(c.rabin(0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn sha1_throughput_is_in_the_right_ballpark() {
+        let c = HostCosts::default();
+        // 1 GB at 2.5 ns/B = 2.5 s => 400 MB/s.
+        let t = c.sha1(1_000_000_000);
+        let mbps = 1000.0 / t.as_secs_f64();
+        assert!((300.0..500.0).contains(&mbps), "{mbps} MB/s");
+    }
+}

@@ -1,0 +1,152 @@
+//! File-level entry points — PARSEC's Dedup is a file compressor, and so
+//! is this one: read a file, run the pipeline, write the archive, restore
+//! it back.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::archive::{Archive, ArchiveError};
+use crate::backend::{BackendCtx, DedupBackend};
+use crate::pipeline::{run_pipeline, DedupConfig};
+
+/// Errors from file operations.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Archive parsing/decoding error.
+    Archive(ArchiveError),
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<ArchiveError> for IoError {
+    fn from(e: ArchiveError) -> Self {
+        IoError::Archive(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Archive(e) => write!(f, "archive error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Compress `input` into `output` through the Fig. 3 pipeline with the
+/// given backend; returns (input bytes, archive bytes).
+pub fn compress_file<B: DedupBackend>(
+    backend: BackendCtx,
+    input: &Path,
+    output: &Path,
+    cfg: &DedupConfig,
+    workers: usize,
+) -> Result<(u64, u64), IoError> {
+    let mut data = Vec::new();
+    std::fs::File::open(input)?.read_to_end(&mut data)?;
+    let in_len = data.len() as u64;
+    let archive = run_pipeline::<B>(backend, data, cfg, workers);
+    let bytes = archive.to_bytes();
+    let mut f = io::BufWriter::new(std::fs::File::create(output)?);
+    f.write_all(&bytes)?;
+    f.flush()?;
+    Ok((in_len, bytes.len() as u64))
+}
+
+/// Restore an archive file produced by [`compress_file`] into `output`.
+pub fn decompress_file(input: &Path, output: &Path) -> Result<u64, IoError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(input)?.read_to_end(&mut bytes)?;
+    let archive = Archive::from_bytes(&bytes)?;
+    let data = archive.decompress()?;
+    let mut f = io::BufWriter::new(std::fs::File::create(output)?);
+    f.write_all(&data)?;
+    f.flush()?;
+    Ok(data.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::CpuBackend;
+    use crate::lzss::LzssConfig;
+    use crate::rabin::RabinParams;
+
+    fn cfg() -> DedupConfig {
+        DedupConfig {
+            batch_size: 8 * 1024,
+            rabin: RabinParams {
+                window: 16,
+                mask: (1 << 8) - 1,
+                magic: 0x21,
+                min_chunk: 128,
+                max_chunk: 2048,
+            },
+            lzss: LzssConfig {
+                window: 256,
+                min_coded: 3,
+            },
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hetstream-io-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cfg = cfg();
+        let input = tmp("in.dat");
+        let arch = tmp("out.hda");
+        let restored = tmp("restored.dat");
+        let data = crate::datasets::linux_like(40_000, 17).data;
+        std::fs::write(&input, &data).unwrap();
+
+        let (in_len, out_len) =
+            compress_file::<CpuBackend>(BackendCtx::cpu(cfg.lzss), &input, &arch, &cfg, 2)
+                .unwrap();
+        assert_eq!(in_len, data.len() as u64);
+        assert!(out_len < in_len, "source text must compress");
+
+        let n = decompress_file(&arch, &restored).unwrap();
+        assert_eq!(n, in_len);
+        assert_eq!(std::fs::read(&restored).unwrap(), data);
+
+        for p in [input, arch, restored] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let cfg = cfg();
+        let err = compress_file::<CpuBackend>(
+            BackendCtx::cpu(cfg.lzss),
+            Path::new("/definitely/not/here"),
+            &tmp("x.hda"),
+            &cfg,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+    }
+
+    #[test]
+    fn corrupt_archive_is_reported() {
+        let bad = tmp("bad.hda");
+        std::fs::write(&bad, b"not an archive").unwrap();
+        let err = decompress_file(&bad, &tmp("never.dat")).unwrap_err();
+        assert!(matches!(err, IoError::Archive(_)));
+        let _ = std::fs::remove_file(bad);
+    }
+}

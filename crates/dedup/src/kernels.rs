@@ -1,0 +1,368 @@
+//! Dedup's GPU kernels: SHA-1 (one thread per block) and LZSS `FindMatch`
+//! (one thread per input byte), in batched and per-block variants.
+//!
+//! The batched [`FindMatchKernel`] is Listing 3: a single launch covers the
+//! whole 1 MB batch, each lane locating its block via a linear scan of the
+//! `startPos` array and bounding its window search to that block. The
+//! per-block variants reproduce the paper's *first* (slow) integration —
+//! "the GPU kernel function has been invoked for too many times without
+//! using efficiently the GPU resources" — and power the no-batch bars of
+//! Fig. 5.
+
+use gpusim::{DeviceMemory, DevicePtr, KernelFn, LaunchDims, WorkMeter};
+
+use crate::lzss::{find_match, LzssConfig};
+use crate::sha1::Sha1;
+
+/// Cycles per byte hashed by a single GPU thread (scalar SHA-1 is
+/// register-bound; one thread per block is latency-, not throughput-,
+/// friendly — which is why the batch must carry many blocks).
+const SHA1_CYCLES_PER_BYTE: f64 = 18.0;
+
+/// Cycles per window probe of the match search.
+const LZSS_CYCLES_PER_PROBE: f64 = 3.0;
+
+/// SHA-1 of every block in a batch; lane `b` hashes block `b` (§IV-B
+/// stage 2: "each GPU thread calculates the SHA-1 of one block").
+pub struct Sha1Kernel {
+    /// Batch bytes on device.
+    pub data: DevicePtr<u8>,
+    /// Block start offsets (Fig. 2's `startPos`).
+    pub starts: DevicePtr<u32>,
+    /// Valid bytes in `data` (tail batches are shorter than the buffer).
+    pub data_len: usize,
+    /// Valid entries in `starts`.
+    pub n_blocks: usize,
+    /// Output digests, 20 bytes per block.
+    pub out: DevicePtr<u8>,
+}
+
+impl KernelFn for Sha1Kernel {
+    fn name(&self) -> &'static str {
+        "sha1_blocks"
+    }
+    fn regs_per_thread(&self) -> u32 {
+        48 // SHA-1 state + schedule window
+    }
+    fn cycles_per_unit(&self) -> f64 {
+        SHA1_CYCLES_PER_BYTE
+    }
+    fn run(&self, dims: &LaunchDims, mem: &DeviceMemory, meter: &mut WorkMeter) {
+        let data = mem.borrow(self.data);
+        let starts = mem.borrow(self.starts);
+        let mut out = mem.borrow_mut(self.out);
+        for lane in dims.lanes() {
+            let b = lane as usize;
+            if b < self.n_blocks {
+                let start = starts[b] as usize;
+                let end = if b + 1 < self.n_blocks {
+                    starts[b + 1] as usize
+                } else {
+                    self.data_len
+                };
+                let mut h = Sha1::new();
+                h.update(&data[start..end]);
+                let digest = h.finalize();
+                out[b * 20..b * 20 + 20].copy_from_slice(&digest.0);
+                meter.record(lane, (end - start) as u64);
+            } else {
+                meter.record(lane, 1);
+            }
+        }
+    }
+}
+
+/// SHA-1 of a single block — the unbatched variant (one launch per block,
+/// one *warp-wide* stripe of lanes but only lane 0 does the work: the GPU
+/// is starved, exactly the pathology the batch redesign fixes).
+pub struct Sha1BlockKernel {
+    /// Batch bytes on device.
+    pub data: DevicePtr<u8>,
+    /// Block byte range.
+    pub start: usize,
+    /// End of the block range.
+    pub end: usize,
+    /// Output digest, 20 bytes, at `block_ordinal * 20`.
+    pub out: DevicePtr<u8>,
+    /// Which output slot to fill.
+    pub slot: usize,
+}
+
+impl KernelFn for Sha1BlockKernel {
+    fn name(&self) -> &'static str {
+        "sha1_one_block"
+    }
+    fn regs_per_thread(&self) -> u32 {
+        48
+    }
+    fn cycles_per_unit(&self) -> f64 {
+        SHA1_CYCLES_PER_BYTE
+    }
+    fn run(&self, dims: &LaunchDims, mem: &DeviceMemory, meter: &mut WorkMeter) {
+        let data = mem.borrow(self.data);
+        let mut out = mem.borrow_mut(self.out);
+        for lane in dims.lanes() {
+            if lane == 0 {
+                let mut h = Sha1::new();
+                h.update(&data[self.start..self.end]);
+                out[self.slot * 20..self.slot * 20 + 20].copy_from_slice(&h.finalize().0);
+                meter.record(lane, (self.end - self.start) as u64);
+            } else {
+                meter.record(lane, 1);
+            }
+        }
+    }
+}
+
+/// Listing 3: the batched `FindMatchKernel`. One lane per byte of the
+/// batch; each lane scans `startPoss` linearly to find its block, then
+/// searches its block-bounded window for the longest match.
+pub struct FindMatchKernel {
+    /// Batch bytes on device (`input`).
+    pub data: DevicePtr<u8>,
+    /// Valid bytes (`sizeInput`).
+    pub data_len: usize,
+    /// Block starts (`startPoss`).
+    pub starts: DevicePtr<u32>,
+    /// Valid entries (`startPosSize`).
+    pub n_blocks: usize,
+    /// Output match lengths (`matchesLength`).
+    pub matches_len: DevicePtr<u32>,
+    /// Output match offsets (`matchesOffset`).
+    pub matches_off: DevicePtr<u32>,
+    /// Codec parameters (`WINDOW_SIZE` / `MAX_CODED`).
+    pub cfg: LzssConfig,
+}
+
+impl KernelFn for FindMatchKernel {
+    fn name(&self) -> &'static str {
+        "FindMatchKernel"
+    }
+    fn regs_per_thread(&self) -> u32 {
+        32
+    }
+    fn cycles_per_unit(&self) -> f64 {
+        LZSS_CYCLES_PER_PROBE
+    }
+    fn run(&self, dims: &LaunchDims, mem: &DeviceMemory, meter: &mut WorkMeter) {
+        let data = mem.borrow(self.data);
+        let starts = mem.borrow(self.starts);
+        let mut m_len = mem.borrow_mut(self.matches_len);
+        let mut m_off = mem.borrow_mut(self.matches_off);
+        for lane in dims.lanes() {
+            let idx = lane as usize; // idX
+            if idx >= self.data_len {
+                meter.record(lane, 1);
+                continue;
+            }
+            // Lines 4-10: locate the block containing idx (linear scan).
+            let mut block = 0usize;
+            for k in 0..self.n_blocks {
+                if (starts[k] as usize) < idx + 1 {
+                    block = k;
+                }
+            }
+            let start = starts[block] as usize;
+            let last = if block + 1 < self.n_blocks {
+                starts[block + 1] as usize
+            } else {
+                self.data_len
+            };
+            let (m, probes) = find_match(&data, start, last, idx, &self.cfg);
+            m_len[idx] = m.len;
+            m_off[idx] = m.dist;
+            // Work: the startPos scan plus the window probes.
+            meter.record(lane, probes + (self.n_blocks as u64) / 4 + 1);
+        }
+    }
+}
+
+/// Per-block `FindMatch` — the unbatched variant (one launch per block).
+pub struct FindMatchBlockKernel {
+    /// Batch bytes on device.
+    pub data: DevicePtr<u8>,
+    /// Block byte range start.
+    pub start: usize,
+    /// Block byte range end.
+    pub end: usize,
+    /// Output match lengths (indexed by absolute batch position).
+    pub matches_len: DevicePtr<u32>,
+    /// Output match offsets.
+    pub matches_off: DevicePtr<u32>,
+    /// Codec parameters.
+    pub cfg: LzssConfig,
+}
+
+impl KernelFn for FindMatchBlockKernel {
+    fn name(&self) -> &'static str {
+        "FindMatchBlock"
+    }
+    fn regs_per_thread(&self) -> u32 {
+        32
+    }
+    fn cycles_per_unit(&self) -> f64 {
+        LZSS_CYCLES_PER_PROBE
+    }
+    fn run(&self, dims: &LaunchDims, mem: &DeviceMemory, meter: &mut WorkMeter) {
+        let data = mem.borrow(self.data);
+        let mut m_len = mem.borrow_mut(self.matches_len);
+        let mut m_off = mem.borrow_mut(self.matches_off);
+        let n = self.end - self.start;
+        for lane in dims.lanes() {
+            let i = lane as usize;
+            if i < n {
+                let idx = self.start + i;
+                let (m, probes) = find_match(&data, self.start, self.end, idx, &self.cfg);
+                m_len[idx] = m.len;
+                m_off[idx] = m.dist;
+                meter.record(lane, probes + 1);
+            } else {
+                meter.record(lane, 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::make_batches;
+    use crate::lzss::Match;
+    use crate::rabin::RabinParams;
+    use crate::sha1::sha1;
+    use gpusim::{DeviceProps, GpuSystem, StreamId};
+    use simtime::SimTime;
+
+    fn rabin_small() -> RabinParams {
+        RabinParams {
+            window: 16,
+            mask: (1 << 8) - 1,
+            magic: 0x21,
+            min_chunk: 64,
+            max_chunk: 2048,
+        }
+    }
+
+    fn sample_batch() -> crate::batch::Batch {
+        let data: Vec<u8> = b"the quick brown fox jumps over the lazy dog. "
+            .iter()
+            .cycle()
+            .take(8192)
+            .copied()
+            .collect();
+        make_batches(&data, 8192, &rabin_small()).remove(0)
+    }
+
+    #[test]
+    fn sha1_kernel_matches_cpu_digests() {
+        let b = sample_batch();
+        let sys = GpuSystem::new(1, DeviceProps::titan_xp());
+        let dev = sys.device(0);
+        let d_data = dev.alloc::<u8>(b.data.len()).unwrap();
+        let d_starts = dev.alloc::<u32>(b.block_count()).unwrap();
+        let d_out = dev.alloc::<u8>(b.block_count() * 20).unwrap();
+        let starts: Vec<u32> = b.starts.iter().map(|&s| s as u32).collect();
+        dev.copy_h2d(StreamId::DEFAULT, &b.data, d_data, 0, false, SimTime::ZERO);
+        dev.copy_h2d(StreamId::DEFAULT, &starts, d_starts, 0, false, SimTime::ZERO);
+        let k = Sha1Kernel {
+            data: d_data,
+            starts: d_starts,
+            data_len: b.data.len(),
+            n_blocks: b.block_count(),
+            out: d_out,
+        };
+        dev.launch(
+            StreamId::DEFAULT,
+            LaunchDims::cover(b.block_count() as u64, 64),
+            &k,
+            SimTime::ZERO,
+        );
+        let mut out = vec![0u8; b.block_count() * 20];
+        dev.copy_d2h(StreamId::DEFAULT, d_out, 0, &mut out, false, SimTime::ZERO);
+        for blk in 0..b.block_count() {
+            let expected = sha1(b.block(blk));
+            assert_eq!(&out[blk * 20..blk * 20 + 20], &expected.0[..], "block {blk}");
+        }
+    }
+
+    #[test]
+    fn find_match_kernel_matches_cpu_search() {
+        let b = sample_batch();
+        let cfg = LzssConfig { window: 256, min_coded: 3 };
+        let sys = GpuSystem::new(1, DeviceProps::titan_xp());
+        let dev = sys.device(0);
+        let d_data = dev.alloc::<u8>(b.data.len()).unwrap();
+        let d_starts = dev.alloc::<u32>(b.block_count()).unwrap();
+        let d_len = dev.alloc::<u32>(b.data.len()).unwrap();
+        let d_off = dev.alloc::<u32>(b.data.len()).unwrap();
+        let starts: Vec<u32> = b.starts.iter().map(|&s| s as u32).collect();
+        dev.copy_h2d(StreamId::DEFAULT, &b.data, d_data, 0, false, SimTime::ZERO);
+        dev.copy_h2d(StreamId::DEFAULT, &starts, d_starts, 0, false, SimTime::ZERO);
+        let k = FindMatchKernel {
+            data: d_data,
+            data_len: b.data.len(),
+            starts: d_starts,
+            n_blocks: b.block_count(),
+            matches_len: d_len,
+            matches_off: d_off,
+            cfg,
+        };
+        dev.launch(
+            StreamId::DEFAULT,
+            LaunchDims::cover(b.data.len() as u64, 256),
+            &k,
+            SimTime::ZERO,
+        );
+        let mut lens = vec![0u32; b.data.len()];
+        let mut offs = vec![0u32; b.data.len()];
+        dev.copy_d2h(StreamId::DEFAULT, d_len, 0, &mut lens, false, SimTime::ZERO);
+        dev.copy_d2h(StreamId::DEFAULT, d_off, 0, &mut offs, false, SimTime::ZERO);
+        // Spot-check every 37th position against the CPU search.
+        for blk in 0..b.block_count() {
+            let r = b.block_range(blk);
+            for pos in r.clone().step_by(37) {
+                let (m, _) = find_match(&b.data, r.start, r.end, pos, &cfg);
+                assert_eq!(Match { dist: offs[pos], len: lens[pos] }, m, "pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_block_kernels_agree_with_batched() {
+        let b = sample_batch();
+        let cfg = LzssConfig { window: 128, min_coded: 3 };
+        let sys = GpuSystem::new(1, DeviceProps::titan_xp());
+        let dev = sys.device(0);
+        let d_data = dev.alloc::<u8>(b.data.len()).unwrap();
+        dev.copy_h2d(StreamId::DEFAULT, &b.data, d_data, 0, false, SimTime::ZERO);
+        let d_len_a = dev.alloc::<u32>(b.data.len()).unwrap();
+        let d_off_a = dev.alloc::<u32>(b.data.len()).unwrap();
+        for blk in 0..b.block_count() {
+            let r = b.block_range(blk);
+            let k = FindMatchBlockKernel {
+                data: d_data,
+                start: r.start,
+                end: r.end,
+                matches_len: d_len_a,
+                matches_off: d_off_a,
+                cfg,
+            };
+            dev.launch(
+                StreamId::DEFAULT,
+                LaunchDims::cover((r.end - r.start) as u64, 128),
+                &k,
+                SimTime::ZERO,
+            );
+        }
+        let mut lens = vec![0u32; b.data.len()];
+        dev.copy_d2h(StreamId::DEFAULT, d_len_a, 0, &mut lens, false, SimTime::ZERO);
+        // CPU reference.
+        for blk in 0..b.block_count() {
+            let r = b.block_range(blk);
+            for pos in r.clone().step_by(53) {
+                let (m, _) = find_match(&b.data, r.start, r.end, pos, &cfg);
+                assert_eq!(lens[pos], m.len, "pos {pos}");
+            }
+        }
+    }
+}

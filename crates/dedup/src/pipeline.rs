@@ -1,0 +1,282 @@
+//! The 5-stage Dedup pipeline of Fig. 3, expressed with SPar.
+//!
+//! ```text
+//! S1 read + rabin ──> S2 SHA-1 (replicated, GPU) ──> S3 dup check (serial)
+//!        ──> S4 LZSS compress (replicated, GPU) ──> S5 reorder + write
+//! ```
+//!
+//! Stage order is restored by the ordered farms the SPar region generates
+//! (the paper's stage 5 "reorders the batches and writes"); stage 3 is
+//! `Replicate(1)` so the global dedup cache needs no lock.
+
+use crate::archive::Archive;
+use crate::backend::{
+    BackendCtx, ClassifiedBatch, CompressedBatch, DedupBackend, HashedBatch,
+};
+use crate::batch::make_batches;
+use crate::dedupe::DedupCache;
+use crate::lzss::LzssConfig;
+use crate::rabin::RabinParams;
+use crate::sha1::sha1;
+
+/// Whole-run parameters.
+#[derive(Clone, Debug)]
+pub struct DedupConfig {
+    /// Fixed batch size (the paper's 1 MB; reduced for OpenCL per §V-B).
+    pub batch_size: usize,
+    /// Chunker parameters.
+    pub rabin: RabinParams,
+    /// Codec parameters.
+    pub lzss: LzssConfig,
+}
+
+impl Default for DedupConfig {
+    fn default() -> Self {
+        DedupConfig {
+            batch_size: crate::batch::DEFAULT_BATCH_SIZE,
+            rabin: RabinParams::default(),
+            lzss: LzssConfig::default(),
+        }
+    }
+}
+
+/// Sequential reference implementation (PARSEC's original structure):
+/// the gold standard every parallel version is compared against.
+pub fn run_sequential(input: &[u8], cfg: &DedupConfig) -> Archive {
+    let mut cache = DedupCache::new();
+    let mut archive = Archive::new(cfg.lzss);
+    for batch in make_batches(input, cfg.batch_size, &cfg.rabin) {
+        for b in 0..batch.block_count() {
+            let block = batch.block(b);
+            match cache.classify(sha1(block)) {
+                crate::dedupe::BlockClass::Unique { .. } => archive
+                    .entries
+                    .push(crate::archive::BlockEntry::compress_unique(block, &cfg.lzss)),
+                crate::dedupe::BlockClass::Dup { of } => {
+                    archive.entries.push(crate::archive::BlockEntry::Dup(of))
+                }
+            }
+        }
+    }
+    archive
+}
+
+/// Stage-2 node: one backend instance per replica, built in `on_init` on
+/// the replica's thread.
+struct HashNode<B: DedupBackend> {
+    ctx: BackendCtx,
+    replica: usize,
+    backend: Option<B>,
+}
+
+impl<B: DedupBackend> fastflow::Node for HashNode<B> {
+    type In = crate::batch::Batch;
+    type Out = HashedBatch;
+    fn on_init(&mut self) {
+        self.backend = Some(B::new(&self.ctx, self.replica));
+    }
+    fn svc(&mut self, batch: crate::batch::Batch, out: &mut fastflow::Emitter<'_, HashedBatch>) {
+        out.send(self.backend.as_mut().expect("on_init ran").hash_stage(batch));
+    }
+}
+
+/// Stage-4 node.
+struct CompressNode<B: DedupBackend> {
+    ctx: BackendCtx,
+    replica: usize,
+    backend: Option<B>,
+}
+
+impl<B: DedupBackend> fastflow::Node for CompressNode<B> {
+    type In = ClassifiedBatch;
+    type Out = CompressedBatch;
+    fn on_init(&mut self) {
+        self.backend = Some(B::new(&self.ctx, self.replica));
+    }
+    fn svc(&mut self, item: ClassifiedBatch, out: &mut fastflow::Emitter<'_, CompressedBatch>) {
+        out.send(
+            self.backend
+                .as_mut()
+                .expect("on_init ran")
+                .compress_stage(item),
+        );
+    }
+}
+
+/// Run the Fig. 3 pipeline over `input` with `workers` replicas for the
+/// hashing and compression stages. The backend type selects CPU / CUDA /
+/// OpenCL (Fig. 5's SPar, SPar+CUDA and SPar+OpenCL versions).
+pub fn run_pipeline<B: DedupBackend>(
+    backend_ctx: BackendCtx,
+    input: Vec<u8>,
+    cfg: &DedupConfig,
+    workers: usize,
+) -> Archive {
+    assert!(workers >= 1);
+    let cfg = cfg.clone();
+    let lzss = cfg.lzss;
+    let hash_ctx = backend_ctx.clone();
+    let compress_ctx = backend_ctx;
+    let mut archive = Archive::new(lzss);
+
+    let source_cfg = cfg.clone();
+    spar::ToStream::new()
+        .ordered(true)
+        // S1: read input, build 1 MB batches, rabin-fingerprint each.
+        .source(move |em| {
+            for batch in make_batches(&input, source_cfg.batch_size, &source_cfg.rabin) {
+                if !em.send(batch) {
+                    break;
+                }
+            }
+        })
+        // S2: SHA-1 every block (replicated; offloads to GPUs).
+        .stage_node(workers, |replica| HashNode::<B> {
+            ctx: hash_ctx.clone(),
+            replica,
+            backend: None,
+        })
+        // S3: duplicate check against the global cache (serial, stateful).
+        .stage_factory(1, |_| {
+            let mut cache = DedupCache::new();
+            move |h: HashedBatch| -> ClassifiedBatch {
+                let classes = h.digests.iter().map(|&d| cache.classify(d)).collect();
+                ClassifiedBatch {
+                    batch: h.batch,
+                    classes,
+                    gpu: h.gpu,
+                }
+            }
+        })
+        // S4: LZSS-compress unique blocks (replicated; reuses device data).
+        .stage_node(workers, |replica| CompressNode::<B> {
+            ctx: compress_ctx.clone(),
+            replica,
+            backend: None,
+        })
+        // S5: reorder (guaranteed by the ordered region) and write.
+        .last_stage(|done: CompressedBatch| {
+            archive.entries.extend(done.entries);
+        });
+    archive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{CpuBackend, CudaBackend, OclBackend};
+    use crate::datasets;
+    use gpusim::{DeviceProps, GpuSystem};
+
+    fn small_cfg() -> DedupConfig {
+        DedupConfig {
+            batch_size: 16 * 1024,
+            rabin: RabinParams {
+                window: 16,
+                mask: (1 << 9) - 1,
+                magic: 0x5c,
+                min_chunk: 256,
+                max_chunk: 4096,
+            },
+            lzss: LzssConfig {
+                window: 256,
+                min_coded: 3,
+            },
+        }
+    }
+
+    fn input() -> Vec<u8> {
+        datasets::parsec_like(80_000, 11).data
+    }
+
+    #[test]
+    fn sequential_roundtrips() {
+        let cfg = small_cfg();
+        let data = input();
+        let archive = run_sequential(&data, &cfg);
+        assert_eq!(archive.decompress().unwrap(), data);
+        let (uniq, dups) = archive.block_counts();
+        assert!(uniq > 0);
+        assert!(dups > 0, "parsec-like data must contain duplicates");
+    }
+
+    #[test]
+    fn spar_cpu_pipeline_matches_sequential() {
+        let cfg = small_cfg();
+        let data = input();
+        let seq = run_sequential(&data, &cfg);
+        let par = run_pipeline::<CpuBackend>(BackendCtx::cpu(cfg.lzss), data.clone(), &cfg, 4);
+        assert_eq!(par, seq, "pipeline output must be byte-identical");
+        assert_eq!(par.decompress().unwrap(), data);
+    }
+
+    #[test]
+    fn spar_cuda_pipeline_matches_sequential() {
+        let cfg = small_cfg();
+        let data = input();
+        let seq = run_sequential(&data, &cfg);
+        let sys = GpuSystem::new(2, DeviceProps::titan_xp());
+        let ctx = BackendCtx::gpu(sys, 2, true, cfg.lzss);
+        let par = run_pipeline::<CudaBackend>(ctx, data.clone(), &cfg, 3);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn spar_opencl_pipeline_matches_sequential() {
+        let cfg = small_cfg();
+        let data = input();
+        let seq = run_sequential(&data, &cfg);
+        let sys = GpuSystem::new(2, DeviceProps::titan_xp());
+        let ctx = BackendCtx::gpu(sys, 2, true, cfg.lzss);
+        let par = run_pipeline::<OclBackend>(ctx, data.clone(), &cfg, 3);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn unbatched_kernels_still_produce_identical_output() {
+        let cfg = small_cfg();
+        let data = input();
+        let seq = run_sequential(&data, &cfg);
+        let sys = GpuSystem::new(1, DeviceProps::titan_xp());
+        let ctx = BackendCtx::gpu(sys, 1, false, cfg.lzss);
+        let par = run_pipeline::<CudaBackend>(ctx, data.clone(), &cfg, 2);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn all_datasets_roundtrip_through_the_cpu_pipeline() {
+        let cfg = small_cfg();
+        for ds in datasets::all(60_000, 2) {
+            let par = run_pipeline::<CpuBackend>(
+                BackendCtx::cpu(cfg.lzss),
+                ds.data.clone(),
+                &cfg,
+                3,
+            );
+            assert_eq!(par.decompress().unwrap(), ds.data, "{}", ds.name);
+        }
+    }
+
+    #[test]
+    fn deduplication_actually_shrinks_duplicated_input() {
+        let cfg = small_cfg();
+        let region = datasets::silesia_like(20_000, 9).data;
+        let mut data = region.clone();
+        data.extend_from_slice(&region); // 100% duplicate second half
+        let archive = run_sequential(&data, &cfg);
+        assert!(
+            archive.serialized_len() < data.len() * 7 / 10,
+            "dedup + compression must shrink: {} vs {}",
+            archive.serialized_len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn empty_input_produces_empty_archive() {
+        let cfg = small_cfg();
+        let archive = run_pipeline::<CpuBackend>(BackendCtx::cpu(cfg.lzss), Vec::new(), &cfg, 2);
+        assert!(archive.entries.is_empty());
+        assert_eq!(archive.decompress().unwrap(), Vec::<u8>::new());
+    }
+}

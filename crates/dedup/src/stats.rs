@@ -1,0 +1,169 @@
+//! Archive statistics: the compression/deduplication breakdown Dedup
+//! reports (and Fig. 5's companion metric to throughput).
+
+use crate::archive::{Archive, BlockEntry};
+
+/// Summary of what an archive achieved.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArchiveStats {
+    /// Original stream bytes (sum of all block lengths, duplicates
+    /// included).
+    pub input_bytes: u64,
+    /// Serialized archive bytes.
+    pub output_bytes: u64,
+    /// Unique blocks stored raw (incompressible).
+    pub unique_raw: usize,
+    /// Unique blocks stored LZSS-compressed.
+    pub unique_lzss: usize,
+    /// Duplicate references.
+    pub dup_blocks: usize,
+    /// Bytes removed by deduplication alone (duplicate block content).
+    pub dedup_saved: u64,
+    /// Bytes removed by compression alone (unique originals − payloads).
+    pub compress_saved: u64,
+}
+
+impl ArchiveStats {
+    /// Compute the stats of an archive.
+    pub fn of(archive: &Archive) -> ArchiveStats {
+        let mut unique_sizes: Vec<u64> = Vec::new();
+        let mut input_bytes = 0u64;
+        let mut unique_raw = 0usize;
+        let mut unique_lzss = 0usize;
+        let mut dup_blocks = 0usize;
+        let mut dedup_saved = 0u64;
+        let mut compress_saved = 0u64;
+        for e in &archive.entries {
+            match e {
+                BlockEntry::UniqueRaw(data) => {
+                    input_bytes += data.len() as u64;
+                    unique_sizes.push(data.len() as u64);
+                    unique_raw += 1;
+                }
+                BlockEntry::UniqueLzss { orig_len, payload } => {
+                    input_bytes += *orig_len as u64;
+                    unique_sizes.push(*orig_len as u64);
+                    unique_lzss += 1;
+                    compress_saved += *orig_len as u64 - payload.len() as u64;
+                }
+                BlockEntry::Dup(ordinal) => {
+                    let len = unique_sizes
+                        .get(*ordinal as usize)
+                        .copied()
+                        .unwrap_or(0);
+                    input_bytes += len;
+                    dedup_saved += len;
+                    dup_blocks += 1;
+                }
+            }
+        }
+        ArchiveStats {
+            input_bytes,
+            output_bytes: archive.serialized_len() as u64,
+            unique_raw,
+            unique_lzss,
+            dup_blocks,
+            dedup_saved,
+            compress_saved,
+        }
+    }
+
+    /// `output / input` as a percentage (smaller is better).
+    pub fn ratio_percent(&self) -> f64 {
+        if self.input_bytes == 0 {
+            return 100.0;
+        }
+        self.output_bytes as f64 * 100.0 / self.input_bytes as f64
+    }
+
+    /// Fraction of the input that was duplicate content.
+    pub fn dup_fraction(&self) -> f64 {
+        if self.input_bytes == 0 {
+            return 0.0;
+        }
+        self.dedup_saved as f64 / self.input_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lzss::LzssConfig;
+    use crate::{datasets, run_sequential, DedupConfig, RabinParams};
+
+    fn cfg() -> DedupConfig {
+        DedupConfig {
+            batch_size: 16 * 1024,
+            rabin: RabinParams {
+                window: 16,
+                mask: (1 << 8) - 1,
+                magic: 0x21,
+                min_chunk: 256,
+                max_chunk: 4096,
+            },
+            lzss: LzssConfig {
+                window: 256,
+                min_coded: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_input_byte() {
+        let data = datasets::parsec_like(60_000, 91).data;
+        let archive = run_sequential(&data, &cfg());
+        let stats = ArchiveStats::of(&archive);
+        assert_eq!(stats.input_bytes, data.len() as u64);
+        assert_eq!(
+            stats.unique_raw + stats.unique_lzss + stats.dup_blocks,
+            archive.entries.len()
+        );
+        assert!(stats.ratio_percent() < 100.0, "parsec-like data must shrink");
+        assert!(stats.dup_fraction() > 0.0, "parsec-like data has duplicates");
+    }
+
+    #[test]
+    fn savings_decompose_consistently() {
+        let data = datasets::linux_like(50_000, 92).data;
+        let archive = run_sequential(&data, &cfg());
+        let stats = ArchiveStats::of(&archive);
+        // output <= input - dedup_saved - compress_saved + container overhead
+        let payload = stats.input_bytes - stats.dedup_saved - stats.compress_saved;
+        assert!(
+            stats.output_bytes >= payload,
+            "container adds overhead: {} vs {}",
+            stats.output_bytes,
+            payload
+        );
+        // Overhead is bounded (tags + lengths per entry).
+        let overhead = stats.output_bytes - payload;
+        assert!(
+            overhead < 32 * archive.entries.len() as u64 + 64,
+            "overhead {overhead} too large"
+        );
+    }
+
+    #[test]
+    fn pure_duplicates_show_up_as_dedup_savings() {
+        let cfg = cfg();
+        let half = datasets::silesia_like(20_000, 93).data;
+        let mut data = half.clone();
+        data.extend_from_slice(&half);
+        let archive = run_sequential(&data, &cfg);
+        let stats = ArchiveStats::of(&archive);
+        assert!(
+            stats.dup_fraction() > 0.4,
+            "half the stream is duplicate: {}",
+            stats.dup_fraction()
+        );
+    }
+
+    #[test]
+    fn empty_archive_stats() {
+        let archive = Archive::new(LzssConfig::default());
+        let stats = ArchiveStats::of(&archive);
+        assert_eq!(stats.input_bytes, 0);
+        assert_eq!(stats.ratio_percent(), 100.0);
+        assert_eq!(stats.dup_fraction(), 0.0);
+    }
+}

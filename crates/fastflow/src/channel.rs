@@ -1,0 +1,359 @@
+//! Blocking SPSC channel: the [`crate::spsc`] ring plus wait-strategy
+//! driven send/recv and end-of-stream propagation.
+//!
+//! A channel is created with an explicit capacity and [`WaitStrategy`];
+//! `send` blocks (per the strategy) while the ring is full, `recv` while it
+//! is empty. Dropping the [`Sender`] closes the channel: once drained,
+//! `recv` returns `None`, which is how EOS flows through every pipeline in
+//! this crate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::spsc::{self, Consumer, Producer};
+use crate::wait::{Signal, WaitStrategy};
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// Ring is full; the item is handed back.
+    Full(T),
+    /// Receiver dropped; the item is handed back.
+    Disconnected(T),
+}
+
+struct Shared {
+    closed: AtomicBool,
+    /// Receiver waits here; sender notifies after each push (Block mode).
+    items: Arc<Signal>,
+    /// Sender waits here; receiver notifies after each pop (Block mode).
+    space: Signal,
+}
+
+/// Sending half of a channel. Single producer: not cloneable.
+pub struct Sender<T> {
+    prod: Producer<T>,
+    shared: Arc<Shared>,
+    wait: WaitStrategy,
+}
+
+/// Receiving half of a channel. Single consumer: not cloneable.
+pub struct Receiver<T> {
+    cons: Consumer<T>,
+    shared: Arc<Shared>,
+    wait: WaitStrategy,
+}
+
+/// Create a bounded channel with the given capacity and wait strategy.
+pub fn channel<T: Send>(capacity: usize, wait: WaitStrategy) -> (Sender<T>, Receiver<T>) {
+    channel_with_recv_signal(capacity, wait, Arc::new(Signal::new()))
+}
+
+/// Like [`channel`], but the receive-side signal is supplied by the caller so
+/// that one consumer can block on several channels at once (the farm
+/// collector does this: every worker's sender notifies the same signal).
+pub fn channel_with_recv_signal<T: Send>(
+    capacity: usize,
+    wait: WaitStrategy,
+    items_signal: Arc<Signal>,
+) -> (Sender<T>, Receiver<T>) {
+    let (prod, cons) = spsc::ring(capacity);
+    let shared = Arc::new(Shared {
+        closed: AtomicBool::new(false),
+        items: items_signal,
+        space: Signal::new(),
+    });
+    (
+        Sender {
+            prod,
+            shared: Arc::clone(&shared),
+            wait,
+        },
+        Receiver {
+            cons,
+            shared,
+            wait,
+        },
+    )
+}
+
+impl<T: Send> Sender<T> {
+    /// Enqueue `item`, blocking per the wait strategy while the ring is full.
+    /// Fails only if the receiver has been dropped.
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        let mut item = Some(item);
+        loop {
+            match self.try_send(item.take().expect("item present")) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(v)) => return Err(SendError(v)),
+                Err(TrySendError::Full(v)) => {
+                    item = Some(v);
+                    let prod = &self.prod;
+                    self.wait.wait_until(&self.shared.space, || {
+                        prod.free_slots() > 0 || prod.consumer_gone()
+                    });
+                }
+            }
+        }
+    }
+
+    /// Non-blocking enqueue.
+    pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+        if self.prod.consumer_gone() {
+            return Err(TrySendError::Disconnected(item));
+        }
+        match self.prod.try_push(item) {
+            Ok(()) => {
+                if self.wait.needs_notify() {
+                    self.shared.items.notify();
+                }
+                Ok(())
+            }
+            Err(v) => Err(TrySendError::Full(v)),
+        }
+    }
+
+    /// Advisory free-slot count.
+    pub fn free_slots(&self) -> usize {
+        self.prod.free_slots()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.prod.capacity()
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        // Wake a receiver parked on an empty ring so it can observe EOS.
+        self.shared.items.notify();
+    }
+}
+
+impl<T: Send> Receiver<T> {
+    /// Dequeue the next item, blocking per the wait strategy while empty.
+    /// Returns `None` once the sender is dropped and the ring drained.
+    pub fn recv(&self) -> Option<T> {
+        loop {
+            if let Some(v) = self.cons.try_pop() {
+                if self.wait.needs_notify() {
+                    self.shared.space.notify();
+                }
+                return Some(v);
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                // Re-check: the sender may have pushed right before closing.
+                return match self.cons.try_pop() {
+                    Some(v) => {
+                        if self.wait.needs_notify() {
+                            self.shared.space.notify();
+                        }
+                        Some(v)
+                    }
+                    None => None,
+                };
+            }
+            let cons = &self.cons;
+            let closed = &self.shared.closed;
+            self.wait.wait_until(&self.shared.items, || {
+                !cons.is_empty() || closed.load(Ordering::Acquire)
+            });
+        }
+    }
+
+    /// Non-blocking dequeue; `None` means "currently empty", not EOS.
+    pub fn try_recv(&self) -> Option<T> {
+        let v = self.cons.try_pop();
+        if v.is_some() && self.wait.needs_notify() {
+            self.shared.space.notify();
+        }
+        v
+    }
+
+    /// True when the sender is dropped and the ring is drained.
+    pub fn is_eos(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire) && self.cons.is_empty()
+    }
+
+    /// True when the sender has been dropped (items may remain).
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
+    }
+
+    /// Advisory queued-item count.
+    pub fn len(&self) -> usize {
+        self.cons.len()
+    }
+
+    /// Advisory emptiness.
+    pub fn is_empty(&self) -> bool {
+        self.cons.is_empty()
+    }
+
+    /// The shared item-arrival signal (for multi-channel waiting).
+    pub fn items_signal(&self) -> &Arc<Signal> {
+        &self.shared.items
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        // Wake a sender parked on a full ring so it can observe disconnect.
+        self.shared.space.notify();
+    }
+}
+
+/// Iterate over received items until EOS.
+impl<T: Send> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = RecvIter<T>;
+    fn into_iter(self) -> RecvIter<T> {
+        RecvIter { rx: self }
+    }
+}
+
+/// Blocking iterator over a [`Receiver`].
+pub struct RecvIter<T> {
+    rx: Receiver<T>,
+}
+
+impl<T: Send> Iterator for RecvIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn all_strategies() -> [WaitStrategy; 3] {
+        [WaitStrategy::Spin, WaitStrategy::Yield, WaitStrategy::Block]
+    }
+
+    #[test]
+    fn send_recv_in_order_across_threads() {
+        for ws in all_strategies() {
+            const N: u64 = 20_000;
+            let (tx, rx) = channel::<u64>(16, ws);
+            let producer = thread::spawn(move || {
+                for i in 0..N {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut expected = 0;
+            while let Some(v) = rx.recv() {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+            assert_eq!(expected, N, "strategy {ws:?}");
+            producer.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn recv_returns_none_after_sender_drop() {
+        let (tx, rx) = channel::<u32>(4, WaitStrategy::Block);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(7));
+        assert_eq!(rx.recv(), None);
+        assert!(rx.is_eos());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::<u32>(2, WaitStrategy::Yield);
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel::<u32>(1, WaitStrategy::Spin);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn blocked_sender_wakes_when_receiver_drains() {
+        let (tx, rx) = channel::<u32>(1, WaitStrategy::Block);
+        tx.send(1).unwrap();
+        let sender = thread::spawn(move || tx.send(2).unwrap());
+        // Give the sender a chance to park.
+        thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_receiver_drop() {
+        let (tx, rx) = channel::<u32>(1, WaitStrategy::Block);
+        tx.send(1).unwrap();
+        let sender = thread::spawn(move || {
+            assert_eq!(tx.send(2), Err(SendError(2)));
+        });
+        thread::sleep(std::time::Duration::from_millis(10));
+        drop(rx);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn iterator_drains_until_eos() {
+        let (tx, rx) = channel::<u32>(8, WaitStrategy::Block);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let collected: Vec<u32> = rx.into_iter().collect();
+        assert_eq!(collected, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shared_recv_signal_wakes_collector() {
+        // Two channels sharing one item signal; a consumer parks on both.
+        let sig = Arc::new(Signal::new());
+        let (tx_a, rx_a) = channel_with_recv_signal::<u32>(4, WaitStrategy::Block, Arc::clone(&sig));
+        let (tx_b, rx_b) = channel_with_recv_signal::<u32>(4, WaitStrategy::Block, Arc::clone(&sig));
+        let consumer = thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut open = 2;
+            while open > 0 {
+                let mut progressed = false;
+                for rx in [&rx_a, &rx_b] {
+                    while let Some(v) = rx.try_recv() {
+                        got.push(v);
+                        progressed = true;
+                    }
+                }
+                if rx_a.is_eos() && rx_b.is_eos() {
+                    open = 0;
+                } else if !progressed {
+                    let e = sig.epoch();
+                    if rx_a.is_empty() && rx_b.is_empty() && !rx_a.is_eos() && !rx_b.is_eos() {
+                        sig.wait_if(e);
+                    }
+                }
+            }
+            got.sort_unstable();
+            got
+        });
+        thread::sleep(std::time::Duration::from_millis(5));
+        tx_a.send(1).unwrap();
+        tx_b.send(2).unwrap();
+        drop(tx_a);
+        drop(tx_b);
+        assert_eq!(consumer.join().unwrap(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,465 @@
+//! The farm skeleton: emitter → N worker replicas → collector.
+//!
+//! Reproduces FastFlow's `ff_farm`/`ff_ofarm`: an emitter thread distributes
+//! stream items to worker replicas (round-robin or on-demand), each worker
+//! runs its own [`Node`] instance, and a collector merges results —
+//! optionally restoring the input order (the *ordered farm* the paper's
+//! last pipeline stages rely on for Mandelbrot lines and Dedup batches).
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use crate::channel::{channel, channel_with_recv_signal, Receiver, Sender};
+use crate::node::{Emitter, Node};
+use crate::wait::{Signal, WaitStrategy};
+
+/// How the emitter assigns items to workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Cyclic assignment — FastFlow's default. Predictable and fair for
+    /// uniform item costs.
+    #[default]
+    RoundRobin,
+    /// First worker with queue space gets the item — better for skewed item
+    /// costs (e.g. Mandelbrot lines crossing the set).
+    OnDemand,
+}
+
+/// Shared queue/wait configuration for farm internals.
+#[derive(Clone, Copy, Debug)]
+pub struct FarmConfig {
+    /// Capacity of every internal SPSC queue.
+    pub capacity: usize,
+    /// Wait strategy for every internal queue.
+    pub wait: WaitStrategy,
+    /// Emitter scheduling policy.
+    pub policy: SchedPolicy,
+    /// Restore input order at the collector.
+    pub ordered: bool,
+}
+
+impl Default for FarmConfig {
+    fn default() -> Self {
+        FarmConfig {
+            capacity: 64,
+            wait: WaitStrategy::default(),
+            policy: SchedPolicy::default(),
+            ordered: false,
+        }
+    }
+}
+
+enum WorkerMsg<O> {
+    /// Outputs produced for input with this sequence number.
+    Item(u64, Vec<O>),
+    /// Outputs flushed by `on_eos`.
+    Final(Vec<O>),
+}
+
+struct OrderedEntry<O> {
+    seq: u64,
+    outs: Vec<O>,
+}
+
+impl<O> PartialEq for OrderedEntry<O> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<O> Eq for OrderedEntry<O> {}
+impl<O> PartialOrd for OrderedEntry<O> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<O> Ord for OrderedEntry<O> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.seq.cmp(&self.seq) // min-heap by seq
+    }
+}
+
+/// Spawn a farm consuming `rx`; returns the merged output receiver plus the
+/// handles of all spawned threads (emitter + workers + collector).
+pub fn spawn_farm<N, F>(
+    rx: Receiver<N::In>,
+    replicas: usize,
+    mut factory: F,
+    cfg: FarmConfig,
+) -> (Receiver<N::Out>, Vec<JoinHandle<()>>)
+where
+    N: Node,
+    F: FnMut(usize) -> N,
+{
+    assert!(replicas > 0, "farm needs at least one worker replica");
+    let mut handles = Vec::with_capacity(replicas + 2);
+
+    // Emitter -> workers.
+    let mut to_workers = Vec::with_capacity(replicas);
+    let mut worker_rxs = Vec::with_capacity(replicas);
+    for _ in 0..replicas {
+        let (tx, rx) = channel::<(u64, N::In)>(cfg.capacity, cfg.wait);
+        to_workers.push(tx);
+        worker_rxs.push(rx);
+    }
+
+    // Workers -> collector, sharing one item-arrival signal so the collector
+    // can block on "any worker produced something".
+    let collector_signal = Arc::new(Signal::new());
+    let mut from_workers = Vec::with_capacity(replicas);
+    let mut worker_txs = Vec::with_capacity(replicas);
+    for _ in 0..replicas {
+        let (tx, rx) = channel_with_recv_signal::<WorkerMsg<N::Out>>(
+            cfg.capacity,
+            cfg.wait,
+            Arc::clone(&collector_signal),
+        );
+        worker_txs.push(tx);
+        from_workers.push(rx);
+    }
+
+    // Emitter thread.
+    {
+        let wait = cfg.wait;
+        let policy = cfg.policy;
+        handles.push(
+            thread::Builder::new()
+                .name("ff-emitter".into())
+                .spawn(move || run_emitter(rx, to_workers, policy, wait))
+                .expect("spawn emitter"),
+        );
+    }
+
+    // Worker threads.
+    for (idx, (w_rx, w_tx)) in worker_rxs.into_iter().zip(worker_txs).enumerate() {
+        let mut node = factory(idx);
+        handles.push(
+            thread::Builder::new()
+                .name(format!("ff-worker-{idx}"))
+                .spawn(move || run_worker(&mut node, w_rx, w_tx))
+                .expect("spawn worker"),
+        );
+    }
+
+    // Collector thread.
+    let (out_tx, out_rx) = channel::<N::Out>(cfg.capacity, cfg.wait);
+    {
+        let wait = cfg.wait;
+        let ordered = cfg.ordered;
+        handles.push(
+            thread::Builder::new()
+                .name("ff-collector".into())
+                .spawn(move || run_collector(from_workers, out_tx, collector_signal, wait, ordered))
+                .expect("spawn collector"),
+        );
+    }
+
+    (out_rx, handles)
+}
+
+fn run_emitter<I: Send + 'static>(
+    rx: Receiver<I>,
+    to_workers: Vec<Sender<(u64, I)>>,
+    policy: SchedPolicy,
+    _wait: WaitStrategy,
+) {
+    let n = to_workers.len();
+    let mut seq: u64 = 0;
+    'stream: while let Some(item) = rx.recv() {
+        match policy {
+            SchedPolicy::RoundRobin => {
+                let target = (seq as usize) % n;
+                if to_workers[target].send((seq, item)).is_err() {
+                    break 'stream; // worker died; stop the stream
+                }
+            }
+            SchedPolicy::OnDemand => {
+                let mut msg = Some((seq, item));
+                let mut spins = 0u32;
+                loop {
+                    let mut all_dead = true;
+                    for tx in &to_workers {
+                        match tx.try_send(msg.take().expect("message present")) {
+                            Ok(()) => break,
+                            Err(crate::channel::TrySendError::Full(m)) => {
+                                all_dead = false;
+                                msg = Some(m);
+                            }
+                            Err(crate::channel::TrySendError::Disconnected(m)) => {
+                                msg = Some(m);
+                            }
+                        }
+                    }
+                    if msg.is_none() {
+                        break; // placed on some worker
+                    }
+                    if all_dead {
+                        break 'stream;
+                    }
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        thread::yield_now();
+                    }
+                }
+            }
+        }
+        seq += 1;
+    }
+    // Senders drop here => EOS to every worker.
+}
+
+fn run_worker<N: Node>(node: &mut N, rx: Receiver<(u64, N::In)>, tx: Sender<WorkerMsg<N::Out>>) {
+    node.on_init();
+    while let Some((seq, item)) = rx.recv() {
+        let mut outs = Vec::new();
+        {
+            let mut sink = |v: N::Out| {
+                outs.push(v);
+                true
+            };
+            let mut em = Emitter::new(&mut sink);
+            node.svc(item, &mut em);
+        }
+        if tx.send(WorkerMsg::Item(seq, outs)).is_err() {
+            return; // collector gone
+        }
+    }
+    let mut finals = Vec::new();
+    {
+        let mut sink = |v: N::Out| {
+            finals.push(v);
+            true
+        };
+        let mut em = Emitter::new(&mut sink);
+        node.on_eos(&mut em);
+    }
+    if !finals.is_empty() {
+        let _ = tx.send(WorkerMsg::Final(finals));
+    }
+}
+
+fn run_collector<O: Send + 'static>(
+    from_workers: Vec<Receiver<WorkerMsg<O>>>,
+    out_tx: Sender<O>,
+    signal: Arc<Signal>,
+    wait: WaitStrategy,
+    ordered: bool,
+) {
+    let n = from_workers.len();
+    let mut eos = vec![false; n];
+    let mut eos_count = 0usize;
+    let mut heap: BinaryHeap<OrderedEntry<O>> = BinaryHeap::new();
+    let mut next_seq: u64 = 0;
+    let mut finals: Vec<O> = Vec::new();
+
+    'outer: while eos_count < n {
+        let mut progressed = false;
+        for (i, rx) in from_workers.iter().enumerate() {
+            if eos[i] {
+                continue;
+            }
+            while let Some(msg) = rx.try_recv() {
+                progressed = true;
+                match msg {
+                    WorkerMsg::Item(seq, outs) => {
+                        if ordered {
+                            heap.push(OrderedEntry { seq, outs });
+                            while heap.peek().is_some_and(|e| e.seq == next_seq) {
+                                let entry = heap.pop().expect("peeked");
+                                next_seq += 1;
+                                for v in entry.outs {
+                                    if out_tx.send(v).is_err() {
+                                        break 'outer;
+                                    }
+                                }
+                            }
+                        } else {
+                            for v in outs {
+                                if out_tx.send(v).is_err() {
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                    WorkerMsg::Final(outs) => finals.extend(outs),
+                }
+            }
+            if rx.is_eos() {
+                eos[i] = true;
+                eos_count += 1;
+                progressed = true;
+            }
+        }
+        if eos_count >= n {
+            break;
+        }
+        if !progressed {
+            let epoch = signal.epoch();
+            let any_ready = from_workers
+                .iter()
+                .enumerate()
+                .any(|(i, rx)| !eos[i] && (!rx.is_empty() || rx.is_eos()));
+            if !any_ready {
+                match wait {
+                    WaitStrategy::Block => signal.wait_if(epoch),
+                    WaitStrategy::Spin => std::hint::spin_loop(),
+                    WaitStrategy::Yield => thread::yield_now(),
+                }
+            }
+        }
+    }
+
+    // Drain any ordered stragglers (all workers done, heap must be complete).
+    while let Some(entry) = heap.pop() {
+        debug_assert_eq!(entry.seq, next_seq, "ordered farm missing sequence");
+        next_seq += 1;
+        for v in entry.outs {
+            if out_tx.send(v).is_err() {
+                return;
+            }
+        }
+    }
+    for v in finals {
+        if out_tx.send(v).is_err() {
+            return;
+        }
+    }
+    // out_tx drops here => EOS downstream.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node;
+
+    fn feed(values: Vec<u64>, cfg: FarmConfig, replicas: usize) -> Vec<u64> {
+        let (tx, rx) = channel::<u64>(cfg.capacity, cfg.wait);
+        let producer = thread::spawn(move || {
+            for v in values {
+                tx.send(v).unwrap();
+            }
+        });
+        let (out_rx, handles) =
+            spawn_farm::<_, _>(rx, replicas, |_| node::map(|x: u64| x * 10), cfg);
+        let collected: Vec<u64> = out_rx.into_iter().collect();
+        producer.join().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        collected
+    }
+
+    #[test]
+    fn unordered_farm_processes_everything() {
+        let cfg = FarmConfig::default();
+        let mut got = feed((0..500).collect(), cfg, 4);
+        got.sort_unstable();
+        let expected: Vec<u64> = (0..500).map(|x| x * 10).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn ordered_farm_preserves_input_order() {
+        let cfg = FarmConfig {
+            ordered: true,
+            ..FarmConfig::default()
+        };
+        let got = feed((0..500).collect(), cfg, 4);
+        let expected: Vec<u64> = (0..500).map(|x| x * 10).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn ordered_farm_on_demand_preserves_order() {
+        let cfg = FarmConfig {
+            ordered: true,
+            policy: SchedPolicy::OnDemand,
+            capacity: 4,
+            ..FarmConfig::default()
+        };
+        let got = feed((0..300).collect(), cfg, 3);
+        let expected: Vec<u64> = (0..300).map(|x| x * 10).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn single_replica_farm_is_a_pipeline_stage() {
+        let cfg = FarmConfig {
+            ordered: true,
+            ..FarmConfig::default()
+        };
+        let got = feed(vec![5, 6, 7], cfg, 1);
+        assert_eq!(got, vec![50, 60, 70]);
+    }
+
+    #[test]
+    fn eos_flush_outputs_arrive_after_stream() {
+        struct Counting {
+            seen: u64,
+        }
+        impl Node for Counting {
+            type In = u64;
+            type Out = u64;
+            fn svc(&mut self, input: u64, out: &mut Emitter<'_, u64>) {
+                self.seen += 1;
+                out.send(input);
+            }
+            fn on_eos(&mut self, out: &mut Emitter<'_, u64>) {
+                out.send(1_000_000 + self.seen);
+            }
+        }
+        let cfg = FarmConfig {
+            ordered: true,
+            ..FarmConfig::default()
+        };
+        let (tx, rx) = channel::<u64>(16, cfg.wait);
+        let producer = thread::spawn(move || {
+            for v in 0..10u64 {
+                tx.send(v).unwrap();
+            }
+        });
+        let (out_rx, handles) = spawn_farm::<_, _>(rx, 2, |_| Counting { seen: 0 }, cfg);
+        let got: Vec<u64> = out_rx.into_iter().collect();
+        producer.join().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // First 10 items in order, then 2 per-worker flush totals (5 each).
+        assert_eq!(&got[..10], &(0..10).collect::<Vec<u64>>()[..]);
+        let mut tails: Vec<u64> = got[10..].to_vec();
+        tails.sort_unstable();
+        assert_eq!(tails, vec![1_000_005, 1_000_005]);
+    }
+
+    #[test]
+    fn multi_output_nodes_keep_group_order_when_ordered() {
+        let cfg = FarmConfig {
+            ordered: true,
+            ..FarmConfig::default()
+        };
+        let (tx, rx) = channel::<u64>(16, cfg.wait);
+        let producer = thread::spawn(move || {
+            for v in 0..20u64 {
+                tx.send(v).unwrap();
+            }
+        });
+        let (out_rx, handles) =
+            spawn_farm::<_, _>(rx, 3, |_| node::flat_map(|x: u64| vec![x * 2, x * 2 + 1]), cfg);
+        let got: Vec<u64> = out_rx.into_iter().collect();
+        producer.join().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got, (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_replicas_panics() {
+        let cfg = FarmConfig::default();
+        let (_tx, rx) = channel::<u64>(4, cfg.wait);
+        let _ = spawn_farm::<_, _>(rx, 0, |_| node::map(|x: u64| x), cfg);
+    }
+}

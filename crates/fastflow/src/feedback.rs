@@ -1,0 +1,284 @@
+//! The feedback (wrap-around) farm: workers can send items *back* to the
+//! emitter for another round — FastFlow's signature "complex communication
+//! topology" (§III-A credits it with freedom TBB's fixed pipeline lacks).
+//!
+//! Each item circulates until its worker returns [`Loop::Emit`]; the
+//! emitter merges fresh input with recycled items and terminates only when
+//! the input stream is closed *and* no items are still circulating
+//! (tracked with an in-flight counter, the classic FastFlow wrap-around
+//! termination protocol).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+
+use crate::channel::{channel, channel_with_recv_signal, Receiver};
+use crate::wait::{Signal, WaitStrategy};
+
+/// A feedback worker's verdict on one item.
+pub enum Loop<T, U> {
+    /// Send the item around again (another pass through a worker).
+    Recycle(T),
+    /// The item is done: emit downstream.
+    Emit(U),
+}
+
+/// Spawn a feedback farm consuming `rx`. Each item is processed by worker
+/// replicas until one returns [`Loop::Emit`]; results are unordered.
+/// Returns the output receiver and the spawned thread handles.
+pub fn spawn_feedback_farm<I, O, W, G>(
+    rx: Receiver<I>,
+    replicas: usize,
+    mut factory: G,
+    capacity: usize,
+    wait: WaitStrategy,
+) -> (Receiver<O>, Vec<JoinHandle<()>>)
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    W: FnMut(I) -> Loop<I, O> + Send + 'static,
+    G: FnMut(usize) -> W,
+{
+    assert!(replicas > 0, "feedback farm needs at least one worker");
+    let mut handles = Vec::with_capacity(replicas + 2);
+    let in_flight = Arc::new(AtomicUsize::new(0));
+
+    // Emitter -> workers.
+    let mut to_workers = Vec::with_capacity(replicas);
+    let mut worker_rxs = Vec::with_capacity(replicas);
+    for _ in 0..replicas {
+        let (tx, w_rx) = channel::<I>(capacity, wait);
+        to_workers.push(tx);
+        worker_rxs.push(w_rx);
+    }
+    // Workers -> emitter (feedback) — a shared std::mpsc, since the
+    // emitter is a single consumer and feedback volume is modest.
+    let (fb_tx, fb_rx) = mpsc::channel::<I>();
+    // Workers -> collector.
+    let collector_signal = Arc::new(Signal::new());
+    let mut from_workers = Vec::with_capacity(replicas);
+    let mut worker_txs = Vec::with_capacity(replicas);
+    for _ in 0..replicas {
+        let (tx, c_rx) =
+            channel_with_recv_signal::<O>(capacity, wait, Arc::clone(&collector_signal));
+        worker_txs.push(tx);
+        from_workers.push(c_rx);
+    }
+
+    // Emitter.
+    {
+        let in_flight = Arc::clone(&in_flight);
+        handles.push(
+            thread::Builder::new()
+                .name("ff-fb-emitter".into())
+                .spawn(move || {
+                    let n = to_workers.len();
+                    let mut next = 0usize;
+                    let mut input_open = true;
+                    loop {
+                        let mut progressed = false;
+                        // Drain feedback first: recycled items have priority
+                        // (they hold in-flight slots).
+                        while let Ok(item) = fb_rx.try_recv() {
+                            let t = next % n;
+                            next += 1;
+                            if to_workers[t].send(item).is_err() {
+                                return;
+                            }
+                            progressed = true;
+                        }
+                        if input_open {
+                            match rx.try_recv() {
+                                Some(item) => {
+                                    in_flight.fetch_add(1, Ordering::AcqRel);
+                                    let t = next % n;
+                                    next += 1;
+                                    if to_workers[t].send(item).is_err() {
+                                        return;
+                                    }
+                                    progressed = true;
+                                }
+                                None => {
+                                    if rx.is_eos() {
+                                        input_open = false;
+                                    }
+                                }
+                            }
+                        }
+                        if !input_open && in_flight.load(Ordering::Acquire) == 0 {
+                            return; // drops worker senders => EOS
+                        }
+                        if !progressed {
+                            thread::yield_now();
+                        }
+                    }
+                })
+                .expect("spawn feedback emitter"),
+        );
+    }
+
+    // Workers.
+    for (idx, (w_rx, c_tx)) in worker_rxs.into_iter().zip(worker_txs).enumerate() {
+        let mut f = factory(idx);
+        let fb = fb_tx.clone();
+        let in_flight = Arc::clone(&in_flight);
+        handles.push(
+            thread::Builder::new()
+                .name(format!("ff-fb-worker-{idx}"))
+                .spawn(move || {
+                    while let Some(item) = w_rx.recv() {
+                        match f(item) {
+                            Loop::Recycle(back) => {
+                                if fb.send(back).is_err() {
+                                    return;
+                                }
+                            }
+                            Loop::Emit(out) => {
+                                in_flight.fetch_sub(1, Ordering::AcqRel);
+                                if c_tx.send(out).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                })
+                .expect("spawn feedback worker"),
+        );
+    }
+    drop(fb_tx); // emitter's rx closes when all workers are done
+
+    // Collector: merge unordered.
+    let (out_tx, out_rx) = channel::<O>(capacity, wait);
+    handles.push(
+        thread::Builder::new()
+            .name("ff-fb-collector".into())
+            .spawn(move || {
+                let mut open: Vec<bool> = vec![true; from_workers.len()];
+                let mut remaining = from_workers.len();
+                while remaining > 0 {
+                    let mut progressed = false;
+                    for (i, rx) in from_workers.iter().enumerate() {
+                        if !open[i] {
+                            continue;
+                        }
+                        while let Some(v) = rx.try_recv() {
+                            progressed = true;
+                            if out_tx.send(v).is_err() {
+                                return;
+                            }
+                        }
+                        if rx.is_eos() {
+                            open[i] = false;
+                            remaining -= 1;
+                            progressed = true;
+                        }
+                    }
+                    if !progressed {
+                        let epoch = collector_signal.epoch();
+                        let any = from_workers
+                            .iter()
+                            .enumerate()
+                            .any(|(i, rx)| open[i] && (!rx.is_empty() || rx.is_eos()));
+                        if !any {
+                            match wait {
+                                WaitStrategy::Block => collector_signal.wait_if(epoch),
+                                _ => thread::yield_now(),
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn feedback collector"),
+    );
+
+    (out_rx, handles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Helper: run a feedback farm over `items`.
+    fn run<I, O, W, G>(items: Vec<I>, replicas: usize, factory: G) -> Vec<O>
+    where
+        I: Send + 'static,
+        O: Send + 'static,
+        W: FnMut(I) -> Loop<I, O> + Send + 'static,
+        G: FnMut(usize) -> W,
+    {
+        let (tx, rx) = channel::<I>(16, WaitStrategy::Block);
+        let producer = thread::spawn(move || {
+            for item in items {
+                if tx.send(item).is_err() {
+                    panic!("receiver dropped early");
+                }
+            }
+        });
+        let (out_rx, handles) =
+            spawn_feedback_farm(rx, replicas, factory, 16, WaitStrategy::Block);
+        let out: Vec<O> = out_rx.into_iter().collect();
+        producer.join().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn collatz_items_circulate_until_done() {
+        // Each item is (start, steps); recycle until the value hits 1.
+        let out: Vec<(u64, u32)> = run(
+            (1..=50u64).map(|v| (v, v, 0u32)).collect(),
+            4,
+            |_| {
+                |(orig, v, steps): (u64, u64, u32)| {
+                    if v == 1 {
+                        Loop::Emit((orig, steps))
+                    } else if v % 2 == 0 {
+                        Loop::Recycle((orig, v / 2, steps + 1))
+                    } else {
+                        Loop::Recycle((orig, 3 * v + 1, steps + 1))
+                    }
+                }
+            },
+        );
+        assert_eq!(out.len(), 50);
+        let steps_of = |n: u64| out.iter().find(|(o, _)| *o == n).expect("present").1;
+        // Known Collatz step counts.
+        assert_eq!(steps_of(1), 0);
+        assert_eq!(steps_of(2), 1);
+        assert_eq!(steps_of(27), 111);
+    }
+
+    #[test]
+    fn zero_recycle_items_pass_straight_through() {
+        let mut out: Vec<u64> = run((0..100u64).collect(), 3, |_| {
+            |v: u64| Loop::Emit::<u64, u64>(v * 2)
+        });
+        out.sort_unstable();
+        assert_eq!(out, (0..100).map(|v| v * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_stream_terminates() {
+        let out: Vec<u64> = run(Vec::<u64>::new(), 2, |_| {
+            |v: u64| Loop::Emit::<u64, u64>(v)
+        });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_feedback() {
+        // Count down from v to 0, one pass per decrement.
+        let out: Vec<u64> = run(vec![5u64, 3, 0], 1, |_| {
+            |v: u64| {
+                if v == 0 {
+                    Loop::Emit(0u64)
+                } else {
+                    Loop::Recycle(v - 1)
+                }
+            }
+        });
+        assert_eq!(out, vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,46 @@
+//! `fastflow` — a FastFlow-style stream-parallel runtime in safe-by-API Rust.
+//!
+//! This crate reproduces, from scratch, the runtime layer the paper's SPar
+//! DSL compiles to: algorithmic skeletons (pipeline, farm, ordered farm)
+//! built on fine-grained lock-free SPSC queues with selectable blocking /
+//! non-blocking wait strategies.
+//!
+//! Layering, bottom-up:
+//!
+//! * [`spsc`] — bounded lock-free single-producer/single-consumer ring;
+//! * [`wait`] — spin / yield / block wait strategies ([`WaitStrategy`]);
+//! * [`mod@channel`] — SPSC ring + wait strategy + end-of-stream propagation;
+//! * [`node`] — the [`Node`] processing abstraction (`ff_node` analogue);
+//! * [`farm`] — emitter → replicated workers → (ordered) collector;
+//! * [`feedback`] — the wrap-around farm: items circulate until done;
+//! * [`pipeline`] — typed thread-per-stage pipeline builder.
+//!
+//! # Example
+//!
+//! ```
+//! use fastflow::{node, Pipeline};
+//!
+//! let out = Pipeline::builder()
+//!     .from_iter(0..100u64)
+//!     .farm_ordered(4, |_worker| node::map(|x: u64| x * x))
+//!     .collect();
+//! assert_eq!(out[99], 99 * 99);
+//! ```
+
+pub mod channel;
+pub mod farm;
+pub mod feedback;
+pub mod node;
+pub mod pipeline;
+pub mod spsc;
+pub mod wait;
+
+pub use channel::{channel, Receiver, SendError, Sender, TrySendError};
+pub use farm::{spawn_farm, FarmConfig, SchedPolicy};
+pub use feedback::{spawn_feedback_farm, Loop};
+pub use node::{Emitter, Node};
+pub use pipeline::{PipeConfig, Pipeline, PipelineBuilder, PipelineStart, PipelineThreads};
+pub use wait::{Signal, WaitStrategy};
+
+/// Alias kept for prelude ergonomics: a farm is configured via [`FarmConfig`].
+pub type Farm = FarmConfig;

@@ -1,0 +1,246 @@
+//! The processing-node abstraction: FastFlow's `ff_node` analogue.
+
+/// Output port handed to a node's service method.
+///
+/// Backed by a closure so the same node code runs inside a plain pipeline
+/// stage (emitting straight into the next channel) or inside a farm worker
+/// (emitting into a tagged per-item batch).
+pub struct Emitter<'a, T> {
+    sink: &'a mut dyn FnMut(T) -> bool,
+    alive: bool,
+}
+
+impl<'a, T> Emitter<'a, T> {
+    /// Wrap a sink closure; the closure returns false when downstream is gone.
+    pub fn new(sink: &'a mut dyn FnMut(T) -> bool) -> Self {
+        Emitter { sink, alive: true }
+    }
+
+    /// Emit one item downstream. Returns false (and keeps returning false)
+    /// once the downstream consumer has disappeared, letting producers stop
+    /// early.
+    pub fn send(&mut self, item: T) -> bool {
+        if self.alive {
+            self.alive = (self.sink)(item);
+        }
+        self.alive
+    }
+
+    /// True while downstream is still accepting items.
+    pub fn is_open(&self) -> bool {
+        self.alive
+    }
+}
+
+/// A stream-processing node: receives items of type `In`, emits zero or more
+/// items of type `Out` per input.
+///
+/// Mirrors FastFlow's `ff_node::svc` with `svc_init`/`svc_end` hooks. A node
+/// is owned by exactly one runtime thread, so `&mut self` state needs no
+/// synchronization — replication (the `Replicate` attribute of SPar, the
+/// farm of FastFlow) builds one node instance per worker via a factory.
+pub trait Node: Send + 'static {
+    /// Input item type.
+    type In: Send + 'static;
+    /// Output item type.
+    type Out: Send + 'static;
+
+    /// Called once on the runtime thread before the first item.
+    fn on_init(&mut self) {}
+
+    /// Process one item, emitting any number of outputs.
+    fn svc(&mut self, input: Self::In, out: &mut Emitter<'_, Self::Out>);
+
+    /// Called once after the upstream reaches end-of-stream; may flush
+    /// buffered state downstream.
+    fn on_eos(&mut self, out: &mut Emitter<'_, Self::Out>) {
+        let _ = out;
+    }
+}
+
+/// A node built from a 1:1 function (the common case).
+pub struct MapNode<F, I, O> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(I) -> O>,
+}
+
+/// Build a node applying `f` to every item.
+pub fn map<I, O, F>(f: F) -> MapNode<F, I, O>
+where
+    F: FnMut(I) -> O + Send + 'static,
+    I: Send + 'static,
+    O: Send + 'static,
+{
+    MapNode {
+        f,
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<F, I, O> Node for MapNode<F, I, O>
+where
+    F: FnMut(I) -> O + Send + 'static,
+    I: Send + 'static,
+    O: Send + 'static,
+{
+    type In = I;
+    type Out = O;
+    fn svc(&mut self, input: I, out: &mut Emitter<'_, O>) {
+        out.send((self.f)(input));
+    }
+}
+
+/// A node built from a function returning `Option` (filter + map).
+pub struct FilterMapNode<F, I, O> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(I) -> O>,
+}
+
+/// Build a node keeping only `Some` results of `f`.
+pub fn filter_map<I, O, F>(f: F) -> FilterMapNode<F, I, O>
+where
+    F: FnMut(I) -> Option<O> + Send + 'static,
+    I: Send + 'static,
+    O: Send + 'static,
+{
+    FilterMapNode {
+        f,
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<F, I, O> Node for FilterMapNode<F, I, O>
+where
+    F: FnMut(I) -> Option<O> + Send + 'static,
+    I: Send + 'static,
+    O: Send + 'static,
+{
+    type In = I;
+    type Out = O;
+    fn svc(&mut self, input: I, out: &mut Emitter<'_, O>) {
+        if let Some(v) = (self.f)(input) {
+            out.send(v);
+        }
+    }
+}
+
+/// A node built from a flat-mapping function over an iterator of outputs.
+pub struct FlatMapNode<F, I, O, It> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(I) -> (O, It)>,
+}
+
+/// Build a node emitting every item yielded by `f(input)`.
+pub fn flat_map<I, O, It, F>(f: F) -> FlatMapNode<F, I, O, It>
+where
+    F: FnMut(I) -> It + Send + 'static,
+    It: IntoIterator<Item = O>,
+    I: Send + 'static,
+    O: Send + 'static,
+{
+    FlatMapNode {
+        f,
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<F, I, O, It> Node for FlatMapNode<F, I, O, It>
+where
+    F: FnMut(I) -> It + Send + 'static,
+    It: IntoIterator<Item = O> + 'static,
+    I: Send + 'static,
+    O: Send + 'static,
+{
+    type In = I;
+    type Out = O;
+    fn svc(&mut self, input: I, out: &mut Emitter<'_, O>) {
+        for v in (self.f)(input) {
+            if !out.send(v) {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_node<N: Node>(node: &mut N, inputs: Vec<N::In>) -> Vec<N::Out> {
+        let mut outputs = Vec::new();
+        let mut sink = |v: N::Out| {
+            outputs.push(v);
+            true
+        };
+        node.on_init();
+        for i in inputs {
+            let mut em = Emitter::new(&mut sink);
+            node.svc(i, &mut em);
+        }
+        let mut em = Emitter::new(&mut sink);
+        node.on_eos(&mut em);
+        outputs
+    }
+
+    #[test]
+    fn map_node_applies_function() {
+        let mut n = map(|x: u32| x * 2);
+        assert_eq!(run_node(&mut n, vec![1, 2, 3]), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn filter_map_drops_none() {
+        let mut n = filter_map(|x: u32| if x.is_multiple_of(2) { Some(x) } else { None });
+        assert_eq!(run_node(&mut n, vec![1, 2, 3, 4]), vec![2, 4]);
+    }
+
+    #[test]
+    fn flat_map_expands() {
+        let mut n = flat_map(|x: u32| vec![x; x as usize]);
+        assert_eq!(run_node(&mut n, vec![1, 2, 3]), vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn stateful_node_with_eos_flush() {
+        struct SumEvery2 {
+            acc: u64,
+            n: u32,
+        }
+        impl Node for SumEvery2 {
+            type In = u64;
+            type Out = u64;
+            fn svc(&mut self, input: u64, out: &mut Emitter<'_, u64>) {
+                self.acc += input;
+                self.n += 1;
+                if self.n == 2 {
+                    out.send(self.acc);
+                    self.acc = 0;
+                    self.n = 0;
+                }
+            }
+            fn on_eos(&mut self, out: &mut Emitter<'_, u64>) {
+                if self.n > 0 {
+                    out.send(self.acc);
+                }
+            }
+        }
+        let mut n = SumEvery2 { acc: 0, n: 0 };
+        assert_eq!(run_node(&mut n, vec![1, 2, 3, 4, 5]), vec![3, 7, 5]);
+    }
+
+    #[test]
+    fn emitter_stops_after_downstream_closes() {
+        let mut calls = 0;
+        let mut sink = |_: u32| {
+            calls += 1;
+            calls < 2 // downstream vanishes after accepting 2 items
+        };
+        let mut em = Emitter::new(&mut sink);
+        assert!(em.send(1));
+        assert!(!em.send(2));
+        assert!(!em.send(3)); // sink must not be called again
+        assert!(!em.is_open());
+        let _ = em; // release the borrow of `calls`
+        assert_eq!(calls, 2);
+    }
+}

@@ -1,0 +1,412 @@
+//! The pipeline skeleton: a typed, thread-per-stage stream graph builder.
+//!
+//! `Pipeline::builder().source(..).node(..).farm(..).for_each(..)` spawns one
+//! thread per sequential stage, SPSC-connected, exactly like a FastFlow
+//! `ff_pipeline`; `farm(..)` nests a [farm](crate::farm) as a stage. Every
+//! stage sees EOS when its upstream channel closes and propagates it by
+//! dropping its own sender.
+
+use std::thread::{self, JoinHandle};
+
+use crate::channel::{channel, Receiver};
+use crate::farm::{spawn_farm, FarmConfig, SchedPolicy};
+use crate::node::{map, Emitter, Node};
+use crate::wait::WaitStrategy;
+
+/// Queue configuration shared by all stages of one pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct PipeConfig {
+    /// Capacity of every inter-stage queue.
+    pub capacity: usize,
+    /// Wait strategy of every inter-stage queue.
+    pub wait: WaitStrategy,
+}
+
+impl Default for PipeConfig {
+    fn default() -> Self {
+        PipeConfig {
+            capacity: 64,
+            wait: WaitStrategy::default(),
+        }
+    }
+}
+
+/// Entry point for building pipelines.
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Start building with default configuration.
+    pub fn builder() -> PipelineStart {
+        PipelineStart {
+            cfg: PipeConfig::default(),
+        }
+    }
+}
+
+/// Builder state before the source is attached.
+pub struct PipelineStart {
+    cfg: PipeConfig,
+}
+
+impl PipelineStart {
+    /// Set the inter-stage queue capacity.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be >= 1");
+        self.cfg.capacity = capacity;
+        self
+    }
+
+    /// Set the wait strategy for all queues.
+    pub fn wait(mut self, wait: WaitStrategy) -> Self {
+        self.cfg.wait = wait;
+        self
+    }
+
+    /// Attach a source closure run on its own thread; it pushes items via
+    /// the [`Emitter`] and the stream ends when it returns.
+    pub fn source<T, F>(self, f: F) -> PipelineBuilder<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut Emitter<'_, T>) + Send + 'static,
+    {
+        let (tx, rx) = channel::<T>(self.cfg.capacity, self.cfg.wait);
+        let handle = thread::Builder::new()
+            .name("ff-source".into())
+            .spawn(move || {
+                let mut sink = |item: T| tx.send(item).is_ok();
+                let mut em = Emitter::new(&mut sink);
+                f(&mut em);
+            })
+            .expect("spawn source");
+        PipelineBuilder {
+            cfg: self.cfg,
+            rx,
+            handles: vec![handle],
+        }
+    }
+
+    /// Attach an iterator as the source.
+    pub fn from_iter<I>(self, iter: I) -> PipelineBuilder<I::Item>
+    where
+        I: IntoIterator + Send + 'static,
+        I::Item: Send + 'static,
+    {
+        self.source(move |em| {
+            for item in iter {
+                if !em.send(item) {
+                    break;
+                }
+            }
+        })
+    }
+}
+
+/// Builder state carrying the output end of the graph built so far.
+pub struct PipelineBuilder<T: Send + 'static> {
+    cfg: PipeConfig,
+    rx: Receiver<T>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> PipelineBuilder<T> {
+    /// Append a sequential stage running `node` on its own thread.
+    pub fn node<N>(mut self, mut node: N) -> PipelineBuilder<N::Out>
+    where
+        N: Node<In = T>,
+    {
+        let (tx, out_rx) = channel::<N::Out>(self.cfg.capacity, self.cfg.wait);
+        let rx = self.rx;
+        let handle = thread::Builder::new()
+            .name("ff-stage".into())
+            .spawn(move || {
+                node.on_init();
+                let mut sink = |item: N::Out| tx.send(item).is_ok();
+                while let Some(item) = rx.recv() {
+                    let mut em = Emitter::new(&mut sink);
+                    node.svc(item, &mut em);
+                    if !em.is_open() {
+                        return;
+                    }
+                }
+                let mut em = Emitter::new(&mut sink);
+                node.on_eos(&mut em);
+            })
+            .expect("spawn stage");
+        self.handles.push(handle);
+        PipelineBuilder {
+            cfg: self.cfg,
+            rx: out_rx,
+            handles: self.handles,
+        }
+    }
+
+    /// Append a sequential 1:1 mapping stage.
+    pub fn map<U, F>(self, f: F) -> PipelineBuilder<U>
+    where
+        U: Send + 'static,
+        F: FnMut(T) -> U + Send + 'static,
+    {
+        self.node(map(f))
+    }
+
+    /// Append an unordered farm stage with `replicas` copies of the node
+    /// built by `factory` (round-robin scheduling).
+    pub fn farm<N, F>(self, replicas: usize, factory: F) -> PipelineBuilder<N::Out>
+    where
+        N: Node<In = T>,
+        F: FnMut(usize) -> N,
+    {
+        self.farm_with(replicas, factory, SchedPolicy::RoundRobin, false)
+    }
+
+    /// Append an order-preserving farm stage (FastFlow's `ff_ofarm`).
+    pub fn farm_ordered<N, F>(self, replicas: usize, factory: F) -> PipelineBuilder<N::Out>
+    where
+        N: Node<In = T>,
+        F: FnMut(usize) -> N,
+    {
+        self.farm_with(replicas, factory, SchedPolicy::RoundRobin, true)
+    }
+
+    /// Append a farm stage with full control over scheduling and ordering.
+    pub fn farm_with<N, F>(
+        mut self,
+        replicas: usize,
+        factory: F,
+        policy: SchedPolicy,
+        ordered: bool,
+    ) -> PipelineBuilder<N::Out>
+    where
+        N: Node<In = T>,
+        F: FnMut(usize) -> N,
+    {
+        let cfg = FarmConfig {
+            capacity: self.cfg.capacity,
+            wait: self.cfg.wait,
+            policy,
+            ordered,
+        };
+        let (out_rx, mut farm_handles) = spawn_farm::<N, F>(self.rx, replicas, factory, cfg);
+        self.handles.append(&mut farm_handles);
+        PipelineBuilder {
+            cfg: self.cfg,
+            rx: out_rx,
+            handles: self.handles,
+        }
+    }
+
+    /// Append a feedback (wrap-around) farm stage: each item circulates
+    /// through the workers until one returns
+    /// [`Loop::Emit`](crate::feedback::Loop). Results are unordered.
+    pub fn feedback_farm<O, W, G>(mut self, replicas: usize, factory: G) -> PipelineBuilder<O>
+    where
+        O: Send + 'static,
+        W: FnMut(T) -> crate::feedback::Loop<T, O> + Send + 'static,
+        G: FnMut(usize) -> W,
+    {
+        let (out_rx, mut fb_handles) = crate::feedback::spawn_feedback_farm(
+            self.rx,
+            replicas,
+            factory,
+            self.cfg.capacity,
+            self.cfg.wait,
+        );
+        self.handles.append(&mut fb_handles);
+        PipelineBuilder {
+            cfg: self.cfg,
+            rx: out_rx,
+            handles: self.handles,
+        }
+    }
+
+    /// Terminate with a sink run on the *calling* thread; returns when the
+    /// stream ends and all stage threads have been joined.
+    ///
+    /// # Panics
+    /// Re-raises any panic that occurred on a stage thread.
+    pub fn for_each<F>(self, mut f: F)
+    where
+        F: FnMut(T),
+    {
+        while let Some(item) = self.rx.recv() {
+            f(item);
+        }
+        join_all(self.handles);
+    }
+
+    /// Terminate by collecting all items into a `Vec` (joins all threads).
+    pub fn collect(self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(item) = self.rx.recv() {
+            out.push(item);
+        }
+        join_all(self.handles);
+        out
+    }
+
+    /// Hand the output stream to the caller; the returned guard joins the
+    /// stage threads when dropped (after the receiver is drained).
+    pub fn into_receiver(self) -> (Receiver<T>, PipelineThreads) {
+        (self.rx, PipelineThreads(self.handles))
+    }
+}
+
+/// Guard owning the stage threads of a running pipeline.
+pub struct PipelineThreads(Vec<JoinHandle<()>>);
+
+impl PipelineThreads {
+    /// Join all stage threads, propagating panics.
+    pub fn join(mut self) {
+        join_all(std::mem::take(&mut self.0));
+    }
+}
+
+impl Drop for PipelineThreads {
+    fn drop(&mut self) {
+        for h in std::mem::take(&mut self.0) {
+            // Don't double-panic while unwinding.
+            let res = h.join();
+            if !thread::panicking() {
+                if let Err(e) = res {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        }
+    }
+}
+
+fn join_all(handles: Vec<JoinHandle<()>>) {
+    for h in handles {
+        if let Err(e) = h.join() {
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node;
+
+    #[test]
+    fn three_stage_pipeline_preserves_order() {
+        let out = Pipeline::builder()
+            .from_iter(0..100u64)
+            .map(|x| x + 1)
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(out, (0..100).map(|x| (x + 1) * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn source_closure_and_for_each() {
+        let mut sum = 0u64;
+        Pipeline::builder()
+            .source(|em| {
+                for i in 1..=10u64 {
+                    em.send(i);
+                }
+            })
+            .map(|x| x * x)
+            .for_each(|x| sum += x);
+        assert_eq!(sum, 385);
+    }
+
+    #[test]
+    fn farm_stage_unordered_is_complete() {
+        let mut out = Pipeline::builder()
+            .from_iter(0..200u32)
+            .farm(4, |_| node::map(|x: u32| x ^ 1))
+            .collect();
+        out.sort_unstable();
+        let mut expected: Vec<u32> = (0..200).map(|x| x ^ 1).collect();
+        expected.sort_unstable();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn farm_stage_ordered_matches_sequential() {
+        let out = Pipeline::builder()
+            .capacity(8)
+            .from_iter(0..200u32)
+            .farm_ordered(5, |_| node::map(|x: u32| x * 3))
+            .collect();
+        assert_eq!(out, (0..200).map(|x| x * 3).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn pipeline_with_farm_then_stage() {
+        let out = Pipeline::builder()
+            .from_iter(1..=50u64)
+            .farm_ordered(3, |_| node::map(|x: u64| x * 2))
+            .map(|x| x + 1)
+            .collect();
+        assert_eq!(out, (1..=50).map(|x| x * 2 + 1).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn stateful_filter_stage() {
+        // Deduplicate consecutive equal items — a stateful sequential stage.
+        struct Dedup {
+            last: Option<u32>,
+        }
+        impl Node for Dedup {
+            type In = u32;
+            type Out = u32;
+            fn svc(&mut self, input: u32, out: &mut Emitter<'_, u32>) {
+                if self.last != Some(input) {
+                    self.last = Some(input);
+                    out.send(input);
+                }
+            }
+        }
+        let out = Pipeline::builder()
+            .from_iter(vec![1u32, 1, 2, 2, 2, 3, 1])
+            .node(Dedup { last: None })
+            .collect();
+        assert_eq!(out, vec![1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn early_sink_drop_stops_the_stream() {
+        // Receiver dropped after 5 items; upstream must terminate cleanly.
+        let (rx, threads) = Pipeline::builder()
+            .capacity(2)
+            .from_iter(0..1_000_000u64)
+            .map(|x| x)
+            .into_receiver();
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            got.push(rx.recv().unwrap());
+        }
+        drop(rx);
+        threads.join(); // must not hang
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spin_and_yield_strategies_complete() {
+        for ws in [WaitStrategy::Spin, WaitStrategy::Yield] {
+            let out = Pipeline::builder()
+                .wait(ws)
+                .from_iter(0..100u64)
+                .farm_ordered(2, |_| node::map(|x: u64| x + 7))
+                .collect();
+            assert_eq!(out, (0..100).map(|x| x + 7).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn stage_panic_propagates() {
+        Pipeline::builder()
+            .from_iter(0..10u32)
+            .map(|x| {
+                if x == 5 {
+                    panic!("boom");
+                }
+                x
+            })
+            .for_each(|_| {});
+    }
+}

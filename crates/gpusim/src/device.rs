@@ -1,0 +1,543 @@
+//! The simulated device and the virtual system clock.
+//!
+//! Execution is **functionally eager**: every command runs to completion at
+//! enqueue time on the host, so results are available immediately and are
+//! bit-identical to what properly synchronized device code would produce.
+//! *Timing* is modeled separately: each command is also scheduled on the
+//! device's virtual timeline — three engines (compute, H2D copy, D2H copy)
+//! with per-stream FIFO ordering — and the system tracks a virtual host
+//! clock. Asynchronous commands advance the host clock only by the API-call
+//! cost; synchronizing operations advance it to the awaited completion time.
+//!
+//! The modeled makespan is meaningful for single-host-thread programs (the
+//! paper's GPU-only versions, i.e. the whole Fig. 1 ladder). Multi-threaded
+//! host programs are timed by the `perfmodel` crate's DES instead.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use simtime::{SimDuration, SimTime};
+
+use crate::kernel::{KernelFn, LaunchDims};
+use crate::mem::{DeviceMemory, DevicePtr, OutOfMemory};
+use crate::meter::WorkMeter;
+use crate::model::{self, XferDir};
+use crate::props::DeviceProps;
+use crate::trace::{CommandRecord, TraceEngine};
+
+/// Identifier of a stream on one device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StreamId(pub(crate) usize);
+
+impl StreamId {
+    /// The default stream (stream 0), always present.
+    pub const DEFAULT: StreamId = StreamId(0);
+}
+
+/// A recorded synchronization point: completion time of everything enqueued
+/// on a stream before the record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventStamp {
+    pub(crate) device: u32,
+    pub(crate) time: SimTime,
+}
+
+impl EventStamp {
+    /// The modeled completion instant this event represents.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+}
+
+/// Aggregate per-device counters for reports and tests.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceStats {
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Bytes copied host→device.
+    pub h2d_bytes: u64,
+    /// Bytes copied device→host.
+    pub d2h_bytes: u64,
+    /// Modeled busy time of the compute engine.
+    pub compute_busy: SimDuration,
+    /// Modeled busy time of the H2D engine.
+    pub h2d_busy: SimDuration,
+    /// Modeled busy time of the D2H engine.
+    pub d2h_busy: SimDuration,
+}
+
+#[derive(Clone, Copy)]
+enum Engine {
+    Compute,
+    Copy(XferDir),
+}
+
+struct DevState {
+    mem: DeviceMemory,
+    compute_free: SimTime,
+    h2d_free: SimTime,
+    d2h_free: SimTime,
+    streams: Vec<SimTime>, // last_end per stream
+    stats: DeviceStats,
+    trace: Option<Vec<CommandRecord>>,
+}
+
+impl DevState {
+    fn schedule(
+        &mut self,
+        engine: Engine,
+        name: &'static str,
+        stream: StreamId,
+        earliest: SimTime,
+        dur: SimDuration,
+    ) -> SimTime {
+        let engine_free = match engine {
+            Engine::Compute => &mut self.compute_free,
+            Engine::Copy(XferDir::H2D) => &mut self.h2d_free,
+            Engine::Copy(XferDir::D2H) => &mut self.d2h_free,
+        };
+        let stream_last = self.streams[stream.0];
+        let start = earliest.max(*engine_free).max(stream_last);
+        let end = start + dur;
+        *engine_free = end;
+        self.streams[stream.0] = end;
+        match engine {
+            Engine::Compute => self.stats.compute_busy += dur,
+            Engine::Copy(XferDir::H2D) => self.stats.h2d_busy += dur,
+            Engine::Copy(XferDir::D2H) => self.stats.d2h_busy += dur,
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(CommandRecord {
+                engine: match engine {
+                    Engine::Compute => TraceEngine::Compute,
+                    Engine::Copy(XferDir::H2D) => TraceEngine::H2D,
+                    Engine::Copy(XferDir::D2H) => TraceEngine::D2H,
+                },
+                name,
+                stream: stream.0,
+                start,
+                end,
+            });
+        }
+        end
+    }
+}
+
+/// One simulated GPU.
+pub struct Device {
+    id: u32,
+    props: DeviceProps,
+    state: Mutex<DevState>,
+}
+
+impl Device {
+    fn new(id: u32, props: DeviceProps) -> Self {
+        let mem = DeviceMemory::new(id, props.global_mem);
+        Device {
+            id,
+            props: props.clone(),
+            state: Mutex::new(DevState {
+                mem,
+                compute_free: SimTime::ZERO,
+                h2d_free: SimTime::ZERO,
+                d2h_free: SimTime::ZERO,
+                streams: vec![SimTime::ZERO], // default stream
+                stats: DeviceStats::default(),
+                trace: None,
+            }),
+        }
+    }
+
+    /// Device index.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Hardware properties.
+    pub fn props(&self) -> &DeviceProps {
+        &self.props
+    }
+
+    fn lock(&self) -> MutexGuard<'_, DevState> {
+        self.state.lock().expect("device state poisoned")
+    }
+
+    /// Allocate a zero-initialized device buffer.
+    pub fn alloc<T: Default + Clone + Send + 'static>(
+        &self,
+        len: usize,
+    ) -> Result<DevicePtr<T>, OutOfMemory> {
+        self.lock().mem.alloc(len)
+    }
+
+    /// Free a device buffer.
+    pub fn free<T: 'static>(&self, ptr: DevicePtr<T>) {
+        self.lock().mem.free(ptr)
+    }
+
+    /// Create a new stream; returns its id.
+    pub fn create_stream(&self) -> StreamId {
+        let mut st = self.lock();
+        st.streams.push(SimTime::ZERO);
+        StreamId(st.streams.len() - 1)
+    }
+
+    /// Run `f` with shared access to device memory (host-side peeking in
+    /// tests; not part of the modeled API).
+    pub fn with_memory<R>(&self, f: impl FnOnce(&DeviceMemory) -> R) -> R {
+        f(&self.lock().mem)
+    }
+
+    /// Enqueue a kernel: executes functionally now, schedules on the
+    /// compute engine, returns the modeled completion time.
+    pub fn launch(
+        &self,
+        stream: StreamId,
+        dims: LaunchDims,
+        kernel: &dyn KernelFn,
+        enqueue_at: SimTime,
+    ) -> SimTime {
+        let mut st = self.lock();
+        let mut meter = WorkMeter::new(dims.total_threads(), self.props.warp_size);
+        kernel.run(&dims, &st.mem, &mut meter);
+        let dur = model::kernel_duration(&self.props, &dims, kernel, &meter);
+        st.stats.kernels += 1;
+        st.schedule(Engine::Compute, kernel.name(), stream, enqueue_at, dur)
+    }
+
+    /// Enqueue a host→device copy; data lands immediately (eager), timing
+    /// is scheduled on the H2D engine.
+    pub fn copy_h2d<T: Clone + Send + 'static>(
+        &self,
+        stream: StreamId,
+        src: &[T],
+        dst: DevicePtr<T>,
+        dst_offset: usize,
+        pinned: bool,
+        enqueue_at: SimTime,
+    ) -> SimTime {
+        let bytes = std::mem::size_of_val(src) as u64;
+        let mut st = self.lock();
+        st.mem.write(dst, dst_offset, src);
+        st.stats.h2d_bytes += bytes;
+        let dur = model::transfer_duration(&self.props, bytes, pinned);
+        st.schedule(Engine::Copy(XferDir::H2D), "h2d", stream, enqueue_at, dur)
+    }
+
+    /// Enqueue a device→host copy.
+    pub fn copy_d2h<T: Clone + Send + 'static>(
+        &self,
+        stream: StreamId,
+        src: DevicePtr<T>,
+        src_offset: usize,
+        dst: &mut [T],
+        pinned: bool,
+        enqueue_at: SimTime,
+    ) -> SimTime {
+        let bytes = std::mem::size_of_val(dst) as u64;
+        let mut st = self.lock();
+        st.mem.read(src, src_offset, dst);
+        st.stats.d2h_bytes += bytes;
+        let dur = model::transfer_duration(&self.props, bytes, pinned);
+        st.schedule(Engine::Copy(XferDir::D2H), "d2h", stream, enqueue_at, dur)
+    }
+
+    /// Enqueue a device→device copy on this device (both buffers local).
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_d2d<T: Clone + Send + 'static>(
+        &self,
+        stream: StreamId,
+        src: DevicePtr<T>,
+        src_offset: usize,
+        dst: DevicePtr<T>,
+        dst_offset: usize,
+        len: usize,
+        enqueue_at: SimTime,
+    ) -> SimTime {
+        let mut st = self.lock();
+        let data: Vec<T> = {
+            let s = st.mem.borrow(src);
+            s[src_offset..src_offset + len].to_vec()
+        };
+        st.mem.write(dst, dst_offset, &data);
+        // On-device copies run at global-memory bandwidth; approximate with
+        // the compute engine at 10× PCIe pinned bandwidth.
+        let bytes = (len * std::mem::size_of::<T>()) as f64;
+        let dur = SimDuration::from_secs_f64(bytes / (self.props.pcie_pinned_bw * 10.0));
+        st.schedule(Engine::Compute, "d2d", stream, enqueue_at, dur)
+    }
+
+    /// Completion time of everything enqueued so far on `stream`.
+    pub fn stream_last_end(&self, stream: StreamId) -> SimTime {
+        self.lock().streams[stream.0]
+    }
+
+    /// Record an event on `stream`.
+    pub fn record_event(&self, stream: StreamId) -> EventStamp {
+        EventStamp {
+            device: self.id,
+            time: self.stream_last_end(stream),
+        }
+    }
+
+    /// Make `stream` wait for `event` (cross-stream / cross-device dep).
+    pub fn stream_wait_event(&self, stream: StreamId, event: EventStamp) {
+        let mut st = self.lock();
+        let cur = st.streams[stream.0];
+        st.streams[stream.0] = cur.max(event.time);
+    }
+
+    /// Completion time of everything enqueued on any stream.
+    pub fn device_last_end(&self) -> SimTime {
+        let st = self.lock();
+        st.streams.iter().copied().fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Snapshot the stats.
+    pub fn stats(&self) -> DeviceStats {
+        self.lock().stats.clone()
+    }
+
+    /// Start recording a command trace (see [`crate::trace`]).
+    pub fn enable_trace(&self) {
+        self.lock().trace = Some(Vec::new());
+    }
+
+    /// Take the recorded trace (empties it; tracing stays enabled).
+    pub fn take_trace(&self) -> Vec<CommandRecord> {
+        self.lock()
+            .trace
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Reset the virtual timeline and stats (memory contents are kept).
+    pub fn reset_timeline(&self) {
+        let mut st = self.lock();
+        st.compute_free = SimTime::ZERO;
+        st.h2d_free = SimTime::ZERO;
+        st.d2h_free = SimTime::ZERO;
+        for s in &mut st.streams {
+            *s = SimTime::ZERO;
+        }
+        st.stats = DeviceStats::default();
+        if let Some(trace) = &mut st.trace {
+            trace.clear();
+        }
+    }
+}
+
+/// A host plus a set of identical devices sharing one virtual clock.
+pub struct GpuSystem {
+    devices: Vec<Arc<Device>>,
+    host_now: AtomicU64, // ns; atomic max-advance
+}
+
+impl GpuSystem {
+    /// Build a system of `n_devices` copies of `props`.
+    ///
+    /// # Panics
+    /// Panics if `n_devices == 0`.
+    pub fn new(n_devices: usize, props: DeviceProps) -> Arc<Self> {
+        assert!(n_devices > 0, "need at least one device");
+        Arc::new(GpuSystem {
+            devices: (0..n_devices)
+                .map(|i| Arc::new(Device::new(i as u32, props.clone())))
+                .collect(),
+            host_now: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Access device `i`.
+    pub fn device(&self, i: usize) -> &Arc<Device> {
+        &self.devices[i]
+    }
+
+    /// Current virtual host time.
+    pub fn host_now(&self) -> SimTime {
+        SimTime::from_nanos(self.host_now.load(Ordering::Acquire))
+    }
+
+    /// Model host-side CPU work of the given duration.
+    pub fn host_compute(&self, d: SimDuration) -> SimTime {
+        SimTime::from_nanos(self.host_now.fetch_add(d.as_nanos(), Ordering::AcqRel) + d.as_nanos())
+    }
+
+    /// Advance the host clock to at least `t` (a blocking wait on the
+    /// device); returns the new host time.
+    pub fn host_wait_until(&self, t: SimTime) -> SimTime {
+        let target = t.as_nanos();
+        let mut cur = self.host_now.load(Ordering::Acquire);
+        while cur < target {
+            match self.host_now.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return t,
+                Err(c) => cur = c,
+            }
+        }
+        SimTime::from_nanos(cur)
+    }
+
+    /// Reset the host clock and every device timeline (for back-to-back
+    /// benchmark configurations).
+    pub fn reset_clock(&self) {
+        self.host_now.store(0, Ordering::Release);
+        for d in &self.devices {
+            d.reset_timeline();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Busy {
+        units: u64,
+    }
+    impl KernelFn for Busy {
+        fn name(&self) -> &'static str {
+            "busy"
+        }
+        fn run(&self, dims: &LaunchDims, _mem: &DeviceMemory, meter: &mut WorkMeter) {
+            meter.record_uniform(dims.total_threads(), self.units);
+        }
+    }
+
+    fn system() -> Arc<GpuSystem> {
+        GpuSystem::new(1, DeviceProps::test_tiny())
+    }
+
+    #[test]
+    fn same_stream_commands_serialize() {
+        let sys = system();
+        let dev = sys.device(0);
+        let dims = LaunchDims::linear(1, 32);
+        let k = Busy { units: 1000 };
+        let e1 = dev.launch(StreamId::DEFAULT, dims, &k, SimTime::ZERO);
+        let e2 = dev.launch(StreamId::DEFAULT, dims, &k, SimTime::ZERO);
+        assert!(e2 > e1);
+        assert!(e2.since(e1) >= e1.since(SimTime::ZERO) - SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn different_streams_overlap_copy_and_compute() {
+        let sys = system();
+        let dev = sys.device(0);
+        let s1 = StreamId::DEFAULT;
+        let s2 = dev.create_stream();
+        let buf = dev.alloc::<u8>(1 << 20).unwrap();
+        let host = vec![0u8; 1 << 20];
+        let k = Busy { units: 2_000_000 };
+        let dims = LaunchDims::linear(2, 64);
+        // kernel on s1 and a big H2D on s2 start together: different engines.
+        let kend = dev.launch(s1, dims, &k, SimTime::ZERO);
+        let cend = dev.copy_h2d(s2, &host, buf, 0, true, SimTime::ZERO);
+        let makespan = dev.device_last_end();
+        let serial = kend.since(SimTime::ZERO) + cend.since(SimTime::ZERO);
+        assert!(
+            makespan.since(SimTime::ZERO) < serial,
+            "engines must overlap: makespan={makespan:?} serial={serial:?}"
+        );
+    }
+
+    #[test]
+    fn two_kernels_on_different_streams_share_one_compute_engine() {
+        let sys = system();
+        let dev = sys.device(0);
+        let s2 = dev.create_stream();
+        let k = Busy { units: 1_000_000 };
+        let dims = LaunchDims::linear(1, 32);
+        let e1 = dev.launch(StreamId::DEFAULT, dims, &k, SimTime::ZERO);
+        let e2 = dev.launch(s2, dims, &k, SimTime::ZERO);
+        // Compute engine is serial: second kernel starts after the first.
+        assert!(e2 >= e1 + (e1.since(SimTime::ZERO).saturating_sub(SimDuration::from_micros(20))));
+    }
+
+    #[test]
+    fn functional_copies_are_eager() {
+        let sys = system();
+        let dev = sys.device(0);
+        let buf = dev.alloc::<u32>(4).unwrap();
+        dev.copy_h2d(StreamId::DEFAULT, &[1, 2, 3, 4], buf, 0, false, SimTime::ZERO);
+        let mut out = [0u32; 4];
+        dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut out, false, SimTime::ZERO);
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_order_cross_stream_work() {
+        let sys = system();
+        let dev = sys.device(0);
+        let s2 = dev.create_stream();
+        let k = Busy { units: 500_000 };
+        let dims = LaunchDims::linear(1, 32);
+        let e1 = dev.launch(StreamId::DEFAULT, dims, &k, SimTime::ZERO);
+        let ev = dev.record_event(StreamId::DEFAULT);
+        assert_eq!(ev.time(), e1);
+        dev.stream_wait_event(s2, ev);
+        let e2 = dev.launch(s2, dims, &k, SimTime::ZERO);
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn host_clock_advances_monotonically() {
+        let sys = system();
+        let t1 = sys.host_compute(SimDuration::from_micros(5));
+        let t2 = sys.host_wait_until(SimTime::from_nanos(1)); // behind: no-op
+        assert!(t2 >= t1);
+        let t3 = sys.host_wait_until(SimTime::from_nanos(10_000_000));
+        assert_eq!(t3.as_nanos(), 10_000_000);
+    }
+
+    #[test]
+    fn reset_clears_timeline_but_not_memory() {
+        let sys = system();
+        let dev = sys.device(0);
+        let buf = dev.alloc::<u32>(2).unwrap();
+        dev.copy_h2d(StreamId::DEFAULT, &[7, 8], buf, 0, true, SimTime::ZERO);
+        sys.reset_clock();
+        assert_eq!(dev.stats().h2d_bytes, 0);
+        assert_eq!(dev.device_last_end(), SimTime::ZERO);
+        let mut out = [0u32; 2];
+        dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut out, true, SimTime::ZERO);
+        assert_eq!(out, [7, 8]);
+    }
+
+    #[test]
+    fn device_to_device_copy_moves_data_locally() {
+        let sys = system();
+        let dev = sys.device(0);
+        let a = dev.alloc::<u32>(8).unwrap();
+        let b = dev.alloc::<u32>(8).unwrap();
+        dev.copy_h2d(StreamId::DEFAULT, &[1, 2, 3, 4, 5, 6, 7, 8], a, 0, true, SimTime::ZERO);
+        dev.copy_d2d(StreamId::DEFAULT, a, 2, b, 0, 4, SimTime::ZERO);
+        let mut out = [0u32; 4];
+        dev.copy_d2h(StreamId::DEFAULT, b, 0, &mut out, true, SimTime::ZERO);
+        assert_eq!(out, [3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let sys = system();
+        let dev = sys.device(0);
+        let buf = dev.alloc::<u8>(100).unwrap();
+        dev.copy_h2d(StreamId::DEFAULT, &[0u8; 100], buf, 0, true, SimTime::ZERO);
+        let k = Busy { units: 10 };
+        dev.launch(StreamId::DEFAULT, LaunchDims::linear(1, 32), &k, SimTime::ZERO);
+        let st = dev.stats();
+        assert_eq!(st.h2d_bytes, 100);
+        assert_eq!(st.kernels, 1);
+        assert!(st.compute_busy > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,273 @@
+//! Simulated device global memory.
+//!
+//! Buffers live in a per-device table keyed by opaque ids; [`DevicePtr`] is
+//! the typed, `Copy` handle kernels embed (the analogue of a raw device
+//! pointer in a CUDA kernel signature). Dynamic `RefCell` borrows stand in
+//! for the GPU's lack of aliasing rules: a kernel may read several buffers
+//! while writing another, and misuse (writing a buffer it is also reading)
+//! is caught at run time instead of being undefined behaviour.
+
+use std::any::Any;
+use std::cell::{Ref, RefCell, RefMut};
+use std::collections::HashMap;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Error raised when an allocation exceeds device memory — the failure the
+/// paper hit with 10 MB OpenCL batches ("out of memory error", §V-B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes free at the time of the request.
+    pub available: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Typed handle to a device buffer. `Copy`, cheap, embeddable in kernels.
+pub struct DevicePtr<T> {
+    pub(crate) id: u64,
+    pub(crate) len: usize,
+    pub(crate) device: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for DevicePtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for DevicePtr<T> {}
+
+impl<T> fmt::Debug for DevicePtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DevicePtr(dev{}, #{}, len {})", self.device, self.id, self.len)
+    }
+}
+
+impl<T> DevicePtr<T> {
+    /// Number of `T` elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length buffers.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Owning device index.
+    pub fn device(&self) -> u32 {
+        self.device
+    }
+}
+
+/// One device's global-memory arena.
+pub struct DeviceMemory {
+    device: u32,
+    capacity: u64,
+    used: u64,
+    next_id: u64,
+    buffers: HashMap<u64, RefCell<Box<dyn Any + Send>>>,
+}
+
+impl DeviceMemory {
+    /// Arena for device `device` with `capacity` bytes.
+    pub fn new(device: u32, capacity: u64) -> Self {
+        DeviceMemory {
+            device,
+            capacity,
+            used: 0,
+            next_id: 1,
+            buffers: HashMap::new(),
+        }
+    }
+
+    /// Allocate a zero-initialized buffer of `len` elements.
+    pub fn alloc<T: Default + Clone + Send + 'static>(
+        &mut self,
+        len: usize,
+    ) -> Result<DevicePtr<T>, OutOfMemory> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        if self.used + bytes > self.capacity {
+            return Err(OutOfMemory {
+                requested: bytes,
+                available: self.capacity - self.used,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.buffers
+            .insert(id, RefCell::new(Box::new(vec![T::default(); len])));
+        self.used += bytes;
+        Ok(DevicePtr {
+            id,
+            len,
+            device: self.device,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Free a buffer; double frees panic (they are driver bugs).
+    pub fn free<T: 'static>(&mut self, ptr: DevicePtr<T>) {
+        self.check_owner(&ptr);
+        let removed = self
+            .buffers
+            .remove(&ptr.id)
+            .unwrap_or_else(|| panic!("double free of {ptr:?}"));
+        drop(removed);
+        self.used -= (ptr.len * std::mem::size_of::<T>()) as u64;
+    }
+
+    /// Shared borrow of a buffer's contents.
+    ///
+    /// # Panics
+    /// Panics on wrong device, freed pointer, type mismatch, or if the
+    /// buffer is mutably borrowed (a simultaneous-read-write kernel bug).
+    pub fn borrow<T: 'static>(&self, ptr: DevicePtr<T>) -> Ref<'_, Vec<T>> {
+        self.check_owner(&ptr);
+        let cell = self
+            .buffers
+            .get(&ptr.id)
+            .unwrap_or_else(|| panic!("use after free of {ptr:?}"));
+        Ref::map(cell.borrow(), |b| {
+            b.downcast_ref::<Vec<T>>().expect("device buffer type mismatch")
+        })
+    }
+
+    /// Exclusive borrow of a buffer's contents.
+    pub fn borrow_mut<T: 'static>(&self, ptr: DevicePtr<T>) -> RefMut<'_, Vec<T>> {
+        self.check_owner(&ptr);
+        let cell = self
+            .buffers
+            .get(&ptr.id)
+            .unwrap_or_else(|| panic!("use after free of {ptr:?}"));
+        RefMut::map(cell.borrow_mut(), |b| {
+            b.downcast_mut::<Vec<T>>().expect("device buffer type mismatch")
+        })
+    }
+
+    /// Host→device copy into `[offset, offset + src.len())`.
+    pub fn write<T: Clone + 'static>(&self, ptr: DevicePtr<T>, offset: usize, src: &[T]) {
+        let mut buf = self.borrow_mut(ptr);
+        buf[offset..offset + src.len()].clone_from_slice(src);
+    }
+
+    /// Device→host copy from `[offset, offset + dst.len())`.
+    pub fn read<T: Clone + 'static>(&self, ptr: DevicePtr<T>, offset: usize, dst: &mut [T]) {
+        let buf = self.borrow(ptr);
+        dst.clone_from_slice(&buf[offset..offset + dst.len()]);
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes free.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Number of live buffers.
+    pub fn live_buffers(&self) -> usize {
+        self.buffers.len()
+    }
+
+    fn check_owner<T>(&self, ptr: &DevicePtr<T>) {
+        assert_eq!(
+            ptr.device, self.device,
+            "buffer {ptr:?} used on device {} — cross-device access without a copy",
+            self.device
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read_roundtrip() {
+        let mut mem = DeviceMemory::new(0, 1024);
+        let ptr = mem.alloc::<u32>(8).unwrap();
+        mem.write(ptr, 2, &[10, 20, 30]);
+        let mut out = [0u32; 3];
+        mem.read(ptr, 2, &mut out);
+        assert_eq!(out, [10, 20, 30]);
+        assert_eq!(mem.used(), 32);
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let mut mem = DeviceMemory::new(0, 64);
+        let _a = mem.alloc::<u8>(48).unwrap();
+        let err = mem.alloc::<u8>(32).unwrap_err();
+        assert_eq!(err.requested, 32);
+        assert_eq!(err.available, 16);
+    }
+
+    #[test]
+    fn free_releases_space() {
+        let mut mem = DeviceMemory::new(0, 64);
+        let a = mem.alloc::<u8>(64).unwrap();
+        mem.free(a);
+        assert_eq!(mem.used(), 0);
+        let _b = mem.alloc::<u8>(64).unwrap();
+    }
+
+    #[test]
+    fn concurrent_shared_borrows_allowed() {
+        let mut mem = DeviceMemory::new(0, 1024);
+        let ptr = mem.alloc::<u8>(16).unwrap();
+        let r1 = mem.borrow(ptr);
+        let r2 = mem.borrow(ptr);
+        assert_eq!(r1.len(), r2.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_write_alias_is_caught() {
+        let mut mem = DeviceMemory::new(0, 1024);
+        let ptr = mem.alloc::<u8>(16).unwrap();
+        let _r = mem.borrow(ptr);
+        let _w = mem.borrow_mut(ptr); // panics: aliasing kernel bug
+    }
+
+    #[test]
+    #[should_panic(expected = "use after free")]
+    fn use_after_free_is_caught() {
+        let mut mem = DeviceMemory::new(0, 1024);
+        let ptr = mem.alloc::<u8>(16).unwrap();
+        mem.free(ptr);
+        let _ = mem.borrow(ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-device access")]
+    fn cross_device_access_is_caught() {
+        let mut mem0 = DeviceMemory::new(0, 1024);
+        let mem1 = DeviceMemory::new(1, 1024);
+        let ptr = mem0.alloc::<u8>(16).unwrap();
+        let _ = mem1.borrow(ptr);
+    }
+
+    #[test]
+    fn zero_len_buffer_is_fine() {
+        let mut mem = DeviceMemory::new(0, 1024);
+        let ptr = mem.alloc::<u64>(0).unwrap();
+        assert!(ptr.is_empty());
+        assert_eq!(mem.used(), 0);
+    }
+}

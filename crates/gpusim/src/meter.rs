@@ -1,0 +1,153 @@
+//! Work metering: the bridge between functional kernel execution and the
+//! timing model.
+//!
+//! Kernels report, per *lane* (global thread index), how many abstract work
+//! units they executed — Mandelbrot iterations, SHA-1 bytes, LZSS
+//! comparisons. The meter folds lanes into warps keeping the **maximum**
+//! per warp: a warp is as slow as its slowest lane, which is exactly the
+//! branch-divergence effect §IV-A highlights for Mandelbrot.
+
+/// Collects per-lane work and aggregates it per warp.
+#[derive(Debug, Clone)]
+pub struct WorkMeter {
+    warp_size: u32,
+    /// max work units over the lanes of each warp.
+    warp_max: Vec<u64>,
+    /// total units over all lanes (for reporting / CPU-equivalence checks).
+    total_units: u64,
+    lanes_recorded: u64,
+}
+
+impl WorkMeter {
+    /// Meter for a launch of `lanes` total threads in warps of `warp_size`.
+    pub fn new(lanes: u64, warp_size: u32) -> Self {
+        assert!(warp_size > 0);
+        let warps = lanes.div_ceil(warp_size as u64) as usize;
+        WorkMeter {
+            warp_size,
+            warp_max: vec![0; warps],
+            total_units: 0,
+            lanes_recorded: 0,
+        }
+    }
+
+    /// Record `units` of work done by `lane`.
+    #[inline]
+    pub fn record(&mut self, lane: u64, units: u64) {
+        let w = (lane / self.warp_size as u64) as usize;
+        assert!(w < self.warp_max.len(), "lane {lane} outside launch");
+        if units > self.warp_max[w] {
+            self.warp_max[w] = units;
+        }
+        self.total_units += units;
+        self.lanes_recorded += 1;
+    }
+
+    /// Record the same `units` for every lane of the launch (uniform
+    /// kernels).
+    pub fn record_uniform(&mut self, lanes: u64, units: u64) {
+        for w in self.warp_max.iter_mut() {
+            *w = (*w).max(units);
+        }
+        self.total_units += lanes * units;
+        self.lanes_recorded += lanes;
+    }
+
+    /// Sum of per-warp maxima: the cycle-weighted work the SMs must issue.
+    pub fn warp_units(&self) -> u64 {
+        self.warp_max.iter().sum()
+    }
+
+    /// The largest single-warp work (lower bound on kernel time).
+    pub fn max_warp_units(&self) -> u64 {
+        self.warp_max.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total units across lanes (what a sequential CPU would execute).
+    pub fn total_units(&self) -> u64 {
+        self.total_units
+    }
+
+    /// Number of warps in the launch.
+    pub fn warps(&self) -> usize {
+        self.warp_max.len()
+    }
+
+    /// Number of record calls (diagnostic).
+    pub fn lanes_recorded(&self) -> u64 {
+        self.lanes_recorded
+    }
+
+    /// Divergence factor: warp-time work divided by ideal (total/width).
+    /// 1.0 means perfectly convergent warps; higher is worse.
+    pub fn divergence_factor(&self) -> f64 {
+        if self.total_units == 0 {
+            return 1.0;
+        }
+        let ideal = self.total_units as f64 / self.warp_size as f64;
+        self.warp_units() as f64 / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_max_is_divergence() {
+        let mut m = WorkMeter::new(64, 32);
+        // Warp 0: lanes 0..32 do 1 unit except lane 3 doing 100.
+        for lane in 0..32 {
+            m.record(lane, if lane == 3 { 100 } else { 1 });
+        }
+        // Warp 1: uniform 10.
+        for lane in 32..64 {
+            m.record(lane, 10);
+        }
+        assert_eq!(m.warp_units(), 110);
+        assert_eq!(m.max_warp_units(), 100);
+        assert_eq!(m.total_units(), 31 + 100 + 320);
+        assert!(m.divergence_factor() > 1.0);
+    }
+
+    #[test]
+    fn uniform_recording_matches_loop() {
+        let mut a = WorkMeter::new(96, 32);
+        a.record_uniform(96, 7);
+        let mut b = WorkMeter::new(96, 32);
+        for lane in 0..96 {
+            b.record(lane, 7);
+        }
+        assert_eq!(a.warp_units(), b.warp_units());
+        assert_eq!(a.total_units(), b.total_units());
+    }
+
+    #[test]
+    fn convergent_warp_divergence_factor_is_one() {
+        let mut m = WorkMeter::new(32, 32);
+        m.record_uniform(32, 50);
+        assert!((m.divergence_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_last_warp_rounds_up() {
+        let m = WorkMeter::new(33, 32);
+        assert_eq!(m.warps(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside launch")]
+    fn out_of_range_lane_panics() {
+        let mut m = WorkMeter::new(32, 32);
+        m.record(32, 1);
+    }
+
+    #[test]
+    fn empty_meter_is_sane() {
+        let m = WorkMeter::new(0, 32);
+        assert_eq!(m.warps(), 0);
+        assert_eq!(m.warp_units(), 0);
+        assert_eq!(m.max_warp_units(), 0);
+        assert_eq!(m.divergence_factor(), 1.0);
+    }
+}

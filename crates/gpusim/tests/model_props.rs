@@ -1,0 +1,93 @@
+//! Property tests for the timing model: durations must behave like
+//! physical quantities (monotone, bounded below by overheads, additive in
+//! the obvious limits) for *any* parameters, not just the calibrated ones.
+
+use gpusim::kernel::LaunchDims;
+use gpusim::model::{kernel_duration_from_units, transfer_duration};
+use gpusim::DeviceProps;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernel_duration_is_monotone_in_total_work(
+        warp_units in 1u64..10_000_000,
+        extra in 1u64..1_000_000,
+        threads in 32u64..100_000,
+    ) {
+        let props = DeviceProps::titan_xp();
+        let dims = LaunchDims::cover(threads, 256);
+        let base = kernel_duration_from_units(&props, &dims, 32, 0, 2.0, warp_units, 1);
+        let more = kernel_duration_from_units(&props, &dims, 32, 0, 2.0, warp_units + extra, 1);
+        prop_assert!(more >= base);
+    }
+
+    #[test]
+    fn kernel_duration_is_bounded_below_by_launch_overhead(
+        warp_units in 0u64..1_000_000,
+        threads in 32u64..100_000,
+    ) {
+        let props = DeviceProps::titan_xp();
+        let dims = LaunchDims::cover(threads, 256);
+        let d = kernel_duration_from_units(&props, &dims, 32, 0, 1.0, warp_units, 0);
+        prop_assert!(d.as_secs_f64() >= props.kernel_launch_s);
+    }
+
+    #[test]
+    fn kernel_duration_is_bounded_below_by_critical_warp(
+        max_warp in 1u64..10_000_000,
+        cycles in 1u32..64,
+    ) {
+        let props = DeviceProps::titan_xp();
+        let dims = LaunchDims::cover(1024, 256);
+        let d = kernel_duration_from_units(
+            &props, &dims, 32, 0, cycles as f64, max_warp, max_warp,
+        );
+        let floor = max_warp as f64 * cycles as f64 / props.clock_hz;
+        prop_assert!(d.as_secs_f64() + 1e-12 >= floor);
+    }
+
+    #[test]
+    fn more_register_pressure_never_speeds_a_kernel_up(
+        regs_lo in 1u32..64,
+        extra in 1u32..1024,
+        warp_units in 1u64..5_000_000,
+    ) {
+        let props = DeviceProps::titan_xp();
+        let dims = LaunchDims::cover(100_000, 256);
+        let fast = kernel_duration_from_units(&props, &dims, regs_lo, 0, 2.0, warp_units, 1);
+        let slow = kernel_duration_from_units(&props, &dims, regs_lo + extra, 0, 2.0, warp_units, 1);
+        prop_assert!(slow >= fast);
+    }
+
+    #[test]
+    fn transfers_are_monotone_and_latency_floored(
+        bytes in 0u64..1_000_000_000,
+        extra in 1u64..1_000_000,
+    ) {
+        let props = DeviceProps::titan_xp();
+        for pinned in [false, true] {
+            let base = transfer_duration(&props, bytes, pinned);
+            let more = transfer_duration(&props, bytes + extra, pinned);
+            prop_assert!(more >= base);
+            prop_assert!(base.as_secs_f64() >= props.xfer_latency_s);
+        }
+        // Pinned never loses to pageable.
+        prop_assert!(
+            transfer_duration(&props, bytes, true) <= transfer_duration(&props, bytes, false)
+        );
+    }
+
+    #[test]
+    fn occupancy_is_within_hardware_limits(
+        regs in 0u32..512,
+        smem in 0u32..(128 * 1024),
+        block in 32u32..1024,
+    ) {
+        let props = DeviceProps::titan_xp();
+        let w = props.resident_warps(regs, smem, block);
+        prop_assert!(w >= 1);
+        prop_assert!(w <= props.max_warps_per_sm());
+    }
+}

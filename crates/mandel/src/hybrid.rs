@@ -1,0 +1,360 @@
+//! Multi-core + GPU versions: SPar, FastFlow and TBB pipelines whose
+//! replicated middle stage offloads batches of lines to the simulated GPUs.
+//!
+//! The integration follows §IV-A's recipe for each model:
+//!
+//! * **SPar / FastFlow (CUDA)** — every stage replica owns its own GPU
+//!   state (stream + buffers) built in the worker's `on_init`, where the
+//!   mandatory per-thread `cudaSetDevice` happens. Forgetting that call is
+//!   a panic in `gpusim`, reproducing the paper's hardest-to-find bug class.
+//! * **OpenCL** — `cl_kernel`/`cl_command_queue` objects are not
+//!   thread-safe, so (as in the paper) they live per replica; `ClKernel`
+//!   being `!Sync` means the borrow checker rejects the incorrect sharing
+//!   the paper had to debug by hand.
+//! * **TBB** — tasks are not threads, so per-replica state has no home;
+//!   per-item GPU resources are created instead (the paper attaches them to
+//!   stream items), which is why TBB needs more live tokens (50) to keep
+//!   the GPU fed.
+//!
+//! Batches are distributed across devices round-robin by batch index.
+
+use std::sync::{Arc, Mutex};
+
+use gpusim::cuda::Cuda;
+use gpusim::opencl::{ClKernel, Context, Platform};
+use gpusim::GpuSystem;
+
+use crate::core::{FractalParams, Image};
+use crate::kernels::BatchKernel;
+
+const BLOCK_1D: u32 = 256;
+
+/// A backend that computes one batch of lines on a given device.
+///
+/// `new` runs on the thread that will use the offloader (per-replica state
+/// for SPar/FastFlow, per-item for TBB), which is where CUDA's
+/// `cudaSetDevice` and OpenCL's kernel-object allocation must happen.
+pub trait Offload: Send + 'static {
+    /// Build an offloader bound to `device`.
+    fn new(system: &Arc<GpuSystem>, device: usize) -> Self;
+    /// Compute lines `[batch*batch_size, ...)`; returns `batch_size * dim`
+    /// pixels (tail batches include padding rows).
+    fn compute_batch(&mut self, params: &FractalParams, batch: usize, batch_size: usize) -> Vec<u8>;
+}
+
+/// CUDA offloader: one stream + device/pinned buffer pair per instance.
+pub struct CudaOffload {
+    cuda: Cuda,
+    device: usize,
+    stream: gpusim::cuda::CudaStream,
+    dev_buf: Option<gpusim::cuda::CudaBuffer<u8>>,
+    pinned: Option<gpusim::cuda::PinnedBuf<u8>>,
+}
+
+impl Offload for CudaOffload {
+    fn new(system: &Arc<GpuSystem>, device: usize) -> Self {
+        let cuda = Cuda::new(Arc::clone(system));
+        // The per-thread initialization §IV-A insists on.
+        cuda.set_device(device);
+        let stream = cuda.stream_create();
+        CudaOffload {
+            cuda,
+            device,
+            stream,
+            dev_buf: None,
+            pinned: None,
+        }
+    }
+
+    fn compute_batch(&mut self, params: &FractalParams, batch: usize, batch_size: usize) -> Vec<u8> {
+        let len = batch_size * params.dim;
+        self.cuda.set_device(self.device);
+        if self.dev_buf.as_ref().map(|b| b.len()) != Some(len) {
+            self.dev_buf = Some(self.cuda.malloc(len).expect("device memory"));
+            self.pinned = Some(self.cuda.malloc_host(len));
+        }
+        let dev_buf = self.dev_buf.as_ref().expect("allocated");
+        let pinned = self.pinned.as_mut().expect("allocated");
+        let k = BatchKernel {
+            batch,
+            batch_size,
+            params: *params,
+            img: dev_buf.ptr(),
+        };
+        let blocks = (len as u64).div_ceil(BLOCK_1D as u64) as u32;
+        self.cuda.launch(&k, blocks, BLOCK_1D, &self.stream);
+        self.cuda.memcpy_d2h_async(pinned, dev_buf, 0, &self.stream);
+        self.cuda.stream_synchronize(&self.stream);
+        pinned.to_vec()
+    }
+}
+
+/// OpenCL offloader: one command queue + buffer + (per-launch) kernel
+/// object per instance.
+pub struct OclOffload {
+    ctx: Context,
+    queue: gpusim::opencl::CommandQueue,
+    device: gpusim::opencl::ClDeviceId,
+    buf: Option<gpusim::opencl::ClBuffer<u8>>,
+}
+
+impl Offload for OclOffload {
+    fn new(system: &Arc<GpuSystem>, device: usize) -> Self {
+        let platform = Platform::new(Arc::clone(system));
+        let ids = platform.device_ids();
+        let ctx = Context::create(&platform, &ids);
+        let queue = ctx.create_queue(ids[device]);
+        OclOffload {
+            ctx,
+            queue,
+            device: ids[device],
+            buf: None,
+        }
+    }
+
+    fn compute_batch(&mut self, params: &FractalParams, batch: usize, batch_size: usize) -> Vec<u8> {
+        let len = batch_size * params.dim;
+        if self.buf.as_ref().map(|b| b.len()) != Some(len) {
+            self.buf = Some(self.ctx.create_buffer(self.device, len).expect("device memory"));
+        }
+        let buf = self.buf.as_ref().expect("allocated");
+        // A fresh (thread-local) kernel object per launch: cl_kernel is not
+        // thread-safe and must not be shared.
+        let kernel = ClKernel::create(BatchKernel {
+            batch,
+            batch_size,
+            params: *params,
+            img: buf.ptr(),
+        });
+        let global = (len as u64).next_multiple_of(BLOCK_1D as u64);
+        let k_ev = self.queue.enqueue_nd_range(&kernel, global, BLOCK_1D, &[]);
+        let mut out = vec![0u8; len];
+        let r_ev = self.queue.enqueue_read_buffer(buf, false, 0, &mut out, &[k_ev]);
+        self.ctx.wait_for_events(&[r_ev]);
+        out
+    }
+}
+
+/// A batch of computed lines flowing between stages.
+struct BatchOut {
+    batch: usize,
+    pixels: Vec<u8>,
+}
+
+fn install(img: &mut Image, params: &FractalParams, batch_size: usize, out: &BatchOut) {
+    let first = out.batch * batch_size;
+    for r in 0..batch_size.min(params.dim - first) {
+        img.set_row(first + r, &out.pixels[r * params.dim..(r + 1) * params.dim]);
+    }
+}
+
+/// Worker node owning one offloader, for SPar/FastFlow farms.
+struct GpuWorker<O: Offload> {
+    system: Arc<GpuSystem>,
+    device: usize,
+    params: FractalParams,
+    batch_size: usize,
+    offload: Option<O>,
+}
+
+impl<O: Offload> fastflow::Node for GpuWorker<O> {
+    type In = usize;
+    type Out = BatchOut;
+
+    fn on_init(&mut self) {
+        // Built on the worker thread: cudaSetDevice / cl object allocation
+        // happen on the thread that will use them.
+        self.offload = Some(O::new(&self.system, self.device));
+    }
+
+    fn svc(&mut self, batch: usize, out: &mut fastflow::Emitter<'_, BatchOut>) {
+        let offload = self.offload.as_mut().expect("on_init ran");
+        let pixels = offload.compute_batch(&self.params, batch, self.batch_size);
+        out.send(BatchOut { batch, pixels });
+    }
+}
+
+/// SPar + GPU: the annotated pipeline with a replicated GPU stage.
+pub fn run_spar_gpu<O: Offload>(
+    system: &Arc<GpuSystem>,
+    params: &FractalParams,
+    workers: usize,
+    batch_size: usize,
+    n_gpus: usize,
+) -> Image {
+    assert!(n_gpus >= 1 && n_gpus <= system.device_count());
+    let p = *params;
+    let n_batches = p.dim.div_ceil(batch_size);
+    let mut img = Image::new(p.dim);
+    let sys = Arc::clone(system);
+    spar::ToStream::new()
+        .ordered(true)
+        .source(move |em| {
+            for b in 0..n_batches {
+                if !em.send(b) {
+                    break;
+                }
+            }
+        })
+        .stage_node(workers, |replica| GpuWorker::<O> {
+            system: Arc::clone(&sys),
+            device: replica % n_gpus,
+            params: p,
+            batch_size,
+            offload: None,
+        })
+        .last_stage(|out: BatchOut| install(&mut img, &p, batch_size, &out));
+    img
+}
+
+/// FastFlow + GPU: explicit pipeline(source, farm(GpuWorker), sink).
+pub fn run_fastflow_gpu<O: Offload>(
+    system: &Arc<GpuSystem>,
+    params: &FractalParams,
+    workers: usize,
+    batch_size: usize,
+    n_gpus: usize,
+) -> Image {
+    assert!(n_gpus >= 1 && n_gpus <= system.device_count());
+    let p = *params;
+    let n_batches = p.dim.div_ceil(batch_size);
+    let sys = Arc::clone(system);
+    let mut img = Image::new(p.dim);
+    fastflow::Pipeline::builder()
+        .source(move |em| {
+            for b in 0..n_batches {
+                if !em.send(b) {
+                    break;
+                }
+            }
+        })
+        .farm_ordered(workers, |replica| GpuWorker::<O> {
+            system: Arc::clone(&sys),
+            device: replica % n_gpus,
+            params: p,
+            batch_size,
+            offload: None,
+        })
+        .for_each(|out| install(&mut img, &p, batch_size, &out));
+    img
+}
+
+/// TBB + GPU: `parallel_pipeline` whose parallel filter builds per-item GPU
+/// resources (tasks have no thread identity to hang per-replica state on).
+pub fn run_tbb_gpu<O: Offload>(
+    system: &Arc<GpuSystem>,
+    params: &FractalParams,
+    pool: &Arc<tbbx::TaskPool>,
+    max_live_tokens: usize,
+    batch_size: usize,
+    n_gpus: usize,
+) -> Image {
+    assert!(n_gpus >= 1 && n_gpus <= system.device_count());
+    let p = *params;
+    let n_batches = p.dim.div_ceil(batch_size);
+    let img = Arc::new(Mutex::new(Image::new(p.dim)));
+    let sink_img = Arc::clone(&img);
+    let sys = Arc::clone(system);
+    let mut next = 0usize;
+    tbbx::Pipeline::source(move || {
+        if next < n_batches {
+            next += 1;
+            Some(next - 1)
+        } else {
+            None
+        }
+    })
+    .parallel(move |batch: usize| {
+        let mut offload = O::new(&sys, batch % n_gpus);
+        let pixels = offload.compute_batch(&p, batch, batch_size);
+        BatchOut { batch, pixels }
+    })
+    .serial_in_order(move |out: BatchOut| {
+        install(&mut sink_img.lock().unwrap(), &p, batch_size, &out);
+    })
+    .build()
+    .run(pool, max_live_tokens);
+    Arc::try_unwrap(img)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|arc| arc.lock().unwrap().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::run_sequential;
+    use gpusim::DeviceProps;
+
+    fn small() -> FractalParams {
+        FractalParams::view(48, 200)
+    }
+
+    fn sys(n: usize) -> Arc<GpuSystem> {
+        GpuSystem::new(n, DeviceProps::titan_xp())
+    }
+
+    #[test]
+    fn spar_cuda_matches_sequential() {
+        let p = small();
+        let (seq, _) = run_sequential(&p);
+        let system = sys(2);
+        let img = run_spar_gpu::<CudaOffload>(&system, &p, 3, 8, 2);
+        assert_eq!(img.digest(), seq.digest());
+    }
+
+    #[test]
+    fn spar_opencl_matches_sequential() {
+        let p = small();
+        let (seq, _) = run_sequential(&p);
+        let system = sys(2);
+        let img = run_spar_gpu::<OclOffload>(&system, &p, 3, 8, 2);
+        assert_eq!(img.digest(), seq.digest());
+    }
+
+    #[test]
+    fn fastflow_cuda_matches_sequential() {
+        let p = small();
+        let (seq, _) = run_sequential(&p);
+        let system = sys(1);
+        let img = run_fastflow_gpu::<CudaOffload>(&system, &p, 2, 8, 1);
+        assert_eq!(img.digest(), seq.digest());
+    }
+
+    #[test]
+    fn fastflow_opencl_matches_sequential() {
+        let p = small();
+        let (seq, _) = run_sequential(&p);
+        let system = sys(1);
+        let img = run_fastflow_gpu::<OclOffload>(&system, &p, 2, 8, 1);
+        assert_eq!(img.digest(), seq.digest());
+    }
+
+    #[test]
+    fn tbb_cuda_matches_sequential() {
+        let p = small();
+        let (seq, _) = run_sequential(&p);
+        let system = sys(2);
+        let pool = Arc::new(tbbx::TaskPool::new(3));
+        let img = run_tbb_gpu::<CudaOffload>(&system, &p, &pool, 6, 8, 2);
+        assert_eq!(img.digest(), seq.digest());
+    }
+
+    #[test]
+    fn tbb_opencl_matches_sequential() {
+        let p = small();
+        let (seq, _) = run_sequential(&p);
+        let system = sys(1);
+        let pool = Arc::new(tbbx::TaskPool::new(2));
+        let img = run_tbb_gpu::<OclOffload>(&system, &p, &pool, 4, 8, 1);
+        assert_eq!(img.digest(), seq.digest());
+    }
+
+    #[test]
+    fn odd_batch_sizes_cover_the_whole_image() {
+        let p = FractalParams::view(50, 150); // 50 rows, batch 7 -> tail of 1
+        let (seq, _) = run_sequential(&p);
+        let system = sys(1);
+        let img = run_spar_gpu::<CudaOffload>(&system, &p, 2, 7, 1);
+        assert_eq!(img.digest(), seq.digest());
+    }
+}

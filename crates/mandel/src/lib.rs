@@ -1,0 +1,24 @@
+//! `mandel` — the Mandelbrot Streaming case study (paper §IV-A).
+//!
+//! The Mandelbrot set is rendered as a stream: each image line is one
+//! stream item, so partial results appear while computing. This crate holds
+//! every version the paper evaluates:
+//!
+//! * [`cpu`] — sequential baseline and the SPar / FastFlow / TBB pipelines;
+//! * [`kernels`] — the GPU kernels (per-line, 2-D, and Listing 2's batch);
+//! * [`gpu`] — single-host-thread CUDA/OpenCL drivers, i.e. the whole
+//!   Fig. 1 optimization ladder (naive → 2-D → batch → overlap → multi-GPU);
+//! * [`hybrid`] — multicore+GPU combinations (SPar/FastFlow/TBB × CUDA/
+//!   OpenCL), the Fig. 4 matrix.
+//!
+//! Every version produces a bit-identical [`core::Image`] (tests compare
+//! digests), and every GPU path reports per-pixel iteration counts so the
+//! performance model can time it.
+
+pub mod core;
+pub mod cpu;
+pub mod gpu;
+pub mod hybrid;
+pub mod kernels;
+
+pub use crate::core::{color, compute_line, iterate, FractalParams, Image, Line};

@@ -1,0 +1,412 @@
+//! A generic queueing-network model of a stream pipeline.
+//!
+//! Stages are chains of *phases* per item: CPU work (occupies the stage
+//! worker) and shared-resource work (occupies a [`Server`] — a GPU engine,
+//! a disk — while the worker waits). Replicated stages have several
+//! workers pulling from a bounded input buffer, which is how the FastFlow/
+//! TBB back-pressure appears in the model. The makespan of a run is the
+//! virtual time at which the last item leaves the last stage.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simtime::{BoundedBuffer, Server, Sim, SimDuration, SimTime, TimeWeighted};
+
+/// One unit of work an item needs at a stage.
+#[derive(Clone, Copy, Debug)]
+pub enum Phase {
+    /// Occupies the stage worker itself.
+    Cpu(SimDuration),
+    /// Occupies shared server `id` (by index into the model's server list)
+    /// while the worker waits for completion.
+    Resource {
+        /// Index into [`PipeModel::add_server`]'s return values.
+        server: usize,
+        /// Service time on that server.
+        dur: SimDuration,
+    },
+}
+
+/// Per-stage specification.
+pub struct StageSpec {
+    /// Name for diagnostics.
+    pub name: &'static str,
+    /// Worker replica count (1 = serial stage).
+    pub replicas: usize,
+    /// Phase list for item `i`.
+    pub phases: Box<dyn Fn(usize) -> Vec<Phase>>,
+}
+
+/// A pipeline model: source → stages → (implicit) sink.
+pub struct PipeModel {
+    n_items: usize,
+    /// Source emission cost per item (the stage-1 service time).
+    source_cost: Box<dyn Fn(usize) -> SimDuration>,
+    stages: Vec<StageSpec>,
+    servers: Vec<(&'static str, usize)>, // (name, capacity)
+    buffer_cap: usize,
+}
+
+/// Result of a model run.
+#[derive(Debug, Clone)]
+pub struct PipeRun {
+    /// Virtual time when the last item left the last stage.
+    pub makespan: SimDuration,
+    /// Utilization of each shared server over the makespan.
+    pub server_utilization: Vec<f64>,
+    /// Per-stage worker utilization over the makespan, in `[0, 1]`
+    /// (mean busy workers / replicas) — ~1.0 marks the bottleneck stage.
+    pub stage_utilization: Vec<(&'static str, f64)>,
+}
+
+impl PipeModel {
+    /// A model streaming `n_items` items with per-item source cost.
+    pub fn new(n_items: usize, source_cost: impl Fn(usize) -> SimDuration + 'static) -> Self {
+        PipeModel {
+            n_items,
+            source_cost: Box::new(source_cost),
+            stages: Vec::new(),
+            servers: Vec::new(),
+            buffer_cap: 64,
+        }
+    }
+
+    /// Set the inter-stage buffer capacity (the runtimes' queue size /
+    /// TBB's live-token throttle).
+    pub fn buffer_cap(mut self, cap: usize) -> Self {
+        assert!(cap >= 1);
+        self.buffer_cap = cap;
+        self
+    }
+
+    /// Register a shared server (e.g. one GPU compute engine); returns its
+    /// index for [`Phase::Resource`].
+    pub fn add_server(&mut self, name: &'static str, capacity: usize) -> usize {
+        self.servers.push((name, capacity));
+        self.servers.len() - 1
+    }
+
+    /// Append a stage.
+    pub fn stage(
+        mut self,
+        name: &'static str,
+        replicas: usize,
+        phases: impl Fn(usize) -> Vec<Phase> + 'static,
+    ) -> Self {
+        assert!(replicas >= 1);
+        self.stages.push(StageSpec {
+            name,
+            replicas,
+            phases: Box::new(phases),
+        });
+        self
+    }
+
+    /// Run the model to completion.
+    pub fn run(self) -> PipeRun {
+        let mut sim = Sim::new();
+        let servers: Vec<Server> = self
+            .servers
+            .iter()
+            .map(|&(name, cap)| Server::new(name, cap))
+            .collect();
+
+        // Buffers between source -> s0 -> s1 -> ... -> sink(absorbed).
+        let mut buffers: Vec<BoundedBuffer<usize>> = Vec::new();
+        for (i, _s) in self.stages.iter().enumerate() {
+            let _ = i;
+            buffers.push(BoundedBuffer::new("stage-in", self.buffer_cap));
+        }
+        // Terminal buffer absorbs finished items (unbounded consumption).
+        let done = Rc::new(RefCell::new(0usize));
+
+        // Source process.
+        {
+            let out = buffers
+                .first()
+                .cloned()
+                .expect("pipeline needs at least one stage");
+            let n = self.n_items;
+            let cost = self.source_cost;
+            fn emit(
+                sim: &mut Sim,
+                i: usize,
+                n: usize,
+                cost: &Rc<Box<dyn Fn(usize) -> SimDuration>>,
+                out: &BoundedBuffer<usize>,
+            ) {
+                if i >= n {
+                    out.close(sim);
+                    return;
+                }
+                let out2 = out.clone();
+                let cost2 = Rc::clone(cost);
+                sim.schedule(cost(i), move |sim| {
+                    let out3 = out2.clone();
+                    let cost3 = Rc::clone(&cost2);
+                    out2.put(sim, i, move |sim| emit(sim, i + 1, n, &cost3, &out3));
+                });
+            }
+            let cost = Rc::new(cost);
+            sim.schedule(SimDuration::ZERO, move |sim| emit(sim, 0, n, &cost, &out));
+        }
+
+        // Stage workers.
+        let stage_specs: Vec<Rc<StageSpec>> = self.stages.into_iter().map(Rc::new).collect();
+        let mut busy_meters: Vec<Rc<RefCell<TimeWeighted>>> = Vec::new();
+        for (s, spec) in stage_specs.iter().enumerate() {
+            let in_buf = buffers[s].clone();
+            let out_buf = buffers.get(s + 1).cloned();
+            let alive = Rc::new(RefCell::new(spec.replicas));
+            let busy = Rc::new(RefCell::new(TimeWeighted::new()));
+            busy_meters.push(Rc::clone(&busy));
+            for _worker in 0..spec.replicas {
+                let ctx = WorkerCtx {
+                    spec: Rc::clone(spec),
+                    in_buf: in_buf.clone(),
+                    out_buf: out_buf.clone(),
+                    servers: servers.clone(),
+                    alive: Rc::clone(&alive),
+                    done: Rc::clone(&done),
+                    busy: Rc::clone(&busy),
+                };
+                sim.schedule(SimDuration::ZERO, move |sim| worker_loop(sim, ctx));
+            }
+        }
+
+        let end = sim.run();
+        assert_eq!(*done.borrow(), self.n_items, "model lost items");
+        let makespan = end.since(SimTime::ZERO);
+        let server_utilization = servers.iter().map(|s| s.utilization(end)).collect();
+        let stage_utilization = stage_specs
+            .iter()
+            .zip(&busy_meters)
+            .map(|(spec, busy)| {
+                (spec.name, busy.borrow().mean(end) / spec.replicas as f64)
+            })
+            .collect();
+        PipeRun {
+            makespan,
+            server_utilization,
+            stage_utilization,
+        }
+    }
+}
+
+struct WorkerCtx {
+    spec: Rc<StageSpec>,
+    in_buf: BoundedBuffer<usize>,
+    out_buf: Option<BoundedBuffer<usize>>,
+    servers: Vec<Server>,
+    alive: Rc<RefCell<usize>>,
+    done: Rc<RefCell<usize>>,
+    busy: Rc<RefCell<TimeWeighted>>,
+}
+
+impl WorkerCtx {
+    fn dup(&self) -> WorkerCtx {
+        WorkerCtx {
+            spec: Rc::clone(&self.spec),
+            in_buf: self.in_buf.clone(),
+            out_buf: self.out_buf.clone(),
+            servers: self.servers.clone(),
+            alive: Rc::clone(&self.alive),
+            done: Rc::clone(&self.done),
+            busy: Rc::clone(&self.busy),
+        }
+    }
+}
+
+fn worker_loop(sim: &mut Sim, ctx: WorkerCtx) {
+    let ctx2 = ctx.dup();
+    ctx.in_buf.clone().get(sim, move |sim, item| match item {
+        None => {
+            // EOS: last worker out closes downstream.
+            let mut alive = ctx2.alive.borrow_mut();
+            *alive -= 1;
+            if *alive == 0 {
+                if let Some(out) = &ctx2.out_buf {
+                    out.close(sim);
+                }
+            }
+        }
+        Some(i) => {
+            ctx2.busy.borrow_mut().add(sim.now(), 1.0);
+            let phases = (ctx2.spec.phases)(i);
+            run_phases(sim, ctx2, i, phases, 0);
+        }
+    });
+}
+
+fn run_phases(sim: &mut Sim, ctx: WorkerCtx, item: usize, phases: Vec<Phase>, idx: usize) {
+    if idx >= phases.len() {
+        // Item leaves this stage.
+        ctx.busy.borrow_mut().add(sim.now(), -1.0);
+        match &ctx.out_buf {
+            Some(out) => {
+                let out = out.clone();
+                let ctx2 = ctx.dup();
+                out.put(sim, item, move |sim| worker_loop(sim, ctx2));
+            }
+            None => {
+                *ctx.done.borrow_mut() += 1;
+                worker_loop(sim, ctx);
+            }
+        }
+        return;
+    }
+    match phases[idx] {
+        Phase::Cpu(dur) => {
+            sim.schedule(dur, move |sim| run_phases(sim, ctx, item, phases, idx + 1));
+        }
+        Phase::Resource { server, dur } => {
+            let srv = ctx.servers[server].clone();
+            srv.submit(sim, dur, move |sim| {
+                run_phases(sim, ctx, item, phases, idx + 1)
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn serial_pipeline_is_bottleneck_bound() {
+        // source 1us, stage 10us, 100 items: makespan ≈ 100 * 10us.
+        let run = PipeModel::new(100, |_| us(1))
+            .stage("slow", 1, |_| vec![Phase::Cpu(us(10))])
+            .run();
+        let ms = run.makespan.as_secs_f64() * 1e6;
+        assert!((1000.0..1100.0).contains(&ms), "makespan {ms}us");
+    }
+
+    #[test]
+    fn replication_scales_the_bottleneck() {
+        let serial = PipeModel::new(200, |_| us(1))
+            .stage("work", 1, |_| vec![Phase::Cpu(us(10))])
+            .run();
+        let farmed = PipeModel::new(200, |_| us(1))
+            .stage("work", 5, |_| vec![Phase::Cpu(us(10))])
+            .run();
+        let speedup = serial.makespan.as_secs_f64() / farmed.makespan.as_secs_f64();
+        assert!(speedup > 4.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn replication_cannot_beat_the_source() {
+        // Source at 10us/item: even 50 workers can't beat 200*10us.
+        let run = PipeModel::new(200, |_| us(10))
+            .stage("work", 50, |_| vec![Phase::Cpu(us(10))])
+            .run();
+        let floor = 200.0 * 10e-6;
+        assert!(run.makespan.as_secs_f64() >= floor * 0.99);
+        assert!(run.makespan.as_secs_f64() <= floor * 1.2);
+    }
+
+    #[test]
+    fn shared_server_serializes_replicas() {
+        // 4 workers all needing a capacity-1 resource for 10us: the
+        // resource is the bottleneck, replicas don't help.
+        let mut m = PipeModel::new(100, |_| SimDuration::ZERO);
+        let gpu = m.add_server("gpu", 1);
+        let run = m
+            .stage("offload", 4, move |_| {
+                vec![Phase::Resource { server: gpu, dur: us(10) }]
+            })
+            .run();
+        let ms = run.makespan.as_secs_f64() * 1e6;
+        assert!(ms >= 1000.0, "resource-bound makespan {ms}us");
+        assert!(run.server_utilization[0] > 0.9);
+    }
+
+    #[test]
+    fn two_servers_double_resource_throughput() {
+        let t = |cap: usize| {
+            let mut m = PipeModel::new(100, |_| SimDuration::ZERO);
+            let gpu = m.add_server("gpu", cap);
+            m.stage("offload", 8, move |_| {
+                vec![Phase::Resource { server: gpu, dur: us(10) }]
+            })
+            .run()
+            .makespan
+        };
+        let one = t(1);
+        let two = t(2);
+        let ratio = one.as_secs_f64() / two.as_secs_f64();
+        assert!(ratio > 1.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cpu_and_resource_phases_pipeline_within_a_worker_chain() {
+        // One worker, phases 5us CPU + 5us resource per item: 10us/item.
+        // Two workers: CPU of item b overlaps resource of item a when the
+        // resource has capacity 2 — near 5us/item.
+        let mk = |workers: usize, cap: usize| {
+            let mut m = PipeModel::new(100, |_| SimDuration::ZERO);
+            let r = m.add_server("r", cap);
+            m.stage("s", workers, move |_| {
+                vec![Phase::Cpu(us(5)), Phase::Resource { server: r, dur: us(5) }]
+            })
+            .run()
+            .makespan
+        };
+        let one = mk(1, 1);
+        let two = mk(2, 2);
+        assert!(one.as_secs_f64() / two.as_secs_f64() > 1.6);
+    }
+
+    #[test]
+    fn multi_stage_bottleneck_dominates() {
+        let run = PipeModel::new(100, |_| us(1))
+            .stage("fast", 1, |_| vec![Phase::Cpu(us(2))])
+            .stage("slow", 1, |_| vec![Phase::Cpu(us(20))])
+            .stage("fast2", 1, |_| vec![Phase::Cpu(us(1))])
+            .run();
+        let ms = run.makespan.as_secs_f64() * 1e6;
+        assert!((2000.0..2200.0).contains(&ms), "makespan {ms}us");
+    }
+
+    #[test]
+    fn bottleneck_stage_shows_full_utilization() {
+        let run = PipeModel::new(200, |_| us(1))
+            .stage("fast", 1, |_| vec![Phase::Cpu(us(2))])
+            .stage("slow", 1, |_| vec![Phase::Cpu(us(20))])
+            .run();
+        let get = |name: &str| {
+            run.stage_utilization
+                .iter()
+                .find(|(n, _)| *n == name)
+                .expect("stage present")
+                .1
+        };
+        assert!(get("slow") > 0.95, "bottleneck must be ~fully busy: {}", get("slow"));
+        assert!(get("fast") < 0.25, "upstream must be mostly idle: {}", get("fast"));
+    }
+
+    #[test]
+    fn zero_items_complete_immediately() {
+        let run = PipeModel::new(0, |_| us(1))
+            .stage("s", 2, |_| vec![Phase::Cpu(us(10))])
+            .run();
+        assert_eq!(run.makespan, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn per_item_costs_are_respected() {
+        // Items with alternating 1us/19us costs on a serial stage:
+        // 100 items => 50*1 + 50*19 = 1000us.
+        let run = PipeModel::new(100, |_| SimDuration::ZERO)
+            .stage("s", 1, |i| {
+                vec![Phase::Cpu(us(if i % 2 == 0 { 1 } else { 19 }))]
+            })
+            .run();
+        let ms = run.makespan.as_secs_f64() * 1e6;
+        assert!((1000.0..1050.0).contains(&ms), "makespan {ms}us");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the queueing-network model: makespans must respect
+//! the classic bounds for any workload.
+//!
+//! For a single replicated stage with per-item costs `c_i` and `w` workers:
+//!   max(Σc_i / w, max c_i)  ≤  makespan  ≤  Σc_i
+//! and adding workers or removing work can never lengthen the makespan.
+
+use perfmodel::pipe::{Phase, PipeModel};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use simtime::SimDuration;
+
+fn model(costs: &[u64], workers: usize, cap: usize) -> f64 {
+    let costs: Vec<SimDuration> = costs.iter().map(|&c| SimDuration::from_nanos(c)).collect();
+    let n = costs.len();
+    PipeModel::new(n, |_| SimDuration::ZERO)
+        .buffer_cap(cap)
+        .stage("work", workers, move |i| vec![Phase::Cpu(costs[i])])
+        .run()
+        .makespan
+        .as_secs_f64()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn makespan_respects_classic_bounds(
+        costs in vec(1u64..10_000, 1..100),
+        workers in 1usize..8,
+        cap in 1usize..16,
+    ) {
+        let total: u64 = costs.iter().sum();
+        let longest = *costs.iter().max().expect("non-empty");
+        let ms = model(&costs, workers, cap);
+        let lower = (total as f64 / workers as f64).max(longest as f64) * 1e-9;
+        let upper = total as f64 * 1e-9;
+        prop_assert!(ms + 1e-12 >= lower, "makespan {ms} below lower bound {lower}");
+        prop_assert!(ms <= upper + 1e-12, "makespan {ms} above serial bound {upper}");
+    }
+
+    #[test]
+    fn more_workers_never_hurt(
+        costs in vec(1u64..10_000, 1..80),
+        workers in 1usize..6,
+    ) {
+        let a = model(&costs, workers, 8);
+        let b = model(&costs, workers + 1, 8);
+        prop_assert!(b <= a + 1e-12, "w={workers}: {a} -> {b}");
+    }
+
+    #[test]
+    fn single_worker_makespan_is_exactly_serial(costs in vec(1u64..10_000, 1..60)) {
+        let total: u64 = costs.iter().sum();
+        let ms = model(&costs, 1, 4);
+        prop_assert!((ms - total as f64 * 1e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_capacity_one_resource_serializes(
+        costs in vec(1u64..5_000, 1..60),
+        workers in 1usize..6,
+    ) {
+        // Every item needs the same capacity-1 server: makespan == Σ costs
+        // regardless of worker count.
+        let total: u64 = costs.iter().sum();
+        let durs: Vec<SimDuration> = costs.iter().map(|&c| SimDuration::from_nanos(c)).collect();
+        let n = durs.len();
+        let mut m = PipeModel::new(n, |_| SimDuration::ZERO);
+        let srv = m.add_server("r", 1);
+        let ms = m
+            .stage("s", workers, move |i| {
+                vec![Phase::Resource { server: srv, dur: durs[i] }]
+            })
+            .run()
+            .makespan;
+        prop_assert_eq!(ms.as_nanos(), total);
+    }
+
+    #[test]
+    fn two_stage_pipeline_bounded_by_bottleneck_and_serial(
+        costs_a in vec(1u64..5_000, 1..50),
+        scale_b in 1u64..4,
+    ) {
+        let n = costs_a.len();
+        let costs_b: Vec<u64> = costs_a.iter().map(|&c| c * scale_b).collect();
+        let (ta, tb): (u64, u64) = (costs_a.iter().sum(), costs_b.iter().sum());
+        let da: Vec<SimDuration> = costs_a.iter().map(|&c| SimDuration::from_nanos(c)).collect();
+        let db: Vec<SimDuration> = costs_b.iter().map(|&c| SimDuration::from_nanos(c)).collect();
+        let ms = PipeModel::new(n, |_| SimDuration::ZERO)
+            .stage("a", 1, move |i| vec![Phase::Cpu(da[i])])
+            .stage("b", 1, move |i| vec![Phase::Cpu(db[i])])
+            .run()
+            .makespan
+            .as_nanos();
+        prop_assert!(ms >= ta.max(tb), "below bottleneck: {ms} < {}", ta.max(tb));
+        prop_assert!(ms <= ta + tb, "above serial: {ms} > {}", ta + tb);
+    }
+}

@@ -1,0 +1,280 @@
+//! The event-queue engine.
+//!
+//! Events are closures scheduled at virtual instants. Ties are broken by
+//! insertion order (FIFO), which keeps models deterministic and makes
+//! same-instant causality intuitive: an event scheduled from within another
+//! event at zero delay runs after every event already queued for that
+//! instant.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use crate::time::{SimDuration, SimTime};
+
+type Action = Box<dyn FnOnce(&mut Sim)>;
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Reversed: BinaryHeap is a max-heap and we need earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event simulation: a virtual clock plus an event queue.
+///
+/// Models are built out of closures that receive `&mut Sim` and schedule
+/// further events. Shared model state lives in `Rc<RefCell<_>>` captured by
+/// those closures (see [`Server`](crate::Server) and
+/// [`BoundedBuffer`](crate::BoundedBuffer) for canonical examples).
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Event>,
+    executed: u64,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// A fresh simulation at t = 0 with an empty event queue.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (diagnostic).
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn events_pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `action` to run after `delay`.
+    pub fn schedule<F: FnOnce(&mut Sim) + 'static>(&mut self, delay: SimDuration, action: F) {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Schedule `action` at absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the virtual past — that is always a model bug.
+    pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: SimTime, action: F) {
+        assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Run until the event queue drains; returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run events with `at <= limit`. The clock ends at
+    /// `min(limit, time of last executed event)`; pending later events remain.
+    pub fn run_until(&mut self, limit: SimTime) -> SimTime {
+        while let Some(ev) = self.heap.peek() {
+            if ev.at > limit {
+                break;
+            }
+            self.step();
+        }
+        self.now
+    }
+
+    /// Execute the single earliest pending event. Returns false if none.
+    pub fn step(&mut self) -> bool {
+        match self.heap.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.action)(self);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// A cloneable handle to shared model state.
+///
+/// Thin convenience wrapper over `Rc<RefCell<T>>` so model components don't
+/// repeat the borrow boilerplate.
+pub struct SimHandle<T>(Rc<RefCell<T>>);
+
+impl<T> SimHandle<T> {
+    /// Wrap a value in a shared handle.
+    pub fn new(value: T) -> Self {
+        SimHandle(Rc::new(RefCell::new(value)))
+    }
+
+    /// Run `f` with a shared borrow of the value.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Run `f` with a mutable borrow of the value.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+}
+
+impl<T> Clone for SimHandle<T> {
+    fn clone(&self) -> Self {
+        SimHandle(Rc::clone(&self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new();
+        for &(delay, tag) in &[(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let order = Rc::clone(&order);
+            sim.schedule(SimDuration::from_nanos(delay), move |_| {
+                order.borrow_mut().push(tag)
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new();
+        for tag in 0..5 {
+            let order = Rc::clone(&order);
+            sim.schedule(SimDuration::from_nanos(7), move |_| {
+                order.borrow_mut().push(tag)
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_scheduling_advances_clock() {
+        let mut sim = Sim::new();
+        sim.schedule(SimDuration::from_nanos(5), |sim| {
+            assert_eq!(sim.now().as_nanos(), 5);
+            sim.schedule(SimDuration::from_nanos(5), |sim| {
+                assert_eq!(sim.now().as_nanos(), 10);
+            });
+        });
+        let end = sim.run();
+        assert_eq!(end.as_nanos(), 10);
+        assert_eq!(sim.events_executed(), 2);
+    }
+
+    #[test]
+    fn zero_delay_event_runs_after_already_queued_same_instant() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new();
+        {
+            let order = Rc::clone(&order);
+            sim.schedule(SimDuration::from_nanos(1), move |sim| {
+                let order2 = Rc::clone(&order);
+                order.borrow_mut().push("first");
+                sim.schedule(SimDuration::ZERO, move |_| {
+                    order2.borrow_mut().push("spawned");
+                });
+            });
+        }
+        {
+            let order = Rc::clone(&order);
+            sim.schedule(SimDuration::from_nanos(1), move |_| {
+                order.borrow_mut().push("second");
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!["first", "second", "spawned"]);
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_pending() {
+        let mut sim = Sim::new();
+        sim.schedule(SimDuration::from_nanos(5), |_| {});
+        sim.schedule(SimDuration::from_nanos(50), |_| {});
+        sim.run_until(SimTime::from_nanos(10));
+        assert_eq!(sim.now().as_nanos(), 5);
+        assert_eq!(sim.events_pending(), 1);
+        sim.run();
+        assert_eq!(sim.now().as_nanos(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Sim::new();
+        sim.schedule(SimDuration::from_nanos(10), |sim| {
+            sim.schedule_at(SimTime::from_nanos(3), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn handle_with_and_with_mut() {
+        let h = SimHandle::new(41);
+        h.with_mut(|v| *v += 1);
+        assert_eq!(h.with(|v| *v), 42);
+        let h2 = h.clone();
+        h2.with_mut(|v| *v *= 2);
+        assert_eq!(h.with(|v| *v), 84);
+    }
+}

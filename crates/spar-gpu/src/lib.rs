@@ -1,0 +1,401 @@
+//! `spar-gpu` — the paper's stated future work, implemented:
+//!
+//! > *"As future work, we intend to automatically generate parallel OpenCL
+//! > and CUDA code through the SPar compilation toolchain. This should
+//! > further increase the parallel programming productivity when targeting
+//! > heterogeneous multi-core systems."* (§VI)
+//!
+//! With this crate, a SPar stream region gains a
+//! [`stage_gpu_map`](SparGpuExt::stage_gpu_map) stage: the programmer writes **one lane
+//! function** (the per-element computation) and everything §IV-A calls
+//! "significant parallel programming effort" is generated:
+//!
+//! * per-replica device selection (`cudaSetDevice` on the worker thread) —
+//!   batches round-robin across GPUs;
+//! * device buffer allocation and reuse;
+//! * host↔device transfers and kernel launch under **either** API
+//!   ([`Api::Cuda`] or [`Api::OpenCl`]) — the same lane function drives
+//!   both, which is exactly the "generate both back ends from one source"
+//!   promise;
+//! * work metering for the performance model (an optional cost function).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gpusim::{DeviceProps, GpuSystem};
+//! use spar_gpu::{Api, GpuMap, SparGpuExt};
+//!
+//! let system = GpuSystem::new(2, DeviceProps::titan_xp());
+//! let stage = GpuMap::new(system, Api::Cuda, 2, |i, input: &[f32]| input[i] * 2.0);
+//! let out = spar::ToStream::new()
+//!     .source_iter((0..4).map(|k| vec![k as f32; 256]))
+//!     .stage_gpu_map(3, stage)
+//!     .collect();
+//! assert_eq!(out[3][0], 6.0);
+//! ```
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use gpusim::cuda::{Cuda, CudaBuffer};
+use gpusim::opencl::{ClBuffer, ClKernel, CommandQueue, Context, Platform};
+use gpusim::{DeviceMemory, DevicePtr, GpuSystem, KernelFn, LaunchDims, WorkMeter};
+use spar::StreamStage;
+
+/// Which generated back end a GPU stage uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Api {
+    /// Generate the CUDA-style host code.
+    Cuda,
+    /// Generate the OpenCL-style host code.
+    OpenCl,
+}
+
+/// Threads per block for generated launches.
+const BLOCK: u32 = 256;
+
+/// Description of an element-wise GPU map stage: one lane computes
+/// `f(i, input)` for element `i` of each stream item (a `Vec<T>`).
+pub struct GpuMap<T, U, F> {
+    system: Arc<GpuSystem>,
+    api: Api,
+    n_gpus: usize,
+    lane: Arc<F>,
+    /// Work units one lane reports to the cost model (default 1).
+    units_per_lane: u64,
+    _marker: PhantomData<fn(T) -> U>,
+}
+
+impl<T, U, F> Clone for GpuMap<T, U, F> {
+    fn clone(&self) -> Self {
+        GpuMap {
+            system: Arc::clone(&self.system),
+            api: self.api,
+            n_gpus: self.n_gpus,
+            lane: Arc::clone(&self.lane),
+            units_per_lane: self.units_per_lane,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T, U, F> GpuMap<T, U, F>
+where
+    T: Default + Clone + Send + Sync + 'static,
+    U: Default + Clone + Send + Sync + 'static,
+    F: Fn(usize, &[T]) -> U + Send + Sync + 'static,
+{
+    /// Describe a GPU map stage over `n_gpus` devices of `system`.
+    ///
+    /// # Panics
+    /// Panics if `n_gpus` is zero or exceeds the system's device count.
+    pub fn new(system: Arc<GpuSystem>, api: Api, n_gpus: usize, lane: F) -> Self {
+        assert!(n_gpus >= 1 && n_gpus <= system.device_count());
+        GpuMap {
+            system,
+            api,
+            n_gpus,
+            lane: Arc::new(lane),
+            units_per_lane: 1,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Set the cost-model work units each lane reports.
+    pub fn units_per_lane(mut self, units: u64) -> Self {
+        self.units_per_lane = units.max(1);
+        self
+    }
+}
+
+/// The generated kernel: `out[i] = lane(i, input)`.
+struct MapKernel<T, U, F> {
+    input: DevicePtr<T>,
+    output: DevicePtr<U>,
+    len: usize,
+    lane: Arc<F>,
+    units: u64,
+}
+
+impl<T, U, F> KernelFn for MapKernel<T, U, F>
+where
+    T: Send + Sync + 'static,
+    U: Send + Sync + 'static,
+    F: Fn(usize, &[T]) -> U + Send + Sync + 'static,
+{
+    fn name(&self) -> &'static str {
+        "spar_gpu_map"
+    }
+    fn run(&self, dims: &LaunchDims, mem: &DeviceMemory, meter: &mut WorkMeter) {
+        let input = mem.borrow(self.input);
+        let mut output = mem.borrow_mut(self.output);
+        for lane_id in dims.lanes() {
+            let i = lane_id as usize;
+            if i < self.len {
+                output[i] = (self.lane)(i, &input);
+                meter.record(lane_id, self.units);
+            } else {
+                meter.record(lane_id, 1);
+            }
+        }
+    }
+}
+
+/// Per-replica generated host state.
+enum ReplicaState<T: Send + 'static, U: Send + 'static> {
+    Cuda {
+        cuda: Cuda,
+        device: usize,
+        stream: gpusim::cuda::CudaStream,
+        d_in: Option<CudaBuffer<T>>,
+        d_out: Option<CudaBuffer<U>>,
+    },
+    Ocl {
+        ctx: Context,
+        queue: CommandQueue,
+        device: gpusim::opencl::ClDeviceId,
+        d_in: Option<ClBuffer<T>>,
+        d_out: Option<ClBuffer<U>>,
+    },
+}
+
+/// The worker node generated for a [`GpuMap`] stage.
+pub struct GpuMapWorker<T: Send + 'static, U: Send + 'static, F> {
+    desc: GpuMap<T, U, F>,
+    replica: usize,
+    state: Option<ReplicaState<T, U>>,
+}
+
+impl<T, U, F> fastflow::Node for GpuMapWorker<T, U, F>
+where
+    T: Default + Clone + Send + Sync + 'static,
+    U: Default + Clone + Send + Sync + 'static,
+    F: Fn(usize, &[T]) -> U + Send + Sync + 'static,
+{
+    type In = Vec<T>;
+    type Out = Vec<U>;
+
+    fn on_init(&mut self) {
+        // Generated per-thread initialization: the exact boilerplate the
+        // paper's §IV-A wrote by hand for each model/API pair.
+        let device = self.replica % self.desc.n_gpus;
+        self.state = Some(match self.desc.api {
+            Api::Cuda => {
+                let cuda = Cuda::new(Arc::clone(&self.desc.system));
+                cuda.set_device(device);
+                let stream = cuda.stream_create();
+                ReplicaState::Cuda {
+                    cuda,
+                    device,
+                    stream,
+                    d_in: None,
+                    d_out: None,
+                }
+            }
+            Api::OpenCl => {
+                let platform = Platform::new(Arc::clone(&self.desc.system));
+                let ids = platform.device_ids();
+                let ctx = Context::create(&platform, &ids[..self.desc.n_gpus]);
+                let queue = ctx.create_queue(ids[device]);
+                ReplicaState::Ocl {
+                    ctx,
+                    queue,
+                    device: ids[device],
+                    d_in: None,
+                    d_out: None,
+                }
+            }
+        });
+    }
+
+    fn svc(&mut self, item: Vec<T>, out: &mut fastflow::Emitter<'_, Vec<U>>) {
+        let len = item.len();
+        let mut result = vec![U::default(); len];
+        if len == 0 {
+            out.send(result);
+            return;
+        }
+        match self.state.as_mut().expect("on_init ran") {
+            ReplicaState::Cuda {
+                cuda,
+                device,
+                stream,
+                d_in,
+                d_out,
+            } => {
+                cuda.set_device(*device);
+                if d_in.as_ref().map(|b| b.len()) != Some(len) {
+                    *d_in = Some(cuda.malloc(len).expect("device memory"));
+                    *d_out = Some(cuda.malloc(len).expect("device memory"));
+                }
+                let (din, dout) = (d_in.as_ref().expect("alloc"), d_out.as_ref().expect("alloc"));
+                cuda.memcpy_h2d_pageable(din, 0, &item, stream);
+                let kernel = MapKernel {
+                    input: din.ptr(),
+                    output: dout.ptr(),
+                    len,
+                    lane: Arc::clone(&self.desc.lane),
+                    units: self.desc.units_per_lane,
+                };
+                cuda.launch(&kernel, (len as u32).div_ceil(BLOCK), BLOCK, stream);
+                cuda.memcpy_d2h_pageable(&mut result, dout, 0, stream);
+                cuda.stream_synchronize(stream);
+            }
+            ReplicaState::Ocl {
+                ctx,
+                queue,
+                device,
+                d_in,
+                d_out,
+            } => {
+                if d_in.as_ref().map(|b| b.len()) != Some(len) {
+                    *d_in = Some(ctx.create_buffer(*device, len).expect("device memory"));
+                    *d_out = Some(ctx.create_buffer(*device, len).expect("device memory"));
+                }
+                let (din, dout) = (d_in.as_ref().expect("alloc"), d_out.as_ref().expect("alloc"));
+                let w = queue.enqueue_write_buffer(din, false, 0, &item, &[]);
+                let kernel = ClKernel::create(MapKernel {
+                    input: din.ptr(),
+                    output: dout.ptr(),
+                    len,
+                    lane: Arc::clone(&self.desc.lane),
+                    units: self.desc.units_per_lane,
+                });
+                let k = queue.enqueue_nd_range(
+                    &kernel,
+                    (len as u64).next_multiple_of(BLOCK as u64),
+                    BLOCK,
+                    &[w],
+                );
+                let r = queue.enqueue_read_buffer(dout, false, 0, &mut result, &[k]);
+                ctx.wait_for_events(&[r]);
+            }
+        }
+        out.send(result);
+    }
+}
+
+/// Extension trait adding generated GPU stages to SPar stream regions.
+pub trait SparGpuExt<T: Send + 'static> {
+    /// Append a replicated stage that offloads each `Vec<T>` stream item
+    /// to the GPUs element-wise, with all host code generated from the
+    /// [`GpuMap`] description.
+    fn stage_gpu_map<U, F>(self, replicate: usize, desc: GpuMap<T, U, F>) -> StreamStage<Vec<U>>
+    where
+        T: Default + Clone + Sync,
+        U: Default + Clone + Send + Sync + 'static,
+        F: Fn(usize, &[T]) -> U + Send + Sync + 'static;
+}
+
+impl<T> SparGpuExt<T> for StreamStage<Vec<T>>
+where
+    T: Send + 'static,
+{
+    fn stage_gpu_map<U, F>(self, replicate: usize, desc: GpuMap<T, U, F>) -> StreamStage<Vec<U>>
+    where
+        T: Default + Clone + Sync,
+        U: Default + Clone + Send + Sync + 'static,
+        F: Fn(usize, &[T]) -> U + Send + Sync + 'static,
+    {
+        self.stage_node(replicate, move |replica| GpuMapWorker {
+            desc: desc.clone(),
+            replica,
+            state: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::DeviceProps;
+
+    fn system(n: usize) -> Arc<GpuSystem> {
+        GpuSystem::new(n, DeviceProps::titan_xp())
+    }
+
+    fn items(n: usize, len: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|k| (0..len).map(|i| (k * 1000 + i) as f64).collect())
+            .collect()
+    }
+
+    fn cpu_reference(input: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        input
+            .iter()
+            .map(|v| v.iter().map(|x| x * x + 1.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn cuda_stage_matches_cpu_map() {
+        let sys = system(2);
+        let input = items(8, 300);
+        let expected = cpu_reference(&input);
+        let stage = GpuMap::new(sys, Api::Cuda, 2, |i, xs: &[f64]| xs[i] * xs[i] + 1.0);
+        let out = spar::ToStream::new()
+            .source_iter(input)
+            .stage_gpu_map(3, stage)
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn opencl_stage_matches_cpu_map() {
+        let sys = system(2);
+        let input = items(8, 300);
+        let expected = cpu_reference(&input);
+        let stage = GpuMap::new(sys, Api::OpenCl, 2, |i, xs: &[f64]| xs[i] * xs[i] + 1.0);
+        let out = spar::ToStream::new()
+            .source_iter(input)
+            .stage_gpu_map(3, stage)
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn both_apis_generate_identical_results() {
+        let input = items(5, 127); // non-multiple of the block size
+        let mk = |api| {
+            let sys = system(1);
+            let stage = GpuMap::new(sys, api, 1, |i, xs: &[f64]| (xs[i] * 3.0).sqrt());
+            let out: Vec<Vec<f64>> = spar::ToStream::new()
+                .source_iter(input.clone())
+                .stage_gpu_map(2, stage)
+                .collect();
+            out
+        };
+        assert_eq!(mk(Api::Cuda), mk(Api::OpenCl));
+    }
+
+    #[test]
+    fn empty_and_varying_length_items() {
+        let sys = system(1);
+        let input = vec![vec![], vec![1.0f64], vec![2.0; 1000], vec![3.0; 7]];
+        let stage = GpuMap::new(sys, Api::Cuda, 1, |i, xs: &[f64]| xs[i] + 0.5);
+        let out = spar::ToStream::new()
+            .source_iter(input.clone())
+            .stage_gpu_map(2, stage)
+            .collect();
+        for (o, inp) in out.iter().zip(&input) {
+            assert_eq!(o.len(), inp.len());
+            for (a, b) in o.iter().zip(inp) {
+                assert_eq!(*a, b + 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn device_stats_show_real_offloading() {
+        let sys = system(1);
+        let stage = GpuMap::new(Arc::clone(&sys), Api::Cuda, 1, |i, xs: &[u32]| xs[i] ^ 0xFF);
+        let _out: Vec<Vec<u32>> = spar::ToStream::new()
+            .source_iter((0..4).map(|_| vec![1u32; 512]))
+            .stage_gpu_map(1, stage)
+            .collect();
+        let stats = sys.device(0).stats();
+        assert_eq!(stats.kernels, 4, "one launch per stream item");
+        assert!(stats.h2d_bytes >= 4 * 512 * 4);
+    }
+}

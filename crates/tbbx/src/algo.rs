@@ -1,0 +1,159 @@
+//! Data-parallel algorithms over the task pool: `parallel_for` and
+//! `parallel_reduce`, the TBB loop templates.
+
+use std::sync::{Arc, Mutex};
+
+use crate::pool::{Latch, TaskPool};
+
+/// Apply `body(i)` for every `i` in `range`, splitting into chunks of at
+/// most `grain` iterations executed as pool tasks. Blocks until done.
+///
+/// # Panics
+/// Panics if `grain == 0`.
+pub fn parallel_for<F>(pool: &Arc<TaskPool>, range: std::ops::Range<usize>, grain: usize, body: F)
+where
+    F: Fn(usize) + Send + Sync + 'static,
+{
+    assert!(grain > 0, "grain must be >= 1");
+    if range.is_empty() {
+        return;
+    }
+    let body = Arc::new(body);
+    let chunks: Vec<std::ops::Range<usize>> = split_range(range, grain);
+    let latch = Latch::new(chunks.len());
+    for chunk in chunks {
+        let body = Arc::clone(&body);
+        let latch = Arc::clone(&latch);
+        pool.spawn(move || {
+            for i in chunk {
+                body(i);
+            }
+            latch.count_down();
+        });
+    }
+    latch.wait();
+}
+
+/// Reduce `map(i)` over `range` with the associative `reduce` operator and
+/// `identity` element. Chunked like [`parallel_for`]; combination order is
+/// unspecified, so `reduce` must be associative and commutative with respect
+/// to `identity`.
+pub fn parallel_reduce<T, M, R>(
+    pool: &Arc<TaskPool>,
+    range: std::ops::Range<usize>,
+    grain: usize,
+    identity: T,
+    map: M,
+    reduce: R,
+) -> T
+where
+    T: Send + Clone + 'static,
+    M: Fn(usize) -> T + Send + Sync + 'static,
+    R: Fn(T, T) -> T + Send + Sync + 'static,
+{
+    assert!(grain > 0, "grain must be >= 1");
+    if range.is_empty() {
+        return identity;
+    }
+    let map = Arc::new(map);
+    let reduce = Arc::new(reduce);
+    let chunks = split_range(range, grain);
+    let latch = Latch::new(chunks.len());
+    let acc = Arc::new(Mutex::new(identity.clone()));
+    for chunk in chunks {
+        let map = Arc::clone(&map);
+        let reduce = Arc::clone(&reduce);
+        let latch = Arc::clone(&latch);
+        let acc = Arc::clone(&acc);
+        let identity = identity.clone();
+        pool.spawn(move || {
+            let mut local = identity;
+            for i in chunk {
+                local = reduce(local, map(i));
+            }
+            {
+                let mut global = acc.lock().unwrap();
+                let merged = reduce(global.clone(), local);
+                *global = merged;
+            }
+            latch.count_down();
+        });
+    }
+    latch.wait();
+    Arc::try_unwrap(acc)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|arc| arc.lock().unwrap().clone())
+}
+
+fn split_range(range: std::ops::Range<usize>, grain: usize) -> Vec<std::ops::Range<usize>> {
+    let mut chunks = Vec::new();
+    let mut start = range.start;
+    while start < range.end {
+        let end = (start + grain).min(range.end);
+        chunks.push(start..end);
+        start = end;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn pool() -> Arc<TaskPool> {
+        Arc::new(TaskPool::new(4))
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let pool = pool();
+        let hits = Arc::new((0..1000).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+        let hits2 = Arc::clone(&hits);
+        parallel_for(&pool, 0..1000, 64, move |i| {
+            hits2[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_range_is_noop() {
+        let pool = pool();
+        parallel_for(&pool, 5..5, 8, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn parallel_reduce_sums() {
+        let pool = pool();
+        let total = parallel_reduce(&pool, 1..101, 7, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn parallel_reduce_max() {
+        let pool = pool();
+        let m = parallel_reduce(
+            &pool,
+            0..1000,
+            100,
+            0u64,
+            |i| ((i * 37) % 991) as u64,
+            |a, b| a.max(b),
+        );
+        let expected = (0..1000).map(|i| ((i * 37) % 991) as u64).max().unwrap();
+        assert_eq!(m, expected);
+    }
+
+    #[test]
+    fn split_range_covers_exactly() {
+        let chunks = split_range(3..20, 5);
+        assert_eq!(chunks, vec![3..8, 8..13, 13..18, 18..20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grain must be >= 1")]
+    fn zero_grain_panics() {
+        let pool = pool();
+        parallel_for(&pool, 0..10, 0, |_| {});
+    }
+}

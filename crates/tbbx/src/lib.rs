@@ -1,0 +1,44 @@
+//! `tbbx` — a Threading Building Blocks–style runtime built from scratch.
+//!
+//! Reproduces the TBB features the paper exercises:
+//!
+//! * a work-stealing task scheduler ([`TaskPool`]) with per-worker Chase–Lev
+//!   deques and a global injector;
+//! * `parallel_pipeline` with `serial_in_order` / `serial_out_of_order` /
+//!   `parallel` filters and the `max_number_of_live_tokens` throttle
+//!   ([`pipeline::Pipeline`]) — the knob the paper tunes to 38 (CPU) and
+//!   50 (GPU) tokens for Mandelbrot;
+//! * the loop templates [`parallel_for`], [`parallel_reduce`] and
+//!   [`parallel_scan`].
+//!
+//! Unlike [`fastflow`](https://docs.rs/fastflow) (thread-per-stage,
+//! programmer-composable topologies), `tbbx` multiplexes all pipeline work
+//! onto one task pool and does not let the user attach a custom scheduler —
+//! the exact contrast §III-B of the paper draws.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::{Arc, Mutex};
+//! use tbbx::{Pipeline, TaskPool};
+//!
+//! let pool = Arc::new(TaskPool::new(2));
+//! let out = Arc::new(Mutex::new(Vec::new()));
+//! let sink = Arc::clone(&out);
+//! Pipeline::from_iter(0..10u32)
+//!     .parallel(|x| x * x)
+//!     .serial_in_order(move |x| sink.lock().unwrap().push(x))
+//!     .build()
+//!     .run(&pool, 4);
+//! assert_eq!(out.lock().unwrap().len(), 10);
+//! ```
+
+pub mod algo;
+pub mod pipeline;
+pub mod pool;
+pub mod scan;
+
+pub use algo::{parallel_for, parallel_reduce};
+pub use scan::parallel_scan;
+pub use pipeline::{Pipeline, PipelineBuilder};
+pub use pool::{Latch, TaskPool};

@@ -1,0 +1,466 @@
+//! TBB-style pipeline: a chain of filters executed by the task pool with a
+//! bounded number of in-flight tokens.
+//!
+//! Reproduces the `tbb::parallel_pipeline` semantics the paper relies on:
+//!
+//! * a **serial** source produces tokens (stream items);
+//! * each filter is `parallel`, `serial_in_order`, or `serial_out_of_order`;
+//! * at most `max_number_of_live_tokens` items are in flight — the paper
+//!   tunes this knob (38 tokens for CPU runs, 50 for GPU runs) and we expose
+//!   it identically in [`Pipeline::run`].
+//!
+//! Tokens are type-erased internally (`Box<dyn Any + Send>`, the moral
+//! equivalent of TBB's `void*`), while the public builder is fully typed.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::pool::TaskPool;
+
+type Payload = Box<dyn Any + Send>;
+
+enum FilterImpl {
+    Parallel(Box<dyn Fn(Payload) -> Payload + Send + Sync>),
+    Serial {
+        in_order: bool,
+        state: Mutex<SerialState>,
+    },
+}
+
+struct SerialState {
+    f: Box<dyn FnMut(Payload) -> Payload + Send>,
+    busy: bool,
+    next_seq: u64,
+    in_order_pending: BTreeMap<u64, Payload>,
+    any_order_pending: VecDeque<(u64, Payload)>,
+}
+
+struct SourceState {
+    f: Box<dyn FnMut() -> Option<Payload> + Send>,
+    next_seq: u64,
+    exhausted: bool,
+}
+
+struct Exec {
+    source: Mutex<SourceState>,
+    filters: Vec<FilterImpl>,
+    live: AtomicUsize,
+    max_live: usize,
+    completed: AtomicU64,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    pool: Arc<TaskPool>,
+}
+
+/// Typed builder for a [`Pipeline`]. `T` is the current token type.
+pub struct PipelineBuilder<T> {
+    source: SourceState,
+    filters: Vec<FilterImpl>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+/// A fully built pipeline, ready to [`run`](Pipeline::run).
+pub struct Pipeline {
+    source: SourceState,
+    filters: Vec<FilterImpl>,
+}
+
+impl Pipeline {
+    /// Start a pipeline from a serial source closure; `None` ends the stream.
+    pub fn source<T, F>(f: F) -> PipelineBuilder<T>
+    where
+        T: Send + 'static,
+        F: FnMut() -> Option<T> + Send + 'static,
+    {
+        let mut f = f;
+        PipelineBuilder {
+            source: SourceState {
+                f: Box::new(move || f().map(|v| Box::new(v) as Payload)),
+                next_seq: 0,
+                exhausted: false,
+            },
+            filters: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Start a pipeline from an iterator.
+    #[allow(clippy::should_implement_trait)] // Pipeline is not a collection
+    pub fn from_iter<I>(iter: I) -> PipelineBuilder<I::Item>
+    where
+        I: IntoIterator + Send + 'static,
+        I::Item: Send + 'static,
+        I::IntoIter: Send + 'static,
+    {
+        let mut it = iter.into_iter();
+        Pipeline::source(move || it.next())
+    }
+
+    /// Execute on `pool` with at most `max_live_tokens` items in flight.
+    /// Blocks until the stream is exhausted and every token has left the
+    /// last filter.
+    ///
+    /// # Panics
+    /// Panics if `max_live_tokens == 0`.
+    pub fn run(self, pool: &Arc<TaskPool>, max_live_tokens: usize) {
+        assert!(max_live_tokens > 0, "need at least one live token");
+        let exec = Arc::new(Exec {
+            source: Mutex::new(self.source),
+            filters: self.filters,
+            live: AtomicUsize::new(0),
+            max_live: max_live_tokens,
+            completed: AtomicU64::new(0),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            pool: Arc::clone(pool),
+        });
+        {
+            let exec2 = Arc::clone(&exec);
+            pool.spawn(move || pump_source(&exec2));
+        }
+        let mut done = exec.done.lock().unwrap();
+        while !*done {
+            done = exec.done_cv.wait(done).unwrap();
+        }
+    }
+}
+
+impl<T: Send + 'static> PipelineBuilder<T> {
+    /// Append a parallel filter: replicas may run concurrently, so the
+    /// closure is `Fn + Sync` (shared state must be synchronized by the
+    /// caller, exactly as in TBB).
+    pub fn parallel<U, F>(mut self, f: F) -> PipelineBuilder<U>
+    where
+        U: Send + 'static,
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        self.filters.push(FilterImpl::Parallel(Box::new(move |p| {
+            let v = *p.downcast::<T>().expect("pipeline token type mismatch");
+            Box::new(f(v)) as Payload
+        })));
+        self.retype()
+    }
+
+    /// Append a serial filter that processes tokens in stream order.
+    pub fn serial_in_order<U, F>(self, f: F) -> PipelineBuilder<U>
+    where
+        U: Send + 'static,
+        F: FnMut(T) -> U + Send + 'static,
+    {
+        self.serial(true, f)
+    }
+
+    /// Append a serial filter with no ordering guarantee (still at most one
+    /// invocation at a time).
+    pub fn serial_out_of_order<U, F>(self, f: F) -> PipelineBuilder<U>
+    where
+        U: Send + 'static,
+        F: FnMut(T) -> U + Send + 'static,
+    {
+        self.serial(false, f)
+    }
+
+    fn serial<U, F>(mut self, in_order: bool, mut f: F) -> PipelineBuilder<U>
+    where
+        U: Send + 'static,
+        F: FnMut(T) -> U + Send + 'static,
+    {
+        self.filters.push(FilterImpl::Serial {
+            in_order,
+            state: Mutex::new(SerialState {
+                f: Box::new(move |p| {
+                    let v = *p.downcast::<T>().expect("pipeline token type mismatch");
+                    Box::new(f(v)) as Payload
+                }),
+                busy: false,
+                next_seq: 0,
+                in_order_pending: BTreeMap::new(),
+                any_order_pending: VecDeque::new(),
+            }),
+        });
+        self.retype()
+    }
+
+    /// Finish building (the final token type is discarded when tokens leave
+    /// the last filter; make the last filter the sink).
+    pub fn build(self) -> Pipeline {
+        Pipeline {
+            source: self.source,
+            filters: self.filters,
+        }
+    }
+
+    fn retype<U>(self) -> PipelineBuilder<U> {
+        PipelineBuilder {
+            source: self.source,
+            filters: self.filters,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Produce tokens while slots are available; re-invoked whenever a token
+/// retires.
+fn pump_source(exec: &Arc<Exec>) {
+    loop {
+        // Reserve a live-token slot.
+        let mut cur = exec.live.load(Ordering::Acquire);
+        loop {
+            if cur >= exec.max_live {
+                return; // finish_token will pump again
+            }
+            match exec.live.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        // Produce one item under the source lock (serial source).
+        let produced = {
+            let mut src = exec.source.lock().unwrap();
+            if src.exhausted {
+                None
+            } else {
+                match (src.f)() {
+                    Some(p) => {
+                        let seq = src.next_seq;
+                        src.next_seq += 1;
+                        Some((seq, p))
+                    }
+                    None => {
+                        src.exhausted = true;
+                        None
+                    }
+                }
+            }
+        };
+        match produced {
+            Some((seq, payload)) => {
+                let exec2 = Arc::clone(exec);
+                exec.pool
+                    .spawn(move || advance(&exec2, 0, seq, payload));
+            }
+            None => {
+                // Give back the reserved slot and check for completion.
+                exec.live.fetch_sub(1, Ordering::AcqRel);
+                maybe_finish(exec);
+                return;
+            }
+        }
+    }
+}
+
+/// Carry `payload` (token `seq`) from filter `idx` to the end, parking at
+/// busy/out-of-turn serial filters.
+fn advance(exec: &Arc<Exec>, mut idx: usize, seq: u64, mut payload: Payload) {
+    loop {
+        let Some(filter) = exec.filters.get(idx) else {
+            finish_token(exec);
+            return;
+        };
+        match filter {
+            FilterImpl::Parallel(f) => {
+                payload = f(payload);
+                idx += 1;
+            }
+            FilterImpl::Serial { in_order, state } => {
+                let mut st = state.lock().unwrap();
+                if st.busy || (*in_order && seq != st.next_seq) {
+                    if *in_order {
+                        st.in_order_pending.insert(seq, payload);
+                    } else {
+                        st.any_order_pending.push_back((seq, payload));
+                    }
+                    return; // the running token will dispatch us later
+                }
+                st.busy = true;
+                // Run the user closure while holding the state lock: the
+                // filter is serial by definition, and holding the lock keeps
+                // busy/next_seq updates atomic with the call.
+                let out = (st.f)(payload);
+                st.busy = false;
+                if *in_order {
+                    st.next_seq += 1;
+                }
+                let next = if *in_order {
+                    let ns = st.next_seq;
+                    st.in_order_pending.remove(&ns).map(|p| (ns, p))
+                } else {
+                    st.any_order_pending.pop_front()
+                };
+                drop(st);
+                if let Some((nseq, npayload)) = next {
+                    let exec2 = Arc::clone(exec);
+                    exec.pool
+                        .spawn(move || advance(&exec2, idx, nseq, npayload));
+                }
+                payload = out;
+                idx += 1;
+            }
+        }
+    }
+}
+
+fn finish_token(exec: &Arc<Exec>) {
+    exec.completed.fetch_add(1, Ordering::Relaxed);
+    exec.live.fetch_sub(1, Ordering::AcqRel);
+    let exhausted = exec.source.lock().unwrap().exhausted;
+    if exhausted {
+        maybe_finish(exec);
+    } else {
+        // A token slot freed: keep the source busy.
+        let exec2 = Arc::clone(exec);
+        exec.pool.spawn(move || pump_source(&exec2));
+    }
+}
+
+fn maybe_finish(exec: &Arc<Exec>) {
+    if exec.live.load(Ordering::Acquire) == 0 && exec.source.lock().unwrap().exhausted {
+        let mut done = exec.done.lock().unwrap();
+        *done = true;
+        exec.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Arc<TaskPool> {
+        Arc::new(TaskPool::new(4))
+    }
+
+    #[test]
+    fn serial_in_order_sink_sees_stream_order() {
+        let pool = pool();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        Pipeline::from_iter(0..200u64)
+            .parallel(|x| x * 2)
+            .serial_in_order(move |x| out2.lock().unwrap().push(x))
+            .build()
+            .run(&pool, 8);
+        assert_eq!(*out.lock().unwrap(), (0..200).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn all_tokens_processed_out_of_order_sink() {
+        let pool = pool();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        Pipeline::from_iter(0..500u32)
+            .parallel(|x| x + 1)
+            .serial_out_of_order(move |x| out2.lock().unwrap().push(x))
+            .build()
+            .run(&pool, 16);
+        let mut got = out.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got, (1..=500).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn live_tokens_never_exceed_limit() {
+        let pool = pool();
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let (live_in, peak_in) = (Arc::clone(&live), Arc::clone(&peak));
+        let live_out = Arc::clone(&live);
+        const LIMIT: usize = 5;
+        Pipeline::from_iter(0..300u32)
+            .parallel(move |x| {
+                let l = live_in.fetch_add(1, Ordering::SeqCst) + 1;
+                peak_in.fetch_max(l, Ordering::SeqCst);
+                std::thread::yield_now();
+                x
+            })
+            .parallel(move |x| {
+                live_out.fetch_sub(1, Ordering::SeqCst);
+                x
+            })
+            .serial_in_order(|_x| {})
+            .build()
+            .run(&pool, LIMIT);
+        assert!(
+            peak.load(Ordering::SeqCst) <= LIMIT,
+            "peak {} > limit {LIMIT}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn multi_stage_typed_pipeline() {
+        let pool = pool();
+        let sum = Arc::new(AtomicU64::new(0));
+        let sum2 = Arc::clone(&sum);
+        Pipeline::from_iter(1..=100u32)
+            .parallel(|x| x as u64)
+            .parallel(|x| x * x)
+            .serial_in_order(move |x: u64| {
+                sum2.fetch_add(x, Ordering::Relaxed);
+            })
+            .build()
+            .run(&pool, 10);
+        assert_eq!(sum.load(Ordering::Relaxed), 338_350);
+    }
+
+    #[test]
+    fn serial_stage_is_never_reentered() {
+        let pool = pool();
+        let inside = Arc::new(AtomicUsize::new(0));
+        let violations = Arc::new(AtomicUsize::new(0));
+        let (i2, v2) = (Arc::clone(&inside), Arc::clone(&violations));
+        Pipeline::from_iter(0..200u32)
+            .serial_out_of_order(move |x| {
+                if i2.fetch_add(1, Ordering::SeqCst) != 0 {
+                    v2.fetch_add(1, Ordering::SeqCst);
+                }
+                std::thread::yield_now();
+                i2.fetch_sub(1, Ordering::SeqCst);
+                x
+            })
+            .serial_in_order(|_x| {})
+            .build()
+            .run(&pool, 12);
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn empty_source_completes() {
+        let pool = pool();
+        Pipeline::source(|| None::<u32>)
+            .serial_in_order(|_x| {})
+            .build()
+            .run(&pool, 4);
+    }
+
+    #[test]
+    fn single_token_degenerates_to_sequential() {
+        let pool = pool();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        Pipeline::from_iter(0..50u32)
+            .parallel(|x| x * 3)
+            .serial_in_order(move |x| out2.lock().unwrap().push(x))
+            .build()
+            .run(&pool, 1);
+        assert_eq!(*out.lock().unwrap(), (0..50).map(|x| x * 3).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one live token")]
+    fn zero_tokens_panics() {
+        let pool = pool();
+        Pipeline::from_iter(0..1u32)
+            .serial_in_order(|_x| {})
+            .build()
+            .run(&pool, 0);
+    }
+}

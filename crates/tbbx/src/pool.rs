@@ -1,0 +1,267 @@
+//! Work-stealing task pool — the analogue of TBB's task scheduler.
+//!
+//! Each worker owns a LIFO deque (crossbeam's Chase–Lev implementation);
+//! tasks spawned from outside land in a global FIFO injector. Idle workers
+//! steal: first from the injector, then from peers, then park on a condition
+//! variable until new work is announced. Tasks are plain boxed closures —
+//! the structured patterns ([`crate::parallel_for`], the
+//! [`pipeline`](crate::pipeline)) are layered on top with latches.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    shutdown: AtomicBool,
+    /// Count of tasks announced but not yet taken; used with the condvar to
+    /// avoid missed wakeups when all workers are parked.
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    pending: AtomicUsize,
+}
+
+impl Shared {
+    fn announce(&self) {
+        self.pending.fetch_add(1, Ordering::Release);
+        drop(self.sleep_lock.lock().unwrap());
+        self.wake.notify_one();
+    }
+
+    fn announce_all(&self) {
+        drop(self.sleep_lock.lock().unwrap());
+        self.wake.notify_all();
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct TaskPool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    n_workers: usize,
+}
+
+impl TaskPool {
+    /// Spawn a pool with `n_workers` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `n_workers == 0`.
+    pub fn new(n_workers: usize) -> Self {
+        assert!(n_workers > 0, "pool needs at least one worker");
+        let deques: Vec<Deque<Task>> = (0..n_workers).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            pending: AtomicUsize::new(0),
+        });
+        let threads = deques
+            .into_iter()
+            .enumerate()
+            .map(|(idx, deque)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tbbx-worker-{idx}"))
+                    .spawn(move || worker_loop(idx, deque, shared))
+                    .expect("spawn tbbx worker")
+            })
+            .collect();
+        TaskPool {
+            shared,
+            threads,
+            n_workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Submit a task for execution.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, task: F) {
+        self.shared.injector.push(Box::new(task));
+        self.shared.announce();
+    }
+
+    /// Submit a task from inside another task (same path; kept for clarity
+    /// at call sites).
+    pub fn spawn_nested<F: FnOnce() + Send + 'static>(&self, task: F) {
+        self.spawn(task)
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.announce_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(idx: usize, local: Deque<Task>, shared: Arc<Shared>) {
+    loop {
+        if let Some(task) = find_task(idx, &local, &shared) {
+            shared.pending.fetch_sub(1, Ordering::AcqRel);
+            task();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Park until work is announced or shutdown.
+        let guard = shared.sleep_lock.lock().unwrap();
+        if shared.pending.load(Ordering::Acquire) == 0 && !shared.shutdown.load(Ordering::Acquire)
+        {
+            let _unused = shared
+                .wake
+                .wait_timeout(guard, std::time::Duration::from_millis(10))
+                .unwrap();
+        }
+    }
+}
+
+fn find_task(self_idx: usize, local: &Deque<Task>, shared: &Shared) -> Option<Task> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    // Steal from the injector in batches, then from peers.
+    loop {
+        match shared.injector.steal_batch_and_pop(local) {
+            crossbeam::deque::Steal::Success(t) => return Some(t),
+            crossbeam::deque::Steal::Retry => continue,
+            crossbeam::deque::Steal::Empty => break,
+        }
+    }
+    for (i, stealer) in shared.stealers.iter().enumerate() {
+        if i == self_idx {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                crossbeam::deque::Steal::Success(t) => return Some(t),
+                crossbeam::deque::Steal::Retry => continue,
+                crossbeam::deque::Steal::Empty => break,
+            }
+        }
+    }
+    None
+}
+
+/// A countdown latch: blocks [`Latch::wait`] until `count` completions.
+pub struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    /// Latch expecting `count` completions.
+    pub fn new(count: usize) -> Arc<Self> {
+        Arc::new(Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Record one completion.
+    pub fn count_down(&self) {
+        let mut rem = self.remaining.lock().unwrap();
+        assert!(*rem > 0, "latch over-released");
+        *rem -= 1;
+        if *rem == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until the count reaches zero.
+    pub fn wait(&self) {
+        let mut rem = self.remaining.lock().unwrap();
+        while *rem > 0 {
+            rem = self.done.wait(rem).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn tasks_all_run() {
+        let pool = TaskPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let latch = Latch::new(100);
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let latch = Arc::clone(&latch);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                latch.count_down();
+            });
+        }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_spawns_complete() {
+        let pool = Arc::new(TaskPool::new(2));
+        let counter = Arc::new(AtomicU64::new(0));
+        let latch = Latch::new(10 * 10);
+        for _ in 0..10 {
+            let pool2 = Arc::clone(&pool);
+            let counter = Arc::clone(&counter);
+            let latch = Arc::clone(&latch);
+            pool.spawn(move || {
+                for _ in 0..10 {
+                    let counter = Arc::clone(&counter);
+                    let latch = Arc::clone(&latch);
+                    pool2.spawn_nested(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        latch.count_down();
+                    });
+                }
+            });
+        }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn pool_shuts_down_cleanly_with_idle_workers() {
+        let pool = TaskPool::new(3);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(pool); // must not hang on parked workers
+    }
+
+    #[test]
+    fn latch_zero_is_immediately_open() {
+        let latch = Latch::new(0);
+        latch.wait();
+    }
+
+    #[test]
+    #[should_panic(expected = "over-released")]
+    fn latch_over_release_panics() {
+        let latch = Latch::new(1);
+        latch.count_down();
+        latch.count_down();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = TaskPool::new(0);
+    }
+}

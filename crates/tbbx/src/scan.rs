@@ -1,0 +1,160 @@
+//! `parallel_scan` — the prefix-sum loop template (§III-B of the paper
+//! lists "map, scan, parallel_for" among TBB's patterns).
+//!
+//! Two-pass blocked algorithm: pass 1 computes per-chunk reductions in
+//! parallel; a serial sweep turns them into chunk offsets; pass 2 writes
+//! each chunk's prefixes in parallel starting from its offset. `combine`
+//! must be associative.
+
+use std::sync::{Arc, Mutex};
+
+use crate::pool::{Latch, TaskPool};
+
+/// Inclusive prefix scan of `input` under the associative `combine` with
+/// `identity`. Returns the scanned vector.
+///
+/// # Panics
+/// Panics if `grain == 0`.
+pub fn parallel_scan<T, F>(
+    pool: &Arc<TaskPool>,
+    input: &[T],
+    grain: usize,
+    identity: T,
+    combine: F,
+) -> Vec<T>
+where
+    T: Clone + Send + Sync + 'static,
+    F: Fn(&T, &T) -> T + Send + Sync + 'static,
+{
+    assert!(grain > 0, "grain must be >= 1");
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let input: Arc<[T]> = Arc::from(input.to_vec());
+    let combine = Arc::new(combine);
+    let n_chunks = n.div_ceil(grain);
+
+    // Pass 1: per-chunk totals.
+    let totals: Arc<Mutex<Vec<Option<T>>>> = Arc::new(Mutex::new(vec![None; n_chunks]));
+    let latch = Latch::new(n_chunks);
+    for c in 0..n_chunks {
+        let input = Arc::clone(&input);
+        let combine = Arc::clone(&combine);
+        let totals = Arc::clone(&totals);
+        let latch = Arc::clone(&latch);
+        let identity = identity.clone();
+        pool.spawn(move || {
+            let lo = c * grain;
+            let hi = ((c + 1) * grain).min(input.len());
+            let mut acc = identity;
+            for v in &input[lo..hi] {
+                acc = combine(&acc, v);
+            }
+            totals.lock().unwrap()[c] = Some(acc);
+            latch.count_down();
+        });
+    }
+    latch.wait();
+
+    // Serial sweep: exclusive offsets per chunk.
+    let totals = Arc::try_unwrap(totals)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|_| panic!("totals still shared"));
+    let mut offsets = Vec::with_capacity(n_chunks);
+    let mut running = identity.clone();
+    for t in totals {
+        offsets.push(running.clone());
+        running = combine(&running, &t.expect("chunk total computed"));
+    }
+    let offsets: Arc<[T]> = Arc::from(offsets);
+
+    // Pass 2: per-chunk prefix writes.
+    let out: Arc<Mutex<Vec<Option<T>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let latch = Latch::new(n_chunks);
+    for c in 0..n_chunks {
+        let input = Arc::clone(&input);
+        let combine = Arc::clone(&combine);
+        let offsets = Arc::clone(&offsets);
+        let out = Arc::clone(&out);
+        let latch = Arc::clone(&latch);
+        pool.spawn(move || {
+            let lo = c * grain;
+            let hi = ((c + 1) * grain).min(input.len());
+            let mut acc = offsets[c].clone();
+            let mut local = Vec::with_capacity(hi - lo);
+            for v in &input[lo..hi] {
+                acc = combine(&acc, v);
+                local.push(acc.clone());
+            }
+            let mut guard = out.lock().unwrap();
+            for (i, v) in local.into_iter().enumerate() {
+                guard[lo + i] = Some(v);
+            }
+            latch.count_down();
+        });
+    }
+    latch.wait();
+    Arc::try_unwrap(out)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|_| panic!("out still shared"))
+        .into_iter()
+        .map(|v| v.expect("every slot written"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Arc<TaskPool> {
+        Arc::new(TaskPool::new(4))
+    }
+
+    #[test]
+    fn scan_matches_sequential_prefix_sum() {
+        let pool = pool();
+        let input: Vec<u64> = (1..=100).collect();
+        let out = parallel_scan(&pool, &input, 7, 0u64, |a, b| a + b);
+        let mut acc = 0u64;
+        let expected: Vec<u64> = input
+            .iter()
+            .map(|&v| {
+                acc += v;
+                acc
+            })
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn scan_with_max_operator() {
+        let pool = pool();
+        let input = vec![3u32, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7];
+        let out = parallel_scan(&pool, &input, 3, 0u32, |a, b| *a.max(b));
+        let expected = vec![3, 3, 4, 4, 5, 9, 9, 9, 9, 9, 9, 9, 9, 9];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let pool = pool();
+        assert!(parallel_scan(&pool, &[] as &[u64], 4, 0u64, |a, b| a + b).is_empty());
+        assert_eq!(parallel_scan(&pool, &[42u64], 4, 0, |a, b| a + b), vec![42]);
+    }
+
+    #[test]
+    fn grain_larger_than_input() {
+        let pool = pool();
+        let input = vec![1u64, 2, 3];
+        let out = parallel_scan(&pool, &input, 100, 0, |a, b| a + b);
+        assert_eq!(out, vec![1, 3, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grain must be >= 1")]
+    fn zero_grain_panics() {
+        let pool = pool();
+        let _ = parallel_scan(&pool, &[1u64], 0, 0, |a, b| a + b);
+    }
+}

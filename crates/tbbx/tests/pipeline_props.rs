@@ -1,0 +1,77 @@
+//! Property tests for the TBB-style pipeline: for any input, any worker
+//! count, and any live-token cap, serial-in-order sinks must observe the
+//! exact sequential result.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tbbx::{Pipeline, TaskPool};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn in_order_sink_sees_sequential_result(
+        input in vec(any::<u32>(), 0..300),
+        workers in 1usize..5,
+        tokens in 1usize..20,
+    ) {
+        let pool = Arc::new(TaskPool::new(workers));
+        let expected: Vec<u64> = input
+            .iter()
+            .map(|&x| (x as u64).wrapping_mul(2654435761) >> 3)
+            .collect();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&out);
+        Pipeline::from_iter(input)
+            .parallel(|x: u32| (x as u64).wrapping_mul(2654435761) >> 3)
+            .serial_in_order(move |v: u64| sink.lock().unwrap().push(v))
+            .build()
+            .run(&pool, tokens);
+        prop_assert_eq!(out.lock().unwrap().clone(), expected);
+    }
+
+    #[test]
+    fn multi_filter_chains_compose(
+        input in vec(0u16..1000, 0..200),
+        tokens in 1usize..12,
+    ) {
+        let pool = Arc::new(TaskPool::new(3));
+        let expected: Vec<u32> = input.iter().map(|&x| (x as u32 + 7) * 3).collect();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&out);
+        Pipeline::from_iter(input)
+            .parallel(|x: u16| x as u32 + 7)
+            .serial_out_of_order(|x: u32| x) // serialization point
+            .parallel(|x: u32| x * 3)
+            .serial_in_order(move |v: u32| sink.lock().unwrap().push(v))
+            .build()
+            .run(&pool, tokens);
+        let mut got = out.lock().unwrap().clone();
+        let mut want = expected;
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential_fold(
+        input in vec(any::<u32>(), 0..500),
+        grain in 1usize..64,
+    ) {
+        let pool = Arc::new(TaskPool::new(3));
+        let data = Arc::new(input.clone());
+        let expected: u64 = input.iter().map(|&x| x as u64).sum();
+        let data2 = Arc::clone(&data);
+        let total = tbbx::parallel_reduce(
+            &pool,
+            0..data.len(),
+            grain,
+            0u64,
+            move |i| data2[i] as u64,
+            |a, b| a + b,
+        );
+        prop_assert_eq!(total, expected);
+    }
+}

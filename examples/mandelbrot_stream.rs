@@ -1,0 +1,69 @@
+//! Mandelbrot Streaming (paper §IV-A): render the fractal with a chosen
+//! programming model and write a PGM image.
+//!
+//! ```text
+//! cargo run --release --example mandelbrot_stream -- [model] [dim] [niter]
+//! # model ∈ seq | spar | fastflow | tbb | cuda | opencl | spar+cuda | spar+opencl
+//! cargo run --release --example mandelbrot_stream -- spar+cuda 400 1500
+//! ```
+//!
+//! Every model produces the identical image (checked against the
+//! sequential render); GPU models additionally report the modeled device
+//! time on the simulated Titan XPs.
+
+use std::sync::Arc;
+
+use gpusim::{DeviceProps, GpuSystem};
+use mandel::core::FractalParams;
+use mandel::hybrid::{CudaOffload, OclOffload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model = args.get(1).map(String::as_str).unwrap_or("spar");
+    let dim: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let niter: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let params = FractalParams::view(dim, niter);
+    let workers = 4;
+    let batch = 16;
+
+    println!("rendering {dim}x{dim} (niter {niter}) with model '{model}'...");
+    let (reference, total_iters) = mandel::cpu::run_sequential(&params);
+    println!("sequential reference: {total_iters} iterations total");
+
+    let system = GpuSystem::new(2, DeviceProps::titan_xp());
+    let image = match model {
+        "seq" => reference.clone(),
+        "spar" => mandel::cpu::run_spar(&params, workers),
+        "fastflow" => mandel::cpu::run_fastflow(&params, workers),
+        "tbb" => {
+            let pool = Arc::new(tbbx::TaskPool::new(workers));
+            mandel::cpu::run_tbb(&params, &pool, 2 * workers)
+        }
+        "cuda" => {
+            let (img, t) = mandel::gpu::cuda_overlap(&system, &params, batch, 4, 2);
+            println!("modeled GPU time on 2x Titan XP (4x mem spaces): {t}");
+            img
+        }
+        "opencl" => {
+            let (img, t) = mandel::gpu::ocl_overlap(&system, &params, batch, 4, 2);
+            println!("modeled GPU time on 2x Titan XP (4x mem spaces): {t}");
+            img
+        }
+        "spar+cuda" => mandel::hybrid::run_spar_gpu::<CudaOffload>(&system, &params, workers, batch, 2),
+        "spar+opencl" => mandel::hybrid::run_spar_gpu::<OclOffload>(&system, &params, workers, batch, 2),
+        other => {
+            eprintln!("unknown model '{other}'");
+            std::process::exit(2);
+        }
+    };
+
+    assert_eq!(
+        image.digest(),
+        reference.digest(),
+        "{model} produced a different image than the sequential version"
+    );
+
+    let path = format!("mandelbrot_{}.pgm", model.replace('+', "_"));
+    std::fs::write(&path, image.to_pgm()).expect("write image");
+    println!("image verified against the sequential render; written to {path}");
+}

@@ -1,0 +1,37 @@
+//! `hetstream` — facade crate for the workspace.
+//!
+//! Re-exports every subsystem of the reproduction of *"Stream Processing on
+//! Multi-Cores with GPUs: Parallel Programming Models' Challenges"*
+//! (Rockenbach et al., IPDPS-W 2019) under one roof, so examples and
+//! integration tests can `use hetstream::...`.
+//!
+//! Subsystem map (see `DESIGN.md` for the full inventory):
+//!
+//! * [`spar`] — the paper's primary contribution: an annotation-style DSL
+//!   for stream parallelism, compiled onto the [`fastflow`] runtime.
+//! * [`spar_gpu`] — the paper's §VI future work: GPU offload stages whose
+//!   CUDA/OpenCL host code is generated from a single lane function.
+//! * [`fastflow`] — pipeline/farm skeleton runtime over lock-free SPSC queues.
+//! * [`tbbx`] — TBB-style task scheduler and token-throttled pipeline.
+//! * [`gpusim`] — functional GPU simulator with CUDA-like and OpenCL-like
+//!   front ends plus a Titan XP cost model.
+//! * [`mandel`] — the Mandelbrot Streaming case study (§IV-A).
+//! * [`dedup`] — the Dedup case study (§IV-B): rabin, SHA-1, LZSS, archive.
+//! * [`perfmodel`] — discrete-event models regenerating Figs. 1, 4 and 5.
+//! * [`simtime`] — the deterministic DES core underlying `perfmodel`.
+
+pub use dedup;
+pub use fastflow;
+pub use gpusim;
+pub use mandel;
+pub use perfmodel;
+pub use simtime;
+pub use spar;
+pub use spar_gpu;
+pub use tbbx;
+
+/// Convenience prelude for examples and tests.
+pub mod prelude {
+    pub use fastflow::{Farm, Pipeline, WaitStrategy};
+    pub use spar::StreamBuilder;
+}

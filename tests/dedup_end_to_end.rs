@@ -1,0 +1,119 @@
+//! Cross-crate integration: the Dedup pipeline end-to-end, every backend,
+//! every dataset — archives must be byte-identical across backends and
+//! must decompress to the original input.
+
+use hetstream::dedup::{
+    datasets, run_pipeline, run_sequential, BackendCtx, CpuBackend, CudaBackend, DedupConfig,
+    LzssConfig, OclBackend, RabinParams,
+};
+use hetstream::dedup::single::{run_single_cuda, run_single_ocl};
+use hetstream::gpusim::{DeviceProps, GpuSystem};
+
+fn cfg() -> DedupConfig {
+    DedupConfig {
+        batch_size: 16 * 1024,
+        rabin: RabinParams {
+            window: 16,
+            mask: (1 << 9) - 1,
+            magic: 0x5c,
+            min_chunk: 256,
+            max_chunk: 4096,
+        },
+        lzss: LzssConfig {
+            window: 256,
+            min_coded: 3,
+        },
+    }
+}
+
+#[test]
+fn all_backends_produce_identical_archives_on_all_datasets() {
+    let cfg = cfg();
+    let system = GpuSystem::new(2, DeviceProps::titan_xp());
+    for ds in datasets::all(50_000, 77) {
+        let reference = run_sequential(&ds.data, &cfg);
+        assert_eq!(
+            reference.decompress().unwrap(),
+            ds.data,
+            "{}: roundtrip broken",
+            ds.name
+        );
+
+        let cpu = run_pipeline::<CpuBackend>(BackendCtx::cpu(cfg.lzss), ds.data.clone(), &cfg, 3);
+        assert_eq!(cpu, reference, "{}: cpu pipeline", ds.name);
+
+        let cuda_ctx = BackendCtx::gpu(system.clone(), 2, true, cfg.lzss);
+        let cuda = run_pipeline::<CudaBackend>(cuda_ctx, ds.data.clone(), &cfg, 2);
+        assert_eq!(cuda, reference, "{}: cuda pipeline", ds.name);
+
+        let ocl_ctx = BackendCtx::gpu(system.clone(), 2, true, cfg.lzss);
+        let ocl = run_pipeline::<OclBackend>(ocl_ctx, ds.data.clone(), &cfg, 2);
+        assert_eq!(ocl, reference, "{}: opencl pipeline", ds.name);
+
+        let (single_c, _) = run_single_cuda(&system, &ds.data, &cfg, 2);
+        assert_eq!(single_c, reference, "{}: single cuda", ds.name);
+        let (single_o, _) = run_single_ocl(&system, &ds.data, &cfg, 2);
+        assert_eq!(single_o, reference, "{}: single opencl", ds.name);
+    }
+}
+
+#[test]
+fn archive_serialization_survives_a_disk_roundtrip() {
+    let cfg = cfg();
+    let data = datasets::linux_like(40_000, 3).data;
+    let archive = run_sequential(&data, &cfg);
+    let bytes = archive.to_bytes();
+    let parsed = hetstream::dedup::Archive::from_bytes(&bytes).expect("parse");
+    assert_eq!(parsed, archive);
+    assert_eq!(parsed.decompress().unwrap(), data);
+}
+
+#[test]
+fn duplicated_input_dedups_across_batch_boundaries() {
+    let cfg = cfg();
+    // Two identical 30 KB halves: the second half spans different batches
+    // than the first but must still be found duplicate (global cache).
+    let half = datasets::silesia_like(30_000, 5).data;
+    let mut data = half.clone();
+    data.extend_from_slice(&half);
+    let archive = run_sequential(&data, &cfg);
+    let (unique, dups) = archive.block_counts();
+    assert!(
+        dups as f64 >= unique as f64 * 0.5,
+        "expected heavy duplication: {unique} unique vs {dups} dups"
+    );
+    assert_eq!(archive.decompress().unwrap(), data);
+}
+
+#[test]
+fn unbatched_and_batched_kernels_agree() {
+    let cfg = cfg();
+    let data = datasets::parsec_like(40_000, 6).data;
+    let system = GpuSystem::new(1, DeviceProps::titan_xp());
+    let batched = run_pipeline::<CudaBackend>(
+        BackendCtx::gpu(system.clone(), 1, true, cfg.lzss),
+        data.clone(),
+        &cfg,
+        2,
+    );
+    let unbatched = run_pipeline::<CudaBackend>(
+        BackendCtx::gpu(system, 1, false, cfg.lzss),
+        data.clone(),
+        &cfg,
+        2,
+    );
+    assert_eq!(batched, unbatched);
+    assert_eq!(batched.decompress().unwrap(), data);
+}
+
+#[test]
+fn worker_count_does_not_change_the_archive() {
+    let cfg = cfg();
+    let data = datasets::parsec_like(40_000, 8).data;
+    let reference = run_sequential(&data, &cfg);
+    for workers in [1, 2, 5] {
+        let out =
+            run_pipeline::<CpuBackend>(BackendCtx::cpu(cfg.lzss), data.clone(), &cfg, workers);
+        assert_eq!(out, reference, "workers={workers}");
+    }
+}

@@ -1,0 +1,165 @@
+//! The "reproduction contract": the paper's qualitative claims, asserted
+//! against the performance model at test scale. These are the same checks
+//! the figure harnesses run at larger scale.
+
+use std::sync::Arc;
+
+use hetstream::dedup::{self, DedupConfig, HostCosts, LzssConfig, RabinParams};
+use hetstream::gpusim::{DeviceProps, GpuSystem};
+use hetstream::mandel::core::FractalParams;
+use hetstream::mandel::gpu;
+use hetstream::perfmodel::dedupmodel::{self, GpuApi};
+use hetstream::perfmodel::machine::{CpuModel, CpuRuntime};
+use hetstream::perfmodel::mandelmodel::{self, characterize};
+
+fn mandel_system() -> Arc<GpuSystem> {
+    GpuSystem::new(2, DeviceProps::titan_xp())
+}
+
+#[test]
+fn fig1_ladder_ordering_holds() {
+    let p = FractalParams::view(640, 2500);
+    let system = mandel_system();
+    let w = characterize(&p);
+    let cpu = CpuModel::default();
+    let t_seq = mandelmodel::seq_time(&w, &cpu);
+    let t_cpu = mandelmodel::cpu_pipeline_time(&w, &cpu, CpuRuntime::Spar, 19);
+    let (_, t_1d) = gpu::cuda_per_line(&system, &p);
+    let (_, t_2d) = gpu::cuda_2d(&system, &p);
+    let (_, t_batch) = gpu::cuda_batch(&system, &p, 32);
+    let (_, t_2x) = gpu::cuda_overlap(&system, &p, 32, 2, 1);
+    let (_, t_4x) = gpu::cuda_overlap(&system, &p, 32, 4, 1);
+    let (_, t_2gpu) = gpu::cuda_overlap(&system, &p, 32, 2, 2);
+    let (_, t_2gpu_2x) = gpu::cuda_overlap(&system, &p, 32, 4, 2);
+
+    // Fig. 1's ordering, top of the bars downward.
+    assert!(t_2d > t_1d, "2D grid must be the slowest GPU attempt");
+    assert!(t_1d < t_seq, "even naive GPU beats sequential");
+    assert!(t_1d > t_cpu, "naive GPU loses to the 20-thread CPU version");
+    assert!(t_batch < t_cpu, "batched GPU beats the CPU version");
+    assert!(t_2x < t_batch, "overlap beats plain batching");
+    assert!(
+        t_4x.as_secs_f64() <= t_2x.as_secs_f64() * 1.03,
+        "4x memory must not regress from 2x"
+    );
+    assert!(t_2gpu < t_4x, "a second GPU helps");
+    assert!(t_2gpu_2x <= t_2gpu, "2 GPUs with 2x spaces is the fastest");
+}
+
+#[test]
+fn fig1_speedup_magnitudes_are_in_the_paper_ballpark() {
+    let p = FractalParams::view(640, 2500);
+    let system = mandel_system();
+    let w = characterize(&p);
+    let cpu = CpuModel::default();
+    let t_seq = mandelmodel::seq_time(&w, &cpu).as_secs_f64();
+    let (_, t_1d) = gpu::cuda_per_line(&system, &p);
+    let (_, t_batch) = gpu::cuda_batch(&system, &p, 32);
+    let naive_speedup = t_seq / t_1d.as_secs_f64();
+    let batch_speedup = t_seq / t_batch.as_secs_f64();
+    // Paper: 3.1x naive, 44-45x batched (at 2000x2000x200k). At reduced
+    // scale the magnitudes drift but must stay within a broad band.
+    assert!(
+        (1.0..12.0).contains(&naive_speedup),
+        "naive speedup {naive_speedup:.1}"
+    );
+    assert!(
+        batch_speedup > 5.0 * naive_speedup,
+        "batching must multiply the naive speedup: naive={naive_speedup:.1} batch={batch_speedup:.1}"
+    );
+}
+
+#[test]
+fn fig4_model_relationships_hold() {
+    let p = FractalParams::view(640, 2500);
+    let w = characterize(&p);
+    let cpu = CpuModel::default();
+    let props = DeviceProps::titan_xp();
+
+    let spar = mandelmodel::cpu_pipeline_time(&w, &cpu, CpuRuntime::Spar, 19);
+    let tbb = mandelmodel::cpu_pipeline_time(&w, &cpu, CpuRuntime::Tbb, 19);
+    let ff = mandelmodel::cpu_pipeline_time(&w, &cpu, CpuRuntime::FastFlow, 19);
+    // All CPU models close together (Fig. 4 shows near-identical bars).
+    let worst = spar.max(tbb).max(ff).as_secs_f64();
+    let best = spar.min(tbb).min(ff).as_secs_f64();
+    assert!(worst / best < 1.10, "CPU models spread too far: {}", worst / best);
+
+    let h1 = mandelmodel::hybrid_pipeline_time(&w, &cpu, &props, CpuRuntime::Spar, 10, 32, 1);
+    let h2 = mandelmodel::hybrid_pipeline_time(&w, &cpu, &props, CpuRuntime::Spar, 10, 32, 2);
+    assert!(h2 < h1, "second GPU must help the combined version");
+    assert!(h1 < spar, "GPU offload must beat CPU-only");
+}
+
+#[test]
+fn fig5_model_relationships_hold() {
+    let cfg = DedupConfig {
+        batch_size: 32 * 1024,
+        rabin: RabinParams {
+            window: 16,
+            mask: (1 << 9) - 1,
+            magic: 0x5c,
+            min_chunk: 512,
+            max_chunk: 8192,
+        },
+        lzss: LzssConfig {
+            window: 256,
+            min_coded: 3,
+        },
+    };
+    let cpu = CpuModel::default();
+    let costs = HostCosts::default();
+    let props = DeviceProps::titan_xp();
+    let data = dedup::datasets::parsec_like(120_000, 55).data;
+    let profile = dedupmodel::profile(&data, &cfg, &props);
+
+    let spar = dedupmodel::spar_cpu(&profile, &cpu, &costs, 19);
+    let spar_cuda = dedupmodel::spar_gpu(&profile, &cpu, &props, &costs, 10, 2, GpuApi::Cuda, true);
+    let spar_ocl = dedupmodel::spar_gpu(&profile, &cpu, &props, &costs, 10, 2, GpuApi::OpenCl, true);
+    let nobatch = dedupmodel::spar_gpu(&profile, &cpu, &props, &costs, 10, 2, GpuApi::Cuda, false);
+
+    assert!(
+        spar_cuda.throughput_mbps / nobatch.throughput_mbps > 3.0,
+        "batch optimization must dominate: {} vs {}",
+        spar_cuda.throughput_mbps,
+        nobatch.throughput_mbps
+    );
+    assert!(
+        spar_cuda.throughput_mbps >= spar_ocl.throughput_mbps * 0.98,
+        "SPar+CUDA must not lose to SPar+OpenCL"
+    );
+    assert!(
+        spar_cuda.throughput_mbps > spar.throughput_mbps,
+        "GPU version must beat CPU-only"
+    );
+}
+
+#[test]
+fn fig5_memory_space_asymmetry_holds_on_the_devices() {
+    let cfg = DedupConfig {
+        batch_size: 16 * 1024,
+        rabin: RabinParams {
+            window: 16,
+            mask: (1 << 9) - 1,
+            magic: 0x5c,
+            min_chunk: 256,
+            max_chunk: 4096,
+        },
+        lzss: LzssConfig {
+            window: 256,
+            min_coded: 3,
+        },
+    };
+    let system = GpuSystem::new(1, DeviceProps::titan_xp());
+    let data = dedup::datasets::silesia_like(100_000, 66).data;
+    let (_, c1) = dedup::single::run_single_cuda(&system, &data, &cfg, 1);
+    let (_, c2) = dedup::single::run_single_cuda(&system, &data, &cfg, 2);
+    let (_, o1) = dedup::single::run_single_ocl(&system, &data, &cfg, 1);
+    let (_, o2) = dedup::single::run_single_ocl(&system, &data, &cfg, 2);
+    let ocl_gain = o1.as_secs_f64() / o2.as_secs_f64();
+    let cuda_gain = c1.as_secs_f64() / c2.as_secs_f64();
+    assert!(ocl_gain > 1.01, "2x spaces must help OpenCL: {ocl_gain:.3}");
+    assert!(
+        cuda_gain < ocl_gain,
+        "2x spaces must help CUDA less (pageable realloc buffers): cuda={cuda_gain:.3} ocl={ocl_gain:.3}"
+    );
+}
