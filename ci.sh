@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate for the workspace. Fully offline: no network access required.
+#
+#   ./ci.sh            # format check, clippy, build, tests, fig1 smoke
+#
+# Mirrors .github/workflows/ci.yml so the same gate runs locally.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build (offline) =="
+cargo build --workspace --release --offline
+
+echo "== cargo test =="
+cargo test --workspace --release --offline
+
+echo "== fig1 --tiny smoke (telemetry report must be produced) =="
+figdir="${CARGO_TARGET_DIR:-target}/figures"
+rm -f "$figdir/fig1_telemetry.json" "$figdir/fig1_telemetry.csv"
+cargo run --release --offline -p bench --bin fig1 -- --tiny
+for f in fig1.csv fig1_telemetry.json fig1_telemetry.csv; do
+    if [[ ! -s "$figdir/$f" ]]; then
+        echo "FAIL: expected $figdir/$f to exist and be non-empty" >&2
+        exit 1
+    fi
+done
+grep -q '"stages"' "$figdir/fig1_telemetry.json"
+grep -q '^stage,' "$figdir/fig1_telemetry.csv"
+
+echo
+echo "ci.sh: all gates passed"

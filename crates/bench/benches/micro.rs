@@ -1,184 +1,264 @@
-//! Criterion micro-benchmarks for the substrates.
+//! Micro-benchmarks for the substrates, on a dependency-free hand-rolled
+//! harness (median-of-samples with warmup; `harness = false`).
 //!
 //! These are not paper figures — they validate the building blocks the
 //! models are calibrated against: queue and runtime per-item overheads,
-//! and the per-byte/per-probe costs of the Dedup algorithms. Keep runs
-//! short: this reproduction machine has a single core, so farm/pipeline
-//! results measure overhead, not speedup.
+//! the per-byte/per-probe costs of the Dedup algorithms, and the cost of
+//! the telemetry layer (disabled vs enabled). Keep runs short: this
+//! reproduction machine has a single core, so farm/pipeline results
+//! measure overhead, not speedup.
+//!
+//! Run with `cargo bench -p bench` or `cargo bench -p bench -- <filter>`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
 
-fn bench_spsc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("spsc");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("push_pop_10k", |b| {
-        b.iter(|| {
-            let (p, q) = fastflow::spsc::ring::<u64>(1024);
-            for i in 0..10_000u64 {
-                while p.try_push(i).is_err() {
-                    let _ = std::hint::black_box(q.try_pop());
-                }
-                let _ = std::hint::black_box(q.try_pop());
-            }
+use telemetry::Recorder;
+
+/// Time `f` repeatedly and report the median per-iteration time.
+///
+/// One warmup iteration, then `samples` timed iterations; the median is
+/// robust to the occasional scheduler hiccup on the shared CI box.
+fn bench(filter: &Option<String>, group: &str, name: &str, samples: usize, mut f: impl FnMut()) {
+    let label = format!("{group}/{name}");
+    if let Some(pat) = filter {
+        if !label.contains(pat.as_str()) {
+            return;
+        }
+    }
+    f(); // warmup
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
         })
-    });
-    g.finish();
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let (lo, hi) = (times[0], times[times.len() - 1]);
+    println!(
+        "{label:<44} median {:>12}  min {:>12}  max {:>12}",
+        fmt_ns(median),
+        fmt_ns(lo),
+        fmt_ns(hi)
+    );
 }
 
-fn bench_channel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("channel");
-    g.throughput(Throughput::Elements(50_000));
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn bench_spsc(filter: &Option<String>) {
+    bench(filter, "spsc", "push_pop_10k", 20, || {
+        let (p, q) = fastflow::spsc::ring::<u64>(1024);
+        for i in 0..10_000u64 {
+            while p.try_push(i).is_err() {
+                let _ = black_box(q.try_pop());
+            }
+            let _ = black_box(q.try_pop());
+        }
+    });
+}
+
+fn bench_channel(filter: &Option<String>) {
     for ws in [fastflow::WaitStrategy::Spin, fastflow::WaitStrategy::Block] {
-        g.bench_with_input(
-            BenchmarkId::new("cross_thread_50k", format!("{ws:?}")),
-            &ws,
-            |b, &ws| {
-                b.iter(|| {
-                    let (tx, rx) = fastflow::channel::<u64>(256, ws);
-                    let t = std::thread::spawn(move || {
-                        for i in 0..50_000u64 {
-                            tx.send(i).unwrap();
-                        }
-                    });
-                    let mut sum = 0u64;
-                    while let Some(v) = rx.recv() {
-                        sum += v;
+        bench(
+            filter,
+            "channel",
+            &format!("cross_thread_50k/{ws:?}"),
+            10,
+            || {
+                let (tx, rx) = fastflow::channel::<u64>(256, ws);
+                let t = std::thread::spawn(move || {
+                    for i in 0..50_000u64 {
+                        tx.send(i).unwrap();
                     }
-                    t.join().unwrap();
-                    std::hint::black_box(sum)
-                })
+                });
+                let mut sum = 0u64;
+                while let Some(v) = rx.recv() {
+                    sum += v;
+                }
+                t.join().unwrap();
+                black_box(sum);
             },
         );
     }
-    g.finish();
 }
 
-fn bench_pipelines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline_overhead");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(20_000));
-    g.bench_function("fastflow_farm_20k", |b| {
-        b.iter(|| {
+fn bench_pipelines(filter: &Option<String>) {
+    bench(filter, "pipeline_overhead", "fastflow_farm_20k", 10, || {
+        let out = fastflow::Pipeline::builder()
+            .from_iter(0..20_000u64)
+            .farm_ordered(2, |_| fastflow::node::map(|x: u64| x + 1))
+            .collect();
+        black_box(out.len());
+    });
+    bench(filter, "pipeline_overhead", "spar_region_20k", 10, || {
+        let mut n = 0u64;
+        spar::ToStream::new()
+            .source_iter(0..20_000u64)
+            .stage(2, |x| x + 1)
+            .last_stage(|_| n += 1);
+        black_box(n);
+    });
+    let pool = Arc::new(tbbx::TaskPool::new(2));
+    bench(filter, "pipeline_overhead", "tbb_pipeline_20k", 10, || {
+        let n = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        tbbx::Pipeline::from_iter(0..20_000u64)
+            .parallel(|x| x + 1)
+            .serial_in_order(move |_x| {
+                n2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            })
+            .build()
+            .run(&pool, 8);
+        black_box(n.load(std::sync::atomic::Ordering::Relaxed));
+    });
+}
+
+/// The acceptance gate for the telemetry layer: instrumented code paths
+/// with a *disabled* recorder must stay within 5% of the enabled-recorder
+/// run being meaningfully more expensive — i.e. disabled is the baseline
+/// and we print both so the delta is visible in CI logs.
+fn bench_telemetry(filter: &Option<String>) {
+    for (name, rec) in [
+        ("farm_20k_disabled", Recorder::default()),
+        ("farm_20k_enabled", Recorder::enabled()),
+    ] {
+        let rec = rec.clone();
+        bench(filter, "telemetry", name, 10, move || {
             let out = fastflow::Pipeline::builder()
+                .recorder(rec.clone())
                 .from_iter(0..20_000u64)
                 .farm_ordered(2, |_| fastflow::node::map(|x: u64| x + 1))
                 .collect();
-            std::hint::black_box(out.len())
-        })
-    });
-    g.bench_function("spar_region_20k", |b| {
-        b.iter(|| {
-            let mut n = 0u64;
-            spar::ToStream::new()
-                .source_iter(0..20_000u64)
-                .stage(2, |x| x + 1)
-                .last_stage(|_| n += 1);
-            std::hint::black_box(n)
-        })
-    });
-    g.bench_function("tbb_pipeline_20k", |b| {
-        let pool = Arc::new(tbbx::TaskPool::new(2));
-        b.iter(|| {
-            let n = Arc::new(std::sync::atomic::AtomicU64::new(0));
-            let n2 = Arc::clone(&n);
-            tbbx::Pipeline::from_iter(0..20_000u64)
-                .parallel(|x| x + 1)
-                .serial_in_order(move |_x| {
-                    n2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                })
-                .build()
-                .run(&pool, 8);
-            std::hint::black_box(n.load(std::sync::atomic::Ordering::Relaxed))
-        })
-    });
-    g.finish();
-}
-
-fn bench_dedup_algorithms(c: &mut Criterion) {
-    let data = dedup::datasets::silesia_like(256 * 1024, 7).data;
-
-    let mut g = c.benchmark_group("dedup_algorithms");
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("sha1_256k", |b| {
-        b.iter(|| std::hint::black_box(dedup::sha1(&data)))
-    });
-    g.bench_function("rabin_chunking_256k", |b| {
-        let params = dedup::RabinParams::default();
-        b.iter(|| std::hint::black_box(dedup::rabin::chunk_starts(&data, &params).len()))
-    });
-    g.finish();
-
-    let block = &data[..16 * 1024];
-    let mut g = c.benchmark_group("lzss");
-    g.sample_size(10);
-    g.throughput(Throughput::Bytes(block.len() as u64));
-    for window in [256usize, 1024] {
-        g.bench_with_input(BenchmarkId::new("encode_16k", window), &window, |b, &w| {
-            let cfg = dedup::LzssConfig { window: w, min_coded: 3 };
-            b.iter(|| std::hint::black_box(dedup::lzss::encode_block(block, &cfg).len()))
+            black_box(out.len());
         });
     }
-    g.bench_function("decode_16k", |b| {
-        let cfg = dedup::LzssConfig { window: 1024, min_coded: 3 };
-        let enc = dedup::lzss::encode_block(block, &cfg);
-        b.iter(|| std::hint::black_box(dedup::lzss::decode_block(&enc, block.len(), &cfg).expect("valid stream").len()))
-    });
-    g.finish();
-}
-
-fn bench_mandel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mandel");
-    let params = mandel::FractalParams::view(256, 500);
-    g.throughput(Throughput::Elements(params.dim as u64));
-    g.bench_function("line_256px_500iter", |b| {
-        b.iter(|| std::hint::black_box(mandel::compute_line(&params, 128).iters.len()))
-    });
-    g.finish();
-}
-
-fn bench_gpusim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gpusim");
-    g.sample_size(20);
-    g.bench_function("kernel_launch_roundtrip", |b| {
-        let system = gpusim::GpuSystem::new(1, gpusim::DeviceProps::titan_xp());
-        let params = mandel::FractalParams::view(128, 100);
-        b.iter(|| {
-            let (img, _) = mandel::gpu::cuda_batch(&system, &params, 32);
-            std::hint::black_box(img.digest())
-        })
-    });
-    g.finish();
-}
-
-fn bench_des(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simtime");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("event_loop_100k", |b| {
-        b.iter(|| {
-            let mut sim = simtime::Sim::new();
-            fn tick(sim: &mut simtime::Sim, left: u32) {
-                if left > 0 {
-                    sim.schedule(simtime::SimDuration::from_nanos(10), move |sim| {
-                        tick(sim, left - 1)
-                    });
-                }
+    // Raw handle cost, out of any pipeline: the disabled path is a branch
+    // on a None Option and must be in the nanosecond range.
+    let disabled = Recorder::default().stage("bench", 0);
+    let enabled = Recorder::enabled().stage("bench", 0);
+    bench(
+        filter,
+        "telemetry",
+        "handle_disabled_100k_items",
+        20,
+        || {
+            for _ in 0..100_000 {
+                disabled.item_in(0);
+                let span = disabled.begin();
+                disabled.end(black_box(span));
+                disabled.items_out(1);
             }
-            tick(&mut sim, 100_000);
-            std::hint::black_box(sim.run().as_nanos())
-        })
+        },
+    );
+    bench(filter, "telemetry", "handle_enabled_100k_items", 20, || {
+        for _ in 0..100_000 {
+            enabled.item_in(0);
+            let span = enabled.begin();
+            enabled.end(black_box(span));
+            enabled.items_out(1);
+        }
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_spsc,
-    bench_channel,
-    bench_pipelines,
-    bench_dedup_algorithms,
-    bench_mandel,
-    bench_gpusim,
-    bench_des
-);
-criterion_main!(benches);
+fn bench_dedup_algorithms(filter: &Option<String>) {
+    let data = dedup::datasets::silesia_like(256 * 1024, 7).data;
+
+    bench(filter, "dedup_algorithms", "sha1_256k", 20, || {
+        black_box(dedup::sha1(&data));
+    });
+    let params = dedup::RabinParams::default();
+    bench(
+        filter,
+        "dedup_algorithms",
+        "rabin_chunking_256k",
+        20,
+        || {
+            black_box(dedup::rabin::chunk_starts(&data, &params).len());
+        },
+    );
+
+    let block = &data[..16 * 1024];
+    for window in [256usize, 1024] {
+        let cfg = dedup::LzssConfig {
+            window,
+            min_coded: 3,
+        };
+        bench(filter, "lzss", &format!("encode_16k/{window}"), 10, || {
+            black_box(dedup::lzss::encode_block(block, &cfg).len());
+        });
+    }
+    let cfg = dedup::LzssConfig {
+        window: 1024,
+        min_coded: 3,
+    };
+    let enc = dedup::lzss::encode_block(block, &cfg);
+    bench(filter, "lzss", "decode_16k", 10, || {
+        black_box(
+            dedup::lzss::decode_block(&enc, block.len(), &cfg)
+                .expect("valid stream")
+                .len(),
+        );
+    });
+}
+
+fn bench_mandel(filter: &Option<String>) {
+    let params = mandel::FractalParams::view(256, 500);
+    bench(filter, "mandel", "line_256px_500iter", 20, || {
+        black_box(mandel::compute_line(&params, 128).iters.len());
+    });
+}
+
+fn bench_gpusim(filter: &Option<String>) {
+    let system = gpusim::GpuSystem::new(1, gpusim::DeviceProps::titan_xp());
+    let params = mandel::FractalParams::view(128, 100);
+    bench(filter, "gpusim", "kernel_launch_roundtrip", 20, || {
+        let (img, _) = mandel::gpu::cuda_batch(&system, &params, 32);
+        black_box(img.digest());
+    });
+}
+
+fn bench_des(filter: &Option<String>) {
+    bench(filter, "simtime", "event_loop_100k", 20, || {
+        let mut sim = simtime::Sim::new();
+        fn tick(sim: &mut simtime::Sim, left: u32) {
+            if left > 0 {
+                sim.schedule(simtime::SimDuration::from_nanos(10), move |sim| {
+                    tick(sim, left - 1)
+                });
+            }
+        }
+        tick(&mut sim, 100_000);
+        black_box(sim.run().as_nanos());
+    });
+}
+
+fn main() {
+    // `cargo bench -- <substring>` runs only matching benches; cargo also
+    // passes `--bench`, which we ignore.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    println!(
+        "{:<44} {:>19}  {:>16}  {:>16}",
+        "benchmark", "median/iter", "min", "max"
+    );
+    bench_spsc(&filter);
+    bench_channel(&filter);
+    bench_pipelines(&filter);
+    bench_telemetry(&filter);
+    bench_dedup_algorithms(&filter);
+    bench_mandel(&filter);
+    bench_gpusim(&filter);
+    bench_des(&filter);
+}

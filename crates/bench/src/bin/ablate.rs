@@ -44,13 +44,29 @@ fn main() {
         r.row(vec![batch.to_string(), secs(t), format!("{s:.1}x")]);
     }
     r.emit("ablate_batch");
-    let s1 = knee.iter().find(|(b, _)| *b == 1).expect("batch 1 present").1;
-    let s32 = knee.iter().find(|(b, _)| *b == 32).expect("batch 32 present").1;
-    let s128 = knee.iter().find(|(b, _)| *b == 128).expect("batch 128 present").1;
+    let s1 = knee
+        .iter()
+        .find(|(b, _)| *b == 1)
+        .expect("batch 1 present")
+        .1;
+    let s32 = knee
+        .iter()
+        .find(|(b, _)| *b == 32)
+        .expect("batch 32 present")
+        .1;
+    let s128 = knee
+        .iter()
+        .find(|(b, _)| *b == 128)
+        .expect("batch 128 present")
+        .1;
     println!(
         "saturation: batch1 {s1:.1}x -> batch32 {s32:.1}x -> batch128 {s128:.1}x \
          (diminishing returns past the knee: {})",
-        if s128 < s32 * 1.5 { "yes" } else { "NO — check the model" }
+        if s128 < s32 * 1.5 {
+            "yes"
+        } else {
+            "NO — check the model"
+        }
     );
 
     // 2. Worker-count sweep for the CPU pipeline.
@@ -139,8 +155,14 @@ fn main() {
             .stage("offload", workers, move |b| {
                 let (k, d) = services[b];
                 vec![
-                    Phase::Resource { server: compute, dur: k },
-                    Phase::Resource { server: copy, dur: d },
+                    Phase::Resource {
+                        server: compute,
+                        dur: k,
+                    },
+                    Phase::Resource {
+                        server: copy,
+                        dur: d,
+                    },
                 ]
             })
             .run()

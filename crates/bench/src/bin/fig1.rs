@@ -10,20 +10,23 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig1 [--dim 600] [--niter 2000]`
 //!
+//! Pass `--tiny` for a fast smoke run (reduced scale; shape checks that
+//! only hold at figure scale are skipped, telemetry is still emitted).
 //! Pass `--paper-model 1` to additionally print the model's *paper-scale*
 //! prediction (absolute seconds at 2000² × 200 000 iterations, from a
 //! 200×200 full-depth sample — takes a couple of minutes).
 
 use std::sync::Arc;
 
-use bench::{arg, secs, Report, ShapeChecks};
-use gpusim::{DeviceProps, GpuSystem};
+use bench::{arg, emit_telemetry, flag, secs, Report, ShapeChecks};
+use gpusim::{CudaOffload, DeviceProps, GpuSystem};
 use mandel::core::FractalParams;
 use mandel::cpu::run_sequential;
 use mandel::gpu;
 use perfmodel::machine::{CpuModel, CpuRuntime};
 use perfmodel::mandelmodel::{self, characterize};
 use simtime::SimDuration;
+use telemetry::Recorder;
 
 /// A GPU driver entry point from `mandel::gpu`.
 type GpuDriver<'a> = &'a dyn Fn(&Arc<GpuSystem>, &FractalParams) -> (mandel::Image, SimDuration);
@@ -42,8 +45,9 @@ const PAPER: &[(&str, f64, f64)] = &[
 ];
 
 fn main() {
-    let dim: usize = arg("--dim", 600);
-    let niter: u32 = arg("--niter", 2_000);
+    let tiny = flag("--tiny");
+    let dim: usize = arg("--dim", if tiny { 128 } else { 600 });
+    let niter: u32 = arg("--niter", if tiny { 300 } else { 2_000 });
     let batch: usize = arg("--batch", 32);
     let params = FractalParams::view(dim, niter);
     println!(
@@ -59,7 +63,8 @@ fn main() {
     let t_cpu20 = mandelmodel::cpu_pipeline_time(&workload, &cpu, CpuRuntime::Spar, 19);
 
     let system = GpuSystem::new(2, DeviceProps::titan_xp());
-    let mut results: Vec<(&str, SimDuration)> = vec![("sequential", t_seq), ("CPU 20 threads", t_cpu20)];
+    let mut results: Vec<(&str, SimDuration)> =
+        vec![("sequential", t_seq), ("CPU 20 threads", t_cpu20)];
 
     let mut run_gpu = |name: &'static str, f: GpuDriver<'_>| -> SimDuration {
         let (img, t) = f(&system, &params);
@@ -75,10 +80,18 @@ fn main() {
     let t_1d = run_gpu("GPU naive 1D", &gpu::cuda_per_line);
     let t_2d = run_gpu("GPU 2D grid", &gpu::cuda_2d);
     let t_batch = run_gpu("GPU batch 32", &|s, p| gpu::cuda_batch(s, p, batch));
-    let t_2x = run_gpu("GPU batch + 2x mem", &|s, p| gpu::cuda_overlap(s, p, batch, 2, 1));
-    let t_4x = run_gpu("GPU batch + 4x mem", &|s, p| gpu::cuda_overlap(s, p, batch, 4, 1));
-    let t_2gpu = run_gpu("2 GPUs, 1x mem each", &|s, p| gpu::cuda_overlap(s, p, batch, 2, 2));
-    let t_2gpu2x = run_gpu("2 GPUs, 2x mem each", &|s, p| gpu::cuda_overlap(s, p, batch, 4, 2));
+    let t_2x = run_gpu("GPU batch + 2x mem", &|s, p| {
+        gpu::cuda_overlap(s, p, batch, 2, 1)
+    });
+    let t_4x = run_gpu("GPU batch + 4x mem", &|s, p| {
+        gpu::cuda_overlap(s, p, batch, 4, 1)
+    });
+    let t_2gpu = run_gpu("2 GPUs, 1x mem each", &|s, p| {
+        gpu::cuda_overlap(s, p, batch, 2, 2)
+    });
+    let t_2gpu2x = run_gpu("2 GPUs, 2x mem each", &|s, p| {
+        gpu::cuda_overlap(s, p, batch, 4, 2)
+    });
 
     // OpenCL spot checks (the paper reports CUDA ≈ OpenCL on every rung).
     let (ocl_img, t_ocl_batch) = gpu::ocl_batch(&system, &params, batch);
@@ -87,7 +100,13 @@ fn main() {
 
     let mut report = Report::new(
         format!("Fig. 1 — Mandelbrot optimization ladder ({dim}x{dim}, niter={niter})"),
-        vec!["configuration", "modeled time", "speedup", "paper time", "paper speedup"],
+        vec![
+            "configuration",
+            "modeled time",
+            "speedup",
+            "paper time",
+            "paper speedup",
+        ],
     );
     for (i, (name, t)) in results.iter().enumerate() {
         let speedup = t_seq.as_secs_f64() / t.as_secs_f64();
@@ -110,6 +129,25 @@ fn main() {
     ]);
     report.emit("fig1");
 
+    // A real instrumented run of the fastest rung's pipeline shape — SPar
+    // whose replicated stage drives both GPUs through the unified Offload
+    // surface — recorded stage-by-stage and merged with the device traces.
+    let rec = Recorder::enabled();
+    let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
+    let timg =
+        mandel::hybrid::run_spar_gpu_rec::<CudaOffload>(&tsys, &params, 4, batch, 2, rec.clone());
+    assert_eq!(
+        timg.digest(),
+        seq_img.digest(),
+        "instrumented run: image differs from sequential render"
+    );
+    emit_telemetry("fig1", &rec.report());
+
+    if tiny {
+        println!("\n(tiny smoke run: figure-scale shape checks skipped)");
+        return;
+    }
+
     println!("\nShape checks (the paper's qualitative claims):");
     let mut checks = ShapeChecks::new();
     checks.check("2D grid is slower than naive 1D", t_2d > t_1d);
@@ -125,9 +163,15 @@ fn main() {
         t_4x.as_secs_f64() <= t_2x.as_secs_f64() * 1.03,
     );
     checks.check("two GPUs improve on one", t_2gpu < t_4x);
-    checks.check("2 GPUs with 2x memory each is the fastest rung", t_2gpu2x <= t_2gpu);
+    checks.check(
+        "2 GPUs with 2x memory each is the fastest rung",
+        t_2gpu2x <= t_2gpu,
+    );
     let ratio = t_ocl_batch.as_secs_f64() / t_batch.as_secs_f64();
-    checks.check("OpenCL and CUDA are within 15%", (0.85..1.15).contains(&ratio));
+    checks.check(
+        "OpenCL and CUDA are within 15%",
+        (0.85..1.15).contains(&ratio),
+    );
     let cuda_ocl_2gpu = t_ocl_over.as_secs_f64() / t_2gpu2x.as_secs_f64();
     checks.check(
         "OpenCL multi-GPU matches CUDA multi-GPU",

@@ -10,13 +10,16 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig4 [--dim 600] [--niter 2000]`
 
-use bench::{arg, secs, Report, ShapeChecks};
-use gpusim::{DeviceProps, GpuSystem};
+use std::sync::Arc;
+
+use bench::{arg, emit_telemetry, secs, Report, ShapeChecks};
+use gpusim::{DeviceProps, GpuSystem, OclOffload};
 use mandel::core::FractalParams;
 use mandel::gpu;
 use perfmodel::machine::{CpuModel, CpuRuntime};
 use perfmodel::mandelmodel::{self, characterize};
 use simtime::SimDuration;
+use telemetry::Recorder;
 
 fn main() {
     let dim: usize = arg("--dim", 600);
@@ -38,7 +41,10 @@ fn main() {
         vec!["version", "gpus", "modeled time", "speedup"],
     );
     let mut results: Vec<(String, usize, SimDuration)> = Vec::new();
-    let add = |results: &mut Vec<(String, usize, SimDuration)>, name: String, gpus: usize, t: SimDuration| {
+    let add = |results: &mut Vec<(String, usize, SimDuration)>,
+               name: String,
+               gpus: usize,
+               t: SimDuration| {
         results.push((name, gpus, t));
     };
 
@@ -71,7 +77,8 @@ fn main() {
     ] {
         for api in ["cuda", "opencl"] {
             for gpus in [1usize, 2] {
-                let t = mandelmodel::hybrid_pipeline_time(&workload, &cpu, &props, rt, 10, batch, gpus);
+                let t =
+                    mandelmodel::hybrid_pipeline_time(&workload, &cpu, &props, rt, 10, batch, gpus);
                 // The OpenCL API costs a little more per enqueue; fold a
                 // small per-batch penalty into the modeled time.
                 let t = if api == "opencl" {
@@ -88,12 +95,49 @@ fn main() {
     for (name, gpus, t) in &results {
         report.row(vec![
             name.clone(),
-            if *gpus == 0 { "-".into() } else { gpus.to_string() },
+            if *gpus == 0 {
+                "-".into()
+            } else {
+                gpus.to_string()
+            },
             secs(*t),
             format!("{:.1}x", t_seq.as_secs_f64() / t.as_secs_f64()),
         ]);
     }
     report.emit("fig4");
+
+    // A real instrumented combined run — FastFlow + OpenCL here, the
+    // models fig1's telemetry (SPar + CUDA) does not cover — with stage
+    // metrics and device traces on one merged timeline.
+    let rec = Recorder::enabled();
+    let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
+    let tparams = FractalParams::view(dim.min(256), niter.min(500));
+    let timg = mandel::hybrid::run_fastflow_gpu_rec::<OclOffload>(
+        &tsys,
+        &tparams,
+        4,
+        batch,
+        2,
+        rec.clone(),
+    );
+    assert_eq!(
+        timg.digest(),
+        mandel::cpu::run_sequential(&tparams).0.digest(),
+        "instrumented run: image differs from sequential render"
+    );
+    let pool = Arc::new(tbbx::TaskPool::new(4));
+    let trec = Recorder::enabled();
+    let _ = mandel::hybrid::run_tbb_gpu_rec::<OclOffload>(
+        &tsys,
+        &tparams,
+        &pool,
+        8,
+        batch,
+        2,
+        trec.clone(),
+    );
+    emit_telemetry("fig4", &rec.report());
+    emit_telemetry("fig4_tbb", &trec.report());
 
     let get = |name: &str, gpus: usize| -> SimDuration {
         results

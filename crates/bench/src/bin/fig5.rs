@@ -15,13 +15,14 @@
 //!
 //! Usage: `cargo run --release -p bench --bin fig5 [--mb 1] [--batch-kb 256]`
 
-use bench::{arg, Report, ShapeChecks};
+use bench::{arg, emit_telemetry, Report, ShapeChecks};
 use dedup::datasets;
 use dedup::single::{run_single_cuda, run_single_ocl};
-use dedup::{DedupConfig, HostCosts, LzssConfig, RabinParams};
-use gpusim::{DeviceProps, GpuSystem};
+use dedup::{BackendCtx, DedupConfig, HostCosts, LzssConfig, OffloadBackend, RabinParams};
+use gpusim::{CudaOffload, DeviceProps, GpuSystem};
 use perfmodel::dedupmodel::{self, GpuApi};
 use perfmodel::machine::CpuModel;
+use telemetry::Recorder;
 
 fn config(batch_kb: usize) -> DedupConfig {
     DedupConfig {
@@ -183,6 +184,28 @@ fn main() {
     }
 
     report.emit("fig5");
+
+    // Regenerate Fig. 3's activity graph from a *real* instrumented run of
+    // the 5-stage pipeline: stage metrics from the SPar region merged with
+    // the two simulated devices' command traces.
+    let rec = Recorder::enabled();
+    let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
+    let ctx = BackendCtx::gpu(tsys, 2, true, cfg.lzss);
+    let ds = datasets::parsec_like(size.min(400_000), 42);
+    let archive = dedup::run_pipeline_rec::<OffloadBackend<CudaOffload>>(
+        ctx,
+        ds.data.clone(),
+        &cfg,
+        3,
+        rec.clone(),
+    );
+    assert_eq!(
+        archive.decompress().expect("roundtrip"),
+        ds.data,
+        "instrumented run: archive must decompress to the input"
+    );
+    emit_telemetry("fig5", &rec.report());
+
     println!("\nShape checks (the paper's qualitative claims):");
     checks.finish();
 }

@@ -113,6 +113,32 @@ pub fn figures_dir() -> PathBuf {
         .join("figures")
 }
 
+/// Print a telemetry report's merged CPU-stage / GPU-engine Gantt and
+/// write the full report under `target/figures/<name>_telemetry.{json,csv}`.
+pub fn emit_telemetry(name: &str, report: &telemetry::TelemetryReport) {
+    println!("\n== merged stage/engine activity ({name}) ==");
+    print!("{}", report.gantt(72));
+    let dir = figures_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let json_path = dir.join(format!("{name}_telemetry.json"));
+        let csv_path = dir.join(format!("{name}_telemetry.csv"));
+        let ok = std::fs::write(&json_path, report.to_json()).is_ok()
+            && std::fs::write(&csv_path, report.to_csv()).is_ok();
+        if ok {
+            println!(
+                "[telemetry written to {} and {}]",
+                json_path.display(),
+                csv_path.display()
+            );
+        }
+    }
+}
+
+/// True if the bare flag `name` appears among the CLI arguments.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 /// A named shape assertion: prints PASS/FAIL and tracks overall status.
 pub struct ShapeChecks {
     failures: Vec<String>,

@@ -17,6 +17,7 @@
 use fastflow::node::{self, Node};
 use fastflow::pipeline::{Pipeline, PipelineBuilder};
 use fastflow::{Emitter, SchedPolicy, WaitStrategy};
+use telemetry::Recorder;
 
 /// Configuration of a stream region (SPar's `ToStream` scope).
 #[derive(Clone, Copy, Debug)]
@@ -47,6 +48,7 @@ impl Default for SparConfig {
 #[derive(Default)]
 pub struct ToStream {
     cfg: SparConfig,
+    rec: Recorder,
 }
 
 /// Alias used by the prelude and examples.
@@ -61,7 +63,20 @@ impl ToStream {
 
     /// Open a stream region with explicit configuration.
     pub fn annotate(cfg: SparConfig) -> Self {
-        ToStream { cfg }
+        ToStream {
+            cfg,
+            rec: Recorder::default(),
+        }
+    }
+
+    /// Attach a telemetry recorder: the generated runtime registers a
+    /// [`telemetry::StageMetrics`] per stage and farm replica (named
+    /// `source`, `stage1`, `stage2`, ..., `sink`). A disabled recorder (the
+    /// default) makes every probe a no-op branch — the annotated region is
+    /// unchanged.
+    pub fn recorder(mut self, rec: Recorder) -> Self {
+        self.rec = rec;
+        self
     }
 
     /// Toggle order preservation across replicated stages.
@@ -99,6 +114,7 @@ impl ToStream {
         let inner = Pipeline::builder()
             .capacity(self.cfg.queue_capacity)
             .wait(self.cfg.wait)
+            .recorder(self.rec)
             .source(f);
         StreamStage {
             cfg: self.cfg,
@@ -320,7 +336,10 @@ mod tests {
             .collect();
         out.sort_unstable();
         for (n, root) in out {
-            assert!(root * root <= n && (root + 1) * (root + 1) > n, "isqrt({n}) = {root}");
+            assert!(
+                root * root <= n && (root + 1) * (root + 1) > n,
+                "isqrt({n}) = {root}"
+            );
         }
     }
 

@@ -13,14 +13,12 @@ use std::sync::Arc;
 
 use gpusim::cuda::{Cuda, CudaBuffer};
 use gpusim::opencl::{ClBuffer, ClKernel, CommandQueue, Context, Platform};
-use gpusim::GpuSystem;
+use gpusim::{GpuSystem, Offload};
 
 use crate::archive::BlockEntry;
 use crate::batch::Batch;
 use crate::dedupe::BlockClass;
-use crate::kernels::{
-    FindMatchBlockKernel, FindMatchKernel, Sha1BlockKernel, Sha1Kernel,
-};
+use crate::kernels::{FindMatchBlockKernel, FindMatchKernel, Sha1BlockKernel, Sha1Kernel};
 use crate::lzss::{encode_block_from_matches, LzssConfig, Match};
 use crate::sha1::{sha1, Digest};
 
@@ -81,6 +79,17 @@ pub enum GpuData {
         d_data: ClBuffer<u8>,
         /// Block starts.
         d_starts: ClBuffer<u32>,
+    },
+    /// Buffers from an [`OffloadBackend`], type-erased so the stream item
+    /// type stays independent of which [`Offload`] implementation produced
+    /// them (stage 4 downcasts back to `O::Buffer<_>`).
+    Offload {
+        /// Device index the buffers live on.
+        device: usize,
+        /// Batch bytes (`O::Buffer<u8>`).
+        d_data: Box<dyn std::any::Any + Send>,
+        /// Block starts (`O::Buffer<u32>`).
+        d_starts: Box<dyn std::any::Any + Send>,
     },
 }
 
@@ -265,8 +274,12 @@ impl DedupBackend for CudaBackend {
                     slot: b,
                 };
                 self.cuda.launch(&k, 1u32, 32u32, &stream);
-                self.cuda
-                    .memcpy_d2h_pageable(&mut raw[b * 20..b * 20 + 20], &d_out, b * 20, &stream);
+                self.cuda.memcpy_d2h_pageable(
+                    &mut raw[b * 20..b * 20 + 20],
+                    &d_out,
+                    b * 20,
+                    &stream,
+                );
             }
             self.cuda.stream_synchronize(&stream);
         }
@@ -354,6 +367,144 @@ impl DedupBackend for CudaBackend {
     }
 }
 
+/// Backend written once against the unified [`Offload`] trait and
+/// instantiated per front end (`OffloadBackend<CudaOffload>` /
+/// `OffloadBackend<OclOffload>`), or selected by value through
+/// `gpusim::OffloadApi` in a harness.
+///
+/// Always uses the batched kernels: the deliberately-naive per-block
+/// integration (§IV-B's first attempt) needs offset reads the common
+/// surface does not expose, so that ladder rung stays raw-façade-only
+/// ([`CudaBackend`] / [`OclBackend`] with `batched = false`).
+pub struct OffloadBackend<O: Offload> {
+    system: Arc<GpuSystem>,
+    device: usize,
+    /// One offloader per device, attached lazily: stage 4 must target
+    /// whatever device stage 2 uploaded to.
+    offs: Vec<Option<O>>,
+    lzss: LzssConfig,
+}
+
+impl<O: Offload> OffloadBackend<O> {
+    fn off(&mut self, device: usize) -> &mut O {
+        let slot = &mut self.offs[device];
+        if slot.is_none() {
+            *slot = Some(O::attach(&self.system, device));
+        }
+        slot.as_mut().expect("just attached")
+    }
+}
+
+impl<O: Offload> DedupBackend for OffloadBackend<O> {
+    fn new(ctx: &BackendCtx, replica: usize) -> Self {
+        let system = ctx
+            .system
+            .as_ref()
+            .expect("offload backend needs a GpuSystem");
+        OffloadBackend {
+            system: Arc::clone(system),
+            device: replica % ctx.n_gpus,
+            offs: (0..ctx.n_gpus).map(|_| None).collect(),
+            lzss: ctx.lzss,
+        }
+    }
+
+    fn hash_stage(&mut self, batch: Batch) -> HashedBatch {
+        let device = self.device;
+        let starts = starts_u32(&batch);
+        let n = batch.block_count();
+        let data_len = batch.data.len();
+        let off = self.off(device);
+        let d_data: O::Buffer<u8> = off.alloc(data_len);
+        let d_starts: O::Buffer<u32> = off.alloc(n.max(1));
+        let d_out: O::Buffer<u8> = off.alloc(n * 20);
+        let mut h_data = off.alloc_host::<u8>(data_len);
+        h_data.clone_from_slice(&batch.data);
+        let mut h_starts = off.alloc_host::<u32>(n);
+        h_starts.clone_from_slice(&starts);
+        off.h2d(&d_data, &h_data);
+        off.h2d(&d_starts, &h_starts);
+        off.launch(
+            Sha1Kernel {
+                data: O::buffer_ptr(&d_data),
+                starts: O::buffer_ptr(&d_starts),
+                data_len,
+                n_blocks: n,
+                out: O::buffer_ptr(&d_out),
+            },
+            n as u64,
+            64,
+        );
+        let mut h_out = off.alloc_host::<u8>(n * 20);
+        off.d2h(&d_out, &mut h_out);
+        off.sync();
+        let digests = h_out
+            .chunks_exact(20)
+            .map(|c| Digest(c.try_into().expect("20 bytes")))
+            .collect();
+        HashedBatch {
+            batch,
+            digests,
+            gpu: Some(GpuData::Offload {
+                device,
+                d_data: Box::new(d_data),
+                d_starts: Box::new(d_starts),
+            }),
+        }
+    }
+
+    fn compress_stage(&mut self, item: ClassifiedBatch) -> CompressedBatch {
+        let ClassifiedBatch {
+            batch,
+            classes,
+            gpu,
+        } = item;
+        let Some(GpuData::Offload {
+            device,
+            d_data,
+            d_starts,
+        }) = gpu
+        else {
+            panic!("offload compress stage received an item without offload buffers");
+        };
+        let d_data = *d_data
+            .downcast::<O::Buffer<u8>>()
+            .expect("stage 2 ran a different offload backend");
+        let d_starts = *d_starts
+            .downcast::<O::Buffer<u32>>()
+            .expect("stage 2 ran a different offload backend");
+        let len = batch.data.len();
+        let lzss = self.lzss;
+        // The data lives on whatever device stage 2 used.
+        let off = self.off(device);
+        let d_len: O::Buffer<u32> = off.alloc(len);
+        let d_off: O::Buffer<u32> = off.alloc(len);
+        off.launch(
+            FindMatchKernel {
+                data: O::buffer_ptr(&d_data),
+                data_len: len,
+                starts: O::buffer_ptr(&d_starts),
+                n_blocks: batch.block_count(),
+                matches_len: O::buffer_ptr(&d_len),
+                matches_off: O::buffer_ptr(&d_off),
+                cfg: lzss,
+            },
+            len as u64,
+            BLOCK_1D,
+        );
+        let mut h_len = off.alloc_host::<u32>(len);
+        let mut h_off = off.alloc_host::<u32>(len);
+        off.d2h(&d_len, &mut h_len);
+        off.d2h(&d_off, &mut h_off);
+        off.sync();
+        let entries = entries_from_matches(&batch, &classes, &h_len, &h_off, &lzss);
+        CompressedBatch {
+            index: batch.index,
+            entries,
+        }
+    }
+}
+
 /// OpenCL backend. Queues and kernel objects are per replica (they are not
 /// thread-safe); events order the enqueues.
 pub struct OclBackend {
@@ -372,7 +523,10 @@ impl OclBackend {
 
 impl DedupBackend for OclBackend {
     fn new(ctx: &BackendCtx, replica: usize) -> Self {
-        let system = ctx.system.as_ref().expect("OpenCL backend needs a GpuSystem");
+        let system = ctx
+            .system
+            .as_ref()
+            .expect("OpenCL backend needs a GpuSystem");
         let platform = Platform::new(Arc::clone(system));
         let ids = platform.device_ids();
         let cl_ctx = Context::create(&platform, &ids[..ctx.n_gpus]);
@@ -408,8 +562,12 @@ impl DedupBackend for OclBackend {
                 n_blocks: n,
                 out: d_out.ptr(),
             });
-            let k_ev =
-                q.enqueue_nd_range(&kernel, (n as u64).next_multiple_of(64).max(64), 64, &[w1, w2]);
+            let k_ev = q.enqueue_nd_range(
+                &kernel,
+                (n as u64).next_multiple_of(64).max(64),
+                64,
+                &[w1, w2],
+            );
             let r_ev = q.enqueue_read_buffer(&d_out, false, 0, &mut raw, &[k_ev]);
             self.ctx.wait_for_events(&[r_ev]);
         } else {
@@ -473,7 +631,9 @@ impl DedupBackend for OclBackend {
                 matches_off: d_off.ptr(),
                 cfg: self.lzss,
             });
-            let global = (len as u64).next_multiple_of(BLOCK_1D as u64).max(BLOCK_1D as u64);
+            let global = (len as u64)
+                .next_multiple_of(BLOCK_1D as u64)
+                .max(BLOCK_1D as u64);
             let k_ev = q.enqueue_nd_range(&kernel, global, BLOCK_1D, &[]);
             let r1 = q.enqueue_read_buffer(&d_len, false, 0, &mut lens, &[k_ev]);
             let r2 = q.enqueue_read_buffer(&d_off, false, 0, &mut offs, &[k_ev]);

@@ -32,11 +32,7 @@ impl Batch {
     /// Byte range of block `b`.
     pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
         let start = self.starts[b];
-        let end = self
-            .starts
-            .get(b + 1)
-            .copied()
-            .unwrap_or(self.data.len());
+        let end = self.starts.get(b + 1).copied().unwrap_or(self.data.len());
         start..end
     }
 

@@ -8,8 +8,7 @@
 //! LZSS) — documented per generator. Everything is seeded and
 //! deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use simtime::rng::XorShift64;
 
 /// A generated dataset plus its paper-scale metadata.
 pub struct Dataset {
@@ -49,14 +48,14 @@ pub fn all(size: usize, seed: u64) -> Vec<Dataset> {
 /// segments exact repeats of earlier ones (backup-style duplication).
 pub fn parsec_like(size: usize, seed: u64) -> Dataset {
     const EXTENT: usize = 4096;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::new(seed);
     let mut data = Vec::with_capacity(size);
     let mut history: Vec<Vec<u8>> = Vec::new();
     while data.len() < size {
-        let roll: f64 = rng.random();
+        let roll: f64 = rng.next_f64();
         if roll < 0.35 && !history.is_empty() {
             // Repeat an earlier segment verbatim (a duplicate region).
-            let idx = rng.random_range(0..history.len());
+            let idx = rng.range_usize(0, history.len());
             data.extend_from_slice(&history[idx].clone());
         } else if roll < 0.65 {
             // Incompressible binary segment.
@@ -85,7 +84,7 @@ pub fn parsec_like(size: usize, seed: u64) -> Dataset {
 /// headers and common boilerplate — high cross-file duplication and very
 /// compressible content.
 pub fn linux_like(size: usize, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::new(seed);
     let license = b"/* SPDX-License-Identifier: GPL-2.0\n * This program is free software; \
                     you can redistribute it and/or modify it under the terms of the GNU \
                     General Public License as published by the Free Software Foundation.\n */\n"
@@ -98,17 +97,23 @@ pub fn linux_like(size: usize, seed: u64) -> Dataset {
     while data.len() < size {
         data.extend_from_slice(&license);
         data.extend_from_slice(&common_includes);
-        let funcs = rng.random_range(2..8);
+        let funcs = rng.range_u32(2, 8);
         for f in 0..funcs {
             let name = format!("static int driver_{file_no}_op_{f}(struct device *dev)\n");
             data.extend_from_slice(name.as_bytes());
             data.extend_from_slice(b"{\n\tint ret = 0;\n");
-            for _ in 0..rng.random_range(3..20) {
-                let line = match rng.random_range(0..4u32) {
-                    0 => format!("\tret = readl(dev->base + 0x{:02x});\n", rng.random_range(0..256u32)),
-                    1 => format!("\tif (ret < 0)\n\t\treturn -EINVAL; /* {:04x} */\n", rng.random_range(0..65536u32)),
+            for _ in 0..rng.range_u32(3, 20) {
+                let line = match rng.range_u32(0, 4) {
+                    0 => format!(
+                        "\tret = readl(dev->base + 0x{:02x});\n",
+                        rng.range_u32(0, 256)
+                    ),
+                    1 => format!(
+                        "\tif (ret < 0)\n\t\treturn -EINVAL; /* {:04x} */\n",
+                        rng.range_u32(0, 65536)
+                    ),
                     2 => "\tusleep_range(100, 200);\n".to_string(),
-                    _ => format!("\twritel(0x{:04x}, dev->base);\n", rng.random_range(0..65536u32)),
+                    _ => format!("\twritel(0x{:04x}, dev->base);\n", rng.range_u32(0, 65536)),
                 };
                 data.extend_from_slice(line.as_bytes());
             }
@@ -130,16 +135,16 @@ pub fn linux_like(size: usize, seed: u64) -> Dataset {
 /// rows with shared prefixes (moderately compressible), with little
 /// whole-region duplication.
 pub fn silesia_like(size: usize, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::new(seed);
     let mut data = Vec::with_capacity(size);
     let third = size / 3;
     // XML-ish part.
     while data.len() < third {
-        let id: u32 = rng.random_range(0..1_000_000);
+        let id: u32 = rng.range_u32(0, 1_000_000);
         let rec = format!(
             "<record id=\"{id}\"><name>entry-{id}</name><value>{}</value><flags>0x{:04x}</flags></record>\n",
-            rng.random_range(0..10_000u32),
-            rng.random_range(0..65536u32),
+            rng.range_u32(0, 10_000),
+            rng.range_u32(0, 65536),
         );
         data.extend_from_slice(rec.as_bytes());
     }
@@ -153,9 +158,9 @@ pub fn silesia_like(size: usize, seed: u64) -> Dataset {
     while data.len() < size {
         let row = format!(
             "ROW|{row_id:012}|CUSTOMER|{:08}|BALANCE|{:010}|STATUS|ACTIVE|PAD|{}\n",
-            rng.random_range(0..100_000_000u64),
-            rng.random_range(0..10_000_000u64),
-            "#".repeat(rng.random_range(0..24)),
+            rng.range_u64(0, 100_000_000),
+            rng.range_u64(0, 10_000_000),
+            "#".repeat(rng.range_usize(0, 24)),
         );
         data.extend_from_slice(row.as_bytes());
         row_id += 1;
@@ -169,29 +174,27 @@ pub fn silesia_like(size: usize, seed: u64) -> Dataset {
     }
 }
 
-fn random_segment(rng: &mut StdRng, min: usize, max: usize) -> Vec<u8> {
-    let n = rng.random_range(min..=max);
-    let mut v = vec![0u8; n];
-    rng.fill(&mut v[..]);
-    v
+fn random_segment(rng: &mut XorShift64, min: usize, max: usize) -> Vec<u8> {
+    let n = rng.range_usize(min, max + 1);
+    rng.bytes(n)
 }
 
-fn log_segment(rng: &mut StdRng, min: usize, max: usize) -> Vec<u8> {
-    let target = rng.random_range(min..=max);
+fn log_segment(rng: &mut XorShift64, min: usize, max: usize) -> Vec<u8> {
+    let target = rng.range_usize(min, max + 1);
     let mut v = Vec::with_capacity(target + 80);
     let hosts = ["web-01", "web-02", "db-primary", "cache-a"];
     while v.len() < target {
         let line = format!(
             "2019-02-{:02}T{:02}:{:02}:{:02}Z {} httpd[{}]: GET /api/v1/items/{} {} {}ms\n",
-            rng.random_range(1..28u32),
-            rng.random_range(0..24u32),
-            rng.random_range(0..60u32),
-            rng.random_range(0..60u32),
-            hosts[rng.random_range(0..hosts.len())],
-            rng.random_range(1000..9999u32),
-            rng.random_range(0..100_000u32),
-            if rng.random_range(0..10u32) == 0 { 404 } else { 200 },
-            rng.random_range(1..500u32),
+            rng.range_u32(1, 28),
+            rng.range_u32(0, 24),
+            rng.range_u32(0, 60),
+            rng.range_u32(0, 60),
+            hosts[rng.range_usize(0, hosts.len())],
+            rng.range_u32(1000, 9999),
+            rng.range_u32(0, 100_000),
+            if rng.range_u32(0, 10) == 0 { 404 } else { 200 },
+            rng.range_u32(1, 500),
         );
         v.extend_from_slice(line.as_bytes());
     }
@@ -256,7 +259,10 @@ mod tests {
         let xml = crate::lzss::encode_block(&ds.data[..10_000], &cfg);
         let bin_start = ds.len() / 2;
         let bin = crate::lzss::encode_block(&ds.data[bin_start..bin_start + 10_000], &cfg);
-        assert!(xml.len() < bin.len(), "xml must compress better than binary");
+        assert!(
+            xml.len() < bin.len(),
+            "xml must compress better than binary"
+        );
     }
 
     #[test]

@@ -113,8 +113,7 @@ mod tests {
         std::fs::write(&input, &data).unwrap();
 
         let (in_len, out_len) =
-            compress_file::<CpuBackend>(BackendCtx::cpu(cfg.lzss), &input, &arch, &cfg, 2)
-                .unwrap();
+            compress_file::<CpuBackend>(BackendCtx::cpu(cfg.lzss), &input, &arch, &cfg, 2).unwrap();
         assert_eq!(in_len, data.len() as u64);
         assert!(out_len < in_len, "source text must compress");
 

@@ -263,7 +263,14 @@ mod tests {
         let d_out = dev.alloc::<u8>(b.block_count() * 20).unwrap();
         let starts: Vec<u32> = b.starts.iter().map(|&s| s as u32).collect();
         dev.copy_h2d(StreamId::DEFAULT, &b.data, d_data, 0, false, SimTime::ZERO);
-        dev.copy_h2d(StreamId::DEFAULT, &starts, d_starts, 0, false, SimTime::ZERO);
+        dev.copy_h2d(
+            StreamId::DEFAULT,
+            &starts,
+            d_starts,
+            0,
+            false,
+            SimTime::ZERO,
+        );
         let k = Sha1Kernel {
             data: d_data,
             starts: d_starts,
@@ -281,14 +288,21 @@ mod tests {
         dev.copy_d2h(StreamId::DEFAULT, d_out, 0, &mut out, false, SimTime::ZERO);
         for blk in 0..b.block_count() {
             let expected = sha1(b.block(blk));
-            assert_eq!(&out[blk * 20..blk * 20 + 20], &expected.0[..], "block {blk}");
+            assert_eq!(
+                &out[blk * 20..blk * 20 + 20],
+                &expected.0[..],
+                "block {blk}"
+            );
         }
     }
 
     #[test]
     fn find_match_kernel_matches_cpu_search() {
         let b = sample_batch();
-        let cfg = LzssConfig { window: 256, min_coded: 3 };
+        let cfg = LzssConfig {
+            window: 256,
+            min_coded: 3,
+        };
         let sys = GpuSystem::new(1, DeviceProps::titan_xp());
         let dev = sys.device(0);
         let d_data = dev.alloc::<u8>(b.data.len()).unwrap();
@@ -297,7 +311,14 @@ mod tests {
         let d_off = dev.alloc::<u32>(b.data.len()).unwrap();
         let starts: Vec<u32> = b.starts.iter().map(|&s| s as u32).collect();
         dev.copy_h2d(StreamId::DEFAULT, &b.data, d_data, 0, false, SimTime::ZERO);
-        dev.copy_h2d(StreamId::DEFAULT, &starts, d_starts, 0, false, SimTime::ZERO);
+        dev.copy_h2d(
+            StreamId::DEFAULT,
+            &starts,
+            d_starts,
+            0,
+            false,
+            SimTime::ZERO,
+        );
         let k = FindMatchKernel {
             data: d_data,
             data_len: b.data.len(),
@@ -322,7 +343,14 @@ mod tests {
             let r = b.block_range(blk);
             for pos in r.clone().step_by(37) {
                 let (m, _) = find_match(&b.data, r.start, r.end, pos, &cfg);
-                assert_eq!(Match { dist: offs[pos], len: lens[pos] }, m, "pos {pos}");
+                assert_eq!(
+                    Match {
+                        dist: offs[pos],
+                        len: lens[pos]
+                    },
+                    m,
+                    "pos {pos}"
+                );
             }
         }
     }
@@ -330,7 +358,10 @@ mod tests {
     #[test]
     fn per_block_kernels_agree_with_batched() {
         let b = sample_batch();
-        let cfg = LzssConfig { window: 128, min_coded: 3 };
+        let cfg = LzssConfig {
+            window: 128,
+            min_coded: 3,
+        };
         let sys = GpuSystem::new(1, DeviceProps::titan_xp());
         let dev = sys.device(0);
         let d_data = dev.alloc::<u8>(b.data.len()).unwrap();
@@ -355,7 +386,14 @@ mod tests {
             );
         }
         let mut lens = vec![0u32; b.data.len()];
-        dev.copy_d2h(StreamId::DEFAULT, d_len_a, 0, &mut lens, false, SimTime::ZERO);
+        dev.copy_d2h(
+            StreamId::DEFAULT,
+            d_len_a,
+            0,
+            &mut lens,
+            false,
+            SimTime::ZERO,
+        );
         // CPU reference.
         for blk in 0..b.block_count() {
             let r = b.block_range(blk);

@@ -43,13 +43,13 @@ pub mod single;
 pub mod stats;
 
 pub use archive::{Archive, ArchiveError, BlockEntry};
-pub use backend::{BackendCtx, CpuBackend, CudaBackend, DedupBackend, OclBackend};
+pub use backend::{BackendCtx, CpuBackend, CudaBackend, DedupBackend, OclBackend, OffloadBackend};
 pub use batch::{make_batches, Batch, DEFAULT_BATCH_SIZE};
 pub use costs::HostCosts;
 pub use dedupe::{BlockClass, DedupCache};
 pub use io::{compress_file, decompress_file, IoError};
 pub use lzss::{LzssConfig, Match};
-pub use pipeline::{run_pipeline, run_sequential, DedupConfig};
+pub use pipeline::{run_pipeline, run_pipeline_rec, run_sequential, DedupConfig};
 pub use rabin::RabinParams;
 pub use sha1::{sha1, Digest, Sha1};
 pub use stats::ArchiveStats;

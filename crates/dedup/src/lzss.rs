@@ -135,7 +135,10 @@ impl std::fmt::Display for LzssError {
         match self {
             LzssError::Truncated => write!(f, "truncated LZSS stream"),
             LzssError::BadOffset { at, dist } => {
-                write!(f, "LZSS offset {dist} at output position {at} points before the block")
+                write!(
+                    f,
+                    "LZSS offset {dist} at output position {at} points before the block"
+                )
             }
             LzssError::Overrun => write!(f, "LZSS stream decodes past the declared length"),
         }
@@ -198,7 +201,11 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Read from `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, byte: 0, bit: 0 }
+        BitReader {
+            data,
+            byte: 0,
+            bit: 0,
+        }
     }
 
     /// Read `bits` bits (MSB-first). Returns `None` past the end.
@@ -234,7 +241,11 @@ pub fn encode_block_from_matches(block: &[u8], matches: &[Match], cfg: &LzssConf
     encode_with(block, cfg, |pos| matches[pos])
 }
 
-fn encode_with(block: &[u8], cfg: &LzssConfig, mut match_at: impl FnMut(usize) -> Match) -> Vec<u8> {
+fn encode_with(
+    block: &[u8],
+    cfg: &LzssConfig,
+    mut match_at: impl FnMut(usize) -> Match,
+) -> Vec<u8> {
     let mut w = BitWriter::new();
     let off_bits = cfg.offset_bits();
     let mut pos = 0usize;
@@ -272,10 +283,10 @@ pub fn decode_block(
         } else {
             let dist = r.read(off_bits).ok_or(LzssError::Truncated)? as usize + 1;
             let len = r.read(4).ok_or(LzssError::Truncated)? as usize + cfg.min_coded;
-            let start = out
-                .len()
-                .checked_sub(dist)
-                .ok_or(LzssError::BadOffset { at: out.len(), dist })?;
+            let start = out.len().checked_sub(dist).ok_or(LzssError::BadOffset {
+                at: out.len(),
+                dist,
+            })?;
             for k in 0..len {
                 let b = out[start + k];
                 out.push(b);
@@ -312,7 +323,12 @@ mod tests {
     fn repetitive_data_roundtrips_and_compresses() {
         let data: Vec<u8> = b"abcabcabcabc".iter().cycle().take(4000).copied().collect();
         let enc = encode_block(&data, &cfg());
-        assert!(enc.len() < data.len() / 2, "repetitive data must compress: {} vs {}", enc.len(), data.len());
+        assert!(
+            enc.len() < data.len() / 2,
+            "repetitive data must compress: {} vs {}",
+            enc.len(),
+            data.len()
+        );
         assert_eq!(decode_block(&enc, data.len(), &cfg()).unwrap(), data);
     }
 
@@ -343,7 +359,10 @@ mod tests {
     fn all_window_sizes_roundtrip() {
         let data = b"mississippi mississippi mississippi".repeat(30);
         for window in [64usize, 256, 1024, 4096] {
-            let c = LzssConfig { window, min_coded: 3 };
+            let c = LzssConfig {
+                window,
+                min_coded: 3,
+            };
             roundtrip(&data, &c);
         }
     }
@@ -357,7 +376,12 @@ mod tests {
         for pos in 1..data.len() {
             let (m, _) = find_match(&data, 0, data.len(), pos, &c);
             if m.len > 0 {
-                assert!(m.dist >= m.len, "pos {pos}: dist {} < len {}", m.dist, m.len);
+                assert!(
+                    m.dist >= m.len,
+                    "pos {pos}: dist {} < len {}",
+                    m.dist,
+                    m.len
+                );
             }
         }
         roundtrip(&data, &c);
@@ -368,7 +392,10 @@ mod tests {
         // Data repeats across the block boundary but matches must not
         // reach into the previous block.
         let data = b"abcdefghabcdefgh".to_vec();
-        let c = LzssConfig { window: 8, min_coded: 3 };
+        let c = LzssConfig {
+            window: 8,
+            min_coded: 3,
+        };
         // Block starts at 8: position 8 sees an empty window.
         let (m, _) = find_match(&data, 8, 16, 8, &c);
         assert_eq!(m.len, 0);
@@ -418,10 +445,9 @@ mod tests {
     #[test]
     fn filtered_search_equals_naive_search() {
         let patterns: Vec<Vec<u8>> = vec![
-            vec![0u8; 600],                                     // constant runs
-            b"abcabcabcabcxyz".repeat(50),                      // short period
-            b"the quick brown fox jumps over the lazy dog "
-                .repeat(20),                                    // text
+            vec![0u8; 600],                                             // constant runs
+            b"abcabcabcabcxyz".repeat(50),                              // short period
+            b"the quick brown fox jumps over the lazy dog ".repeat(20), // text
             {
                 let mut s = 99u64;
                 (0..800)
@@ -429,11 +455,14 @@ mod tests {
                         s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
                         (s >> 33) as u8
                     })
-                    .collect()                                  // incompressible
+                    .collect() // incompressible
             },
-            b"aabbaabbaabbccddccdd".repeat(40),                 // mixed periods
+            b"aabbaabbaabbccddccdd".repeat(40), // mixed periods
         ];
-        let cfg = LzssConfig { window: 128, min_coded: 3 };
+        let cfg = LzssConfig {
+            window: 128,
+            min_coded: 3,
+        };
         for (pi, data) in patterns.iter().enumerate() {
             for pos in 0..data.len() {
                 let (fast, _) = find_match(data, 0, data.len(), pos, &cfg);
@@ -448,9 +477,15 @@ mod tests {
         // The best-len filter must keep probe counts near O(window) even
         // on pathological runs (this was a multi-minute hotspot).
         let data = vec![7u8; 4096];
-        let cfg = LzssConfig { window: 1024, min_coded: 3 };
+        let cfg = LzssConfig {
+            window: 1024,
+            min_coded: 3,
+        };
         let (_, probes) = find_match(&data, 0, data.len(), 2048, &cfg);
-        assert!(probes < 100, "constant run must early-exit: {probes} probes");
+        assert!(
+            probes < 100,
+            "constant run must early-exit: {probes} probes"
+        );
     }
 
     #[test]

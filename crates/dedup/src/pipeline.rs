@@ -10,9 +10,7 @@
 //! `Replicate(1)` so the global dedup cache needs no lock.
 
 use crate::archive::Archive;
-use crate::backend::{
-    BackendCtx, ClassifiedBatch, CompressedBatch, DedupBackend, HashedBatch,
-};
+use crate::backend::{BackendCtx, ClassifiedBatch, CompressedBatch, DedupBackend, HashedBatch};
 use crate::batch::make_batches;
 use crate::dedupe::DedupCache;
 use crate::lzss::LzssConfig;
@@ -49,9 +47,13 @@ pub fn run_sequential(input: &[u8], cfg: &DedupConfig) -> Archive {
         for b in 0..batch.block_count() {
             let block = batch.block(b);
             match cache.classify(sha1(block)) {
-                crate::dedupe::BlockClass::Unique { .. } => archive
-                    .entries
-                    .push(crate::archive::BlockEntry::compress_unique(block, &cfg.lzss)),
+                crate::dedupe::BlockClass::Unique { .. } => {
+                    archive
+                        .entries
+                        .push(crate::archive::BlockEntry::compress_unique(
+                            block, &cfg.lzss,
+                        ))
+                }
                 crate::dedupe::BlockClass::Dup { of } => {
                     archive.entries.push(crate::archive::BlockEntry::Dup(of))
                 }
@@ -76,7 +78,12 @@ impl<B: DedupBackend> fastflow::Node for HashNode<B> {
         self.backend = Some(B::new(&self.ctx, self.replica));
     }
     fn svc(&mut self, batch: crate::batch::Batch, out: &mut fastflow::Emitter<'_, HashedBatch>) {
-        out.send(self.backend.as_mut().expect("on_init ran").hash_stage(batch));
+        out.send(
+            self.backend
+                .as_mut()
+                .expect("on_init ran")
+                .hash_stage(batch),
+        );
     }
 }
 
@@ -112,15 +119,44 @@ pub fn run_pipeline<B: DedupBackend>(
     cfg: &DedupConfig,
     workers: usize,
 ) -> Archive {
+    run_pipeline_rec::<B>(
+        backend_ctx,
+        input,
+        cfg,
+        workers,
+        telemetry::Recorder::default(),
+    )
+}
+
+/// [`run_pipeline`] with a telemetry recorder: every stage and replica of
+/// the SPar region registers stage metrics, and — when the backend drives
+/// GPUs — the simulated device command traces are merged into the same
+/// recorder as engine spans (one `gpu{d}/{engine}` row per device engine).
+pub fn run_pipeline_rec<B: DedupBackend>(
+    backend_ctx: BackendCtx,
+    input: Vec<u8>,
+    cfg: &DedupConfig,
+    workers: usize,
+    rec: telemetry::Recorder,
+) -> Archive {
     assert!(workers >= 1);
     let cfg = cfg.clone();
     let lzss = cfg.lzss;
+    let system = backend_ctx.system.clone();
+    if rec.is_enabled() {
+        if let Some(sys) = &system {
+            for d in 0..sys.device_count() {
+                sys.device(d).enable_trace();
+            }
+        }
+    }
     let hash_ctx = backend_ctx.clone();
     let compress_ctx = backend_ctx;
     let mut archive = Archive::new(lzss);
 
     let source_cfg = cfg.clone();
     spar::ToStream::new()
+        .recorder(rec.clone())
         .ordered(true)
         // S1: read input, build 1 MB batches, rabin-fingerprint each.
         .source(move |em| {
@@ -158,6 +194,13 @@ pub fn run_pipeline<B: DedupBackend>(
         .last_stage(|done: CompressedBatch| {
             archive.entries.extend(done.entries);
         });
+    if rec.is_enabled() {
+        if let Some(sys) = &system {
+            for d in 0..sys.device_count() {
+                gpusim::feed_recorder(&rec, d, &sys.device(d).take_trace());
+            }
+        }
+    }
     archive
 }
 
@@ -233,6 +276,60 @@ mod tests {
     }
 
     #[test]
+    fn offload_backends_match_sequential() {
+        let cfg = small_cfg();
+        let data = input();
+        let seq = run_sequential(&data, &cfg);
+        let sys = GpuSystem::new(2, DeviceProps::titan_xp());
+        let ctx = BackendCtx::gpu(sys.clone(), 2, true, cfg.lzss);
+        let cuda = run_pipeline::<crate::backend::OffloadBackend<gpusim::CudaOffload>>(
+            ctx.clone(),
+            data.clone(),
+            &cfg,
+            3,
+        );
+        assert_eq!(cuda, seq);
+        let ocl = run_pipeline::<crate::backend::OffloadBackend<gpusim::OclOffload>>(
+            ctx,
+            data.clone(),
+            &cfg,
+            3,
+        );
+        assert_eq!(ocl, seq);
+    }
+
+    #[test]
+    fn recorder_captures_stages_and_gpu_engines() {
+        let cfg = small_cfg();
+        let data = input();
+        let sys = GpuSystem::new(2, DeviceProps::titan_xp());
+        let ctx = BackendCtx::gpu(sys, 2, true, cfg.lzss);
+        let rec = telemetry::Recorder::enabled();
+        let archive = run_pipeline_rec::<crate::backend::OffloadBackend<gpusim::CudaOffload>>(
+            ctx,
+            data.clone(),
+            &cfg,
+            3,
+            rec.clone(),
+        );
+        assert_eq!(archive.decompress().unwrap(), data);
+        let report = rec.report();
+        // All five stages of Fig. 3's pipeline are present...
+        for stage in ["source", "stage1", "stage2", "stage3", "sink"] {
+            assert!(
+                report.stages.iter().any(|s| s.name == stage),
+                "missing stage {stage}"
+            );
+        }
+        // ...items are conserved stage to stage...
+        assert_eq!(report.items_out("source"), report.items_in("stage1"));
+        assert_eq!(report.items_out("stage1"), report.items_in("stage2"));
+        // ...and the simulated devices contributed engine spans.
+        assert!(report.gpu.iter().any(|s| s.engine == "compute"));
+        assert!(report.gpu.iter().any(|s| s.engine == "h2d"));
+    }
+
+    #[test]
     fn unbatched_kernels_still_produce_identical_output() {
         let cfg = small_cfg();
         let data = input();
@@ -247,12 +344,8 @@ mod tests {
     fn all_datasets_roundtrip_through_the_cpu_pipeline() {
         let cfg = small_cfg();
         for ds in datasets::all(60_000, 2) {
-            let par = run_pipeline::<CpuBackend>(
-                BackendCtx::cpu(cfg.lzss),
-                ds.data.clone(),
-                &cfg,
-                3,
-            );
+            let par =
+                run_pipeline::<CpuBackend>(BackendCtx::cpu(cfg.lzss), ds.data.clone(), &cfg, 3);
             assert_eq!(par.decompress().unwrap(), ds.data, "{}", ds.name);
         }
     }

@@ -105,7 +105,10 @@ impl RollingHash {
 /// Scan `data` and return the start index of every chunk (Fig. 2's
 /// `startPos` array). Always begins with 0; every value is `< data.len()`.
 pub fn chunk_starts(data: &[u8], params: &RabinParams) -> Vec<usize> {
-    assert!(params.min_chunk >= params.window, "window must fit in min chunk");
+    assert!(
+        params.min_chunk >= params.window,
+        "window must fit in min chunk"
+    );
     assert!(params.max_chunk >= params.min_chunk);
     let mut starts = vec![0usize];
     if data.is_empty() {
@@ -116,10 +119,9 @@ pub fn chunk_starts(data: &[u8], params: &RabinParams) -> Vec<usize> {
     for (i, &b) in data.iter().enumerate() {
         let fp = hash.push(b);
         chunk_len += 1;
-        let boundary = (hash.primed()
-            && chunk_len >= params.min_chunk
-            && (fp & params.mask) == params.magic)
-            || chunk_len >= params.max_chunk;
+        let boundary =
+            (hash.primed() && chunk_len >= params.min_chunk && (fp & params.mask) == params.magic)
+                || chunk_len >= params.max_chunk;
         if boundary && i + 1 < data.len() {
             starts.push(i + 1);
             chunk_len = 0;

@@ -45,7 +45,13 @@ impl Sha1 {
     /// Fresh hasher with the FIPS initial state.
     pub fn new() -> Self {
         Sha1 {
-            h: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            h: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             len: 0,
             buf: [0; 64],
             buf_len: 0,
@@ -154,12 +160,18 @@ mod tests {
     // FIPS 180-1 / RFC 3174 test vectors.
     #[test]
     fn empty_string() {
-        assert_eq!(sha1(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            sha1(b"").to_hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
     fn abc() {
-        assert_eq!(sha1(b"abc").to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            sha1(b"abc").to_hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
@@ -173,7 +185,10 @@ mod tests {
     #[test]
     fn million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(sha1(&data).to_hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            sha1(&data).to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]

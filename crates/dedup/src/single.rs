@@ -135,7 +135,12 @@ pub fn run_single_cuda(
             n_blocks: n,
             out: space.d_digests.ptr(),
         };
-        cuda.launch(&k, (n as u64).div_ceil(64).max(1) as u32, 64u32, &space.stream);
+        cuda.launch(
+            &k,
+            (n as u64).div_ceil(64).max(1) as u32,
+            64u32,
+            &space.stream,
+        );
         let mut raw = vec![0u8; n * 20];
         cuda.memcpy_d2h_pageable(&mut raw, &space.d_digests, 0, &space.stream);
         let digests: Vec<Digest> = raw
@@ -206,8 +211,12 @@ pub fn run_single_ocl(
         .map(|_| OclSpace {
             queue: ctx.create_queue(dev),
             d_data: ctx.create_buffer(dev, cfg.batch_size).expect("mem"),
-            d_starts: ctx.create_buffer(dev, cfg.batch_size / 64 + 2).expect("mem"),
-            d_digests: ctx.create_buffer(dev, cfg.batch_size / 16 + 32).expect("mem"),
+            d_starts: ctx
+                .create_buffer(dev, cfg.batch_size / 64 + 2)
+                .expect("mem"),
+            d_digests: ctx
+                .create_buffer(dev, cfg.batch_size / 16 + 32)
+                .expect("mem"),
             d_len: ctx.create_buffer(dev, cfg.batch_size).expect("mem"),
             d_off: ctx.create_buffer(dev, cfg.batch_size).expect("mem"),
             pending: None,
@@ -241,9 +250,10 @@ pub fn run_single_ocl(
         let w1 = space
             .queue
             .enqueue_write_buffer(&space.d_data, false, 0, &batch.data, &[]);
-        let w2 = space
-            .queue
-            .enqueue_write_buffer(&space.d_starts, false, 0, &starts_u32(&batch), &[]);
+        let w2 =
+            space
+                .queue
+                .enqueue_write_buffer(&space.d_starts, false, 0, &starts_u32(&batch), &[]);
         let sha = ClKernel::create(Sha1Kernel {
             data: space.d_data.ptr(),
             starts: space.d_starts.ptr(),
@@ -251,9 +261,12 @@ pub fn run_single_ocl(
             n_blocks: n,
             out: space.d_digests.ptr(),
         });
-        let k1 = space
-            .queue
-            .enqueue_nd_range(&sha, (n as u64).next_multiple_of(64).max(64), 64, &[w1, w2]);
+        let k1 = space.queue.enqueue_nd_range(
+            &sha,
+            (n as u64).next_multiple_of(64).max(64),
+            64,
+            &[w1, w2],
+        );
         let mut raw = vec![0u8; n * 20];
         let r1 = space
             .queue
@@ -300,7 +313,12 @@ pub fn run_single_ocl(
     }
     // Drain remaining spaces in batch order.
     let mut order: Vec<usize> = (0..spaces.len()).collect();
-    order.sort_by_key(|&s| spaces[s].pending.as_ref().map_or(usize::MAX, |p| p.batch.index));
+    order.sort_by_key(|&s| {
+        spaces[s]
+            .pending
+            .as_ref()
+            .map_or(usize::MAX, |p| p.batch.index)
+    });
     for s in order {
         finish_pending(&mut spaces[s], &mut archive);
     }

@@ -47,10 +47,7 @@ impl ArchiveStats {
                     compress_saved += *orig_len as u64 - payload.len() as u64;
                 }
                 BlockEntry::Dup(ordinal) => {
-                    let len = unique_sizes
-                        .get(*ordinal as usize)
-                        .copied()
-                        .unwrap_or(0);
+                    let len = unique_sizes.get(*ordinal as usize).copied().unwrap_or(0);
                     input_bytes += len;
                     dedup_saved += len;
                     dup_blocks += 1;
@@ -110,7 +107,7 @@ mod tests {
 
     #[test]
     fn stats_account_for_every_input_byte() {
-        let data = datasets::parsec_like(60_000, 91).data;
+        let data = datasets::parsec_like(200_000, 91).data;
         let archive = run_sequential(&data, &cfg());
         let stats = ArchiveStats::of(&archive);
         assert_eq!(stats.input_bytes, data.len() as u64);
@@ -118,8 +115,14 @@ mod tests {
             stats.unique_raw + stats.unique_lzss + stats.dup_blocks,
             archive.entries.len()
         );
-        assert!(stats.ratio_percent() < 100.0, "parsec-like data must shrink");
-        assert!(stats.dup_fraction() > 0.0, "parsec-like data has duplicates");
+        assert!(
+            stats.ratio_percent() < 100.0,
+            "parsec-like data must shrink"
+        );
+        assert!(
+            stats.dup_fraction() > 0.0,
+            "parsec-like data has duplicates"
+        );
     }
 
     #[test]

@@ -73,11 +73,7 @@ pub fn channel_with_recv_signal<T: Send>(
             shared: Arc::clone(&shared),
             wait,
         },
-        Receiver {
-            cons,
-            shared,
-            wait,
-        },
+        Receiver { cons, shared, wait },
     )
 }
 
@@ -324,8 +320,10 @@ mod tests {
     fn shared_recv_signal_wakes_collector() {
         // Two channels sharing one item signal; a consumer parks on both.
         let sig = Arc::new(Signal::new());
-        let (tx_a, rx_a) = channel_with_recv_signal::<u32>(4, WaitStrategy::Block, Arc::clone(&sig));
-        let (tx_b, rx_b) = channel_with_recv_signal::<u32>(4, WaitStrategy::Block, Arc::clone(&sig));
+        let (tx_a, rx_a) =
+            channel_with_recv_signal::<u32>(4, WaitStrategy::Block, Arc::clone(&sig));
+        let (tx_b, rx_b) =
+            channel_with_recv_signal::<u32>(4, WaitStrategy::Block, Arc::clone(&sig));
         let consumer = thread::spawn(move || {
             let mut got = Vec::new();
             let mut open = 2;

@@ -10,8 +10,11 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
+use telemetry::{Recorder, StageHandle};
+
 use crate::channel::{channel, channel_with_recv_signal, Receiver, Sender};
 use crate::node::{Emitter, Node};
+use crate::pipeline::traced_recv;
 use crate::wait::{Signal, WaitStrategy};
 
 /// How the emitter assigns items to workers.
@@ -84,8 +87,26 @@ impl<O> Ord for OrderedEntry<O> {
 pub fn spawn_farm<N, F>(
     rx: Receiver<N::In>,
     replicas: usize,
+    factory: F,
+    cfg: FarmConfig,
+) -> (Receiver<N::Out>, Vec<JoinHandle<()>>)
+where
+    N: Node,
+    F: FnMut(usize) -> N,
+{
+    spawn_farm_traced(rx, replicas, factory, cfg, &Recorder::default(), "farm")
+}
+
+/// [`spawn_farm`] with telemetry: every worker replica registers a
+/// [`telemetry::StageMetrics`] named `stage_name` under `rec`. With a
+/// disabled recorder this is exactly `spawn_farm`.
+pub fn spawn_farm_traced<N, F>(
+    rx: Receiver<N::In>,
+    replicas: usize,
     mut factory: F,
     cfg: FarmConfig,
+    rec: &Recorder,
+    stage_name: &str,
 ) -> (Receiver<N::Out>, Vec<JoinHandle<()>>)
 where
     N: Node,
@@ -133,10 +154,11 @@ where
     // Worker threads.
     for (idx, (w_rx, w_tx)) in worker_rxs.into_iter().zip(worker_txs).enumerate() {
         let mut node = factory(idx);
+        let stage = rec.stage(stage_name, idx);
         handles.push(
             thread::Builder::new()
                 .name(format!("ff-worker-{idx}"))
-                .spawn(move || run_worker(&mut node, w_rx, w_tx))
+                .spawn(move || run_worker(&mut node, w_rx, w_tx, stage))
                 .expect("spawn worker"),
         );
     }
@@ -210,9 +232,15 @@ fn run_emitter<I: Send + 'static>(
     // Senders drop here => EOS to every worker.
 }
 
-fn run_worker<N: Node>(node: &mut N, rx: Receiver<(u64, N::In)>, tx: Sender<WorkerMsg<N::Out>>) {
+fn run_worker<N: Node>(
+    node: &mut N,
+    rx: Receiver<(u64, N::In)>,
+    tx: Sender<WorkerMsg<N::Out>>,
+    stage: StageHandle,
+) {
     node.on_init();
-    while let Some((seq, item)) = rx.recv() {
+    while let Some((seq, item)) = traced_recv(&rx, &stage) {
+        stage.item_in(rx.len());
         let mut outs = Vec::new();
         {
             let mut sink = |v: N::Out| {
@@ -220,7 +248,13 @@ fn run_worker<N: Node>(node: &mut N, rx: Receiver<(u64, N::In)>, tx: Sender<Work
                 true
             };
             let mut em = Emitter::new(&mut sink);
+            let span = stage.begin();
             node.svc(item, &mut em);
+            stage.end(span);
+        }
+        stage.items_out(outs.len() as u64);
+        if stage.enabled() && tx.free_slots() == 0 {
+            stage.push_stall();
         }
         if tx.send(WorkerMsg::Item(seq, outs)).is_err() {
             return; // collector gone
@@ -445,8 +479,12 @@ mod tests {
                 tx.send(v).unwrap();
             }
         });
-        let (out_rx, handles) =
-            spawn_farm::<_, _>(rx, 3, |_| node::flat_map(|x: u64| vec![x * 2, x * 2 + 1]), cfg);
+        let (out_rx, handles) = spawn_farm::<_, _>(
+            rx,
+            3,
+            |_| node::flat_map(|x: u64| vec![x * 2, x * 2 + 1]),
+            cfg,
+        );
         let got: Vec<u64> = out_rx.into_iter().collect();
         producer.join().unwrap();
         for h in handles {

@@ -12,7 +12,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 
+use telemetry::Recorder;
+
 use crate::channel::{channel, channel_with_recv_signal, Receiver};
+use crate::pipeline::traced_recv;
 use crate::wait::{Signal, WaitStrategy};
 
 /// A feedback worker's verdict on one item.
@@ -29,9 +32,40 @@ pub enum Loop<T, U> {
 pub fn spawn_feedback_farm<I, O, W, G>(
     rx: Receiver<I>,
     replicas: usize,
+    factory: G,
+    capacity: usize,
+    wait: WaitStrategy,
+) -> (Receiver<O>, Vec<JoinHandle<()>>)
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    W: FnMut(I) -> Loop<I, O> + Send + 'static,
+    G: FnMut(usize) -> W,
+{
+    spawn_feedback_farm_traced(
+        rx,
+        replicas,
+        factory,
+        capacity,
+        wait,
+        &Recorder::default(),
+        "feedback",
+    )
+}
+
+/// [`spawn_feedback_farm`] with telemetry: each worker replica registers a
+/// [`telemetry::StageMetrics`] named `stage_name` under `rec`. `items_in`
+/// counts every pass through a worker (recycles included); `items_out`
+/// counts only emitted results, so `items_in - items_out` is the total
+/// number of feedback trips.
+pub fn spawn_feedback_farm_traced<I, O, W, G>(
+    rx: Receiver<I>,
+    replicas: usize,
     mut factory: G,
     capacity: usize,
     wait: WaitStrategy,
+    rec: &Recorder,
+    stage_name: &str,
 ) -> (Receiver<O>, Vec<JoinHandle<()>>)
 where
     I: Send + 'static,
@@ -122,12 +156,17 @@ where
         let mut f = factory(idx);
         let fb = fb_tx.clone();
         let in_flight = Arc::clone(&in_flight);
+        let stage = rec.stage(stage_name, idx);
         handles.push(
             thread::Builder::new()
                 .name(format!("ff-fb-worker-{idx}"))
                 .spawn(move || {
-                    while let Some(item) = w_rx.recv() {
-                        match f(item) {
+                    while let Some(item) = traced_recv(&w_rx, &stage) {
+                        stage.item_in(w_rx.len());
+                        let span = stage.begin();
+                        let verdict = f(item);
+                        stage.end(span);
+                        match verdict {
                             Loop::Recycle(back) => {
                                 if fb.send(back).is_err() {
                                     return;
@@ -135,6 +174,10 @@ where
                             }
                             Loop::Emit(out) => {
                                 in_flight.fetch_sub(1, Ordering::AcqRel);
+                                stage.items_out(1);
+                                if stage.enabled() && c_tx.free_slots() == 0 {
+                                    stage.push_stall();
+                                }
                                 if c_tx.send(out).is_err() {
                                     return;
                                 }
@@ -214,8 +257,7 @@ mod tests {
                 }
             }
         });
-        let (out_rx, handles) =
-            spawn_feedback_farm(rx, replicas, factory, 16, WaitStrategy::Block);
+        let (out_rx, handles) = spawn_feedback_farm(rx, replicas, factory, 16, WaitStrategy::Block);
         let out: Vec<O> = out_rx.into_iter().collect();
         producer.join().unwrap();
         for h in handles {
@@ -227,21 +269,17 @@ mod tests {
     #[test]
     fn collatz_items_circulate_until_done() {
         // Each item is (start, steps); recycle until the value hits 1.
-        let out: Vec<(u64, u32)> = run(
-            (1..=50u64).map(|v| (v, v, 0u32)).collect(),
-            4,
-            |_| {
-                |(orig, v, steps): (u64, u64, u32)| {
-                    if v == 1 {
-                        Loop::Emit((orig, steps))
-                    } else if v % 2 == 0 {
-                        Loop::Recycle((orig, v / 2, steps + 1))
-                    } else {
-                        Loop::Recycle((orig, 3 * v + 1, steps + 1))
-                    }
+        let out: Vec<(u64, u32)> = run((1..=50u64).map(|v| (v, v, 0u32)).collect(), 4, |_| {
+            |(orig, v, steps): (u64, u64, u32)| {
+                if v == 1 {
+                    Loop::Emit((orig, steps))
+                } else if v % 2 == 0 {
+                    Loop::Recycle((orig, v / 2, steps + 1))
+                } else {
+                    Loop::Recycle((orig, 3 * v + 1, steps + 1))
                 }
-            },
-        );
+            }
+        });
         assert_eq!(out.len(), 50);
         let steps_of = |n: u64| out.iter().find(|(o, _)| *o == n).expect("present").1;
         // Known Collatz step counts.
@@ -261,9 +299,7 @@ mod tests {
 
     #[test]
     fn empty_stream_terminates() {
-        let out: Vec<u64> = run(Vec::<u64>::new(), 2, |_| {
-            |v: u64| Loop::Emit::<u64, u64>(v)
-        });
+        let out: Vec<u64> = run(Vec::<u64>::new(), 2, |_| |v: u64| Loop::Emit::<u64, u64>(v));
         assert!(out.is_empty());
     }
 

@@ -36,8 +36,8 @@ pub mod spsc;
 pub mod wait;
 
 pub use channel::{channel, Receiver, SendError, Sender, TrySendError};
-pub use farm::{spawn_farm, FarmConfig, SchedPolicy};
-pub use feedback::{spawn_feedback_farm, Loop};
+pub use farm::{spawn_farm, spawn_farm_traced, FarmConfig, SchedPolicy};
+pub use feedback::{spawn_feedback_farm, spawn_feedback_farm_traced, Loop};
 pub use node::{Emitter, Node};
 pub use pipeline::{PipeConfig, Pipeline, PipelineBuilder, PipelineStart, PipelineThreads};
 pub use wait::{Signal, WaitStrategy};

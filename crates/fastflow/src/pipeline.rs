@@ -8,10 +8,46 @@
 
 use std::thread::{self, JoinHandle};
 
-use crate::channel::{channel, Receiver};
-use crate::farm::{spawn_farm, FarmConfig, SchedPolicy};
+use telemetry::{Recorder, StageHandle};
+
+use crate::channel::{channel, Receiver, Sender};
+use crate::farm::{spawn_farm_traced, FarmConfig, SchedPolicy};
 use crate::node::{map, Emitter, Node};
 use crate::wait::WaitStrategy;
+
+/// Wrap a channel sender into an Emitter-compatible sink that feeds stage
+/// telemetry: a send attempted against a full ring counts as a push stall,
+/// every delivered item bumps `items_out`.
+pub(crate) fn traced_sink<T: Send>(tx: Sender<T>, handle: StageHandle) -> impl FnMut(T) -> bool {
+    move |item: T| {
+        if handle.enabled() && tx.free_slots() == 0 {
+            handle.push_stall();
+        }
+        let ok = tx.send(item).is_ok();
+        if ok {
+            handle.items_out(1);
+        }
+        ok
+    }
+}
+
+/// Dequeue one item, counting a pop wait when the queue is empty on
+/// arrival. Telemetry-off takes the plain blocking path.
+pub(crate) fn traced_recv<T: Send>(rx: &Receiver<T>, handle: &StageHandle) -> Option<T> {
+    if !handle.enabled() {
+        return rx.recv();
+    }
+    match rx.try_recv() {
+        Some(v) => Some(v),
+        None => {
+            if rx.is_eos() {
+                return None;
+            }
+            handle.pop_wait();
+            rx.recv()
+        }
+    }
+}
 
 /// Queue configuration shared by all stages of one pipeline.
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +75,7 @@ impl Pipeline {
     pub fn builder() -> PipelineStart {
         PipelineStart {
             cfg: PipeConfig::default(),
+            rec: Recorder::default(),
         }
     }
 }
@@ -46,6 +83,7 @@ impl Pipeline {
 /// Builder state before the source is attached.
 pub struct PipelineStart {
     cfg: PipeConfig,
+    rec: Recorder,
 }
 
 impl PipelineStart {
@@ -62,6 +100,14 @@ impl PipelineStart {
         self
     }
 
+    /// Attach a telemetry recorder: every stage and farm replica of this
+    /// pipeline registers a [`telemetry::StageMetrics`] under it. A
+    /// disabled recorder (the default) makes every probe a no-op branch.
+    pub fn recorder(mut self, rec: Recorder) -> Self {
+        self.rec = rec;
+        self
+    }
+
     /// Attach a source closure run on its own thread; it pushes items via
     /// the [`Emitter`] and the stream ends when it returns.
     pub fn source<T, F>(self, f: F) -> PipelineBuilder<T>
@@ -70,16 +116,19 @@ impl PipelineStart {
         F: FnOnce(&mut Emitter<'_, T>) + Send + 'static,
     {
         let (tx, rx) = channel::<T>(self.cfg.capacity, self.cfg.wait);
+        let stage = self.rec.stage("source", 0);
         let handle = thread::Builder::new()
             .name("ff-source".into())
             .spawn(move || {
-                let mut sink = |item: T| tx.send(item).is_ok();
+                let mut sink = traced_sink(tx, stage);
                 let mut em = Emitter::new(&mut sink);
                 f(&mut em);
             })
             .expect("spawn source");
         PipelineBuilder {
             cfg: self.cfg,
+            rec: self.rec,
+            stage_no: 0,
             rx,
             handles: vec![handle],
         }
@@ -104,26 +153,39 @@ impl PipelineStart {
 /// Builder state carrying the output end of the graph built so far.
 pub struct PipelineBuilder<T: Send + 'static> {
     cfg: PipeConfig,
+    rec: Recorder,
+    /// Stages appended so far (for auto-generated stage names).
+    stage_no: usize,
     rx: Receiver<T>,
     handles: Vec<JoinHandle<()>>,
 }
 
 impl<T: Send + 'static> PipelineBuilder<T> {
+    fn next_stage_name(&mut self) -> String {
+        self.stage_no += 1;
+        format!("stage{}", self.stage_no)
+    }
+
     /// Append a sequential stage running `node` on its own thread.
     pub fn node<N>(mut self, mut node: N) -> PipelineBuilder<N::Out>
     where
         N: Node<In = T>,
     {
         let (tx, out_rx) = channel::<N::Out>(self.cfg.capacity, self.cfg.wait);
+        let name = self.next_stage_name();
+        let stage = self.rec.stage(&name, 0);
         let rx = self.rx;
         let handle = thread::Builder::new()
             .name("ff-stage".into())
             .spawn(move || {
                 node.on_init();
-                let mut sink = |item: N::Out| tx.send(item).is_ok();
-                while let Some(item) = rx.recv() {
+                let mut sink = traced_sink(tx, stage.clone());
+                while let Some(item) = traced_recv(&rx, &stage) {
+                    stage.item_in(rx.len());
                     let mut em = Emitter::new(&mut sink);
+                    let span = stage.begin();
                     node.svc(item, &mut em);
+                    stage.end(span);
                     if !em.is_open() {
                         return;
                     }
@@ -135,6 +197,8 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         self.handles.push(handle);
         PipelineBuilder {
             cfg: self.cfg,
+            rec: self.rec,
+            stage_no: self.stage_no,
             rx: out_rx,
             handles: self.handles,
         }
@@ -186,10 +250,14 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             policy,
             ordered,
         };
-        let (out_rx, mut farm_handles) = spawn_farm::<N, F>(self.rx, replicas, factory, cfg);
+        let name = self.next_stage_name();
+        let (out_rx, mut farm_handles) =
+            spawn_farm_traced::<N, F>(self.rx, replicas, factory, cfg, &self.rec, &name);
         self.handles.append(&mut farm_handles);
         PipelineBuilder {
             cfg: self.cfg,
+            rec: self.rec,
+            stage_no: self.stage_no,
             rx: out_rx,
             handles: self.handles,
         }
@@ -204,16 +272,21 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         W: FnMut(T) -> crate::feedback::Loop<T, O> + Send + 'static,
         G: FnMut(usize) -> W,
     {
-        let (out_rx, mut fb_handles) = crate::feedback::spawn_feedback_farm(
+        let name = self.next_stage_name();
+        let (out_rx, mut fb_handles) = crate::feedback::spawn_feedback_farm_traced(
             self.rx,
             replicas,
             factory,
             self.cfg.capacity,
             self.cfg.wait,
+            &self.rec,
+            &name,
         );
         self.handles.append(&mut fb_handles);
         PipelineBuilder {
             cfg: self.cfg,
+            rec: self.rec,
+            stage_no: self.stage_no,
             rx: out_rx,
             handles: self.handles,
         }
@@ -228,16 +301,22 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     where
         F: FnMut(T),
     {
-        while let Some(item) = self.rx.recv() {
+        let stage = self.rec.stage("sink", 0);
+        while let Some(item) = traced_recv(&self.rx, &stage) {
+            stage.item_in(self.rx.len());
+            let span = stage.begin();
             f(item);
+            stage.end(span);
         }
         join_all(self.handles);
     }
 
     /// Terminate by collecting all items into a `Vec` (joins all threads).
     pub fn collect(self) -> Vec<T> {
+        let stage = self.rec.stage("sink", 0);
         let mut out = Vec::new();
-        while let Some(item) = self.rx.recv() {
+        while let Some(item) = traced_recv(&self.rx, &stage) {
+            stage.item_in(self.rx.len());
             out.push(item);
         }
         join_all(self.handles);

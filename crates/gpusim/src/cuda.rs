@@ -245,9 +245,14 @@ impl Cuda {
     ) {
         self.check_binding(src.device, stream);
         let now = self.api_cost(stream.device);
-        self.system
-            .device(stream.device)
-            .copy_d2h(stream.id, src.ptr, src_offset, &mut dst.data, true, now);
+        self.system.device(stream.device).copy_d2h(
+            stream.id,
+            src.ptr,
+            src_offset,
+            &mut dst.data,
+            true,
+            now,
+        );
     }
 
     /// Device→host copy into pageable memory: synchronous, like CUDA.
@@ -281,7 +286,8 @@ impl Cuda {
     ) {
         let cur = self.current_device();
         assert_eq!(
-            stream.device, cur,
+            stream.device,
+            cur,
             "kernel {} launched on stream of device {} while device {} is current \
              (missing cudaSetDevice after thread start?)",
             kernel.name(),
@@ -383,7 +389,10 @@ mod tests {
         let cuda = cuda(1);
         let buf = cuda.malloc::<u32>(100).unwrap();
         let stream = cuda.stream_create();
-        let k = Iota { base: 5, img: buf.ptr() };
+        let k = Iota {
+            base: 5,
+            img: buf.ptr(),
+        };
         cuda.launch(&k, 1u32, 128u32, &stream);
         let mut out = vec![0u32; 100];
         cuda.memcpy_d2h_pageable(&mut out, &buf, 0, &stream);
@@ -435,7 +444,10 @@ mod tests {
         }
         for (d, (buf, stream)) in bufs.iter().enumerate() {
             cuda.set_device(d);
-            let k = Iota { base: (d * 100) as u32, img: buf.ptr() };
+            let k = Iota {
+                base: (d * 100) as u32,
+                img: buf.ptr(),
+            };
             cuda.launch(&k, 1u32, 32u32, stream);
         }
         for (d, (buf, stream)) in bufs.iter().enumerate() {
@@ -454,7 +466,10 @@ mod tests {
         let buf = cuda.malloc::<u32>(4).unwrap();
         let stream = cuda.stream_create();
         cuda.set_device(0); // forgot to switch back — the paper's bug
-        let k = Iota { base: 0, img: buf.ptr() };
+        let k = Iota {
+            base: 0,
+            img: buf.ptr(),
+        };
         cuda.launch(&k, 1u32, 32u32, &stream);
     }
 
@@ -464,11 +479,17 @@ mod tests {
         let buf = cuda.malloc::<u32>(8).unwrap();
         let s1 = cuda.stream_create();
         let s2 = cuda.stream_create();
-        let k = Iota { base: 1, img: buf.ptr() };
+        let k = Iota {
+            base: 1,
+            img: buf.ptr(),
+        };
         cuda.launch(&k, 1u32, 32u32, &s1);
         let ev = cuda.event_record(&s1);
         cuda.stream_wait_event(&s2, &ev);
-        let k2 = Iota { base: 2, img: buf.ptr() };
+        let k2 = Iota {
+            base: 2,
+            img: buf.ptr(),
+        };
         cuda.launch(&k2, 1u32, 32u32, &s2);
         let end2 = cuda.system().device(0).stream_last_end(s2.id);
         assert!(end2 > ev.time());

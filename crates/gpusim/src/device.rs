@@ -461,7 +461,12 @@ mod tests {
         let e1 = dev.launch(StreamId::DEFAULT, dims, &k, SimTime::ZERO);
         let e2 = dev.launch(s2, dims, &k, SimTime::ZERO);
         // Compute engine is serial: second kernel starts after the first.
-        assert!(e2 >= e1 + (e1.since(SimTime::ZERO).saturating_sub(SimDuration::from_micros(20))));
+        assert!(
+            e2 >= e1
+                + (e1
+                    .since(SimTime::ZERO)
+                    .saturating_sub(SimDuration::from_micros(20)))
+        );
     }
 
     #[test]
@@ -469,7 +474,14 @@ mod tests {
         let sys = system();
         let dev = sys.device(0);
         let buf = dev.alloc::<u32>(4).unwrap();
-        dev.copy_h2d(StreamId::DEFAULT, &[1, 2, 3, 4], buf, 0, false, SimTime::ZERO);
+        dev.copy_h2d(
+            StreamId::DEFAULT,
+            &[1, 2, 3, 4],
+            buf,
+            0,
+            false,
+            SimTime::ZERO,
+        );
         let mut out = [0u32; 4];
         dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut out, false, SimTime::ZERO);
         assert_eq!(out, [1, 2, 3, 4]);
@@ -520,7 +532,14 @@ mod tests {
         let dev = sys.device(0);
         let a = dev.alloc::<u32>(8).unwrap();
         let b = dev.alloc::<u32>(8).unwrap();
-        dev.copy_h2d(StreamId::DEFAULT, &[1, 2, 3, 4, 5, 6, 7, 8], a, 0, true, SimTime::ZERO);
+        dev.copy_h2d(
+            StreamId::DEFAULT,
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+            a,
+            0,
+            true,
+            SimTime::ZERO,
+        );
         dev.copy_d2d(StreamId::DEFAULT, a, 2, b, 0, 4, SimTime::ZERO);
         let mut out = [0u32; 4];
         dev.copy_d2h(StreamId::DEFAULT, b, 0, &mut out, true, SimTime::ZERO);
@@ -534,7 +553,12 @@ mod tests {
         let buf = dev.alloc::<u8>(100).unwrap();
         dev.copy_h2d(StreamId::DEFAULT, &[0u8; 100], buf, 0, true, SimTime::ZERO);
         let k = Busy { units: 10 };
-        dev.launch(StreamId::DEFAULT, LaunchDims::linear(1, 32), &k, SimTime::ZERO);
+        dev.launch(
+            StreamId::DEFAULT,
+            LaunchDims::linear(1, 32),
+            &k,
+            SimTime::ZERO,
+        );
         let st = dev.stats();
         assert_eq!(st.h2d_bytes, 100);
         assert_eq!(st.kernels, 1);

@@ -29,6 +29,7 @@ pub mod kernel;
 pub mod mem;
 pub mod meter;
 pub mod model;
+pub mod offload;
 pub mod opencl;
 pub mod props;
 pub mod trace;
@@ -37,5 +38,6 @@ pub use device::{Device, DeviceStats, EventStamp, GpuSystem, StreamId};
 pub use kernel::{Dim3, KernelFn, LaunchDims};
 pub use mem::{DeviceMemory, DevicePtr, OutOfMemory};
 pub use meter::WorkMeter;
+pub use offload::{CudaOffload, OclOffload, Offload, OffloadApi};
 pub use props::DeviceProps;
-pub use trace::{overlap_fraction, render_timeline, CommandRecord, TraceEngine};
+pub use trace::{feed_recorder, overlap_fraction, render_timeline, CommandRecord, TraceEngine};

@@ -52,7 +52,11 @@ impl<T> Copy for DevicePtr<T> {}
 
 impl<T> fmt::Debug for DevicePtr<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DevicePtr(dev{}, #{}, len {})", self.device, self.id, self.len)
+        write!(
+            f,
+            "DevicePtr(dev{}, #{}, len {})",
+            self.device, self.id, self.len
+        )
     }
 }
 
@@ -142,7 +146,8 @@ impl DeviceMemory {
             .get(&ptr.id)
             .unwrap_or_else(|| panic!("use after free of {ptr:?}"));
         Ref::map(cell.borrow(), |b| {
-            b.downcast_ref::<Vec<T>>().expect("device buffer type mismatch")
+            b.downcast_ref::<Vec<T>>()
+                .expect("device buffer type mismatch")
         })
     }
 
@@ -154,7 +159,8 @@ impl DeviceMemory {
             .get(&ptr.id)
             .unwrap_or_else(|| panic!("use after free of {ptr:?}"));
         RefMut::map(cell.borrow_mut(), |b| {
-            b.downcast_mut::<Vec<T>>().expect("device buffer type mismatch")
+            b.downcast_mut::<Vec<T>>()
+                .expect("device buffer type mismatch")
         })
     }
 

@@ -144,7 +144,11 @@ mod tests {
     #[test]
     fn tiny_kernels_are_launch_bound() {
         let props = DeviceProps::titan_xp();
-        let k = Uniform { units: 1, regs: 18, cycles: 1.0 };
+        let k = Uniform {
+            units: 1,
+            regs: 18,
+            cycles: 1.0,
+        };
         let dims = LaunchDims::cover(2_000, 256);
         let meter = meter_for(&k, &dims);
         let d = kernel_duration(&props, &dims, &k, &meter);
@@ -156,11 +160,19 @@ mod tests {
     #[test]
     fn big_kernels_are_compute_bound_and_scale_with_work() {
         let props = DeviceProps::titan_xp();
-        let k = Uniform { units: 100_000, regs: 18, cycles: 4.0 };
+        let k = Uniform {
+            units: 100_000,
+            regs: 18,
+            cycles: 4.0,
+        };
         let dims = LaunchDims::cover(64_000, 256);
         let meter = meter_for(&k, &dims);
         let d1 = kernel_duration(&props, &dims, &k, &meter);
-        let k2 = Uniform { units: 200_000, regs: 18, cycles: 4.0 };
+        let k2 = Uniform {
+            units: 200_000,
+            regs: 18,
+            cycles: 4.0,
+        };
         let meter2 = meter_for(&k2, &dims);
         let d2 = kernel_duration(&props, &dims, &k2, &meter2);
         let ratio = d2.as_secs_f64() / d1.as_secs_f64();
@@ -171,7 +183,11 @@ mod tests {
     fn divergent_warps_cost_more_than_convergent() {
         let props = DeviceProps::titan_xp();
         let dims = LaunchDims::cover(2_048, 32);
-        let k = Uniform { units: 0, regs: 18, cycles: 2.0 };
+        let k = Uniform {
+            units: 0,
+            regs: 18,
+            cycles: 2.0,
+        };
         // Convergent: every lane 100k units (big enough that compute, not
         // launch overhead, dominates).
         let mut conv = WorkMeter::new(dims.total_threads(), 32);
@@ -194,7 +210,11 @@ mod tests {
     fn single_warp_kernel_is_latency_bound() {
         let props = DeviceProps::titan_xp();
         let dims = LaunchDims::linear(1, 32);
-        let k = Uniform { units: 1_000_000, regs: 18, cycles: 1.0 };
+        let k = Uniform {
+            units: 1_000_000,
+            regs: 18,
+            cycles: 1.0,
+        };
         let meter = meter_for(&k, &dims);
         let d = kernel_duration(&props, &dims, &k, &meter);
         // One warp cannot be split: time >= warp cycles / clock.
@@ -206,10 +226,18 @@ mod tests {
     fn low_occupancy_slows_kernels() {
         let props = DeviceProps::titan_xp();
         let dims = LaunchDims::cover(100_000, 256);
-        let light = Uniform { units: 1000, regs: 18, cycles: 1.0 };
+        let light = Uniform {
+            units: 1000,
+            regs: 18,
+            cycles: 1.0,
+        };
         // 512 regs/thread -> 65536/(512*32) = 4 warps resident... still 4
         // exec units; push to 1024 regs -> 2 warps resident < 4 units.
-        let heavy = Uniform { units: 1000, regs: 1024, cycles: 1.0 };
+        let heavy = Uniform {
+            units: 1000,
+            regs: 1024,
+            cycles: 1.0,
+        };
         let m1 = meter_for(&light, &dims);
         let m2 = meter_for(&heavy, &dims);
         let d_light = kernel_duration(&props, &dims, &light, &m1);

@@ -1,0 +1,403 @@
+//! Backend-neutral offload façade: one trait over the [`cuda`](crate::cuda)
+//! and [`opencl`](crate::opencl) front ends.
+//!
+//! The paper ports each application twice — once against the CUDA runtime
+//! and once against OpenCL — and §IV-A shows the two integrations differ
+//! only in boilerplate: select a device, allocate buffers, move data,
+//! launch, synchronize. [`Offload`] captures exactly that five-verb
+//! surface so stage code can be written once and instantiated per backend
+//! (`run_spar_gpu::<CudaOffload>` vs `run_spar_gpu::<OclOffload>`), while
+//! [`OffloadApi`] lets a harness pick the backend by value at runtime.
+//!
+//! The raw façades stay public and are still the right tool when an
+//! application needs backend-specific machinery the common surface hides:
+//! multi-stream overlap, events, pinned-vs-pageable copy semantics — the
+//! whole Fig. 1 optimization ladder lives there.
+//!
+//! Thread discipline is inherited, not hidden: [`Offload::attach`] must run
+//! on the thread that will drive the offloader. For CUDA that is where the
+//! mandatory per-thread `cudaSetDevice` happens (building on one thread and
+//! launching from another still panics, reproducing the paper's
+//! hardest-to-find bug class); for OpenCL the per-launch `ClKernel` objects
+//! stay thread-local because they are deliberately `!Sync`.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use crate::cuda::{Cuda, CudaBuffer, CudaStream, PinnedBuf};
+use crate::mem::{DevicePtr, OutOfMemory};
+use crate::opencl::ClKernel;
+use crate::opencl::{ClBuffer, ClDeviceId, CommandQueue, Context, Platform};
+use crate::{GpuSystem, KernelFn};
+
+/// Which front end an [`Offload`] implementation drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OffloadApi {
+    /// The CUDA-like front end ([`crate::cuda`]).
+    Cuda,
+    /// The OpenCL-like front end ([`crate::opencl`]).
+    OpenCl,
+}
+
+impl OffloadApi {
+    /// Short lowercase name for reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OffloadApi::Cuda => "cuda",
+            OffloadApi::OpenCl => "opencl",
+        }
+    }
+
+    /// Parse a CLI-style backend name (`"cuda"` / `"opencl"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "cuda" => Some(OffloadApi::Cuda),
+            "opencl" | "ocl" => Some(OffloadApi::OpenCl),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OffloadApi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The unified offload surface: device select, buffer alloc, async
+/// host↔device copies, kernel launch, synchronize.
+///
+/// Ordering model: all operations issued through one offloader execute in
+/// FIFO order on its private queue (a CUDA stream / an in-order OpenCL
+/// command queue). `h2d`, `launch` and `d2h` are asynchronous enqueues;
+/// host-side buffers passed to `d2h` hold defined contents only after
+/// [`sync`](Offload::sync) returns.
+pub trait Offload: Send + 'static {
+    /// Device-resident buffer handle (`'static` so callers may attach it
+    /// to stream items, type-erased, for cross-stage buffer reuse).
+    type Buffer<T: Default + Clone + Send + 'static>: Send + 'static;
+
+    /// Host-side staging buffer eligible for asynchronous transfers
+    /// (page-locked memory under CUDA, a plain vector under OpenCL).
+    type HostBuf<T: Default + Clone + Send + 'static>: Send
+        + 'static
+        + Deref<Target = [T]>
+        + DerefMut;
+
+    /// Which front end this implementation drives.
+    const API: OffloadApi;
+
+    /// Bind an offloader to `device`. Must be called on the thread that
+    /// will use it (per-thread `cudaSetDevice` / `cl_kernel` locality).
+    fn attach(system: &Arc<GpuSystem>, device: usize) -> Self;
+
+    /// The bound device index.
+    fn device(&self) -> usize;
+
+    /// Allocate a device buffer of `len` elements.
+    fn try_alloc<T: Default + Clone + Send + 'static>(
+        &mut self,
+        len: usize,
+    ) -> Result<Self::Buffer<T>, OutOfMemory>;
+
+    /// [`try_alloc`](Offload::try_alloc), panicking on device OOM.
+    fn alloc<T: Default + Clone + Send + 'static>(&mut self, len: usize) -> Self::Buffer<T> {
+        match self.try_alloc(len) {
+            Ok(buf) => buf,
+            Err(e) => panic!(
+                "{} device {} out of memory: requested {} B, {} B free",
+                Self::API,
+                self.device(),
+                e.requested,
+                e.available
+            ),
+        }
+    }
+
+    /// Allocate a host staging buffer of `len` default-valued elements.
+    fn alloc_host<T: Default + Clone + Send + 'static>(&mut self, len: usize) -> Self::HostBuf<T>;
+
+    /// Raw device pointer for embedding into kernel structs.
+    fn buffer_ptr<T: Default + Clone + Send + 'static>(buf: &Self::Buffer<T>) -> DevicePtr<T>;
+
+    /// Element count of a device buffer.
+    fn buffer_len<T: Default + Clone + Send + 'static>(buf: &Self::Buffer<T>) -> usize {
+        Self::buffer_ptr(buf).len()
+    }
+
+    /// Enqueue an asynchronous host→device copy.
+    fn h2d<T: Default + Clone + Send + 'static>(
+        &mut self,
+        dst: &Self::Buffer<T>,
+        src: &Self::HostBuf<T>,
+    );
+
+    /// Enqueue a kernel over at least `global_threads` lanes in blocks /
+    /// work-groups of `block` threads.
+    fn launch<K: KernelFn>(&mut self, kernel: K, global_threads: u64, block: u32);
+
+    /// Enqueue an asynchronous device→host copy. `dst` holds defined
+    /// contents only after [`sync`](Offload::sync).
+    fn d2h<T: Default + Clone + Send + 'static>(
+        &mut self,
+        src: &Self::Buffer<T>,
+        dst: &mut Self::HostBuf<T>,
+    );
+
+    /// Block the host until every operation issued through this offloader
+    /// has completed.
+    fn sync(&mut self);
+}
+
+/// [`Offload`] over the CUDA front end: one private stream plus pinned
+/// staging, built where `cudaSetDevice` ran.
+pub struct CudaOffload {
+    cuda: Cuda,
+    device: usize,
+    stream: CudaStream,
+}
+
+impl Offload for CudaOffload {
+    type Buffer<T: Default + Clone + Send + 'static> = CudaBuffer<T>;
+    type HostBuf<T: Default + Clone + Send + 'static> = PinnedBuf<T>;
+
+    const API: OffloadApi = OffloadApi::Cuda;
+
+    fn attach(system: &Arc<GpuSystem>, device: usize) -> Self {
+        let cuda = Cuda::new(Arc::clone(system));
+        // The per-thread initialization §IV-A insists on.
+        cuda.set_device(device);
+        let stream = cuda.stream_create();
+        CudaOffload {
+            cuda,
+            device,
+            stream,
+        }
+    }
+
+    fn device(&self) -> usize {
+        self.device
+    }
+
+    fn try_alloc<T: Default + Clone + Send + 'static>(
+        &mut self,
+        len: usize,
+    ) -> Result<CudaBuffer<T>, OutOfMemory> {
+        self.cuda.set_device(self.device);
+        self.cuda.malloc(len)
+    }
+
+    fn alloc_host<T: Default + Clone + Send + 'static>(&mut self, len: usize) -> PinnedBuf<T> {
+        self.cuda.malloc_host(len)
+    }
+
+    fn buffer_ptr<T: Default + Clone + Send + 'static>(buf: &CudaBuffer<T>) -> DevicePtr<T> {
+        buf.ptr()
+    }
+
+    fn h2d<T: Default + Clone + Send + 'static>(
+        &mut self,
+        dst: &CudaBuffer<T>,
+        src: &PinnedBuf<T>,
+    ) {
+        // Re-bind before every operation: the raw integrations must remember
+        // this themselves (the paper's bug class); the façade encapsulates it
+        // so several offloaders can share one thread.
+        self.cuda.set_device(self.device);
+        self.cuda.memcpy_h2d_async(dst, 0, src, &self.stream);
+    }
+
+    fn launch<K: KernelFn>(&mut self, kernel: K, global_threads: u64, block: u32) {
+        self.cuda.set_device(self.device);
+        let blocks = global_threads.div_ceil(block as u64).max(1) as u32;
+        self.cuda.launch(&kernel, blocks, block, &self.stream);
+    }
+
+    fn d2h<T: Default + Clone + Send + 'static>(
+        &mut self,
+        src: &CudaBuffer<T>,
+        dst: &mut PinnedBuf<T>,
+    ) {
+        self.cuda.set_device(self.device);
+        self.cuda.memcpy_d2h_async(dst, src, 0, &self.stream);
+    }
+
+    fn sync(&mut self) {
+        self.cuda.stream_synchronize(&self.stream);
+    }
+}
+
+/// [`Offload`] over the OpenCL front end: one in-order command queue; a
+/// fresh thread-local [`ClKernel`] object per launch (the `!Sync` rule).
+pub struct OclOffload {
+    ctx: Context,
+    queue: CommandQueue,
+    device: ClDeviceId,
+}
+
+impl Offload for OclOffload {
+    type Buffer<T: Default + Clone + Send + 'static> = ClBuffer<T>;
+    type HostBuf<T: Default + Clone + Send + 'static> = Vec<T>;
+
+    const API: OffloadApi = OffloadApi::OpenCl;
+
+    fn attach(system: &Arc<GpuSystem>, device: usize) -> Self {
+        let platform = Platform::new(Arc::clone(system));
+        let ids = platform.device_ids();
+        let ctx = Context::create(&platform, &ids);
+        let queue = ctx.create_queue(ids[device]);
+        OclOffload {
+            ctx,
+            queue,
+            device: ids[device],
+        }
+    }
+
+    fn device(&self) -> usize {
+        self.device.index()
+    }
+
+    fn try_alloc<T: Default + Clone + Send + 'static>(
+        &mut self,
+        len: usize,
+    ) -> Result<ClBuffer<T>, OutOfMemory> {
+        self.ctx.create_buffer(self.device, len)
+    }
+
+    fn alloc_host<T: Default + Clone + Send + 'static>(&mut self, len: usize) -> Vec<T> {
+        vec![T::default(); len]
+    }
+
+    fn buffer_ptr<T: Default + Clone + Send + 'static>(buf: &ClBuffer<T>) -> DevicePtr<T> {
+        buf.ptr()
+    }
+
+    fn h2d<T: Default + Clone + Send + 'static>(&mut self, dst: &ClBuffer<T>, src: &Vec<T>) {
+        self.queue.enqueue_write_buffer(dst, false, 0, src, &[]);
+    }
+
+    fn launch<K: KernelFn>(&mut self, kernel: K, global_threads: u64, block: u32) {
+        // A fresh (thread-local) kernel object per launch: cl_kernel is not
+        // thread-safe and must not be shared.
+        let kernel = ClKernel::create(kernel);
+        let global = global_threads
+            .next_multiple_of(block as u64)
+            .max(block as u64);
+        self.queue.enqueue_nd_range(&kernel, global, block, &[]);
+    }
+
+    fn d2h<T: Default + Clone + Send + 'static>(&mut self, src: &ClBuffer<T>, dst: &mut Vec<T>) {
+        self.queue.enqueue_read_buffer(src, false, 0, dst, &[]);
+    }
+
+    fn sync(&mut self) {
+        self.queue.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::DeviceMemory;
+    use crate::meter::WorkMeter;
+    use crate::props::DeviceProps;
+    use crate::LaunchDims;
+
+    /// `out[i] = in[i] + 1` — enough to exercise every trait verb.
+    struct IncKernel {
+        src: DevicePtr<u32>,
+        dst: DevicePtr<u32>,
+        n: usize,
+    }
+
+    impl KernelFn for IncKernel {
+        fn name(&self) -> &'static str {
+            "inc"
+        }
+        fn run(&self, dims: &LaunchDims, mem: &DeviceMemory, meter: &mut WorkMeter) {
+            let src = mem.borrow(self.src);
+            let mut dst = mem.borrow_mut(self.dst);
+            for lane in dims.lanes() {
+                let i = lane as usize;
+                if i < self.n {
+                    dst[i] = src[i] + 1;
+                    meter.record(lane, 1);
+                }
+            }
+        }
+    }
+
+    fn roundtrip<O: Offload>() {
+        let system = GpuSystem::new(2, DeviceProps::titan_xp());
+        let mut off = O::attach(&system, 1);
+        assert_eq!(off.device(), 1);
+        let n = 1000;
+        let src: O::Buffer<u32> = off.alloc(n);
+        let dst: O::Buffer<u32> = off.alloc(n);
+        assert_eq!(O::buffer_len(&src), n);
+        let mut host = off.alloc_host::<u32>(n);
+        for (i, v) in host.iter_mut().enumerate() {
+            *v = i as u32;
+        }
+        off.h2d(&src, &host);
+        off.launch(
+            IncKernel {
+                src: O::buffer_ptr(&src),
+                dst: O::buffer_ptr(&dst),
+                n,
+            },
+            n as u64,
+            256,
+        );
+        let mut out = off.alloc_host::<u32>(n);
+        off.d2h(&dst, &mut out);
+        off.sync();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn cuda_offload_roundtrips() {
+        roundtrip::<CudaOffload>();
+    }
+
+    #[test]
+    fn opencl_offload_roundtrips() {
+        roundtrip::<OclOffload>();
+    }
+
+    #[test]
+    fn api_names_parse_back() {
+        for api in [OffloadApi::Cuda, OffloadApi::OpenCl] {
+            assert_eq!(OffloadApi::parse(api.name()), Some(api));
+        }
+        assert_eq!(OffloadApi::parse("ocl"), Some(OffloadApi::OpenCl));
+        assert_eq!(OffloadApi::parse("vulkan"), None);
+    }
+
+    #[test]
+    fn try_alloc_reports_oom() {
+        let mut props = DeviceProps::titan_xp();
+        props.global_mem = 4096;
+        let system = GpuSystem::new(1, props);
+        let mut off = CudaOffload::attach(&system, 0);
+        assert!(off.try_alloc::<u8>(1 << 20).is_err());
+    }
+
+    #[test]
+    fn offload_timeline_is_traced() {
+        let system = GpuSystem::new(1, DeviceProps::titan_xp());
+        system.device(0).enable_trace();
+        let mut off = OclOffload::attach(&system, 0);
+        let buf: ClBuffer<u32> = off.alloc(256);
+        let host = off.alloc_host::<u32>(256);
+        off.h2d(&buf, &host);
+        let mut out = off.alloc_host::<u32>(256);
+        off.d2h(&buf, &mut out);
+        off.sync();
+        let trace = system.device(0).take_trace();
+        assert!(trace.iter().any(|r| r.engine == crate::TraceEngine::H2D));
+        assert!(trace.iter().any(|r| r.engine == crate::TraceEngine::D2H));
+    }
+}

@@ -31,6 +31,13 @@ pub struct Platform {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ClDeviceId(pub(crate) usize);
 
+impl ClDeviceId {
+    /// Position of this device in the platform's device list.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
 impl Platform {
     /// Bind the platform to a [`GpuSystem`] (`clGetPlatformIDs`).
     pub fn new(system: Arc<GpuSystem>) -> Self {
@@ -239,10 +246,10 @@ impl CommandQueue {
         assert_eq!(buf.device, self.device, "buffer/queue device mismatch");
         self.apply_waits(wait_list);
         let now = self.api_cost();
-        let end = self
-            .system
-            .device(self.device)
-            .copy_h2d(self.stream, src, buf.ptr, offset, true, now);
+        let end =
+            self.system
+                .device(self.device)
+                .copy_h2d(self.stream, src, buf.ptr, offset, true, now);
         if blocking {
             self.system.host_wait_until(end);
         }
@@ -263,10 +270,10 @@ impl CommandQueue {
         assert_eq!(buf.device, self.device, "buffer/queue device mismatch");
         self.apply_waits(wait_list);
         let now = self.api_cost();
-        let end = self
-            .system
-            .device(self.device)
-            .copy_d2h(self.stream, buf.ptr, offset, dst, true, now);
+        let end =
+            self.system
+                .device(self.device)
+                .copy_d2h(self.stream, buf.ptr, offset, dst, true, now);
         if blocking {
             self.system.host_wait_until(end);
         }
@@ -362,7 +369,10 @@ mod tests {
         let buf = ctx.create_buffer::<u32>(dev, 50).unwrap();
         let data: Vec<u32> = (0..50).collect();
         let w = queue.enqueue_write_buffer(&buf, false, 0, &data, &[]);
-        let mut kernel = ClKernel::create(Scale { factor: 3, buf: buf.ptr() });
+        let mut kernel = ClKernel::create(Scale {
+            factor: 3,
+            buf: buf.ptr(),
+        });
         kernel.set_args(|k| k.factor = 4);
         let k_ev = queue.enqueue_nd_range(&kernel, 64, 32, &[w]);
         let mut out = vec![0u32; 50];
@@ -382,7 +392,10 @@ mod tests {
         queue.enqueue_read_buffer(&buf, true, 0, &mut out, &[]);
         let elapsed = ctx.system().host_now().since(t0);
         // 1MB at 1GB/s on the tiny device ≈ 1ms ≫ the api cost.
-        assert!(elapsed > SimDuration::from_micros(500), "elapsed={elapsed:?}");
+        assert!(
+            elapsed > SimDuration::from_micros(500),
+            "elapsed={elapsed:?}"
+        );
     }
 
     #[test]
@@ -393,7 +406,10 @@ mod tests {
         let q2 = ctx.create_queue(dev);
         let buf = ctx.create_buffer::<u32>(dev, 8).unwrap();
         let w = q1.enqueue_write_buffer(&buf, false, 0, &[1u32; 8], &[]);
-        let kernel = ClKernel::create(Scale { factor: 10, buf: buf.ptr() });
+        let kernel = ClKernel::create(Scale {
+            factor: 10,
+            buf: buf.ptr(),
+        });
         let k_ev = q2.enqueue_nd_range(&kernel, 8, 8, &[w]);
         assert!(k_ev.time() > w.time());
     }

@@ -103,7 +103,12 @@ impl DeviceProps {
     /// count and per-block shared memory / block size.
     ///
     /// Returns at least 1 so pathological kernels still make progress.
-    pub fn resident_warps(&self, regs_per_thread: u32, smem_per_block: u32, block_threads: u32) -> u32 {
+    pub fn resident_warps(
+        &self,
+        regs_per_thread: u32,
+        smem_per_block: u32,
+        block_threads: u32,
+    ) -> u32 {
         let by_threads = self.max_warps_per_sm();
         let by_regs = if regs_per_thread == 0 {
             by_threads

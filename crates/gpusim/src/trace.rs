@@ -28,6 +28,15 @@ impl TraceEngine {
             TraceEngine::D2H => "d2h    ",
         }
     }
+
+    /// Engine name without padding (telemetry row keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEngine::Compute => "compute",
+            TraceEngine::H2D => "h2d",
+            TraceEngine::D2H => "d2h",
+        }
+    }
 }
 
 /// One traced command.
@@ -85,6 +94,28 @@ pub fn render_timeline(records: &[CommandRecord], width: usize) -> String {
     out
 }
 
+/// Feed traced commands into a [`telemetry::Recorder`] as GPU engine spans
+/// so they land on the same merged timeline as CPU stage metrics.
+///
+/// The spans keep the simulator's modeled clock (nanoseconds since the
+/// device clock was last reset), which the unified report juxtaposes with
+/// the wall-clock CPU rows — the same two-clock presentation as the
+/// paper's Fig. 3 activity graph.
+pub fn feed_recorder(rec: &telemetry::Recorder, device: usize, records: &[CommandRecord]) {
+    if !rec.is_enabled() {
+        return;
+    }
+    for r in records {
+        rec.gpu_span(telemetry::EngineSpan {
+            device,
+            engine: r.engine.name(),
+            name: r.name.to_string(),
+            start_ns: r.start.as_nanos(),
+            end_ns: r.end.as_nanos(),
+        });
+    }
+}
+
 /// Fraction of the traced makespan during which at least two engines were
 /// busy simultaneously — the "overlap" the paper's 2×-memory optimization
 /// buys.
@@ -99,8 +130,16 @@ pub fn overlap_fraction(records: &[CommandRecord]) -> f64 {
         events.push((r.end.as_nanos(), -1));
     }
     events.sort_unstable();
-    let t0 = records.iter().map(|r| r.start.as_nanos()).min().expect("non-empty");
-    let t1 = records.iter().map(|r| r.end.as_nanos()).max().expect("non-empty");
+    let t0 = records
+        .iter()
+        .map(|r| r.start.as_nanos())
+        .min()
+        .expect("non-empty");
+    let t1 = records
+        .iter()
+        .map(|r| r.end.as_nanos())
+        .max()
+        .expect("non-empty");
     let span = (t1 - t0).max(1) as f64;
     let mut active = 0i32;
     let mut last = t0;

@@ -1,12 +1,11 @@
-//! Property tests for the device timeline: for arbitrary command
+//! Randomized tests for the device timeline: for arbitrary command
 //! sequences, per-stream completion times are monotone, engines never
 //! overlap with themselves, and functional state matches a reference
-//! model.
+//! model. Sequences come from the in-tree seeded RNG — deterministic and
+//! offline.
 
 use gpusim::{DeviceMemory, DeviceProps, GpuSystem, KernelFn, LaunchDims, StreamId, WorkMeter};
-use proptest::collection::vec;
-use proptest::prelude::*;
-use simtime::SimTime;
+use simtime::{SimTime, XorShift64};
 
 /// out[i] += add, for i < len.
 struct AddKernel {
@@ -38,25 +37,32 @@ enum Op {
     Event { from: u8, to: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..2, any::<u32>(), 1u16..1000).prop_map(|(stream, add, units)| Op::Launch {
-            stream,
-            add,
-            units
-        }),
-        (0u8..2, any::<u32>()).prop_map(|(stream, value)| Op::H2D { stream, value }),
-        (0u8..2, 0u8..2).prop_map(|(from, to)| Op::Event { from, to }),
-    ]
+fn random_op(rng: &mut XorShift64) -> Op {
+    match rng.range_u32(0, 3) {
+        0 => Op::Launch {
+            stream: rng.range_u32(0, 2) as u8,
+            add: rng.next_u32(),
+            units: rng.range_u32(1, 1000) as u16,
+        },
+        1 => Op::H2D {
+            stream: rng.range_u32(0, 2) as u8,
+            value: rng.next_u32(),
+        },
+        _ => Op::Event {
+            from: rng.range_u32(0, 2) as u8,
+            to: rng.range_u32(0, 2) as u8,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn stream_timelines_are_monotone_and_functionally_consistent() {
+    for case in 0..24u64 {
+        let mut rng = XorShift64::new(0x712E ^ case);
+        let ops: Vec<Op> = (0..rng.range_usize(1, 40))
+            .map(|_| random_op(&mut rng))
+            .collect();
 
-    #[test]
-    fn stream_timelines_are_monotone_and_functionally_consistent(
-        ops in vec(op_strategy(), 1..40),
-    ) {
         let system = GpuSystem::new(1, DeviceProps::test_tiny());
         let dev = system.device(0);
         let len = 64usize;
@@ -70,14 +76,18 @@ proptest! {
         for op in ops {
             match op {
                 Op::Launch { stream, add, units } => {
-                    let k = AddKernel { buf, add, units: units as u64 };
+                    let k = AddKernel {
+                        buf,
+                        add,
+                        units: units as u64,
+                    };
                     let end = dev.launch(
                         streams[stream as usize],
                         LaunchDims::cover(len as u64, 32),
                         &k,
                         SimTime::ZERO,
                     );
-                    prop_assert!(end >= last_end[stream as usize], "stream must be FIFO");
+                    assert!(end >= last_end[stream as usize], "stream must be FIFO");
                     last_end[stream as usize] = end;
                     for v in reference.iter_mut() {
                         *v = v.wrapping_add(add);
@@ -85,21 +95,15 @@ proptest! {
                 }
                 Op::H2D { stream, value } => {
                     let host = vec![value; len];
-                    let end = dev.copy_h2d(
-                        streams[stream as usize],
-                        &host,
-                        buf,
-                        0,
-                        true,
-                        SimTime::ZERO,
-                    );
-                    prop_assert!(end >= last_end[stream as usize]);
+                    let end =
+                        dev.copy_h2d(streams[stream as usize], &host, buf, 0, true, SimTime::ZERO);
+                    assert!(end >= last_end[stream as usize]);
                     last_end[stream as usize] = end;
                     reference = host;
                 }
                 Op::Event { from, to } => {
                     let ev = dev.record_event(streams[from as usize]);
-                    prop_assert_eq!(ev.time(), last_end[from as usize]);
+                    assert_eq!(ev.time(), last_end[from as usize]);
                     dev.stream_wait_event(streams[to as usize], ev);
                     last_end[to as usize] = last_end[to as usize].max(ev.time());
                 }
@@ -110,16 +114,16 @@ proptest! {
         // totally ordered by our single-threaded enqueues).
         let mut out = vec![0u32; len];
         dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut out, true, SimTime::ZERO);
-        prop_assert_eq!(out, reference);
+        assert_eq!(out, reference);
 
         // Device makespan covers both streams.
         let makespan = dev.device_last_end();
-        prop_assert!(makespan >= last_end[0].max(last_end[1]));
+        assert!(makespan >= last_end[0].max(last_end[1]));
 
         // Engines cannot be busy longer than the makespan.
         let stats = dev.stats();
         let total = makespan.since(SimTime::ZERO);
-        prop_assert!(stats.compute_busy <= total);
-        prop_assert!(stats.h2d_busy <= total);
+        assert!(stats.compute_busy <= total);
+        assert!(stats.h2d_busy <= total);
     }
 }

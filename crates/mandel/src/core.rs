@@ -212,7 +212,10 @@ mod tests {
         let row = 32;
         let line = compute_line(&p, row);
         assert!(line.iters.contains(&p.niter), "no interior points found");
-        assert!(line.iters.iter().any(|&k| k < p.niter), "no escaping points found");
+        assert!(
+            line.iters.iter().any(|&k| k < p.niter),
+            "no escaping points found"
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ const BLOCK_1D: u32 = 256;
 const STAGING_NS_PER_BYTE: f64 = 0.25;
 
 fn charge_staging(system: &Arc<GpuSystem>, bytes: usize) {
-    system.host_compute(SimDuration::from_secs_f64(bytes as f64 * STAGING_NS_PER_BYTE * 1e-9));
+    system.host_compute(SimDuration::from_secs_f64(
+        bytes as f64 * STAGING_NS_PER_BYTE * 1e-9,
+    ));
 }
 
 fn finish(system: &Arc<GpuSystem>) -> SimDuration {
@@ -179,7 +181,10 @@ pub fn cuda_overlap(
             cuda.stream_synchronize(&space.stream);
             let first = batch * batch_size;
             for r in 0..batch_size.min(params.dim - first) {
-                img.set_row(first + r, &space.pinned[r * params.dim..(r + 1) * params.dim]);
+                img.set_row(
+                    first + r,
+                    &space.pinned[r * params.dim..(r + 1) * params.dim],
+                );
             }
             charge_staging(cuda.system(), batch_size * params.dim);
         }
@@ -422,7 +427,10 @@ mod tests {
         let system = sys(1);
         let (_, t_batch) = cuda_batch(&system, &p, 32);
         let (_, t_overlap) = cuda_overlap(&system, &p, 32, 2, 1);
-        assert!(t_overlap < t_batch, "overlap: batch={t_batch} overlap={t_overlap}");
+        assert!(
+            t_overlap < t_batch,
+            "overlap: batch={t_batch} overlap={t_overlap}"
+        );
     }
 
     #[test]

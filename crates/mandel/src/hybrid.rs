@@ -1,137 +1,83 @@
 //! Multi-core + GPU versions: SPar, FastFlow and TBB pipelines whose
 //! replicated middle stage offloads batches of lines to the simulated GPUs.
 //!
-//! The integration follows §IV-A's recipe for each model:
+//! The GPU work is expressed once against the unified [`Offload`] trait and
+//! instantiated per backend (`run_spar_gpu::<CudaOffload>` vs
+//! `run_spar_gpu::<OclOffload>`); a harness can also pick the backend by
+//! value with [`OffloadApi`] via [`run_spar_gpu_api`]. The integration
+//! follows §IV-A's recipe for each model:
 //!
-//! * **SPar / FastFlow (CUDA)** — every stage replica owns its own GPU
-//!   state (stream + buffers) built in the worker's `on_init`, where the
-//!   mandatory per-thread `cudaSetDevice` happens. Forgetting that call is
+//! * **SPar / FastFlow** — every stage replica owns its own GPU state
+//!   (queue + buffers) built in the worker's `on_init`, where the mandatory
+//!   per-thread `cudaSetDevice` happens under CUDA. Forgetting that call is
 //!   a panic in `gpusim`, reproducing the paper's hardest-to-find bug class.
-//! * **OpenCL** — `cl_kernel`/`cl_command_queue` objects are not
-//!   thread-safe, so (as in the paper) they live per replica; `ClKernel`
-//!   being `!Sync` means the borrow checker rejects the incorrect sharing
-//!   the paper had to debug by hand.
+//!   Under OpenCL the per-launch `ClKernel` objects being `!Sync` means the
+//!   borrow checker rejects the incorrect sharing the paper debugged by hand.
 //! * **TBB** — tasks are not threads, so per-replica state has no home;
 //!   per-item GPU resources are created instead (the paper attaches them to
 //!   stream items), which is why TBB needs more live tokens (50) to keep
 //!   the GPU fed.
 //!
 //! Batches are distributed across devices round-robin by batch index.
+//! Every `run_*` has a `_rec` twin that threads a [`telemetry::Recorder`]
+//! through the pipeline and merges the simulated devices' command traces
+//! into the same report.
 
 use std::sync::{Arc, Mutex};
 
-use gpusim::cuda::Cuda;
-use gpusim::opencl::{ClKernel, Context, Platform};
 use gpusim::GpuSystem;
+pub use gpusim::{CudaOffload, OclOffload, Offload, OffloadApi};
+use telemetry::Recorder;
 
 use crate::core::{FractalParams, Image};
 use crate::kernels::BatchKernel;
 
 const BLOCK_1D: u32 = 256;
 
-/// A backend that computes one batch of lines on a given device.
-///
-/// `new` runs on the thread that will use the offloader (per-replica state
-/// for SPar/FastFlow, per-item for TBB), which is where CUDA's
-/// `cudaSetDevice` and OpenCL's kernel-object allocation must happen.
-pub trait Offload: Send + 'static {
-    /// Build an offloader bound to `device`.
-    fn new(system: &Arc<GpuSystem>, device: usize) -> Self;
-    /// Compute lines `[batch*batch_size, ...)`; returns `batch_size * dim`
-    /// pixels (tail batches include padding rows).
-    fn compute_batch(&mut self, params: &FractalParams, batch: usize, batch_size: usize) -> Vec<u8>;
+/// One offloader plus its lazily (re)sized device/host buffer pair —
+/// everything a stage replica needs to compute batches of lines.
+pub struct BatchCompute<O: Offload> {
+    off: O,
+    dev: Option<O::Buffer<u8>>,
+    host: Option<O::HostBuf<u8>>,
 }
 
-/// CUDA offloader: one stream + device/pinned buffer pair per instance.
-pub struct CudaOffload {
-    cuda: Cuda,
-    device: usize,
-    stream: gpusim::cuda::CudaStream,
-    dev_buf: Option<gpusim::cuda::CudaBuffer<u8>>,
-    pinned: Option<gpusim::cuda::PinnedBuf<u8>>,
-}
-
-impl Offload for CudaOffload {
-    fn new(system: &Arc<GpuSystem>, device: usize) -> Self {
-        let cuda = Cuda::new(Arc::clone(system));
-        // The per-thread initialization §IV-A insists on.
-        cuda.set_device(device);
-        let stream = cuda.stream_create();
-        CudaOffload {
-            cuda,
-            device,
-            stream,
-            dev_buf: None,
-            pinned: None,
+impl<O: Offload> BatchCompute<O> {
+    /// Bind to `device`. Must run on the thread that will compute (the
+    /// per-thread discipline [`Offload::attach`] documents).
+    pub fn new(system: &Arc<GpuSystem>, device: usize) -> Self {
+        BatchCompute {
+            off: O::attach(system, device),
+            dev: None,
+            host: None,
         }
     }
 
-    fn compute_batch(&mut self, params: &FractalParams, batch: usize, batch_size: usize) -> Vec<u8> {
+    /// Compute lines `[batch*batch_size, ...)`; returns `batch_size * dim`
+    /// pixels (tail batches include padding rows).
+    pub fn compute_batch(
+        &mut self,
+        params: &FractalParams,
+        batch: usize,
+        batch_size: usize,
+    ) -> Vec<u8> {
         let len = batch_size * params.dim;
-        self.cuda.set_device(self.device);
-        if self.dev_buf.as_ref().map(|b| b.len()) != Some(len) {
-            self.dev_buf = Some(self.cuda.malloc(len).expect("device memory"));
-            self.pinned = Some(self.cuda.malloc_host(len));
+        if self.dev.as_ref().map(|b| O::buffer_len(b)) != Some(len) {
+            self.dev = Some(self.off.alloc(len));
+            self.host = Some(self.off.alloc_host(len));
         }
-        let dev_buf = self.dev_buf.as_ref().expect("allocated");
-        let pinned = self.pinned.as_mut().expect("allocated");
+        let dev = self.dev.as_ref().expect("allocated");
         let k = BatchKernel {
             batch,
             batch_size,
             params: *params,
-            img: dev_buf.ptr(),
+            img: O::buffer_ptr(dev),
         };
-        let blocks = (len as u64).div_ceil(BLOCK_1D as u64) as u32;
-        self.cuda.launch(&k, blocks, BLOCK_1D, &self.stream);
-        self.cuda.memcpy_d2h_async(pinned, dev_buf, 0, &self.stream);
-        self.cuda.stream_synchronize(&self.stream);
-        pinned.to_vec()
-    }
-}
-
-/// OpenCL offloader: one command queue + buffer + (per-launch) kernel
-/// object per instance.
-pub struct OclOffload {
-    ctx: Context,
-    queue: gpusim::opencl::CommandQueue,
-    device: gpusim::opencl::ClDeviceId,
-    buf: Option<gpusim::opencl::ClBuffer<u8>>,
-}
-
-impl Offload for OclOffload {
-    fn new(system: &Arc<GpuSystem>, device: usize) -> Self {
-        let platform = Platform::new(Arc::clone(system));
-        let ids = platform.device_ids();
-        let ctx = Context::create(&platform, &ids);
-        let queue = ctx.create_queue(ids[device]);
-        OclOffload {
-            ctx,
-            queue,
-            device: ids[device],
-            buf: None,
-        }
-    }
-
-    fn compute_batch(&mut self, params: &FractalParams, batch: usize, batch_size: usize) -> Vec<u8> {
-        let len = batch_size * params.dim;
-        if self.buf.as_ref().map(|b| b.len()) != Some(len) {
-            self.buf = Some(self.ctx.create_buffer(self.device, len).expect("device memory"));
-        }
-        let buf = self.buf.as_ref().expect("allocated");
-        // A fresh (thread-local) kernel object per launch: cl_kernel is not
-        // thread-safe and must not be shared.
-        let kernel = ClKernel::create(BatchKernel {
-            batch,
-            batch_size,
-            params: *params,
-            img: buf.ptr(),
-        });
-        let global = (len as u64).next_multiple_of(BLOCK_1D as u64);
-        let k_ev = self.queue.enqueue_nd_range(&kernel, global, BLOCK_1D, &[]);
-        let mut out = vec![0u8; len];
-        let r_ev = self.queue.enqueue_read_buffer(buf, false, 0, &mut out, &[k_ev]);
-        self.ctx.wait_for_events(&[r_ev]);
-        out
+        self.off.launch(k, len as u64, BLOCK_1D);
+        let host = self.host.as_mut().expect("allocated");
+        self.off.d2h(dev, host);
+        self.off.sync();
+        host.to_vec()
     }
 }
 
@@ -148,13 +94,31 @@ fn install(img: &mut Image, params: &FractalParams, batch_size: usize, out: &Bat
     }
 }
 
+/// Enable command tracing on every device when the recorder is live.
+fn arm_traces(system: &Arc<GpuSystem>, rec: &Recorder) {
+    if rec.is_enabled() {
+        for d in 0..system.device_count() {
+            system.device(d).enable_trace();
+        }
+    }
+}
+
+/// Drain device traces into the recorder as GPU engine spans.
+fn drain_traces(system: &Arc<GpuSystem>, rec: &Recorder) {
+    if rec.is_enabled() {
+        for d in 0..system.device_count() {
+            gpusim::feed_recorder(rec, d, &system.device(d).take_trace());
+        }
+    }
+}
+
 /// Worker node owning one offloader, for SPar/FastFlow farms.
 struct GpuWorker<O: Offload> {
     system: Arc<GpuSystem>,
     device: usize,
     params: FractalParams,
     batch_size: usize,
-    offload: Option<O>,
+    gpu: Option<BatchCompute<O>>,
 }
 
 impl<O: Offload> fastflow::Node for GpuWorker<O> {
@@ -164,12 +128,12 @@ impl<O: Offload> fastflow::Node for GpuWorker<O> {
     fn on_init(&mut self) {
         // Built on the worker thread: cudaSetDevice / cl object allocation
         // happen on the thread that will use them.
-        self.offload = Some(O::new(&self.system, self.device));
+        self.gpu = Some(BatchCompute::new(&self.system, self.device));
     }
 
     fn svc(&mut self, batch: usize, out: &mut fastflow::Emitter<'_, BatchOut>) {
-        let offload = self.offload.as_mut().expect("on_init ran");
-        let pixels = offload.compute_batch(&self.params, batch, self.batch_size);
+        let gpu = self.gpu.as_mut().expect("on_init ran");
+        let pixels = gpu.compute_batch(&self.params, batch, self.batch_size);
         out.send(BatchOut { batch, pixels });
     }
 }
@@ -182,12 +146,34 @@ pub fn run_spar_gpu<O: Offload>(
     batch_size: usize,
     n_gpus: usize,
 ) -> Image {
+    run_spar_gpu_rec::<O>(
+        system,
+        params,
+        workers,
+        batch_size,
+        n_gpus,
+        Recorder::default(),
+    )
+}
+
+/// [`run_spar_gpu`] with a telemetry recorder: stage metrics plus the
+/// devices' merged command traces.
+pub fn run_spar_gpu_rec<O: Offload>(
+    system: &Arc<GpuSystem>,
+    params: &FractalParams,
+    workers: usize,
+    batch_size: usize,
+    n_gpus: usize,
+    rec: Recorder,
+) -> Image {
     assert!(n_gpus >= 1 && n_gpus <= system.device_count());
     let p = *params;
     let n_batches = p.dim.div_ceil(batch_size);
     let mut img = Image::new(p.dim);
     let sys = Arc::clone(system);
+    arm_traces(system, &rec);
     spar::ToStream::new()
+        .recorder(rec.clone())
         .ordered(true)
         .source(move |em| {
             for b in 0..n_batches {
@@ -201,9 +187,10 @@ pub fn run_spar_gpu<O: Offload>(
             device: replica % n_gpus,
             params: p,
             batch_size,
-            offload: None,
+            gpu: None,
         })
         .last_stage(|out: BatchOut| install(&mut img, &p, batch_size, &out));
+    drain_traces(system, &rec);
     img
 }
 
@@ -215,12 +202,33 @@ pub fn run_fastflow_gpu<O: Offload>(
     batch_size: usize,
     n_gpus: usize,
 ) -> Image {
+    run_fastflow_gpu_rec::<O>(
+        system,
+        params,
+        workers,
+        batch_size,
+        n_gpus,
+        Recorder::default(),
+    )
+}
+
+/// [`run_fastflow_gpu`] with a telemetry recorder.
+pub fn run_fastflow_gpu_rec<O: Offload>(
+    system: &Arc<GpuSystem>,
+    params: &FractalParams,
+    workers: usize,
+    batch_size: usize,
+    n_gpus: usize,
+    rec: Recorder,
+) -> Image {
     assert!(n_gpus >= 1 && n_gpus <= system.device_count());
     let p = *params;
     let n_batches = p.dim.div_ceil(batch_size);
     let sys = Arc::clone(system);
     let mut img = Image::new(p.dim);
+    arm_traces(system, &rec);
     fastflow::Pipeline::builder()
+        .recorder(rec.clone())
         .source(move |em| {
             for b in 0..n_batches {
                 if !em.send(b) {
@@ -233,9 +241,10 @@ pub fn run_fastflow_gpu<O: Offload>(
             device: replica % n_gpus,
             params: p,
             batch_size,
-            offload: None,
+            gpu: None,
         })
         .for_each(|out| install(&mut img, &p, batch_size, &out));
+    drain_traces(system, &rec);
     img
 }
 
@@ -249,12 +258,34 @@ pub fn run_tbb_gpu<O: Offload>(
     batch_size: usize,
     n_gpus: usize,
 ) -> Image {
+    run_tbb_gpu_rec::<O>(
+        system,
+        params,
+        pool,
+        max_live_tokens,
+        batch_size,
+        n_gpus,
+        Recorder::default(),
+    )
+}
+
+/// [`run_tbb_gpu`] with a telemetry recorder.
+pub fn run_tbb_gpu_rec<O: Offload>(
+    system: &Arc<GpuSystem>,
+    params: &FractalParams,
+    pool: &Arc<tbbx::TaskPool>,
+    max_live_tokens: usize,
+    batch_size: usize,
+    n_gpus: usize,
+    rec: Recorder,
+) -> Image {
     assert!(n_gpus >= 1 && n_gpus <= system.device_count());
     let p = *params;
     let n_batches = p.dim.div_ceil(batch_size);
     let img = Arc::new(Mutex::new(Image::new(p.dim)));
     let sink_img = Arc::clone(&img);
     let sys = Arc::clone(system);
+    arm_traces(system, &rec);
     let mut next = 0usize;
     tbbx::Pipeline::source(move || {
         if next < n_batches {
@@ -265,18 +296,40 @@ pub fn run_tbb_gpu<O: Offload>(
         }
     })
     .parallel(move |batch: usize| {
-        let mut offload = O::new(&sys, batch % n_gpus);
-        let pixels = offload.compute_batch(&p, batch, batch_size);
+        let mut gpu = BatchCompute::<O>::new(&sys, batch % n_gpus);
+        let pixels = gpu.compute_batch(&p, batch, batch_size);
         BatchOut { batch, pixels }
     })
     .serial_in_order(move |out: BatchOut| {
         install(&mut sink_img.lock().unwrap(), &p, batch_size, &out);
     })
+    .recorder(rec.clone())
     .build()
     .run(pool, max_live_tokens);
+    drain_traces(system, &rec);
     Arc::try_unwrap(img)
         .map(|m| m.into_inner().unwrap())
         .unwrap_or_else(|arc| arc.lock().unwrap().clone())
+}
+
+/// [`run_spar_gpu`] with the backend chosen by value.
+pub fn run_spar_gpu_api(
+    api: OffloadApi,
+    system: &Arc<GpuSystem>,
+    params: &FractalParams,
+    workers: usize,
+    batch_size: usize,
+    n_gpus: usize,
+    rec: Recorder,
+) -> Image {
+    match api {
+        OffloadApi::Cuda => {
+            run_spar_gpu_rec::<CudaOffload>(system, params, workers, batch_size, n_gpus, rec)
+        }
+        OffloadApi::OpenCl => {
+            run_spar_gpu_rec::<OclOffload>(system, params, workers, batch_size, n_gpus, rec)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -356,5 +409,34 @@ mod tests {
         let system = sys(1);
         let img = run_spar_gpu::<CudaOffload>(&system, &p, 2, 7, 1);
         assert_eq!(img.digest(), seq.digest());
+    }
+
+    #[test]
+    fn api_dispatch_matches_generic_versions() {
+        let p = small();
+        let (seq, _) = run_sequential(&p);
+        for api in [OffloadApi::Cuda, OffloadApi::OpenCl] {
+            let system = sys(2);
+            let img = run_spar_gpu_api(api, &system, &p, 3, 8, 2, Recorder::default());
+            assert_eq!(img.digest(), seq.digest(), "{api}");
+        }
+    }
+
+    #[test]
+    fn recorder_merges_cpu_stages_and_gpu_engines() {
+        let p = small();
+        let system = sys(2);
+        let rec = Recorder::enabled();
+        let img = run_spar_gpu_rec::<CudaOffload>(&system, &p, 3, 8, 2, rec.clone());
+        assert_eq!(img.digest(), run_sequential(&p).0.digest());
+        let report = rec.report();
+        // CPU side: source, the replicated GPU stage, sink.
+        assert!(report.items_in("sink") > 0);
+        assert_eq!(report.items_out("source"), p.dim.div_ceil(8) as u64);
+        // GPU side: compute + d2h engine spans from both devices.
+        assert!(report.gpu.iter().any(|s| s.device == 0));
+        assert!(report.gpu.iter().any(|s| s.device == 1));
+        assert!(report.gpu.iter().any(|s| s.engine == "compute"));
+        assert!(report.gpu.iter().any(|s| s.engine == "d2h"));
     }
 }

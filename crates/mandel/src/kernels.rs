@@ -190,8 +190,17 @@ mod tests {
         let sys = GpuSystem::new(1, DeviceProps::titan_xp());
         let dev = sys.device(0);
         let buf = dev.alloc::<u8>(p.dim).unwrap();
-        let k = LineKernel { row: 20, params: p, img: buf };
-        dev.launch(StreamId::DEFAULT, LaunchDims::cover(p.dim as u64, 256), &k, SimTime::ZERO);
+        let k = LineKernel {
+            row: 20,
+            params: p,
+            img: buf,
+        };
+        dev.launch(
+            StreamId::DEFAULT,
+            LaunchDims::cover(p.dim as u64, 256),
+            &k,
+            SimTime::ZERO,
+        );
         let mut out = vec![0u8; p.dim];
         dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut out, false, SimTime::ZERO);
         assert_eq!(out, compute_line(&p, 20).pixels);
@@ -203,7 +212,11 @@ mod tests {
         let sys = GpuSystem::new(1, DeviceProps::titan_xp());
         let dev = sys.device(0);
         let buf = dev.alloc::<u8>(p.dim).unwrap();
-        let k = Line2DKernel { row: 33, params: p, img: buf };
+        let k = Line2DKernel {
+            row: 33,
+            params: p,
+            img: buf,
+        };
         let blocks = (p.dim as u32).div_ceil(BLOCK_EDGE_2D);
         let dims = LaunchDims {
             grid: gpusim::Dim3::x(blocks),
@@ -222,9 +235,19 @@ mod tests {
         let sys = GpuSystem::new(1, DeviceProps::titan_xp());
         let dev = sys.device(0);
         let buf = dev.alloc::<u8>(batch_size * p.dim).unwrap();
-        let k = BatchKernel { batch: 2, batch_size, params: p, img: buf };
+        let k = BatchKernel {
+            batch: 2,
+            batch_size,
+            params: p,
+            img: buf,
+        };
         let lanes = (batch_size * p.dim) as u64;
-        dev.launch(StreamId::DEFAULT, LaunchDims::cover(lanes, 256), &k, SimTime::ZERO);
+        dev.launch(
+            StreamId::DEFAULT,
+            LaunchDims::cover(lanes, 256),
+            &k,
+            SimTime::ZERO,
+        );
         let mut out = vec![0u8; batch_size * p.dim];
         dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut out, false, SimTime::ZERO);
         for r in 0..batch_size {
@@ -241,9 +264,19 @@ mod tests {
         let sys = GpuSystem::new(1, DeviceProps::titan_xp());
         let dev = sys.device(0);
         let buf = dev.alloc::<u8>(batch_size * p.dim).unwrap();
-        let k = BatchKernel { batch: 1, batch_size, params: p, img: buf };
+        let k = BatchKernel {
+            batch: 1,
+            batch_size,
+            params: p,
+            img: buf,
+        };
         let lanes = (batch_size * p.dim) as u64;
-        dev.launch(StreamId::DEFAULT, LaunchDims::cover(lanes, 256), &k, SimTime::ZERO);
+        dev.launch(
+            StreamId::DEFAULT,
+            LaunchDims::cover(lanes, 256),
+            &k,
+            SimTime::ZERO,
+        );
         let mut out = vec![0u8; batch_size * p.dim];
         dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut out, false, SimTime::ZERO);
         for r in 0..(50 - 32) {

@@ -155,14 +155,14 @@ pub fn profile(input: &[u8], cfg: &DedupConfig, props: &DeviceProps) -> DedupPro
             let len = (r.end - r.start) as u64;
             // SHA-1: a single lane does all the work (1 warp of 32).
             nobatch_sha1 += kernel_duration_from_units(
-                    props,
-                    &LaunchDims::linear(1, 32),
-                    48,
-                    0,
-                    SHA1_CYCLES_PER_BYTE,
-                    len,
-                    len,
-                );
+                props,
+                &LaunchDims::linear(1, 32),
+                48,
+                0,
+                SHA1_CYCLES_PER_BYTE,
+                len,
+                len,
+            );
             // FindMatch over just this block.
             let mut s = 0u64;
             let mut mx = 0u64;
@@ -176,14 +176,14 @@ pub fn profile(input: &[u8], cfg: &DedupConfig, props: &DeviceProps) -> DedupPro
                 mx = mx.max(w);
             }
             nobatch_fm += kernel_duration_from_units(
-                    props,
-                    &LaunchDims::cover(len, BLOCK_1D),
-                    32,
-                    0,
-                    LZSS_CYCLES_PER_PROBE,
-                    s,
-                    mx,
-                );
+                props,
+                &LaunchDims::cover(len, BLOCK_1D),
+                32,
+                0,
+                LZSS_CYCLES_PER_PROBE,
+                s,
+                mx,
+            );
         }
 
         batches.push(BatchStats {
@@ -348,10 +348,7 @@ pub fn spar_gpu(
         .iter()
         .map(|b| scale(costs.classify(b.blocks)))
         .collect();
-    let encode: Vec<SimDuration> = stats
-        .iter()
-        .map(|b| scale(costs.encode(b.bytes)))
-        .collect();
+    let encode: Vec<SimDuration> = stats.iter().map(|b| scale(costs.encode(b.bytes))).collect();
     let write: Vec<SimDuration> = stats
         .iter()
         .map(|b| scale(costs.write(b.unique_bytes)))
@@ -374,9 +371,18 @@ pub fn spar_gpu(
             let dev = i % n_gpus;
             let s = &services[i];
             vec![
-                Phase::Resource { server: h2[dev], dur: s.h2d },
-                Phase::Resource { server: c2[dev], dur: s.sha1 },
-                Phase::Resource { server: d2[dev], dur: s.d2h_digests },
+                Phase::Resource {
+                    server: h2[dev],
+                    dur: s.h2d,
+                },
+                Phase::Resource {
+                    server: c2[dev],
+                    dur: s.sha1,
+                },
+                Phase::Resource {
+                    server: d2[dev],
+                    dur: s.d2h_digests,
+                },
             ]
         })
         .stage("classify", 1, move |i| vec![Phase::Cpu(classify[i])])
@@ -384,8 +390,14 @@ pub fn spar_gpu(
             let dev = i % n_gpus;
             let s = &services2[i];
             vec![
-                Phase::Resource { server: compute[dev], dur: s.fm },
-                Phase::Resource { server: d2h_eng[dev], dur: s.d2h_matches },
+                Phase::Resource {
+                    server: compute[dev],
+                    dur: s.fm,
+                },
+                Phase::Resource {
+                    server: d2h_eng[dev],
+                    dur: s.d2h_matches,
+                },
                 Phase::Cpu(encode[i]),
             ]
         })
@@ -427,7 +439,10 @@ mod tests {
         let p = profile_small();
         let total: u64 = p.batches.iter().map(|b| b.bytes).sum();
         assert_eq!(total, p.total_bytes);
-        assert!(p.output_bytes < p.total_bytes, "duplicates must shrink output");
+        assert!(
+            p.output_bytes < p.total_bytes,
+            "duplicates must shrink output"
+        );
         for b in &p.batches {
             assert!(b.blocks > 0);
             assert!(b.fm_warp.0 >= b.fm_warp.1);

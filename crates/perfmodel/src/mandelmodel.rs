@@ -118,7 +118,8 @@ pub fn batch_gpu_service(
     let lanes = (batch_size * dim) as u64;
     let dims = LaunchDims::cover(lanes, BLOCK_1D);
     let (sum, max) = w.batch_warp_units(first, batch_size);
-    let kernel = kernel_duration_from_units(props, &dims, MANDEL_REGS, 0, CYCLES_PER_ITER, sum, max);
+    let kernel =
+        kernel_duration_from_units(props, &dims, MANDEL_REGS, 0, CYCLES_PER_ITER, sum, max);
     let d2h = transfer_duration(props, lanes, pinned);
     (kernel, d2h)
 }
@@ -143,37 +144,37 @@ pub fn hybrid_pipeline_time(
         .collect();
     let overhead = rt.per_item_overhead();
     // Host-side per-batch work: staging the results into the image.
-    let host_copy =
-        SimDuration::from_secs_f64((batch_size * dim) as f64 * 0.25e-9 * cpu.worker_slowdown(workers));
+    let host_copy = SimDuration::from_secs_f64(
+        (batch_size * dim) as f64 * 0.25e-9 * cpu.worker_slowdown(workers),
+    );
 
-    let mut m = PipeModel::new(n_batches, move |_| overhead)
-        .buffer_cap(rt.in_flight_cap(workers, true));
+    let mut m =
+        PipeModel::new(n_batches, move |_| overhead).buffer_cap(rt.in_flight_cap(workers, true));
     let mut compute_engines = Vec::new();
     let mut copy_engines = Vec::new();
     for _ in 0..n_gpus {
         compute_engines.push(m.add_server("gpu-compute", 1));
         copy_engines.push(m.add_server("gpu-d2h", 1));
     }
-    
-    m
-        .stage("offload", workers, move |b| {
-            let dev = b % n_gpus;
-            let (kernel, d2h) = services[b];
-            vec![
-                Phase::Cpu(overhead),
-                Phase::Resource {
-                    server: compute_engines[dev],
-                    dur: kernel,
-                },
-                Phase::Resource {
-                    server: copy_engines[dev],
-                    dur: d2h,
-                },
-                Phase::Cpu(host_copy),
-            ]
-        })
-        .run()
-        .makespan
+
+    m.stage("offload", workers, move |b| {
+        let dev = b % n_gpus;
+        let (kernel, d2h) = services[b];
+        vec![
+            Phase::Cpu(overhead),
+            Phase::Resource {
+                server: compute_engines[dev],
+                dur: kernel,
+            },
+            Phase::Resource {
+                server: copy_engines[dev],
+                dur: d2h,
+            },
+            Phase::Cpu(host_copy),
+        ]
+    })
+    .run()
+    .makespan
 }
 
 #[cfg(test)]
@@ -201,7 +202,10 @@ mod tests {
         let par = cpu_pipeline_time(&w, &cpu, CpuRuntime::Spar, 8);
         let speedup = seq.as_secs_f64() / par.as_secs_f64();
         assert!(speedup > 4.0, "8 workers must give > 4x, got {speedup:.2}");
-        assert!(speedup < 8.5, "cannot exceed worker count, got {speedup:.2}");
+        assert!(
+            speedup < 8.5,
+            "cannot exceed worker count, got {speedup:.2}"
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ struct Scaled {
 
 fn scale(w: &MandelWorkload) -> Scaled {
     let s = PAPER_DIM / w.params.dim; // row and column scale factor
-    assert!(s >= 1 && PAPER_DIM.is_multiple_of(w.params.dim), "sample_dim must divide 2000");
+    assert!(
+        s >= 1 && PAPER_DIM.is_multiple_of(w.params.dim),
+        "sample_dim must divide 2000"
+    );
     let mut row_warps = Vec::with_capacity(PAPER_DIM);
     for full_row in 0..PAPER_DIM {
         let sample_row = full_row / s;
@@ -118,7 +121,13 @@ pub fn predict_fig1(sample_dim: usize, cpu: &CpuModel, props: &DeviceProps) -> V
         let max: u64 = rows.iter().map(|r| r.1).max().unwrap_or(1);
         let dims = LaunchDims::cover(bytes, 256);
         kernels.push(kernel_duration_from_units(
-            props, &dims, MANDEL_REGS, 0, CYCLES_PER_ITER, sum, max,
+            props,
+            &dims,
+            MANDEL_REGS,
+            0,
+            CYCLES_PER_ITER,
+            sum,
+            max,
         ));
     }
     let staging_batch = SimDuration::from_secs_f64(bytes as f64 * 0.25e-9);

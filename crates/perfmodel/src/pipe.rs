@@ -181,9 +181,7 @@ impl PipeModel {
         let stage_utilization = stage_specs
             .iter()
             .zip(&busy_meters)
-            .map(|(spec, busy)| {
-                (spec.name, busy.borrow().mean(end) / spec.replicas as f64)
-            })
+            .map(|(spec, busy)| (spec.name, busy.borrow().mean(end) / spec.replicas as f64))
             .collect();
         PipeRun {
             makespan,
@@ -317,7 +315,10 @@ mod tests {
         let gpu = m.add_server("gpu", 1);
         let run = m
             .stage("offload", 4, move |_| {
-                vec![Phase::Resource { server: gpu, dur: us(10) }]
+                vec![Phase::Resource {
+                    server: gpu,
+                    dur: us(10),
+                }]
             })
             .run();
         let ms = run.makespan.as_secs_f64() * 1e6;
@@ -331,7 +332,10 @@ mod tests {
             let mut m = PipeModel::new(100, |_| SimDuration::ZERO);
             let gpu = m.add_server("gpu", cap);
             m.stage("offload", 8, move |_| {
-                vec![Phase::Resource { server: gpu, dur: us(10) }]
+                vec![Phase::Resource {
+                    server: gpu,
+                    dur: us(10),
+                }]
             })
             .run()
             .makespan
@@ -351,7 +355,13 @@ mod tests {
             let mut m = PipeModel::new(100, |_| SimDuration::ZERO);
             let r = m.add_server("r", cap);
             m.stage("s", workers, move |_| {
-                vec![Phase::Cpu(us(5)), Phase::Resource { server: r, dur: us(5) }]
+                vec![
+                    Phase::Cpu(us(5)),
+                    Phase::Resource {
+                        server: r,
+                        dur: us(5),
+                    },
+                ]
             })
             .run()
             .makespan
@@ -385,8 +395,16 @@ mod tests {
                 .expect("stage present")
                 .1
         };
-        assert!(get("slow") > 0.95, "bottleneck must be ~fully busy: {}", get("slow"));
-        assert!(get("fast") < 0.25, "upstream must be mostly idle: {}", get("fast"));
+        assert!(
+            get("slow") > 0.95,
+            "bottleneck must be ~fully busy: {}",
+            get("slow")
+        );
+        assert!(
+            get("fast") < 0.25,
+            "upstream must be mostly idle: {}",
+            get("fast")
+        );
     }
 
     #[test]

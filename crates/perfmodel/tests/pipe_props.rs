@@ -1,14 +1,13 @@
-//! Property tests for the queueing-network model: makespans must respect
-//! the classic bounds for any workload.
+//! Randomized tests for the queueing-network model: makespans must respect
+//! the classic bounds for any workload. Workloads come from the in-tree
+//! seeded RNG — deterministic and offline.
 //!
 //! For a single replicated stage with per-item costs `c_i` and `w` workers:
 //!   max(Σc_i / w, max c_i)  ≤  makespan  ≤  Σc_i
 //! and adding workers or removing work can never lengthen the makespan.
 
 use perfmodel::pipe::{Phase, PipeModel};
-use proptest::collection::vec;
-use proptest::prelude::*;
-use simtime::SimDuration;
+use simtime::{SimDuration, XorShift64};
 
 fn model(costs: &[u64], workers: usize, cap: usize) -> f64 {
     let costs: Vec<SimDuration> = costs.iter().map(|&c| SimDuration::from_nanos(c)).collect();
@@ -21,48 +20,69 @@ fn model(costs: &[u64], workers: usize, cap: usize) -> f64 {
         .as_secs_f64()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_costs(rng: &mut XorShift64, max_len: usize, max_cost: u64) -> Vec<u64> {
+    (0..rng.range_usize(1, max_len))
+        .map(|_| rng.range_u64(1, max_cost))
+        .collect()
+}
 
-    #[test]
-    fn makespan_respects_classic_bounds(
-        costs in vec(1u64..10_000, 1..100),
-        workers in 1usize..8,
-        cap in 1usize..16,
-    ) {
+fn for_cases(cases: u64, mut f: impl FnMut(&mut XorShift64)) {
+    for case in 0..cases {
+        let mut rng = XorShift64::new(0x9171E ^ case);
+        f(&mut rng);
+    }
+}
+
+#[test]
+fn makespan_respects_classic_bounds() {
+    for_cases(32, |rng| {
+        let costs = random_costs(rng, 100, 10_000);
+        let workers = rng.range_usize(1, 8);
+        let cap = rng.range_usize(1, 16);
         let total: u64 = costs.iter().sum();
         let longest = *costs.iter().max().expect("non-empty");
         let ms = model(&costs, workers, cap);
         let lower = (total as f64 / workers as f64).max(longest as f64) * 1e-9;
         let upper = total as f64 * 1e-9;
-        prop_assert!(ms + 1e-12 >= lower, "makespan {ms} below lower bound {lower}");
-        prop_assert!(ms <= upper + 1e-12, "makespan {ms} above serial bound {upper}");
-    }
+        assert!(
+            ms + 1e-12 >= lower,
+            "makespan {ms} below lower bound {lower}"
+        );
+        assert!(
+            ms <= upper + 1e-12,
+            "makespan {ms} above serial bound {upper}"
+        );
+    });
+}
 
-    #[test]
-    fn more_workers_never_hurt(
-        costs in vec(1u64..10_000, 1..80),
-        workers in 1usize..6,
-    ) {
+#[test]
+fn more_workers_never_hurt() {
+    for_cases(32, |rng| {
+        let costs = random_costs(rng, 80, 10_000);
+        let workers = rng.range_usize(1, 6);
         let a = model(&costs, workers, 8);
         let b = model(&costs, workers + 1, 8);
-        prop_assert!(b <= a + 1e-12, "w={workers}: {a} -> {b}");
-    }
+        assert!(b <= a + 1e-12, "w={workers}: {a} -> {b}");
+    });
+}
 
-    #[test]
-    fn single_worker_makespan_is_exactly_serial(costs in vec(1u64..10_000, 1..60)) {
+#[test]
+fn single_worker_makespan_is_exactly_serial() {
+    for_cases(32, |rng| {
+        let costs = random_costs(rng, 60, 10_000);
         let total: u64 = costs.iter().sum();
         let ms = model(&costs, 1, 4);
-        prop_assert!((ms - total as f64 * 1e-9).abs() < 1e-12);
-    }
+        assert!((ms - total as f64 * 1e-9).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn shared_capacity_one_resource_serializes(
-        costs in vec(1u64..5_000, 1..60),
-        workers in 1usize..6,
-    ) {
+#[test]
+fn shared_capacity_one_resource_serializes() {
+    for_cases(32, |rng| {
         // Every item needs the same capacity-1 server: makespan == Σ costs
         // regardless of worker count.
+        let costs = random_costs(rng, 60, 5_000);
+        let workers = rng.range_usize(1, 6);
         let total: u64 = costs.iter().sum();
         let durs: Vec<SimDuration> = costs.iter().map(|&c| SimDuration::from_nanos(c)).collect();
         let n = durs.len();
@@ -70,30 +90,40 @@ proptest! {
         let srv = m.add_server("r", 1);
         let ms = m
             .stage("s", workers, move |i| {
-                vec![Phase::Resource { server: srv, dur: durs[i] }]
+                vec![Phase::Resource {
+                    server: srv,
+                    dur: durs[i],
+                }]
             })
             .run()
             .makespan;
-        prop_assert_eq!(ms.as_nanos(), total);
-    }
+        assert_eq!(ms.as_nanos(), total);
+    });
+}
 
-    #[test]
-    fn two_stage_pipeline_bounded_by_bottleneck_and_serial(
-        costs_a in vec(1u64..5_000, 1..50),
-        scale_b in 1u64..4,
-    ) {
+#[test]
+fn two_stage_pipeline_bounded_by_bottleneck_and_serial() {
+    for_cases(32, |rng| {
+        let costs_a = random_costs(rng, 50, 5_000);
+        let scale_b = rng.range_u64(1, 4);
         let n = costs_a.len();
         let costs_b: Vec<u64> = costs_a.iter().map(|&c| c * scale_b).collect();
         let (ta, tb): (u64, u64) = (costs_a.iter().sum(), costs_b.iter().sum());
-        let da: Vec<SimDuration> = costs_a.iter().map(|&c| SimDuration::from_nanos(c)).collect();
-        let db: Vec<SimDuration> = costs_b.iter().map(|&c| SimDuration::from_nanos(c)).collect();
+        let da: Vec<SimDuration> = costs_a
+            .iter()
+            .map(|&c| SimDuration::from_nanos(c))
+            .collect();
+        let db: Vec<SimDuration> = costs_b
+            .iter()
+            .map(|&c| SimDuration::from_nanos(c))
+            .collect();
         let ms = PipeModel::new(n, |_| SimDuration::ZERO)
             .stage("a", 1, move |i| vec![Phase::Cpu(da[i])])
             .stage("b", 1, move |i| vec![Phase::Cpu(db[i])])
             .run()
             .makespan
             .as_nanos();
-        prop_assert!(ms >= ta.max(tb), "below bottleneck: {ms} < {}", ta.max(tb));
-        prop_assert!(ms <= ta + tb, "above serial: {ms} > {}", ta + tb);
-    }
+        assert!(ms >= ta.max(tb), "below bottleneck: {ms} < {}", ta.max(tb));
+        assert!(ms <= ta + tb, "above serial: {ms} > {}", ta + tb);
+    });
 }

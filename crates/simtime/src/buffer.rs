@@ -216,7 +216,9 @@ mod tests {
         let seen = Rc::new(RefCell::new(Vec::new()));
         for _ in 0..3 {
             let seen = Rc::clone(&seen);
-            buf.get(&mut sim, move |_, item| seen.borrow_mut().push(item.unwrap()));
+            buf.get(&mut sim, move |_, item| {
+                seen.borrow_mut().push(item.unwrap())
+            });
         }
         sim.run();
         assert_eq!(*seen.borrow(), vec![1, 2, 3]);

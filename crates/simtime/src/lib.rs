@@ -32,12 +32,14 @@
 
 mod buffer;
 mod engine;
+pub mod rng;
 mod server;
 mod stats;
 mod time;
 
 pub use buffer::BoundedBuffer;
 pub use engine::{Sim, SimHandle};
+pub use rng::XorShift64;
 pub use server::Server;
 pub use stats::{Counter, TimeWeighted};
 pub use time::{SimDuration, SimTime};

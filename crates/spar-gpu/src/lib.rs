@@ -229,7 +229,10 @@ where
                     *d_in = Some(cuda.malloc(len).expect("device memory"));
                     *d_out = Some(cuda.malloc(len).expect("device memory"));
                 }
-                let (din, dout) = (d_in.as_ref().expect("alloc"), d_out.as_ref().expect("alloc"));
+                let (din, dout) = (
+                    d_in.as_ref().expect("alloc"),
+                    d_out.as_ref().expect("alloc"),
+                );
                 cuda.memcpy_h2d_pageable(din, 0, &item, stream);
                 let kernel = MapKernel {
                     input: din.ptr(),
@@ -253,7 +256,10 @@ where
                     *d_in = Some(ctx.create_buffer(*device, len).expect("device memory"));
                     *d_out = Some(ctx.create_buffer(*device, len).expect("device memory"));
                 }
-                let (din, dout) = (d_in.as_ref().expect("alloc"), d_out.as_ref().expect("alloc"));
+                let (din, dout) = (
+                    d_in.as_ref().expect("alloc"),
+                    d_out.as_ref().expect("alloc"),
+                );
                 let w = queue.enqueue_write_buffer(din, false, 0, &item, &[]);
                 let kernel = ClKernel::create(MapKernel {
                     input: din.ptr(),

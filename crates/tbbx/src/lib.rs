@@ -39,6 +39,6 @@ pub mod pool;
 pub mod scan;
 
 pub use algo::{parallel_for, parallel_reduce};
-pub use scan::parallel_scan;
 pub use pipeline::{Pipeline, PipelineBuilder};
 pub use pool::{Latch, TaskPool};
+pub use scan::parallel_scan;

@@ -19,9 +19,18 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use telemetry::{Recorder, StageHandle};
+
 use crate::pool::TaskPool;
 
 type Payload = Box<dyn Any + Send>;
+
+/// A filter plus its telemetry handle (replica 0: TBB filters are logical
+/// stages executed by arbitrary pool workers, not replicated nodes).
+struct Filter {
+    stage: StageHandle,
+    imp: FilterImpl,
+}
 
 enum FilterImpl {
     Parallel(Box<dyn Fn(Payload) -> Payload + Send + Sync>),
@@ -47,7 +56,8 @@ struct SourceState {
 
 struct Exec {
     source: Mutex<SourceState>,
-    filters: Vec<FilterImpl>,
+    src_stage: StageHandle,
+    filters: Vec<Filter>,
     live: AtomicUsize,
     max_live: usize,
     completed: AtomicU64,
@@ -60,13 +70,15 @@ struct Exec {
 pub struct PipelineBuilder<T> {
     source: SourceState,
     filters: Vec<FilterImpl>,
+    rec: Recorder,
     _marker: PhantomData<fn() -> T>,
 }
 
 /// A fully built pipeline, ready to [`run`](Pipeline::run).
 pub struct Pipeline {
     source: SourceState,
-    filters: Vec<FilterImpl>,
+    src_stage: StageHandle,
+    filters: Vec<Filter>,
 }
 
 impl Pipeline {
@@ -84,6 +96,7 @@ impl Pipeline {
                 exhausted: false,
             },
             filters: Vec::new(),
+            rec: Recorder::default(),
             _marker: PhantomData,
         }
     }
@@ -110,6 +123,7 @@ impl Pipeline {
         assert!(max_live_tokens > 0, "need at least one live token");
         let exec = Arc::new(Exec {
             source: Mutex::new(self.source),
+            src_stage: self.src_stage,
             filters: self.filters,
             live: AtomicUsize::new(0),
             max_live: max_live_tokens,
@@ -185,12 +199,30 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         self.retype()
     }
 
+    /// Attach a telemetry recorder: the source and every filter register a
+    /// [`telemetry::StageMetrics`] when the pipeline is built. A disabled
+    /// recorder (the default) makes every probe a no-op branch.
+    pub fn recorder(mut self, rec: Recorder) -> Self {
+        self.rec = rec;
+        self
+    }
+
     /// Finish building (the final token type is discarded when tokens leave
     /// the last filter; make the last filter the sink).
     pub fn build(self) -> Pipeline {
+        let rec = self.rec;
         Pipeline {
             source: self.source,
-            filters: self.filters,
+            src_stage: rec.stage("source", 0),
+            filters: self
+                .filters
+                .into_iter()
+                .enumerate()
+                .map(|(i, imp)| Filter {
+                    stage: rec.stage(format!("filter{}", i + 1), 0),
+                    imp,
+                })
+                .collect(),
         }
     }
 
@@ -198,6 +230,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         PipelineBuilder {
             source: self.source,
             filters: self.filters,
+            rec: self.rec,
             _marker: PhantomData,
         }
     }
@@ -211,14 +244,14 @@ fn pump_source(exec: &Arc<Exec>) {
         let mut cur = exec.live.load(Ordering::Acquire);
         loop {
             if cur >= exec.max_live {
+                // Token window full: source throttled (TBB's live-token cap).
+                exec.src_stage.push_stall();
                 return; // finish_token will pump again
             }
-            match exec.live.compare_exchange_weak(
-                cur,
-                cur + 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match exec
+                .live
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => break,
                 Err(c) => cur = c,
             }
@@ -229,10 +262,14 @@ fn pump_source(exec: &Arc<Exec>) {
             if src.exhausted {
                 None
             } else {
-                match (src.f)() {
+                let span = exec.src_stage.begin();
+                let item = (src.f)();
+                exec.src_stage.end(span);
+                match item {
                     Some(p) => {
                         let seq = src.next_seq;
                         src.next_seq += 1;
+                        exec.src_stage.items_out(1);
                         Some((seq, p))
                     }
                     None => {
@@ -245,8 +282,7 @@ fn pump_source(exec: &Arc<Exec>) {
         match produced {
             Some((seq, payload)) => {
                 let exec2 = Arc::clone(exec);
-                exec.pool
-                    .spawn(move || advance(&exec2, 0, seq, payload));
+                exec.pool.spawn(move || advance(&exec2, 0, seq, payload));
             }
             None => {
                 // Give back the reserved slot and check for completion.
@@ -266,9 +302,13 @@ fn advance(exec: &Arc<Exec>, mut idx: usize, seq: u64, mut payload: Payload) {
             finish_token(exec);
             return;
         };
-        match filter {
+        match &filter.imp {
             FilterImpl::Parallel(f) => {
+                filter.stage.item_in(0);
+                let span = filter.stage.begin();
                 payload = f(payload);
+                filter.stage.end(span);
+                filter.stage.items_out(1);
                 idx += 1;
             }
             FilterImpl::Serial { in_order, state } => {
@@ -279,13 +319,22 @@ fn advance(exec: &Arc<Exec>, mut idx: usize, seq: u64, mut payload: Payload) {
                     } else {
                         st.any_order_pending.push_back((seq, payload));
                     }
+                    // Parked behind the serial filter: the queue of pending
+                    // tokens is this stage's input queue.
+                    filter.stage.pop_wait();
                     return; // the running token will dispatch us later
                 }
+                filter
+                    .stage
+                    .item_in(st.in_order_pending.len() + st.any_order_pending.len());
                 st.busy = true;
                 // Run the user closure while holding the state lock: the
                 // filter is serial by definition, and holding the lock keeps
                 // busy/next_seq updates atomic with the call.
+                let span = filter.stage.begin();
                 let out = (st.f)(payload);
+                filter.stage.end(span);
+                filter.stage.items_out(1);
                 st.busy = false;
                 if *in_order {
                     st.next_seq += 1;
@@ -348,7 +397,10 @@ mod tests {
             .serial_in_order(move |x| out2.lock().unwrap().push(x))
             .build()
             .run(&pool, 8);
-        assert_eq!(*out.lock().unwrap(), (0..200).map(|x| x * 2).collect::<Vec<u64>>());
+        assert_eq!(
+            *out.lock().unwrap(),
+            (0..200).map(|x| x * 2).collect::<Vec<u64>>()
+        );
     }
 
     #[test]
@@ -451,7 +503,10 @@ mod tests {
             .serial_in_order(move |x| out2.lock().unwrap().push(x))
             .build()
             .run(&pool, 1);
-        assert_eq!(*out.lock().unwrap(), (0..50).map(|x| x * 3).collect::<Vec<u32>>());
+        assert_eq!(
+            *out.lock().unwrap(),
+            (0..50).map(|x| x * 3).collect::<Vec<u32>>()
+        );
     }
 
     #[test]

@@ -1,23 +1,25 @@
 //! Work-stealing task pool — the analogue of TBB's task scheduler.
 //!
-//! Each worker owns a LIFO deque (crossbeam's Chase–Lev implementation);
-//! tasks spawned from outside land in a global FIFO injector. Idle workers
-//! steal: first from the injector, then from peers, then park on a condition
-//! variable until new work is announced. Tasks are plain boxed closures —
-//! the structured patterns ([`crate::parallel_for`], the
+//! Each worker owns a LIFO deque; tasks spawned from outside land in a
+//! global FIFO injector. Idle workers steal: first a batch from the
+//! injector, then single tasks from peers' deques (FIFO end), then park
+//! on a condition variable until new work is announced. The deques are
+//! `Mutex<VecDeque>` rather than lock-free Chase–Lev — the queues are
+//! short and uncontended, and keeping the scheduler dependency-free
+//! matters more here than shaving the lock. Tasks are plain boxed
+//! closures — the structured patterns ([`crate::parallel_for`], the
 //! [`pipeline`](crate::pipeline)) are layered on top with latches.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use crossbeam::deque::{Injector, Stealer, Worker as Deque};
-
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
 struct Shared {
-    injector: Injector<Task>,
-    stealers: Vec<Stealer<Task>>,
+    injector: Mutex<VecDeque<Task>>,
+    locals: Vec<Mutex<VecDeque<Task>>>,
     shutdown: AtomicBool,
     /// Count of tasks announced but not yet taken; used with the condvar to
     /// avoid missed wakeups when all workers are parked.
@@ -53,24 +55,23 @@ impl TaskPool {
     /// Panics if `n_workers == 0`.
     pub fn new(n_workers: usize) -> Self {
         assert!(n_workers > 0, "pool needs at least one worker");
-        let deques: Vec<Deque<Task>> = (0..n_workers).map(|_| Deque::new_lifo()).collect();
-        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let locals = (0..n_workers)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
         let shared = Arc::new(Shared {
-            injector: Injector::new(),
-            stealers,
+            injector: Mutex::new(VecDeque::new()),
+            locals,
             shutdown: AtomicBool::new(false),
             sleep_lock: Mutex::new(()),
             wake: Condvar::new(),
             pending: AtomicUsize::new(0),
         });
-        let threads = deques
-            .into_iter()
-            .enumerate()
-            .map(|(idx, deque)| {
+        let threads = (0..n_workers)
+            .map(|idx| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("tbbx-worker-{idx}"))
-                    .spawn(move || worker_loop(idx, deque, shared))
+                    .spawn(move || worker_loop(idx, shared))
                     .expect("spawn tbbx worker")
             })
             .collect();
@@ -88,7 +89,11 @@ impl TaskPool {
 
     /// Submit a task for execution.
     pub fn spawn<F: FnOnce() + Send + 'static>(&self, task: F) {
-        self.shared.injector.push(Box::new(task));
+        self.shared
+            .injector
+            .lock()
+            .unwrap()
+            .push_back(Box::new(task));
         self.shared.announce();
     }
 
@@ -109,9 +114,9 @@ impl Drop for TaskPool {
     }
 }
 
-fn worker_loop(idx: usize, local: Deque<Task>, shared: Arc<Shared>) {
+fn worker_loop(idx: usize, shared: Arc<Shared>) {
     loop {
-        if let Some(task) = find_task(idx, &local, &shared) {
+        if let Some(task) = find_task(idx, &shared) {
             shared.pending.fetch_sub(1, Ordering::AcqRel);
             task();
             continue;
@@ -121,8 +126,7 @@ fn worker_loop(idx: usize, local: Deque<Task>, shared: Arc<Shared>) {
         }
         // Park until work is announced or shutdown.
         let guard = shared.sleep_lock.lock().unwrap();
-        if shared.pending.load(Ordering::Acquire) == 0 && !shared.shutdown.load(Ordering::Acquire)
-        {
+        if shared.pending.load(Ordering::Acquire) == 0 && !shared.shutdown.load(Ordering::Acquire) {
             let _unused = shared
                 .wake
                 .wait_timeout(guard, std::time::Duration::from_millis(10))
@@ -131,28 +135,31 @@ fn worker_loop(idx: usize, local: Deque<Task>, shared: Arc<Shared>) {
     }
 }
 
-fn find_task(self_idx: usize, local: &Deque<Task>, shared: &Shared) -> Option<Task> {
-    if let Some(t) = local.pop() {
+fn find_task(self_idx: usize, shared: &Shared) -> Option<Task> {
+    // Own deque first, LIFO end (cache-warm work).
+    if let Some(t) = shared.locals[self_idx].lock().unwrap().pop_back() {
         return Some(t);
     }
-    // Steal from the injector in batches, then from peers.
-    loop {
-        match shared.injector.steal_batch_and_pop(local) {
-            crossbeam::deque::Steal::Success(t) => return Some(t),
-            crossbeam::deque::Steal::Retry => continue,
-            crossbeam::deque::Steal::Empty => break,
+    // Then a batch from the injector: take one to run and move up to half
+    // of the rest into the local deque.
+    {
+        let mut injector = shared.injector.lock().unwrap();
+        if let Some(t) = injector.pop_front() {
+            let grab = injector.len() / 2;
+            if grab > 0 {
+                let mut local = shared.locals[self_idx].lock().unwrap();
+                local.extend(injector.drain(..grab));
+            }
+            return Some(t);
         }
     }
-    for (i, stealer) in shared.stealers.iter().enumerate() {
+    // Then steal single tasks from peers, FIFO end (oldest work).
+    for (i, peer) in shared.locals.iter().enumerate() {
         if i == self_idx {
             continue;
         }
-        loop {
-            match stealer.steal() {
-                crossbeam::deque::Steal::Success(t) => return Some(t),
-                crossbeam::deque::Steal::Retry => continue,
-                crossbeam::deque::Steal::Empty => break,
-            }
+        if let Some(t) = peer.lock().unwrap().pop_front() {
+            return Some(t);
         }
     }
     None

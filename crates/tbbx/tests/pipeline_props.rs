@@ -1,22 +1,28 @@
-//! Property tests for the TBB-style pipeline: for any input, any worker
+//! Randomized tests for the TBB-style pipeline: for any input, any worker
 //! count, and any live-token cap, serial-in-order sinks must observe the
-//! exact sequential result.
+//! exact sequential result. Inputs come from the in-tree seeded RNG —
+//! deterministic and offline.
 
 use std::sync::{Arc, Mutex};
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use simtime::XorShift64;
 use tbbx::{Pipeline, TaskPool};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+fn for_cases(cases: u64, mut f: impl FnMut(&mut XorShift64)) {
+    for case in 0..cases {
+        let mut rng = XorShift64::new(0x7BB ^ case);
+        f(&mut rng);
+    }
+}
 
-    #[test]
-    fn in_order_sink_sees_sequential_result(
-        input in vec(any::<u32>(), 0..300),
-        workers in 1usize..5,
-        tokens in 1usize..20,
-    ) {
+#[test]
+fn in_order_sink_sees_sequential_result() {
+    for_cases(16, |rng| {
+        let input: Vec<u32> = (0..rng.range_usize(0, 300))
+            .map(|_| rng.next_u32())
+            .collect();
+        let workers = rng.range_usize(1, 5);
+        let tokens = rng.range_usize(1, 20);
         let pool = Arc::new(TaskPool::new(workers));
         let expected: Vec<u64> = input
             .iter()
@@ -29,14 +35,17 @@ proptest! {
             .serial_in_order(move |v: u64| sink.lock().unwrap().push(v))
             .build()
             .run(&pool, tokens);
-        prop_assert_eq!(out.lock().unwrap().clone(), expected);
-    }
+        assert_eq!(out.lock().unwrap().clone(), expected);
+    });
+}
 
-    #[test]
-    fn multi_filter_chains_compose(
-        input in vec(0u16..1000, 0..200),
-        tokens in 1usize..12,
-    ) {
+#[test]
+fn multi_filter_chains_compose() {
+    for_cases(16, |rng| {
+        let input: Vec<u16> = (0..rng.range_usize(0, 200))
+            .map(|_| rng.range_u32(0, 1000) as u16)
+            .collect();
+        let tokens = rng.range_usize(1, 12);
         let pool = Arc::new(TaskPool::new(3));
         let expected: Vec<u32> = input.iter().map(|&x| (x as u32 + 7) * 3).collect();
         let out = Arc::new(Mutex::new(Vec::new()));
@@ -52,14 +61,17 @@ proptest! {
         let mut want = expected;
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn parallel_reduce_matches_sequential_fold(
-        input in vec(any::<u32>(), 0..500),
-        grain in 1usize..64,
-    ) {
+#[test]
+fn parallel_reduce_matches_sequential_fold() {
+    for_cases(16, |rng| {
+        let input: Vec<u32> = (0..rng.range_usize(0, 500))
+            .map(|_| rng.next_u32())
+            .collect();
+        let grain = rng.range_usize(1, 64);
         let pool = Arc::new(TaskPool::new(3));
         let data = Arc::new(input.clone());
         let expected: u64 = input.iter().map(|&x| x as u64).sum();
@@ -72,6 +84,6 @@ proptest! {
             move |i| data2[i] as u64,
             |a, b| a + b,
         );
-        prop_assert_eq!(total, expected);
-    }
+        assert_eq!(total, expected);
+    });
 }

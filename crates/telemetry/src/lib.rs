@@ -1,0 +1,642 @@
+//! Stage-level observability for the hetstream runtimes.
+//!
+//! The paper argues with *structural* performance evidence — per-stage
+//! utilization, copy/compute overlap, queue backpressure (Fig. 3's
+//! activity graph). This crate is the substrate that lets every runtime
+//! show its work the way `gpusim::trace` already does for the devices:
+//!
+//! * [`StageMetrics`] — cheap atomic counters per stage replica: items
+//!   in/out, accumulated service time, push-stall and pop-wait counts and
+//!   the queue-depth high-water mark.
+//! * [`Recorder`] — a cloneable handle the runtimes thread through their
+//!   builders. Disabled by default ([`Recorder::disabled`]); when enabled
+//!   it collects CPU stage spans and GPU engine spans into one
+//!   [`TelemetryReport`].
+//! * [`TelemetryReport`] — a snapshot that renders as JSON, CSV or a
+//!   merged text Gantt (CPU stages and GPU engines on one axis),
+//!   regenerating the paper's activity-graph evidence from a real run.
+//!
+//! Zero-cost discipline: every instrumentation call first branches on an
+//! `Option<Arc<_>>`; a disabled recorder performs no atomic operation and
+//! never reads the clock.
+//!
+//! Time bases: CPU spans are wall-clock nanoseconds since the recorder's
+//! creation. GPU spans come from `gpusim`'s *modeled* clock, which also
+//! starts at zero for a run. The merged Gantt therefore shows both on a
+//! shared axis whose unit is nanoseconds-since-run-start in each domain's
+//! own clock — exactly how Fig. 3 juxtaposes host threads and device
+//! engines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Maximum busy spans retained per stage before coalescing everything new
+/// into the last span. Bounds memory on long runs; the Gantt resolution
+/// is limited by terminal width anyway.
+const MAX_SPANS: usize = 4096;
+
+/// Two adjacent busy spans closer than this gap (ns) merge into one.
+const COALESCE_GAP_NS: u64 = 20_000;
+
+/// Counters for one stage replica.
+#[derive(Debug)]
+pub struct StageMetrics {
+    name: String,
+    replica: usize,
+    epoch: Instant,
+    items_in: AtomicU64,
+    items_out: AtomicU64,
+    service_ns: AtomicU64,
+    push_stalls: AtomicU64,
+    pop_waits: AtomicU64,
+    queue_hwm: AtomicU64,
+    first_ns: AtomicU64,
+    last_ns: AtomicU64,
+    spans: Mutex<Vec<(u64, u64)>>,
+}
+
+impl StageMetrics {
+    fn new(name: String, replica: usize, epoch: Instant) -> Self {
+        StageMetrics {
+            name,
+            replica,
+            epoch,
+            items_in: AtomicU64::new(0),
+            items_out: AtomicU64::new(0),
+            service_ns: AtomicU64::new(0),
+            push_stalls: AtomicU64::new(0),
+            pop_waits: AtomicU64::new(0),
+            queue_hwm: AtomicU64::new(0),
+            first_ns: AtomicU64::new(u64::MAX),
+            last_ns: AtomicU64::new(0),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn push_span(&self, start: u64, end: u64) {
+        let mut spans = self.spans.lock().unwrap();
+        let full = spans.len() >= MAX_SPANS;
+        if let Some(last) = spans.last_mut() {
+            if full || start.saturating_sub(last.1) < COALESCE_GAP_NS {
+                last.1 = last.1.max(end);
+                return;
+            }
+        }
+        spans.push((start, end));
+    }
+
+    fn snapshot(&self) -> StageReport {
+        StageReport {
+            name: self.name.clone(),
+            replica: self.replica,
+            items_in: self.items_in.load(Ordering::Relaxed),
+            items_out: self.items_out.load(Ordering::Relaxed),
+            service_ns: self.service_ns.load(Ordering::Relaxed),
+            push_stalls: self.push_stalls.load(Ordering::Relaxed),
+            pop_waits: self.pop_waits.load(Ordering::Relaxed),
+            queue_hwm: self.queue_hwm.load(Ordering::Relaxed),
+            first_ns: self.first_ns.load(Ordering::Relaxed),
+            last_ns: self.last_ns.load(Ordering::Relaxed),
+            spans: self.spans.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// An in-progress service measurement returned by [`StageHandle::begin`].
+///
+/// Holds the start timestamp only when the recorder is enabled; a
+/// disabled handle hands out `ServiceSpan(None)` without touching the
+/// clock.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "pass the span back to StageHandle::end"]
+pub struct ServiceSpan(Option<u64>);
+
+/// Per-replica instrumentation handle given to a runtime's stage loop.
+///
+/// All methods are no-ops (a single branch) when the owning [`Recorder`]
+/// is disabled. Handles are cheap to clone and `Send`.
+#[derive(Debug, Clone, Default)]
+pub struct StageHandle(Option<Arc<StageMetrics>>);
+
+impl StageHandle {
+    /// A handle that records nothing — what disabled recorders hand out.
+    pub fn noop() -> Self {
+        StageHandle(None)
+    }
+
+    /// True when metrics are actually being collected.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record one input item and the observed input-queue depth.
+    #[inline]
+    pub fn item_in(&self, queue_depth: usize) {
+        if let Some(m) = &self.0 {
+            m.items_in.fetch_add(1, Ordering::Relaxed);
+            m.queue_hwm.fetch_max(queue_depth as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` output items.
+    #[inline]
+    pub fn items_out(&self, n: u64) {
+        if let Some(m) = &self.0 {
+            m.items_out.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one stall while pushing downstream (full output queue).
+    #[inline]
+    pub fn push_stall(&self) {
+        if let Some(m) = &self.0 {
+            m.push_stalls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one wait while popping upstream (empty input queue).
+    #[inline]
+    pub fn pop_wait(&self) {
+        if let Some(m) = &self.0 {
+            m.pop_waits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Start timing one service invocation.
+    #[inline]
+    pub fn begin(&self) -> ServiceSpan {
+        ServiceSpan(self.0.as_ref().map(|m| m.now_ns()))
+    }
+
+    /// Finish timing one service invocation started with [`begin`].
+    ///
+    /// [`begin`]: StageHandle::begin
+    #[inline]
+    pub fn end(&self, span: ServiceSpan) {
+        if let (Some(m), Some(start)) = (&self.0, span.0) {
+            let end = m.now_ns();
+            m.service_ns.fetch_add(end - start, Ordering::Relaxed);
+            m.first_ns.fetch_min(start, Ordering::Relaxed);
+            m.last_ns.fetch_max(end, Ordering::Relaxed);
+            m.push_span(start, end);
+        }
+    }
+
+    /// Time a closure as one service invocation.
+    #[inline]
+    pub fn service<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t = self.begin();
+        let r = f();
+        self.end(t);
+        r
+    }
+}
+
+/// One busy interval of a GPU engine, in modeled nanoseconds since the
+/// run's start. `gpusim` converts its command trace into these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSpan {
+    /// Device index within the system.
+    pub device: usize,
+    /// Engine label ("compute", "h2d", "d2h").
+    pub engine: &'static str,
+    /// Command name (kernel or copy description).
+    pub name: String,
+    /// Start, modeled ns.
+    pub start_ns: u64,
+    /// End, modeled ns.
+    pub end_ns: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    stages: Mutex<Vec<Arc<StageMetrics>>>,
+    gpu: Mutex<Vec<EngineSpan>>,
+}
+
+/// The run-wide collector the runtimes thread through their builders.
+///
+/// Cloning shares the underlying state. The [`Default`] recorder is
+/// disabled, so `Recorder::default()` in a builder costs nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// An enabled recorder; its creation instant is the CPU time origin.
+    pub fn enabled() -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                stages: Mutex::new(Vec::new()),
+                gpu: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A recorder that collects nothing (the default).
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// True when this recorder collects metrics.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register a stage replica and get its instrumentation handle.
+    ///
+    /// Disabled recorders return [`StageHandle::noop`].
+    pub fn stage(&self, name: impl Into<String>, replica: usize) -> StageHandle {
+        match &self.inner {
+            None => StageHandle::noop(),
+            Some(inner) => {
+                let m = Arc::new(StageMetrics::new(name.into(), replica, inner.epoch));
+                inner.stages.lock().unwrap().push(Arc::clone(&m));
+                StageHandle(Some(m))
+            }
+        }
+    }
+
+    /// Merge one GPU engine span into the run (no-op when disabled).
+    pub fn gpu_span(&self, span: EngineSpan) {
+        if let Some(inner) = &self.inner {
+            inner.gpu.lock().unwrap().push(span);
+        }
+    }
+
+    /// Snapshot everything collected so far.
+    pub fn report(&self) -> TelemetryReport {
+        match &self.inner {
+            None => TelemetryReport::default(),
+            Some(inner) => {
+                let mut stages: Vec<StageReport> = inner
+                    .stages
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .map(|m| m.snapshot())
+                    .collect();
+                stages.sort_by(|a, b| a.name.cmp(&b.name).then(a.replica.cmp(&b.replica)));
+                let mut gpu = inner.gpu.lock().unwrap().clone();
+                gpu.sort_by_key(|s| (s.device, s.engine, s.start_ns));
+                TelemetryReport { stages, gpu }
+            }
+        }
+    }
+}
+
+/// Snapshot of one stage replica's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// Stage name as registered by the runtime.
+    pub name: String,
+    /// Replica index within the stage.
+    pub replica: usize,
+    /// Items popped from the input queue.
+    pub items_in: u64,
+    /// Items pushed downstream.
+    pub items_out: u64,
+    /// Accumulated service (busy) time, wall ns.
+    pub service_ns: u64,
+    /// Blocked-on-full-output-queue occurrences.
+    pub push_stalls: u64,
+    /// Blocked-on-empty-input-queue occurrences.
+    pub pop_waits: u64,
+    /// Input queue-depth high-water mark.
+    pub queue_hwm: u64,
+    /// First observed activity, ns since run start (`u64::MAX` if none).
+    pub first_ns: u64,
+    /// Last observed activity, ns since run start.
+    pub last_ns: u64,
+    /// Coalesced busy intervals for the Gantt.
+    pub spans: Vec<(u64, u64)>,
+}
+
+/// A full run snapshot: CPU stage counters plus GPU engine spans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Per-replica stage counters, sorted by (name, replica).
+    pub stages: Vec<StageReport>,
+    /// GPU engine busy intervals, sorted by (device, engine, start).
+    pub gpu: Vec<EngineSpan>,
+}
+
+impl TelemetryReport {
+    /// End of the latest CPU activity, ns since run start.
+    pub fn cpu_makespan_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.last_ns).max().unwrap_or(0)
+    }
+
+    /// End of the latest GPU activity, modeled ns since run start.
+    pub fn gpu_makespan_ns(&self) -> u64 {
+        self.gpu.iter().map(|s| s.end_ns).max().unwrap_or(0)
+    }
+
+    /// Total items into all replicas of `stage`.
+    pub fn items_in(&self, stage: &str) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.name == stage)
+            .map(|s| s.items_in)
+            .sum()
+    }
+
+    /// Total items out of all replicas of `stage`.
+    pub fn items_out(&self, stage: &str) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.name == stage)
+            .map(|s| s.items_out)
+            .sum()
+    }
+
+    /// Distinct stage names in registration-independent (sorted) order.
+    pub fn stage_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.stages.iter().map(|s| s.name.clone()).collect();
+        names.dedup();
+        names
+    }
+
+    /// Measured utilization per stage: Σ replica service time over
+    /// (replica count × CPU makespan). The quantity `perfmodel::pipe`
+    /// predicts as `stage_utilization`.
+    pub fn stage_utilization(&self) -> Vec<(String, f64)> {
+        let makespan = self.cpu_makespan_ns().max(1) as f64;
+        self.stage_names()
+            .into_iter()
+            .map(|name| {
+                let (busy, replicas) = self
+                    .stages
+                    .iter()
+                    .filter(|s| s.name == name)
+                    .fold((0u64, 0usize), |(b, r), s| (b + s.service_ns, r + 1));
+                let u = busy as f64 / (replicas.max(1) as f64 * makespan);
+                (name, u)
+            })
+            .collect()
+    }
+
+    /// CSV with one row per stage replica, then one per GPU span group.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "kind,name,replica,items_in,items_out,service_ns,push_stalls,pop_waits,queue_hwm,first_ns,last_ns\n",
+        );
+        for s in &self.stages {
+            let first = if s.first_ns == u64::MAX {
+                0
+            } else {
+                s.first_ns
+            };
+            out.push_str(&format!(
+                "stage,{},{},{},{},{},{},{},{},{},{}\n",
+                s.name,
+                s.replica,
+                s.items_in,
+                s.items_out,
+                s.service_ns,
+                s.push_stalls,
+                s.pop_waits,
+                s.queue_hwm,
+                first,
+                s.last_ns
+            ));
+        }
+        // GPU engines aggregate to one row per (device, engine).
+        let mut keys: Vec<(usize, &'static str)> =
+            self.gpu.iter().map(|g| (g.device, g.engine)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for (device, engine) in keys {
+            let spans: Vec<&EngineSpan> = self
+                .gpu
+                .iter()
+                .filter(|g| g.device == device && g.engine == engine)
+                .collect();
+            let busy: u64 = spans.iter().map(|g| g.end_ns - g.start_ns).sum();
+            let first = spans.iter().map(|g| g.start_ns).min().unwrap_or(0);
+            let last = spans.iter().map(|g| g.end_ns).max().unwrap_or(0);
+            out.push_str(&format!(
+                "gpu,dev{device}-{engine},0,{},{},{busy},0,0,0,{first},{last}\n",
+                spans.len(),
+                spans.len(),
+            ));
+        }
+        out
+    }
+
+    /// JSON document (hand-rolled; the schema is small and stable).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            let first = if s.first_ns == u64::MAX {
+                0
+            } else {
+                s.first_ns
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"replica\": {}, \"items_in\": {}, \"items_out\": {}, \
+                 \"service_ns\": {}, \"push_stalls\": {}, \"pop_waits\": {}, \"queue_hwm\": {}, \
+                 \"first_ns\": {}, \"last_ns\": {}}}{}\n",
+                esc(&s.name),
+                s.replica,
+                s.items_in,
+                s.items_out,
+                s.service_ns,
+                s.push_stalls,
+                s.pop_waits,
+                s.queue_hwm,
+                first,
+                s.last_ns,
+                if i + 1 < self.stages.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"gpu\": [\n");
+        for (i, g) in self.gpu.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"device\": {}, \"engine\": \"{}\", \"name\": \"{}\", \
+                 \"start_ns\": {}, \"end_ns\": {}}}{}\n",
+                g.device,
+                g.engine,
+                esc(&g.name),
+                g.start_ns,
+                g.end_ns,
+                if i + 1 < self.gpu.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"utilization\": {");
+        let util = self.stage_utilization();
+        for (i, (name, u)) in util.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{}\": {:.6}{}",
+                esc(name),
+                u,
+                if i + 1 < util.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Merged text Gantt: one row per CPU stage replica, one per GPU
+    /// (device, engine). `#` marks busy cells, `.` idle; the axis spans
+    /// from 0 to the latest activity in either clock domain.
+    pub fn gantt(&self, width: usize) -> String {
+        let width = width.max(8);
+        let horizon = self.cpu_makespan_ns().max(self.gpu_makespan_ns()).max(1);
+        let mut rows: Vec<(String, Vec<(u64, u64)>)> = Vec::new();
+        for s in &self.stages {
+            rows.push((format!("{}/{}", s.name, s.replica), s.spans.clone()));
+        }
+        let mut keys: Vec<(usize, &'static str)> =
+            self.gpu.iter().map(|g| (g.device, g.engine)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for (device, engine) in keys {
+            let spans = self
+                .gpu
+                .iter()
+                .filter(|g| g.device == device && g.engine == engine)
+                .map(|g| (g.start_ns, g.end_ns))
+                .collect();
+            rows.push((format!("gpu{device}/{engine}"), spans));
+        }
+        let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);
+        let mut out = String::new();
+        for (label, spans) in &rows {
+            let mut cells = vec!['.'; width];
+            for &(start, end) in spans {
+                let a = (start as u128 * width as u128 / horizon as u128) as usize;
+                let b = (end as u128 * width as u128).div_ceil(horizon as u128) as usize;
+                for cell in cells.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *cell = '#';
+                }
+            }
+            out.push_str(&format!(
+                "{label:<label_w$} |{}|\n",
+                cells.iter().collect::<String>()
+            ));
+        }
+        out.push_str(&format!(
+            "{:<label_w$} 0{:>w$}\n",
+            "t(ns)",
+            format!("{horizon}"),
+            w = width
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        let h = rec.stage("s", 0);
+        assert!(!h.enabled());
+        h.item_in(5);
+        let t = h.begin();
+        h.end(t);
+        h.items_out(3);
+        let report = rec.report();
+        assert!(report.stages.is_empty());
+        assert!(report.gpu.is_empty());
+        assert_eq!(report.cpu_makespan_ns(), 0);
+    }
+
+    #[test]
+    fn counters_accumulate_per_replica() {
+        let rec = Recorder::enabled();
+        let h0 = rec.stage("work", 0);
+        let h1 = rec.stage("work", 1);
+        for _ in 0..3 {
+            h0.item_in(2);
+            h0.service(|| std::hint::black_box(0));
+            h0.items_out(1);
+        }
+        h1.item_in(7);
+        h1.pop_wait();
+        h1.push_stall();
+        let report = rec.report();
+        assert_eq!(report.items_in("work"), 4);
+        assert_eq!(report.items_out("work"), 3);
+        let r0 = &report.stages[0];
+        assert_eq!((r0.name.as_str(), r0.replica), ("work", 0));
+        assert_eq!(r0.queue_hwm, 2);
+        let r1 = &report.stages[1];
+        assert_eq!(r1.pop_waits, 1);
+        assert_eq!(r1.push_stalls, 1);
+        assert_eq!(r1.queue_hwm, 7);
+    }
+
+    #[test]
+    fn service_time_is_recorded_and_spans_coalesce() {
+        let rec = Recorder::enabled();
+        let h = rec.stage("s", 0);
+        for _ in 0..100 {
+            let t = h.begin();
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            h.end(t);
+        }
+        let r = &rec.report().stages[0];
+        assert!(r.service_ns >= 100 * 50_000, "service {}", r.service_ns);
+        assert!(r.spans.len() <= MAX_SPANS);
+        assert!(r.first_ns < r.last_ns);
+    }
+
+    #[test]
+    fn report_renders_json_csv_and_gantt() {
+        let rec = Recorder::enabled();
+        let h = rec.stage("alpha", 0);
+        h.item_in(1);
+        h.service(|| std::thread::sleep(std::time::Duration::from_micros(200)));
+        h.items_out(1);
+        rec.gpu_span(EngineSpan {
+            device: 0,
+            engine: "compute",
+            name: "k".into(),
+            start_ns: 0,
+            end_ns: 500,
+        });
+        let report = rec.report();
+        let json = report.to_json();
+        assert!(json.contains("\"alpha\""));
+        assert!(json.contains("\"compute\""));
+        let csv = report.to_csv();
+        assert!(csv.lines().count() >= 3);
+        assert!(csv.contains("stage,alpha,0,1,1,"));
+        assert!(csv.contains("gpu,dev0-compute"));
+        let gantt = report.gantt(40);
+        assert!(gantt.contains("alpha/0"));
+        assert!(gantt.contains("gpu0/compute"));
+        assert!(gantt.contains('#'));
+    }
+
+    #[test]
+    fn utilization_is_busy_over_makespan() {
+        let rec = Recorder::enabled();
+        let h = rec.stage("s", 0);
+        let t = h.begin();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        h.end(t);
+        let report = rec.report();
+        let util = report.stage_utilization();
+        assert_eq!(util.len(), 1);
+        // The single stage was busy from its first to its last instant.
+        assert!(util[0].1 > 0.5, "util {}", util[0].1);
+        assert!(util[0].1 <= 1.0 + 1e-9);
+    }
+}

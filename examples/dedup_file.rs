@@ -8,9 +8,17 @@
 //! cargo run --release --example dedup_file -- cuda linux
 //! cargo run --release --example dedup_file -- cpu /etc/hostname
 //! ```
+//!
+//! The GPU paths go through the unified `Offload` surface
+//! (`OffloadBackend<CudaOffload>` / `OffloadBackend<OclOffload>`); the
+//! raw-façade backends remain available as `dedup::{CudaBackend,
+//! OclBackend}` for the deliberately-naive per-block integration.
 
-use dedup::{BackendCtx, CpuBackend, CudaBackend, DedupConfig, LzssConfig, OclBackend, RabinParams};
-use gpusim::{DeviceProps, GpuSystem};
+use hetstream::dedup::{
+    self, BackendCtx, CpuBackend, DedupConfig, LzssConfig, OffloadBackend, RabinParams,
+};
+use hetstream::gpusim::DeviceProps;
+use hetstream::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -45,16 +53,21 @@ fn main() {
     let workers = 3;
 
     let archive = match backend {
-        "cpu" => dedup::run_pipeline::<CpuBackend>(BackendCtx::cpu(cfg.lzss), data.clone(), &cfg, workers),
+        "cpu" => dedup::run_pipeline::<CpuBackend>(
+            BackendCtx::cpu(cfg.lzss),
+            data.clone(),
+            &cfg,
+            workers,
+        ),
         "cuda" => {
             let system = GpuSystem::new(2, DeviceProps::titan_xp());
             let ctx = BackendCtx::gpu(system, 2, true, cfg.lzss);
-            dedup::run_pipeline::<CudaBackend>(ctx, data.clone(), &cfg, workers)
+            dedup::run_pipeline::<OffloadBackend<CudaOffload>>(ctx, data.clone(), &cfg, workers)
         }
         "opencl" => {
             let system = GpuSystem::new(2, DeviceProps::titan_xp());
             let ctx = BackendCtx::gpu(system, 2, true, cfg.lzss);
-            dedup::run_pipeline::<OclBackend>(ctx, data.clone(), &cfg, workers)
+            dedup::run_pipeline::<OffloadBackend<OclOffload>>(ctx, data.clone(), &cfg, workers)
         }
         other => {
             eprintln!("unknown backend '{other}' (use cpu | cuda | opencl)");

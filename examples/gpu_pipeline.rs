@@ -9,9 +9,15 @@
 
 use std::sync::Arc;
 
-use gpusim::cuda::Cuda;
-use gpusim::opencl::{ClKernel, Context, Platform};
-use gpusim::{DeviceMemory, DevicePtr, DeviceProps, GpuSystem, KernelFn, LaunchDims, WorkMeter};
+// This example exercises the *advanced* surface on purpose: the raw CUDA
+// and OpenCL façades below `hetstream::prelude` are where backend-specific
+// machinery (streams, events, pinned memory) lives; portable stage code
+// should use the `Offload` trait from the prelude instead.
+use hetstream::gpusim::cuda::Cuda;
+use hetstream::gpusim::opencl::{ClKernel, Context, Platform};
+use hetstream::gpusim::{
+    DeviceMemory, DeviceProps, DevicePtr, GpuSystem, KernelFn, LaunchDims, WorkMeter,
+};
 
 /// A toy kernel: out[i] = in[i] * scale + bias, one lane per element.
 struct Saxpy {
@@ -119,6 +125,9 @@ fn main() {
         system.host_now(),
     );
     println!("\n[device 0 timeline — '#' busy, '.' idle]");
-    print!("{}", gpusim::render_timeline(&system.device(0).take_trace(), 64));
+    print!(
+        "{}",
+        gpusim::render_timeline(&system.device(0).take_trace(), 64)
+    );
     println!("results verified; both front ends drive the same simulated hardware");
 }

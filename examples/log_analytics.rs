@@ -12,8 +12,9 @@
 
 use std::sync::Arc;
 
-use gpusim::{DeviceProps, GpuSystem};
-use spar_gpu::{Api, GpuMap, SparGpuExt};
+use hetstream::gpusim::DeviceProps;
+use hetstream::prelude::*;
+use hetstream::spar_gpu::{Api, GpuMap, SparGpuExt};
 
 /// One parsed log record: (response-time ms, status class).
 type Record = (f32, u32);
@@ -56,7 +57,7 @@ fn main() {
 
     let mut alerts = 0usize;
     let mut processed = 0usize;
-    spar::ToStream::new()
+    ToStream::new()
         .ordered(true)
         .source_iter((0..windows).map(move |w| synth_window(w, window_len)))
         .stage_gpu_map(3, scorer)

@@ -8,13 +8,15 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use hetstream::prelude::*;
+
 fn main() {
     let workers = 4usize;
 
     // A stream of "sensor readings"; the stage computes a rolling checksum
     // per item; the last stage consumes them in stream order.
     let mut received = Vec::new();
-    spar::to_stream! {
+    to_stream! {
         ordered;
         source(output(reading)) |em| {
             for i in 0..32u64 {
@@ -35,11 +37,17 @@ fn main() {
     }
 
     assert_eq!(received.len(), 32);
-    assert!(received.windows(2).all(|w| w[0].0 < w[1].0), "order preserved");
-    println!("processed {} items in stream order across {workers} replicas", received.len());
+    assert!(
+        received.windows(2).all(|w| w[0].0 < w[1].0),
+        "order preserved"
+    );
+    println!(
+        "processed {} items in stream order across {workers} replicas",
+        received.len()
+    );
 
     // The same region through the builder API (what the macro expands to).
-    let squares = spar::ToStream::new()
+    let squares = ToStream::new()
         .source_iter(1..=10u64)
         .stage(2, |x| x * x)
         .collect();

@@ -29,9 +29,24 @@ pub use simtime;
 pub use spar;
 pub use spar_gpu;
 pub use tbbx;
+pub use telemetry;
 
-/// Convenience prelude for examples and tests.
+/// The blessed application surface, in one import.
+///
+/// Everything a typical streaming application needs: the SPar annotation
+/// macro and builder, the FastFlow pipeline skeleton, the unified GPU
+/// [`Offload`](gpusim::Offload) trait with its two backends, and the
+/// telemetry [`Recorder`](telemetry::Recorder).
+///
+/// Deeper paths stay public but are *advanced* API — reach for them only
+/// when the blessed surface is not enough: `fastflow::{spsc, channel,
+/// wait}` (runtime internals), `gpusim::{cuda, opencl}` (raw façades for
+/// backend-specific machinery such as multi-stream overlap and
+/// pinned-vs-pageable copies), `tbbx::task` (scheduler internals),
+/// `dedup`/`mandel` stage plumbing.
 pub mod prelude {
     pub use fastflow::{Farm, Pipeline, WaitStrategy};
-    pub use spar::StreamBuilder;
+    pub use gpusim::{CudaOffload, GpuSystem, OclOffload, Offload, OffloadApi};
+    pub use spar::{to_stream, SparConfig, StreamBuilder, ToStream};
+    pub use telemetry::{Recorder, TelemetryReport};
 }

@@ -2,11 +2,11 @@
 //! every dataset — archives must be byte-identical across backends and
 //! must decompress to the original input.
 
+use hetstream::dedup::single::{run_single_cuda, run_single_ocl};
 use hetstream::dedup::{
     datasets, run_pipeline, run_sequential, BackendCtx, CpuBackend, CudaBackend, DedupConfig,
     LzssConfig, OclBackend, RabinParams,
 };
-use hetstream::dedup::single::{run_single_cuda, run_single_ocl};
 use hetstream::gpusim::{DeviceProps, GpuSystem};
 
 fn cfg() -> DedupConfig {

@@ -82,7 +82,11 @@ fn fig4_model_relationships_hold() {
     // All CPU models close together (Fig. 4 shows near-identical bars).
     let worst = spar.max(tbb).max(ff).as_secs_f64();
     let best = spar.min(tbb).min(ff).as_secs_f64();
-    assert!(worst / best < 1.10, "CPU models spread too far: {}", worst / best);
+    assert!(
+        worst / best < 1.10,
+        "CPU models spread too far: {}",
+        worst / best
+    );
 
     let h1 = mandelmodel::hybrid_pipeline_time(&w, &cpu, &props, CpuRuntime::Spar, 10, 32, 1);
     let h2 = mandelmodel::hybrid_pipeline_time(&w, &cpu, &props, CpuRuntime::Spar, 10, 32, 2);
@@ -114,7 +118,8 @@ fn fig5_model_relationships_hold() {
 
     let spar = dedupmodel::spar_cpu(&profile, &cpu, &costs, 19);
     let spar_cuda = dedupmodel::spar_gpu(&profile, &cpu, &props, &costs, 10, 2, GpuApi::Cuda, true);
-    let spar_ocl = dedupmodel::spar_gpu(&profile, &cpu, &props, &costs, 10, 2, GpuApi::OpenCl, true);
+    let spar_ocl =
+        dedupmodel::spar_gpu(&profile, &cpu, &props, &costs, 10, 2, GpuApi::OpenCl, true);
     let nobatch = dedupmodel::spar_gpu(&profile, &cpu, &props, &costs, 10, 2, GpuApi::Cuda, false);
 
     assert!(

@@ -31,15 +31,37 @@ fn every_version_renders_the_same_image() {
         ("ocl per-line", gpu::ocl_per_line(&system, &p).0),
         ("ocl batch", gpu::ocl_batch(&system, &p, 8).0),
         ("ocl overlap", gpu::ocl_overlap(&system, &p, 8, 4, 2).0),
-        ("spar+cuda", hybrid::run_spar_gpu::<CudaOffload>(&system, &p, 2, 8, 2)),
-        ("spar+opencl", hybrid::run_spar_gpu::<OclOffload>(&system, &p, 2, 8, 2)),
-        ("fastflow+cuda", hybrid::run_fastflow_gpu::<CudaOffload>(&system, &p, 2, 8, 1)),
-        ("fastflow+opencl", hybrid::run_fastflow_gpu::<OclOffload>(&system, &p, 2, 8, 1)),
-        ("tbb+cuda", hybrid::run_tbb_gpu::<CudaOffload>(&system, &p, &pool, 4, 8, 2)),
-        ("tbb+opencl", hybrid::run_tbb_gpu::<OclOffload>(&system, &p, &pool, 4, 8, 1)),
+        (
+            "spar+cuda",
+            hybrid::run_spar_gpu::<CudaOffload>(&system, &p, 2, 8, 2),
+        ),
+        (
+            "spar+opencl",
+            hybrid::run_spar_gpu::<OclOffload>(&system, &p, 2, 8, 2),
+        ),
+        (
+            "fastflow+cuda",
+            hybrid::run_fastflow_gpu::<CudaOffload>(&system, &p, 2, 8, 1),
+        ),
+        (
+            "fastflow+opencl",
+            hybrid::run_fastflow_gpu::<OclOffload>(&system, &p, 2, 8, 1),
+        ),
+        (
+            "tbb+cuda",
+            hybrid::run_tbb_gpu::<CudaOffload>(&system, &p, &pool, 4, 8, 2),
+        ),
+        (
+            "tbb+opencl",
+            hybrid::run_tbb_gpu::<OclOffload>(&system, &p, &pool, 4, 8, 1),
+        ),
     ];
     for (name, img) in versions {
-        assert_eq!(img.digest(), reference.digest(), "version '{name}' diverged");
+        assert_eq!(
+            img.digest(),
+            reference.digest(),
+            "version '{name}' diverged"
+        );
     }
 }
 

@@ -1,17 +1,15 @@
-//! Property-based tests over the core invariants, spanning crates.
-//!
-//! Case counts are kept modest (the CI box is a single core); each property
-//! still explores a meaningful slice of the input space and shrinks to
-//! minimal counterexamples on failure.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//! Randomized-but-deterministic tests over the core invariants, spanning
+//! crates. Each case is driven by the in-tree seeded generator
+//! ([`simtime::XorShift64`]): the build needs no registry access and a
+//! failure reproduces exactly from the printed seed. Case counts are kept
+//! modest (the CI box is a single core); each property still explores a
+//! meaningful slice of the input space.
 
 use hetstream::dedup::lzss::{decode_block, encode_block, LzssConfig};
 use hetstream::dedup::rabin::{chunk_starts, chunks, RabinParams};
 use hetstream::dedup::{sha1, Sha1};
 use hetstream::fastflow;
-use hetstream::simtime::{Server, Sim, SimDuration};
+use hetstream::simtime::{Server, Sim, SimDuration, XorShift64};
 
 fn small_rabin() -> RabinParams {
     RabinParams {
@@ -23,135 +21,214 @@ fn small_rabin() -> RabinParams {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Run `cases` deterministic cases, each with its own seeded generator.
+fn for_cases(cases: u64, mut f: impl FnMut(&mut XorShift64)) {
+    for case in 0..cases {
+        let mut rng = XorShift64::new(0xC0FFEE ^ case);
+        f(&mut rng);
+    }
+}
 
-    #[test]
-    fn lzss_roundtrips_any_input(data in vec(any::<u8>(), 0..4096)) {
-        let cfg = LzssConfig { window: 256, min_coded: 3 };
+#[test]
+fn lzss_roundtrips_any_input() {
+    for_cases(24, |rng| {
+        let data = {
+            let n = rng.range_usize(0, 4096);
+            rng.bytes(n)
+        };
+        let cfg = LzssConfig {
+            window: 256,
+            min_coded: 3,
+        };
         let enc = encode_block(&data, &cfg);
         let dec = decode_block(&enc, data.len(), &cfg).expect("roundtrip decodes");
-        prop_assert_eq!(dec, data);
-    }
+        assert_eq!(dec, data);
+    });
+}
 
-    #[test]
-    fn lzss_roundtrips_repetitive_input(
-        seed in vec(any::<u8>(), 1..32),
-        reps in 1usize..200,
-        window_pow in 6u32..12,
-    ) {
-        let data: Vec<u8> = seed.iter().cycle().take(seed.len() * reps).copied().collect();
-        let cfg = LzssConfig { window: 1 << window_pow, min_coded: 3 };
+#[test]
+fn lzss_roundtrips_repetitive_input() {
+    for_cases(24, |rng| {
+        let seed = {
+            let n = rng.range_usize(1, 32);
+            rng.bytes(n)
+        };
+        let reps = rng.range_usize(1, 200);
+        let window_pow = rng.range_u32(6, 12);
+        let data: Vec<u8> = seed
+            .iter()
+            .cycle()
+            .take(seed.len() * reps)
+            .copied()
+            .collect();
+        let cfg = LzssConfig {
+            window: 1 << window_pow,
+            min_coded: 3,
+        };
         let enc = encode_block(&data, &cfg);
         let dec = decode_block(&enc, data.len(), &cfg).expect("roundtrip decodes");
-        prop_assert_eq!(dec, data);
-    }
+        assert_eq!(dec, data);
+    });
+}
 
-    #[test]
-    fn lzss_never_expands_beyond_nine_eighths(data in vec(any::<u8>(), 0..2048)) {
-        let cfg = LzssConfig { window: 256, min_coded: 3 };
+#[test]
+fn lzss_never_expands_beyond_nine_eighths() {
+    for_cases(24, |rng| {
+        let data = {
+            let n = rng.range_usize(0, 2048);
+            rng.bytes(n)
+        };
+        let cfg = LzssConfig {
+            window: 256,
+            min_coded: 3,
+        };
         let enc = encode_block(&data, &cfg);
-        prop_assert!(enc.len() <= data.len() * 9 / 8 + 2);
-    }
+        assert!(enc.len() <= data.len() * 9 / 8 + 2);
+    });
+}
 
-    #[test]
-    fn rabin_chunks_tile_the_input(data in vec(any::<u8>(), 0..16384)) {
+#[test]
+fn rabin_chunks_tile_the_input() {
+    for_cases(24, |rng| {
+        let data = {
+            let n = rng.range_usize(0, 16384);
+            rng.bytes(n)
+        };
         let p = small_rabin();
         let starts = chunk_starts(&data, &p);
-        prop_assert_eq!(starts[0], 0);
-        prop_assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(starts[0], 0);
+        assert!(starts.windows(2).all(|w| w[0] < w[1]));
         let glued: Vec<u8> = chunks(&data, &starts).concat();
-        prop_assert_eq!(glued, data);
-    }
+        assert_eq!(glued, data);
+    });
+}
 
-    #[test]
-    fn rabin_respects_max_chunk(data in vec(any::<u8>(), 1024..8192)) {
+#[test]
+fn rabin_respects_max_chunk() {
+    for_cases(24, |rng| {
+        let data = {
+            let n = rng.range_usize(1024, 8192);
+            rng.bytes(n)
+        };
         let p = small_rabin();
         let starts = chunk_starts(&data, &p);
         for c in chunks(&data, &starts) {
-            prop_assert!(c.len() <= p.max_chunk);
+            assert!(c.len() <= p.max_chunk);
         }
-    }
+    });
+}
 
-    #[test]
-    fn sha1_incremental_equals_one_shot(
-        data in vec(any::<u8>(), 0..2048),
-        cut in 0usize..2048,
-    ) {
-        let cut = cut.min(data.len());
+#[test]
+fn sha1_incremental_equals_one_shot() {
+    for_cases(24, |rng| {
+        let data = {
+            let n = rng.range_usize(0, 2048);
+            rng.bytes(n)
+        };
+        let cut = rng.range_usize(0, 2048).min(data.len());
         let mut h = Sha1::new();
         h.update(&data[..cut]);
         h.update(&data[cut..]);
-        prop_assert_eq!(h.finalize(), sha1(&data));
-    }
+        assert_eq!(h.finalize(), sha1(&data));
+    });
+}
 
-    #[test]
-    fn ordered_farm_equals_sequential_map(
-        input in vec(any::<u64>(), 0..500),
-        workers in 1usize..6,
-    ) {
+#[test]
+fn ordered_farm_equals_sequential_map() {
+    for_cases(12, |rng| {
+        let input: Vec<u64> = (0..rng.range_usize(0, 500))
+            .map(|_| rng.next_u64())
+            .collect();
+        let workers = rng.range_usize(1, 6);
         let expected: Vec<u64> = input.iter().map(|x| x.wrapping_mul(31) ^ 7).collect();
         let got = fastflow::Pipeline::builder()
             .from_iter(input)
-            .farm_ordered(workers, |_| fastflow::node::map(|x: u64| x.wrapping_mul(31) ^ 7))
+            .farm_ordered(workers, |_| {
+                fastflow::node::map(|x: u64| x.wrapping_mul(31) ^ 7)
+            })
             .collect();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn spar_region_equals_sequential_loop(
-        input in vec(any::<u32>(), 0..300),
-        workers in 1usize..5,
-    ) {
+#[test]
+fn spar_region_equals_sequential_loop() {
+    for_cases(12, |rng| {
+        let input: Vec<u32> = (0..rng.range_usize(0, 300))
+            .map(|_| rng.next_u32())
+            .collect();
+        let workers = rng.range_usize(1, 5);
         let expected: Vec<u32> = input.iter().map(|x| x.rotate_left(3)).collect();
         let got = hetstream::spar::ToStream::new()
             .source_iter(input)
             .stage(workers, |x: u32| x.rotate_left(3))
             .collect();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn dedup_sequential_roundtrips_arbitrary_input(data in vec(any::<u8>(), 0..20000)) {
+#[test]
+fn dedup_sequential_roundtrips_arbitrary_input() {
+    for_cases(10, |rng| {
+        let data = {
+            let n = rng.range_usize(0, 20000);
+            rng.bytes(n)
+        };
         let cfg = hetstream::dedup::DedupConfig {
             batch_size: 4096,
             rabin: small_rabin(),
-            lzss: LzssConfig { window: 128, min_coded: 3 },
+            lzss: LzssConfig {
+                window: 128,
+                min_coded: 3,
+            },
         };
         let archive = hetstream::dedup::run_sequential(&data, &cfg);
-        prop_assert_eq!(archive.decompress().unwrap(), data.clone());
+        assert_eq!(archive.decompress().unwrap(), data.clone());
         // Serialization roundtrip too.
         let parsed = hetstream::dedup::Archive::from_bytes(&archive.to_bytes()).unwrap();
-        prop_assert_eq!(parsed, archive);
-    }
+        assert_eq!(parsed, archive);
+    });
+}
 
-    #[test]
-    fn des_single_server_time_is_sum_of_services(services in vec(1u64..1000, 1..50)) {
+#[test]
+fn des_single_server_time_is_sum_of_services() {
+    for_cases(24, |rng| {
+        let services: Vec<u64> = (0..rng.range_usize(1, 50))
+            .map(|_| rng.range_u64(1, 1000))
+            .collect();
         let mut sim = Sim::new();
         let srv = Server::new("s", 1);
         for &s in &services {
             srv.submit(&mut sim, SimDuration::from_nanos(s), |_| {});
         }
         let end = sim.run();
-        prop_assert_eq!(end.as_nanos(), services.iter().sum::<u64>());
-    }
+        assert_eq!(end.as_nanos(), services.iter().sum::<u64>());
+    });
+}
 
-    #[test]
-    fn des_infinite_server_time_is_max_of_services(services in vec(1u64..1000, 1..50)) {
+#[test]
+fn des_infinite_server_time_is_max_of_services() {
+    for_cases(24, |rng| {
+        let services: Vec<u64> = (0..rng.range_usize(1, 50))
+            .map(|_| rng.range_u64(1, 1000))
+            .collect();
         let mut sim = Sim::new();
         let srv = Server::new("s", 1000);
         for &s in &services {
             srv.submit(&mut sim, SimDuration::from_nanos(s), |_| {});
         }
         let end = sim.run();
-        prop_assert_eq!(end.as_nanos(), *services.iter().max().unwrap());
-    }
+        assert_eq!(end.as_nanos(), *services.iter().max().unwrap());
+    });
+}
 
-    #[test]
-    fn spsc_preserves_fifo_under_arbitrary_interleaving(
-        ops in vec(any::<bool>(), 1..400),
-    ) {
+#[test]
+fn spsc_preserves_fifo_under_arbitrary_interleaving() {
+    for_cases(24, |rng| {
         // true = push, false = pop; single-threaded model check.
+        let ops: Vec<bool> = (0..rng.range_usize(1, 400))
+            .map(|_| rng.chance(0.5))
+            .collect();
         let (p, c) = fastflow::spsc::ring::<u64>(8);
         let mut model: std::collections::VecDeque<u64> = Default::default();
         let mut next = 0u64;
@@ -159,35 +236,41 @@ proptest! {
             if op {
                 match p.try_push(next) {
                     Ok(()) => {
-                        prop_assert!(model.len() < 8);
+                        assert!(model.len() < 8);
                         model.push_back(next);
                     }
-                    Err(_) => prop_assert_eq!(model.len(), 8),
+                    Err(_) => assert_eq!(model.len(), 8),
                 }
                 next += 1;
             } else {
-                prop_assert_eq!(c.try_pop(), model.pop_front());
+                assert_eq!(c.try_pop(), model.pop_front());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn corrupted_archives_never_panic(
-        data in vec(any::<u8>(), 64..4096),
-        flip_byte in 0usize..4096,
-        flip_bit in 0u8..8,
-    ) {
+#[test]
+fn corrupted_archives_never_panic() {
+    for_cases(24, |rng| {
         // Compress, corrupt one bit anywhere in the serialized archive, and
         // require a clean outcome: parse error, decode error, or decoded
         // bytes — never a panic.
+        let data = {
+            let n = rng.range_usize(64, 4096);
+            rng.bytes(n)
+        };
         let cfg = hetstream::dedup::DedupConfig {
             batch_size: 1024,
             rabin: small_rabin(),
-            lzss: LzssConfig { window: 128, min_coded: 3 },
+            lzss: LzssConfig {
+                window: 128,
+                min_coded: 3,
+            },
         };
         let archive = hetstream::dedup::run_sequential(&data, &cfg);
         let mut bytes = archive.to_bytes();
-        let idx = flip_byte % bytes.len();
+        let idx = rng.range_usize(0, bytes.len());
+        let flip_bit = rng.range_u32(0, 8);
         bytes[idx] ^= 1 << flip_bit;
         match hetstream::dedup::Archive::from_bytes(&bytes) {
             Err(_) => {}
@@ -195,17 +278,19 @@ proptest! {
                 let _ = parsed.decompress(); // Ok or Err, both acceptable
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn mandel_color_is_within_bounds_and_monotone(niter in 1u32..10000, k in 0u32..10000) {
-        let k = k.min(niter);
+#[test]
+fn mandel_color_is_within_bounds_and_monotone() {
+    for_cases(200, |rng| {
+        let niter = rng.range_u32(1, 10000);
+        let k = rng.range_u32(0, 10000).min(niter);
         let c = hetstream::mandel::color(k, niter);
+        let _ = c;
         if k == 0 {
-            prop_assert_eq!(c, 255);
+            assert_eq!(hetstream::mandel::color(0, niter), 255);
         }
-        if k == niter {
-            prop_assert_eq!(c, 0);
-        }
-    }
+        assert_eq!(hetstream::mandel::color(niter, niter), 0);
+    });
 }

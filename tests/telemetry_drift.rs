@@ -1,0 +1,106 @@
+//! Model-vs-measured drift check (in its own test binary so the
+//! wall-clock measurement is not distorted by sibling tests running
+//! concurrently): run a real token-throttled TBB pipeline whose per-item
+//! filter costs are known spin-waits, and compare the per-filter
+//! utilization telemetry measures against what `perfmodel::pipe`
+//! predicts for the identical configuration.
+//!
+//! The pipeline runs with `max_live_tokens = 1` — the knob the paper
+//! tunes in §V-A — so exactly one item is in flight and the two filters
+//! never execute concurrently. That makes the measured utilization
+//! machine-independent (no core-count-dependent timesharing of
+//! overlapping stages skews the wall clock), which is what lets a single
+//! tolerance hold on a laptop and in CI alike. The model mirrors the
+//! configuration exactly: one token worker whose phases visit each
+//! serial filter as a capacity-1 server, so the model's
+//! `server_utilization` is the prediction for telemetry's per-filter
+//! `stage_utilization`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hetstream::perfmodel::pipe::{Phase, PipeModel};
+use hetstream::prelude::*;
+use hetstream::simtime::SimDuration;
+use hetstream::tbbx::{Pipeline, TaskPool};
+
+/// Burn CPU for `d` without sleeping, so filter service time is real
+/// work the scheduler cannot elide.
+fn spin_for(d: Duration) {
+    let t0 = Instant::now();
+    while t0.elapsed() < d {
+        std::hint::black_box(0u64);
+    }
+}
+
+#[test]
+fn measured_utilization_tracks_pipe_model_prediction() {
+    const N: usize = 60;
+    const FAST_US: u64 = 100;
+    const SLOW_US: u64 = 300;
+
+    // Measured side: source -> filter1 (100us) -> filter2 (300us) with a
+    // single live token.
+    let rec = Recorder::enabled();
+    let pool = Arc::new(TaskPool::new(2));
+    Pipeline::from_iter(0..N)
+        .serial_in_order(|i: usize| {
+            spin_for(Duration::from_micros(FAST_US));
+            i
+        })
+        .serial_in_order(|i: usize| {
+            spin_for(Duration::from_micros(SLOW_US));
+            i
+        })
+        .recorder(rec.clone())
+        .build()
+        .run(&pool, 1);
+    let report = rec.report();
+    assert_eq!(report.items_in("filter1"), N as u64);
+    assert_eq!(report.items_in("filter2"), N as u64);
+    let measured = report.stage_utilization();
+    let get = |name: &str| {
+        measured
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing measured stage {name}"))
+            .1
+    };
+
+    // Modeled side: one token worker; each serial filter is a
+    // capacity-1 server the token visits in order.
+    let mut model = PipeModel::new(N, |_| SimDuration::ZERO);
+    let s1 = model.add_server("filter1", 1);
+    let s2 = model.add_server("filter2", 1);
+    let run = model
+        .stage("tokens", 1, move |_| {
+            vec![
+                Phase::Resource {
+                    server: s1,
+                    dur: SimDuration::from_micros(FAST_US),
+                },
+                Phase::Resource {
+                    server: s2,
+                    dur: SimDuration::from_micros(SLOW_US),
+                },
+            ]
+        })
+        .run();
+    let predicted = [
+        ("filter1", run.server_utilization[s1]),
+        ("filter2", run.server_utilization[s2]),
+    ];
+
+    const TOL: f64 = 0.25;
+    for (name, p) in predicted {
+        let m = get(name);
+        assert!(
+            (m - p).abs() < TOL,
+            "{name}: measured utilization {m:.3} drifted from model {p:.3} (tol {TOL})"
+        );
+    }
+    // Both sides must identify the same bottleneck, roughly 3x busier
+    // than the fast filter.
+    assert!(get("filter2") > get("filter1"));
+    assert!(run.server_utilization[s2] > run.server_utilization[s1]);
+}

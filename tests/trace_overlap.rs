@@ -24,7 +24,10 @@ fn overlapped_driver_shows_engine_concurrency_in_the_trace() {
         overlapped > batch_overlap,
         "multi-space driver must overlap more: batch={batch_overlap:.3} overlap={overlapped:.3}"
     );
-    assert!(overlapped > 0.01, "some copies must hide under kernels: {overlapped:.3}");
+    assert!(
+        overlapped > 0.01,
+        "some copies must hide under kernels: {overlapped:.3}"
+    );
 
     // The renderer produces one row per engine plus an axis.
     let chart = render_timeline(&overlap_trace, 60);
