@@ -19,18 +19,23 @@ cargo build --workspace --release --offline
 echo "== cargo test =="
 cargo test --workspace --release --offline
 
-echo "== fig1 --tiny smoke (telemetry report must be produced) =="
+echo "== fig1 --tiny smoke (telemetry report + Perfetto trace must be produced) =="
 figdir="${CARGO_TARGET_DIR:-target}/figures"
-rm -f "$figdir/fig1_telemetry.json" "$figdir/fig1_telemetry.csv"
+rm -f "$figdir/fig1_telemetry.json" "$figdir/fig1_telemetry.csv" "$figdir/fig1.trace.json"
 cargo run --release --offline -p bench --bin fig1 -- --tiny
-for f in fig1.csv fig1_telemetry.json fig1_telemetry.csv; do
+for f in fig1.csv fig1_telemetry.json fig1_telemetry.csv fig1.trace.json; do
     if [[ ! -s "$figdir/$f" ]]; then
         echo "FAIL: expected $figdir/$f to exist and be non-empty" >&2
         exit 1
     fi
 done
 grep -q '"stages"' "$figdir/fig1_telemetry.json"
+grep -q '"e2e"' "$figdir/fig1_telemetry.json"
 grep -q '^stage,' "$figdir/fig1_telemetry.csv"
+grep -q '"traceEvents"' "$figdir/fig1.trace.json"
+
+echo "== disabled-probe overhead smoke (must stay branch-only) =="
+cargo test --release --offline --test probe_overhead -- --nocapture
 
 echo
 echo "ci.sh: all gates passed"

@@ -171,6 +171,21 @@ fn bench_telemetry(filter: &Option<String>) {
             enabled.items_out(1);
         }
     });
+    // End-to-end stamping: the disabled path must never read the clock.
+    let rec_off = Recorder::default();
+    let rec_on = Recorder::enabled();
+    bench(filter, "telemetry", "e2e_disabled_100k_items", 20, || {
+        for _ in 0..100_000 {
+            let emit = rec_off.stamp_ns();
+            rec_off.record_e2e(black_box(emit));
+        }
+    });
+    bench(filter, "telemetry", "e2e_enabled_100k_items", 20, || {
+        for _ in 0..100_000 {
+            let emit = rec_on.stamp_ns();
+            rec_on.record_e2e(black_box(emit));
+        }
+    });
 }
 
 fn bench_dedup_algorithms(filter: &Option<String>) {

@@ -133,6 +133,8 @@ fn main() {
     // whose replicated stage drives both GPUs through the unified Offload
     // surface — recorded stage-by-stage and merged with the device traces.
     let rec = Recorder::enabled();
+    let sampler = rec.sample_windows(std::time::Duration::from_millis(1));
+    let watchdog = rec.watchdog(std::time::Duration::from_millis(10), 5);
     let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
     let timg =
         mandel::hybrid::run_spar_gpu_rec::<CudaOffload>(&tsys, &params, 4, batch, 2, rec.clone());
@@ -141,6 +143,9 @@ fn main() {
         seq_img.digest(),
         "instrumented run: image differs from sequential render"
     );
+    sampler.stop();
+    // Stalls (if any) are printed by emit_telemetry; a healthy run has none.
+    let _ = watchdog.stop();
     emit_telemetry("fig1", &rec.report());
 
     if tiny {

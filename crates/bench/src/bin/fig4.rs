@@ -110,6 +110,8 @@ fn main() {
     // models fig1's telemetry (SPar + CUDA) does not cover — with stage
     // metrics and device traces on one merged timeline.
     let rec = Recorder::enabled();
+    let sampler = rec.sample_windows(std::time::Duration::from_millis(1));
+    let watchdog = rec.watchdog(std::time::Duration::from_millis(10), 5);
     let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
     let tparams = FractalParams::view(dim.min(256), niter.min(500));
     let timg = mandel::hybrid::run_fastflow_gpu_rec::<OclOffload>(
@@ -136,6 +138,9 @@ fn main() {
         2,
         trec.clone(),
     );
+    sampler.stop();
+    // Stalls (if any) are printed by emit_telemetry; a healthy run has none.
+    let _ = watchdog.stop();
     emit_telemetry("fig4", &rec.report());
     emit_telemetry("fig4_tbb", &trec.report());
 

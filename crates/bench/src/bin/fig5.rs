@@ -189,6 +189,8 @@ fn main() {
     // the 5-stage pipeline: stage metrics from the SPar region merged with
     // the two simulated devices' command traces.
     let rec = Recorder::enabled();
+    let sampler = rec.sample_windows(std::time::Duration::from_millis(1));
+    let watchdog = rec.watchdog(std::time::Duration::from_millis(10), 5);
     let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
     let ctx = BackendCtx::gpu(tsys, 2, true, cfg.lzss);
     let ds = datasets::parsec_like(size.min(400_000), 42);
@@ -204,6 +206,9 @@ fn main() {
         ds.data,
         "instrumented run: archive must decompress to the input"
     );
+    sampler.stop();
+    // Stalls (if any) are printed by emit_telemetry; a healthy run has none.
+    let _ = watchdog.stop();
     emit_telemetry("fig5", &rec.report());
 
     println!("\nShape checks (the paper's qualitative claims):");

@@ -113,11 +113,23 @@ pub fn figures_dir() -> PathBuf {
         .join("figures")
 }
 
-/// Print a telemetry report's merged CPU-stage / GPU-engine Gantt and
-/// write the full report under `target/figures/<name>_telemetry.{json,csv}`.
+/// Print a telemetry report's merged CPU-stage / GPU-engine Gantt plus the
+/// per-stage and end-to-end latency percentile table, report any stalls
+/// the watchdog flagged, write the full report under
+/// `target/figures/<name>_telemetry.{json,csv}`, and export a
+/// Perfetto-loadable Chrome trace as `<name>.trace.json` (directory
+/// overridable with `--trace-out <dir>`).
 pub fn emit_telemetry(name: &str, report: &telemetry::TelemetryReport) {
     println!("\n== merged stage/engine activity ({name}) ==");
     print!("{}", report.gantt(72));
+    println!("\n== service / end-to-end latency ({name}) ==");
+    print!("{}", report.latency_table());
+    if !report.stalls.is_empty() {
+        println!("\n== stalls detected ({name}) ==");
+        for e in &report.stalls {
+            println!("  {}", e.describe());
+        }
+    }
     let dir = figures_dir();
     if std::fs::create_dir_all(&dir).is_ok() {
         let json_path = dir.join(format!("{name}_telemetry.json"));
@@ -129,6 +141,19 @@ pub fn emit_telemetry(name: &str, report: &telemetry::TelemetryReport) {
                 "[telemetry written to {} and {}]",
                 json_path.display(),
                 csv_path.display()
+            );
+        }
+    }
+    let trace_dir = PathBuf::from(arg(
+        "--trace-out",
+        figures_dir().to_string_lossy().into_owned(),
+    ));
+    if std::fs::create_dir_all(&trace_dir).is_ok() {
+        let trace_path = trace_dir.join(format!("{name}.trace.json"));
+        if std::fs::write(&trace_path, report.to_chrome_trace()).is_ok() {
+            println!(
+                "[perfetto trace written to {} — load it at ui.perfetto.dev]",
+                trace_path.display()
             );
         }
     }

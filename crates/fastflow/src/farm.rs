@@ -15,6 +15,7 @@ use telemetry::{Recorder, StageHandle};
 use crate::channel::{channel, channel_with_recv_signal, Receiver, Sender};
 use crate::node::{Emitter, Node};
 use crate::pipeline::traced_recv;
+use crate::stamp::Stamped;
 use crate::wait::{Signal, WaitStrategy};
 
 /// How the emitter assigns items to workers.
@@ -54,14 +55,16 @@ impl Default for FarmConfig {
 }
 
 enum WorkerMsg<O> {
-    /// Outputs produced for input with this sequence number.
-    Item(u64, Vec<O>),
-    /// Outputs flushed by `on_eos`.
+    /// Outputs produced for the input with this sequence number, plus the
+    /// input's emit stamp (forwarded to the outputs).
+    Item(u64, u64, Vec<O>),
+    /// Outputs flushed by `on_eos` (untimed).
     Final(Vec<O>),
 }
 
 struct OrderedEntry<O> {
     seq: u64,
+    emit_ns: u64,
     outs: Vec<O>,
 }
 
@@ -85,11 +88,11 @@ impl<O> Ord for OrderedEntry<O> {
 /// Spawn a farm consuming `rx`; returns the merged output receiver plus the
 /// handles of all spawned threads (emitter + workers + collector).
 pub fn spawn_farm<N, F>(
-    rx: Receiver<N::In>,
+    rx: Receiver<Stamped<N::In>>,
     replicas: usize,
     factory: F,
     cfg: FarmConfig,
-) -> (Receiver<N::Out>, Vec<JoinHandle<()>>)
+) -> (Receiver<Stamped<N::Out>>, Vec<JoinHandle<()>>)
 where
     N: Node,
     F: FnMut(usize) -> N,
@@ -101,13 +104,13 @@ where
 /// [`telemetry::StageMetrics`] named `stage_name` under `rec`. With a
 /// disabled recorder this is exactly `spawn_farm`.
 pub fn spawn_farm_traced<N, F>(
-    rx: Receiver<N::In>,
+    rx: Receiver<Stamped<N::In>>,
     replicas: usize,
     mut factory: F,
     cfg: FarmConfig,
     rec: &Recorder,
     stage_name: &str,
-) -> (Receiver<N::Out>, Vec<JoinHandle<()>>)
+) -> (Receiver<Stamped<N::Out>>, Vec<JoinHandle<()>>)
 where
     N: Node,
     F: FnMut(usize) -> N,
@@ -119,7 +122,7 @@ where
     let mut to_workers = Vec::with_capacity(replicas);
     let mut worker_rxs = Vec::with_capacity(replicas);
     for _ in 0..replicas {
-        let (tx, rx) = channel::<(u64, N::In)>(cfg.capacity, cfg.wait);
+        let (tx, rx) = channel::<(u64, Stamped<N::In>)>(cfg.capacity, cfg.wait);
         to_workers.push(tx);
         worker_rxs.push(rx);
     }
@@ -164,7 +167,7 @@ where
     }
 
     // Collector thread.
-    let (out_tx, out_rx) = channel::<N::Out>(cfg.capacity, cfg.wait);
+    let (out_tx, out_rx) = channel::<Stamped<N::Out>>(cfg.capacity, cfg.wait);
     {
         let wait = cfg.wait;
         let ordered = cfg.ordered;
@@ -234,12 +237,13 @@ fn run_emitter<I: Send + 'static>(
 
 fn run_worker<N: Node>(
     node: &mut N,
-    rx: Receiver<(u64, N::In)>,
+    rx: Receiver<(u64, Stamped<N::In>)>,
     tx: Sender<WorkerMsg<N::Out>>,
     stage: StageHandle,
 ) {
     node.on_init();
-    while let Some((seq, item)) = traced_recv(&rx, &stage) {
+    while let Some((seq, stamped)) = traced_recv(&rx, &stage) {
+        let Stamped { item, emit_ns } = stamped;
         stage.item_in(rx.len());
         let mut outs = Vec::new();
         {
@@ -256,7 +260,7 @@ fn run_worker<N: Node>(
         if stage.enabled() && tx.free_slots() == 0 {
             stage.push_stall();
         }
-        if tx.send(WorkerMsg::Item(seq, outs)).is_err() {
+        if tx.send(WorkerMsg::Item(seq, emit_ns, outs)).is_err() {
             return; // collector gone
         }
     }
@@ -276,7 +280,7 @@ fn run_worker<N: Node>(
 
 fn run_collector<O: Send + 'static>(
     from_workers: Vec<Receiver<WorkerMsg<O>>>,
-    out_tx: Sender<O>,
+    out_tx: Sender<Stamped<O>>,
     signal: Arc<Signal>,
     wait: WaitStrategy,
     ordered: bool,
@@ -297,21 +301,21 @@ fn run_collector<O: Send + 'static>(
             while let Some(msg) = rx.try_recv() {
                 progressed = true;
                 match msg {
-                    WorkerMsg::Item(seq, outs) => {
+                    WorkerMsg::Item(seq, emit_ns, outs) => {
                         if ordered {
-                            heap.push(OrderedEntry { seq, outs });
+                            heap.push(OrderedEntry { seq, emit_ns, outs });
                             while heap.peek().is_some_and(|e| e.seq == next_seq) {
                                 let entry = heap.pop().expect("peeked");
                                 next_seq += 1;
                                 for v in entry.outs {
-                                    if out_tx.send(v).is_err() {
+                                    if out_tx.send(Stamped::at(v, entry.emit_ns)).is_err() {
                                         break 'outer;
                                     }
                                 }
                             }
                         } else {
                             for v in outs {
-                                if out_tx.send(v).is_err() {
+                                if out_tx.send(Stamped::at(v, emit_ns)).is_err() {
                                     break 'outer;
                                 }
                             }
@@ -350,13 +354,13 @@ fn run_collector<O: Send + 'static>(
         debug_assert_eq!(entry.seq, next_seq, "ordered farm missing sequence");
         next_seq += 1;
         for v in entry.outs {
-            if out_tx.send(v).is_err() {
+            if out_tx.send(Stamped::at(v, entry.emit_ns)).is_err() {
                 return;
             }
         }
     }
     for v in finals {
-        if out_tx.send(v).is_err() {
+        if out_tx.send(Stamped::bare(v)).is_err() {
             return;
         }
     }
@@ -369,15 +373,15 @@ mod tests {
     use crate::node;
 
     fn feed(values: Vec<u64>, cfg: FarmConfig, replicas: usize) -> Vec<u64> {
-        let (tx, rx) = channel::<u64>(cfg.capacity, cfg.wait);
+        let (tx, rx) = channel::<Stamped<u64>>(cfg.capacity, cfg.wait);
         let producer = thread::spawn(move || {
             for v in values {
-                tx.send(v).unwrap();
+                tx.send(Stamped::bare(v)).unwrap();
             }
         });
         let (out_rx, handles) =
             spawn_farm::<_, _>(rx, replicas, |_| node::map(|x: u64| x * 10), cfg);
-        let collected: Vec<u64> = out_rx.into_iter().collect();
+        let collected: Vec<u64> = out_rx.into_iter().map(Stamped::into_inner).collect();
         producer.join().unwrap();
         for h in handles {
             h.join().unwrap();
@@ -448,14 +452,14 @@ mod tests {
             ordered: true,
             ..FarmConfig::default()
         };
-        let (tx, rx) = channel::<u64>(16, cfg.wait);
+        let (tx, rx) = channel::<Stamped<u64>>(16, cfg.wait);
         let producer = thread::spawn(move || {
             for v in 0..10u64 {
-                tx.send(v).unwrap();
+                tx.send(Stamped::bare(v)).unwrap();
             }
         });
         let (out_rx, handles) = spawn_farm::<_, _>(rx, 2, |_| Counting { seen: 0 }, cfg);
-        let got: Vec<u64> = out_rx.into_iter().collect();
+        let got: Vec<u64> = out_rx.into_iter().map(Stamped::into_inner).collect();
         producer.join().unwrap();
         for h in handles {
             h.join().unwrap();
@@ -473,10 +477,10 @@ mod tests {
             ordered: true,
             ..FarmConfig::default()
         };
-        let (tx, rx) = channel::<u64>(16, cfg.wait);
+        let (tx, rx) = channel::<Stamped<u64>>(16, cfg.wait);
         let producer = thread::spawn(move || {
             for v in 0..20u64 {
-                tx.send(v).unwrap();
+                tx.send(Stamped::bare(v)).unwrap();
             }
         });
         let (out_rx, handles) = spawn_farm::<_, _>(
@@ -485,7 +489,7 @@ mod tests {
             |_| node::flat_map(|x: u64| vec![x * 2, x * 2 + 1]),
             cfg,
         );
-        let got: Vec<u64> = out_rx.into_iter().collect();
+        let got: Vec<u64> = out_rx.into_iter().map(Stamped::into_inner).collect();
         producer.join().unwrap();
         for h in handles {
             h.join().unwrap();
@@ -497,7 +501,7 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_replicas_panics() {
         let cfg = FarmConfig::default();
-        let (_tx, rx) = channel::<u64>(4, cfg.wait);
+        let (_tx, rx) = channel::<Stamped<u64>>(4, cfg.wait);
         let _ = spawn_farm::<_, _>(rx, 0, |_| node::map(|x: u64| x), cfg);
     }
 }

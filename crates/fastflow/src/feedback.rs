@@ -16,6 +16,7 @@ use telemetry::Recorder;
 
 use crate::channel::{channel, channel_with_recv_signal, Receiver};
 use crate::pipeline::traced_recv;
+use crate::stamp::Stamped;
 use crate::wait::{Signal, WaitStrategy};
 
 /// A feedback worker's verdict on one item.
@@ -30,12 +31,12 @@ pub enum Loop<T, U> {
 /// replicas until one returns [`Loop::Emit`]; results are unordered.
 /// Returns the output receiver and the spawned thread handles.
 pub fn spawn_feedback_farm<I, O, W, G>(
-    rx: Receiver<I>,
+    rx: Receiver<Stamped<I>>,
     replicas: usize,
     factory: G,
     capacity: usize,
     wait: WaitStrategy,
-) -> (Receiver<O>, Vec<JoinHandle<()>>)
+) -> (Receiver<Stamped<O>>, Vec<JoinHandle<()>>)
 where
     I: Send + 'static,
     O: Send + 'static,
@@ -59,14 +60,14 @@ where
 /// counts only emitted results, so `items_in - items_out` is the total
 /// number of feedback trips.
 pub fn spawn_feedback_farm_traced<I, O, W, G>(
-    rx: Receiver<I>,
+    rx: Receiver<Stamped<I>>,
     replicas: usize,
     mut factory: G,
     capacity: usize,
     wait: WaitStrategy,
     rec: &Recorder,
     stage_name: &str,
-) -> (Receiver<O>, Vec<JoinHandle<()>>)
+) -> (Receiver<Stamped<O>>, Vec<JoinHandle<()>>)
 where
     I: Send + 'static,
     O: Send + 'static,
@@ -81,20 +82,21 @@ where
     let mut to_workers = Vec::with_capacity(replicas);
     let mut worker_rxs = Vec::with_capacity(replicas);
     for _ in 0..replicas {
-        let (tx, w_rx) = channel::<I>(capacity, wait);
+        let (tx, w_rx) = channel::<Stamped<I>>(capacity, wait);
         to_workers.push(tx);
         worker_rxs.push(w_rx);
     }
     // Workers -> emitter (feedback) — a shared std::mpsc, since the
     // emitter is a single consumer and feedback volume is modest.
-    let (fb_tx, fb_rx) = mpsc::channel::<I>();
+    // Recycled items keep their original emit stamp across trips.
+    let (fb_tx, fb_rx) = mpsc::channel::<Stamped<I>>();
     // Workers -> collector.
     let collector_signal = Arc::new(Signal::new());
     let mut from_workers = Vec::with_capacity(replicas);
     let mut worker_txs = Vec::with_capacity(replicas);
     for _ in 0..replicas {
         let (tx, c_rx) =
-            channel_with_recv_signal::<O>(capacity, wait, Arc::clone(&collector_signal));
+            channel_with_recv_signal::<Stamped<O>>(capacity, wait, Arc::clone(&collector_signal));
         worker_txs.push(tx);
         from_workers.push(c_rx);
     }
@@ -161,14 +163,14 @@ where
             thread::Builder::new()
                 .name(format!("ff-fb-worker-{idx}"))
                 .spawn(move || {
-                    while let Some(item) = traced_recv(&w_rx, &stage) {
+                    while let Some(Stamped { item, emit_ns }) = traced_recv(&w_rx, &stage) {
                         stage.item_in(w_rx.len());
                         let span = stage.begin();
                         let verdict = f(item);
                         stage.end(span);
                         match verdict {
                             Loop::Recycle(back) => {
-                                if fb.send(back).is_err() {
+                                if fb.send(Stamped::at(back, emit_ns)).is_err() {
                                     return;
                                 }
                             }
@@ -178,7 +180,7 @@ where
                                 if stage.enabled() && c_tx.free_slots() == 0 {
                                     stage.push_stall();
                                 }
-                                if c_tx.send(out).is_err() {
+                                if c_tx.send(Stamped::at(out, emit_ns)).is_err() {
                                     return;
                                 }
                             }
@@ -191,7 +193,7 @@ where
     drop(fb_tx); // emitter's rx closes when all workers are done
 
     // Collector: merge unordered.
-    let (out_tx, out_rx) = channel::<O>(capacity, wait);
+    let (out_tx, out_rx) = channel::<Stamped<O>>(capacity, wait);
     handles.push(
         thread::Builder::new()
             .name("ff-fb-collector".into())
@@ -249,16 +251,16 @@ mod tests {
         W: FnMut(I) -> Loop<I, O> + Send + 'static,
         G: FnMut(usize) -> W,
     {
-        let (tx, rx) = channel::<I>(16, WaitStrategy::Block);
+        let (tx, rx) = channel::<Stamped<I>>(16, WaitStrategy::Block);
         let producer = thread::spawn(move || {
             for item in items {
-                if tx.send(item).is_err() {
+                if tx.send(Stamped::bare(item)).is_err() {
                     panic!("receiver dropped early");
                 }
             }
         });
         let (out_rx, handles) = spawn_feedback_farm(rx, replicas, factory, 16, WaitStrategy::Block);
-        let out: Vec<O> = out_rx.into_iter().collect();
+        let out: Vec<O> = out_rx.into_iter().map(Stamped::into_inner).collect();
         producer.join().unwrap();
         for h in handles {
             h.join().unwrap();

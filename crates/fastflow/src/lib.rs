@@ -33,6 +33,7 @@ pub mod feedback;
 pub mod node;
 pub mod pipeline;
 pub mod spsc;
+pub mod stamp;
 pub mod wait;
 
 pub use channel::{channel, Receiver, SendError, Sender, TrySendError};
@@ -40,6 +41,7 @@ pub use farm::{spawn_farm, spawn_farm_traced, FarmConfig, SchedPolicy};
 pub use feedback::{spawn_feedback_farm, spawn_feedback_farm_traced, Loop};
 pub use node::{Emitter, Node};
 pub use pipeline::{PipeConfig, Pipeline, PipelineBuilder, PipelineStart, PipelineThreads};
+pub use stamp::Stamped;
 pub use wait::{Signal, WaitStrategy};
 
 /// Alias kept for prelude ergonomics: a farm is configured via [`FarmConfig`].

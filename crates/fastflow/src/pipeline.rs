@@ -6,6 +6,7 @@
 //! stage sees EOS when its upstream channel closes and propagates it by
 //! dropping its own sender.
 
+use std::cell::Cell;
 use std::thread::{self, JoinHandle};
 
 use telemetry::{Recorder, StageHandle};
@@ -13,17 +14,22 @@ use telemetry::{Recorder, StageHandle};
 use crate::channel::{channel, Receiver, Sender};
 use crate::farm::{spawn_farm_traced, FarmConfig, SchedPolicy};
 use crate::node::{map, Emitter, Node};
+use crate::stamp::Stamped;
 use crate::wait::WaitStrategy;
 
-/// Wrap a channel sender into an Emitter-compatible sink that feeds stage
-/// telemetry: a send attempted against a full ring counts as a push stall,
-/// every delivered item bumps `items_out`.
-pub(crate) fn traced_sink<T: Send>(tx: Sender<T>, handle: StageHandle) -> impl FnMut(T) -> bool {
+/// Wrap a channel sender into an Emitter-compatible sink for a *source*
+/// stage: every fresh item is stamped with its emit instant (0 when
+/// telemetry is off — no clock read), a send attempted against a full ring
+/// counts as a push stall, and every delivered item bumps `items_out`.
+pub(crate) fn stamped_sink<T: Send>(
+    tx: Sender<Stamped<T>>,
+    handle: StageHandle,
+) -> impl FnMut(T) -> bool {
     move |item: T| {
         if handle.enabled() && tx.free_slots() == 0 {
             handle.push_stall();
         }
-        let ok = tx.send(item).is_ok();
+        let ok = tx.send(Stamped::at(item, handle.stamp_ns())).is_ok();
         if ok {
             handle.items_out(1);
         }
@@ -115,12 +121,12 @@ impl PipelineStart {
         T: Send + 'static,
         F: FnOnce(&mut Emitter<'_, T>) + Send + 'static,
     {
-        let (tx, rx) = channel::<T>(self.cfg.capacity, self.cfg.wait);
+        let (tx, rx) = channel::<Stamped<T>>(self.cfg.capacity, self.cfg.wait);
         let stage = self.rec.stage("source", 0);
         let handle = thread::Builder::new()
             .name("ff-source".into())
             .spawn(move || {
-                let mut sink = traced_sink(tx, stage);
+                let mut sink = stamped_sink(tx, stage);
                 let mut em = Emitter::new(&mut sink);
                 f(&mut em);
             })
@@ -151,12 +157,16 @@ impl PipelineStart {
 }
 
 /// Builder state carrying the output end of the graph built so far.
+///
+/// Internally every inter-stage channel transports [`Stamped<T>`] so the
+/// emit instant travels with each item; the public stage closures only
+/// ever see the bare `T`.
 pub struct PipelineBuilder<T: Send + 'static> {
     cfg: PipeConfig,
     rec: Recorder,
     /// Stages appended so far (for auto-generated stage names).
     stage_no: usize,
-    rx: Receiver<T>,
+    rx: Receiver<Stamped<T>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -171,7 +181,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     where
         N: Node<In = T>,
     {
-        let (tx, out_rx) = channel::<N::Out>(self.cfg.capacity, self.cfg.wait);
+        let (tx, out_rx) = channel::<Stamped<N::Out>>(self.cfg.capacity, self.cfg.wait);
         let name = self.next_stage_name();
         let stage = self.rec.stage(&name, 0);
         let rx = self.rx;
@@ -179,8 +189,21 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             .name("ff-stage".into())
             .spawn(move || {
                 node.on_init();
-                let mut sink = traced_sink(tx, stage.clone());
-                while let Some(item) = traced_recv(&rx, &stage) {
+                // Outputs inherit the emit stamp of the input being
+                // serviced; `on_eos` flushes are untimed.
+                let cur = Cell::new(0u64);
+                let mut sink = |out: N::Out| {
+                    if stage.enabled() && tx.free_slots() == 0 {
+                        stage.push_stall();
+                    }
+                    let ok = tx.send(Stamped::at(out, cur.get())).is_ok();
+                    if ok {
+                        stage.items_out(1);
+                    }
+                    ok
+                };
+                while let Some(Stamped { item, emit_ns }) = traced_recv(&rx, &stage) {
+                    cur.set(emit_ns);
                     stage.item_in(rx.len());
                     let mut em = Emitter::new(&mut sink);
                     let span = stage.begin();
@@ -190,6 +213,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
                         return;
                     }
                 }
+                cur.set(0);
                 let mut em = Emitter::new(&mut sink);
                 node.on_eos(&mut em);
             })
@@ -302,11 +326,12 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         F: FnMut(T),
     {
         let stage = self.rec.stage("sink", 0);
-        while let Some(item) = traced_recv(&self.rx, &stage) {
+        while let Some(Stamped { item, emit_ns }) = traced_recv(&self.rx, &stage) {
             stage.item_in(self.rx.len());
             let span = stage.begin();
             f(item);
             stage.end(span);
+            self.rec.record_e2e(emit_ns);
         }
         join_all(self.handles);
     }
@@ -315,8 +340,9 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     pub fn collect(self) -> Vec<T> {
         let stage = self.rec.stage("sink", 0);
         let mut out = Vec::new();
-        while let Some(item) = traced_recv(&self.rx, &stage) {
+        while let Some(Stamped { item, emit_ns }) = traced_recv(&self.rx, &stage) {
             stage.item_in(self.rx.len());
+            self.rec.record_e2e(emit_ns);
             out.push(item);
         }
         join_all(self.handles);
@@ -324,8 +350,10 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     }
 
     /// Hand the output stream to the caller; the returned guard joins the
-    /// stage threads when dropped (after the receiver is drained).
-    pub fn into_receiver(self) -> (Receiver<T>, PipelineThreads) {
+    /// stage threads when dropped (after the receiver is drained). Items
+    /// arrive wrapped in [`Stamped`] — the caller owns the sink, so it
+    /// also owns end-to-end accounting (`Recorder::record_e2e`).
+    pub fn into_receiver(self) -> (Receiver<Stamped<T>>, PipelineThreads) {
         (self.rx, PipelineThreads(self.handles))
     }
 }
@@ -456,7 +484,7 @@ mod tests {
             .into_receiver();
         let mut got = Vec::new();
         for _ in 0..5 {
-            got.push(rx.recv().unwrap());
+            got.push(rx.recv().unwrap().item);
         }
         drop(rx);
         threads.join(); // must not hang

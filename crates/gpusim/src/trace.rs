@@ -110,6 +110,7 @@ pub fn feed_recorder(rec: &telemetry::Recorder, device: usize, records: &[Comman
             device,
             engine: r.engine.name(),
             name: r.name.to_string(),
+            stream: r.stream,
             start_ns: r.start.as_nanos(),
             end_ns: r.end.as_nanos(),
         });

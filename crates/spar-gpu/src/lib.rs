@@ -19,6 +19,13 @@
 //!   promise;
 //! * work metering for the performance model (an optional cost function).
 //!
+//! Generated stages run on the instrumented [`fastflow`] runtime, so a
+//! [`telemetry::Recorder`] attached to the region (via
+//! `ToStream::recorder`) observes them like any hand-written stage:
+//! per-stage service-latency percentiles, item-level end-to-end latency
+//! from the source stamp to the sink, and watchdog stall detection all
+//! work unchanged on offloaded stages.
+//!
 //! # Example
 //!
 //! ```
@@ -390,6 +397,31 @@ mod tests {
                 assert_eq!(*a, b + 0.5);
             }
         }
+    }
+
+    #[test]
+    fn recorded_region_times_offloaded_items_end_to_end() {
+        let sys = system(2);
+        let rec = telemetry::Recorder::enabled();
+        let stage = GpuMap::new(sys, Api::Cuda, 2, |i, xs: &[f64]| xs[i] * 2.0);
+        let out: Vec<Vec<f64>> = spar::ToStream::new()
+            .recorder(rec.clone())
+            .source_iter(items(8, 300))
+            .stage_gpu_map(2, stage)
+            .collect();
+        assert_eq!(out.len(), 8);
+        // Every offloaded item is timed from the source stamp to the sink.
+        let e2e = rec.e2e_snapshot();
+        assert_eq!(e2e.count, 8);
+        assert!(e2e.p50_ns > 0 && e2e.p50_ns <= e2e.max_ns);
+        // The generated stage reports service-latency percentiles too.
+        let report = rec.report();
+        let (_, lat) = report
+            .stage_latency
+            .iter()
+            .find(|(name, _)| name == "stage1")
+            .expect("generated stage registers like a hand-written one");
+        assert_eq!(lat.count, 8);
     }
 
     #[test]

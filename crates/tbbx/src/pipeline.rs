@@ -44,8 +44,10 @@ struct SerialState {
     f: Box<dyn FnMut(Payload) -> Payload + Send>,
     busy: bool,
     next_seq: u64,
-    in_order_pending: BTreeMap<u64, Payload>,
-    any_order_pending: VecDeque<(u64, Payload)>,
+    // Parked tokens carry their emit stamp alongside the payload so
+    // end-to-end latency survives the wait behind a serial filter.
+    in_order_pending: BTreeMap<u64, (u64, Payload)>,
+    any_order_pending: VecDeque<(u64, u64, Payload)>,
 }
 
 struct SourceState {
@@ -57,6 +59,7 @@ struct SourceState {
 struct Exec {
     source: Mutex<SourceState>,
     src_stage: StageHandle,
+    rec: Recorder,
     filters: Vec<Filter>,
     live: AtomicUsize,
     max_live: usize,
@@ -78,6 +81,7 @@ pub struct PipelineBuilder<T> {
 pub struct Pipeline {
     source: SourceState,
     src_stage: StageHandle,
+    rec: Recorder,
     filters: Vec<Filter>,
 }
 
@@ -124,6 +128,7 @@ impl Pipeline {
         let exec = Arc::new(Exec {
             source: Mutex::new(self.source),
             src_stage: self.src_stage,
+            rec: self.rec,
             filters: self.filters,
             live: AtomicUsize::new(0),
             max_live: max_live_tokens,
@@ -223,6 +228,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
                     imp,
                 })
                 .collect(),
+            rec,
         }
     }
 
@@ -270,7 +276,8 @@ fn pump_source(exec: &Arc<Exec>) {
                         let seq = src.next_seq;
                         src.next_seq += 1;
                         exec.src_stage.items_out(1);
-                        Some((seq, p))
+                        // Stamp the token at emission (0 when disabled).
+                        Some((seq, exec.rec.stamp_ns(), p))
                     }
                     None => {
                         src.exhausted = true;
@@ -280,9 +287,10 @@ fn pump_source(exec: &Arc<Exec>) {
             }
         };
         match produced {
-            Some((seq, payload)) => {
+            Some((seq, emit_ns, payload)) => {
                 let exec2 = Arc::clone(exec);
-                exec.pool.spawn(move || advance(&exec2, 0, seq, payload));
+                exec.pool
+                    .spawn(move || advance(&exec2, 0, seq, emit_ns, payload));
             }
             None => {
                 // Give back the reserved slot and check for completion.
@@ -294,12 +302,12 @@ fn pump_source(exec: &Arc<Exec>) {
     }
 }
 
-/// Carry `payload` (token `seq`) from filter `idx` to the end, parking at
-/// busy/out-of-turn serial filters.
-fn advance(exec: &Arc<Exec>, mut idx: usize, seq: u64, mut payload: Payload) {
+/// Carry `payload` (token `seq`, stamped at `emit_ns`) from filter `idx`
+/// to the end, parking at busy/out-of-turn serial filters.
+fn advance(exec: &Arc<Exec>, mut idx: usize, seq: u64, emit_ns: u64, mut payload: Payload) {
     loop {
         let Some(filter) = exec.filters.get(idx) else {
-            finish_token(exec);
+            finish_token(exec, emit_ns);
             return;
         };
         match &filter.imp {
@@ -315,9 +323,9 @@ fn advance(exec: &Arc<Exec>, mut idx: usize, seq: u64, mut payload: Payload) {
                 let mut st = state.lock().unwrap();
                 if st.busy || (*in_order && seq != st.next_seq) {
                     if *in_order {
-                        st.in_order_pending.insert(seq, payload);
+                        st.in_order_pending.insert(seq, (emit_ns, payload));
                     } else {
-                        st.any_order_pending.push_back((seq, payload));
+                        st.any_order_pending.push_back((seq, emit_ns, payload));
                     }
                     // Parked behind the serial filter: the queue of pending
                     // tokens is this stage's input queue.
@@ -341,15 +349,15 @@ fn advance(exec: &Arc<Exec>, mut idx: usize, seq: u64, mut payload: Payload) {
                 }
                 let next = if *in_order {
                     let ns = st.next_seq;
-                    st.in_order_pending.remove(&ns).map(|p| (ns, p))
+                    st.in_order_pending.remove(&ns).map(|(e, p)| (ns, e, p))
                 } else {
                     st.any_order_pending.pop_front()
                 };
                 drop(st);
-                if let Some((nseq, npayload)) = next {
+                if let Some((nseq, nemit, npayload)) = next {
                     let exec2 = Arc::clone(exec);
                     exec.pool
-                        .spawn(move || advance(&exec2, idx, nseq, npayload));
+                        .spawn(move || advance(&exec2, idx, nseq, nemit, npayload));
                 }
                 payload = out;
                 idx += 1;
@@ -358,7 +366,9 @@ fn advance(exec: &Arc<Exec>, mut idx: usize, seq: u64, mut payload: Payload) {
     }
 }
 
-fn finish_token(exec: &Arc<Exec>) {
+fn finish_token(exec: &Arc<Exec>, emit_ns: u64) {
+    // The token retires here: close its end-to-end latency measurement.
+    exec.rec.record_e2e(emit_ns);
     exec.completed.fetch_add(1, Ordering::Relaxed);
     exec.live.fetch_sub(1, Ordering::AcqRel);
     let exhausted = exec.source.lock().unwrap().exhausted;

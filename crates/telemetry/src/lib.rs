@@ -1,4 +1,4 @@
-//! Stage-level observability for the hetstream runtimes.
+//! Stage-level and item-level observability for the hetstream runtimes.
 //!
 //! The paper argues with *structural* performance evidence — per-stage
 //! utilization, copy/compute overlap, queue backpressure (Fig. 3's
@@ -6,30 +6,46 @@
 //! show its work the way `gpusim::trace` already does for the devices:
 //!
 //! * [`StageMetrics`] — cheap atomic counters per stage replica: items
-//!   in/out, accumulated service time, push-stall and pop-wait counts and
-//!   the queue-depth high-water mark.
+//!   in/out, accumulated service time, push-stall and pop-wait counts, the
+//!   queue-depth high-water mark, and a wait-free service-latency
+//!   histogram ([`LatencyHisto`]).
 //! * [`Recorder`] — a cloneable handle the runtimes thread through their
 //!   builders. Disabled by default ([`Recorder::disabled`]); when enabled
-//!   it collects CPU stage spans and GPU engine spans into one
-//!   [`TelemetryReport`].
-//! * [`TelemetryReport`] — a snapshot that renders as JSON, CSV or a
-//!   merged text Gantt (CPU stages and GPU engines on one axis),
-//!   regenerating the paper's activity-graph evidence from a real run.
+//!   it collects CPU stage spans, GPU engine spans, end-to-end item
+//!   latencies and sampled per-item journeys into one [`TelemetryReport`].
+//! * [`ThroughputWindow`] / [`Watchdog`] — background monitors sampling
+//!   items/s + queue depths per tick, and flagging stages that stop making
+//!   progress while work is queued (a deadlock/livelock detector for the
+//!   farm and feedback topologies).
+//! * [`TelemetryReport`] — a snapshot that renders as JSON, CSV, a merged
+//!   text Gantt, a latency table, or a Chrome trace-event document
+//!   ([`TelemetryReport::to_chrome_trace`]) loadable in `ui.perfetto.dev`.
 //!
 //! Zero-cost discipline: every instrumentation call first branches on an
 //! `Option<Arc<_>>`; a disabled recorder performs no atomic operation and
-//! never reads the clock.
+//! never reads the clock. With an enabled recorder, per-item probes stay
+//! wait-free and allocation-free (histogram buckets are pre-allocated
+//! atomics; the per-item flow sample is a bounded atomic array) — the
+//! FastFlow TR's constraint that instrumentation must not be heavier than
+//! the lock-free queues it observes.
 //!
 //! Time bases: CPU spans are wall-clock nanoseconds since the recorder's
 //! creation. GPU spans come from `gpusim`'s *modeled* clock, which also
-//! starts at zero for a run. The merged Gantt therefore shows both on a
-//! shared axis whose unit is nanoseconds-since-run-start in each domain's
-//! own clock — exactly how Fig. 3 juxtaposes host threads and device
-//! engines.
+//! starts at zero for a run. The merged Gantt and the exported trace
+//! therefore show both on a shared axis whose unit is
+//! nanoseconds-since-run-start in each domain's own clock — exactly how
+//! Fig. 3 juxtaposes host threads and device engines.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+mod chrome;
+mod histo;
+mod monitor;
+
+pub use histo::{LatencyHisto, LatencySnapshot};
+pub use monitor::{ThroughputWindow, Watchdog};
 
 /// Maximum busy spans retained per stage before coalescing everything new
 /// into the last span. Bounds memory on long runs; the Gantt resolution
@@ -38,6 +54,13 @@ const MAX_SPANS: usize = 4096;
 
 /// Two adjacent busy spans closer than this gap (ns) merge into one.
 const COALESCE_GAP_NS: u64 = 20_000;
+
+/// Per-item journeys sampled for the exported trace's flow arrows.
+const FLOW_SAMPLES: usize = 512;
+
+/// Windowed time-series samples retained before the sampler stops
+/// appending (bounds memory on very long runs).
+const MAX_WINDOW_SAMPLES: usize = 4096;
 
 /// Counters for one stage replica.
 #[derive(Debug)]
@@ -51,8 +74,10 @@ pub struct StageMetrics {
     push_stalls: AtomicU64,
     pop_waits: AtomicU64,
     queue_hwm: AtomicU64,
+    queue_last: AtomicU64,
     first_ns: AtomicU64,
     last_ns: AtomicU64,
+    latency: LatencyHisto,
     spans: Mutex<Vec<(u64, u64)>>,
 }
 
@@ -68,8 +93,10 @@ impl StageMetrics {
             push_stalls: AtomicU64::new(0),
             pop_waits: AtomicU64::new(0),
             queue_hwm: AtomicU64::new(0),
+            queue_last: AtomicU64::new(0),
             first_ns: AtomicU64::new(u64::MAX),
             last_ns: AtomicU64::new(0),
+            latency: LatencyHisto::new(),
             spans: Mutex::new(Vec::new()),
         }
     }
@@ -90,6 +117,23 @@ impl StageMetrics {
         spans.push((start, end));
     }
 
+    // Live accessors for the background monitors (never on the hot path).
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+    pub(crate) fn replica(&self) -> usize {
+        self.replica
+    }
+    pub(crate) fn items_in_now(&self) -> u64 {
+        self.items_in.load(Ordering::Relaxed)
+    }
+    pub(crate) fn items_out_now(&self) -> u64 {
+        self.items_out.load(Ordering::Relaxed)
+    }
+    pub(crate) fn queue_depth_now(&self) -> u64 {
+        self.queue_last.load(Ordering::Relaxed)
+    }
+
     fn snapshot(&self) -> StageReport {
         StageReport {
             name: self.name.clone(),
@@ -102,6 +146,7 @@ impl StageMetrics {
             queue_hwm: self.queue_hwm.load(Ordering::Relaxed),
             first_ns: self.first_ns.load(Ordering::Relaxed),
             last_ns: self.last_ns.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
             spans: self.spans.lock().unwrap().clone(),
         }
     }
@@ -140,6 +185,7 @@ impl StageHandle {
         if let Some(m) = &self.0 {
             m.items_in.fetch_add(1, Ordering::Relaxed);
             m.queue_hwm.fetch_max(queue_depth as u64, Ordering::Relaxed);
+            m.queue_last.store(queue_depth as u64, Ordering::Relaxed);
         }
     }
 
@@ -167,6 +213,16 @@ impl StageHandle {
         }
     }
 
+    /// Current time in ns since the recorder epoch, or 0 when disabled —
+    /// the emit stamp a source attaches to items for end-to-end latency.
+    #[inline]
+    pub fn stamp_ns(&self) -> u64 {
+        match &self.0 {
+            Some(m) => m.now_ns(),
+            None => 0,
+        }
+    }
+
     /// Start timing one service invocation.
     #[inline]
     pub fn begin(&self) -> ServiceSpan {
@@ -174,6 +230,9 @@ impl StageHandle {
     }
 
     /// Finish timing one service invocation started with [`begin`].
+    ///
+    /// Also records the invocation into the stage's service-latency
+    /// histogram (wait-free, allocation-free).
     ///
     /// [`begin`]: StageHandle::begin
     #[inline]
@@ -183,6 +242,7 @@ impl StageHandle {
             m.service_ns.fetch_add(end - start, Ordering::Relaxed);
             m.first_ns.fetch_min(start, Ordering::Relaxed);
             m.last_ns.fetch_max(end, Ordering::Relaxed);
+            m.latency.record(end - start);
             m.push_span(start, end);
         }
     }
@@ -207,17 +267,64 @@ pub struct EngineSpan {
     pub engine: &'static str,
     /// Command name (kernel or copy description).
     pub name: String,
+    /// Stream the command was enqueued on.
+    pub stream: usize,
     /// Start, modeled ns.
     pub start_ns: u64,
     /// End, modeled ns.
     pub end_ns: u64,
 }
 
+/// Bounded wait-free sample of per-item journeys `(emit_ns, done_ns)` —
+/// the raw material for the exported trace's flow arrows.
 #[derive(Debug)]
-struct Inner {
-    epoch: Instant,
-    stages: Mutex<Vec<Arc<StageMetrics>>>,
+struct FlowBuf {
+    len: AtomicUsize,
+    slots: Box<[(AtomicU64, AtomicU64)]>,
+}
+
+impl FlowBuf {
+    fn new() -> Self {
+        FlowBuf {
+            len: AtomicUsize::new(0),
+            slots: (0..FLOW_SAMPLES)
+                .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn push(&self, emit_ns: u64, done_ns: u64) {
+        if self.len.load(Ordering::Relaxed) >= FLOW_SAMPLES {
+            return; // sample full — stop without unbounded growth
+        }
+        let i = self.len.fetch_add(1, Ordering::Relaxed);
+        if i < FLOW_SAMPLES {
+            self.slots[i].0.store(emit_ns, Ordering::Relaxed);
+            self.slots[i].1.store(done_ns, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> Vec<(u64, u64)> {
+        let n = self.len.load(Ordering::Relaxed).min(FLOW_SAMPLES);
+        self.slots[..n]
+            .iter()
+            .map(|(a, b)| (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed)))
+            .filter(|&(a, b)| !(a == 0 && b == 0))
+            .collect()
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Inner {
+    pub(crate) epoch: Instant,
+    pub(crate) stages: Mutex<Vec<Arc<StageMetrics>>>,
     gpu: Mutex<Vec<EngineSpan>>,
+    e2e: LatencyHisto,
+    flows: FlowBuf,
+    pub(crate) windows: Mutex<Vec<WindowSample>>,
+    pub(crate) stalls: Mutex<Vec<StallEvent>>,
 }
 
 /// The run-wide collector the runtimes thread through their builders.
@@ -237,6 +344,10 @@ impl Recorder {
                 epoch: Instant::now(),
                 stages: Mutex::new(Vec::new()),
                 gpu: Mutex::new(Vec::new()),
+                e2e: LatencyHisto::new(),
+                flows: FlowBuf::new(),
+                windows: Mutex::new(Vec::new()),
+                stalls: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -272,22 +383,98 @@ impl Recorder {
         }
     }
 
+    /// Current time in ns since the recorder epoch, or 0 when disabled —
+    /// what sources without a [`StageHandle`] stamp items with.
+    #[inline]
+    pub fn stamp_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Record one item's end-to-end latency from its emit stamp (taken
+    /// with [`stamp_ns`](Self::stamp_ns) at the source) to now, at the
+    /// collector. No-op when disabled or when the item is unstamped
+    /// (`emit_ns == 0`). Wait-free and allocation-free.
+    #[inline]
+    pub fn record_e2e(&self, emit_ns: u64) {
+        if let Some(inner) = &self.inner {
+            if emit_ns != 0 {
+                let now = inner.epoch.elapsed().as_nanos() as u64;
+                inner.e2e.record(now.saturating_sub(emit_ns));
+                inner.flows.push(emit_ns, now);
+            }
+        }
+    }
+
+    /// End-to-end latency percentiles of everything recorded so far.
+    pub fn e2e_snapshot(&self) -> LatencySnapshot {
+        match &self.inner {
+            None => LatencySnapshot::default(),
+            Some(inner) => inner.e2e.snapshot(),
+        }
+    }
+
+    /// Start the windowed throughput sampler: every `tick` it snapshots
+    /// cumulative `items_out` and the observed input-queue depth of every
+    /// stage replica into the report's time-series (capped at
+    /// `MAX_WINDOW_SAMPLES`). Returns an inert guard when disabled.
+    pub fn sample_windows(&self, tick: Duration) -> ThroughputWindow {
+        match &self.inner {
+            None => ThroughputWindow::inert(),
+            Some(inner) => ThroughputWindow::start(Arc::clone(inner), tick),
+        }
+    }
+
+    /// Start the stall watchdog: flags any stage replica whose `items_out`
+    /// does not advance for `stall_ticks` consecutive ticks while upstream
+    /// has queued work for it. Returns an inert guard when disabled.
+    pub fn watchdog(&self, tick: Duration, stall_ticks: u32) -> Watchdog {
+        match &self.inner {
+            None => Watchdog::inert(),
+            Some(inner) => Watchdog::start(Arc::clone(inner), tick, stall_ticks),
+        }
+    }
+
+    pub(crate) fn window_sample_cap() -> usize {
+        MAX_WINDOW_SAMPLES
+    }
+
     /// Snapshot everything collected so far.
     pub fn report(&self) -> TelemetryReport {
         match &self.inner {
             None => TelemetryReport::default(),
             Some(inner) => {
-                let mut stages: Vec<StageReport> = inner
-                    .stages
-                    .lock()
-                    .unwrap()
-                    .iter()
-                    .map(|m| m.snapshot())
-                    .collect();
+                let metrics = inner.stages.lock().unwrap().clone();
+                let mut stages: Vec<StageReport> = metrics.iter().map(|m| m.snapshot()).collect();
                 stages.sort_by(|a, b| a.name.cmp(&b.name).then(a.replica.cmp(&b.replica)));
                 let mut gpu = inner.gpu.lock().unwrap().clone();
                 gpu.sort_by_key(|s| (s.device, s.engine, s.start_ns));
-                TelemetryReport { stages, gpu }
+                // Merge replicas' histograms per stage name so percentiles
+                // aggregate over raw buckets, not over per-replica
+                // percentiles (which would be statistically wrong).
+                let mut names: Vec<String> = stages.iter().map(|s| s.name.clone()).collect();
+                names.dedup();
+                let stage_latency = names
+                    .into_iter()
+                    .map(|name| {
+                        let mut counts = histo::HistoCounts::new();
+                        for m in metrics.iter().filter(|m| m.name == name) {
+                            counts.add(&m.latency);
+                        }
+                        (name, counts.snapshot())
+                    })
+                    .collect();
+                TelemetryReport {
+                    stages,
+                    gpu,
+                    stage_latency,
+                    e2e: inner.e2e.snapshot(),
+                    flows: inner.flows.snapshot(),
+                    windows: inner.windows.lock().unwrap().clone(),
+                    stalls: inner.stalls.lock().unwrap().clone(),
+                }
             }
         }
     }
@@ -316,17 +503,93 @@ pub struct StageReport {
     pub first_ns: u64,
     /// Last observed activity, ns since run start.
     pub last_ns: u64,
+    /// This replica's service-latency percentiles.
+    pub latency: LatencySnapshot,
     /// Coalesced busy intervals for the Gantt.
     pub spans: Vec<(u64, u64)>,
 }
 
-/// A full run snapshot: CPU stage counters plus GPU engine spans.
+/// One windowed time-series sample of a stage replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageWindow {
+    /// Stage name.
+    pub name: String,
+    /// Replica index.
+    pub replica: usize,
+    /// Cumulative items pushed downstream at sample time (differentiate
+    /// adjacent samples for items/s).
+    pub items_out: u64,
+    /// Input-queue depth the replica last observed.
+    pub queue_depth: u64,
+}
+
+/// One tick of the windowed throughput sampler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Sample time, ns since the recorder epoch.
+    pub t_ns: u64,
+    /// Per-replica counters at this instant.
+    pub stages: Vec<StageWindow>,
+}
+
+/// Structured report of one detected stage stall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallEvent {
+    /// Detection time, ns since the recorder epoch.
+    pub t_ns: u64,
+    /// Stalled stage name.
+    pub stage: String,
+    /// Stalled replica index.
+    pub replica: usize,
+    /// Consecutive watchdog ticks without `items_out` progress.
+    pub ticks_stalled: u32,
+    /// Items the replica had consumed when flagged.
+    pub items_in: u64,
+    /// Items the replica had produced when flagged.
+    pub items_out: u64,
+    /// Items the upstream stage group had emitted when flagged.
+    pub upstream_out: u64,
+    /// Input-queue depth the replica last observed.
+    pub queue_depth: u64,
+}
+
+impl StallEvent {
+    /// One-line rendering for logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "stall: stage {}/{} made no progress for {} ticks at t={}ns \
+             (in={} out={} upstream_out={} queue={})",
+            self.stage,
+            self.replica,
+            self.ticks_stalled,
+            self.t_ns,
+            self.items_in,
+            self.items_out,
+            self.upstream_out,
+            self.queue_depth
+        )
+    }
+}
+
+/// A full run snapshot: CPU stage counters plus GPU engine spans, latency
+/// distributions, the windowed time-series and any stall events.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetryReport {
     /// Per-replica stage counters, sorted by (name, replica).
     pub stages: Vec<StageReport>,
     /// GPU engine busy intervals, sorted by (device, engine, start).
     pub gpu: Vec<EngineSpan>,
+    /// Service-latency percentiles per stage name (replica histograms
+    /// merged at the bucket level).
+    pub stage_latency: Vec<(String, LatencySnapshot)>,
+    /// End-to-end (source emit → collector) latency percentiles.
+    pub e2e: LatencySnapshot,
+    /// Sampled per-item journeys `(emit_ns, done_ns)` for trace arrows.
+    pub flows: Vec<(u64, u64)>,
+    /// Windowed throughput/queue-depth time-series.
+    pub windows: Vec<WindowSample>,
+    /// Stalls the watchdog reported.
+    pub stalls: Vec<StallEvent>,
 }
 
 impl TelemetryReport {
@@ -340,22 +603,20 @@ impl TelemetryReport {
         self.gpu.iter().map(|s| s.end_ns).max().unwrap_or(0)
     }
 
+    /// All replicas of `stage`, in replica order — the one lookup the
+    /// aggregate accessors below share.
+    pub fn replicas_of<'a>(&'a self, stage: &'a str) -> impl Iterator<Item = &'a StageReport> {
+        self.stages.iter().filter(move |s| s.name == stage)
+    }
+
     /// Total items into all replicas of `stage`.
     pub fn items_in(&self, stage: &str) -> u64 {
-        self.stages
-            .iter()
-            .filter(|s| s.name == stage)
-            .map(|s| s.items_in)
-            .sum()
+        self.replicas_of(stage).map(|s| s.items_in).sum()
     }
 
     /// Total items out of all replicas of `stage`.
     pub fn items_out(&self, stage: &str) -> u64 {
-        self.stages
-            .iter()
-            .filter(|s| s.name == stage)
-            .map(|s| s.items_out)
-            .sum()
+        self.replicas_of(stage).map(|s| s.items_out).sum()
     }
 
     /// Distinct stage names in registration-independent (sorted) order.
@@ -374,9 +635,7 @@ impl TelemetryReport {
             .into_iter()
             .map(|name| {
                 let (busy, replicas) = self
-                    .stages
-                    .iter()
-                    .filter(|s| s.name == name)
+                    .replicas_of(&name)
                     .fold((0u64, 0usize), |(b, r), s| (b + s.service_ns, r + 1));
                 let u = busy as f64 / (replicas.max(1) as f64 * makespan);
                 (name, u)
@@ -384,10 +643,70 @@ impl TelemetryReport {
             .collect()
     }
 
+    /// Aligned text table of per-stage service latency and end-to-end
+    /// latency percentiles — what the fig binaries print.
+    pub fn latency_table(&self) -> String {
+        fn fmt(ns: u64) -> String {
+            if ns >= 10_000_000 {
+                format!("{:.1}ms", ns as f64 / 1e6)
+            } else if ns >= 10_000 {
+                format!("{:.1}us", ns as f64 / 1e3)
+            } else {
+                format!("{ns}ns")
+            }
+        }
+        let mut rows: Vec<[String; 7]> = Vec::new();
+        for (name, l) in &self.stage_latency {
+            rows.push([
+                name.clone(),
+                l.count.to_string(),
+                fmt(l.p50_ns),
+                fmt(l.p90_ns),
+                fmt(l.p95_ns),
+                fmt(l.p99_ns),
+                fmt(l.max_ns),
+            ]);
+        }
+        if self.e2e.count > 0 {
+            let l = &self.e2e;
+            rows.push([
+                "end-to-end".into(),
+                l.count.to_string(),
+                fmt(l.p50_ns),
+                fmt(l.p90_ns),
+                fmt(l.p95_ns),
+                fmt(l.p99_ns),
+                fmt(l.max_ns),
+            ]);
+        }
+        if rows.is_empty() {
+            return String::from("(no latency samples recorded)\n");
+        }
+        let header = ["stage", "count", "p50", "p90", "p95", "p99", "max"];
+        let mut w = header.map(|h| h.len());
+        for r in &rows {
+            for (i, c) in r.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in header.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", h, width = w[i]));
+        }
+        out.push('\n');
+        for r in &rows {
+            for (i, c) in r.iter().enumerate() {
+                out.push_str(&format!("{:>width$}  ", c, width = w[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
     /// CSV with one row per stage replica, then one per GPU span group.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "kind,name,replica,items_in,items_out,service_ns,push_stalls,pop_waits,queue_hwm,first_ns,last_ns\n",
+            "kind,name,replica,items_in,items_out,service_ns,push_stalls,pop_waits,queue_hwm,first_ns,last_ns,p50_ns,p95_ns,p99_ns,max_ns\n",
         );
         for s in &self.stages {
             let first = if s.first_ns == u64::MAX {
@@ -396,7 +715,7 @@ impl TelemetryReport {
                 s.first_ns
             };
             out.push_str(&format!(
-                "stage,{},{},{},{},{},{},{},{},{},{}\n",
+                "stage,{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.name,
                 s.replica,
                 s.items_in,
@@ -406,7 +725,11 @@ impl TelemetryReport {
                 s.pop_waits,
                 s.queue_hwm,
                 first,
-                s.last_ns
+                s.last_ns,
+                s.latency.p50_ns,
+                s.latency.p95_ns,
+                s.latency.p99_ns,
+                s.latency.max_ns
             ));
         }
         // GPU engines aggregate to one row per (device, engine).
@@ -424,7 +747,7 @@ impl TelemetryReport {
             let first = spans.iter().map(|g| g.start_ns).min().unwrap_or(0);
             let last = spans.iter().map(|g| g.end_ns).max().unwrap_or(0);
             out.push_str(&format!(
-                "gpu,dev{device}-{engine},0,{},{},{busy},0,0,0,{first},{last}\n",
+                "gpu,dev{device}-{engine},0,{},{},{busy},0,0,0,{first},{last},0,0,0,0\n",
                 spans.len(),
                 spans.len(),
             ));
@@ -437,6 +760,13 @@ impl TelemetryReport {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
+        fn latency_json(l: &LatencySnapshot) -> String {
+            format!(
+                "{{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                 \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                l.count, l.mean_ns, l.p50_ns, l.p90_ns, l.p95_ns, l.p99_ns, l.max_ns
+            )
+        }
         let mut out = String::from("{\n  \"stages\": [\n");
         for (i, s) in self.stages.iter().enumerate() {
             let first = if s.first_ns == u64::MAX {
@@ -447,7 +777,7 @@ impl TelemetryReport {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"replica\": {}, \"items_in\": {}, \"items_out\": {}, \
                  \"service_ns\": {}, \"push_stalls\": {}, \"pop_waits\": {}, \"queue_hwm\": {}, \
-                 \"first_ns\": {}, \"last_ns\": {}}}{}\n",
+                 \"first_ns\": {}, \"last_ns\": {}, \"latency\": {}}}{}\n",
                 esc(&s.name),
                 s.replica,
                 s.items_in,
@@ -458,20 +788,73 @@ impl TelemetryReport {
                 s.queue_hwm,
                 first,
                 s.last_ns,
+                latency_json(&s.latency),
                 if i + 1 < self.stages.len() { "," } else { "" }
             ));
         }
         out.push_str("  ],\n  \"gpu\": [\n");
         for (i, g) in self.gpu.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"device\": {}, \"engine\": \"{}\", \"name\": \"{}\", \
+                "    {{\"device\": {}, \"engine\": \"{}\", \"name\": \"{}\", \"stream\": {}, \
                  \"start_ns\": {}, \"end_ns\": {}}}{}\n",
                 g.device,
                 g.engine,
                 esc(&g.name),
+                g.stream,
                 g.start_ns,
                 g.end_ns,
                 if i + 1 < self.gpu.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"stage_latency\": {");
+        for (i, (name, l)) in self.stage_latency.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{}\": {}{}",
+                esc(name),
+                latency_json(l),
+                if i + 1 < self.stage_latency.len() {
+                    ", "
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!("  \"e2e\": {},\n", latency_json(&self.e2e)));
+        out.push_str("  \"stalls\": [\n");
+        for (i, e) in self.stalls.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"t_ns\": {}, \"stage\": \"{}\", \"replica\": {}, \"ticks_stalled\": {}, \
+                 \"items_in\": {}, \"items_out\": {}, \"upstream_out\": {}, \"queue_depth\": {}}}{}\n",
+                e.t_ns,
+                esc(&e.stage),
+                e.replica,
+                e.ticks_stalled,
+                e.items_in,
+                e.items_out,
+                e.upstream_out,
+                e.queue_depth,
+                if i + 1 < self.stalls.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"windows\": [\n");
+        for (i, wdw) in self.windows.iter().enumerate() {
+            out.push_str(&format!("    {{\"t_ns\": {}, \"stages\": [", wdw.t_ns));
+            for (j, s) in wdw.stages.iter().enumerate() {
+                out.push_str(&format!(
+                    "{{\"name\": \"{}\", \"replica\": {}, \"items_out\": {}, \"queue_depth\": {}}}{}",
+                    esc(&s.name),
+                    s.replica,
+                    s.items_out,
+                    s.queue_depth,
+                    if j + 1 < wdw.stages.len() { ", " } else { "" }
+                ));
+            }
+            out.push_str(&format!(
+                "]}}{}\n",
+                if i + 1 < self.windows.len() { "," } else { "" }
             ));
         }
         out.push_str("  ],\n");
@@ -492,9 +875,12 @@ impl TelemetryReport {
     /// Merged text Gantt: one row per CPU stage replica, one per GPU
     /// (device, engine). `#` marks busy cells, `.` idle; the axis spans
     /// from 0 to the latest activity in either clock domain.
+    ///
+    /// A `width` of 0 is clamped up, and a run with no recorded activity
+    /// (zero-duration horizon) renders a placeholder instead of dividing
+    /// by the makespan.
     pub fn gantt(&self, width: usize) -> String {
         let width = width.max(8);
-        let horizon = self.cpu_makespan_ns().max(self.gpu_makespan_ns()).max(1);
         let mut rows: Vec<(String, Vec<(u64, u64)>)> = Vec::new();
         for s in &self.stages {
             rows.push((format!("{}/{}", s.name, s.replica), s.spans.clone()));
@@ -511,6 +897,12 @@ impl TelemetryReport {
                 .map(|g| (g.start_ns, g.end_ns))
                 .collect();
             rows.push((format!("gpu{device}/{engine}"), spans));
+        }
+        let horizon = self.cpu_makespan_ns().max(self.gpu_makespan_ns());
+        if rows.is_empty() || horizon == 0 {
+            // Zero-duration run (or nothing registered): nothing to scale
+            // spans against — never divide by this horizon.
+            return String::from("(no recorded activity)\n");
         }
         let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(4).max(4);
         let mut out = String::new();
@@ -551,9 +943,13 @@ mod tests {
         let t = h.begin();
         h.end(t);
         h.items_out(3);
+        assert_eq!(h.stamp_ns(), 0);
+        assert_eq!(rec.stamp_ns(), 0);
+        rec.record_e2e(12345);
         let report = rec.report();
         assert!(report.stages.is_empty());
         assert!(report.gpu.is_empty());
+        assert_eq!(report.e2e.count, 0);
         assert_eq!(report.cpu_makespan_ns(), 0);
     }
 
@@ -576,6 +972,7 @@ mod tests {
         let r0 = &report.stages[0];
         assert_eq!((r0.name.as_str(), r0.replica), ("work", 0));
         assert_eq!(r0.queue_hwm, 2);
+        assert_eq!(r0.latency.count, 3);
         let r1 = &report.stages[1];
         assert_eq!(r1.pop_waits, 1);
         assert_eq!(r1.push_stalls, 1);
@@ -595,6 +992,27 @@ mod tests {
         assert!(r.service_ns >= 100 * 50_000, "service {}", r.service_ns);
         assert!(r.spans.len() <= MAX_SPANS);
         assert!(r.first_ns < r.last_ns);
+        // The per-stage latency histogram saw every invocation.
+        assert_eq!(r.latency.count, 100);
+        assert!(r.latency.p50_ns >= 50_000, "p50 {}", r.latency.p50_ns);
+    }
+
+    #[test]
+    fn e2e_latency_flows_from_stamp_to_collector() {
+        let rec = Recorder::enabled();
+        let src = rec.stage("source", 0);
+        for _ in 0..10 {
+            let stamp = src.stamp_ns();
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            rec.record_e2e(stamp);
+        }
+        let report = rec.report();
+        assert_eq!(report.e2e.count, 10);
+        assert!(report.e2e.p50_ns >= 200_000, "p50 {}", report.e2e.p50_ns);
+        assert!(!report.flows.is_empty());
+        for &(emit, done) in &report.flows {
+            assert!(done >= emit);
+        }
     }
 
     #[test]
@@ -608,6 +1026,7 @@ mod tests {
             device: 0,
             engine: "compute",
             name: "k".into(),
+            stream: 0,
             start_ns: 0,
             end_ns: 500,
         });
@@ -615,6 +1034,8 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"alpha\""));
         assert!(json.contains("\"compute\""));
+        assert!(json.contains("\"stage_latency\""));
+        assert!(json.contains("\"e2e\""));
         let csv = report.to_csv();
         assert!(csv.lines().count() >= 3);
         assert!(csv.contains("stage,alpha,0,1,1,"));
@@ -623,6 +1044,27 @@ mod tests {
         assert!(gantt.contains("alpha/0"));
         assert!(gantt.contains("gpu0/compute"));
         assert!(gantt.contains('#'));
+        let table = report.latency_table();
+        assert!(table.contains("alpha"));
+        assert!(table.contains("p99"));
+    }
+
+    #[test]
+    fn gantt_guards_zero_duration_and_zero_width() {
+        // Nothing recorded at all.
+        let empty = TelemetryReport::default();
+        assert_eq!(empty.gantt(0), "(no recorded activity)\n");
+        // A stage registered but never active: horizon is zero.
+        let rec = Recorder::enabled();
+        let _h = rec.stage("s", 0);
+        let report = rec.report();
+        assert_eq!(report.gantt(40), "(no recorded activity)\n");
+        // width == 0 with real activity must not panic and still renders.
+        let rec = Recorder::enabled();
+        let h = rec.stage("s", 0);
+        h.service(|| std::thread::sleep(std::time::Duration::from_micros(100)));
+        let g = rec.report().gantt(0);
+        assert!(g.contains("s/0"));
     }
 
     #[test]
@@ -638,5 +1080,82 @@ mod tests {
         // The single stage was busy from its first to its last instant.
         assert!(util[0].1 > 0.5, "util {}", util[0].1);
         assert!(util[0].1 <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn window_sampler_collects_time_series() {
+        let rec = Recorder::enabled();
+        let h = rec.stage("s", 0);
+        let sampler = rec.sample_windows(Duration::from_millis(2));
+        for i in 0..20 {
+            h.item_in(i % 4);
+            h.items_out(1);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sampler.stop();
+        let report = rec.report();
+        assert!(
+            report.windows.len() >= 2,
+            "expected samples, got {}",
+            report.windows.len()
+        );
+        let last = report.windows.last().unwrap();
+        assert_eq!(last.stages.len(), 1);
+        assert!(last.stages[0].items_out > 0);
+        // Cumulative counters are monotone across samples.
+        let mut prev = 0;
+        for w in &report.windows {
+            assert!(w.stages[0].items_out >= prev);
+            prev = w.stages[0].items_out;
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"windows\""));
+    }
+
+    #[test]
+    fn watchdog_is_quiet_on_healthy_progress() {
+        let rec = Recorder::enabled();
+        let src = rec.stage("source", 0);
+        let work = rec.stage("work", 0);
+        let wd = rec.watchdog(Duration::from_millis(2), 2);
+        for _ in 0..25 {
+            src.items_out(1);
+            work.item_in(0);
+            work.items_out(1);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stalls = wd.stop();
+        assert!(stalls.is_empty(), "unexpected stalls: {stalls:?}");
+    }
+
+    #[test]
+    fn watchdog_flags_stage_sitting_on_queued_work() {
+        let rec = Recorder::enabled();
+        let src = rec.stage("source", 0);
+        let work = rec.stage("work", 0);
+        let wd = rec.watchdog(Duration::from_millis(2), 3);
+        // Source emits, "work" consumes nothing: queued work, no progress.
+        src.items_out(10);
+        work.item_in(5); // consumed one, queue depth 5 observed
+        std::thread::sleep(Duration::from_millis(40));
+        let stalls = wd.stop();
+        assert!(!stalls.is_empty(), "watchdog missed the stall");
+        let e = &stalls[0];
+        assert_eq!(e.stage, "work");
+        assert_eq!(e.upstream_out, 10);
+        assert!(e.ticks_stalled >= 3);
+        assert!(e.describe().contains("work/0"));
+        // One event per episode, not one per tick.
+        assert_eq!(stalls.len(), 1);
+    }
+
+    #[test]
+    fn disabled_monitors_are_inert() {
+        let rec = Recorder::disabled();
+        let sampler = rec.sample_windows(Duration::from_millis(1));
+        let wd = rec.watchdog(Duration::from_millis(1), 1);
+        std::thread::sleep(Duration::from_millis(5));
+        sampler.stop();
+        assert!(wd.stop().is_empty());
     }
 }

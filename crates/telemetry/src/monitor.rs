@@ -1,0 +1,239 @@
+//! Run-time monitors: the windowed throughput sampler and the stall
+//! watchdog. Both run on their own thread, polling the shared stage
+//! counters at a configurable tick — the hot path is never touched.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::{Inner, StageWindow, StallEvent, WindowSample};
+
+/// Guard over the background thread started by
+/// [`Recorder::sample_windows`](crate::Recorder::sample_windows).
+///
+/// Every tick it appends one [`WindowSample`] (cumulative `items_out` and
+/// the last observed input-queue depth for every registered stage replica)
+/// to the recorder, so the final [`TelemetryReport`](crate::TelemetryReport)
+/// carries the run's ramp-up/backpressure time-series. Stop it (or drop
+/// it) before taking the report you intend to keep.
+#[derive(Debug)]
+pub struct ThroughputWindow {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ThroughputWindow {
+    pub(crate) fn inert() -> Self {
+        ThroughputWindow {
+            stop: Arc::new(AtomicBool::new(true)),
+            thread: None,
+        }
+    }
+
+    pub(crate) fn start(inner: Arc<Inner>, tick: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("telemetry-window".into())
+            .spawn(move || {
+                let cap = crate::Recorder::window_sample_cap();
+                while !stop2.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    let sample = take_sample(&inner);
+                    let mut windows = inner.windows.lock().unwrap();
+                    if windows.len() < cap {
+                        windows.push(sample);
+                    }
+                }
+            })
+            .expect("spawn window sampler");
+        ThroughputWindow {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stop sampling and join the sampler thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ThroughputWindow {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+fn take_sample(inner: &Inner) -> WindowSample {
+    let t_ns = inner.epoch.elapsed().as_nanos() as u64;
+    let stages = inner.stages.lock().unwrap();
+    WindowSample {
+        t_ns,
+        stages: stages
+            .iter()
+            .map(|m| StageWindow {
+                name: m.name().to_string(),
+                replica: m.replica(),
+                items_out: m.items_out_now(),
+                queue_depth: m.queue_depth_now(),
+            })
+            .collect(),
+    }
+}
+
+/// Per-replica progress tracking state of the watchdog.
+struct Tracked {
+    last_items_out: u64,
+    stalled_ticks: u32,
+    reported: bool,
+}
+
+/// The stall watchdog started by
+/// [`Recorder::watchdog`](crate::Recorder::watchdog).
+///
+/// Every `tick` it checks each registered stage replica: if `items_out`
+/// has not advanced for `stall_ticks` consecutive ticks *while upstream
+/// has work queued for the stage* (upstream's group emitted more items
+/// than this stage's group consumed, or the replica's input queue was
+/// non-empty when last observed), it emits one structured [`StallEvent`]
+/// into the recorder. One event is emitted per stall episode; progress
+/// re-arms the detector. Because a deadlocked farm or feedback loop is
+/// exactly "no progress with work pending", this doubles as a
+/// deadlock/livelock detector for those topologies.
+#[derive(Debug)]
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    inner: Option<Arc<Inner>>,
+}
+
+impl Watchdog {
+    pub(crate) fn inert() -> Self {
+        Watchdog {
+            stop: Arc::new(AtomicBool::new(true)),
+            thread: None,
+            inner: None,
+        }
+    }
+
+    pub(crate) fn start(inner: Arc<Inner>, tick: Duration, stall_ticks: u32) -> Self {
+        let stall_ticks = stall_ticks.max(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let inner2 = Arc::clone(&inner);
+        let thread = std::thread::Builder::new()
+            .name("telemetry-watchdog".into())
+            .spawn(move || {
+                let mut tracked: Vec<Tracked> = Vec::new();
+                while !stop2.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    scan(&inner2, &mut tracked, stall_ticks);
+                }
+            })
+            .expect("spawn watchdog");
+        Watchdog {
+            stop,
+            thread: Some(thread),
+            inner: Some(inner),
+        }
+    }
+
+    /// Stop the watchdog and return every stall event it reported.
+    pub fn stop(mut self) -> Vec<StallEvent> {
+        self.halt();
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.stalls.lock().unwrap().clone(),
+        }
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// One watchdog tick: compare every replica's `items_out` against the last
+/// tick and flag replicas that sit still on pending work.
+fn scan(inner: &Arc<Inner>, tracked: &mut Vec<Tracked>, stall_ticks: u32) {
+    let stages = inner.stages.lock().unwrap().clone();
+    // Stage groups in registration order: group k's upstream is group k-1
+    // (how every runtime here registers linear pipelines and farm stages).
+    let mut group_names: Vec<&str> = Vec::new();
+    let mut group_of: Vec<usize> = Vec::with_capacity(stages.len());
+    for m in &stages {
+        let g = match group_names.iter().position(|n| *n == m.name()) {
+            Some(g) => g,
+            None => {
+                group_names.push(m.name());
+                group_names.len() - 1
+            }
+        };
+        group_of.push(g);
+    }
+    let n_groups = group_names.len();
+    let mut group_in = vec![0u64; n_groups];
+    let mut group_out = vec![0u64; n_groups];
+    for (i, m) in stages.iter().enumerate() {
+        group_in[group_of[i]] += m.items_in_now();
+        group_out[group_of[i]] += m.items_out_now();
+    }
+
+    while tracked.len() < stages.len() {
+        tracked.push(Tracked {
+            last_items_out: 0,
+            stalled_ticks: 0,
+            reported: false,
+        });
+    }
+
+    let t_ns = inner.epoch.elapsed().as_nanos() as u64;
+    for (i, m) in stages.iter().enumerate() {
+        let t = &mut tracked[i];
+        let out_now = m.items_out_now();
+        if out_now != t.last_items_out {
+            t.last_items_out = out_now;
+            t.stalled_ticks = 0;
+            t.reported = false;
+            continue;
+        }
+        t.stalled_ticks = t.stalled_ticks.saturating_add(1);
+        let g = group_of[i];
+        // Work pending for the stage: its group consumed fewer items than
+        // the upstream group emitted, or this replica's input queue was
+        // non-empty when it last looked. The source (group 0) has no
+        // upstream — it cannot stall by this definition.
+        let upstream_out = if g == 0 { 0 } else { group_out[g - 1] };
+        let pending = (g > 0 && group_in[g] < upstream_out) || m.queue_depth_now() > 0;
+        if t.stalled_ticks >= stall_ticks && pending && !t.reported {
+            t.reported = true;
+            inner.stalls.lock().unwrap().push(StallEvent {
+                t_ns,
+                stage: m.name().to_string(),
+                replica: m.replica(),
+                ticks_stalled: t.stalled_ticks,
+                items_in: m.items_in_now(),
+                items_out: out_now,
+                upstream_out,
+                queue_depth: m.queue_depth_now(),
+            });
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Acceptance check: the hot-path probes — histogram recording, queue
+//! sampling, service spans, end-to-end stamping — must allocate nothing.
+//! A counting global allocator wraps the system one; the single test in
+//! this binary (kept alone so no concurrent test thread allocates) takes a
+//! baseline, hammers the probes, and demands a zero delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hetstream::prelude::*;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One full sweep over every hot-path probe, enabled and disabled.
+fn hammer(rec: &Recorder, handle: &telemetry::StageHandle, noop: &telemetry::StageHandle) {
+    let disabled = Recorder::disabled();
+    for i in 0..50_000u64 {
+        handle.item_in(i as usize % 7);
+        let span = handle.begin();
+        handle.end(span);
+        handle.items_out(1);
+        handle.push_stall();
+        handle.pop_wait();
+        let emit = rec.stamp_ns();
+        rec.record_e2e(emit);
+
+        noop.item_in(0);
+        let span = noop.begin();
+        noop.end(span);
+        noop.items_out(1);
+        disabled.record_e2e(disabled.stamp_ns());
+    }
+}
+
+#[test]
+fn recording_probes_never_allocate() {
+    // Setup allocates (stage registration interns the name, the flow
+    // buffer is preallocated); everything after the baseline must not.
+    let rec = Recorder::enabled();
+    let handle = rec.stage("hot", 0);
+    let noop = Recorder::disabled().stage("hot", 0);
+
+    // Warm once so any lazy initialization is paid before measuring.
+    hammer(&rec, &handle, &noop);
+
+    // The measured sweep. The test-harness monitor thread occasionally
+    // allocates a couple of times mid-run, which this test cannot control,
+    // so retry on a nonzero delta: a *deterministic* hot-path allocation
+    // (>= 1 per sweep, typically 50 000+) can never produce a clean
+    // attempt, while background noise vanishes on retry.
+    let mut deltas = Vec::new();
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        hammer(&rec, &handle, &noop);
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        deltas.push(after - before);
+        if after == before {
+            break;
+        }
+    }
+    assert_eq!(
+        *deltas.last().unwrap(),
+        0,
+        "hot-path probes allocated on every attempt: {deltas:?} allocation(s) per 50k-item sweep"
+    );
+
+    // Sanity: the enabled path really recorded.
+    let e2e = rec.e2e_snapshot();
+    assert_eq!(e2e.count as usize, 50_000 * (deltas.len() + 1));
+}

@@ -1,0 +1,85 @@
+//! Chrome-trace / Perfetto export of a real instrumented run: the JSON
+//! must be well-formed enough for the trace viewer (balanced document,
+//! sorted timestamps, non-negative durations, paired flow arrows) and must
+//! carry both clock domains — CPU stage rows and GPU engine rows.
+
+use hetstream::gpusim::DeviceProps;
+use hetstream::mandel::{self, core::FractalParams};
+use hetstream::prelude::*;
+
+/// Pull every numeric value following `"key":` out of the JSON text.
+/// The exporter emits flat numbers (no nesting tricks), so a scan is an
+/// adequate stand-in for a JSON parser in this dependency-free workspace.
+fn values_of(json: &str, key: &str) -> Vec<f64> {
+    let pat = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find(&pat) {
+        rest = &rest[i + pat.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn count_of(json: &str, needle: &str) -> usize {
+    json.matches(needle).count()
+}
+
+#[test]
+fn chrome_trace_of_a_real_run_is_viewer_loadable() {
+    let params = FractalParams::view(96, 64);
+    let rec = Recorder::enabled();
+    let system = GpuSystem::new(2, DeviceProps::titan_xp());
+    let img =
+        mandel::hybrid::run_spar_gpu_rec::<CudaOffload>(&system, &params, 3, 16, 2, rec.clone());
+    assert_eq!(
+        img.digest(),
+        mandel::cpu::run_sequential(&params).0.digest()
+    );
+
+    let json = rec.report().to_chrome_trace();
+
+    // Document shape: one traceEvents array, a display unit, balanced
+    // braces/brackets (the exporter writes flat events, so raw counts
+    // balance — there are no braces inside strings).
+    assert!(json.trim_start().starts_with('{'));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"displayTimeUnit\""));
+    assert_eq!(count_of(&json, "{"), count_of(&json, "}"));
+    assert_eq!(count_of(&json, "["), count_of(&json, "]"));
+
+    // Both clock domains present: CPU stage process and GPU engine process
+    // metadata, plus at least one complete (X) span in each.
+    assert!(json.contains("cpu stages"));
+    assert!(json.contains("gpu engines"));
+    assert!(count_of(&json, "\"ph\":\"X\"") >= 2);
+
+    // Timestamps are sorted and durations non-negative — Perfetto rejects
+    // traces violating either.
+    let ts = values_of(&json, "ts");
+    assert!(!ts.is_empty());
+    assert!(
+        ts.windows(2).all(|w| w[0] <= w[1]),
+        "trace events must be sorted by ts"
+    );
+    assert!(values_of(&json, "dur").iter().all(|&d| d >= 0.0));
+
+    // Per-item flow arrows come in matched start/finish pairs sharing ids.
+    let starts = count_of(&json, "\"ph\":\"s\"");
+    let finishes = count_of(&json, "\"ph\":\"f\"");
+    assert_eq!(starts, finishes, "every flow arrow needs both ends");
+    assert!(starts > 0, "instrumented run must sample item journeys");
+    let ids = values_of(&json, "id");
+    assert_eq!(ids.len(), starts + finishes);
+}
+
+#[test]
+fn empty_report_exports_an_empty_but_valid_trace() {
+    let json = Recorder::disabled().report().to_chrome_trace();
+    assert!(json.contains("\"traceEvents\""));
+    assert_eq!(count_of(&json, "{"), count_of(&json, "}"));
+    assert_eq!(count_of(&json, "\"ph\":\"X\""), 0);
+}
