@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Data-path benchmark runner. Fully offline.
+#
+#   ./bench.sh                 # full run, writes BENCH_pr3.json at the repo root
+#   ./bench.sh out.json        # same, custom output path
+#   BENCH_SMOKE=1 ./bench.sh   # CI smoke: same benches, skips the >=2x assertion
+#                              # (shared CI boxes are too noisy to gate on ratios)
+#
+# What it measures (see crates/bench/benches/datapath.rs):
+#   - raw SPSC ring ops and channel transfer, single-item vs batched
+#   - pipeline + ordered-farm throughput at burst=1 (the pre-batching data
+#     path) vs the default burst
+#   - the Fig. 1 CPU rung at --tiny scale (real Mandelbrot ordered farm)
+#   - tbbx pool spawn + steal throughput
+# plus the wall-clock of a real `fig1 --tiny` end-to-end run.
+#
+# Output schema ("hetstream.bench.v1"):
+#   { "schema", "entry", "unix_time",
+#     "results": [ {"bench", "mode": "single"|"batched", "items", "items_per_s"} ... ],
+#     "derived": { "spsc_batched_speedup", "channel_batched_speedup",
+#                  "pipeline_batched_speedup",
+#                  "fig1_tiny_cpu_batched_over_single", "fig1_tiny_wall_s" } }
+set -euo pipefail
+cd "$(dirname "$0")"
+
+OUT="${1:-BENCH_pr3.json}"
+SMOKE="${BENCH_SMOKE:-0}"
+# cargo runs bench binaries with the package dir as CWD; hand it an absolute path.
+case "$OUT" in
+    /*) OUT_ABS="$OUT" ;;
+    *) OUT_ABS="$PWD/$OUT" ;;
+esac
+
+echo "== build (release, offline) =="
+cargo build --release --offline -p bench --benches --bin fig1
+
+echo "== fig1 --tiny (wall-clocked end-to-end run) =="
+t0=$(date +%s%N)
+cargo run --release --offline -q -p bench --bin fig1 -- --tiny >/dev/null
+t1=$(date +%s%N)
+FIG1_WALL=$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", (b-a)/1e9}')
+echo "fig1 --tiny wall: ${FIG1_WALL}s"
+
+echo "== data-path micro-benches =="
+HETSTREAM_FIG1_TINY_WALL_S="$FIG1_WALL" \
+    cargo bench --offline -p bench --bench datapath -- --json "$OUT_ABS"
+
+echo "== summary ($OUT) =="
+cat "$OUT"
+
+# The headline claim of the batched data path: multi-push/multi-pop must be
+# at least 2x single-item ops on the raw SPSC micro-bench.
+speedup=$(grep -o '"spsc_batched_speedup": [0-9.]*' "$OUT" | grep -o '[0-9.]*$')
+if [[ -z "$speedup" ]]; then
+    echo "FAIL: $OUT has no spsc_batched_speedup" >&2
+    exit 1
+fi
+if [[ "$SMOKE" != "1" ]] && ! awk -v s="$speedup" 'BEGIN{exit !(s >= 2.0)}'; then
+    echo "FAIL: batched SPSC speedup ${speedup}x is below the 2x floor" >&2
+    exit 1
+fi
+echo "bench.sh: done (spsc batched speedup: ${speedup}x)"

@@ -37,5 +37,16 @@ grep -q '"traceEvents"' "$figdir/fig1.trace.json"
 echo "== disabled-probe overhead smoke (must stay branch-only) =="
 cargo test --release --offline --test probe_overhead -- --nocapture
 
+echo "== data-path stress (batched SPSC + Chase-Lev deque, named rerun) =="
+# Already part of 'cargo test --workspace' above; rerun by name so a
+# concurrency regression is called out on its own line in the CI log.
+cargo test --release --offline -p fastflow --test batch
+cargo test --release --offline -p tbbx --test deque_stress
+
+echo "== bench.sh smoke (writes BENCH_pr3.json at the repo root) =="
+BENCH_SMOKE=1 ./bench.sh
+test -s BENCH_pr3.json
+grep -q '"schema": "hetstream.bench.v1"' BENCH_pr3.json
+
 echo
 echo "ci.sh: all gates passed"

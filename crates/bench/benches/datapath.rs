@@ -1,0 +1,299 @@
+//! Data-path micro-benches: the single-item vs batched comparison behind
+//! PR 3 (`push_n`/`pop_n` SPSC ops, `send_batch`/`recv_batch` channels,
+//! pipeline burst loops, and the lock-free tbbx pool), on the same
+//! dependency-free median-of-samples harness as `micro.rs`.
+//!
+//! Run with `cargo bench -p bench --bench datapath`. Pass
+//! `--json <path>` to additionally emit a machine-readable summary — the
+//! schema consumed by `bench.sh` when it assembles `BENCH_pr3.json`. If
+//! `HETSTREAM_FIG1_TINY_WALL_S` is set (bench.sh times the real
+//! `fig1 --tiny` run), its value is recorded in the summary.
+//!
+//! Keep runs short: the reproduction box can be a single core, so the
+//! numbers measure per-item overhead, not parallel speedup — which is
+//! exactly what the batching layer targets.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Median wall-seconds of `samples` runs of `f` (one warmup).
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+struct Result {
+    bench: &'static str,
+    mode: &'static str,
+    items: u64,
+    items_per_s: f64,
+}
+
+fn record(
+    results: &mut Vec<Result>,
+    bench: &'static str,
+    mode: &'static str,
+    items: u64,
+    secs: f64,
+) {
+    let items_per_s = items as f64 / secs;
+    println!("{bench:<28} {mode:<10} {items:>9} items  {items_per_s:>14.0} items/s");
+    results.push(Result {
+        bench,
+        mode,
+        items,
+        items_per_s,
+    });
+}
+
+/// Raw SPSC ring, same-thread ping-pong: isolates the pure op cost without
+/// scheduler noise. Single publishes the index per item; batched publishes
+/// once per 64-item run. Informational — on an unloaded core an uncontended
+/// release store is nearly free, so expect parity here and the win below.
+fn bench_spsc_ring(results: &mut Vec<Result>) {
+    const N: u64 = 400_000;
+    const BURST: usize = 64;
+
+    let secs = median_secs(9, || {
+        let (p, c) = fastflow::spsc::ring::<u64>(1024);
+        let mut popped = 0u64;
+        for i in 0..N {
+            while p.try_push(i).is_err() {
+                popped += c.try_pop().map(black_box).is_some() as u64;
+            }
+        }
+        while popped < N {
+            popped += c.try_pop().map(black_box).is_some() as u64;
+        }
+    });
+    record(results, "spsc_ring_ops", "single", N, secs);
+
+    let secs = median_secs(9, || {
+        let (p, c) = fastflow::spsc::ring::<u64>(1024);
+        let mut buf: Vec<u64> = Vec::with_capacity(BURST);
+        let mut next = 0u64;
+        let mut popped = 0u64;
+        while next < N {
+            let hi = (next + BURST as u64).min(N);
+            let mut iter = next..hi;
+            next += p.try_push_n(&mut iter, BURST) as u64;
+            popped += c.try_pop_n(&mut buf, BURST) as u64;
+            black_box(buf.last());
+            buf.clear();
+        }
+        while popped < N {
+            popped += c.try_pop_n(&mut buf, BURST) as u64;
+            buf.clear();
+        }
+    });
+    record(results, "spsc_ring_ops", "batched", N, secs);
+}
+
+/// The SPSC channel (ring + wait strategy) across two threads with the
+/// blocking strategy — the exact shape of every pipeline edge. Single-item
+/// `send`/`recv` pays a wake check and index publish per item; batched pays
+/// one per run. A small ring keeps both sides on the stall path, which is
+/// where the pipeline spends its time under backpressure.
+fn bench_spsc_channel(results: &mut Vec<Result>) {
+    const N: u64 = 200_000;
+    const BURST: usize = 64;
+
+    let secs = median_secs(5, || {
+        let (tx, rx) = fastflow::channel::<u64>(64, fastflow::WaitStrategy::Block);
+        let t = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut sum = 0u64;
+        while let Some(v) = rx.recv() {
+            sum += v;
+        }
+        t.join().unwrap();
+        black_box(sum);
+    });
+    record(results, "spsc_channel", "single", N, secs);
+
+    let secs = median_secs(5, || {
+        let (tx, rx) = fastflow::channel::<u64>(64, fastflow::WaitStrategy::Block);
+        let t = std::thread::spawn(move || {
+            let mut next = 0u64;
+            while next < N {
+                let hi = (next + BURST as u64).min(N);
+                tx.send_batch(next..hi).unwrap();
+                next = hi;
+            }
+        });
+        let mut sum = 0u64;
+        let mut buf = Vec::with_capacity(BURST);
+        while rx.recv_batch(&mut buf, BURST) > 0 {
+            for v in buf.drain(..) {
+                sum += v;
+            }
+        }
+        t.join().unwrap();
+        black_box(sum);
+    });
+    record(results, "spsc_channel", "batched", N, secs);
+}
+
+/// Light-work pipeline (map is a handful of ALU ops): per-item queue
+/// overhead dominates, which is where burst-draining pays. burst=1 is the
+/// pre-batching item-at-a-time data path.
+fn bench_pipeline(results: &mut Vec<Result>) {
+    const N: u64 = 100_000;
+    for (mode, burst) in [("single", 1usize), ("batched", 32)] {
+        let secs = median_secs(5, || {
+            let out = fastflow::Pipeline::builder()
+                .burst(burst)
+                .from_iter(0..N)
+                .map(|x| x.wrapping_mul(2654435761) >> 7)
+                .farm_ordered(2, |_| fastflow::node::map(|x: u64| x ^ (x >> 13)))
+                .collect();
+            black_box(out.len());
+        });
+        record(results, "pipeline_lightwork", mode, N, secs);
+    }
+}
+
+/// The CPU rung of Fig. 1 at `--tiny` scale: a real Mandelbrot ordered
+/// farm over rows. Work per item is substantial, so this is the
+/// "must not regress" end-to-end guard rather than a batching showcase.
+fn bench_fig1_tiny_cpu(results: &mut Vec<Result>) {
+    let params = mandel::FractalParams::view(128, 300);
+    let dim = 128u64;
+    for (mode, burst) in [("single", 1usize), ("batched", 32)] {
+        let secs = median_secs(3, move || {
+            let p = params;
+            let out = fastflow::Pipeline::builder()
+                .burst(burst)
+                .from_iter(0..dim as usize)
+                .farm_ordered(4, move |_| {
+                    fastflow::node::map(move |y: usize| mandel::compute_line(&p, y))
+                })
+                .collect();
+            black_box(out.len());
+        });
+        record(results, "fig1_tiny_cpu_rows", mode, dim, secs);
+    }
+}
+
+/// tbbx pool: external-spawn throughput (injector path) and a
+/// flood-from-one-worker wave the other workers must steal.
+fn bench_pool(results: &mut Vec<Result>) {
+    const N: usize = 50_000;
+
+    let secs = median_secs(5, || {
+        let pool = tbbx::TaskPool::new(4);
+        let latch = tbbx::Latch::new(N);
+        for _ in 0..N {
+            let latch = Arc::clone(&latch);
+            pool.spawn(move || latch.count_down());
+        }
+        latch.wait();
+    });
+    record(results, "pool_spawn_external", "batched", N as u64, secs);
+
+    let secs = median_secs(5, || {
+        let pool = Arc::new(tbbx::TaskPool::new(4));
+        let latch = tbbx::Latch::new(N);
+        let pool2 = Arc::clone(&pool);
+        let latch2 = Arc::clone(&latch);
+        pool.spawn(move || {
+            for _ in 0..N {
+                let latch = Arc::clone(&latch2);
+                pool2.spawn(move || latch.count_down());
+            }
+        });
+        latch.wait();
+    });
+    record(results, "pool_nested_steal", "batched", N as u64, secs);
+}
+
+fn find(results: &[Result], bench: &str, mode: &str) -> Option<f64> {
+    results
+        .iter()
+        .find(|r| r.bench == bench && r.mode == mode)
+        .map(|r| r.items_per_s)
+}
+
+fn write_json(path: &str, results: &[Result]) {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let fig1_wall = std::env::var("HETSTREAM_FIG1_TINY_WALL_S")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+
+    let mut rows = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"items\": {}, \"items_per_s\": {:.1}}}",
+            r.bench, r.mode, r.items, r.items_per_s
+        ));
+    }
+
+    let ratio = |bench: &str| -> String {
+        match (
+            find(results, bench, "batched"),
+            find(results, bench, "single"),
+        ) {
+            (Some(b), Some(s)) if s > 0.0 => format!("{:.3}", b / s),
+            _ => "null".into(),
+        }
+    };
+    let json = format!(
+        "{{\n  \"schema\": \"hetstream.bench.v1\",\n  \"entry\": \"pr3\",\n  \"unix_time\": {unix_time},\n  \"results\": [\n{rows}\n  ],\n  \"derived\": {{\n    \"spsc_batched_speedup\": {},\n    \"spsc_ring_batched_speedup\": {},\n    \"pipeline_batched_speedup\": {},\n    \"fig1_tiny_cpu_batched_over_single\": {},\n    \"fig1_tiny_wall_s\": {}\n  }}\n}}\n",
+        ratio("spsc_channel"),
+        ratio("spsc_ring_ops"),
+        ratio("pipeline_lightwork"),
+        ratio("fig1_tiny_cpu_rows"),
+        fig1_wall.map_or("null".into(), |v| format!("{v:.3}")),
+    );
+    std::fs::write(path, json).expect("write bench json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    println!(
+        "{:<28} {:<10} {:>15}  {:>22}",
+        "benchmark", "mode", "items", "throughput"
+    );
+    let mut results = Vec::new();
+    bench_spsc_ring(&mut results);
+    bench_spsc_channel(&mut results);
+    bench_pipeline(&mut results);
+    bench_fig1_tiny_cpu(&mut results);
+    bench_pool(&mut results);
+
+    if let (Some(b), Some(s)) = (
+        find(&results, "spsc_channel", "batched"),
+        find(&results, "spsc_channel", "single"),
+    ) {
+        println!("\nspsc channel batched/single speedup: {:.2}x", b / s);
+    }
+
+    if let Some(path) = json_path {
+        write_json(&path, &results);
+    }
+}

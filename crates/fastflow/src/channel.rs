@@ -113,6 +113,58 @@ impl<T: Send> Sender<T> {
         }
     }
 
+    /// Enqueue every item yielded by `items`, blocking per the wait strategy
+    /// whenever the ring fills. Each contiguous run of items is published
+    /// with a single index store and (in `Block` mode) a single wakeup, so
+    /// `k` queued items cost one acquire/release pair instead of `k`.
+    ///
+    /// Returns the number of items delivered. If the receiver disappears
+    /// mid-batch, `Err(SendError(sent))` reports how many made it; the
+    /// undelivered remainder of the iterator is dropped (exactly what
+    /// happens to in-flight items when a stream is torn down early).
+    pub fn send_batch<I>(&self, items: I) -> Result<usize, SendError<usize>>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        let mut iter = items.into_iter().peekable();
+        let mut sent = 0usize;
+        while iter.peek().is_some() {
+            if self.prod.consumer_gone() {
+                return Err(SendError(sent));
+            }
+            let n = self.prod.try_push_n(&mut iter, usize::MAX);
+            if n > 0 {
+                sent += n;
+                if self.wait.needs_notify() {
+                    self.shared.items.notify();
+                }
+            } else {
+                let prod = &self.prod;
+                self.wait.wait_until(&self.shared.space, || {
+                    prod.free_slots() > 0 || prod.consumer_gone()
+                });
+            }
+        }
+        Ok(sent)
+    }
+
+    /// Non-blocking batched enqueue: push as many items as currently fit,
+    /// publishing once. Returns how many were taken from the iterator; the
+    /// remainder stays in `items` (pass `&mut`, so nothing is lost).
+    pub fn try_send_batch<I>(&self, items: &mut I) -> Result<usize, TrySendError<()>>
+    where
+        I: Iterator<Item = T>,
+    {
+        if self.prod.consumer_gone() {
+            return Err(TrySendError::Disconnected(()));
+        }
+        let n = self.prod.try_push_n(items, usize::MAX);
+        if n > 0 && self.wait.needs_notify() {
+            self.shared.items.notify();
+        }
+        Ok(n)
+    }
+
     /// Advisory free-slot count.
     pub fn free_slots(&self) -> usize {
         self.prod.free_slots()
@@ -161,6 +213,46 @@ impl<T: Send> Receiver<T> {
                 !cons.is_empty() || closed.load(Ordering::Acquire)
             });
         }
+    }
+
+    /// Blocking batched dequeue: wait (per the strategy) until at least one
+    /// item is available or the stream ends, then drain up to `max` items
+    /// into `out` with a single index publication. Returns the number of
+    /// items appended; `0` means end-of-stream.
+    pub fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        loop {
+            let n = self.cons.try_pop_n(out, max);
+            if n > 0 {
+                if self.wait.needs_notify() {
+                    self.shared.space.notify();
+                }
+                return n;
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                // Re-check: the sender may have pushed right before closing.
+                let n = self.cons.try_pop_n(out, max);
+                if n > 0 && self.wait.needs_notify() {
+                    self.shared.space.notify();
+                }
+                return n;
+            }
+            let cons = &self.cons;
+            let closed = &self.shared.closed;
+            self.wait.wait_until(&self.shared.items, || {
+                !cons.is_empty() || closed.load(Ordering::Acquire)
+            });
+        }
+    }
+
+    /// Non-blocking batched dequeue: drain up to `max` currently queued
+    /// items into `out` with one index publication. Returns how many were
+    /// appended; `0` means "currently empty", not EOS.
+    pub fn try_recv_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let n = self.cons.try_pop_n(out, max);
+        if n > 0 && self.wait.needs_notify() {
+            self.shared.space.notify();
+        }
+        n
     }
 
     /// Non-blocking dequeue; `None` means "currently empty", not EOS.
@@ -314,6 +406,90 @@ mod tests {
         drop(tx);
         let collected: Vec<u32> = rx.into_iter().collect();
         assert_eq!(collected, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn send_batch_recv_batch_roundtrip_across_threads() {
+        for ws in all_strategies() {
+            const N: u64 = 50_000;
+            let (tx, rx) = channel::<u64>(32, ws);
+            let producer = thread::spawn(move || {
+                let mut next = 0u64;
+                while next < N {
+                    let hi = (next + 13).min(N);
+                    assert_eq!(tx.send_batch(next..hi), Ok((hi - next) as usize));
+                    next = hi;
+                }
+            });
+            let mut expected = 0u64;
+            let mut buf = Vec::new();
+            loop {
+                let n = rx.recv_batch(&mut buf, 29);
+                if n == 0 {
+                    break;
+                }
+                for v in buf.drain(..) {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                }
+            }
+            assert_eq!(expected, N, "strategy {ws:?}");
+            producer.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn send_batch_reports_disconnect_with_delivered_count() {
+        let (tx, rx) = channel::<u32>(4, WaitStrategy::Yield);
+        drop(rx);
+        assert_eq!(tx.send_batch(0..10), Err(SendError(0)));
+    }
+
+    #[test]
+    fn recv_batch_returns_zero_at_eos_after_draining() {
+        let (tx, rx) = channel::<u32>(8, WaitStrategy::Block);
+        assert_eq!(tx.send_batch(0..5u32), Ok(5));
+        drop(tx);
+        let mut buf = Vec::new();
+        assert_eq!(rx.recv_batch(&mut buf, 3), 3);
+        assert_eq!(rx.recv_batch(&mut buf, 3), 2);
+        assert_eq!(rx.recv_batch(&mut buf, 3), 0);
+        assert!(rx.is_eos());
+        assert_eq!(buf, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_send_batch_keeps_remainder_in_iterator() {
+        let (tx, rx) = channel::<u32>(3, WaitStrategy::Spin);
+        let mut iter = 0..10u32;
+        assert_eq!(tx.try_send_batch(&mut iter), Ok(3));
+        assert_eq!(iter.next(), Some(3));
+        let mut buf = Vec::new();
+        assert_eq!(rx.try_recv_batch(&mut buf, 8), 3);
+        assert_eq!(buf, vec![0, 1, 2]);
+        assert_eq!(rx.try_recv_batch(&mut buf, 8), 0);
+    }
+
+    #[test]
+    fn batched_sender_wakes_blocked_receiver() {
+        let (tx, rx) = channel::<u32>(16, WaitStrategy::Block);
+        let consumer = thread::spawn(move || {
+            let mut buf = Vec::new();
+            let mut got = 0;
+            loop {
+                let n = rx.recv_batch(&mut buf, 16);
+                if n == 0 {
+                    break;
+                }
+                got += n;
+                buf.clear();
+            }
+            got
+        });
+        thread::sleep(std::time::Duration::from_millis(10));
+        tx.send_batch(0..40u32).unwrap();
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), 40);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use telemetry::{Recorder, StageHandle};
 
 use crate::channel::{channel, channel_with_recv_signal, Receiver, Sender};
 use crate::node::{Emitter, Node};
-use crate::pipeline::traced_recv;
+use crate::pipeline::{send_batch_accounted, traced_recv_batch};
 use crate::stamp::Stamped;
 use crate::wait::{Signal, WaitStrategy};
 
@@ -41,6 +41,9 @@ pub struct FarmConfig {
     pub policy: SchedPolicy,
     /// Restore input order at the collector.
     pub ordered: bool,
+    /// Maximum batched-transfer run length on every internal queue (see
+    /// [`crate::PipeConfig::burst`]). `1` disables batching.
+    pub burst: usize,
 }
 
 impl Default for FarmConfig {
@@ -50,6 +53,7 @@ impl Default for FarmConfig {
             wait: WaitStrategy::default(),
             policy: SchedPolicy::default(),
             ordered: false,
+            burst: 32,
         }
     }
 }
@@ -144,12 +148,12 @@ where
 
     // Emitter thread.
     {
-        let wait = cfg.wait;
         let policy = cfg.policy;
+        let burst = cfg.burst;
         handles.push(
             thread::Builder::new()
                 .name("ff-emitter".into())
-                .spawn(move || run_emitter(rx, to_workers, policy, wait))
+                .spawn(move || run_emitter(rx, to_workers, policy, burst))
                 .expect("spawn emitter"),
         );
     }
@@ -158,10 +162,11 @@ where
     for (idx, (w_rx, w_tx)) in worker_rxs.into_iter().zip(worker_txs).enumerate() {
         let mut node = factory(idx);
         let stage = rec.stage(stage_name, idx);
+        let burst = cfg.burst;
         handles.push(
             thread::Builder::new()
                 .name(format!("ff-worker-{idx}"))
-                .spawn(move || run_worker(&mut node, w_rx, w_tx, stage))
+                .spawn(move || run_worker(&mut node, w_rx, w_tx, stage, burst))
                 .expect("spawn worker"),
         );
     }
@@ -171,10 +176,13 @@ where
     {
         let wait = cfg.wait;
         let ordered = cfg.ordered;
+        let burst = cfg.burst;
         handles.push(
             thread::Builder::new()
                 .name("ff-collector".into())
-                .spawn(move || run_collector(from_workers, out_tx, collector_signal, wait, ordered))
+                .spawn(move || {
+                    run_collector(from_workers, out_tx, collector_signal, wait, ordered, burst)
+                })
                 .expect("spawn collector"),
         );
     }
@@ -186,51 +194,63 @@ fn run_emitter<I: Send + 'static>(
     rx: Receiver<I>,
     to_workers: Vec<Sender<(u64, I)>>,
     policy: SchedPolicy,
-    _wait: WaitStrategy,
+    burst: usize,
 ) {
     let n = to_workers.len();
     let mut seq: u64 = 0;
-    'stream: while let Some(item) = rx.recv() {
+    let mut in_buf: Vec<I> = Vec::with_capacity(burst);
+    // Per-worker scratch for the round-robin multi-push: one input burst is
+    // partitioned by destination, then delivered with one `send_batch` per
+    // worker touched.
+    let mut scratch: Vec<Vec<(u64, I)>> = (0..n).map(|_| Vec::with_capacity(burst)).collect();
+    'stream: while rx.recv_batch(&mut in_buf, burst) > 0 {
         match policy {
             SchedPolicy::RoundRobin => {
-                let target = (seq as usize) % n;
-                if to_workers[target].send((seq, item)).is_err() {
-                    break 'stream; // worker died; stop the stream
+                for item in in_buf.drain(..) {
+                    scratch[(seq as usize) % n].push((seq, item));
+                    seq += 1;
+                }
+                for (w, buf) in scratch.iter_mut().enumerate() {
+                    if !buf.is_empty() && to_workers[w].send_batch(buf.drain(..)).is_err() {
+                        break 'stream; // worker died; stop the stream
+                    }
                 }
             }
             SchedPolicy::OnDemand => {
-                let mut msg = Some((seq, item));
-                let mut spins = 0u32;
-                loop {
-                    let mut all_dead = true;
-                    for tx in &to_workers {
-                        match tx.try_send(msg.take().expect("message present")) {
-                            Ok(()) => break,
-                            Err(crate::channel::TrySendError::Full(m)) => {
-                                all_dead = false;
-                                msg = Some(m);
-                            }
-                            Err(crate::channel::TrySendError::Disconnected(m)) => {
-                                msg = Some(m);
+                for item in in_buf.drain(..) {
+                    let mut msg = Some((seq, item));
+                    let mut spins = 0u32;
+                    loop {
+                        let mut all_dead = true;
+                        for tx in &to_workers {
+                            match tx.try_send(msg.take().expect("message present")) {
+                                Ok(()) => break,
+                                Err(crate::channel::TrySendError::Full(m)) => {
+                                    all_dead = false;
+                                    msg = Some(m);
+                                }
+                                Err(crate::channel::TrySendError::Disconnected(m)) => {
+                                    msg = Some(m);
+                                }
                             }
                         }
+                        if msg.is_none() {
+                            break; // placed on some worker
+                        }
+                        if all_dead {
+                            break 'stream;
+                        }
+                        spins += 1;
+                        if spins < 64 {
+                            std::hint::spin_loop();
+                        } else {
+                            thread::yield_now();
+                        }
                     }
-                    if msg.is_none() {
-                        break; // placed on some worker
-                    }
-                    if all_dead {
-                        break 'stream;
-                    }
-                    spins += 1;
-                    if spins < 64 {
-                        std::hint::spin_loop();
-                    } else {
-                        thread::yield_now();
-                    }
+                    seq += 1;
                 }
             }
         }
-        seq += 1;
     }
     // Senders drop here => EOS to every worker.
 }
@@ -240,27 +260,35 @@ fn run_worker<N: Node>(
     rx: Receiver<(u64, Stamped<N::In>)>,
     tx: Sender<WorkerMsg<N::Out>>,
     stage: StageHandle,
+    burst: usize,
 ) {
     node.on_init();
-    while let Some((seq, stamped)) = traced_recv(&rx, &stage) {
-        let Stamped { item, emit_ns } = stamped;
-        stage.item_in(rx.len());
-        let mut outs = Vec::new();
-        {
-            let mut sink = |v: N::Out| {
-                outs.push(v);
-                true
-            };
-            let mut em = Emitter::new(&mut sink);
-            let span = stage.begin();
-            node.svc(item, &mut em);
-            stage.end(span);
+    let mut in_buf: Vec<(u64, Stamped<N::In>)> = Vec::with_capacity(burst);
+    let mut msg_buf: Vec<WorkerMsg<N::Out>> = Vec::with_capacity(burst);
+    while traced_recv_batch(&rx, &stage, &mut in_buf, burst) > 0 {
+        for (seq, Stamped { item, emit_ns }) in in_buf.drain(..) {
+            stage.item_in(rx.len());
+            let mut outs = Vec::new();
+            {
+                let mut sink = |v: N::Out| {
+                    outs.push(v);
+                    true
+                };
+                let mut em = Emitter::new(&mut sink);
+                let span = stage.begin();
+                node.svc(item, &mut em);
+                stage.end(span);
+            }
+            msg_buf.push(WorkerMsg::Item(seq, emit_ns, outs));
         }
-        stage.items_out(outs.len() as u64);
-        if stage.enabled() && tx.free_slots() == 0 {
-            stage.push_stall();
-        }
-        if tx.send(WorkerMsg::Item(seq, emit_ns, outs)).is_err() {
+        // One batched hand-off per input burst, flushed before the recv
+        // above can block again. `items_out` is recorded at hand-off, not
+        // at svc time (see `send_batch_accounted`).
+        let delivered = send_batch_accounted(&tx, &mut msg_buf, &stage, |m| match m {
+            WorkerMsg::Item(_, _, outs) => outs.len() as u64,
+            WorkerMsg::Final(_) => 0,
+        });
+        if !delivered {
             return; // collector gone
         }
     }
@@ -278,12 +306,27 @@ fn run_worker<N: Node>(
     }
 }
 
+/// Deliver everything in `buf` downstream; `Err` means the consumer is gone.
+fn flush_out<O: Send + 'static>(
+    out_tx: &Sender<Stamped<O>>,
+    buf: &mut Vec<Stamped<O>>,
+) -> Result<(), ()> {
+    if buf.is_empty() {
+        return Ok(());
+    }
+    match out_tx.send_batch(buf.drain(..)) {
+        Ok(_) => Ok(()),
+        Err(_) => Err(()),
+    }
+}
+
 fn run_collector<O: Send + 'static>(
     from_workers: Vec<Receiver<WorkerMsg<O>>>,
     out_tx: Sender<Stamped<O>>,
     signal: Arc<Signal>,
     wait: WaitStrategy,
     ordered: bool,
+    burst: usize,
 ) {
     let n = from_workers.len();
     let mut eos = vec![false; n];
@@ -291,6 +334,11 @@ fn run_collector<O: Send + 'static>(
     let mut heap: BinaryHeap<OrderedEntry<O>> = BinaryHeap::new();
     let mut next_seq: u64 = 0;
     let mut finals: Vec<O> = Vec::new();
+    let mut msg_buf: Vec<WorkerMsg<O>> = Vec::with_capacity(burst);
+    // Outputs accumulate here and leave via one `send_batch` per run —
+    // flushed at the burst size and always before blocking, so downstream
+    // never waits on items the collector already holds.
+    let mut out_buf: Vec<Stamped<O>> = Vec::with_capacity(burst);
 
     'outer: while eos_count < n {
         let mut progressed = false;
@@ -298,30 +346,38 @@ fn run_collector<O: Send + 'static>(
             if eos[i] {
                 continue;
             }
-            while let Some(msg) = rx.try_recv() {
+            while rx.try_recv_batch(&mut msg_buf, burst) > 0 {
                 progressed = true;
-                match msg {
-                    WorkerMsg::Item(seq, emit_ns, outs) => {
-                        if ordered {
-                            heap.push(OrderedEntry { seq, emit_ns, outs });
-                            while heap.peek().is_some_and(|e| e.seq == next_seq) {
-                                let entry = heap.pop().expect("peeked");
-                                next_seq += 1;
-                                for v in entry.outs {
-                                    if out_tx.send(Stamped::at(v, entry.emit_ns)).is_err() {
+                for msg in msg_buf.drain(..) {
+                    match msg {
+                        WorkerMsg::Item(seq, emit_ns, outs) => {
+                            if ordered {
+                                heap.push(OrderedEntry { seq, emit_ns, outs });
+                                while heap.peek().is_some_and(|e| e.seq == next_seq) {
+                                    let entry = heap.pop().expect("peeked");
+                                    next_seq += 1;
+                                    for v in entry.outs {
+                                        out_buf.push(Stamped::at(v, entry.emit_ns));
+                                    }
+                                    if out_buf.len() >= burst
+                                        && flush_out(&out_tx, &mut out_buf).is_err()
+                                    {
                                         break 'outer;
                                     }
                                 }
-                            }
-                        } else {
-                            for v in outs {
-                                if out_tx.send(Stamped::at(v, emit_ns)).is_err() {
+                            } else {
+                                for v in outs {
+                                    out_buf.push(Stamped::at(v, emit_ns));
+                                }
+                                if out_buf.len() >= burst
+                                    && flush_out(&out_tx, &mut out_buf).is_err()
+                                {
                                     break 'outer;
                                 }
                             }
                         }
+                        WorkerMsg::Final(outs) => finals.extend(outs),
                     }
-                    WorkerMsg::Final(outs) => finals.extend(outs),
                 }
             }
             if rx.is_eos() {
@@ -334,6 +390,9 @@ fn run_collector<O: Send + 'static>(
             break;
         }
         if !progressed {
+            if flush_out(&out_tx, &mut out_buf).is_err() {
+                return;
+            }
             let epoch = signal.epoch();
             let any_ready = from_workers
                 .iter()
@@ -349,21 +408,25 @@ fn run_collector<O: Send + 'static>(
         }
     }
 
+    // In-order items buffered above must leave before the stragglers.
+    if flush_out(&out_tx, &mut out_buf).is_err() {
+        return;
+    }
     // Drain any ordered stragglers (all workers done, heap must be complete).
     while let Some(entry) = heap.pop() {
         debug_assert_eq!(entry.seq, next_seq, "ordered farm missing sequence");
         next_seq += 1;
         for v in entry.outs {
-            if out_tx.send(Stamped::at(v, entry.emit_ns)).is_err() {
-                return;
-            }
+            out_buf.push(Stamped::at(v, entry.emit_ns));
         }
-    }
-    for v in finals {
-        if out_tx.send(Stamped::bare(v)).is_err() {
+        if out_buf.len() >= burst && flush_out(&out_tx, &mut out_buf).is_err() {
             return;
         }
     }
+    for v in finals {
+        out_buf.push(Stamped::bare(v));
+    }
+    let _ = flush_out(&out_tx, &mut out_buf);
     // out_tx drops here => EOS downstream.
 }
 

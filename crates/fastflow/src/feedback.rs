@@ -15,7 +15,7 @@ use std::thread::{self, JoinHandle};
 use telemetry::Recorder;
 
 use crate::channel::{channel, channel_with_recv_signal, Receiver};
-use crate::pipeline::traced_recv;
+use crate::pipeline::{send_batch_accounted, traced_recv_batch};
 use crate::stamp::Stamped;
 use crate::wait::{Signal, WaitStrategy};
 
@@ -49,6 +49,7 @@ where
         factory,
         capacity,
         wait,
+        32,
         &Recorder::default(),
         "feedback",
     )
@@ -59,12 +60,14 @@ where
 /// counts every pass through a worker (recycles included); `items_out`
 /// counts only emitted results, so `items_in - items_out` is the total
 /// number of feedback trips.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_feedback_farm_traced<I, O, W, G>(
     rx: Receiver<Stamped<I>>,
     replicas: usize,
     mut factory: G,
     capacity: usize,
     wait: WaitStrategy,
+    burst: usize,
     rec: &Recorder,
     stage_name: &str,
 ) -> (Receiver<Stamped<O>>, Vec<JoinHandle<()>>)
@@ -111,40 +114,48 @@ where
                     let n = to_workers.len();
                     let mut next = 0usize;
                     let mut input_open = true;
+                    let mut in_buf: Vec<Stamped<I>> = Vec::with_capacity(burst);
+                    // Per-worker scratch: each round's items (recycled +
+                    // fresh) are partitioned by destination, then delivered
+                    // with one `send_batch` per worker touched.
+                    let mut scratch: Vec<Vec<Stamped<I>>> =
+                        (0..n).map(|_| Vec::with_capacity(burst)).collect();
                     loop {
-                        let mut progressed = false;
                         // Drain feedback first: recycled items have priority
-                        // (they hold in-flight slots).
-                        while let Ok(item) = fb_rx.try_recv() {
-                            let t = next % n;
-                            next += 1;
-                            if to_workers[t].send(item).is_err() {
-                                return;
-                            }
-                            progressed = true;
-                        }
-                        if input_open {
-                            match rx.try_recv() {
-                                Some(item) => {
-                                    in_flight.fetch_add(1, Ordering::AcqRel);
-                                    let t = next % n;
+                        // (they hold in-flight slots). Bounded per round so
+                        // fresh input cannot be starved indefinitely.
+                        let mut fb_got = 0usize;
+                        while fb_got < burst {
+                            match fb_rx.try_recv() {
+                                Ok(item) => {
+                                    scratch[next % n].push(item);
                                     next += 1;
-                                    if to_workers[t].send(item).is_err() {
-                                        return;
-                                    }
-                                    progressed = true;
+                                    fb_got += 1;
                                 }
-                                None => {
-                                    if rx.is_eos() {
-                                        input_open = false;
-                                    }
-                                }
+                                Err(_) => break,
+                            }
+                        }
+                        let mut in_got = 0usize;
+                        if input_open {
+                            in_got = rx.try_recv_batch(&mut in_buf, burst);
+                            if in_got == 0 && rx.is_eos() {
+                                input_open = false;
+                            }
+                            for item in in_buf.drain(..) {
+                                in_flight.fetch_add(1, Ordering::AcqRel);
+                                scratch[next % n].push(item);
+                                next += 1;
+                            }
+                        }
+                        for (w, buf) in scratch.iter_mut().enumerate() {
+                            if !buf.is_empty() && to_workers[w].send_batch(buf.drain(..)).is_err() {
+                                return;
                             }
                         }
                         if !input_open && in_flight.load(Ordering::Acquire) == 0 {
                             return; // drops worker senders => EOS
                         }
-                        if !progressed {
+                        if fb_got == 0 && in_got == 0 {
                             thread::yield_now();
                         }
                     }
@@ -163,27 +174,32 @@ where
             thread::Builder::new()
                 .name(format!("ff-fb-worker-{idx}"))
                 .spawn(move || {
-                    while let Some(Stamped { item, emit_ns }) = traced_recv(&w_rx, &stage) {
-                        stage.item_in(w_rx.len());
-                        let span = stage.begin();
-                        let verdict = f(item);
-                        stage.end(span);
-                        match verdict {
-                            Loop::Recycle(back) => {
-                                if fb.send(Stamped::at(back, emit_ns)).is_err() {
-                                    return;
+                    let mut in_buf: Vec<Stamped<I>> = Vec::with_capacity(burst);
+                    let mut out_buf: Vec<Stamped<O>> = Vec::with_capacity(burst);
+                    while traced_recv_batch(&w_rx, &stage, &mut in_buf, burst) > 0 {
+                        for Stamped { item, emit_ns } in in_buf.drain(..) {
+                            stage.item_in(w_rx.len());
+                            let span = stage.begin();
+                            let verdict = f(item);
+                            stage.end(span);
+                            match verdict {
+                                Loop::Recycle(back) => {
+                                    if fb.send(Stamped::at(back, emit_ns)).is_err() {
+                                        return;
+                                    }
+                                }
+                                Loop::Emit(out) => {
+                                    in_flight.fetch_sub(1, Ordering::AcqRel);
+                                    out_buf.push(Stamped::at(out, emit_ns));
                                 }
                             }
-                            Loop::Emit(out) => {
-                                in_flight.fetch_sub(1, Ordering::AcqRel);
-                                stage.items_out(1);
-                                if stage.enabled() && c_tx.free_slots() == 0 {
-                                    stage.push_stall();
-                                }
-                                if c_tx.send(Stamped::at(out, emit_ns)).is_err() {
-                                    return;
-                                }
-                            }
+                        }
+                        // Flush emitted results before the recv above can
+                        // block again — the collector must never wait on
+                        // items this worker already holds. `items_out` is
+                        // recorded at hand-off (see `send_batch_accounted`).
+                        if !send_batch_accounted(&c_tx, &mut out_buf, &stage, |_| 1) {
+                            return;
                         }
                     }
                 })
@@ -200,15 +216,16 @@ where
             .spawn(move || {
                 let mut open: Vec<bool> = vec![true; from_workers.len()];
                 let mut remaining = from_workers.len();
+                let mut buf: Vec<Stamped<O>> = Vec::with_capacity(burst);
                 while remaining > 0 {
                     let mut progressed = false;
                     for (i, rx) in from_workers.iter().enumerate() {
                         if !open[i] {
                             continue;
                         }
-                        while let Some(v) = rx.try_recv() {
+                        while rx.try_recv_batch(&mut buf, burst) > 0 {
                             progressed = true;
-                            if out_tx.send(v).is_err() {
+                            if out_tx.send_batch(buf.drain(..)).is_err() {
                                 return;
                             }
                         }

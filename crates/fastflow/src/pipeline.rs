@@ -6,7 +6,6 @@
 //! stage sees EOS when its upstream channel closes and propagates it by
 //! dropping its own sender.
 
-use std::cell::Cell;
 use std::thread::{self, JoinHandle};
 
 use telemetry::{Recorder, StageHandle};
@@ -17,42 +16,151 @@ use crate::node::{map, Emitter, Node};
 use crate::stamp::Stamped;
 use crate::wait::WaitStrategy;
 
-/// Wrap a channel sender into an Emitter-compatible sink for a *source*
-/// stage: every fresh item is stamped with its emit instant (0 when
-/// telemetry is off — no clock read), a send attempted against a full ring
-/// counts as a push stall, and every delivered item bumps `items_out`.
-pub(crate) fn stamped_sink<T: Send>(
+/// Batching output sink shared by every stage loop: outputs accumulate in a
+/// local buffer and are delivered with [`Sender::send_batch`] — one index
+/// publication and one wakeup per run instead of one per item.
+///
+/// Two flush points keep the pipe live and the memory bounded: the buffer
+/// flushes itself when it reaches `burst` items, and every stage loop
+/// flushes explicitly before blocking for more input (so no item can sit
+/// buffered while the stage sleeps — the batched path never adds a
+/// deadlock or an unbounded latency tail).
+pub(crate) struct BatchSink<T: Send> {
     tx: Sender<Stamped<T>>,
-    handle: StageHandle,
-) -> impl FnMut(T) -> bool {
-    move |item: T| {
-        if handle.enabled() && tx.free_slots() == 0 {
-            handle.push_stall();
+    buf: Vec<Stamped<T>>,
+    burst: usize,
+    stage: StageHandle,
+    alive: bool,
+}
+
+impl<T: Send> BatchSink<T> {
+    pub(crate) fn new(tx: Sender<Stamped<T>>, stage: StageHandle, burst: usize) -> Self {
+        BatchSink {
+            tx,
+            buf: Vec::with_capacity(burst),
+            burst,
+            stage,
+            alive: true,
         }
-        let ok = tx.send(Stamped::at(item, handle.stamp_ns())).is_ok();
-        if ok {
-            handle.items_out(1);
+    }
+
+    /// Buffer one output carrying `emit_ns`; auto-flushes at the burst
+    /// size. Returns false once downstream is gone.
+    #[inline]
+    pub(crate) fn push(&mut self, item: T, emit_ns: u64) -> bool {
+        if !self.alive {
+            return false;
         }
-        ok
+        self.buf.push(Stamped::at(item, emit_ns));
+        if self.buf.len() >= self.burst {
+            self.flush();
+        }
+        self.alive
+    }
+
+    /// Buffer one *fresh* output stamped now (source stages).
+    #[inline]
+    pub(crate) fn push_fresh(&mut self, item: T) -> bool {
+        let ns = self.stage.stamp_ns();
+        self.push(item, ns)
+    }
+
+    /// Deliver everything buffered. Each item still counts individually in
+    /// `items_out`; a run that cannot be placed without waiting counts one
+    /// push stall. Returns false once downstream is gone.
+    pub(crate) fn flush(&mut self) -> bool {
+        if self.alive && !send_batch_accounted(&self.tx, &mut self.buf, &self.stage, |_| 1) {
+            self.alive = false;
+        }
+        self.alive
     }
 }
 
-/// Dequeue one item, counting a pop wait when the queue is empty on
-/// arrival. Telemetry-off takes the plain blocking path.
-pub(crate) fn traced_recv<T: Send>(rx: &Receiver<T>, handle: &StageHandle) -> Option<T> {
-    if !handle.enabled() {
-        return rx.recv();
+/// Deliver `buf` downstream, recording `items_out` only as messages are
+/// actually handed off — never at service time, so the stall watchdog (which
+/// blames a stage by comparing its progress against its upstream's) can
+/// neither see phantom undelivered items during a long `svc` call nor lose
+/// sight of progress while a full ring blocks the rest of the run: delivery
+/// happens in sub-runs with incremental accounting. `count` maps one queued
+/// message to the number of stream items it carries (1 for plain items;
+/// farm worker messages carry a whole `svc` output set). A run that cannot
+/// be placed without waiting counts one push stall. Returns false once the
+/// consumer is gone (the undeliverable remainder is discarded).
+pub(crate) fn send_batch_accounted<T: Send>(
+    tx: &Sender<T>,
+    buf: &mut Vec<T>,
+    stage: &StageHandle,
+    count: impl Fn(&T) -> u64,
+) -> bool {
+    if buf.is_empty() {
+        return true;
     }
-    match rx.try_recv() {
-        Some(v) => Some(v),
-        None => {
-            if rx.is_eos() {
-                return None;
+    if !stage.enabled() {
+        return tx.send_batch(buf.drain(..)).is_ok();
+    }
+    if tx.free_slots() < buf.len() {
+        stage.push_stall();
+    }
+    let counts: Vec<u64> = buf.iter().map(&count).collect();
+    let mut delivered = 0usize;
+    let mut ok = true;
+    let mut iter = buf.drain(..);
+    loop {
+        match tx.try_send_batch(&mut iter) {
+            Ok(n) => {
+                if n > 0 {
+                    stage.items_out(counts[delivered..delivered + n].iter().sum());
+                    delivered += n;
+                }
+                match iter.next() {
+                    None => break,
+                    Some(msg) => {
+                        let c = counts[delivered];
+                        match tx.send(msg) {
+                            Ok(()) => {
+                                stage.items_out(c);
+                                delivered += 1;
+                            }
+                            Err(_) => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                }
             }
-            handle.pop_wait();
-            rx.recv()
+            Err(_) => {
+                ok = false;
+                break;
+            }
         }
     }
+    drop(iter); // discards the remainder once downstream is gone
+    ok
+}
+
+/// Burst-drain up to `max` items into `out`, counting a pop wait when the
+/// queue is empty on arrival. Returns the number appended; 0 = EOS. A
+/// stage that finds `k` items queued takes all of them with one
+/// acquire/release pair instead of `k`.
+pub(crate) fn traced_recv_batch<T: Send>(
+    rx: &Receiver<T>,
+    handle: &StageHandle,
+    out: &mut Vec<T>,
+    max: usize,
+) -> usize {
+    if !handle.enabled() {
+        return rx.recv_batch(out, max);
+    }
+    let n = rx.try_recv_batch(out, max);
+    if n > 0 {
+        return n;
+    }
+    if rx.is_eos() {
+        return 0;
+    }
+    handle.pop_wait();
+    rx.recv_batch(out, max)
 }
 
 /// Queue configuration shared by all stages of one pipeline.
@@ -62,6 +170,11 @@ pub struct PipeConfig {
     pub capacity: usize,
     /// Wait strategy of every inter-stage queue.
     pub wait: WaitStrategy,
+    /// Maximum run length of the batched queue operations: a stage drains
+    /// up to this many queued items per acquire/release pair and buffers at
+    /// most this many outputs before publishing them in one go. `1`
+    /// reproduces the pre-batching item-at-a-time data path.
+    pub burst: usize,
 }
 
 impl Default for PipeConfig {
@@ -69,6 +182,7 @@ impl Default for PipeConfig {
         PipeConfig {
             capacity: 64,
             wait: WaitStrategy::default(),
+            burst: 32,
         }
     }
 }
@@ -106,6 +220,14 @@ impl PipelineStart {
         self
     }
 
+    /// Set the maximum batched-transfer run length (see
+    /// [`PipeConfig::burst`]). `1` disables batching.
+    pub fn burst(mut self, burst: usize) -> Self {
+        assert!(burst > 0, "burst must be >= 1");
+        self.cfg.burst = burst;
+        self
+    }
+
     /// Attach a telemetry recorder: every stage and farm replica of this
     /// pipeline registers a [`telemetry::StageMetrics`] under it. A
     /// disabled recorder (the default) makes every probe a no-op branch.
@@ -123,12 +245,17 @@ impl PipelineStart {
     {
         let (tx, rx) = channel::<Stamped<T>>(self.cfg.capacity, self.cfg.wait);
         let stage = self.rec.stage("source", 0);
+        let burst = self.cfg.burst;
         let handle = thread::Builder::new()
             .name("ff-source".into())
             .spawn(move || {
-                let mut sink = stamped_sink(tx, stage);
-                let mut em = Emitter::new(&mut sink);
-                f(&mut em);
+                let mut bsink = BatchSink::new(tx, stage, burst);
+                {
+                    let mut push = |item: T| bsink.push_fresh(item);
+                    let mut em = Emitter::new(&mut push);
+                    f(&mut em);
+                }
+                bsink.flush();
             })
             .expect("spawn source");
         PipelineBuilder {
@@ -185,37 +312,42 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         let name = self.next_stage_name();
         let stage = self.rec.stage(&name, 0);
         let rx = self.rx;
+        let burst = self.cfg.burst;
         let handle = thread::Builder::new()
             .name("ff-stage".into())
             .spawn(move || {
                 node.on_init();
-                // Outputs inherit the emit stamp of the input being
-                // serviced; `on_eos` flushes are untimed.
-                let cur = Cell::new(0u64);
-                let mut sink = |out: N::Out| {
-                    if stage.enabled() && tx.free_slots() == 0 {
-                        stage.push_stall();
+                let mut bsink = BatchSink::new(tx, stage.clone(), burst);
+                let mut in_buf: Vec<Stamped<T>> = Vec::with_capacity(burst);
+                loop {
+                    let n = traced_recv_batch(&rx, &stage, &mut in_buf, burst);
+                    if n == 0 {
+                        break;
                     }
-                    let ok = tx.send(Stamped::at(out, cur.get())).is_ok();
-                    if ok {
-                        stage.items_out(1);
+                    // Outputs inherit the emit stamp of the input being
+                    // serviced; `on_eos` flushes are untimed.
+                    for Stamped { item, emit_ns } in in_buf.drain(..) {
+                        stage.item_in(rx.len());
+                        let mut push = |out: N::Out| bsink.push(out, emit_ns);
+                        let mut em = Emitter::new(&mut push);
+                        let span = stage.begin();
+                        node.svc(item, &mut em);
+                        stage.end(span);
+                        if !em.is_open() {
+                            return;
+                        }
                     }
-                    ok
-                };
-                while let Some(Stamped { item, emit_ns }) = traced_recv(&rx, &stage) {
-                    cur.set(emit_ns);
-                    stage.item_in(rx.len());
-                    let mut em = Emitter::new(&mut sink);
-                    let span = stage.begin();
-                    node.svc(item, &mut em);
-                    stage.end(span);
-                    if !em.is_open() {
+                    // Flush before the recv above can block again.
+                    if !bsink.flush() {
                         return;
                     }
                 }
-                cur.set(0);
-                let mut em = Emitter::new(&mut sink);
-                node.on_eos(&mut em);
+                {
+                    let mut push = |out: N::Out| bsink.push(out, 0);
+                    let mut em = Emitter::new(&mut push);
+                    node.on_eos(&mut em);
+                }
+                bsink.flush();
             })
             .expect("spawn stage");
         self.handles.push(handle);
@@ -273,6 +405,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             wait: self.cfg.wait,
             policy,
             ordered,
+            burst: self.cfg.burst,
         };
         let name = self.next_stage_name();
         let (out_rx, mut farm_handles) =
@@ -303,6 +436,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             factory,
             self.cfg.capacity,
             self.cfg.wait,
+            self.cfg.burst,
             &self.rec,
             &name,
         );
@@ -326,12 +460,15 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         F: FnMut(T),
     {
         let stage = self.rec.stage("sink", 0);
-        while let Some(Stamped { item, emit_ns }) = traced_recv(&self.rx, &stage) {
-            stage.item_in(self.rx.len());
-            let span = stage.begin();
-            f(item);
-            stage.end(span);
-            self.rec.record_e2e(emit_ns);
+        let mut buf: Vec<Stamped<T>> = Vec::with_capacity(self.cfg.burst);
+        while traced_recv_batch(&self.rx, &stage, &mut buf, self.cfg.burst) > 0 {
+            for Stamped { item, emit_ns } in buf.drain(..) {
+                stage.item_in(self.rx.len());
+                let span = stage.begin();
+                f(item);
+                stage.end(span);
+                self.rec.record_e2e(emit_ns);
+            }
         }
         join_all(self.handles);
     }
@@ -340,10 +477,13 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     pub fn collect(self) -> Vec<T> {
         let stage = self.rec.stage("sink", 0);
         let mut out = Vec::new();
-        while let Some(Stamped { item, emit_ns }) = traced_recv(&self.rx, &stage) {
-            stage.item_in(self.rx.len());
-            self.rec.record_e2e(emit_ns);
-            out.push(item);
+        let mut buf: Vec<Stamped<T>> = Vec::with_capacity(self.cfg.burst);
+        while traced_recv_batch(&self.rx, &stage, &mut buf, self.cfg.burst) > 0 {
+            for Stamped { item, emit_ns } in buf.drain(..) {
+                stage.item_in(self.rx.len());
+                self.rec.record_e2e(emit_ns);
+                out.push(item);
+            }
         }
         join_all(self.handles);
         out

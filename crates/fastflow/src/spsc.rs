@@ -122,6 +122,58 @@ impl<T> Producer<T> {
         Ok(())
     }
 
+    /// Enqueue up to `max` items taken from `iter`, publishing `tail` once
+    /// for the whole run. Returns the number of items enqueued (0 when the
+    /// ring is full or the iterator is exhausted); items not enqueued stay
+    /// in the iterator.
+    ///
+    /// This is the batched fast path: `k` items cost one release store and
+    /// (at most) one acquire load instead of `k` of each, which is what
+    /// makes fine-grained streaming scale on multi-cores (the FastFlow
+    /// multi-push optimization).
+    pub fn try_push_n<I: Iterator<Item = T>>(&self, iter: &mut I, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let tail = self.tail.get();
+        let mut free = self.ring.cap - (tail - self.cached_head.get());
+        if free < max.min(self.ring.cap) {
+            // The cache can't satisfy the whole run; refresh once so the
+            // burst is as long as the consumer actually allows.
+            self.cached_head
+                .set(self.ring.head.0.load(Ordering::Acquire));
+            free = self.ring.cap - (tail - self.cached_head.get());
+        }
+        let n = free.min(max);
+        let mut written = 0;
+        while written < n {
+            // A panicking iterator leaks the items already written to the
+            // unpublished slots (they are overwritten later) — never UB.
+            match iter.next() {
+                Some(item) => {
+                    unsafe { (*self.ring.slot(tail + written)).write(item) };
+                    written += 1;
+                }
+                None => break,
+            }
+        }
+        if written > 0 {
+            self.tail.set(tail + written);
+            self.ring.tail.0.store(tail + written, Ordering::Release);
+        }
+        written
+    }
+
+    /// Enqueue as many items of `slice` as fit, starting at its front.
+    /// Returns how many were copied in; one `tail` publication.
+    pub fn try_push_slice(&self, slice: &[T]) -> usize
+    where
+        T: Copy,
+    {
+        let mut iter = slice.iter().copied();
+        self.try_push_n(&mut iter, slice.len())
+    }
+
     /// Number of free slots as last observed (may race; advisory only).
     pub fn free_slots(&self) -> usize {
         let head = self.ring.head.0.load(Ordering::Acquire);
@@ -155,6 +207,36 @@ impl<T> Consumer<T> {
         self.head.set(head + 1);
         self.ring.head.0.store(head + 1, Ordering::Release);
         Some(item)
+    }
+
+    /// Dequeue up to `max` items into `out`, publishing `head` once for the
+    /// whole run. Returns the number of items appended (0 when the ring is
+    /// empty). The consumer-side counterpart of
+    /// [`Producer::try_push_n`]: `k` queued items cost one acquire load and
+    /// one release store instead of `k` of each.
+    pub fn try_pop_n(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let head = self.head.get();
+        let mut avail = self.cached_tail.get() - head;
+        if avail < max {
+            // Refresh once so the drain run covers everything published.
+            self.cached_tail
+                .set(self.ring.tail.0.load(Ordering::Acquire));
+            avail = self.cached_tail.get() - head;
+        }
+        let n = avail.min(max);
+        if n == 0 {
+            return 0;
+        }
+        out.reserve(n);
+        for i in 0..n {
+            out.push(unsafe { (*self.ring.slot(head + i)).assume_init_read() });
+        }
+        self.head.set(head + n);
+        self.ring.head.0.store(head + n, Ordering::Release);
+        n
     }
 
     /// Items currently queued as last observed (advisory only).
@@ -306,5 +388,146 @@ mod tests {
     #[should_panic(expected = "capacity >= 1")]
     fn zero_capacity_panics() {
         let _ = ring::<u8>(0);
+    }
+
+    #[test]
+    fn push_n_pop_n_roundtrip() {
+        let (p, c) = ring::<u32>(8);
+        let mut src = 0..5u32;
+        assert_eq!(p.try_push_n(&mut src, 16), 5);
+        let mut out = Vec::new();
+        assert_eq!(c.try_pop_n(&mut out, 16), 5);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.try_pop_n(&mut out, 16), 0);
+    }
+
+    #[test]
+    fn push_n_partial_on_nearly_full_ring() {
+        let (p, c) = ring::<u32>(4);
+        p.try_push(100).unwrap();
+        p.try_push(101).unwrap();
+        let mut src = 0..10u32;
+        // Only two slots free: the run must stop there, leaving the rest
+        // in the iterator.
+        assert_eq!(p.try_push_n(&mut src, 10), 2);
+        assert_eq!(src.next(), Some(2));
+        let mut out = Vec::new();
+        assert_eq!(c.try_pop_n(&mut out, 10), 4);
+        assert_eq!(out, vec![100, 101, 0, 1]);
+    }
+
+    #[test]
+    fn pop_n_respects_max() {
+        let (p, c) = ring::<u32>(8);
+        let mut src = 0..8u32;
+        assert_eq!(p.try_push_n(&mut src, 8), 8);
+        let mut out = Vec::new();
+        assert_eq!(c.try_pop_n(&mut out, 3), 3);
+        assert_eq!(c.try_pop_n(&mut out, 3), 3);
+        assert_eq!(c.try_pop_n(&mut out, 3), 2);
+        assert_eq!(out, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn push_slice_copies_prefix() {
+        let (p, c) = ring::<u8>(3);
+        assert_eq!(p.try_push_slice(&[1, 2, 3, 4, 5]), 3);
+        assert_eq!(c.try_pop(), Some(1));
+        assert_eq!(p.try_push_slice(&[9]), 1);
+        let mut out = Vec::new();
+        assert_eq!(c.try_pop_n(&mut out, 8), 3);
+        assert_eq!(out, vec![2, 3, 9]);
+    }
+
+    #[test]
+    fn batched_ops_wrap_around_the_ring_boundary() {
+        let (p, c) = ring::<usize>(5);
+        let mut next_in = 0usize;
+        let mut next_out = 0usize;
+        let mut out = Vec::new();
+        // Mixed-size bursts cycle the indices far past several wraps.
+        for round in 0..200 {
+            let want = 1 + (round % 5);
+            let mut src = next_in..usize::MAX;
+            let pushed = p.try_push_n(&mut src, want);
+            next_in += pushed;
+            let popped = c.try_pop_n(&mut out, 1 + (round % 4));
+            for v in out.drain(..) {
+                assert_eq!(v, next_out);
+                next_out += 1;
+            }
+            assert!(popped <= 4);
+        }
+        while c.try_pop_n(&mut out, 3) > 0 {
+            for v in out.drain(..) {
+                assert_eq!(v, next_out);
+                next_out += 1;
+            }
+        }
+        assert_eq!(next_out, next_in);
+    }
+
+    #[test]
+    fn batched_and_single_ops_interleave() {
+        let (p, c) = ring::<u32>(4);
+        p.try_push(7).unwrap();
+        let mut src = 8..10u32;
+        assert_eq!(p.try_push_n(&mut src, 2), 2);
+        assert_eq!(c.try_pop(), Some(7));
+        let mut out = Vec::new();
+        assert_eq!(c.try_pop_n(&mut out, 1), 1);
+        assert_eq!(out, vec![8]);
+        assert_eq!(c.try_pop(), Some(9));
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_batched_items() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let (p, c) = ring::<D>(8);
+        let mut src = std::iter::repeat_with(|| D);
+        assert_eq!(p.try_push_n(&mut src, 6), 6);
+        let mut out = Vec::new();
+        assert_eq!(c.try_pop_n(&mut out, 2), 2);
+        drop(out); // 2 dropped by the caller
+        drop(p);
+        drop(c); // 4 unconsumed dropped by the ring
+        assert_eq!(DROPS.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn cross_thread_batched_transfer_is_lossless_and_ordered() {
+        const N: usize = 200_000;
+        let (p, c) = ring::<usize>(64);
+        let producer = thread::spawn(move || {
+            let mut src = 0..N;
+            let mut sent = 0;
+            while sent < N {
+                let pushed = p.try_push_n(&mut src, 17);
+                if pushed == 0 {
+                    thread::yield_now();
+                }
+                sent += pushed;
+            }
+        });
+        let mut expected = 0;
+        let mut out = Vec::new();
+        while expected < N {
+            if c.try_pop_n(&mut out, 23) == 0 {
+                thread::yield_now();
+            }
+            for v in out.drain(..) {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+        }
+        producer.join().unwrap();
+        assert!(c.try_pop().is_none());
     }
 }

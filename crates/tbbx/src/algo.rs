@@ -1,9 +1,10 @@
 //! Data-parallel algorithms over the task pool: `parallel_for` and
 //! `parallel_reduce`, the TBB loop templates.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crate::pool::{Latch, TaskPool};
+use crate::slots::DisjointSlots;
 
 /// Apply `body(i)` for every `i` in `range`, splitting into chunks of at
 /// most `grain` iterations executed as pool tasks. Blocks until done.
@@ -37,7 +38,9 @@ where
 /// Reduce `map(i)` over `range` with the associative `reduce` operator and
 /// `identity` element. Chunked like [`parallel_for`]; combination order is
 /// unspecified, so `reduce` must be associative and commutative with respect
-/// to `identity`.
+/// to `identity`. Each task accumulates into a private partial (no shared
+/// accumulator lock); the partials are combined once on the calling thread
+/// after the latch opens.
 pub fn parallel_reduce<T, M, R>(
     pool: &Arc<TaskPool>,
     range: std::ops::Range<usize>,
@@ -59,30 +62,30 @@ where
     let reduce = Arc::new(reduce);
     let chunks = split_range(range, grain);
     let latch = Latch::new(chunks.len());
-    let acc = Arc::new(Mutex::new(identity.clone()));
-    for chunk in chunks {
+    let partials = DisjointSlots::new(chunks.len());
+    for (c, chunk) in chunks.into_iter().enumerate() {
         let map = Arc::clone(&map);
         let reduce = Arc::clone(&reduce);
         let latch = Arc::clone(&latch);
-        let acc = Arc::clone(&acc);
+        let partials = Arc::clone(&partials);
         let identity = identity.clone();
         pool.spawn(move || {
             let mut local = identity;
             for i in chunk {
                 local = reduce(local, map(i));
             }
-            {
-                let mut global = acc.lock().unwrap();
-                let merged = reduce(global.clone(), local);
-                *global = merged;
-            }
+            // Safety: task `c` is the only writer of slot `c`, and the
+            // latch below gates the read-back.
+            unsafe { partials.write(c, local) };
             latch.count_down();
         });
     }
     latch.wait();
-    Arc::try_unwrap(acc)
-        .map(|m| m.into_inner().unwrap())
-        .unwrap_or_else(|arc| arc.lock().unwrap().clone())
+    let mut acc = identity;
+    for partial in partials.take_all() {
+        acc = reduce(acc, partial.expect("chunk partial computed"));
+    }
+    acc
 }
 
 fn split_range(range: std::ops::Range<usize>, grain: usize) -> Vec<std::ops::Range<usize>> {

@@ -34,9 +34,11 @@
 //! ```
 
 pub mod algo;
+pub mod deque;
 pub mod pipeline;
 pub mod pool;
 pub mod scan;
+mod slots;
 
 pub use algo::{parallel_for, parallel_reduce};
 pub use pipeline::{Pipeline, PipelineBuilder};

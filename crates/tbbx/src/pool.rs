@@ -1,31 +1,163 @@
 //! Work-stealing task pool — the analogue of TBB's task scheduler.
 //!
-//! Each worker owns a LIFO deque; tasks spawned from outside land in a
-//! global FIFO injector. Idle workers steal: first a batch from the
-//! injector, then single tasks from peers' deques (FIFO end), then park
-//! on a condition variable until new work is announced. The deques are
-//! `Mutex<VecDeque>` rather than lock-free Chase–Lev — the queues are
-//! short and uncontended, and keeping the scheduler dependency-free
-//! matters more here than shaving the lock. Tasks are plain boxed
-//! closures — the structured patterns ([`crate::parallel_for`], the
+//! Each worker owns a lock-free [Chase–Lev deque](crate::deque): tasks a
+//! worker spawns from inside another task go straight onto its own deque
+//! (LIFO end — cache-warm, TBB's depth-first bias), while tasks spawned
+//! from outside the pool land in a bounded lock-free MPMC injector (a
+//! Vyukov per-slot-sequence ring). Idle workers search: own deque, then a
+//! batch from the injector, then steal the oldest task from a peer's deque
+//! (FIFO end). No mutex is ever taken on the task hot path — the only
+//! locks left are the sleep/wake condvar (taken when a worker has found
+//! nothing and is about to park) and the deques' retired-buffer lists
+//! (taken only on buffer growth). Tasks are plain boxed closures — the
+//! structured patterns ([`crate::parallel_for`], the
 //! [`pipeline`](crate::pipeline)) are layered on top with latches.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::cell::{RefCell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::deque::{deque, Steal, Stealer, Worker};
+
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// Bound of the external-spawn injector; external spawners yield-retry when
+/// it is momentarily full (workers always drain it, so they can't wedge).
+const INJECTOR_CAP: usize = 8192;
+
+/// How many extra injector tasks a worker moves onto its own deque per
+/// injector hit — amortizes the shared ring's CAS traffic the same way the
+/// old pool grabbed half the `VecDeque`.
+const INJECTOR_GRAB: usize = 16;
+
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+struct InjSlot {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<Task>>,
+}
+
+/// Bounded lock-free MPMC queue (Vyukov): each slot carries a sequence
+/// number that encodes whether it is ready to write (`seq == pos`) or ready
+/// to read (`seq == pos + 1`); producers and consumers claim positions with
+/// a CAS on their respective cursors and publish via the slot sequence.
+struct Injector {
+    mask: usize,
+    slots: Box<[InjSlot]>,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+unsafe impl Send for Injector {}
+unsafe impl Sync for Injector {}
+
+impl Injector {
+    fn new(cap: usize) -> Self {
+        assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|i| InjSlot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Injector {
+            mask: cap - 1,
+            slots,
+            enqueue_pos: CachePadded(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Enqueue; hands the task back if the ring is full.
+    fn push(&self, task: Task) -> Result<(), Task> {
+        let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { (*slot.value.get()).write(task) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if diff < 0 {
+                return Err(task); // full (a lap behind)
+            } else {
+                pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<Task> {
+        let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - (pos + 1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let task = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(task);
+                    }
+                    Err(p) => pos = p,
+                }
+            } else if diff < 0 {
+                return None; // empty
+            } else {
+                pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Injector {
+    fn drop(&mut self) {
+        while let Some(task) = self.pop() {
+            drop(task);
+        }
+    }
+}
+
+/// Monotonic pool identity so thread-local worker registration can tell
+/// "spawn from one of *my* workers" apart from nested foreign pools.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Set while a thread runs a pool's worker loop: (pool id, own deque).
+    static CURRENT_WORKER: RefCell<Option<(u64, Rc<Worker<Task>>)>> =
+        const { RefCell::new(None) };
+}
+
 struct Shared {
-    injector: Mutex<VecDeque<Task>>,
-    locals: Vec<Mutex<VecDeque<Task>>>,
+    injector: Injector,
+    stealers: Vec<Stealer<Task>>,
     shutdown: AtomicBool,
     /// Count of tasks announced but not yet taken; used with the condvar to
     /// avoid missed wakeups when all workers are parked.
     sleep_lock: Mutex<()>,
     wake: Condvar,
     pending: AtomicUsize,
+    pool_id: u64,
 }
 
 impl Shared {
@@ -55,23 +187,30 @@ impl TaskPool {
     /// Panics if `n_workers == 0`.
     pub fn new(n_workers: usize) -> Self {
         assert!(n_workers > 0, "pool needs at least one worker");
-        let locals = (0..n_workers)
-            .map(|_| Mutex::new(VecDeque::new()))
-            .collect();
+        let mut workers = Vec::with_capacity(n_workers);
+        let mut stealers = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let (w, s) = deque::<Task>();
+            workers.push(w);
+            stealers.push(s);
+        }
         let shared = Arc::new(Shared {
-            injector: Mutex::new(VecDeque::new()),
-            locals,
+            injector: Injector::new(INJECTOR_CAP),
+            stealers,
             shutdown: AtomicBool::new(false),
             sleep_lock: Mutex::new(()),
             wake: Condvar::new(),
             pending: AtomicUsize::new(0),
+            pool_id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
         });
-        let threads = (0..n_workers)
-            .map(|idx| {
+        let threads = workers
+            .into_iter()
+            .enumerate()
+            .map(|(idx, worker)| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("tbbx-worker-{idx}"))
-                    .spawn(move || worker_loop(idx, shared))
+                    .spawn(move || worker_loop(idx, worker, shared))
                     .expect("spawn tbbx worker")
             })
             .collect();
@@ -87,13 +226,32 @@ impl TaskPool {
         self.n_workers
     }
 
-    /// Submit a task for execution.
+    /// Submit a task for execution. From inside one of this pool's own
+    /// worker threads the task goes straight onto that worker's deque
+    /// (LIFO, no shared-cursor traffic); from any other thread it goes
+    /// through the lock-free injector.
     pub fn spawn<F: FnOnce() + Send + 'static>(&self, task: F) {
-        self.shared
-            .injector
-            .lock()
-            .unwrap()
-            .push_back(Box::new(task));
+        let mut task: Option<Task> = Some(Box::new(task));
+        CURRENT_WORKER.with(|cw| {
+            if let Some((id, worker)) = cw.borrow().as_ref() {
+                if *id == self.shared.pool_id {
+                    worker.push(task.take().expect("task present"));
+                }
+            }
+        });
+        if let Some(mut t) = task {
+            loop {
+                match self.shared.injector.push(t) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        // Ring momentarily full: workers always drain it,
+                        // so yielding is enough for space to appear.
+                        t = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
         self.shared.announce();
     }
 
@@ -108,21 +266,32 @@ impl Drop for TaskPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.announce_all();
+        // The last `Arc<TaskPool>` can be dropped from inside a worker's own
+        // task (e.g. a generator task that captured the pool). Joining that
+        // worker from itself would deadlock, so detach it: it observes the
+        // shutdown flag and exits on its own, holding only `Arc<Shared>`.
+        let me = std::thread::current().id();
         for t in self.threads.drain(..) {
-            let _ = t.join();
+            if t.thread().id() != me {
+                let _ = t.join();
+            }
         }
     }
 }
 
-fn worker_loop(idx: usize, shared: Arc<Shared>) {
+fn worker_loop(idx: usize, worker: Worker<Task>, shared: Arc<Shared>) {
+    let worker = Rc::new(worker);
+    CURRENT_WORKER.with(|cw| {
+        *cw.borrow_mut() = Some((shared.pool_id, Rc::clone(&worker)));
+    });
     loop {
-        if let Some(task) = find_task(idx, &shared) {
+        if let Some(task) = find_task(idx, &worker, &shared) {
             shared.pending.fetch_sub(1, Ordering::AcqRel);
             task();
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
-            return;
+            break;
         }
         // Park until work is announced or shutdown.
         let guard = shared.sleep_lock.lock().unwrap();
@@ -133,33 +302,41 @@ fn worker_loop(idx: usize, shared: Arc<Shared>) {
                 .unwrap();
         }
     }
+    CURRENT_WORKER.with(|cw| *cw.borrow_mut() = None);
 }
 
-fn find_task(self_idx: usize, shared: &Shared) -> Option<Task> {
+fn find_task(self_idx: usize, worker: &Worker<Task>, shared: &Shared) -> Option<Task> {
     // Own deque first, LIFO end (cache-warm work).
-    if let Some(t) = shared.locals[self_idx].lock().unwrap().pop_back() {
+    if let Some(t) = worker.pop() {
         return Some(t);
     }
-    // Then a batch from the injector: take one to run and move up to half
-    // of the rest into the local deque.
-    {
-        let mut injector = shared.injector.lock().unwrap();
-        if let Some(t) = injector.pop_front() {
-            let grab = injector.len() / 2;
-            if grab > 0 {
-                let mut local = shared.locals[self_idx].lock().unwrap();
-                local.extend(injector.drain(..grab));
+    // Then the injector: take one to run and move a bounded batch onto the
+    // own deque so the next few hits are contention-free.
+    if let Some(t) = shared.injector.pop() {
+        let mut grabbed = 0;
+        while grabbed < INJECTOR_GRAB {
+            match shared.injector.pop() {
+                Some(extra) => {
+                    worker.push(extra);
+                    grabbed += 1;
+                }
+                None => break,
             }
-            return Some(t);
         }
+        return Some(t);
     }
-    // Then steal single tasks from peers, FIFO end (oldest work).
-    for (i, peer) in shared.locals.iter().enumerate() {
-        if i == self_idx {
-            continue;
-        }
-        if let Some(t) = peer.lock().unwrap().pop_front() {
-            return Some(t);
+    // Then steal the oldest task from a peer, starting past self so the
+    // thieves spread instead of all hammering worker 0.
+    let n = shared.stealers.len();
+    for off in 1..n {
+        let i = (self_idx + off) % n;
+        loop {
+            match shared.stealers[i].steal() {
+                Steal::Success(t) => return Some(t),
+                // Lost a race — someone is making progress; try again.
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
         }
     }
     None
@@ -250,6 +427,26 @@ mod tests {
         let pool = TaskPool::new(3);
         std::thread::sleep(std::time::Duration::from_millis(20));
         drop(pool); // must not hang on parked workers
+    }
+
+    #[test]
+    fn injector_overflow_spawns_still_run() {
+        // More external spawns than INJECTOR_CAP: the producer yield-waits
+        // for space and every task must still run exactly once.
+        let pool = TaskPool::new(2);
+        let n = INJECTOR_CAP + 1000;
+        let counter = Arc::new(AtomicU64::new(0));
+        let latch = Latch::new(n);
+        for _ in 0..n {
+            let counter = Arc::clone(&counter);
+            let latch = Arc::clone(&latch);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                latch.count_down();
+            });
+        }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), n as u64);
     }
 
     #[test]

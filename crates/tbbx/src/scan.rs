@@ -6,9 +6,10 @@
 //! each chunk's prefixes in parallel starting from its offset. `combine`
 //! must be associative.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crate::pool::{Latch, TaskPool};
+use crate::slots::DisjointSlots;
 
 /// Inclusive prefix scan of `input` under the associative `combine` with
 /// `identity`. Returns the scanned vector.
@@ -35,8 +36,8 @@ where
     let combine = Arc::new(combine);
     let n_chunks = n.div_ceil(grain);
 
-    // Pass 1: per-chunk totals.
-    let totals: Arc<Mutex<Vec<Option<T>>>> = Arc::new(Mutex::new(vec![None; n_chunks]));
+    // Pass 1: per-chunk totals, each task writing only its own slot.
+    let totals = DisjointSlots::new(n_chunks);
     let latch = Latch::new(n_chunks);
     for c in 0..n_chunks {
         let input = Arc::clone(&input);
@@ -51,16 +52,16 @@ where
             for v in &input[lo..hi] {
                 acc = combine(&acc, v);
             }
-            totals.lock().unwrap()[c] = Some(acc);
+            // Safety: task `c` is the sole writer of slot `c`; the latch
+            // gates the read-back.
+            unsafe { totals.write(c, acc) };
             latch.count_down();
         });
     }
     latch.wait();
 
     // Serial sweep: exclusive offsets per chunk.
-    let totals = Arc::try_unwrap(totals)
-        .map(|m| m.into_inner().unwrap())
-        .unwrap_or_else(|_| panic!("totals still shared"));
+    let totals = totals.take_all();
     let mut offsets = Vec::with_capacity(n_chunks);
     let mut running = identity.clone();
     for t in totals {
@@ -69,8 +70,8 @@ where
     }
     let offsets: Arc<[T]> = Arc::from(offsets);
 
-    // Pass 2: per-chunk prefix writes.
-    let out: Arc<Mutex<Vec<Option<T>>>> = Arc::new(Mutex::new(vec![None; n]));
+    // Pass 2: per-chunk prefix writes into disjoint index ranges.
+    let out = DisjointSlots::new(n);
     let latch = Latch::new(n_chunks);
     for c in 0..n_chunks {
         let input = Arc::clone(&input);
@@ -82,22 +83,17 @@ where
             let lo = c * grain;
             let hi = ((c + 1) * grain).min(input.len());
             let mut acc = offsets[c].clone();
-            let mut local = Vec::with_capacity(hi - lo);
-            for v in &input[lo..hi] {
+            for (i, v) in input[lo..hi].iter().enumerate() {
                 acc = combine(&acc, v);
-                local.push(acc.clone());
-            }
-            let mut guard = out.lock().unwrap();
-            for (i, v) in local.into_iter().enumerate() {
-                guard[lo + i] = Some(v);
+                // Safety: chunk `c` owns exactly the indices `lo..hi`; the
+                // latch gates the read-back.
+                unsafe { out.write(lo + i, acc.clone()) };
             }
             latch.count_down();
         });
     }
     latch.wait();
-    Arc::try_unwrap(out)
-        .map(|m| m.into_inner().unwrap())
-        .unwrap_or_else(|_| panic!("out still shared"))
+    out.take_all()
         .into_iter()
         .map(|v| v.expect("every slot written"))
         .collect()

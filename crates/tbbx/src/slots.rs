@@ -1,0 +1,49 @@
+//! Disjoint per-task output slots for the fork-join loop templates.
+//!
+//! The loop templates ([`crate::parallel_reduce`], [`crate::parallel_scan`])
+//! used to funnel every task's result through one `Mutex` — a serialization
+//! point that scales inversely with worker count. Since each task owns a
+//! statically disjoint set of output indices, no runtime exclusion is
+//! needed at all: tasks write their own slots, and the completion latch the
+//! caller already waits on provides the happens-before edge (count_down and
+//! wait synchronize through the latch's internal lock) that makes the
+//! read-back safe.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+pub(crate) struct DisjointSlots<T> {
+    slots: UnsafeCell<Vec<Option<T>>>,
+}
+
+// Tasks on different threads write disjoint indices; the caller reads only
+// after the latch wait. See module docs.
+unsafe impl<T: Send> Send for DisjointSlots<T> {}
+unsafe impl<T: Send> Sync for DisjointSlots<T> {}
+
+impl<T> DisjointSlots<T> {
+    pub(crate) fn new(n: usize) -> Arc<Self> {
+        DisjointSlots {
+            slots: UnsafeCell::new((0..n).map(|_| None).collect()),
+        }
+        .into()
+    }
+
+    /// Write slot `idx`.
+    ///
+    /// # Safety
+    /// Each index must be written by at most one task, and all writes must
+    /// complete (via the latch) before [`DisjointSlots::take_all`] runs.
+    pub(crate) unsafe fn write(&self, idx: usize, value: T) {
+        (&mut *self.slots.get())[idx] = Some(value);
+    }
+
+    /// Reclaim the slot vector; must run after the completion latch opened
+    /// and every task's reference was dropped.
+    pub(crate) fn take_all(self: Arc<Self>) -> Vec<Option<T>> {
+        Arc::try_unwrap(self)
+            .unwrap_or_else(|_| panic!("slots still shared after latch wait"))
+            .slots
+            .into_inner()
+    }
+}
