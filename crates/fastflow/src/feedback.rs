@@ -117,13 +117,20 @@ where
                     let mut in_buf: Vec<Stamped<I>> = Vec::with_capacity(burst);
                     // Per-worker scratch: each round's items (recycled +
                     // fresh) are partitioned by destination, then delivered
-                    // with one `send_batch` per worker touched.
+                    // non-blockingly; whatever a full worker queue rejects
+                    // stays in scratch for the next round. The emitter must
+                    // never block toward a worker — a blocked worker may be
+                    // draining only once recycled items come *back* through
+                    // us, so blocking here can wedge the cycle.
                     let mut scratch: Vec<Vec<Stamped<I>>> =
                         (0..n).map(|_| Vec::with_capacity(burst)).collect();
                     loop {
-                        // Drain feedback first: recycled items have priority
-                        // (they hold in-flight slots). Bounded per round so
-                        // fresh input cannot be starved indefinitely.
+                        // Drain feedback first, even while worker queues are
+                        // full: recycled items have priority (they hold
+                        // in-flight slots), and accepting them is what keeps
+                        // the cycle live. Bounded per round so fresh input
+                        // cannot be starved indefinitely; scratch growth is
+                        // bounded by the in-flight count.
                         let mut fb_got = 0usize;
                         while fb_got < burst {
                             match fb_rx.try_recv() {
@@ -135,8 +142,12 @@ where
                                 Err(_) => break,
                             }
                         }
+                        // Admit fresh input only once the previous round was
+                        // fully delivered — undelivered scratch means some
+                        // worker queue is full, and piling on more fresh
+                        // items would only raise in-flight pressure.
                         let mut in_got = 0usize;
-                        if input_open {
+                        if input_open && scratch.iter().all(|b| b.is_empty()) {
                             in_got = rx.try_recv_batch(&mut in_buf, burst);
                             if in_got == 0 && rx.is_eos() {
                                 input_open = false;
@@ -147,15 +158,25 @@ where
                                 next += 1;
                             }
                         }
+                        let mut delivered = 0usize;
                         for (w, buf) in scratch.iter_mut().enumerate() {
-                            if !buf.is_empty() && to_workers[w].send_batch(buf.drain(..)).is_err() {
-                                return;
+                            if buf.is_empty() {
+                                continue;
+                            }
+                            let mut iter = std::mem::take(buf).into_iter();
+                            match to_workers[w].try_send_batch(&mut iter) {
+                                Ok(sent) => {
+                                    delivered += sent;
+                                    // Remainder (queue full) waits its turn.
+                                    buf.extend(iter);
+                                }
+                                Err(_) => return, // worker gone
                             }
                         }
                         if !input_open && in_flight.load(Ordering::Acquire) == 0 {
                             return; // drops worker senders => EOS
                         }
-                        if fb_got == 0 && in_got == 0 {
+                        if fb_got == 0 && in_got == 0 && delivered == 0 {
                             thread::yield_now();
                         }
                     }
@@ -320,6 +341,47 @@ mod tests {
     fn empty_stream_terminates() {
         let out: Vec<u64> = run(Vec::<u64>::new(), 2, |_| |v: u64| Loop::Emit::<u64, u64>(v));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn tiny_capacity_heavy_recycling_terminates() {
+        // Stress the non-blocking emitter: capacity-2 worker queues fill
+        // constantly, so most rounds leave a remainder in scratch, and the
+        // emitter must keep draining feedback (never block toward a full
+        // worker) for the farm to terminate.
+        let (tx, rx) = channel::<Stamped<(u64, u64)>>(2, WaitStrategy::Block);
+        let producer = thread::spawn(move || {
+            for v in 0..200u64 {
+                if tx.send(Stamped::bare((v, 0))).is_err() {
+                    panic!("receiver dropped early");
+                }
+            }
+        });
+        let (out_rx, handles) = spawn_feedback_farm_traced(
+            rx,
+            4,
+            |_| {
+                |(v, trips): (u64, u64)| {
+                    if trips == v % 17 {
+                        Loop::Emit(v)
+                    } else {
+                        Loop::Recycle((v, trips + 1))
+                    }
+                }
+            },
+            2,
+            WaitStrategy::Block,
+            32,
+            &Recorder::default(),
+            "feedback",
+        );
+        let mut out: Vec<u64> = out_rx.into_iter().map(Stamped::into_inner).collect();
+        producer.join().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        out.sort_unstable();
+        assert_eq!(out, (0..200u64).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -133,6 +133,20 @@ mod tests {
     }
 
     #[test]
+    fn parallel_reduce_tight_loop_read_back_race() {
+        // Regression: `DisjointSlots::take_all` used to demand sole
+        // ownership via `Arc::try_unwrap`, but tasks drop their clone only
+        // *after* `count_down`, so a tight loop panicked "slots still
+        // shared after latch wait" within seconds. The read-back now keys
+        // off the latch alone and must tolerate straggling Arc clones.
+        let pool = pool();
+        for _ in 0..1000 {
+            let total = parallel_reduce(&pool, 0..64, 1, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(total, 2016);
+        }
+    }
+
+    #[test]
     fn parallel_reduce_max() {
         let pool = pool();
         let m = parallel_reduce(

@@ -15,9 +15,13 @@
 //!   item is theirs without going through the `top` CAS.
 //! - `steal` Acquire-loads `top`, issues the matching **SeqCst fence**,
 //!   then Acquire-loads `bottom`; it reads the slot *before* the
-//!   `compare_exchange` on `top` and forgets the value if the CAS loses —
-//!   the CAS is the linearization point, a failed claim never drops or
-//!   duplicates an item.
+//!   `compare_exchange` on `top` — the CAS is the linearization point, a
+//!   failed claim never drops or duplicates an item. Because a stalled
+//!   thief can read a slot the owner is concurrently rewriting one lap
+//!   later, the slot is read **volatile as uninitialized bytes**
+//!   (`ptr::read_volatile` of `MaybeUninit<T>`, the crossbeam-deque
+//!   mitigation): the possibly-torn bytes are never treated as a live `T`
+//!   unless the `top` CAS proves the read raced with nobody.
 //!
 //! Buffer growth never blocks thieves: the owner copies the live window
 //! into a doubled buffer, publishes the new pointer with a Release store,
@@ -28,7 +32,8 @@
 
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
-use std::mem::{self, MaybeUninit};
+use std::mem::MaybeUninit;
+use std::ptr;
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -65,13 +70,21 @@ impl<T> Buffer<T> {
         (*self.slot(index)).write(value);
     }
 
+    /// Read the slot's bytes without asserting they form a valid `T`.
+    ///
+    /// Volatile, because a stalled thief may read a slot the owner is
+    /// concurrently rewriting one lap later; the compiler must neither
+    /// tear-split nor invent the load. The caller may `assume_init` the
+    /// result only once a successful `top` CAS (or the owner's exclusive
+    /// bottom range) proves the slot was not being rewritten; otherwise the
+    /// `MaybeUninit` is simply discarded without dropping a `T`.
+    ///
     /// # Safety
-    /// The slot at `index` must have been written; the read value is only
-    /// *owned* by the caller once a successful `top` CAS (or the owner's
-    /// exclusive bottom range) claims it — otherwise it must be forgotten.
+    /// `index` must be in the window some snapshot of `[top, bottom)`
+    /// covered, so the slot memory is allocated and owner-written.
     #[inline]
-    unsafe fn read(&self, index: isize) -> T {
-        (*self.slot(index)).assume_init_read()
+    unsafe fn read(&self, index: isize) -> MaybeUninit<T> {
+        ptr::read_volatile(self.slot(index))
     }
 }
 
@@ -98,7 +111,8 @@ impl<T> Drop for Inner<T> {
         let buf = self.buffer.load(Ordering::Relaxed);
         unsafe {
             for i in t..b {
-                drop((*buf).read(i));
+                // Sole reference: the unclaimed window is fully initialized.
+                drop((*buf).read(i).assume_init());
             }
             drop(Box::from_raw(buf));
             for old in self.retired.lock().unwrap().drain(..) {
@@ -205,14 +219,15 @@ impl<T: Send> Worker<T> {
                     .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                     .is_err()
                 {
-                    // A thief claimed it first; the bits we read are theirs.
-                    mem::forget(value);
+                    // A thief claimed it first; the bits we read are theirs
+                    // (dropping the `MaybeUninit` drops no `T`).
                     inner.bottom.0.store(b + 1, Ordering::Relaxed);
                     return None;
                 }
                 inner.bottom.0.store(b + 1, Ordering::Relaxed);
             }
-            Some(value)
+            // Owner-exclusive (or CAS-won) claim: the bytes are a live `T`.
+            Some(unsafe { value.assume_init() })
         } else {
             // Already empty; undo the decrement.
             inner.bottom.0.store(b + 1, Ordering::Relaxed);
@@ -241,7 +256,8 @@ impl<T: Send> Worker<T> {
         let new = unsafe {
             let new = Box::into_raw(Box::new(Buffer::<T>::new((*old).cap * 2)));
             for i in t..b {
-                (*new).write(i, (*old).read(i));
+                // Owner-exclusive copy: the live window is initialized.
+                (*new).write(i, (*old).read(i).assume_init());
             }
             new
         };
@@ -267,7 +283,9 @@ impl<T: Send> Stealer<T> {
         }
         // Read *before* claiming: the CAS below is the linearization
         // point. Acquire on the buffer pointer pairs with the grow
-        // publication.
+        // publication. The read is volatile and stays `MaybeUninit` — if we
+        // stalled, the owner may be rewriting this slot one lap later, so
+        // the bytes may be torn and must not be treated as a `T` yet.
         let buf = inner.buffer.load(Ordering::Acquire);
         let value = unsafe { (*buf).read(t) };
         if inner
@@ -276,12 +294,12 @@ impl<T: Send> Stealer<T> {
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_err()
         {
-            // Lost to the owner's pop or another thief: the bits we read
-            // belong to whoever won.
-            mem::forget(value);
+            // Lost to the owner's pop or another thief: the (possibly torn)
+            // bytes we read belong to whoever won; discard without dropping.
             return Steal::Retry;
         }
-        Steal::Success(value)
+        // CAS won: nobody rewrote the slot between our reads — a valid `T`.
+        Steal::Success(unsafe { value.assume_init() })
     }
 
     /// Number of items currently visible to this thief (advisory).

@@ -8,12 +8,16 @@
 //! batch from the injector, then steal the oldest task from a peer's deque
 //! (FIFO end). No mutex is ever taken on the task hot path — the only
 //! locks left are the sleep/wake condvar (taken when a worker has found
-//! nothing and is about to park) and the deques' retired-buffer lists
-//! (taken only on buffer growth). Tasks are plain boxed closures — the
+//! nothing and is about to park), the deques' retired-buffer lists (taken
+//! only on buffer growth), and the injector's overflow spill list (touched
+//! only when the bounded ring was observed full, and by workers only when
+//! an atomic counter says it is non-empty — never while spawns fit the
+//! ring). Tasks are plain boxed closures — the
 //! structured patterns ([`crate::parallel_for`], the
 //! [`pipeline`](crate::pipeline)) are layered on top with latches.
 
 use std::cell::{RefCell, UnsafeCell};
+use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -24,9 +28,16 @@ use crate::deque::{deque, Steal, Stealer, Worker};
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
-/// Bound of the external-spawn injector; external spawners yield-retry when
-/// it is momentarily full (workers always drain it, so they can't wedge).
+/// Bound of the external-spawn injector; external spawners yield-retry a
+/// few times when it is momentarily full, then spill to the unbounded
+/// overflow list so `spawn` can never wedge — even if every worker is
+/// blocked inside a task that waits on work this very spawn would provide.
 const INJECTOR_CAP: usize = 8192;
+
+/// Yield-retries against a full injector before spilling to the overflow
+/// list. Enough to ride out a momentary burst while workers drain, small
+/// enough that a spawner stuck behind blocked workers escapes quickly.
+const INJECTOR_FULL_RETRIES: usize = 64;
 
 /// How many extra injector tasks a worker moves onto its own deque per
 /// injector hit — amortizes the shared ring's CAS traffic the same way the
@@ -150,6 +161,11 @@ thread_local! {
 
 struct Shared {
     injector: Injector,
+    /// Unbounded spill for spawns that found the injector full. `overflow_len`
+    /// gates the lock: workers skip it entirely (a Relaxed load) while empty,
+    /// so the mutex is only ever contended in the rare ring-full regime.
+    overflow: Mutex<VecDeque<Task>>,
+    overflow_len: AtomicUsize,
     stealers: Vec<Stealer<Task>>,
     shutdown: AtomicBool,
     /// Count of tasks announced but not yet taken; used with the condvar to
@@ -196,6 +212,8 @@ impl TaskPool {
         }
         let shared = Arc::new(Shared {
             injector: Injector::new(INJECTOR_CAP),
+            overflow: Mutex::new(VecDeque::new()),
+            overflow_len: AtomicUsize::new(0),
             stealers,
             shutdown: AtomicBool::new(false),
             sleep_lock: Mutex::new(()),
@@ -240,14 +258,24 @@ impl TaskPool {
             }
         });
         if let Some(mut t) = task {
+            let mut attempts = 0;
             loop {
                 match self.shared.injector.push(t) {
                     Ok(()) => break,
-                    Err(back) => {
-                        // Ring momentarily full: workers always drain it,
-                        // so yielding is enough for space to appear.
+                    Err(back) if attempts < INJECTOR_FULL_RETRIES => {
+                        // Ring momentarily full: give workers a beat to
+                        // drain it before trying again.
                         t = back;
+                        attempts += 1;
                         std::thread::yield_now();
+                    }
+                    Err(back) => {
+                        // Still full — the workers may all be blocked inside
+                        // tasks waiting on exactly this spawn. Spill to the
+                        // unbounded overflow so `spawn` never deadlocks.
+                        self.shared.overflow.lock().unwrap().push_back(back);
+                        self.shared.overflow_len.fetch_add(1, Ordering::Release);
+                        break;
                     }
                 }
             }
@@ -324,6 +352,20 @@ fn find_task(self_idx: usize, worker: &Worker<Task>, shared: &Shared) -> Option<
             }
         }
         return Some(t);
+    }
+    // Then the overflow spill. The atomic gate keeps this lock-free (one
+    // Relaxed load) in the common case where no spawn ever overflowed.
+    if shared.overflow_len.load(Ordering::Relaxed) > 0 {
+        let mut overflow = shared.overflow.lock().unwrap();
+        let grab = (INJECTOR_GRAB + 1).min(overflow.len());
+        if grab > 0 {
+            shared.overflow_len.fetch_sub(grab, Ordering::Relaxed);
+            let t = overflow.pop_front().expect("grab > 0");
+            for extra in overflow.drain(..grab - 1) {
+                worker.push(extra);
+            }
+            return Some(t);
+        }
     }
     // Then steal the oldest task from a peer, starting past self so the
     // thieves spread instead of all hammering worker 0.
@@ -445,6 +487,43 @@ mod tests {
                 latch.count_down();
             });
         }
+        latch.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), n as u64);
+    }
+
+    #[test]
+    fn spawn_does_not_wedge_when_workers_are_blocked() {
+        // Regression: with every worker blocked inside a task (so nobody
+        // drains the injector), external spawns past INJECTOR_CAP used to
+        // yield-spin forever. They must now spill to the overflow list,
+        // return, and every task must still run once workers free up.
+        let pool = TaskPool::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        let n = INJECTOR_CAP + 100;
+        let latch = Latch::new(n + 1);
+        {
+            let gate = Arc::clone(&gate);
+            let latch = Arc::clone(&latch);
+            pool.spawn(move || {
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                latch.count_down();
+            });
+        }
+        // Give the lone worker a beat to pick up the blocking task.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..n {
+            let counter = Arc::clone(&counter);
+            let latch = Arc::clone(&latch);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                latch.count_down();
+            });
+        }
+        // All spawns returned despite the wedged worker; release it.
+        gate.store(true, Ordering::Release);
         latch.wait();
         assert_eq!(counter.load(Ordering::Relaxed), n as u64);
     }

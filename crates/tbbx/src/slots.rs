@@ -8,23 +8,31 @@
 //! caller already waits on provides the happens-before edge (count_down and
 //! wait synchronize through the latch's internal lock) that makes the
 //! read-back safe.
+//!
+//! Each slot is its own `UnsafeCell` so concurrent writers never materialize
+//! overlapping `&mut` to a shared container (two `&mut` to the same `Vec`
+//! are UB under the aliasing rules even when the touched indices are
+//! disjoint). The read-back keys off the latch alone: tasks may still hold
+//! their `Arc` clones while the caller drains the slots — they count down
+//! strictly after their last slot write, so the refcount proves nothing and
+//! is not consulted.
 
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
 pub(crate) struct DisjointSlots<T> {
-    slots: UnsafeCell<Vec<Option<T>>>,
+    slots: Box<[UnsafeCell<Option<T>>]>,
 }
 
-// Tasks on different threads write disjoint indices; the caller reads only
-// after the latch wait. See module docs.
+// Tasks on different threads write disjoint per-slot cells; the caller
+// reads only after the latch wait. See module docs.
 unsafe impl<T: Send> Send for DisjointSlots<T> {}
 unsafe impl<T: Send> Sync for DisjointSlots<T> {}
 
 impl<T> DisjointSlots<T> {
     pub(crate) fn new(n: usize) -> Arc<Self> {
         DisjointSlots {
-            slots: UnsafeCell::new((0..n).map(|_| None).collect()),
+            slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
         }
         .into()
     }
@@ -35,15 +43,18 @@ impl<T> DisjointSlots<T> {
     /// Each index must be written by at most one task, and all writes must
     /// complete (via the latch) before [`DisjointSlots::take_all`] runs.
     pub(crate) unsafe fn write(&self, idx: usize, value: T) {
-        (&mut *self.slots.get())[idx] = Some(value);
+        *self.slots[idx].get() = Some(value);
     }
 
-    /// Reclaim the slot vector; must run after the completion latch opened
-    /// and every task's reference was dropped.
-    pub(crate) fn take_all(self: Arc<Self>) -> Vec<Option<T>> {
-        Arc::try_unwrap(self)
-            .unwrap_or_else(|_| panic!("slots still shared after latch wait"))
-            .slots
-            .into_inner()
+    /// Drain every slot.
+    ///
+    /// Safe to call with task `Arc` clones still alive: writers touch their
+    /// slot only before `count_down`, so the caller's latch wait — not the
+    /// refcount — is what orders these reads after the last write.
+    pub(crate) fn take_all(&self) -> Vec<Option<T>> {
+        self.slots
+            .iter()
+            .map(|cell| unsafe { (*cell.get()).take() })
+            .collect()
     }
 }
