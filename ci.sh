@@ -34,6 +34,18 @@ grep -q '"e2e"' "$figdir/fig1_telemetry.json"
 grep -q '^stage,' "$figdir/fig1_telemetry.csv"
 grep -q '"traceEvents"' "$figdir/fig1.trace.json"
 
+echo "== fig4 --tiny fault-injection smoke (must degrade to CPU, stay bit-exact) =="
+faultlog=$(cargo run --release --offline -p bench --bin fig4 -- --tiny --inject-faults 42)
+echo "$faultlog" | grep -q 'cpu_fallback' || {
+    echo "FAIL: fault-injected fig4 run recorded no cpu_fallback event" >&2
+    exit 1
+}
+echo "$faultlog" | grep -q '\[retry\]' || {
+    echo "FAIL: fault-injected fig4 run recorded no retry event" >&2
+    exit 1
+}
+grep -q '"fault_counts"' "$figdir/fig4_telemetry.json"
+
 echo "== disabled-probe overhead smoke (must stay branch-only) =="
 cargo test --release --offline --test probe_overhead -- --nocapture
 

@@ -12,6 +12,10 @@
 //!
 //! Pass `--tiny` for a fast smoke run (reduced scale; shape checks that
 //! only hold at figure scale are skipped, telemetry is still emitted).
+//! Pass `--inject-faults <seed>` to arm deterministic GPU fault injection
+//! (device OOM, transient kernel faults, slow devices) on the instrumented
+//! run: it must still produce the bit-exact image via retry + CPU
+//! fallback, and the recorded fault events are printed and asserted.
 //! Pass `--paper-model 1` to additionally print the model's *paper-scale*
 //! prediction (absolute seconds at 2000² × 200 000 iterations, from a
 //! 200×200 full-depth sample — takes a couple of minutes).
@@ -136,6 +140,11 @@ fn main() {
     let sampler = rec.sample_windows(std::time::Duration::from_millis(1));
     let watchdog = rec.watchdog(std::time::Duration::from_millis(10), 5);
     let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
+    let fault_seed: u64 = arg("--inject-faults", 0u64);
+    if fault_seed != 0 {
+        println!("\n[fault injection armed on the instrumented run: seed {fault_seed}]");
+        tsys.inject_faults(&gpusim::FaultSpec::demo(fault_seed));
+    }
     let timg =
         mandel::hybrid::run_spar_gpu_rec::<CudaOffload>(&tsys, &params, 4, batch, 2, rec.clone());
     assert_eq!(
@@ -146,7 +155,24 @@ fn main() {
     sampler.stop();
     // Stalls (if any) are printed by emit_telemetry; a healthy run has none.
     let _ = watchdog.stop();
-    emit_telemetry("fig1", &rec.report());
+    let trep = rec.report();
+    emit_telemetry("fig1", &trep);
+    if fault_seed != 0 {
+        assert!(
+            trep.retry_count() >= 1,
+            "fault injection armed but no retry was recorded"
+        );
+        assert!(
+            trep.fallback_count() >= 1,
+            "fault injection armed but no CPU fallback was recorded"
+        );
+        println!(
+            "fault injection: image bit-identical to the fault-free render \
+             ({} retries, {} cpu fallbacks)",
+            trep.retry_count(),
+            trep.fallback_count()
+        );
+    }
 
     if tiny {
         println!("\n(tiny smoke run: figure-scale shape checks skipped)");

@@ -9,10 +9,16 @@
 //! TBB tokens 38 (CPU) / 50 (GPU), GPU-only with 4× memory spaces.
 //!
 //! Usage: `cargo run --release -p bench --bin fig4 [--dim 600] [--niter 2000]`
+//!
+//! Pass `--tiny` for a fast smoke run (reduced scale; shape checks that
+//! only hold at figure scale are skipped, telemetry is still emitted).
+//! Pass `--inject-faults <seed>` to arm deterministic GPU fault injection
+//! on the instrumented runs: output must stay bit-exact via retry + CPU
+//! fallback, and the recorded fault events are printed and asserted.
 
 use std::sync::Arc;
 
-use bench::{arg, emit_telemetry, secs, Report, ShapeChecks};
+use bench::{arg, emit_telemetry, flag, secs, Report, ShapeChecks};
 use gpusim::{DeviceProps, GpuSystem, OclOffload};
 use mandel::core::FractalParams;
 use mandel::gpu;
@@ -22,8 +28,9 @@ use simtime::SimDuration;
 use telemetry::Recorder;
 
 fn main() {
-    let dim: usize = arg("--dim", 600);
-    let niter: u32 = arg("--niter", 2_000);
+    let tiny = flag("--tiny");
+    let dim: usize = arg("--dim", if tiny { 128 } else { 600 });
+    let niter: u32 = arg("--niter", if tiny { 300 } else { 2_000 });
     let batch: usize = arg("--batch", 32);
     let params = FractalParams::view(dim, niter);
     println!(
@@ -113,6 +120,11 @@ fn main() {
     let sampler = rec.sample_windows(std::time::Duration::from_millis(1));
     let watchdog = rec.watchdog(std::time::Duration::from_millis(10), 5);
     let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
+    let fault_seed: u64 = arg("--inject-faults", 0u64);
+    if fault_seed != 0 {
+        println!("\n[fault injection armed on the instrumented runs: seed {fault_seed}]");
+        tsys.inject_faults(&gpusim::FaultSpec::demo(fault_seed));
+    }
     let tparams = FractalParams::view(dim.min(256), niter.min(500));
     let timg = mandel::hybrid::run_fastflow_gpu_rec::<OclOffload>(
         &tsys,
@@ -141,8 +153,30 @@ fn main() {
     sampler.stop();
     // Stalls (if any) are printed by emit_telemetry; a healthy run has none.
     let _ = watchdog.stop();
-    emit_telemetry("fig4", &rec.report());
+    let trep = rec.report();
+    emit_telemetry("fig4", &trep);
     emit_telemetry("fig4_tbb", &trec.report());
+    if fault_seed != 0 {
+        assert!(
+            trep.retry_count() >= 1,
+            "fault injection armed but no retry was recorded"
+        );
+        assert!(
+            trep.fallback_count() >= 1,
+            "fault injection armed but no CPU fallback was recorded"
+        );
+        println!(
+            "fault injection: image bit-identical to the fault-free render \
+             ({} retries, {} cpu fallbacks)",
+            trep.retry_count(),
+            trep.fallback_count()
+        );
+    }
+
+    if tiny {
+        println!("\n(tiny smoke run: figure-scale shape checks skipped)");
+        return;
+    }
 
     let get = |name: &str, gpus: usize| -> SimDuration {
         results

@@ -14,6 +14,11 @@
 //!   kernel launches.
 //!
 //! Usage: `cargo run --release -p bench --bin fig5 [--mb 1] [--batch-kb 256]`
+//!
+//! Pass `--inject-faults <seed>` to arm deterministic GPU fault injection
+//! on the instrumented run: the archive must still decompress bit-exactly
+//! via OOM halving / retry / CPU fallback, and the recorded fault events
+//! are printed and asserted.
 
 use bench::{arg, emit_telemetry, Report, ShapeChecks};
 use dedup::datasets;
@@ -192,6 +197,11 @@ fn main() {
     let sampler = rec.sample_windows(std::time::Duration::from_millis(1));
     let watchdog = rec.watchdog(std::time::Duration::from_millis(10), 5);
     let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
+    let fault_seed: u64 = arg("--inject-faults", 0u64);
+    if fault_seed != 0 {
+        println!("\n[fault injection armed on the instrumented run: seed {fault_seed}]");
+        tsys.inject_faults(&gpusim::FaultSpec::demo(fault_seed));
+    }
     let ctx = BackendCtx::gpu(tsys, 2, true, cfg.lzss);
     let ds = datasets::parsec_like(size.min(400_000), 42);
     let archive = dedup::run_pipeline_rec::<OffloadBackend<CudaOffload>>(
@@ -209,7 +219,24 @@ fn main() {
     sampler.stop();
     // Stalls (if any) are printed by emit_telemetry; a healthy run has none.
     let _ = watchdog.stop();
-    emit_telemetry("fig5", &rec.report());
+    let trep = rec.report();
+    emit_telemetry("fig5", &trep);
+    if fault_seed != 0 {
+        assert!(
+            trep.retry_count() >= 1,
+            "fault injection armed but no retry was recorded"
+        );
+        assert!(
+            trep.fallback_count() >= 1,
+            "fault injection armed but no CPU fallback was recorded"
+        );
+        println!(
+            "fault injection: archive bit-identical to the fault-free run \
+             ({} retries, {} cpu fallbacks)",
+            trep.retry_count(),
+            trep.fallback_count()
+        );
+    }
 
     println!("\nShape checks (the paper's qualitative claims):");
     checks.finish();

@@ -130,6 +130,17 @@ pub fn emit_telemetry(name: &str, report: &telemetry::TelemetryReport) {
             println!("  {}", e.describe());
         }
     }
+    if !report.faults.is_empty() {
+        println!("\n== fault / retry / fallback events ({name}) ==");
+        for e in &report.faults {
+            println!("  {}", e.describe());
+        }
+        println!(
+            "  [{} retries, {} cpu fallbacks]",
+            report.retry_count(),
+            report.fallback_count()
+        );
+    }
     let dir = figures_dir();
     if std::fs::create_dir_all(&dir).is_ok() {
         let json_path = dir.join(format!("{name}_telemetry.json"));

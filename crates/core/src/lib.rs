@@ -37,3 +37,6 @@ pub mod macros;
 pub use builder::{SparConfig, StreamBuilder, StreamStage, ToStream};
 // Re-exports the macro expansion relies on.
 pub use fastflow::{Emitter, Node, SchedPolicy, WaitStrategy};
+// Fail-soft error model (see fastflow::error): stages emit typed errors
+// downstream instead of unwinding, with bounded retry.
+pub use fastflow::{try_map, try_map_with, FaultPolicy, RunReport, StageError, TryMapNode};

@@ -4,16 +4,29 @@
 //! GPU backends keep the batch resident on the device between stages by
 //! attaching the device buffers to the stream item ("this stage reuses
 //! data already on GPU to prevent unnecessary data transfers", §IV-B) —
-//! stage 4 targets whatever device stage 2 uploaded to.
+//! stage 4 targets whatever device stage 2 uploaded to. Buffer ownership
+//! is encoded in the stream item *type* ([`DedupBackend::Gpu`]): a CUDA
+//! stage 4 can only ever receive CUDA buffers, so the old "wrong buffer
+//! flavour" panics are unrepresentable.
+//!
+//! Every GPU path fails soft. Device OOM and injected kernel faults are
+//! caught, recorded as [`telemetry`] fault events, retried per the
+//! [`FaultPolicy`] (the hash stage additionally retries OOM with halved
+//! sub-batches), and finally degrade to the CPU implementation for that
+//! batch — which is byte-identical, so a faulty run still produces the
+//! exact sequential archive. `gpu: None` on a stream item means "this
+//! batch is not device-resident; compress it on the host".
 //!
 //! `batched = false` reproduces the paper's first, slow integration: one
 //! kernel launch per block instead of per batch.
 
 use std::sync::Arc;
 
+use fastflow::FaultPolicy;
 use gpusim::cuda::{Cuda, CudaBuffer};
 use gpusim::opencl::{ClBuffer, ClKernel, CommandQueue, Context, Platform};
-use gpusim::{GpuSystem, Offload};
+use gpusim::{DeviceFault, GpuSystem, Offload, OutOfMemory};
+use telemetry::{FaultKind, Recorder};
 
 use crate::archive::BlockEntry;
 use crate::batch::Batch;
@@ -23,6 +36,11 @@ use crate::lzss::{encode_block_from_matches, LzssConfig, Match};
 use crate::sha1::{sha1, Digest};
 
 const BLOCK_1D: u32 = 256;
+
+/// Stage labels used for fault events (matching the Fig. 3 pipeline's
+/// telemetry stage names, so trace viewers pin them to the right row).
+const HASH_STAGE: &str = "stage1 (hash)";
+const COMPRESS_STAGE: &str = "stage3 (compress)";
 
 /// Configuration shared by all backends of one pipeline run.
 #[derive(Clone)]
@@ -35,6 +53,12 @@ pub struct BackendCtx {
     pub batched: bool,
     /// Codec parameters.
     pub lzss: LzssConfig,
+    /// Sink for fault / retry / fallback events (disabled ⇒ every record
+    /// is a no-op branch).
+    pub rec: Recorder,
+    /// Retry budget applied before a failing GPU stage degrades to the
+    /// CPU implementation for that batch.
+    pub policy: FaultPolicy,
 }
 
 impl BackendCtx {
@@ -45,6 +69,8 @@ impl BackendCtx {
             n_gpus: 0,
             batched: true,
             lzss,
+            rec: Recorder::default(),
+            policy: FaultPolicy::default(),
         }
     }
 
@@ -56,61 +82,81 @@ impl BackendCtx {
             n_gpus,
             batched,
             lzss,
+            rec: Recorder::default(),
+            policy: FaultPolicy::default(),
+        }
+    }
+
+    /// Attach a telemetry recorder for fault events.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.rec = rec;
+        self
+    }
+
+    /// Override the GPU-failure retry budget.
+    pub fn with_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Why a GPU stage attempt failed: the two operational fault classes the
+/// backends can recover from.
+enum GpuFail {
+    /// A device allocation was refused.
+    Oom(OutOfMemory),
+    /// A kernel launch was refused (fault injection / device error).
+    Kernel(DeviceFault),
+}
+
+impl GpuFail {
+    fn kind(&self) -> FaultKind {
+        match self {
+            GpuFail::Oom(_) => FaultKind::DeviceOom,
+            GpuFail::Kernel(_) => FaultKind::KernelFault,
+        }
+    }
+
+    fn detail(&self) -> String {
+        match self {
+            GpuFail::Oom(e) => e.to_string(),
+            GpuFail::Kernel(e) => e.to_string(),
         }
     }
 }
 
-/// Device-resident copy of a batch, handed from stage 2 to stage 4.
-pub enum GpuData {
-    /// CUDA buffers plus their owning device.
-    Cuda {
-        /// Device index the buffers live on.
-        device: usize,
-        /// Batch bytes.
-        d_data: CudaBuffer<u8>,
-        /// Block starts.
-        d_starts: CudaBuffer<u32>,
-    },
-    /// OpenCL buffers plus their owning device index.
-    Ocl {
-        /// Device index the buffers live on.
-        device: usize,
-        /// Batch bytes.
-        d_data: ClBuffer<u8>,
-        /// Block starts.
-        d_starts: ClBuffer<u32>,
-    },
-    /// Buffers from an [`OffloadBackend`], type-erased so the stream item
-    /// type stays independent of which [`Offload`] implementation produced
-    /// them (stage 4 downcasts back to `O::Buffer<_>`).
-    Offload {
-        /// Device index the buffers live on.
-        device: usize,
-        /// Batch bytes (`O::Buffer<u8>`).
-        d_data: Box<dyn std::any::Any + Send>,
-        /// Block starts (`O::Buffer<u32>`).
-        d_starts: Box<dyn std::any::Any + Send>,
-    },
+impl From<OutOfMemory> for GpuFail {
+    fn from(e: OutOfMemory) -> Self {
+        GpuFail::Oom(e)
+    }
 }
 
-/// Item emitted by stage 2.
-pub struct HashedBatch {
+impl From<DeviceFault> for GpuFail {
+    fn from(e: DeviceFault) -> Self {
+        GpuFail::Kernel(e)
+    }
+}
+
+/// Item emitted by stage 2. `G` is the backend's device-resident buffer
+/// type ([`DedupBackend::Gpu`]); `gpu: None` means the batch is host-only
+/// (CPU backend, or a GPU backend that fell back for this batch).
+pub struct HashedBatch<G = ()> {
     /// The batch (host copy).
     pub batch: Batch,
     /// SHA-1 per block.
     pub digests: Vec<Digest>,
-    /// Device-resident data, if a GPU backend produced it.
-    pub gpu: Option<GpuData>,
+    /// Device-resident data, if this batch made it onto a device.
+    pub gpu: Option<G>,
 }
 
 /// Item emitted by stage 3.
-pub struct ClassifiedBatch {
+pub struct ClassifiedBatch<G = ()> {
     /// The batch (host copy).
     pub batch: Batch,
     /// Unique/dup class per block.
     pub classes: Vec<BlockClass>,
     /// Device-resident data, forwarded from stage 2.
-    pub gpu: Option<GpuData>,
+    pub gpu: Option<G>,
 }
 
 /// Item emitted by stage 4.
@@ -124,15 +170,41 @@ pub struct CompressedBatch {
 /// A stage-2/stage-4 implementation. One instance per stage replica,
 /// constructed on the replica's own thread (GPU state is thread-bound).
 pub trait DedupBackend: Send + 'static {
+    /// Device-resident data handed from stage 2 to stage 4. Each backend
+    /// names its own buffer flavour here, so a mismatched handoff is a
+    /// type error instead of a runtime panic. `()` for host-only backends.
+    type Gpu: Send + 'static;
+
     /// Build a replica backend. `replica` picks the device
     /// (`replica % n_gpus`).
     fn new(ctx: &BackendCtx, replica: usize) -> Self;
 
     /// Stage 2: hash every block of the batch.
-    fn hash_stage(&mut self, batch: Batch) -> HashedBatch;
+    fn hash_stage(&mut self, batch: Batch) -> HashedBatch<Self::Gpu>;
 
     /// Stage 4: compress every unique block.
-    fn compress_stage(&mut self, item: ClassifiedBatch) -> CompressedBatch;
+    fn compress_stage(&mut self, item: ClassifiedBatch<Self::Gpu>) -> CompressedBatch;
+}
+
+/// Host implementation of stage 2 (also the GPU backends' fallback path).
+fn cpu_digests(batch: &Batch) -> Vec<Digest> {
+    (0..batch.block_count())
+        .map(|b| sha1(batch.block(b)))
+        .collect()
+}
+
+/// Host implementation of stage 4 (also the GPU backends' fallback path).
+/// Byte-identical to the GPU match-kernel encoding, so a fallen-back batch
+/// still reproduces the sequential archive exactly.
+fn cpu_entries(batch: &Batch, classes: &[BlockClass], lzss: &LzssConfig) -> Vec<BlockEntry> {
+    classes
+        .iter()
+        .enumerate()
+        .map(|(b, class)| match class {
+            BlockClass::Unique { .. } => BlockEntry::compress_unique(batch.block(b), lzss),
+            BlockClass::Dup { of } => BlockEntry::Dup(*of),
+        })
+        .collect()
 }
 
 /// Pure-CPU backend (the paper's SPar CPU-only version).
@@ -141,14 +213,14 @@ pub struct CpuBackend {
 }
 
 impl DedupBackend for CpuBackend {
+    type Gpu = ();
+
     fn new(ctx: &BackendCtx, _replica: usize) -> Self {
         CpuBackend { lzss: ctx.lzss }
     }
 
     fn hash_stage(&mut self, batch: Batch) -> HashedBatch {
-        let digests = (0..batch.block_count())
-            .map(|b| sha1(batch.block(b)))
-            .collect();
+        let digests = cpu_digests(&batch);
         HashedBatch {
             batch,
             digests,
@@ -157,17 +229,7 @@ impl DedupBackend for CpuBackend {
     }
 
     fn compress_stage(&mut self, item: ClassifiedBatch) -> CompressedBatch {
-        let entries = item
-            .classes
-            .iter()
-            .enumerate()
-            .map(|(b, class)| match class {
-                BlockClass::Unique { .. } => {
-                    BlockEntry::compress_unique(item.batch.block(b), &self.lzss)
-                }
-                BlockClass::Dup { of } => BlockEntry::Dup(*of),
-            })
-            .collect();
+        let entries = cpu_entries(&item.batch, &item.classes, &self.lzss);
         CompressedBatch {
             index: item.batch.index,
             entries,
@@ -208,41 +270,38 @@ fn entries_from_matches(
         .collect()
 }
 
+/// Device-resident batch data produced by [`CudaBackend`]'s stage 2.
+pub struct CudaResident {
+    device: usize,
+    d_data: CudaBuffer<u8>,
+    d_starts: CudaBuffer<u32>,
+}
+
 /// CUDA backend. Host buffers are *pageable* (Dedup `realloc`s its buffers,
 /// §V-B), so all copies are synchronous — faithful to the paper's CUDA
-/// behaviour.
+/// behaviour. On any device fault the failing batch degrades straight to
+/// the host implementation (the raw façade exposes no retry machinery —
+/// the paper's hand-written integrations did not have any either).
 pub struct CudaBackend {
     cuda: Cuda,
     device: usize,
     batched: bool,
     lzss: LzssConfig,
+    rec: Recorder,
 }
 
-impl DedupBackend for CudaBackend {
-    fn new(ctx: &BackendCtx, replica: usize) -> Self {
-        let system = ctx.system.as_ref().expect("CUDA backend needs a GpuSystem");
-        let cuda = Cuda::new(Arc::clone(system));
-        let device = replica % ctx.n_gpus;
-        cuda.set_device(device); // per-thread, as §IV-A requires
-        CudaBackend {
-            cuda,
-            device,
-            batched: ctx.batched,
-            lzss: ctx.lzss,
-        }
-    }
-
-    fn hash_stage(&mut self, batch: Batch) -> HashedBatch {
+impl CudaBackend {
+    fn hash_on_device(&mut self, batch: &Batch) -> Result<(Vec<Digest>, CudaResident), GpuFail> {
         self.cuda.set_device(self.device);
         let stream = self.cuda.stream_create();
         let n = batch.block_count();
-        let d_data: CudaBuffer<u8> = self.cuda.malloc(batch.data.len()).expect("device mem");
-        let d_starts: CudaBuffer<u32> = self.cuda.malloc(n.max(1)).expect("device mem");
-        let d_out: CudaBuffer<u8> = self.cuda.malloc(n * 20).expect("device mem");
+        let d_data: CudaBuffer<u8> = self.cuda.malloc(batch.data.len())?;
+        let d_starts: CudaBuffer<u32> = self.cuda.malloc(n.max(1))?;
+        let d_out: CudaBuffer<u8> = self.cuda.malloc(n * 20)?;
         self.cuda
             .memcpy_h2d_pageable(&d_data, 0, &batch.data, &stream);
         self.cuda
-            .memcpy_h2d_pageable(&d_starts, 0, &starts_u32(&batch), &stream);
+            .memcpy_h2d_pageable(&d_starts, 0, &starts_u32(batch), &stream);
         let mut raw: Vec<u8>;
         if self.batched {
             let k = Sha1Kernel {
@@ -253,7 +312,7 @@ impl DedupBackend for CudaBackend {
                 out: d_out.ptr(),
             };
             let blocks = (n as u64).div_ceil(64) as u32;
-            self.cuda.launch(&k, blocks.max(1), 64u32, &stream);
+            self.cuda.try_launch(&k, blocks.max(1), 64u32, &stream)?;
             // One read for the whole digest array.
             let mut all = vec![0u8; n * 20];
             self.cuda.memcpy_d2h_pageable(&mut all, &d_out, 0, &stream);
@@ -273,7 +332,7 @@ impl DedupBackend for CudaBackend {
                     out: d_out.ptr(),
                     slot: b,
                 };
-                self.cuda.launch(&k, 1u32, 32u32, &stream);
+                self.cuda.try_launch(&k, 1u32, 32u32, &stream)?;
                 self.cuda.memcpy_d2h_pageable(
                     &mut raw[b * 20..b * 20 + 20],
                     &d_out,
@@ -287,51 +346,42 @@ impl DedupBackend for CudaBackend {
             .chunks_exact(20)
             .map(|c| Digest(c.try_into().expect("20 bytes")))
             .collect();
-        HashedBatch {
-            batch,
+        Ok((
             digests,
-            gpu: Some(GpuData::Cuda {
+            CudaResident {
                 device: self.device,
                 d_data,
                 d_starts,
-            }),
-        }
+            },
+        ))
     }
 
-    fn compress_stage(&mut self, item: ClassifiedBatch) -> CompressedBatch {
-        let ClassifiedBatch {
-            batch,
-            classes,
-            gpu,
-        } = item;
-        let Some(GpuData::Cuda {
-            device,
-            d_data,
-            d_starts,
-        }) = gpu
-        else {
-            panic!("CUDA compress stage received an item without CUDA buffers");
-        };
+    fn compress_on_device(
+        &mut self,
+        batch: &Batch,
+        classes: &[BlockClass],
+        res: &CudaResident,
+    ) -> Result<(Vec<u32>, Vec<u32>), GpuFail> {
         // The data lives on whatever device stage 2 used.
-        self.cuda.set_device(device);
+        self.cuda.set_device(res.device);
         let stream = self.cuda.stream_create();
         let len = batch.data.len();
-        let d_len: CudaBuffer<u32> = self.cuda.malloc(len).expect("device mem");
-        let d_off: CudaBuffer<u32> = self.cuda.malloc(len).expect("device mem");
+        let d_len: CudaBuffer<u32> = self.cuda.malloc(len)?;
+        let d_off: CudaBuffer<u32> = self.cuda.malloc(len)?;
         let mut lens = vec![0u32; len];
         let mut offs = vec![0u32; len];
         if self.batched {
             let k = FindMatchKernel {
-                data: d_data.ptr(),
+                data: res.d_data.ptr(),
                 data_len: len,
-                starts: d_starts.ptr(),
+                starts: res.d_starts.ptr(),
                 n_blocks: batch.block_count(),
                 matches_len: d_len.ptr(),
                 matches_off: d_off.ptr(),
                 cfg: self.lzss,
             };
             let blocks = (len as u64).div_ceil(BLOCK_1D as u64) as u32;
-            self.cuda.launch(&k, blocks.max(1), BLOCK_1D, &stream);
+            self.cuda.try_launch(&k, blocks.max(1), BLOCK_1D, &stream)?;
             self.cuda.memcpy_d2h_pageable(&mut lens, &d_len, 0, &stream);
             self.cuda.memcpy_d2h_pageable(&mut offs, &d_off, 0, &stream);
         } else {
@@ -342,7 +392,7 @@ impl DedupBackend for CudaBackend {
                 }
                 let r = batch.block_range(b);
                 let k = FindMatchBlockKernel {
-                    data: d_data.ptr(),
+                    data: res.d_data.ptr(),
                     start: r.start,
                     end: r.end,
                     matches_len: d_len.ptr(),
@@ -351,7 +401,7 @@ impl DedupBackend for CudaBackend {
                 };
                 let lanes = (r.end - r.start) as u64;
                 let blocks = lanes.div_ceil(BLOCK_1D as u64) as u32;
-                self.cuda.launch(&k, blocks.max(1), BLOCK_1D, &stream);
+                self.cuda.try_launch(&k, blocks.max(1), BLOCK_1D, &stream)?;
                 self.cuda
                     .memcpy_d2h_pageable(&mut lens[r.clone()], &d_len, r.start, &stream);
                 self.cuda
@@ -359,12 +409,90 @@ impl DedupBackend for CudaBackend {
             }
         }
         self.cuda.stream_synchronize(&stream);
-        let entries = entries_from_matches(&batch, &classes, &lens, &offs, &self.lzss);
+        Ok((lens, offs))
+    }
+}
+
+impl DedupBackend for CudaBackend {
+    type Gpu = CudaResident;
+
+    fn new(ctx: &BackendCtx, replica: usize) -> Self {
+        let system = ctx.system.as_ref().expect("CUDA backend needs a GpuSystem");
+        let cuda = Cuda::new(Arc::clone(system));
+        let device = replica % ctx.n_gpus;
+        cuda.set_device(device); // per-thread, as §IV-A requires
+        CudaBackend {
+            cuda,
+            device,
+            batched: ctx.batched,
+            lzss: ctx.lzss,
+            rec: ctx.rec.clone(),
+        }
+    }
+
+    fn hash_stage(&mut self, batch: Batch) -> HashedBatch<CudaResident> {
+        match self.hash_on_device(&batch) {
+            Ok((digests, res)) => HashedBatch {
+                batch,
+                digests,
+                gpu: Some(res),
+            },
+            Err(fail) => {
+                self.rec.fault(HASH_STAGE, fail.kind(), fail.detail());
+                self.rec.fault(
+                    HASH_STAGE,
+                    FaultKind::CpuFallback,
+                    format!("batch {}: hashing on the host", batch.index),
+                );
+                let digests = cpu_digests(&batch);
+                HashedBatch {
+                    batch,
+                    digests,
+                    gpu: None,
+                }
+            }
+        }
+    }
+
+    fn compress_stage(&mut self, item: ClassifiedBatch<CudaResident>) -> CompressedBatch {
+        let ClassifiedBatch {
+            batch,
+            classes,
+            gpu,
+        } = item;
+        let entries = match &gpu {
+            Some(res) => match self.compress_on_device(&batch, &classes, res) {
+                Ok((lens, offs)) => {
+                    entries_from_matches(&batch, &classes, &lens, &offs, &self.lzss)
+                }
+                Err(fail) => {
+                    self.rec.fault(COMPRESS_STAGE, fail.kind(), fail.detail());
+                    self.rec.fault(
+                        COMPRESS_STAGE,
+                        FaultKind::CpuFallback,
+                        format!("batch {}: compressing on the host", batch.index),
+                    );
+                    cpu_entries(&batch, &classes, &self.lzss)
+                }
+            },
+            // Stage 2 already fell back: the batch never reached a device.
+            None => cpu_entries(&batch, &classes, &self.lzss),
+        };
         CompressedBatch {
             index: batch.index,
             entries,
         }
     }
+}
+
+/// Device-resident batch data produced by [`OffloadBackend`]'s stage 2.
+/// Owning the concrete `O::Buffer` types (instead of the old type-erased
+/// `Box<dyn Any>`) means stage 4 cannot receive buffers from a different
+/// offload implementation — the downcast-and-panic path is gone.
+pub struct OffloadResident<O: Offload> {
+    device: usize,
+    d_data: O::Buffer<u8>,
+    d_starts: O::Buffer<u32>,
 }
 
 /// Backend written once against the unified [`Offload`] trait and
@@ -376,6 +504,11 @@ impl DedupBackend for CudaBackend {
 /// integration (§IV-B's first attempt) needs offset reads the common
 /// surface does not expose, so that ladder rung stays raw-façade-only
 /// ([`CudaBackend`] / [`OclBackend`] with `batched = false`).
+///
+/// Recovery ladder on device faults: transient kernel faults retry per
+/// the [`FaultPolicy`]; a device OOM retries stage 2 with recursively
+/// halved sub-batches (per-block kernels are split-safe); anything that
+/// still fails degrades to the host implementation for that batch.
 pub struct OffloadBackend<O: Offload> {
     system: Arc<GpuSystem>,
     device: usize,
@@ -383,19 +516,164 @@ pub struct OffloadBackend<O: Offload> {
     /// whatever device stage 2 uploaded to.
     offs: Vec<Option<O>>,
     lzss: LzssConfig,
+    rec: Recorder,
+    policy: FaultPolicy,
 }
 
 impl<O: Offload> OffloadBackend<O> {
     fn off(&mut self, device: usize) -> &mut O {
-        let slot = &mut self.offs[device];
-        if slot.is_none() {
-            *slot = Some(O::attach(&self.system, device));
+        let system = &self.system;
+        self.offs[device].get_or_insert_with(|| O::attach(system, device))
+    }
+
+    /// One full-batch hashing attempt that keeps the batch device-resident
+    /// for stage 4.
+    fn hash_full(&mut self, batch: &Batch) -> Result<(Vec<Digest>, OffloadResident<O>), GpuFail> {
+        let device = self.device;
+        let starts = starts_u32(batch);
+        let n = batch.block_count();
+        let data_len = batch.data.len();
+        let off = self.off(device);
+        let d_data: O::Buffer<u8> = off.try_alloc(data_len)?;
+        let d_starts: O::Buffer<u32> = off.try_alloc(n.max(1))?;
+        let d_out: O::Buffer<u8> = off.try_alloc(n * 20)?;
+        let mut h_data = off.alloc_host::<u8>(data_len);
+        h_data.clone_from_slice(&batch.data);
+        let mut h_starts = off.alloc_host::<u32>(n);
+        h_starts.clone_from_slice(&starts);
+        off.h2d(&d_data, &h_data);
+        off.h2d(&d_starts, &h_starts);
+        off.try_launch(
+            Sha1Kernel {
+                data: O::buffer_ptr(&d_data),
+                starts: O::buffer_ptr(&d_starts),
+                data_len,
+                n_blocks: n,
+                out: O::buffer_ptr(&d_out),
+            },
+            n as u64,
+            64,
+        )?;
+        let mut h_out = off.alloc_host::<u8>(n * 20);
+        off.d2h(&d_out, &mut h_out);
+        off.sync();
+        let digests = h_out
+            .chunks_exact(20)
+            .map(|c| Digest(c.try_into().expect("20 bytes")))
+            .collect();
+        Ok((
+            digests,
+            OffloadResident {
+                device,
+                d_data,
+                d_starts,
+            },
+        ))
+    }
+
+    /// Hash blocks `lo..hi` as a standalone sub-batch (own upload, no
+    /// residency): the smaller-allocation retry path after an OOM.
+    fn hash_range(&mut self, batch: &Batch, lo: usize, hi: usize) -> Result<Vec<Digest>, GpuFail> {
+        let base = batch.block_range(lo).start;
+        let end = batch.block_range(hi - 1).end;
+        let data = &batch.data[base..end];
+        let starts: Vec<u32> = batch.starts[lo..hi]
+            .iter()
+            .map(|&s| (s - base) as u32)
+            .collect();
+        let n = hi - lo;
+        let off = self.off(self.device);
+        let d_data: O::Buffer<u8> = off.try_alloc(data.len())?;
+        let d_starts: O::Buffer<u32> = off.try_alloc(n)?;
+        let d_out: O::Buffer<u8> = off.try_alloc(n * 20)?;
+        let mut h_data = off.alloc_host::<u8>(data.len());
+        h_data.clone_from_slice(data);
+        let mut h_starts = off.alloc_host::<u32>(n);
+        h_starts.clone_from_slice(&starts);
+        off.h2d(&d_data, &h_data);
+        off.h2d(&d_starts, &h_starts);
+        off.try_launch(
+            Sha1Kernel {
+                data: O::buffer_ptr(&d_data),
+                starts: O::buffer_ptr(&d_starts),
+                data_len: data.len(),
+                n_blocks: n,
+                out: O::buffer_ptr(&d_out),
+            },
+            n as u64,
+            64,
+        )?;
+        let mut h_out = off.alloc_host::<u8>(n * 20);
+        off.d2h(&d_out, &mut h_out);
+        off.sync();
+        Ok(h_out
+            .chunks_exact(20)
+            .map(|c| Digest(c.try_into().expect("20 bytes")))
+            .collect())
+    }
+
+    /// Recursively halve `lo..hi` until the sub-batches fit on the device.
+    /// `None` means even the split path failed (single-block OOM or a
+    /// kernel fault) — the caller falls back to the host.
+    fn hash_split(&mut self, batch: &Batch, lo: usize, hi: usize) -> Option<Vec<Digest>> {
+        match self.hash_range(batch, lo, hi) {
+            Ok(digests) => Some(digests),
+            Err(fail) => {
+                self.rec.fault(HASH_STAGE, fail.kind(), fail.detail());
+                if matches!(fail, GpuFail::Oom(_)) && hi - lo > 1 {
+                    self.rec.fault(
+                        HASH_STAGE,
+                        FaultKind::Retry,
+                        format!("batch {}: halving blocks {lo}..{hi}", batch.index),
+                    );
+                    let mid = lo + (hi - lo) / 2;
+                    let mut left = self.hash_split(batch, lo, mid)?;
+                    let right = self.hash_split(batch, mid, hi)?;
+                    left.extend(right);
+                    Some(left)
+                } else {
+                    None
+                }
+            }
         }
-        slot.as_mut().expect("just attached")
+    }
+
+    fn compress_on_device(
+        &mut self,
+        batch: &Batch,
+        res: &OffloadResident<O>,
+    ) -> Result<(Vec<u32>, Vec<u32>), GpuFail> {
+        let len = batch.data.len();
+        let lzss = self.lzss;
+        // The data lives on whatever device stage 2 used.
+        let off = self.off(res.device);
+        let d_len: O::Buffer<u32> = off.try_alloc(len)?;
+        let d_off: O::Buffer<u32> = off.try_alloc(len)?;
+        off.try_launch(
+            FindMatchKernel {
+                data: O::buffer_ptr(&res.d_data),
+                data_len: len,
+                starts: O::buffer_ptr(&res.d_starts),
+                n_blocks: batch.block_count(),
+                matches_len: O::buffer_ptr(&d_len),
+                matches_off: O::buffer_ptr(&d_off),
+                cfg: lzss,
+            },
+            len as u64,
+            BLOCK_1D,
+        )?;
+        let mut h_len = off.alloc_host::<u32>(len);
+        let mut h_off = off.alloc_host::<u32>(len);
+        off.d2h(&d_len, &mut h_len);
+        off.d2h(&d_off, &mut h_off);
+        off.sync();
+        Ok((h_len.to_vec(), h_off.to_vec()))
     }
 }
 
 impl<O: Offload> DedupBackend for OffloadBackend<O> {
+    type Gpu = OffloadResident<O>;
+
     fn new(ctx: &BackendCtx, replica: usize) -> Self {
         let system = ctx
             .system
@@ -406,98 +684,116 @@ impl<O: Offload> DedupBackend for OffloadBackend<O> {
             device: replica % ctx.n_gpus,
             offs: (0..ctx.n_gpus).map(|_| None).collect(),
             lzss: ctx.lzss,
+            rec: ctx.rec.clone(),
+            policy: ctx.policy,
         }
     }
 
-    fn hash_stage(&mut self, batch: Batch) -> HashedBatch {
-        let device = self.device;
-        let starts = starts_u32(&batch);
-        let n = batch.block_count();
-        let data_len = batch.data.len();
-        let off = self.off(device);
-        let d_data: O::Buffer<u8> = off.alloc(data_len);
-        let d_starts: O::Buffer<u32> = off.alloc(n.max(1));
-        let d_out: O::Buffer<u8> = off.alloc(n * 20);
-        let mut h_data = off.alloc_host::<u8>(data_len);
-        h_data.clone_from_slice(&batch.data);
-        let mut h_starts = off.alloc_host::<u32>(n);
-        h_starts.clone_from_slice(&starts);
-        off.h2d(&d_data, &h_data);
-        off.h2d(&d_starts, &h_starts);
-        off.launch(
-            Sha1Kernel {
-                data: O::buffer_ptr(&d_data),
-                starts: O::buffer_ptr(&d_starts),
-                data_len,
-                n_blocks: n,
-                out: O::buffer_ptr(&d_out),
-            },
-            n as u64,
-            64,
+    fn hash_stage(&mut self, batch: Batch) -> HashedBatch<OffloadResident<O>> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.hash_full(&batch) {
+                Ok((digests, res)) => {
+                    return HashedBatch {
+                        batch,
+                        digests,
+                        gpu: Some(res),
+                    }
+                }
+                Err(fail) => {
+                    self.rec.fault(HASH_STAGE, fail.kind(), fail.detail());
+                    match fail {
+                        GpuFail::Oom(_) => {
+                            // Smaller allocations may still fit: retry the
+                            // batch as recursively halved sub-batches
+                            // (residency is lost, stage 4 goes host-side).
+                            self.rec.fault(
+                                HASH_STAGE,
+                                FaultKind::Retry,
+                                format!("batch {}: retrying with halved sub-batches", batch.index),
+                            );
+                            if let Some(digests) = self.hash_split(&batch, 0, batch.block_count()) {
+                                return HashedBatch {
+                                    batch,
+                                    digests,
+                                    gpu: None,
+                                };
+                            }
+                            break;
+                        }
+                        GpuFail::Kernel(_) => {
+                            if attempts <= self.policy.max_retries {
+                                self.rec.fault(
+                                    HASH_STAGE,
+                                    FaultKind::Retry,
+                                    format!("batch {}: attempt {}", batch.index, attempts + 1),
+                                );
+                                if !self.policy.backoff.is_zero() {
+                                    std::thread::sleep(self.policy.backoff);
+                                }
+                                continue;
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.rec.fault(
+            HASH_STAGE,
+            FaultKind::CpuFallback,
+            format!("batch {}: hashing on the host", batch.index),
         );
-        let mut h_out = off.alloc_host::<u8>(n * 20);
-        off.d2h(&d_out, &mut h_out);
-        off.sync();
-        let digests = h_out
-            .chunks_exact(20)
-            .map(|c| Digest(c.try_into().expect("20 bytes")))
-            .collect();
+        let digests = cpu_digests(&batch);
         HashedBatch {
             batch,
             digests,
-            gpu: Some(GpuData::Offload {
-                device,
-                d_data: Box::new(d_data),
-                d_starts: Box::new(d_starts),
-            }),
+            gpu: None,
         }
     }
 
-    fn compress_stage(&mut self, item: ClassifiedBatch) -> CompressedBatch {
+    fn compress_stage(&mut self, item: ClassifiedBatch<OffloadResident<O>>) -> CompressedBatch {
         let ClassifiedBatch {
             batch,
             classes,
             gpu,
         } = item;
-        let Some(GpuData::Offload {
-            device,
-            d_data,
-            d_starts,
-        }) = gpu
-        else {
-            panic!("offload compress stage received an item without offload buffers");
+        let entries = match &gpu {
+            Some(res) => {
+                let mut attempts = 0u32;
+                loop {
+                    attempts += 1;
+                    match self.compress_on_device(&batch, res) {
+                        Ok((lens, offs)) => {
+                            break entries_from_matches(&batch, &classes, &lens, &offs, &self.lzss)
+                        }
+                        Err(fail) => {
+                            self.rec.fault(COMPRESS_STAGE, fail.kind(), fail.detail());
+                            if attempts <= self.policy.max_retries {
+                                self.rec.fault(
+                                    COMPRESS_STAGE,
+                                    FaultKind::Retry,
+                                    format!("batch {}: attempt {}", batch.index, attempts + 1),
+                                );
+                                if !self.policy.backoff.is_zero() {
+                                    std::thread::sleep(self.policy.backoff);
+                                }
+                                continue;
+                            }
+                            self.rec.fault(
+                                COMPRESS_STAGE,
+                                FaultKind::CpuFallback,
+                                format!("batch {}: compressing on the host", batch.index),
+                            );
+                            break cpu_entries(&batch, &classes, &self.lzss);
+                        }
+                    }
+                }
+            }
+            // Stage 2 already fell back: the batch never reached a device.
+            None => cpu_entries(&batch, &classes, &self.lzss),
         };
-        let d_data = *d_data
-            .downcast::<O::Buffer<u8>>()
-            .expect("stage 2 ran a different offload backend");
-        let d_starts = *d_starts
-            .downcast::<O::Buffer<u32>>()
-            .expect("stage 2 ran a different offload backend");
-        let len = batch.data.len();
-        let lzss = self.lzss;
-        // The data lives on whatever device stage 2 used.
-        let off = self.off(device);
-        let d_len: O::Buffer<u32> = off.alloc(len);
-        let d_off: O::Buffer<u32> = off.alloc(len);
-        off.launch(
-            FindMatchKernel {
-                data: O::buffer_ptr(&d_data),
-                data_len: len,
-                starts: O::buffer_ptr(&d_starts),
-                n_blocks: batch.block_count(),
-                matches_len: O::buffer_ptr(&d_len),
-                matches_off: O::buffer_ptr(&d_off),
-                cfg: lzss,
-            },
-            len as u64,
-            BLOCK_1D,
-        );
-        let mut h_len = off.alloc_host::<u32>(len);
-        let mut h_off = off.alloc_host::<u32>(len);
-        off.d2h(&d_len, &mut h_len);
-        off.d2h(&d_off, &mut h_off);
-        off.sync();
-        let entries = entries_from_matches(&batch, &classes, &h_len, &h_off, &lzss);
         CompressedBatch {
             index: batch.index,
             entries,
@@ -505,23 +801,145 @@ impl<O: Offload> DedupBackend for OffloadBackend<O> {
     }
 }
 
+/// Device-resident batch data produced by [`OclBackend`]'s stage 2.
+pub struct OclResident {
+    device: usize,
+    d_data: ClBuffer<u8>,
+    d_starts: ClBuffer<u32>,
+}
+
 /// OpenCL backend. Queues and kernel objects are per replica (they are not
-/// thread-safe); events order the enqueues.
+/// thread-safe); events order the enqueues. Like [`CudaBackend`], any
+/// device fault degrades the batch straight to the host implementation.
 pub struct OclBackend {
     ctx: Context,
     queues: Vec<CommandQueue>, // one per device, created lazily
     device: usize,
     batched: bool,
     lzss: LzssConfig,
+    rec: Recorder,
 }
 
 impl OclBackend {
     fn queue(&self, device: usize) -> &CommandQueue {
         &self.queues[device]
     }
+
+    fn hash_on_device(&mut self, batch: &Batch) -> Result<(Vec<Digest>, OclResident), GpuFail> {
+        let dev = self.ctx.devices()[self.device];
+        let n = batch.block_count();
+        let d_data: ClBuffer<u8> = self.ctx.create_buffer(dev, batch.data.len())?;
+        let d_starts: ClBuffer<u32> = self.ctx.create_buffer(dev, n.max(1))?;
+        let d_out: ClBuffer<u8> = self.ctx.create_buffer(dev, n * 20)?;
+        let q = self.queue(self.device);
+        let w1 = q.enqueue_write_buffer(&d_data, false, 0, &batch.data, &[]);
+        let w2 = q.enqueue_write_buffer(&d_starts, false, 0, &starts_u32(batch), &[]);
+        let mut raw = vec![0u8; n * 20];
+        if self.batched {
+            let kernel = ClKernel::create(Sha1Kernel {
+                data: d_data.ptr(),
+                starts: d_starts.ptr(),
+                data_len: batch.data.len(),
+                n_blocks: n,
+                out: d_out.ptr(),
+            });
+            let k_ev = q.try_enqueue_nd_range(
+                &kernel,
+                (n as u64).next_multiple_of(64).max(64),
+                64,
+                &[w1, w2],
+            )?;
+            let r_ev = q.enqueue_read_buffer(&d_out, false, 0, &mut raw, &[k_ev]);
+            self.ctx.wait_for_events(&[r_ev]);
+        } else {
+            // Naive integration: one launch and one blocking read per block.
+            for b in 0..n {
+                let r = batch.block_range(b);
+                let kernel = ClKernel::create(Sha1BlockKernel {
+                    data: d_data.ptr(),
+                    start: r.start,
+                    end: r.end,
+                    out: d_out.ptr(),
+                    slot: b,
+                });
+                let k_ev = q.try_enqueue_nd_range(&kernel, 32, 32, &[w1, w2])?;
+                q.enqueue_read_buffer(&d_out, true, b * 20, &mut raw[b * 20..b * 20 + 20], &[k_ev]);
+            }
+        }
+        let digests = raw
+            .chunks_exact(20)
+            .map(|c| Digest(c.try_into().expect("20 bytes")))
+            .collect();
+        Ok((
+            digests,
+            OclResident {
+                device: self.device,
+                d_data,
+                d_starts,
+            },
+        ))
+    }
+
+    fn compress_on_device(
+        &mut self,
+        batch: &Batch,
+        classes: &[BlockClass],
+        res: &OclResident,
+    ) -> Result<(Vec<u32>, Vec<u32>), GpuFail> {
+        let dev = self.ctx.devices()[res.device];
+        let len = batch.data.len();
+        let d_len: ClBuffer<u32> = self.ctx.create_buffer(dev, len)?;
+        let d_off: ClBuffer<u32> = self.ctx.create_buffer(dev, len)?;
+        let q = self.queue(res.device);
+        let mut lens = vec![0u32; len];
+        let mut offs = vec![0u32; len];
+        if self.batched {
+            let kernel = ClKernel::create(FindMatchKernel {
+                data: res.d_data.ptr(),
+                data_len: len,
+                starts: res.d_starts.ptr(),
+                n_blocks: batch.block_count(),
+                matches_len: d_len.ptr(),
+                matches_off: d_off.ptr(),
+                cfg: self.lzss,
+            });
+            let global = (len as u64)
+                .next_multiple_of(BLOCK_1D as u64)
+                .max(BLOCK_1D as u64);
+            let k_ev = q.try_enqueue_nd_range(&kernel, global, BLOCK_1D, &[])?;
+            let r1 = q.enqueue_read_buffer(&d_len, false, 0, &mut lens, &[k_ev]);
+            let r2 = q.enqueue_read_buffer(&d_off, false, 0, &mut offs, &[k_ev]);
+            self.ctx.wait_for_events(&[r1, r2]);
+        } else {
+            // Naive integration: launch and read back per block.
+            for (b, class) in classes.iter().enumerate() {
+                if matches!(class, BlockClass::Dup { .. }) {
+                    continue;
+                }
+                let r = batch.block_range(b);
+                let kernel = ClKernel::create(FindMatchBlockKernel {
+                    data: res.d_data.ptr(),
+                    start: r.start,
+                    end: r.end,
+                    matches_len: d_len.ptr(),
+                    matches_off: d_off.ptr(),
+                    cfg: self.lzss,
+                });
+                let lanes = ((r.end - r.start) as u64)
+                    .next_multiple_of(BLOCK_1D as u64)
+                    .max(BLOCK_1D as u64);
+                let k_ev = q.try_enqueue_nd_range(&kernel, lanes, BLOCK_1D, &[])?;
+                q.enqueue_read_buffer(&d_len, true, r.start, &mut lens[r.clone()], &[k_ev]);
+                q.enqueue_read_buffer(&d_off, true, r.start, &mut offs[r.clone()], &[k_ev]);
+            }
+        }
+        Ok((lens, offs))
+    }
 }
 
 impl DedupBackend for OclBackend {
+    type Gpu = OclResident;
+
     fn new(ctx: &BackendCtx, replica: usize) -> Self {
         let system = ctx
             .system
@@ -541,127 +959,58 @@ impl DedupBackend for OclBackend {
             device: replica % ctx.n_gpus,
             batched: ctx.batched,
             lzss: ctx.lzss,
+            rec: ctx.rec.clone(),
         }
     }
 
-    fn hash_stage(&mut self, batch: Batch) -> HashedBatch {
-        let dev = self.ctx.devices()[self.device];
-        let n = batch.block_count();
-        let d_data: ClBuffer<u8> = self.ctx.create_buffer(dev, batch.data.len()).expect("mem");
-        let d_starts: ClBuffer<u32> = self.ctx.create_buffer(dev, n.max(1)).expect("mem");
-        let d_out: ClBuffer<u8> = self.ctx.create_buffer(dev, n * 20).expect("mem");
-        let q = self.queue(self.device);
-        let w1 = q.enqueue_write_buffer(&d_data, false, 0, &batch.data, &[]);
-        let w2 = q.enqueue_write_buffer(&d_starts, false, 0, &starts_u32(&batch), &[]);
-        let mut raw = vec![0u8; n * 20];
-        if self.batched {
-            let kernel = ClKernel::create(Sha1Kernel {
-                data: d_data.ptr(),
-                starts: d_starts.ptr(),
-                data_len: batch.data.len(),
-                n_blocks: n,
-                out: d_out.ptr(),
-            });
-            let k_ev = q.enqueue_nd_range(
-                &kernel,
-                (n as u64).next_multiple_of(64).max(64),
-                64,
-                &[w1, w2],
-            );
-            let r_ev = q.enqueue_read_buffer(&d_out, false, 0, &mut raw, &[k_ev]);
-            self.ctx.wait_for_events(&[r_ev]);
-        } else {
-            // Naive integration: one launch and one blocking read per block.
-            for b in 0..n {
-                let r = batch.block_range(b);
-                let kernel = ClKernel::create(Sha1BlockKernel {
-                    data: d_data.ptr(),
-                    start: r.start,
-                    end: r.end,
-                    out: d_out.ptr(),
-                    slot: b,
-                });
-                let k_ev = q.enqueue_nd_range(&kernel, 32, 32, &[w1, w2]);
-                q.enqueue_read_buffer(&d_out, true, b * 20, &mut raw[b * 20..b * 20 + 20], &[k_ev]);
+    fn hash_stage(&mut self, batch: Batch) -> HashedBatch<OclResident> {
+        match self.hash_on_device(&batch) {
+            Ok((digests, res)) => HashedBatch {
+                batch,
+                digests,
+                gpu: Some(res),
+            },
+            Err(fail) => {
+                self.rec.fault(HASH_STAGE, fail.kind(), fail.detail());
+                self.rec.fault(
+                    HASH_STAGE,
+                    FaultKind::CpuFallback,
+                    format!("batch {}: hashing on the host", batch.index),
+                );
+                let digests = cpu_digests(&batch);
+                HashedBatch {
+                    batch,
+                    digests,
+                    gpu: None,
+                }
             }
         }
-        let digests = raw
-            .chunks_exact(20)
-            .map(|c| Digest(c.try_into().expect("20 bytes")))
-            .collect();
-        HashedBatch {
-            batch,
-            digests,
-            gpu: Some(GpuData::Ocl {
-                device: self.device,
-                d_data,
-                d_starts,
-            }),
-        }
     }
 
-    fn compress_stage(&mut self, item: ClassifiedBatch) -> CompressedBatch {
+    fn compress_stage(&mut self, item: ClassifiedBatch<OclResident>) -> CompressedBatch {
         let ClassifiedBatch {
             batch,
             classes,
             gpu,
         } = item;
-        let Some(GpuData::Ocl {
-            device,
-            d_data,
-            d_starts,
-        }) = gpu
-        else {
-            panic!("OpenCL compress stage received an item without OpenCL buffers");
-        };
-        let dev = self.ctx.devices()[device];
-        let len = batch.data.len();
-        let d_len: ClBuffer<u32> = self.ctx.create_buffer(dev, len).expect("mem");
-        let d_off: ClBuffer<u32> = self.ctx.create_buffer(dev, len).expect("mem");
-        let q = self.queue(device);
-        let mut lens = vec![0u32; len];
-        let mut offs = vec![0u32; len];
-        if self.batched {
-            let kernel = ClKernel::create(FindMatchKernel {
-                data: d_data.ptr(),
-                data_len: len,
-                starts: d_starts.ptr(),
-                n_blocks: batch.block_count(),
-                matches_len: d_len.ptr(),
-                matches_off: d_off.ptr(),
-                cfg: self.lzss,
-            });
-            let global = (len as u64)
-                .next_multiple_of(BLOCK_1D as u64)
-                .max(BLOCK_1D as u64);
-            let k_ev = q.enqueue_nd_range(&kernel, global, BLOCK_1D, &[]);
-            let r1 = q.enqueue_read_buffer(&d_len, false, 0, &mut lens, &[k_ev]);
-            let r2 = q.enqueue_read_buffer(&d_off, false, 0, &mut offs, &[k_ev]);
-            self.ctx.wait_for_events(&[r1, r2]);
-        } else {
-            // Naive integration: launch and read back per block.
-            for (b, class) in classes.iter().enumerate() {
-                if matches!(class, BlockClass::Dup { .. }) {
-                    continue;
+        let entries = match &gpu {
+            Some(res) => match self.compress_on_device(&batch, &classes, res) {
+                Ok((lens, offs)) => {
+                    entries_from_matches(&batch, &classes, &lens, &offs, &self.lzss)
                 }
-                let r = batch.block_range(b);
-                let kernel = ClKernel::create(FindMatchBlockKernel {
-                    data: d_data.ptr(),
-                    start: r.start,
-                    end: r.end,
-                    matches_len: d_len.ptr(),
-                    matches_off: d_off.ptr(),
-                    cfg: self.lzss,
-                });
-                let lanes = ((r.end - r.start) as u64)
-                    .next_multiple_of(BLOCK_1D as u64)
-                    .max(BLOCK_1D as u64);
-                let k_ev = q.enqueue_nd_range(&kernel, lanes, BLOCK_1D, &[]);
-                q.enqueue_read_buffer(&d_len, true, r.start, &mut lens[r.clone()], &[k_ev]);
-                q.enqueue_read_buffer(&d_off, true, r.start, &mut offs[r.clone()], &[k_ev]);
-            }
-        }
-        let entries = entries_from_matches(&batch, &classes, &lens, &offs, &self.lzss);
+                Err(fail) => {
+                    self.rec.fault(COMPRESS_STAGE, fail.kind(), fail.detail());
+                    self.rec.fault(
+                        COMPRESS_STAGE,
+                        FaultKind::CpuFallback,
+                        format!("batch {}: compressing on the host", batch.index),
+                    );
+                    cpu_entries(&batch, &classes, &self.lzss)
+                }
+            },
+            // Stage 2 already fell back: the batch never reached a device.
+            None => cpu_entries(&batch, &classes, &self.lzss),
+        };
         CompressedBatch {
             index: batch.index,
             entries,

@@ -73,17 +73,19 @@ struct HashNode<B: DedupBackend> {
 
 impl<B: DedupBackend> fastflow::Node for HashNode<B> {
     type In = crate::batch::Batch;
-    type Out = HashedBatch;
+    type Out = HashedBatch<B::Gpu>;
     fn on_init(&mut self) {
         self.backend = Some(B::new(&self.ctx, self.replica));
     }
-    fn svc(&mut self, batch: crate::batch::Batch, out: &mut fastflow::Emitter<'_, HashedBatch>) {
-        out.send(
-            self.backend
-                .as_mut()
-                .expect("on_init ran")
-                .hash_stage(batch),
-        );
+    fn svc(
+        &mut self,
+        batch: crate::batch::Batch,
+        out: &mut fastflow::Emitter<'_, HashedBatch<B::Gpu>>,
+    ) {
+        let backend = self
+            .backend
+            .get_or_insert_with(|| B::new(&self.ctx, self.replica));
+        out.send(backend.hash_stage(batch));
     }
 }
 
@@ -95,18 +97,20 @@ struct CompressNode<B: DedupBackend> {
 }
 
 impl<B: DedupBackend> fastflow::Node for CompressNode<B> {
-    type In = ClassifiedBatch;
+    type In = ClassifiedBatch<B::Gpu>;
     type Out = CompressedBatch;
     fn on_init(&mut self) {
         self.backend = Some(B::new(&self.ctx, self.replica));
     }
-    fn svc(&mut self, item: ClassifiedBatch, out: &mut fastflow::Emitter<'_, CompressedBatch>) {
-        out.send(
-            self.backend
-                .as_mut()
-                .expect("on_init ran")
-                .compress_stage(item),
-        );
+    fn svc(
+        &mut self,
+        item: ClassifiedBatch<B::Gpu>,
+        out: &mut fastflow::Emitter<'_, CompressedBatch>,
+    ) {
+        let backend = self
+            .backend
+            .get_or_insert_with(|| B::new(&self.ctx, self.replica));
+        out.send(backend.compress_stage(item));
     }
 }
 
@@ -142,6 +146,9 @@ pub fn run_pipeline_rec<B: DedupBackend>(
     assert!(workers >= 1);
     let cfg = cfg.clone();
     let lzss = cfg.lzss;
+    // Fault / retry / fallback events from the backends land in the same
+    // recorder as the stage metrics.
+    let backend_ctx = backend_ctx.with_recorder(rec.clone());
     let system = backend_ctx.system.clone();
     if rec.is_enabled() {
         if let Some(sys) = &system {
@@ -175,7 +182,7 @@ pub fn run_pipeline_rec<B: DedupBackend>(
         // S3: duplicate check against the global cache (serial, stateful).
         .stage_factory(1, |_| {
             let mut cache = DedupCache::new();
-            move |h: HashedBatch| -> ClassifiedBatch {
+            move |h: HashedBatch<B::Gpu>| -> ClassifiedBatch<B::Gpu> {
                 let classes = h.digests.iter().map(|&d| cache.classify(d)).collect();
                 ClassifiedBatch {
                     batch: h.batch,
@@ -327,6 +334,55 @@ mod tests {
         // ...and the simulated devices contributed engine spans.
         assert!(report.gpu.iter().any(|s| s.engine == "compute"));
         assert!(report.gpu.iter().any(|s| s.engine == "h2d"));
+    }
+
+    #[test]
+    fn injected_faults_degrade_to_cpu_and_preserve_output() {
+        let cfg = small_cfg();
+        let data = input();
+        let seq = run_sequential(&data, &cfg);
+        let sys = GpuSystem::new(2, DeviceProps::titan_xp());
+        // Deterministic fault storm: the first allocations OOM and the
+        // first kernel launches fail on every device, then the devices heal.
+        sys.inject_faults(&gpusim::FaultSpec::demo(42));
+        let ctx = BackendCtx::gpu(sys, 2, true, cfg.lzss);
+        let rec = telemetry::Recorder::enabled();
+        let par = run_pipeline_rec::<crate::backend::OffloadBackend<gpusim::CudaOffload>>(
+            ctx,
+            data.clone(),
+            &cfg,
+            3,
+            rec.clone(),
+        );
+        assert_eq!(par, seq, "faulty run must still be byte-identical");
+        let report = rec.report();
+        assert!(
+            report.retry_count() >= 1,
+            "expected at least one retry event, got {} fault events",
+            report.faults.len()
+        );
+        assert!(
+            report.fallback_count() >= 1,
+            "expected at least one CPU fallback event, got {} fault events",
+            report.faults.len()
+        );
+    }
+
+    #[test]
+    fn raw_backends_survive_injected_faults() {
+        let cfg = small_cfg();
+        let data = input();
+        let seq = run_sequential(&data, &cfg);
+        let sys = GpuSystem::new(1, DeviceProps::titan_xp());
+        sys.inject_faults(&gpusim::FaultSpec::demo(7));
+        let ctx = BackendCtx::gpu(sys, 1, true, cfg.lzss);
+        let cuda = run_pipeline::<CudaBackend>(ctx, data.clone(), &cfg, 2);
+        assert_eq!(cuda, seq);
+        let sys = GpuSystem::new(1, DeviceProps::titan_xp());
+        sys.inject_faults(&gpusim::FaultSpec::demo(7));
+        let ctx = BackendCtx::gpu(sys, 1, true, cfg.lzss);
+        let ocl = run_pipeline::<OclBackend>(ctx, data.clone(), &cfg, 2);
+        assert_eq!(ocl, seq);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod channel;
+pub mod error;
 pub mod farm;
 pub mod feedback;
 pub mod node;
@@ -37,6 +38,7 @@ pub mod stamp;
 pub mod wait;
 
 pub use channel::{channel, Receiver, SendError, Sender, TrySendError};
+pub use error::{try_map, try_map_with, FaultPolicy, RunReport, StageError, TryMapNode};
 pub use farm::{spawn_farm, spawn_farm_traced, FarmConfig, SchedPolicy};
 pub use feedback::{spawn_feedback_farm, spawn_feedback_farm_traced, Loop};
 pub use node::{Emitter, Node};

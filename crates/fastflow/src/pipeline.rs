@@ -506,6 +506,21 @@ impl PipelineThreads {
     pub fn join(mut self) {
         join_all(std::mem::take(&mut self.0));
     }
+
+    /// Join all stage threads *without* re-raising panics: each panicking
+    /// thread contributes one entry to the returned
+    /// [`RunReport`](crate::error::RunReport) instead. Joining is
+    /// unconditional — even after a mid-pipeline failure every thread is
+    /// waited for, so a clean report really means the graph drained.
+    pub fn join_report(mut self) -> crate::error::RunReport {
+        let mut report = crate::error::RunReport::default();
+        for h in std::mem::take(&mut self.0) {
+            if let Err(payload) = h.join() {
+                report.absorb(payload);
+            }
+        }
+        report
+    }
 }
 
 impl Drop for PipelineThreads {

@@ -304,6 +304,38 @@ impl Cuda {
             .launch(stream.id, dims, kernel, now);
     }
 
+    /// Fallible [`launch`](Self::launch): reports an injected kernel fault
+    /// (the simulated `cudaErrorLaunchFailure`) instead of panicking. The
+    /// device-binding assertion still applies — that one is programmer
+    /// error, not runtime state.
+    pub fn try_launch(
+        &self,
+        kernel: &dyn KernelFn,
+        grid: impl Into<Dim3>,
+        block: impl Into<Dim3>,
+        stream: &CudaStream,
+    ) -> Result<(), crate::fault::DeviceFault> {
+        let cur = self.current_device();
+        assert_eq!(
+            stream.device,
+            cur,
+            "kernel {} launched on stream of device {} while device {} is current \
+             (missing cudaSetDevice after thread start?)",
+            kernel.name(),
+            stream.device,
+            cur
+        );
+        let now = self.api_cost(stream.device);
+        let dims = LaunchDims {
+            grid: grid.into(),
+            block: block.into(),
+        };
+        self.system
+            .device(stream.device)
+            .try_launch(stream.id, dims, kernel, now)
+            .map(|_| ())
+    }
+
     /// Block until everything on `stream` completes
     /// (`cudaStreamSynchronize`).
     pub fn stream_synchronize(&self, stream: &CudaStream) {

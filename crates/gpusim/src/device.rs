@@ -18,6 +18,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use simtime::{SimDuration, SimTime};
 
+use crate::fault::{DeviceFault, FaultInjector, FaultSpec};
 use crate::kernel::{KernelFn, LaunchDims};
 use crate::mem::{DeviceMemory, DevicePtr, OutOfMemory};
 use crate::meter::WorkMeter;
@@ -80,6 +81,7 @@ struct DevState {
     streams: Vec<SimTime>, // last_end per stream
     stats: DeviceStats,
     trace: Option<Vec<CommandRecord>>,
+    injector: Option<FaultInjector>,
 }
 
 impl DevState {
@@ -144,6 +146,7 @@ impl Device {
                 streams: vec![SimTime::ZERO], // default stream
                 stats: DeviceStats::default(),
                 trace: None,
+                injector: None,
             }),
         }
     }
@@ -159,7 +162,17 @@ impl Device {
     }
 
     fn lock(&self) -> MutexGuard<'_, DevState> {
-        self.state.lock().expect("device state poisoned")
+        // A panicking kernel must not brick the device: recover the guard
+        // so later operations (and the CPU-fallback paths) keep working.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Arm (or, with [`FaultSpec::none`], disarm) fault injection on this
+    /// device. Usually called through [`GpuSystem::inject_faults`].
+    pub fn inject_faults(&self, spec: &FaultSpec) {
+        self.lock().injector = Some(FaultInjector::new(spec, self.id));
     }
 
     /// Allocate a zero-initialized device buffer.
@@ -167,7 +180,14 @@ impl Device {
         &self,
         len: usize,
     ) -> Result<DevicePtr<T>, OutOfMemory> {
-        self.lock().mem.alloc(len)
+        let mut st = self.lock();
+        if st.injector.as_mut().is_some_and(|i| i.inject_oom()) {
+            return Err(OutOfMemory {
+                requested: (len * std::mem::size_of::<T>()) as u64,
+                available: st.mem.available(),
+            });
+        }
+        st.mem.alloc(len)
     }
 
     /// Free a device buffer.
@@ -190,6 +210,10 @@ impl Device {
 
     /// Enqueue a kernel: executes functionally now, schedules on the
     /// compute engine, returns the modeled completion time.
+    ///
+    /// # Panics
+    /// Panics if fault injection fails the launch; use
+    /// [`try_launch`](Self::try_launch) on paths that recover.
     pub fn launch(
         &self,
         stream: StreamId,
@@ -197,12 +221,46 @@ impl Device {
         kernel: &dyn KernelFn,
         enqueue_at: SimTime,
     ) -> SimTime {
+        match self.try_launch(stream, dims, kernel, enqueue_at) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`launch`](Self::launch): an injected kernel fault is
+    /// reported instead of panicking. A failed launch leaves device memory
+    /// untouched (the kernel never ran) and schedules nothing, so retrying
+    /// the same launch is always safe.
+    pub fn try_launch(
+        &self,
+        stream: StreamId,
+        dims: LaunchDims,
+        kernel: &dyn KernelFn,
+        enqueue_at: SimTime,
+    ) -> Result<SimTime, DeviceFault> {
         let mut st = self.lock();
+        let slow = match st.injector.as_mut() {
+            Some(inj) => {
+                if inj.inject_kernel_fault() {
+                    return Err(DeviceFault {
+                        device: self.id,
+                        kernel: kernel.name(),
+                        injected: true,
+                    });
+                }
+                inj.slow_factor()
+            }
+            None => 1.0,
+        };
         let mut meter = WorkMeter::new(dims.total_threads(), self.props.warp_size);
         kernel.run(&dims, &st.mem, &mut meter);
-        let dur = model::kernel_duration(&self.props, &dims, kernel, &meter);
+        let mut dur = model::kernel_duration(&self.props, &dims, kernel, &meter);
+        if slow > 1.0 {
+            // Busy/slow-device episode: same result, stretched timeline.
+            dur = SimDuration::from_secs_f64(dur.as_secs_f64() * slow);
+        }
         st.stats.kernels += 1;
-        st.schedule(Engine::Compute, kernel.name(), stream, enqueue_at, dur)
+        Ok(st.schedule(Engine::Compute, kernel.name(), stream, enqueue_at, dur))
     }
 
     /// Enqueue a host→device copy; data lands immediately (eager), timing
@@ -388,6 +446,16 @@ impl GpuSystem {
         SimTime::from_nanos(cur)
     }
 
+    /// Arm deterministic fault injection on every device: each gets its
+    /// own decision stream seeded with `spec.seed ^ device_id`. Passing
+    /// [`FaultSpec::none`] disarms. Only the system this is called on is
+    /// affected — a fault-free reference system stays fault-free.
+    pub fn inject_faults(&self, spec: &FaultSpec) {
+        for d in &self.devices {
+            d.inject_faults(spec);
+        }
+    }
+
     /// Reset the host clock and every device timeline (for back-to-back
     /// benchmark configurations).
     pub fn reset_clock(&self) {
@@ -544,6 +612,60 @@ mod tests {
         let mut out = [0u32; 4];
         dev.copy_d2h(StreamId::DEFAULT, b, 0, &mut out, true, SimTime::ZERO);
         assert_eq!(out, [3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn injected_faults_are_transient_and_leave_memory_intact() {
+        let sys = system();
+        sys.inject_faults(&crate::fault::FaultSpec::demo(42));
+        let dev = sys.device(0);
+        // Demo spec: first 2 allocs fail, then the device heals.
+        assert!(dev.alloc::<u8>(16).is_err());
+        assert!(dev.alloc::<u8>(16).is_err());
+        let buf = dev.alloc::<u32>(4).expect("healed after max injections");
+        dev.copy_h2d(
+            StreamId::DEFAULT,
+            &[9, 9, 9, 9],
+            buf,
+            0,
+            true,
+            SimTime::ZERO,
+        );
+        // First 3 launches fail without running the kernel...
+        let k = Busy { units: 10 };
+        let dims = LaunchDims::linear(1, 32);
+        for _ in 0..3 {
+            assert!(dev
+                .try_launch(StreamId::DEFAULT, dims, &k, SimTime::ZERO)
+                .is_err());
+        }
+        assert_eq!(dev.stats().kernels, 0, "failed launches must not count");
+        // ...then a retry succeeds and memory is unchanged.
+        assert!(dev
+            .try_launch(StreamId::DEFAULT, dims, &k, SimTime::ZERO)
+            .is_ok());
+        let mut out = [0u32; 4];
+        dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut out, true, SimTime::ZERO);
+        assert_eq!(out, [9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn disarmed_system_never_faults() {
+        let sys = system();
+        sys.inject_faults(&crate::fault::FaultSpec::none(1));
+        let dev = sys.device(0);
+        let k = Busy { units: 10 };
+        for _ in 0..50 {
+            assert!(dev.alloc::<u8>(1).is_ok());
+            assert!(dev
+                .try_launch(
+                    StreamId::DEFAULT,
+                    LaunchDims::linear(1, 32),
+                    &k,
+                    SimTime::ZERO
+                )
+                .is_ok());
+        }
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Deterministic fault injection for the simulated devices.
+//!
+//! The paper's heterogeneous runtimes must keep streaming when a device
+//! misbehaves: allocation fails (real GPUs run out of global memory under
+//! multi-replica pressure), a kernel launch fails transiently, or a device
+//! is busy/slow. This module injects exactly those faults *behind* the
+//! normal device API so every front end (CUDA-like, OpenCL-like, the
+//! [`crate::Offload`] trait) observes them the same way, and the recovery
+//! paths in `dedup`/`mandel` can be exercised without real hardware.
+//!
+//! Injection is deterministic: decisions are count-based per device
+//! (`every` N-th operation) with an optional seeded probabilistic
+//! component, and each class stops after `max` injections — so a seeded
+//! run always produces the same fault schedule regardless of thread
+//! interleaving, and faults are transient (a retry eventually succeeds).
+#![deny(clippy::unwrap_used)]
+
+use std::fmt;
+
+use simtime::XorShift64;
+
+/// One class of injected fault (OOM, kernel failure, slow device).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultClass {
+    /// Inject on every `every`-th eligible operation (0 disables the
+    /// count-based trigger). `every == 1` means "every operation".
+    pub every: u64,
+    /// Additionally inject with this probability per operation (seeded,
+    /// deterministic stream; 0.0 disables).
+    pub prob: f64,
+    /// Stop after this many injections (makes the fault transient).
+    pub max: u64,
+}
+
+impl FaultClass {
+    /// A disabled class.
+    pub const OFF: FaultClass = FaultClass {
+        every: 0,
+        prob: 0.0,
+        max: 0,
+    };
+
+    /// Inject on the first `n` operations, then never again.
+    pub fn first(n: u64) -> FaultClass {
+        FaultClass {
+            every: 1,
+            prob: 0.0,
+            max: n,
+        }
+    }
+
+    fn armed(&self) -> bool {
+        self.max > 0 && (self.every > 0 || self.prob > 0.0)
+    }
+}
+
+/// A seeded fault-injection configuration for a whole [`crate::GpuSystem`].
+///
+/// Armed via [`crate::GpuSystem::inject_faults`]; each device gets its own
+/// injector seeded with `seed ^ device_id` so multi-GPU schedules differ
+/// but stay reproducible.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Base seed for the per-device decision streams.
+    pub seed: u64,
+    /// Device-memory allocation failures (`OutOfMemory`).
+    pub oom: FaultClass,
+    /// Transient kernel-launch failures (`DeviceFault`).
+    pub kernel: FaultClass,
+    /// Slow/busy-device episodes: affected launches take `slow_factor`×
+    /// their modeled duration (functional result is unchanged).
+    pub slow: FaultClass,
+    /// Duration multiplier for `slow` injections (ignored unless > 1).
+    pub slow_factor: f64,
+}
+
+impl FaultSpec {
+    /// A spec with every class disabled.
+    pub fn none(seed: u64) -> FaultSpec {
+        FaultSpec {
+            seed,
+            oom: FaultClass::OFF,
+            kernel: FaultClass::OFF,
+            slow: FaultClass::OFF,
+            slow_factor: 1.0,
+        }
+    }
+
+    /// The demonstration schedule the fig harnesses and CI smoke use:
+    /// the first 2 allocations and first 3 kernel launches on each device
+    /// fail, then the device heals. Guarantees at least one retry *and*
+    /// at least one CPU fallback from any driver that allocates or
+    /// launches more than a couple of times, independent of interleaving.
+    pub fn demo(seed: u64) -> FaultSpec {
+        FaultSpec {
+            seed,
+            oom: FaultClass::first(2),
+            kernel: FaultClass::first(3),
+            slow: FaultClass {
+                every: 7,
+                prob: 0.0,
+                max: 4,
+            },
+            slow_factor: 8.0,
+        }
+    }
+}
+
+/// Error returned by the fallible launch paths when a kernel fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceFault {
+    /// Device the launch targeted.
+    pub device: u32,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// True when the failure came from the injection harness (always the
+    /// case today; kept so real failure modes can share the type).
+    pub injected: bool,
+}
+
+impl fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device {} failed to launch kernel '{}'{}",
+            self.device,
+            self.kernel,
+            if self.injected { " (injected)" } else { "" }
+        )
+    }
+}
+
+impl std::error::Error for DeviceFault {}
+
+#[derive(Debug)]
+struct ClassState {
+    class: FaultClass,
+    trials: u64,
+    injected: u64,
+}
+
+impl ClassState {
+    fn new(class: FaultClass) -> Self {
+        ClassState {
+            class,
+            trials: 0,
+            injected: 0,
+        }
+    }
+
+    fn decide(&mut self, rng: &mut XorShift64) -> bool {
+        if !self.class.armed() {
+            return false;
+        }
+        self.trials += 1;
+        if self.injected >= self.class.max {
+            return false;
+        }
+        let count_hit = self.class.every > 0 && self.trials.is_multiple_of(self.class.every);
+        let prob_hit = self.class.prob > 0.0 && rng.chance(self.class.prob);
+        if count_hit || prob_hit {
+            self.injected += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-device injection state, owned by the device behind its mutex.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    oom: ClassState,
+    kernel: ClassState,
+    slow: ClassState,
+    slow_factor: f64,
+    rng: XorShift64,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(spec: &FaultSpec, device: u32) -> Self {
+        FaultInjector {
+            oom: ClassState::new(spec.oom),
+            kernel: ClassState::new(spec.kernel),
+            slow: ClassState::new(spec.slow),
+            slow_factor: spec.slow_factor,
+            rng: XorShift64::new(spec.seed ^ (device as u64).wrapping_mul(0x9E37_79B9)),
+        }
+    }
+
+    /// Should this allocation fail with `OutOfMemory`?
+    pub(crate) fn inject_oom(&mut self) -> bool {
+        self.oom.decide(&mut self.rng)
+    }
+
+    /// Should this kernel launch fail with `DeviceFault`?
+    pub(crate) fn inject_kernel_fault(&mut self) -> bool {
+        self.kernel.decide(&mut self.rng)
+    }
+
+    /// Duration multiplier for this launch (1.0 = healthy).
+    pub(crate) fn slow_factor(&mut self) -> f64 {
+        if self.slow_factor > 1.0 && self.slow.decide(&mut self.rng) {
+            self.slow_factor
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_class_never_fires() {
+        let mut st = ClassState::new(FaultClass::OFF);
+        let mut rng = XorShift64::new(1);
+        for _ in 0..1000 {
+            assert!(!st.decide(&mut rng));
+        }
+    }
+
+    #[test]
+    fn first_n_fires_exactly_n_times_then_heals() {
+        let mut st = ClassState::new(FaultClass::first(3));
+        let mut rng = XorShift64::new(1);
+        let fired: Vec<bool> = (0..10).map(|_| st.decide(&mut rng)).collect();
+        assert_eq!(
+            fired,
+            [true, true, true, false, false, false, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn every_k_is_periodic_until_max() {
+        let mut st = ClassState::new(FaultClass {
+            every: 3,
+            prob: 0.0,
+            max: 2,
+        });
+        let mut rng = XorShift64::new(9);
+        let fired: Vec<bool> = (0..12).map(|_| st.decide(&mut rng)).collect();
+        // Fires on trials 3 and 6 (1-based), then the max cap holds.
+        let hits: Vec<usize> = (0..12).filter(|&i| fired[i]).collect();
+        assert_eq!(hits, vec![2, 5]);
+    }
+
+    #[test]
+    fn probabilistic_stream_is_deterministic_per_seed() {
+        let run = |seed| {
+            let spec = FaultSpec {
+                seed,
+                oom: FaultClass {
+                    every: 0,
+                    prob: 0.3,
+                    max: u64::MAX,
+                },
+                kernel: FaultClass::OFF,
+                slow: FaultClass::OFF,
+                slow_factor: 1.0,
+            };
+            let mut inj = FaultInjector::new(&spec, 0);
+            (0..64).map(|_| inj.inject_oom()).collect::<Vec<bool>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn devices_get_distinct_streams() {
+        let spec = FaultSpec {
+            seed: 7,
+            oom: FaultClass {
+                every: 0,
+                prob: 0.5,
+                max: u64::MAX,
+            },
+            kernel: FaultClass::OFF,
+            slow: FaultClass::OFF,
+            slow_factor: 1.0,
+        };
+        let mut a = FaultInjector::new(&spec, 0);
+        let mut b = FaultInjector::new(&spec, 1);
+        let sa: Vec<bool> = (0..64).map(|_| a.inject_oom()).collect();
+        let sb: Vec<bool> = (0..64).map(|_| b.inject_oom()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn slow_factor_defaults_to_healthy() {
+        let mut inj = FaultInjector::new(&FaultSpec::none(1), 0);
+        for _ in 0..10 {
+            assert_eq!(inj.slow_factor(), 1.0);
+        }
+        let mut inj = FaultInjector::new(&FaultSpec::demo(1), 0);
+        let factors: Vec<f64> = (0..14).map(|_| inj.slow_factor()).collect();
+        assert!(factors.iter().any(|&f| f > 1.0));
+        assert!(factors.contains(&1.0));
+    }
+
+    #[test]
+    fn device_fault_displays_context() {
+        let e = DeviceFault {
+            device: 1,
+            kernel: "mandel_kernel",
+            injected: true,
+        };
+        let s = e.to_string();
+        assert!(s.contains("device 1"));
+        assert!(s.contains("mandel_kernel"));
+        assert!(s.contains("injected"));
+    }
+}

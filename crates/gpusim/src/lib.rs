@@ -25,6 +25,7 @@
 
 pub mod cuda;
 pub mod device;
+pub mod fault;
 pub mod kernel;
 pub mod mem;
 pub mod meter;
@@ -35,6 +36,7 @@ pub mod props;
 pub mod trace;
 
 pub use device::{Device, DeviceStats, EventStamp, GpuSystem, StreamId};
+pub use fault::{DeviceFault, FaultClass, FaultSpec};
 pub use kernel::{Dim3, KernelFn, LaunchDims};
 pub use mem::{DeviceMemory, DevicePtr, OutOfMemory};
 pub use meter::WorkMeter;

@@ -134,7 +134,25 @@ pub trait Offload: Send + 'static {
 
     /// Enqueue a kernel over at least `global_threads` lanes in blocks /
     /// work-groups of `block` threads.
-    fn launch<K: KernelFn>(&mut self, kernel: K, global_threads: u64, block: u32);
+    ///
+    /// # Panics
+    /// Panics if the device fails the launch (fault injection); recovery
+    /// paths use [`try_launch`](Offload::try_launch) instead.
+    fn launch<K: KernelFn>(&mut self, kernel: K, global_threads: u64, block: u32) {
+        if let Err(e) = self.try_launch(kernel, global_threads, block) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`launch`](Offload::launch): a failed launch is reported,
+    /// enqueues nothing and leaves device memory untouched, so the caller
+    /// may retry or degrade to a CPU path.
+    fn try_launch<K: KernelFn>(
+        &mut self,
+        kernel: K,
+        global_threads: u64,
+        block: u32,
+    ) -> Result<(), crate::fault::DeviceFault>;
 
     /// Enqueue an asynchronous device→host copy. `dst` holds defined
     /// contents only after [`sync`](Offload::sync).
@@ -207,10 +225,15 @@ impl Offload for CudaOffload {
         self.cuda.memcpy_h2d_async(dst, 0, src, &self.stream);
     }
 
-    fn launch<K: KernelFn>(&mut self, kernel: K, global_threads: u64, block: u32) {
+    fn try_launch<K: KernelFn>(
+        &mut self,
+        kernel: K,
+        global_threads: u64,
+        block: u32,
+    ) -> Result<(), crate::fault::DeviceFault> {
         self.cuda.set_device(self.device);
         let blocks = global_threads.div_ceil(block as u64).max(1) as u32;
-        self.cuda.launch(&kernel, blocks, block, &self.stream);
+        self.cuda.try_launch(&kernel, blocks, block, &self.stream)
     }
 
     fn d2h<T: Default + Clone + Send + 'static>(
@@ -276,14 +299,21 @@ impl Offload for OclOffload {
         self.queue.enqueue_write_buffer(dst, false, 0, src, &[]);
     }
 
-    fn launch<K: KernelFn>(&mut self, kernel: K, global_threads: u64, block: u32) {
+    fn try_launch<K: KernelFn>(
+        &mut self,
+        kernel: K,
+        global_threads: u64,
+        block: u32,
+    ) -> Result<(), crate::fault::DeviceFault> {
         // A fresh (thread-local) kernel object per launch: cl_kernel is not
         // thread-safe and must not be shared.
         let kernel = ClKernel::create(kernel);
         let global = global_threads
             .next_multiple_of(block as u64)
             .max(block as u64);
-        self.queue.enqueue_nd_range(&kernel, global, block, &[]);
+        self.queue
+            .try_enqueue_nd_range(&kernel, global, block, &[])
+            .map(|_| ())
     }
 
     fn d2h<T: Default + Clone + Send + 'static>(&mut self, src: &ClBuffer<T>, dst: &mut Vec<T>) {

@@ -302,6 +302,27 @@ impl CommandQueue {
         }
     }
 
+    /// Fallible [`enqueue_nd_range`](Self::enqueue_nd_range): reports an
+    /// injected kernel fault (the simulated `CL_OUT_OF_RESOURCES` launch
+    /// failure) instead of panicking.
+    pub fn try_enqueue_nd_range<K: KernelFn>(
+        &self,
+        kernel: &ClKernel<K>,
+        global_work_size: u64,
+        local_work_size: u32,
+        wait_list: &[ClEvent],
+    ) -> Result<ClEvent, crate::fault::DeviceFault> {
+        self.apply_waits(wait_list);
+        let now = self.api_cost();
+        let dims = LaunchDims::cover(global_work_size, local_work_size);
+        self.system
+            .device(self.device)
+            .try_launch(self.stream, dims, &kernel.inner, now)?;
+        Ok(ClEvent {
+            stamp: self.system.device(self.device).record_event(self.stream),
+        })
+    }
+
     /// Block until everything in the queue completes (`clFinish`).
     pub fn finish(&self) {
         let end = self.system.device(self.device).stream_last_end(self.stream);

@@ -89,13 +89,23 @@ pub fn run_tbb(
     })
     .parallel(move |row: usize| compute_line(&p, row))
     .serial_in_order(move |line: crate::core::Line| {
-        sink_img.lock().unwrap().set_line(&line);
+        sink_img
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .set_line(&line);
     })
     .build()
     .run(pool, max_live_tokens);
     Arc::try_unwrap(img)
-        .map(|m| m.into_inner().unwrap())
-        .unwrap_or_else(|arc| arc.lock().unwrap().clone())
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .unwrap_or_else(|arc| {
+            arc.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone()
+        })
 }
 
 #[cfg(test)]

@@ -25,14 +25,50 @@
 
 use std::sync::{Arc, Mutex};
 
+use fastflow::FaultPolicy;
 use gpusim::GpuSystem;
 pub use gpusim::{CudaOffload, OclOffload, Offload, OffloadApi};
-use telemetry::Recorder;
+use telemetry::{FaultKind, Recorder};
 
-use crate::core::{FractalParams, Image};
+use crate::core::{compute_line, FractalParams, Image};
 use crate::kernels::BatchKernel;
 
 const BLOCK_1D: u32 = 256;
+
+/// Telemetry stage label for fault events from the replicated GPU stage
+/// (prefix-matches the pipeline's `stage1` row in trace exports).
+const GPU_STAGE: &str = "stage1 (gpu)";
+
+/// Why a batch failed on the device: the operational faults the hybrid
+/// runners recover from (retry, then per-row host computation).
+#[derive(Debug)]
+pub enum BatchFault {
+    /// The device refused the image-buffer allocation.
+    Oom(gpusim::OutOfMemory),
+    /// The kernel launch was refused (fault injection / device error).
+    Kernel(gpusim::DeviceFault),
+}
+
+impl BatchFault {
+    /// Telemetry classification of this fault.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            BatchFault::Oom(_) => FaultKind::DeviceOom,
+            BatchFault::Kernel(_) => FaultKind::KernelFault,
+        }
+    }
+}
+
+impl std::fmt::Display for BatchFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchFault::Oom(e) => e.fmt(f),
+            BatchFault::Kernel(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BatchFault {}
 
 /// One offloader plus its lazily (re)sized device/host buffer pair —
 /// everything a stage replica needs to compute batches of lines.
@@ -55,15 +91,38 @@ impl<O: Offload> BatchCompute<O> {
 
     /// Compute lines `[batch*batch_size, ...)`; returns `batch_size * dim`
     /// pixels (tail batches include padding rows).
+    ///
+    /// # Panics
+    /// Panics on device OOM or a failed launch; recovery paths use
+    /// [`try_compute_batch`](BatchCompute::try_compute_batch) instead.
     pub fn compute_batch(
         &mut self,
         params: &FractalParams,
         batch: usize,
         batch_size: usize,
     ) -> Vec<u8> {
+        match self.try_compute_batch(params, batch, batch_size) {
+            Ok(pixels) => pixels,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`compute_batch`](BatchCompute::compute_batch): a refused
+    /// allocation or launch is reported instead of panicking, leaving the
+    /// compute state consistent so the caller may retry or fall back to
+    /// the host implementation.
+    pub fn try_compute_batch(
+        &mut self,
+        params: &FractalParams,
+        batch: usize,
+        batch_size: usize,
+    ) -> Result<Vec<u8>, BatchFault> {
         let len = batch_size * params.dim;
         if self.dev.as_ref().map(|b| O::buffer_len(b)) != Some(len) {
-            self.dev = Some(self.off.alloc(len));
+            // Drop any stale buffer before re-allocating; on failure the
+            // slot stays empty so the next attempt allocates again.
+            self.dev = None;
+            self.dev = Some(self.off.try_alloc(len).map_err(BatchFault::Oom)?);
             self.host = Some(self.off.alloc_host(len));
         }
         let dev = self.dev.as_ref().expect("allocated");
@@ -73,11 +132,66 @@ impl<O: Offload> BatchCompute<O> {
             params: *params,
             img: O::buffer_ptr(dev),
         };
-        self.off.launch(k, len as u64, BLOCK_1D);
+        self.off
+            .try_launch(k, len as u64, BLOCK_1D)
+            .map_err(BatchFault::Kernel)?;
         let host = self.host.as_mut().expect("allocated");
         self.off.d2h(dev, host);
         self.off.sync();
-        host.to_vec()
+        Ok(host.to_vec())
+    }
+}
+
+/// Host implementation of one batch, row by row — byte-identical to the
+/// GPU kernels, so a fallen-back batch leaves no trace in the image.
+/// Padding rows past the image edge stay zero (the sink ignores them).
+fn cpu_batch(params: &FractalParams, batch: usize, batch_size: usize) -> Vec<u8> {
+    let mut pixels = vec![0u8; batch_size * params.dim];
+    let first = batch * batch_size;
+    for r in 0..batch_size.min(params.dim.saturating_sub(first)) {
+        let line = compute_line(params, first + r);
+        pixels[r * params.dim..(r + 1) * params.dim].copy_from_slice(&line.pixels);
+    }
+    pixels
+}
+
+/// Compute one batch with the full recovery ladder: retry transient device
+/// faults per `policy` (recording each), then degrade to the per-row host
+/// implementation for this batch.
+fn compute_with_recovery<O: Offload>(
+    gpu: &mut BatchCompute<O>,
+    params: &FractalParams,
+    batch: usize,
+    batch_size: usize,
+    rec: &Recorder,
+    policy: FaultPolicy,
+) -> Vec<u8> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match gpu.try_compute_batch(params, batch, batch_size) {
+            Ok(pixels) => return pixels,
+            Err(fault) => {
+                rec.fault(GPU_STAGE, fault.kind(), fault.to_string());
+                if attempts <= policy.max_retries {
+                    rec.fault(
+                        GPU_STAGE,
+                        FaultKind::Retry,
+                        format!("batch {batch}: attempt {}", attempts + 1),
+                    );
+                    if !policy.backoff.is_zero() {
+                        std::thread::sleep(policy.backoff);
+                    }
+                    continue;
+                }
+                rec.fault(
+                    GPU_STAGE,
+                    FaultKind::CpuFallback,
+                    format!("batch {batch}: computing rows on the host"),
+                );
+                return cpu_batch(params, batch, batch_size);
+            }
+        }
     }
 }
 
@@ -119,6 +233,7 @@ struct GpuWorker<O: Offload> {
     params: FractalParams,
     batch_size: usize,
     gpu: Option<BatchCompute<O>>,
+    rec: Recorder,
 }
 
 impl<O: Offload> fastflow::Node for GpuWorker<O> {
@@ -132,8 +247,17 @@ impl<O: Offload> fastflow::Node for GpuWorker<O> {
     }
 
     fn svc(&mut self, batch: usize, out: &mut fastflow::Emitter<'_, BatchOut>) {
-        let gpu = self.gpu.as_mut().expect("on_init ran");
-        let pixels = gpu.compute_batch(&self.params, batch, self.batch_size);
+        let gpu = self
+            .gpu
+            .get_or_insert_with(|| BatchCompute::new(&self.system, self.device));
+        let pixels = compute_with_recovery(
+            gpu,
+            &self.params,
+            batch,
+            self.batch_size,
+            &self.rec,
+            FaultPolicy::default(),
+        );
         out.send(BatchOut { batch, pixels });
     }
 }
@@ -188,6 +312,7 @@ pub fn run_spar_gpu_rec<O: Offload>(
             params: p,
             batch_size,
             gpu: None,
+            rec: rec.clone(),
         })
         .last_stage(|out: BatchOut| install(&mut img, &p, batch_size, &out));
     drain_traces(system, &rec);
@@ -242,6 +367,7 @@ pub fn run_fastflow_gpu_rec<O: Offload>(
             params: p,
             batch_size,
             gpu: None,
+            rec: rec.clone(),
         })
         .for_each(|out| install(&mut img, &p, batch_size, &out));
     drain_traces(system, &rec);
@@ -295,21 +421,41 @@ pub fn run_tbb_gpu_rec<O: Offload>(
             None
         }
     })
-    .parallel(move |batch: usize| {
-        let mut gpu = BatchCompute::<O>::new(&sys, batch % n_gpus);
-        let pixels = gpu.compute_batch(&p, batch, batch_size);
-        BatchOut { batch, pixels }
+    .parallel({
+        let rec = rec.clone();
+        move |batch: usize| {
+            let mut gpu = BatchCompute::<O>::new(&sys, batch % n_gpus);
+            let pixels = compute_with_recovery(
+                &mut gpu,
+                &p,
+                batch,
+                batch_size,
+                &rec,
+                FaultPolicy::default(),
+            );
+            BatchOut { batch, pixels }
+        }
     })
     .serial_in_order(move |out: BatchOut| {
-        install(&mut sink_img.lock().unwrap(), &p, batch_size, &out);
+        let mut img = sink_img
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        install(&mut img, &p, batch_size, &out);
     })
     .recorder(rec.clone())
     .build()
     .run(pool, max_live_tokens);
     drain_traces(system, &rec);
     Arc::try_unwrap(img)
-        .map(|m| m.into_inner().unwrap())
-        .unwrap_or_else(|arc| arc.lock().unwrap().clone())
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        })
+        .unwrap_or_else(|arc| {
+            arc.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone()
+        })
 }
 
 /// [`run_spar_gpu`] with the backend chosen by value.
@@ -420,6 +566,42 @@ mod tests {
             let img = run_spar_gpu_api(api, &system, &p, 3, 8, 2, Recorder::default());
             assert_eq!(img.digest(), seq.digest(), "{api}");
         }
+    }
+
+    #[test]
+    fn injected_faults_degrade_to_cpu_and_preserve_the_image() {
+        let p = small();
+        let (seq, _) = run_sequential(&p);
+        let system = sys(2);
+        // Transient device OOMs and kernel faults on every device.
+        system.inject_faults(&gpusim::FaultSpec::demo(42));
+        let rec = Recorder::enabled();
+        let img = run_spar_gpu_rec::<CudaOffload>(&system, &p, 3, 8, 2, rec.clone());
+        assert_eq!(img.digest(), seq.digest(), "image must be bit-identical");
+        let report = rec.report();
+        assert!(
+            report.retry_count() >= 1,
+            "expected retries, got {} fault events",
+            report.faults.len()
+        );
+        assert!(
+            report.fallback_count() >= 1,
+            "expected a CPU fallback, got {} fault events",
+            report.faults.len()
+        );
+    }
+
+    #[test]
+    fn tbb_survives_injected_faults() {
+        let p = small();
+        let (seq, _) = run_sequential(&p);
+        let system = sys(1);
+        system.inject_faults(&gpusim::FaultSpec::demo(9));
+        let pool = Arc::new(tbbx::TaskPool::new(3));
+        let rec = Recorder::enabled();
+        let img = run_tbb_gpu_rec::<OclOffload>(&system, &p, &pool, 6, 8, 1, rec.clone());
+        assert_eq!(img.digest(), seq.digest());
+        assert!(rec.report().fallback_count() + rec.report().retry_count() >= 1);
     }
 
     #[test]

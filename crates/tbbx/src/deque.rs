@@ -115,7 +115,7 @@ impl<T> Drop for Inner<T> {
                 drop((*buf).read(i).assume_init());
             }
             drop(Box::from_raw(buf));
-            for old in self.retired.lock().unwrap().drain(..) {
+            for old in crate::lock_unpoisoned(&self.retired).drain(..) {
                 drop(Box::from_raw(old));
             }
         }
@@ -263,7 +263,7 @@ impl<T: Send> Worker<T> {
         };
         // Release: thieves loading the new pointer (Acquire) see the copies.
         inner.buffer.store(new, Ordering::Release);
-        inner.retired.lock().unwrap().push(old);
+        crate::lock_unpoisoned(&inner.retired).push(old);
         new
     }
 }

@@ -44,3 +44,13 @@ pub use algo::{parallel_for, parallel_reduce};
 pub use pipeline::{Pipeline, PipelineBuilder};
 pub use pool::{Latch, TaskPool};
 pub use scan::parallel_scan;
+
+/// Lock a mutex, recovering the guard if a panicking task poisoned it.
+///
+/// Pool bookkeeping (sleep/overflow/latch/pipeline state) must outlive a
+/// panic in user task code: the fail-soft error model absorbs such panics
+/// at join time, so one failed task must not cascade into poisoned-lock
+/// panics on every other worker.
+pub(crate) fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -141,9 +141,12 @@ impl Pipeline {
             let exec2 = Arc::clone(&exec);
             pool.spawn(move || pump_source(&exec2));
         }
-        let mut done = exec.done.lock().unwrap();
+        let mut done = crate::lock_unpoisoned(&exec.done);
         while !*done {
-            done = exec.done_cv.wait(done).unwrap();
+            done = exec
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }
@@ -264,7 +267,7 @@ fn pump_source(exec: &Arc<Exec>) {
         }
         // Produce one item under the source lock (serial source).
         let produced = {
-            let mut src = exec.source.lock().unwrap();
+            let mut src = crate::lock_unpoisoned(&exec.source);
             if src.exhausted {
                 None
             } else {
@@ -320,7 +323,7 @@ fn advance(exec: &Arc<Exec>, mut idx: usize, seq: u64, emit_ns: u64, mut payload
                 idx += 1;
             }
             FilterImpl::Serial { in_order, state } => {
-                let mut st = state.lock().unwrap();
+                let mut st = crate::lock_unpoisoned(state);
                 if st.busy || (*in_order && seq != st.next_seq) {
                     if *in_order {
                         st.in_order_pending.insert(seq, (emit_ns, payload));
@@ -371,7 +374,7 @@ fn finish_token(exec: &Arc<Exec>, emit_ns: u64) {
     exec.rec.record_e2e(emit_ns);
     exec.completed.fetch_add(1, Ordering::Relaxed);
     exec.live.fetch_sub(1, Ordering::AcqRel);
-    let exhausted = exec.source.lock().unwrap().exhausted;
+    let exhausted = crate::lock_unpoisoned(&exec.source).exhausted;
     if exhausted {
         maybe_finish(exec);
     } else {
@@ -382,8 +385,8 @@ fn finish_token(exec: &Arc<Exec>, emit_ns: u64) {
 }
 
 fn maybe_finish(exec: &Arc<Exec>) {
-    if exec.live.load(Ordering::Acquire) == 0 && exec.source.lock().unwrap().exhausted {
-        let mut done = exec.done.lock().unwrap();
+    if exec.live.load(Ordering::Acquire) == 0 && crate::lock_unpoisoned(&exec.source).exhausted {
+        let mut done = crate::lock_unpoisoned(&exec.done);
         *done = true;
         exec.done_cv.notify_all();
     }

@@ -179,12 +179,12 @@ struct Shared {
 impl Shared {
     fn announce(&self) {
         self.pending.fetch_add(1, Ordering::Release);
-        drop(self.sleep_lock.lock().unwrap());
+        drop(crate::lock_unpoisoned(&self.sleep_lock));
         self.wake.notify_one();
     }
 
     fn announce_all(&self) {
-        drop(self.sleep_lock.lock().unwrap());
+        drop(crate::lock_unpoisoned(&self.sleep_lock));
         self.wake.notify_all();
     }
 }
@@ -273,7 +273,7 @@ impl TaskPool {
                         // Still full — the workers may all be blocked inside
                         // tasks waiting on exactly this spawn. Spill to the
                         // unbounded overflow so `spawn` never deadlocks.
-                        self.shared.overflow.lock().unwrap().push_back(back);
+                        crate::lock_unpoisoned(&self.shared.overflow).push_back(back);
                         self.shared.overflow_len.fetch_add(1, Ordering::Release);
                         break;
                     }
@@ -322,12 +322,12 @@ fn worker_loop(idx: usize, worker: Worker<Task>, shared: Arc<Shared>) {
             break;
         }
         // Park until work is announced or shutdown.
-        let guard = shared.sleep_lock.lock().unwrap();
+        let guard = crate::lock_unpoisoned(&shared.sleep_lock);
         if shared.pending.load(Ordering::Acquire) == 0 && !shared.shutdown.load(Ordering::Acquire) {
             let _unused = shared
                 .wake
                 .wait_timeout(guard, std::time::Duration::from_millis(10))
-                .unwrap();
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
     CURRENT_WORKER.with(|cw| *cw.borrow_mut() = None);
@@ -356,7 +356,7 @@ fn find_task(self_idx: usize, worker: &Worker<Task>, shared: &Shared) -> Option<
     // Then the overflow spill. The atomic gate keeps this lock-free (one
     // Relaxed load) in the common case where no spawn ever overflowed.
     if shared.overflow_len.load(Ordering::Relaxed) > 0 {
-        let mut overflow = shared.overflow.lock().unwrap();
+        let mut overflow = crate::lock_unpoisoned(&shared.overflow);
         let grab = (INJECTOR_GRAB + 1).min(overflow.len());
         if grab > 0 {
             shared.overflow_len.fetch_sub(grab, Ordering::Relaxed);
@@ -401,7 +401,7 @@ impl Latch {
 
     /// Record one completion.
     pub fn count_down(&self) {
-        let mut rem = self.remaining.lock().unwrap();
+        let mut rem = crate::lock_unpoisoned(&self.remaining);
         assert!(*rem > 0, "latch over-released");
         *rem -= 1;
         if *rem == 0 {
@@ -411,9 +411,12 @@ impl Latch {
 
     /// Block until the count reaches zero.
     pub fn wait(&self) {
-        let mut rem = self.remaining.lock().unwrap();
+        let mut rem = crate::lock_unpoisoned(&self.remaining);
         while *rem > 0 {
-            rem = self.done.wait(rem).unwrap();
+            rem = self
+                .done
+                .wait(rem)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }

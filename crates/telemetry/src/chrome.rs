@@ -119,6 +119,29 @@ impl TelemetryReport {
             }
         }
 
+        // Fault-path events as global instant events ("i" phase), pinned
+        // to the faulting stage's row when the stage has one.
+        for e in &self.faults {
+            let tid = self
+                .stages
+                .iter()
+                .position(|s| e.stage.starts_with(&s.name))
+                .map(|i| i as u32 + 1)
+                .unwrap_or(source_tid);
+            events.push((
+                e.t_ns,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{},\"pid\":{CPU_PID},\"tid\":{tid},\
+                     \"args\":{{\"stage\":\"{}\",\"detail\":\"{}\"}}}}",
+                    e.kind.label(),
+                    us(e.t_ns),
+                    esc(&e.stage),
+                    esc(&e.detail)
+                ),
+            ));
+        }
+
         // Per-item flow arrows: emit at the source row, retire at the sink
         // row, one arrow per sampled journey.
         for (id, &(emit_ns, done_ns)) in self.flows.iter().enumerate() {

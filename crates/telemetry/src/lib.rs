@@ -325,6 +325,7 @@ pub(crate) struct Inner {
     flows: FlowBuf,
     pub(crate) windows: Mutex<Vec<WindowSample>>,
     pub(crate) stalls: Mutex<Vec<StallEvent>>,
+    faults: Mutex<Vec<FaultEvent>>,
 }
 
 /// The run-wide collector the runtimes thread through their builders.
@@ -348,6 +349,7 @@ impl Recorder {
                 flows: FlowBuf::new(),
                 windows: Mutex::new(Vec::new()),
                 stalls: Mutex::new(Vec::new()),
+                faults: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -405,6 +407,21 @@ impl Recorder {
                 inner.e2e.record(now.saturating_sub(emit_ns));
                 inner.flows.push(emit_ns, now);
             }
+        }
+    }
+
+    /// Record one fault-path event (observed fault or recovery action).
+    /// No-op when disabled; never on the per-item hot path — faults are
+    /// rare by construction, so a mutex push is fine here.
+    pub fn fault(&self, stage: impl Into<String>, kind: FaultKind, detail: impl Into<String>) {
+        if let Some(inner) = &self.inner {
+            let ev = FaultEvent {
+                t_ns: inner.epoch.elapsed().as_nanos() as u64,
+                stage: stage.into(),
+                kind,
+                detail: detail.into(),
+            };
+            inner.faults.lock().unwrap().push(ev);
         }
     }
 
@@ -474,6 +491,11 @@ impl Recorder {
                     flows: inner.flows.snapshot(),
                     windows: inner.windows.lock().unwrap().clone(),
                     stalls: inner.stalls.lock().unwrap().clone(),
+                    faults: {
+                        let mut f = inner.faults.lock().unwrap().clone();
+                        f.sort_by_key(|e| e.t_ns);
+                        f
+                    },
                 }
             }
         }
@@ -571,6 +593,66 @@ impl StallEvent {
     }
 }
 
+/// What kind of fault-path event a [`FaultEvent`] records.
+///
+/// The first three are *causes* (observed device/stage misbehaviour); the
+/// last two are *recovery actions* the runtime took. Acceptance checks and
+/// the fig harnesses count the actions ([`TelemetryReport::retry_count`],
+/// [`TelemetryReport::fallback_count`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A device allocation failed (real or injected OOM).
+    DeviceOom,
+    /// A kernel launch failed (injected transient fault).
+    KernelFault,
+    /// A stage emitted a typed [`StageError`]-style failure downstream.
+    StageError,
+    /// The runtime retried the failed operation (possibly reshaped, e.g.
+    /// with a halved batch).
+    Retry,
+    /// The runtime degraded the operation to its CPU implementation.
+    CpuFallback,
+}
+
+impl FaultKind {
+    /// Stable lowercase label used in JSON/CSV/trace output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::DeviceOom => "device_oom",
+            FaultKind::KernelFault => "kernel_fault",
+            FaultKind::StageError => "stage_error",
+            FaultKind::Retry => "retry",
+            FaultKind::CpuFallback => "cpu_fallback",
+        }
+    }
+}
+
+/// One fault-path event: an observed fault or a recovery action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Event time, ns since the recorder epoch.
+    pub t_ns: u64,
+    /// Stage (or subsystem) that observed the fault / took the action.
+    pub stage: String,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Free-form context ("oom 1048576B on dev0", "batch halved to 16", …).
+    pub detail: String,
+}
+
+impl FaultEvent {
+    /// One-line rendering for logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "fault: [{}] {} at t={}ns ({})",
+            self.kind.label(),
+            self.stage,
+            self.t_ns,
+            self.detail
+        )
+    }
+}
+
 /// A full run snapshot: CPU stage counters plus GPU engine spans, latency
 /// distributions, the windowed time-series and any stall events.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -590,6 +672,9 @@ pub struct TelemetryReport {
     pub windows: Vec<WindowSample>,
     /// Stalls the watchdog reported.
     pub stalls: Vec<StallEvent>,
+    /// Fault-path events (injected faults, retries, CPU fallbacks), in
+    /// time order.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl TelemetryReport {
@@ -617,6 +702,21 @@ impl TelemetryReport {
     /// Total items out of all replicas of `stage`.
     pub fn items_out(&self, stage: &str) -> u64 {
         self.replicas_of(stage).map(|s| s.items_out).sum()
+    }
+
+    /// Fault events of one kind.
+    pub fn faults_of(&self, kind: FaultKind) -> impl Iterator<Item = &FaultEvent> {
+        self.faults.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// How many times the runtime retried a failed GPU operation.
+    pub fn retry_count(&self) -> usize {
+        self.faults_of(FaultKind::Retry).count()
+    }
+
+    /// How many times the runtime degraded a batch to its CPU path.
+    pub fn fallback_count(&self) -> usize {
+        self.faults_of(FaultKind::CpuFallback).count()
     }
 
     /// Distinct stage names in registration-independent (sorted) order.
@@ -839,6 +939,23 @@ impl TelemetryReport {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str("  \"faults\": [\n");
+        for (i, e) in self.faults.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"t_ns\": {}, \"stage\": \"{}\", \"kind\": \"{}\", \"detail\": \"{}\"}}{}\n",
+                e.t_ns,
+                esc(&e.stage),
+                e.kind.label(),
+                esc(&e.detail),
+                if i + 1 < self.faults.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"fault_counts\": {{\"retries\": {}, \"cpu_fallbacks\": {}}},\n",
+            self.retry_count(),
+            self.fallback_count()
+        ));
         out.push_str("  \"windows\": [\n");
         for (i, wdw) in self.windows.iter().enumerate() {
             out.push_str(&format!("    {{\"t_ns\": {}, \"stages\": [", wdw.t_ns));
@@ -1147,6 +1264,35 @@ mod tests {
         assert!(e.describe().contains("work/0"));
         // One event per episode, not one per tick.
         assert_eq!(stalls.len(), 1);
+    }
+
+    #[test]
+    fn fault_events_are_recorded_counted_and_exported() {
+        let rec = Recorder::enabled();
+        let h = rec.stage("stage1", 0);
+        h.item_in(0);
+        rec.fault("stage1", FaultKind::DeviceOom, "oom 1024B on dev0");
+        rec.fault("stage1", FaultKind::Retry, "batch halved to 16");
+        rec.fault("stage1", FaultKind::CpuFallback, "batch 3 on CPU");
+        let report = rec.report();
+        assert_eq!(report.faults.len(), 3);
+        assert_eq!(report.retry_count(), 1);
+        assert_eq!(report.fallback_count(), 1);
+        assert_eq!(report.faults_of(FaultKind::DeviceOom).count(), 1);
+        // Time-ordered.
+        assert!(report.faults.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        let json = report.to_json();
+        assert!(json.contains("\"faults\""));
+        assert!(json.contains("\"device_oom\""));
+        assert!(json.contains("\"fault_counts\": {\"retries\": 1, \"cpu_fallbacks\": 1}"));
+        let trace = report.to_chrome_trace();
+        assert!(trace.contains("\"cat\":\"fault\""));
+        assert!(trace.contains("\"ph\":\"i\""));
+        assert!(report.faults[0].describe().contains("device_oom"));
+        // Disabled recorders stay inert.
+        let off = Recorder::disabled();
+        off.fault("s", FaultKind::Retry, "x");
+        assert_eq!(off.report().retry_count(), 0);
     }
 
     #[test]
