@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Data-path benchmark runner. Fully offline.
 #
-#   ./bench.sh                 # full run, writes BENCH_pr3.json at the repo root
-#   ./bench.sh out.json        # same, custom output path
-#   BENCH_SMOKE=1 ./bench.sh   # CI smoke: same benches, skips the >=2x assertion
-#                              # (shared CI boxes are too noisy to gate on ratios)
+#   ./bench.sh                 # full run, writes BENCH_pr3.json + BENCH_pr5.json
+#   ./bench.sh out.json        # same, custom pr3 output path
+#   BENCH_SMOKE=1 ./bench.sh   # CI smoke: same benches, skips the timing-ratio
+#                              # assertions (shared CI boxes are too noisy to
+#                              # gate on ratios); the pool hit-rate gate stays
+#                              # on — it is deterministic, not a timing
 #
 # What it measures (see crates/bench/benches/datapath.rs):
 #   - raw SPSC ring ops and channel transfer, single-item vs batched
@@ -12,6 +14,9 @@
 #     path) vs the default burst
 #   - the Fig. 1 CPU rung at --tiny scale (real Mandelbrot ordered farm)
 #   - tbbx pool spawn + steal throughput
+#   - the PR 5 allocation-churn bench: the dedup per-batch buffer lifecycle,
+#     fresh allocations vs the pooled/recycled path, wall time and
+#     allocs-per-batch (counting allocator) — written to BENCH_pr5.json
 # plus the wall-clock of a real `fig1 --tiny` end-to-end run.
 #
 # Output schema ("hetstream.bench.v1"):
@@ -24,11 +29,16 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 OUT="${1:-BENCH_pr3.json}"
+OUT5="${2:-BENCH_pr5.json}"
 SMOKE="${BENCH_SMOKE:-0}"
-# cargo runs bench binaries with the package dir as CWD; hand it an absolute path.
+# cargo runs bench binaries with the package dir as CWD; hand it absolute paths.
 case "$OUT" in
     /*) OUT_ABS="$OUT" ;;
     *) OUT_ABS="$PWD/$OUT" ;;
+esac
+case "$OUT5" in
+    /*) OUT5_ABS="$OUT5" ;;
+    *) OUT5_ABS="$PWD/$OUT5" ;;
 esac
 
 echo "== build (release, offline) =="
@@ -43,10 +53,13 @@ echo "fig1 --tiny wall: ${FIG1_WALL}s"
 
 echo "== data-path micro-benches =="
 HETSTREAM_FIG1_TINY_WALL_S="$FIG1_WALL" \
-    cargo bench --offline -p bench --bench datapath -- --json "$OUT_ABS"
+    cargo bench --offline -p bench --bench datapath -- \
+    --json "$OUT_ABS" --json-pr5 "$OUT5_ABS"
 
 echo "== summary ($OUT) =="
 cat "$OUT"
+echo "== summary ($OUT5) =="
+cat "$OUT5"
 
 # The headline claim of the batched data path: multi-push/multi-pop must be
 # at least 2x single-item ops on the raw SPSC micro-bench.
@@ -59,4 +72,23 @@ if [[ "$SMOKE" != "1" ]] && ! awk -v s="$speedup" 'BEGIN{exit !(s >= 2.0)}'; the
     echo "FAIL: batched SPSC speedup ${speedup}x is below the 2x floor" >&2
     exit 1
 fi
-echo "bench.sh: done (spsc batched speedup: ${speedup}x)"
+
+# PR 5 gates. The pool hit rate is deterministic (same acquire sequence every
+# run), so it is asserted even in smoke mode; the pooled-vs-fresh timing ratio
+# is skipped there like the SPSC one.
+pooled=$(grep -o '"pooled_speedup": [0-9.]*' "$OUT5" | grep -o '[0-9.]*$')
+hitrate=$(grep -o '"pool_hit_rate": [0-9.]*' "$OUT5" | grep -o '[0-9.]*$')
+if [[ -z "$pooled" || -z "$hitrate" ]]; then
+    echo "FAIL: $OUT5 is missing pooled_speedup / pool_hit_rate" >&2
+    exit 1
+fi
+if ! awk -v h="$hitrate" 'BEGIN{exit !(h >= 0.95)}'; then
+    echo "FAIL: pool hit rate ${hitrate} is below the 0.95 floor" >&2
+    exit 1
+fi
+if [[ "$SMOKE" != "1" ]] && ! awk -v s="$pooled" 'BEGIN{exit !(s >= 1.2)}'; then
+    echo "FAIL: pooled batch speedup ${pooled}x is below the 1.2x floor" >&2
+    exit 1
+fi
+echo "bench.sh: done (spsc batched speedup: ${speedup}x," \
+     "pooled batch speedup: ${pooled}x, pool hit rate: ${hitrate})"

@@ -55,10 +55,20 @@ echo "== data-path stress (batched SPSC + Chase-Lev deque, named rerun) =="
 cargo test --release --offline -p fastflow --test batch
 cargo test --release --offline -p tbbx --test deque_stress
 
-echo "== bench.sh smoke (writes BENCH_pr3.json at the repo root) =="
+echo "== pool stress + steady-state allocation gate (named rerun) =="
+# Same deal: the buffer-pool MPMC stress and the zero-allocation
+# steady-state gate get their own CI log lines.
+cargo test --release --offline -p fastflow --test pool_stress
+cargo test --release --offline --test steady_state_no_alloc
+
+echo "== bench.sh smoke (writes BENCH_pr3.json + BENCH_pr5.json) =="
 BENCH_SMOKE=1 ./bench.sh
 test -s BENCH_pr3.json
 grep -q '"schema": "hetstream.bench.v1"' BENCH_pr3.json
+test -s BENCH_pr5.json
+grep -q '"entry": "pr5"' BENCH_pr5.json
+grep -q '"pooled_speedup"' BENCH_pr5.json
+grep -q '"pool_hit_rate"' BENCH_pr5.json
 
 echo
 echo "ci.sh: all gates passed"

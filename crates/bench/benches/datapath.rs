@@ -9,13 +9,52 @@
 //! `HETSTREAM_FIG1_TINY_WALL_S` is set (bench.sh times the real
 //! `fig1 --tiny` run), its value is recorded in the summary.
 //!
+//! PR 5 adds the allocation-churn bench (`dedup_batch_lifecycle`): the
+//! per-batch buffer traffic of the dedup offload path with compute elided,
+//! fresh-alloc lifecycle vs the pooled one, measured both in wall time and
+//! in heap allocations per batch via a counting global allocator. Pass
+//! `--json-pr5 <path>` to emit those rows plus the pool hit rate as
+//! `BENCH_pr5.json`.
+//!
 //! Keep runs short: the reproduction box can be a single core, so the
 //! numbers measure per-item overhead, not parallel speedup — which is
 //! exactly what the batching layer targets.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Counts allocations so the churn bench can report allocs-per-batch.
+/// One relaxed `fetch_add` per alloc: far below the noise floor of the
+/// timing benches, which avoid the heap in their hot loops anyway.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Median wall-seconds of `samples` runs of `f` (one warmup).
 fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
@@ -219,6 +258,144 @@ fn bench_pool(results: &mut Vec<Result>) {
     record(results, "pool_nested_steal", "batched", N as u64, secs);
 }
 
+struct ChurnStats {
+    pool_hit_rate: f64,
+    fresh_allocs_per_batch: f64,
+    pooled_allocs_per_batch: f64,
+}
+
+/// PR 5: the per-batch buffer lifecycle of the dedup offload path at real
+/// scale (1 MiB batch, 2048 blocks), with compute elided so only the
+/// memory traffic remains.
+///
+/// `fresh` is the pre-pooling lifecycle: staging `to_vec`s, zero-filled
+/// device buffers allocated every batch, a digest vector collected per
+/// batch, and the `h_len.to_vec()`/`h_off.to_vec()` copies of the
+/// per-byte match arrays. `pooled` is the recycled lifecycle the backend
+/// runs now: staging slabs overwritten in place (`HostRing` semantics),
+/// upload buffers from the device allocation cache (clear + zero-resize on
+/// a hit, exactly `BufPool::acquire`), lane-resident output/match buffers
+/// that are never reallocated, and digests from the shared pool. Both
+/// modes move the same bytes; the difference is pure allocator churn.
+fn bench_alloc_churn(results: &mut Vec<Result>) -> ChurnStats {
+    const DATA: usize = 1 << 20;
+    const BLOCKS: usize = 2048;
+    const BATCHES: u64 = 100;
+    const SAMPLES: usize = 5;
+
+    let src: Vec<u8> = (0..DATA as u32).map(|i| (i % 251) as u8).collect();
+    let starts_src: Vec<u32> = (0..BLOCKS as u32)
+        .map(|b| b * (DATA / BLOCKS) as u32)
+        .collect();
+
+    // The pre-PR backend kept host readback scratch across batches; only
+    // the buffers it really re-created per batch are fresh here.
+    let mut h_len_scratch = vec![0u32; DATA];
+    let mut h_off_scratch = vec![0u32; DATA];
+    let mut fresh_allocs = 0u64;
+    let mut fresh_batches = 0u64;
+    let secs = median_secs(SAMPLES, || {
+        let before = allocations();
+        for _ in 0..BATCHES {
+            // Hash: stage, upload, launch (elided), read back, collect.
+            let h_data = src.to_vec();
+            let mut d_data = vec![0u8; DATA];
+            d_data.copy_from_slice(&h_data);
+            let h_starts = starts_src.to_vec();
+            let mut d_starts = vec![0u32; BLOCKS];
+            d_starts.copy_from_slice(&h_starts);
+            let d_out = vec![0u8; BLOCKS * 20];
+            let mut h_out = vec![0u8; BLOCKS * 20];
+            h_out.copy_from_slice(&d_out);
+            let digests: Vec<dedup::Digest> = h_out
+                .chunks_exact(20)
+                .map(|c| dedup::Digest(c.try_into().expect("20-byte chunk")))
+                .collect();
+            // Compress: fresh per-byte match buffers, then the to_vec
+            // copies handed downstream.
+            let d_len = vec![0u32; DATA];
+            let d_off = vec![0u32; DATA];
+            h_len_scratch.copy_from_slice(&d_len);
+            h_off_scratch.copy_from_slice(&d_off);
+            let lens = h_len_scratch.to_vec();
+            let offs = h_off_scratch.to_vec();
+            black_box((
+                d_data.last(),
+                d_starts.last(),
+                digests.last(),
+                lens.last(),
+                offs.last(),
+            ));
+        }
+        fresh_allocs += allocations() - before;
+        fresh_batches += BATCHES;
+    });
+    record(results, "dedup_batch_lifecycle", "fresh", BATCHES, secs);
+
+    let stage_ring = fastflow::recycler::<Vec<u8>>(2);
+    let dev_u8: fastflow::BufPool<u8> = fastflow::BufPool::new();
+    let dev_u32: fastflow::BufPool<u32> = fastflow::BufPool::new();
+    let digest_pool: fastflow::BufPool<dedup::Digest> = fastflow::BufPool::new();
+    // Lane-resident buffers (`ensure_dev` + host rings): allocated once.
+    let d_out_resident = vec![0u8; BLOCKS * 20];
+    let d_len_resident = vec![0u32; DATA];
+    let d_off_resident = vec![0u32; DATA];
+    let mut h_out_slab = vec![0u8; BLOCKS * 20];
+    let mut h_len_slab = vec![0u32; DATA];
+    let mut h_off_slab = vec![0u32; DATA];
+    let mut pooled_allocs = 0u64;
+    let mut pooled_batches = 0u64;
+    let secs = median_secs(SAMPLES, || {
+        let before = allocations();
+        for _ in 0..BATCHES {
+            // Hash: stage into a recycled slab, upload into cached device
+            // buffers, read back into a resident slab, pool the digests.
+            let mut stage = stage_ring.take().unwrap_or_else(|| vec![0u8; DATA]);
+            stage[..DATA].copy_from_slice(&src);
+            let mut d_data = dev_u8.acquire(DATA);
+            d_data.copy_from_slice(&stage[..DATA]);
+            let mut d_starts = dev_u32.acquire(BLOCKS);
+            d_starts.copy_from_slice(&starts_src);
+            stage_ring.give(stage);
+            h_out_slab.copy_from_slice(&d_out_resident);
+            let mut digests = digest_pool.acquire(BLOCKS);
+            for (d, c) in digests.iter_mut().zip(h_out_slab.chunks_exact(20)) {
+                d.0.copy_from_slice(c);
+            }
+            // Compress: lane-resident match buffers, sliced in place —
+            // downstream reads the slabs, no to_vec.
+            h_len_slab.copy_from_slice(&d_len_resident);
+            h_off_slab.copy_from_slice(&d_off_resident);
+            black_box((
+                d_data.last(),
+                d_starts.last(),
+                digests.last(),
+                h_len_slab.last(),
+                h_off_slab.last(),
+            ));
+        }
+        pooled_allocs += allocations() - before;
+        pooled_batches += BATCHES;
+    });
+    record(results, "dedup_batch_lifecycle", "pooled", BATCHES, secs);
+
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for s in [
+        dev_u8.stats(),
+        dev_u32.stats(),
+        digest_pool.stats(),
+        stage_ring.stats(),
+    ] {
+        hits += s.hits;
+        misses += s.misses;
+    }
+    ChurnStats {
+        pool_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        fresh_allocs_per_batch: fresh_allocs as f64 / fresh_batches.max(1) as f64,
+        pooled_allocs_per_batch: pooled_allocs as f64 / pooled_batches.max(1) as f64,
+    }
+}
+
 fn find(results: &[Result], bench: &str, mode: &str) -> Option<f64> {
     results
         .iter()
@@ -267,11 +444,52 @@ fn write_json(path: &str, results: &[Result]) {
     println!("\nwrote {path}");
 }
 
+fn write_json_pr5(path: &str, results: &[Result], churn: &ChurnStats) {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let mut rows = String::new();
+    for (i, r) in results
+        .iter()
+        .filter(|r| r.bench == "dedup_batch_lifecycle")
+        .enumerate()
+    {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"items\": {}, \"items_per_s\": {:.1}}}",
+            r.bench, r.mode, r.items, r.items_per_s
+        ));
+    }
+
+    let speedup = match (
+        find(results, "dedup_batch_lifecycle", "pooled"),
+        find(results, "dedup_batch_lifecycle", "fresh"),
+    ) {
+        (Some(p), Some(f)) if f > 0.0 => format!("{:.3}", p / f),
+        _ => "null".into(),
+    };
+    let json = format!(
+        "{{\n  \"schema\": \"hetstream.bench.v1\",\n  \"entry\": \"pr5\",\n  \"unix_time\": {unix_time},\n  \"results\": [\n{rows}\n  ],\n  \"derived\": {{\n    \"pooled_speedup\": {speedup},\n    \"pool_hit_rate\": {:.4},\n    \"fresh_allocs_per_batch\": {:.2},\n    \"pooled_allocs_per_batch\": {:.4}\n  }}\n}}\n",
+        churn.pool_hit_rate, churn.fresh_allocs_per_batch, churn.pooled_allocs_per_batch,
+    );
+    std::fs::write(path, json).expect("write pr5 bench json");
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args
         .iter()
         .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let json_pr5_path = args
+        .iter()
+        .position(|a| a == "--json-pr5")
         .and_then(|i| args.get(i + 1))
         .cloned();
 
@@ -285,6 +503,7 @@ fn main() {
     bench_pipeline(&mut results);
     bench_fig1_tiny_cpu(&mut results);
     bench_pool(&mut results);
+    let churn = bench_alloc_churn(&mut results);
 
     if let (Some(b), Some(s)) = (
         find(&results, "spsc_channel", "batched"),
@@ -292,8 +511,24 @@ fn main() {
     ) {
         println!("\nspsc channel batched/single speedup: {:.2}x", b / s);
     }
+    if let (Some(p), Some(f)) = (
+        find(&results, "dedup_batch_lifecycle", "pooled"),
+        find(&results, "dedup_batch_lifecycle", "fresh"),
+    ) {
+        println!(
+            "dedup batch lifecycle pooled/fresh speedup: {:.2}x \
+             (pool hit rate {:.1}%, allocs/batch {:.1} -> {:.3})",
+            p / f,
+            churn.pool_hit_rate * 100.0,
+            churn.fresh_allocs_per_batch,
+            churn.pooled_allocs_per_batch,
+        );
+    }
 
     if let Some(path) = json_path {
         write_json(&path, &results);
+    }
+    if let Some(path) = json_pr5_path {
+        write_json_pr5(&path, &results, &churn);
     }
 }

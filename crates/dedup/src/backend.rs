@@ -22,10 +22,10 @@
 
 use std::sync::Arc;
 
-use fastflow::FaultPolicy;
+use fastflow::{BufPool, FaultPolicy, PooledBuf};
 use gpusim::cuda::{Cuda, CudaBuffer};
 use gpusim::opencl::{ClBuffer, ClKernel, CommandQueue, Context, Platform};
-use gpusim::{DeviceFault, GpuSystem, Offload, OutOfMemory};
+use gpusim::{DeviceFault, GpuSystem, HostRing, Offload, OutOfMemory};
 use telemetry::{FaultKind, Recorder};
 
 use crate::archive::BlockEntry;
@@ -59,6 +59,11 @@ pub struct BackendCtx {
     /// Retry budget applied before a failing GPU stage degrades to the
     /// CPU implementation for that batch.
     pub policy: FaultPolicy,
+    /// Shared digest buffer pool: every stage-2 replica acquires its
+    /// per-batch digest array here and the sink's drop returns it, so the
+    /// steady state recycles a handful of arrays instead of allocating
+    /// one per batch.
+    pub digests: BufPool<Digest>,
 }
 
 impl BackendCtx {
@@ -71,6 +76,7 @@ impl BackendCtx {
             lzss,
             rec: Recorder::default(),
             policy: FaultPolicy::default(),
+            digests: BufPool::new(),
         }
     }
 
@@ -84,11 +90,13 @@ impl BackendCtx {
             lzss,
             rec: Recorder::default(),
             policy: FaultPolicy::default(),
+            digests: BufPool::new(),
         }
     }
 
-    /// Attach a telemetry recorder for fault events.
+    /// Attach a telemetry recorder for fault events and pool gauges.
     pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        rec.register_pool("dedup.digests", self.digests.counters());
         self.rec = rec;
         self
     }
@@ -143,8 +151,9 @@ impl From<DeviceFault> for GpuFail {
 pub struct HashedBatch<G = ()> {
     /// The batch (host copy).
     pub batch: Batch,
-    /// SHA-1 per block.
-    pub digests: Vec<Digest>,
+    /// SHA-1 per block, in a pooled buffer that returns to
+    /// [`BackendCtx::digests`] when the consumer drops it.
+    pub digests: PooledBuf<Digest>,
     /// Device-resident data, if this batch made it onto a device.
     pub gpu: Option<G>,
 }
@@ -187,10 +196,12 @@ pub trait DedupBackend: Send + 'static {
 }
 
 /// Host implementation of stage 2 (also the GPU backends' fallback path).
-fn cpu_digests(batch: &Batch) -> Vec<Digest> {
-    (0..batch.block_count())
-        .map(|b| sha1(batch.block(b)))
-        .collect()
+fn cpu_digests(pool: &BufPool<Digest>, batch: &Batch) -> PooledBuf<Digest> {
+    let mut out = pool.acquire(batch.block_count());
+    for (b, slot) in out.iter_mut().enumerate() {
+        *slot = sha1(batch.block(b));
+    }
+    out
 }
 
 /// Host implementation of stage 4 (also the GPU backends' fallback path).
@@ -210,17 +221,21 @@ fn cpu_entries(batch: &Batch, classes: &[BlockClass], lzss: &LzssConfig) -> Vec<
 /// Pure-CPU backend (the paper's SPar CPU-only version).
 pub struct CpuBackend {
     lzss: LzssConfig,
+    pool: BufPool<Digest>,
 }
 
 impl DedupBackend for CpuBackend {
     type Gpu = ();
 
     fn new(ctx: &BackendCtx, _replica: usize) -> Self {
-        CpuBackend { lzss: ctx.lzss }
+        CpuBackend {
+            lzss: ctx.lzss,
+            pool: ctx.digests.clone(),
+        }
     }
 
     fn hash_stage(&mut self, batch: Batch) -> HashedBatch {
-        let digests = cpu_digests(&batch);
+        let digests = cpu_digests(&self.pool, &batch);
         HashedBatch {
             batch,
             digests,
@@ -288,10 +303,14 @@ pub struct CudaBackend {
     batched: bool,
     lzss: LzssConfig,
     rec: Recorder,
+    pool: BufPool<Digest>,
 }
 
 impl CudaBackend {
-    fn hash_on_device(&mut self, batch: &Batch) -> Result<(Vec<Digest>, CudaResident), GpuFail> {
+    fn hash_on_device(
+        &mut self,
+        batch: &Batch,
+    ) -> Result<(PooledBuf<Digest>, CudaResident), GpuFail> {
         self.cuda.set_device(self.device);
         let stream = self.cuda.stream_create();
         let n = batch.block_count();
@@ -319,9 +338,12 @@ impl CudaBackend {
             self.cuda.stream_synchronize(&stream);
             raw = all;
         } else {
-            // The naive integration: one launch AND one read-back per
-            // block — "the GPU kernel function has been invoked too many
-            // times without using efficiently the GPU resources" (§IV-B).
+            // The naive integration: one launch per block — "the GPU
+            // kernel function has been invoked too many times without
+            // using efficiently the GPU resources" (§IV-B). The read-back
+            // is still coalesced into one bulk copy after the launch loop
+            // and sliced on the host: n tiny D2H transfers cost n fixed
+            // latencies for the same bytes.
             raw = vec![0u8; n * 20];
             for b in 0..n {
                 let r = batch.block_range(b);
@@ -333,19 +355,14 @@ impl CudaBackend {
                     slot: b,
                 };
                 self.cuda.try_launch(&k, 1u32, 32u32, &stream)?;
-                self.cuda.memcpy_d2h_pageable(
-                    &mut raw[b * 20..b * 20 + 20],
-                    &d_out,
-                    b * 20,
-                    &stream,
-                );
             }
+            self.cuda.memcpy_d2h_pageable(&mut raw, &d_out, 0, &stream);
             self.cuda.stream_synchronize(&stream);
         }
-        let digests = raw
-            .chunks_exact(20)
-            .map(|c| Digest(c.try_into().expect("20 bytes")))
-            .collect();
+        let mut digests = self.pool.acquire(n);
+        for (slot, c) in digests.iter_mut().zip(raw.chunks_exact(20)) {
+            *slot = Digest(c.try_into().expect("20 bytes"));
+        }
         Ok((
             digests,
             CudaResident {
@@ -385,7 +402,10 @@ impl CudaBackend {
             self.cuda.memcpy_d2h_pageable(&mut lens, &d_len, 0, &stream);
             self.cuda.memcpy_d2h_pageable(&mut offs, &d_off, 0, &stream);
         } else {
-            // Naive integration: launch AND read back per block.
+            // Naive integration: launch per block, but read back once.
+            // The skipped Dup ranges stay zero on both sides (device
+            // buffers are allocated zeroed), so the bulk copy is
+            // bit-identical to the old per-range reads.
             for (b, class) in classes.iter().enumerate() {
                 if matches!(class, BlockClass::Dup { .. }) {
                     continue; // per-block mode can skip duplicate blocks
@@ -402,11 +422,9 @@ impl CudaBackend {
                 let lanes = (r.end - r.start) as u64;
                 let blocks = lanes.div_ceil(BLOCK_1D as u64) as u32;
                 self.cuda.try_launch(&k, blocks.max(1), BLOCK_1D, &stream)?;
-                self.cuda
-                    .memcpy_d2h_pageable(&mut lens[r.clone()], &d_len, r.start, &stream);
-                self.cuda
-                    .memcpy_d2h_pageable(&mut offs[r.clone()], &d_off, r.start, &stream);
             }
+            self.cuda.memcpy_d2h_pageable(&mut lens, &d_len, 0, &stream);
+            self.cuda.memcpy_d2h_pageable(&mut offs, &d_off, 0, &stream);
         }
         self.cuda.stream_synchronize(&stream);
         Ok((lens, offs))
@@ -427,6 +445,7 @@ impl DedupBackend for CudaBackend {
             batched: ctx.batched,
             lzss: ctx.lzss,
             rec: ctx.rec.clone(),
+            pool: ctx.digests.clone(),
         }
     }
 
@@ -444,7 +463,7 @@ impl DedupBackend for CudaBackend {
                     FaultKind::CpuFallback,
                     format!("batch {}: hashing on the host", batch.index),
                 );
-                let digests = cpu_digests(&batch);
+                let digests = cpu_digests(&self.pool, &batch);
                 HashedBatch {
                     batch,
                     digests,
@@ -512,55 +531,131 @@ pub struct OffloadResident<O: Offload> {
 pub struct OffloadBackend<O: Offload> {
     system: Arc<GpuSystem>,
     device: usize,
-    /// One offloader per device, attached lazily: stage 4 must target
+    /// One lane per device, attached lazily: stage 4 must target
     /// whatever device stage 2 uploaded to.
-    offs: Vec<Option<O>>,
+    lanes: Vec<Option<Lane<O>>>,
+    /// Shared digest pool (see [`BackendCtx::digests`]).
+    pool: BufPool<Digest>,
+    /// Reused `usize → u32` starts-conversion scratch.
+    starts_scratch: Vec<u32>,
     lzss: LzssConfig,
     rec: Recorder,
     policy: FaultPolicy,
 }
 
-impl<O: Offload> OffloadBackend<O> {
-    fn off(&mut self, device: usize) -> &mut O {
-        let system = &self.system;
-        self.offs[device].get_or_insert_with(|| O::attach(system, device))
-    }
+/// Per-device state an [`OffloadBackend`] replica keeps across batches:
+/// the offloader plus every staging and scratch buffer the stages
+/// recycle. Host rings hold two slots — the paper's "2× memory spaces"
+/// idiom — so a buffer a later pipeline step still reads from is not the
+/// one the next batch stages into.
+struct Lane<O: Offload> {
+    off: O,
+    /// H2D staging for batch bytes and block starts.
+    stage_data: HostRing<O, u8>,
+    stage_starts: HostRing<O, u32>,
+    /// D2H staging for digests and per-position match arrays.
+    out_digests: HostRing<O, u8>,
+    out_lens: HostRing<O, u32>,
+    out_offs: HostRing<O, u32>,
+    /// Recycled device scratch for stage outputs. Unlike `d_data` /
+    /// `d_starts` (which travel downstream inside [`OffloadResident`]
+    /// and are churned through the device-side allocation cache), these
+    /// never leave the lane, so they are kept and grown in place.
+    d_out: Option<O::Buffer<u8>>,
+    d_len: Option<O::Buffer<u32>>,
+    d_off: Option<O::Buffer<u32>>,
+}
 
+impl<O: Offload> Lane<O> {
+    fn new(system: &Arc<GpuSystem>, device: usize) -> Self {
+        Lane {
+            off: O::attach(system, device),
+            stage_data: HostRing::new(2),
+            stage_starts: HostRing::new(2),
+            out_digests: HostRing::new(2),
+            out_lens: HostRing::new(2),
+            out_offs: HostRing::new(2),
+            d_out: None,
+            d_len: None,
+            d_off: None,
+        }
+    }
+}
+
+/// The lazily-attached lane for `device`. A free function over the split
+/// fields (not a method) so callers keep disjoint borrows of the other
+/// backend fields while the lane is held.
+fn lane_mut<'a, O: Offload>(
+    lanes: &'a mut [Option<Lane<O>>],
+    system: &Arc<GpuSystem>,
+    device: usize,
+) -> &'a mut Lane<O> {
+    lanes[device].get_or_insert_with(|| Lane::new(system, device))
+}
+
+/// Grow-only device scratch: reallocate `slot` only when it cannot hold
+/// `len` elements, freeing the old buffer first (its storage returns to
+/// the device allocation cache). Sizes round up to powers of two so a
+/// lane's scratch stabilizes after warmup.
+fn ensure_dev<O: Offload, T: Default + Clone + Send + 'static>(
+    off: &mut O,
+    slot: &mut Option<O::Buffer<T>>,
+    len: usize,
+) -> Result<(), OutOfMemory> {
+    let have = slot.as_ref().map_or(0, |b| O::buffer_len(b));
+    if have < len.max(1) {
+        *slot = None;
+        *slot = Some(off.try_alloc(len.max(1).next_power_of_two())?);
+    }
+    Ok(())
+}
+
+impl<O: Offload> OffloadBackend<O> {
     /// One full-batch hashing attempt that keeps the batch device-resident
-    /// for stage 4.
-    fn hash_full(&mut self, batch: &Batch) -> Result<(Vec<Digest>, OffloadResident<O>), GpuFail> {
+    /// for stage 4. Host staging comes from the lane's rings and the
+    /// digest array from the shared pool; only `d_data` / `d_starts` are
+    /// per-batch device allocations (they travel downstream in the stream
+    /// item), and those are device-cache hits after warmup.
+    fn hash_full(
+        &mut self,
+        batch: &Batch,
+    ) -> Result<(PooledBuf<Digest>, OffloadResident<O>), GpuFail> {
         let device = self.device;
-        let starts = starts_u32(batch);
         let n = batch.block_count();
         let data_len = batch.data.len();
-        let off = self.off(device);
-        let d_data: O::Buffer<u8> = off.try_alloc(data_len)?;
-        let d_starts: O::Buffer<u32> = off.try_alloc(n.max(1))?;
-        let d_out: O::Buffer<u8> = off.try_alloc(n * 20)?;
-        let mut h_data = off.alloc_host::<u8>(data_len);
-        h_data.clone_from_slice(&batch.data);
-        let mut h_starts = off.alloc_host::<u32>(n);
-        h_starts.clone_from_slice(&starts);
-        off.h2d(&d_data, &h_data);
-        off.h2d(&d_starts, &h_starts);
-        off.try_launch(
+        self.starts_scratch.clear();
+        self.starts_scratch
+            .extend(batch.starts.iter().map(|&s| s as u32));
+        let lane = lane_mut(&mut self.lanes, &self.system, device);
+        let d_data: O::Buffer<u8> = lane.off.try_alloc(data_len)?;
+        let d_starts: O::Buffer<u32> = lane.off.try_alloc(n.max(1))?;
+        ensure_dev(&mut lane.off, &mut lane.d_out, n * 20)?;
+        lane.stage_data.next(&mut lane.off, data_len)[..data_len].clone_from_slice(&batch.data);
+        lane.off.h2d_n(&d_data, lane.stage_data.current(), data_len);
+        lane.stage_starts.next(&mut lane.off, n)[..n].clone_from_slice(&self.starts_scratch);
+        lane.off.h2d_n(&d_starts, lane.stage_starts.current(), n);
+        lane.off.try_launch(
             Sha1Kernel {
                 data: O::buffer_ptr(&d_data),
                 starts: O::buffer_ptr(&d_starts),
                 data_len,
                 n_blocks: n,
-                out: O::buffer_ptr(&d_out),
+                out: O::buffer_ptr(lane.d_out.as_ref().expect("ensured above")),
             },
             n as u64,
             64,
         )?;
-        let mut h_out = off.alloc_host::<u8>(n * 20);
-        off.d2h(&d_out, &mut h_out);
-        off.sync();
-        let digests = h_out
-            .chunks_exact(20)
-            .map(|c| Digest(c.try_into().expect("20 bytes")))
-            .collect();
+        let h_out = lane.out_digests.next(&mut lane.off, n * 20);
+        lane.off
+            .d2h_n(lane.d_out.as_ref().expect("ensured above"), h_out, n * 20);
+        lane.off.sync();
+        let mut digests = self.pool.acquire(n);
+        for (slot, c) in digests
+            .iter_mut()
+            .zip(lane.out_digests.current()[..n * 20].chunks_exact(20))
+        {
+            *slot = Digest(c.try_into().expect("20 bytes"));
+        }
         Ok((
             digests,
             OffloadResident {
@@ -572,52 +667,63 @@ impl<O: Offload> OffloadBackend<O> {
     }
 
     /// Hash blocks `lo..hi` as a standalone sub-batch (own upload, no
-    /// residency): the smaller-allocation retry path after an OOM.
-    fn hash_range(&mut self, batch: &Batch, lo: usize, hi: usize) -> Result<Vec<Digest>, GpuFail> {
+    /// residency), writing the digests into `out`: the smaller-allocation
+    /// retry path after an OOM. Writing into the caller's slice lets the
+    /// whole halving recursion share one pooled digest buffer.
+    fn hash_range(
+        &mut self,
+        batch: &Batch,
+        lo: usize,
+        hi: usize,
+        out: &mut [Digest],
+    ) -> Result<(), GpuFail> {
         let base = batch.block_range(lo).start;
         let end = batch.block_range(hi - 1).end;
         let data = &batch.data[base..end];
-        let starts: Vec<u32> = batch.starts[lo..hi]
-            .iter()
-            .map(|&s| (s - base) as u32)
-            .collect();
         let n = hi - lo;
-        let off = self.off(self.device);
-        let d_data: O::Buffer<u8> = off.try_alloc(data.len())?;
-        let d_starts: O::Buffer<u32> = off.try_alloc(n)?;
-        let d_out: O::Buffer<u8> = off.try_alloc(n * 20)?;
-        let mut h_data = off.alloc_host::<u8>(data.len());
-        h_data.clone_from_slice(data);
-        let mut h_starts = off.alloc_host::<u32>(n);
-        h_starts.clone_from_slice(&starts);
-        off.h2d(&d_data, &h_data);
-        off.h2d(&d_starts, &h_starts);
-        off.try_launch(
+        self.starts_scratch.clear();
+        self.starts_scratch
+            .extend(batch.starts[lo..hi].iter().map(|&s| (s - base) as u32));
+        let lane = lane_mut(&mut self.lanes, &self.system, self.device);
+        let d_data: O::Buffer<u8> = lane.off.try_alloc(data.len())?;
+        let d_starts: O::Buffer<u32> = lane.off.try_alloc(n)?;
+        ensure_dev(&mut lane.off, &mut lane.d_out, n * 20)?;
+        lane.stage_data.next(&mut lane.off, data.len())[..data.len()].clone_from_slice(data);
+        lane.off
+            .h2d_n(&d_data, lane.stage_data.current(), data.len());
+        lane.stage_starts.next(&mut lane.off, n)[..n].clone_from_slice(&self.starts_scratch);
+        lane.off.h2d_n(&d_starts, lane.stage_starts.current(), n);
+        lane.off.try_launch(
             Sha1Kernel {
                 data: O::buffer_ptr(&d_data),
                 starts: O::buffer_ptr(&d_starts),
                 data_len: data.len(),
                 n_blocks: n,
-                out: O::buffer_ptr(&d_out),
+                out: O::buffer_ptr(lane.d_out.as_ref().expect("ensured above")),
             },
             n as u64,
             64,
         )?;
-        let mut h_out = off.alloc_host::<u8>(n * 20);
-        off.d2h(&d_out, &mut h_out);
-        off.sync();
-        Ok(h_out
-            .chunks_exact(20)
-            .map(|c| Digest(c.try_into().expect("20 bytes")))
-            .collect())
+        let h_out = lane.out_digests.next(&mut lane.off, n * 20);
+        lane.off
+            .d2h_n(lane.d_out.as_ref().expect("ensured above"), h_out, n * 20);
+        lane.off.sync();
+        for (slot, c) in out
+            .iter_mut()
+            .zip(lane.out_digests.current()[..n * 20].chunks_exact(20))
+        {
+            *slot = Digest(c.try_into().expect("20 bytes"));
+        }
+        Ok(())
     }
 
-    /// Recursively halve `lo..hi` until the sub-batches fit on the device.
-    /// `None` means even the split path failed (single-block OOM or a
-    /// kernel fault) — the caller falls back to the host.
-    fn hash_split(&mut self, batch: &Batch, lo: usize, hi: usize) -> Option<Vec<Digest>> {
-        match self.hash_range(batch, lo, hi) {
-            Ok(digests) => Some(digests),
+    /// Recursively halve `lo..hi` until the sub-batches fit on the
+    /// device, splitting `out` alongside the block range. `false` means
+    /// even the split path failed (single-block OOM or a kernel fault) —
+    /// the caller falls back to the host.
+    fn hash_split(&mut self, batch: &Batch, lo: usize, hi: usize, out: &mut [Digest]) -> bool {
+        match self.hash_range(batch, lo, hi, out) {
+            Ok(()) => true,
             Err(fail) => {
                 self.rec.fault(HASH_STAGE, fail.kind(), fail.detail());
                 if matches!(fail, GpuFail::Oom(_)) && hi - lo > 1 {
@@ -627,47 +733,54 @@ impl<O: Offload> OffloadBackend<O> {
                         format!("batch {}: halving blocks {lo}..{hi}", batch.index),
                     );
                     let mid = lo + (hi - lo) / 2;
-                    let mut left = self.hash_split(batch, lo, mid)?;
-                    let right = self.hash_split(batch, mid, hi)?;
-                    left.extend(right);
-                    Some(left)
+                    let (left, right) = out.split_at_mut(mid - lo);
+                    self.hash_split(batch, lo, mid, left) && self.hash_split(batch, mid, hi, right)
                 } else {
-                    None
+                    false
                 }
             }
         }
     }
 
+    /// Stage-4 match kernel over a device-resident batch. On `Ok(())`
+    /// the per-position match arrays sit in the lane's `out_lens` /
+    /// `out_offs` staging rings ([`HostRing::current`]) instead of
+    /// freshly allocated vectors; the device scratch is recycled via
+    /// [`ensure_dev`]. The batched kernel writes every position below
+    /// `data_len`, so recycled (non-zeroed) scratch cannot leak stale
+    /// matches.
     fn compress_on_device(
         &mut self,
         batch: &Batch,
         res: &OffloadResident<O>,
-    ) -> Result<(Vec<u32>, Vec<u32>), GpuFail> {
+    ) -> Result<(), GpuFail> {
         let len = batch.data.len();
         let lzss = self.lzss;
         // The data lives on whatever device stage 2 used.
-        let off = self.off(res.device);
-        let d_len: O::Buffer<u32> = off.try_alloc(len)?;
-        let d_off: O::Buffer<u32> = off.try_alloc(len)?;
-        off.try_launch(
+        let lane = lane_mut(&mut self.lanes, &self.system, res.device);
+        ensure_dev(&mut lane.off, &mut lane.d_len, len)?;
+        ensure_dev(&mut lane.off, &mut lane.d_off, len)?;
+        lane.off.try_launch(
             FindMatchKernel {
                 data: O::buffer_ptr(&res.d_data),
                 data_len: len,
                 starts: O::buffer_ptr(&res.d_starts),
                 n_blocks: batch.block_count(),
-                matches_len: O::buffer_ptr(&d_len),
-                matches_off: O::buffer_ptr(&d_off),
+                matches_len: O::buffer_ptr(lane.d_len.as_ref().expect("ensured above")),
+                matches_off: O::buffer_ptr(lane.d_off.as_ref().expect("ensured above")),
                 cfg: lzss,
             },
             len as u64,
             BLOCK_1D,
         )?;
-        let mut h_len = off.alloc_host::<u32>(len);
-        let mut h_off = off.alloc_host::<u32>(len);
-        off.d2h(&d_len, &mut h_len);
-        off.d2h(&d_off, &mut h_off);
-        off.sync();
-        Ok((h_len.to_vec(), h_off.to_vec()))
+        let h_len = lane.out_lens.next(&mut lane.off, len);
+        lane.off
+            .d2h_n(lane.d_len.as_ref().expect("ensured above"), h_len, len);
+        let h_off = lane.out_offs.next(&mut lane.off, len);
+        lane.off
+            .d2h_n(lane.d_off.as_ref().expect("ensured above"), h_off, len);
+        lane.off.sync();
+        Ok(())
     }
 }
 
@@ -682,7 +795,9 @@ impl<O: Offload> DedupBackend for OffloadBackend<O> {
         OffloadBackend {
             system: Arc::clone(system),
             device: replica % ctx.n_gpus,
-            offs: (0..ctx.n_gpus).map(|_| None).collect(),
+            lanes: (0..ctx.n_gpus).map(|_| None).collect(),
+            pool: ctx.digests.clone(),
+            starts_scratch: Vec::new(),
             lzss: ctx.lzss,
             rec: ctx.rec.clone(),
             policy: ctx.policy,
@@ -713,7 +828,8 @@ impl<O: Offload> DedupBackend for OffloadBackend<O> {
                                 FaultKind::Retry,
                                 format!("batch {}: retrying with halved sub-batches", batch.index),
                             );
-                            if let Some(digests) = self.hash_split(&batch, 0, batch.block_count()) {
+                            let mut digests = self.pool.acquire(batch.block_count());
+                            if self.hash_split(&batch, 0, batch.block_count(), &mut digests) {
                                 return HashedBatch {
                                     batch,
                                     digests,
@@ -745,7 +861,7 @@ impl<O: Offload> DedupBackend for OffloadBackend<O> {
             FaultKind::CpuFallback,
             format!("batch {}: hashing on the host", batch.index),
         );
-        let digests = cpu_digests(&batch);
+        let digests = cpu_digests(&self.pool, &batch);
         HashedBatch {
             batch,
             digests,
@@ -765,8 +881,18 @@ impl<O: Offload> DedupBackend for OffloadBackend<O> {
                 loop {
                     attempts += 1;
                     match self.compress_on_device(&batch, res) {
-                        Ok((lens, offs)) => {
-                            break entries_from_matches(&batch, &classes, &lens, &offs, &self.lzss)
+                        Ok(()) => {
+                            let lane = self.lanes[res.device]
+                                .as_ref()
+                                .expect("lane exists after compress_on_device");
+                            let len = batch.data.len();
+                            break entries_from_matches(
+                                &batch,
+                                &classes,
+                                &lane.out_lens.current()[..len],
+                                &lane.out_offs.current()[..len],
+                                &self.lzss,
+                            );
                         }
                         Err(fail) => {
                             self.rec.fault(COMPRESS_STAGE, fail.kind(), fail.detail());
@@ -818,6 +944,7 @@ pub struct OclBackend {
     batched: bool,
     lzss: LzssConfig,
     rec: Recorder,
+    pool: BufPool<Digest>,
 }
 
 impl OclBackend {
@@ -825,7 +952,10 @@ impl OclBackend {
         &self.queues[device]
     }
 
-    fn hash_on_device(&mut self, batch: &Batch) -> Result<(Vec<Digest>, OclResident), GpuFail> {
+    fn hash_on_device(
+        &mut self,
+        batch: &Batch,
+    ) -> Result<(PooledBuf<Digest>, OclResident), GpuFail> {
         let dev = self.ctx.devices()[self.device];
         let n = batch.block_count();
         let d_data: ClBuffer<u8> = self.ctx.create_buffer(dev, batch.data.len())?;
@@ -852,7 +982,11 @@ impl OclBackend {
             let r_ev = q.enqueue_read_buffer(&d_out, false, 0, &mut raw, &[k_ev]);
             self.ctx.wait_for_events(&[r_ev]);
         } else {
-            // Naive integration: one launch and one blocking read per block.
+            // Naive integration: one launch per block. The read-back is
+            // coalesced into a single blocking read after the launch loop
+            // (the in-order queue means waiting on the last kernel event
+            // covers every earlier one) and sliced on the host.
+            let mut last = None;
             for b in 0..n {
                 let r = batch.block_range(b);
                 let kernel = ClKernel::create(Sha1BlockKernel {
@@ -862,14 +996,16 @@ impl OclBackend {
                     out: d_out.ptr(),
                     slot: b,
                 });
-                let k_ev = q.try_enqueue_nd_range(&kernel, 32, 32, &[w1, w2])?;
-                q.enqueue_read_buffer(&d_out, true, b * 20, &mut raw[b * 20..b * 20 + 20], &[k_ev]);
+                last = Some(q.try_enqueue_nd_range(&kernel, 32, 32, &[w1, w2])?);
+            }
+            if let Some(k_ev) = last {
+                q.enqueue_read_buffer(&d_out, true, 0, &mut raw, &[k_ev]);
             }
         }
-        let digests = raw
-            .chunks_exact(20)
-            .map(|c| Digest(c.try_into().expect("20 bytes")))
-            .collect();
+        let mut digests = self.pool.acquire(n);
+        for (slot, c) in digests.iter_mut().zip(raw.chunks_exact(20)) {
+            *slot = Digest(c.try_into().expect("20 bytes"));
+        }
         Ok((
             digests,
             OclResident {
@@ -911,7 +1047,11 @@ impl OclBackend {
             let r2 = q.enqueue_read_buffer(&d_off, false, 0, &mut offs, &[k_ev]);
             self.ctx.wait_for_events(&[r1, r2]);
         } else {
-            // Naive integration: launch and read back per block.
+            // Naive integration: launch per block, one coalesced read pair
+            // after the loop. Skipped Dup ranges are zero on both sides
+            // (buffers are created zeroed), so the bulk reads are
+            // bit-identical to the old per-range ones.
+            let mut last = None;
             for (b, class) in classes.iter().enumerate() {
                 if matches!(class, BlockClass::Dup { .. }) {
                     continue;
@@ -928,9 +1068,12 @@ impl OclBackend {
                 let lanes = ((r.end - r.start) as u64)
                     .next_multiple_of(BLOCK_1D as u64)
                     .max(BLOCK_1D as u64);
-                let k_ev = q.try_enqueue_nd_range(&kernel, lanes, BLOCK_1D, &[])?;
-                q.enqueue_read_buffer(&d_len, true, r.start, &mut lens[r.clone()], &[k_ev]);
-                q.enqueue_read_buffer(&d_off, true, r.start, &mut offs[r.clone()], &[k_ev]);
+                last = Some(q.try_enqueue_nd_range(&kernel, lanes, BLOCK_1D, &[])?);
+            }
+            if let Some(k_ev) = last {
+                let r1 = q.enqueue_read_buffer(&d_len, false, 0, &mut lens, &[k_ev]);
+                let r2 = q.enqueue_read_buffer(&d_off, false, 0, &mut offs, &[k_ev]);
+                self.ctx.wait_for_events(&[r1, r2]);
             }
         }
         Ok((lens, offs))
@@ -960,6 +1103,7 @@ impl DedupBackend for OclBackend {
             batched: ctx.batched,
             lzss: ctx.lzss,
             rec: ctx.rec.clone(),
+            pool: ctx.digests.clone(),
         }
     }
 
@@ -977,7 +1121,7 @@ impl DedupBackend for OclBackend {
                     FaultKind::CpuFallback,
                     format!("batch {}: hashing on the host", batch.index),
                 );
-                let digests = cpu_digests(&batch);
+                let digests = cpu_digests(&self.pool, &batch);
                 HashedBatch {
                     batch,
                     digests,

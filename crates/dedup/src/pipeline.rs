@@ -154,6 +154,7 @@ pub fn run_pipeline_rec<B: DedupBackend>(
         if let Some(sys) = &system {
             for d in 0..sys.device_count() {
                 sys.device(d).enable_trace();
+                rec.register_pool(format!("gpu{d}.cache"), &sys.device(d).cache_counters());
             }
         }
     }

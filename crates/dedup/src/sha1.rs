@@ -9,7 +9,7 @@
 //! does — not as a security primitive.
 
 /// A 160-bit SHA-1 digest.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Debug)]
 pub struct Digest(pub [u8; 20]);
 
 impl Digest {

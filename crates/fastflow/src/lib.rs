@@ -13,7 +13,9 @@
 //! * [`node`] — the [`Node`] processing abstraction (`ff_node` analogue);
 //! * [`farm`] — emitter → replicated workers → (ordered) collector;
 //! * [`feedback`] — the wrap-around farm: items circulate until done;
-//! * [`pipeline`] — typed thread-per-stage pipeline builder.
+//! * [`pipeline`] — typed thread-per-stage pipeline builder;
+//! * [`pool`] — size-classed buffer pool + recycle channel (zero-copy
+//!   payload discipline for the hot paths).
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@ pub mod farm;
 pub mod feedback;
 pub mod node;
 pub mod pipeline;
+pub mod pool;
 pub mod spsc;
 pub mod stamp;
 pub mod wait;
@@ -43,6 +46,7 @@ pub use farm::{spawn_farm, spawn_farm_traced, FarmConfig, SchedPolicy};
 pub use feedback::{spawn_feedback_farm, spawn_feedback_farm_traced, Loop};
 pub use node::{Emitter, Node};
 pub use pipeline::{PipeConfig, Pipeline, PipelineBuilder, PipelineStart, PipelineThreads};
+pub use pool::{recycler, BufPool, PooledBuf, Recycler};
 pub use stamp::Stamped;
 pub use wait::{Signal, WaitStrategy};
 

@@ -1,0 +1,506 @@
+//! Buffer recycling: the allocation-side half of FastFlow's zero-copy
+//! discipline.
+//!
+//! The FastFlow runtime gets its throughput from never heap-allocating on
+//! the item path — stream items are pointers into buffers that circulate
+//! between producers and consumers. The paper's GPU ladder leans on the
+//! same idea: Fig. 1/Fig. 4 allocate a fixed set of memory spaces (2× for
+//! the synchronous rungs, 4× with copy/compute overlap) once per run and
+//! cycle them round-robin. This module supplies the two primitives that
+//! make our pipelines do the same:
+//!
+//! * [`BufPool`] — a size-classed slab pool handing out [`PooledBuf`] RAII
+//!   handles. Buffers live in per-class lock-free MPMC rings (the classes
+//!   are powers of two of the element count), so any stage replica can
+//!   acquire and any replica — typically the sink — can release. A hit
+//!   recycles cached storage with `clear()` + `resize()`, which touches no
+//!   allocator because every pooled vector carries its full class
+//!   capacity.
+//! * [`Recycler`] — a feedback-style return channel: sinks `give` spent
+//!   item payloads back and upstream workers `take` them, mirroring the
+//!   wrap-around farm in [`crate::feedback`] but for raw buffers rather
+//!   than stream items.
+//!
+//! Both report hit/miss/outstanding gauges through
+//! [`telemetry::PoolCounters`] so a run's report shows whether the steady
+//! state actually recycles (hit rate ≈ 1 after warmup).
+//!
+//! The rings are bounded Vyukov-style MPMC queues (sequence number per
+//! slot, CAS on the head/tail tickets — the same design as `tbbx`'s task
+//! injector). Bounded is a feature: a full class sheds the returned buffer
+//! to the allocator instead of growing, so the pool's footprint is capped
+//! at `classes × per_class × class_size`.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use telemetry::{PoolCounters, PoolStats};
+
+/// One slot of the MPMC ring: a sequence ticket plus uninitialised value
+/// storage. See Vyukov's bounded MPMC queue: a slot whose sequence equals
+/// the push ticket is writable; one past the pop ticket is readable.
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free multi-producer/multi-consumer ring.
+struct MpmcRing<T> {
+    mask: usize,
+    slots: Box<[Slot<T>]>,
+    /// Push ticket counter.
+    tail: AtomicUsize,
+    /// Pop ticket counter.
+    head: AtomicUsize,
+}
+
+// SAFETY: slots hand values across threads by value; the sequence protocol
+// ensures exactly one thread reads or writes a slot at a time.
+unsafe impl<T: Send> Send for MpmcRing<T> {}
+unsafe impl<T: Send> Sync for MpmcRing<T> {}
+
+impl<T> MpmcRing<T> {
+    fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        MpmcRing {
+            mask: cap - 1,
+            slots,
+            tail: AtomicUsize::new(0),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// Push `value`, or hand it back if the ring is full.
+    fn try_push(&self, value: T) -> Result<(), T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the ticket CAS gives us exclusive
+                        // write access until we publish seq below.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if diff < 0 {
+                return Err(value); // full
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pop one value, or `None` when empty.
+    fn try_pop(&self) -> Option<T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - (pos + 1) as isize;
+            if diff == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the ticket CAS gives us exclusive
+                        // read access; the slot was published by a push.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if diff < 0 {
+                return None; // empty
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for MpmcRing<T> {
+    fn drop(&mut self) {
+        while self.try_pop().is_some() {}
+    }
+}
+
+/// Number of size classes: class `c` holds vectors of capacity `2^c`
+/// elements, so 33 classes cover every length a `usize` index can reach.
+const N_CLASSES: usize = 33;
+
+/// Default cached buffers per size class.
+const DEFAULT_PER_CLASS: usize = 32;
+
+/// Size class that can satisfy a request for `len` elements.
+#[inline]
+fn class_for_len(len: usize) -> usize {
+    len.max(1).next_power_of_two().trailing_zeros() as usize
+}
+
+/// Largest size class a buffer of `capacity` elements can serve.
+#[inline]
+fn class_for_capacity(capacity: usize) -> usize {
+    debug_assert!(capacity > 0);
+    (usize::BITS - 1 - capacity.leading_zeros()) as usize
+}
+
+struct PoolCore<T> {
+    classes: Box<[MpmcRing<Vec<T>>]>,
+    counters: Arc<PoolCounters>,
+}
+
+impl<T> PoolCore<T> {
+    /// Return `vec` to the class its capacity can serve; shed when full.
+    fn give_back(&self, vec: Vec<T>) {
+        if vec.capacity() == 0 {
+            return; // nothing worth caching
+        }
+        let class = class_for_capacity(vec.capacity());
+        if self.classes[class].try_push(vec).is_err() {
+            self.counters.shed_one();
+        }
+    }
+}
+
+/// Size-classed MPMC buffer pool. Cloning shares the pool.
+pub struct BufPool<T> {
+    core: Arc<PoolCore<T>>,
+}
+
+impl<T> Clone for BufPool<T> {
+    fn clone(&self) -> Self {
+        BufPool {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<T: Default + Clone + Send + 'static> Default for BufPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Default + Clone + Send + 'static> BufPool<T> {
+    /// Pool with the default per-class capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_PER_CLASS)
+    }
+
+    /// Pool caching up to `per_class` buffers in each size class.
+    pub fn with_capacity(per_class: usize) -> Self {
+        let classes = (0..N_CLASSES)
+            .map(|_| MpmcRing::new(per_class))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        BufPool {
+            core: Arc::new(PoolCore {
+                classes,
+                counters: PoolCounters::new(),
+            }),
+        }
+    }
+
+    /// Acquire a zeroed (`T::default()`-filled) buffer of exactly `len`
+    /// elements. Served from the pool when the size class has a cached
+    /// buffer — in that case no allocator call happens, because cached
+    /// buffers always carry their full class capacity.
+    pub fn acquire(&self, len: usize) -> PooledBuf<T> {
+        let class = class_for_len(len);
+        let mut vec = match self.core.classes[class].try_pop() {
+            Some(v) => {
+                self.core.counters.hit();
+                v
+            }
+            None => {
+                self.core.counters.miss();
+                Vec::with_capacity(1usize << class)
+            }
+        };
+        debug_assert!(vec.capacity() >= len);
+        vec.clear();
+        vec.resize(len, T::default());
+        self.core.counters.lease();
+        PooledBuf {
+            vec: Some(vec),
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Shared gauges, for [`telemetry::Recorder::register_pool`].
+    pub fn counters(&self) -> &Arc<PoolCounters> {
+        &self.core.counters
+    }
+
+    /// Current gauge snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.core.counters.snapshot()
+    }
+}
+
+/// RAII handle to a pooled buffer; returns to the pool on drop.
+pub struct PooledBuf<T> {
+    vec: Option<Vec<T>>,
+    core: Arc<PoolCore<T>>,
+}
+
+impl<T> PooledBuf<T> {
+    /// Detach the storage from the pool (it will not be recycled).
+    pub fn detach(mut self) -> Vec<T> {
+        self.core.counters.release();
+        self.vec.take().expect("pooled buffer present until drop")
+    }
+}
+
+impl<T> Deref for PooledBuf<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.vec.as_deref().expect("pooled buffer present")
+    }
+}
+
+impl<T> DerefMut for PooledBuf<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.vec.as_deref_mut().expect("pooled buffer present")
+    }
+}
+
+impl<T> Drop for PooledBuf<T> {
+    fn drop(&mut self) {
+        if let Some(vec) = self.vec.take() {
+            self.core.counters.release();
+            self.core.give_back(vec);
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for PooledBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// Feedback-style recycle channel: sinks [`give`](Recycler::give) spent
+/// payloads back, upstream workers [`take`](Recycler::take) them instead
+/// of allocating. Cloning shares the channel. Bounded: `give` onto a full
+/// ring drops the payload (sheds to the allocator) rather than blocking —
+/// the sink must never stall behind its own recycling.
+pub struct Recycler<T> {
+    ring: Arc<MpmcRing<T>>,
+    counters: Arc<PoolCounters>,
+}
+
+impl<T> Clone for Recycler<T> {
+    fn clone(&self) -> Self {
+        Recycler {
+            ring: Arc::clone(&self.ring),
+            counters: Arc::clone(&self.counters),
+        }
+    }
+}
+
+/// A recycle channel holding at most `capacity` spent payloads.
+pub fn recycler<T: Send + 'static>(capacity: usize) -> Recycler<T> {
+    Recycler {
+        ring: Arc::new(MpmcRing::new(capacity)),
+        counters: PoolCounters::new(),
+    }
+}
+
+impl<T: Send + 'static> Recycler<T> {
+    /// Return a spent payload upstream. Never blocks; sheds when full.
+    pub fn give(&self, item: T) {
+        if self.ring.try_push(item).is_err() {
+            self.counters.shed_one();
+        }
+    }
+
+    /// Take a recycled payload, if one is waiting.
+    pub fn take(&self) -> Option<T> {
+        match self.ring.try_pop() {
+            Some(item) => {
+                self.counters.hit();
+                Some(item)
+            }
+            None => {
+                self.counters.miss();
+                None
+            }
+        }
+    }
+
+    /// Shared gauges, for [`telemetry::Recorder::register_pool`].
+    pub fn counters(&self) -> &Arc<PoolCounters> {
+        &self.counters
+    }
+
+    /// Current gauge snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_zeroes_and_sizes_exactly() {
+        let pool: BufPool<u32> = BufPool::new();
+        let mut b = pool.acquire(10);
+        assert_eq!(&*b, &[0u32; 10]);
+        b.iter_mut().for_each(|x| *x = 7);
+        drop(b);
+        // Recycled buffer must come back zeroed even though we dirtied it.
+        let b2 = pool.acquire(10);
+        assert_eq!(&*b2, &[0u32; 10]);
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn same_class_reuse_is_a_hit_without_realloc() {
+        let pool: BufPool<u8> = BufPool::new();
+        drop(pool.acquire(100)); // class 7 (128)
+        let b = pool.acquire(128); // same class, larger len
+        assert_eq!(b.len(), 128);
+        assert!(b.vec.as_ref().unwrap().capacity() >= 128);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_classes_do_not_alias() {
+        let pool: BufPool<u8> = BufPool::new();
+        drop(pool.acquire(8));
+        // 1024 is a different class; the cached 8-capacity vec can't serve it.
+        let b = pool.acquire(1024);
+        assert_eq!(b.len(), 1024);
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn outstanding_tracks_leases() {
+        let pool: BufPool<u8> = BufPool::new();
+        let a = pool.acquire(4);
+        let b = pool.acquire(4);
+        assert_eq!(pool.stats().outstanding, 2);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.stats().outstanding, 0);
+    }
+
+    #[test]
+    fn full_class_sheds_instead_of_growing() {
+        let pool: BufPool<u8> = BufPool::with_capacity(2);
+        let bufs: Vec<_> = (0..5).map(|_| pool.acquire(16)).collect();
+        drop(bufs);
+        assert!(pool.stats().shed >= 1, "{:?}", pool.stats());
+    }
+
+    #[test]
+    fn detach_removes_from_pool() {
+        let pool: BufPool<u8> = BufPool::new();
+        let v = pool.acquire(8).detach();
+        assert_eq!(v.len(), 8);
+        assert_eq!(pool.stats().outstanding, 0);
+        assert_eq!(pool.acquire(8).len(), 8); // miss: nothing was returned
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn recycler_roundtrip() {
+        let r = recycler::<Vec<u8>>(4);
+        assert!(r.take().is_none());
+        r.give(vec![1, 2, 3]);
+        assert_eq!(r.take().unwrap(), vec![1, 2, 3]);
+        let s = r.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn recycler_sheds_when_full() {
+        let r = recycler::<u64>(2);
+        for i in 0..10 {
+            r.give(i);
+        }
+        assert!(r.stats().shed >= 1);
+    }
+
+    #[test]
+    fn mpmc_ring_transfers_everything_once() {
+        let ring = Arc::new(MpmcRing::<usize>::new(64));
+        let n_threads = 4;
+        let per_thread = 10_000;
+        let popped = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let mut v = t * per_thread + i;
+                    loop {
+                        match ring.try_push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let total = n_threads * per_thread;
+        let pop_count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..n_threads {
+            let ring = Arc::clone(&ring);
+            let popped = Arc::clone(&popped);
+            let pop_count = Arc::clone(&pop_count);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while pop_count.load(Ordering::Relaxed) < total {
+                    match ring.try_pop() {
+                        Some(v) => {
+                            got.push(v);
+                            pop_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                }
+                popped.lock().unwrap().push(got);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all: Vec<usize> = popped.lock().unwrap().concat();
+        all.sort_unstable();
+        // Every pushed value must come out exactly once.
+        assert_eq!(all, (0..total).collect::<Vec<_>>());
+    }
+}

@@ -216,6 +216,29 @@ impl Cuda {
             .copy_h2d(stream.id, src, dst.ptr, dst_offset, true, now);
     }
 
+    /// [`memcpy_h2d_async`](Self::memcpy_h2d_async) of only the first `n`
+    /// elements of `src` — the staging-ring case where the pinned buffer
+    /// is a recycled slab larger than this batch's payload.
+    pub fn memcpy_h2d_async_prefix<T: Clone + Send + 'static>(
+        &self,
+        dst: &CudaBuffer<T>,
+        dst_offset: usize,
+        src: &PinnedBuf<T>,
+        n: usize,
+        stream: &CudaStream,
+    ) {
+        self.check_binding(dst.device, stream);
+        let now = self.api_cost(stream.device);
+        self.system.device(stream.device).copy_h2d(
+            stream.id,
+            &src[..n],
+            dst.ptr,
+            dst_offset,
+            true,
+            now,
+        );
+    }
+
     /// `cudaMemcpyAsync` from **pageable** memory: per CUDA semantics this
     /// degrades to a synchronous copy — the host blocks until the transfer
     /// completes, at pageable bandwidth.
@@ -250,6 +273,28 @@ impl Cuda {
             src.ptr,
             src_offset,
             &mut dst.data,
+            true,
+            now,
+        );
+    }
+
+    /// [`memcpy_d2h_async`](Self::memcpy_d2h_async) into only the first
+    /// `n` elements of `dst` — the recycled-slab counterpart for reads.
+    pub fn memcpy_d2h_async_prefix<T: Clone + Send + 'static>(
+        &self,
+        dst: &mut PinnedBuf<T>,
+        n: usize,
+        src: &CudaBuffer<T>,
+        src_offset: usize,
+        stream: &CudaStream,
+    ) {
+        self.check_binding(src.device, stream);
+        let now = self.api_cost(stream.device);
+        self.system.device(stream.device).copy_d2h(
+            stream.id,
+            src.ptr,
+            src_offset,
+            &mut dst.data[..n],
             true,
             now,
         );

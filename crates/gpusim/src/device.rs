@@ -82,6 +82,9 @@ struct DevState {
     stats: DeviceStats,
     trace: Option<Vec<CommandRecord>>,
     injector: Option<FaultInjector>,
+    /// Reusable work meter: reset per launch so launching allocates
+    /// nothing once the per-warp buffer has grown to the launch width.
+    meter: WorkMeter,
 }
 
 impl DevState {
@@ -147,6 +150,7 @@ impl Device {
                 stats: DeviceStats::default(),
                 trace: None,
                 injector: None,
+                meter: WorkMeter::new(0, props.warp_size),
             }),
         }
     }
@@ -208,6 +212,12 @@ impl Device {
         f(&self.lock().mem)
     }
 
+    /// Gauges of this device's allocation cache, for
+    /// `telemetry::Recorder::register_pool`.
+    pub fn cache_counters(&self) -> std::sync::Arc<telemetry::PoolCounters> {
+        self.lock().mem.cache_counters()
+    }
+
     /// Enqueue a kernel: executes functionally now, schedules on the
     /// compute engine, returns the modeled completion time.
     ///
@@ -252,9 +262,10 @@ impl Device {
             }
             None => 1.0,
         };
-        let mut meter = WorkMeter::new(dims.total_threads(), self.props.warp_size);
-        kernel.run(&dims, &st.mem, &mut meter);
-        let mut dur = model::kernel_duration(&self.props, &dims, kernel, &meter);
+        let st = &mut *st;
+        st.meter.reset(dims.total_threads(), self.props.warp_size);
+        kernel.run(&dims, &st.mem, &mut st.meter);
+        let mut dur = model::kernel_duration(&self.props, &dims, kernel, &st.meter);
         if slow > 1.0 {
             // Busy/slow-device episode: same result, stretched timeline.
             dur = SimDuration::from_secs_f64(dur.as_secs_f64() * slow);

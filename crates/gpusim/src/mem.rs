@@ -7,11 +7,14 @@
 //! while writing another, and misuse (writing a buffer it is also reading)
 //! is caught at run time instead of being undefined behaviour.
 
-use std::any::Any;
+use std::any::{Any, TypeId};
 use std::cell::{Ref, RefCell, RefMut};
 use std::collections::HashMap;
 use std::fmt;
 use std::marker::PhantomData;
+use std::sync::Arc;
+
+use telemetry::PoolCounters;
 
 /// Error raised when an allocation exceeds device memory — the failure the
 /// paper hit with 10 MB OpenCL batches ("out of memory error", §V-B).
@@ -77,13 +80,32 @@ impl<T> DevicePtr<T> {
     }
 }
 
+/// Retired storage blocks kept per (type, size class) for recycling.
+const CACHE_PER_CLASS: usize = 8;
+
 /// One device's global-memory arena.
+///
+/// Freed buffer *storage* is parked in a size-classed free-list (keyed by
+/// element type and power-of-two capacity class) and recycled by the next
+/// [`alloc`](Self::alloc) of a fitting size, so steady-state allocate/free
+/// cycles never touch the host allocator. Two invariants keep the cache
+/// invisible to the memory *model*:
+///
+/// * **Accounting is unchanged.** `free` still decrements `used` and
+///   `alloc` still re-increments it before consulting the cache, so
+///   capacity-based [`OutOfMemory`] fires exactly as without the cache.
+/// * **Fault injection precedes the cache.** Injected OOM is checked in
+///   `Device::alloc` before `DeviceMemory::alloc` runs, so a fault-spec'd
+///   device still refuses allocations even when the free-list could have
+///   served them — recovery ladders stay testable with pooling on.
 pub struct DeviceMemory {
     device: u32,
     capacity: u64,
     used: u64,
     next_id: u64,
     buffers: HashMap<u64, RefCell<Box<dyn Any + Send>>>,
+    cache: HashMap<(TypeId, u32), Vec<Box<dyn Any + Send>>>,
+    counters: Arc<PoolCounters>,
 }
 
 impl DeviceMemory {
@@ -95,6 +117,8 @@ impl DeviceMemory {
             used: 0,
             next_id: 1,
             buffers: HashMap::new(),
+            cache: HashMap::new(),
+            counters: PoolCounters::new(),
         }
     }
 
@@ -112,9 +136,33 @@ impl DeviceMemory {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.buffers
-            .insert(id, RefCell::new(Box::new(vec![T::default(); len])));
+        let class = len.max(1).next_power_of_two().trailing_zeros();
+        let storage: Box<dyn Any + Send> = match self
+            .cache
+            .get_mut(&(TypeId::of::<T>(), class))
+            .and_then(Vec::pop)
+        {
+            Some(mut boxed) => {
+                self.counters.hit();
+                let v = boxed
+                    .downcast_mut::<Vec<T>>()
+                    .expect("cache entry type matches its key");
+                v.clear();
+                v.resize(len, T::default()); // same zero-init a fresh alloc gets
+                boxed
+            }
+            None => {
+                self.counters.miss();
+                // Full class capacity up front, so recycling this block
+                // later never reallocates for any length in the class.
+                let mut v: Vec<T> = Vec::with_capacity(len.max(1).next_power_of_two());
+                v.resize(len, T::default());
+                Box::new(v)
+            }
+        };
+        self.buffers.insert(id, RefCell::new(storage));
         self.used += bytes;
+        self.counters.lease();
         Ok(DevicePtr {
             id,
             len,
@@ -130,8 +178,35 @@ impl DeviceMemory {
             .buffers
             .remove(&ptr.id)
             .unwrap_or_else(|| panic!("double free of {ptr:?}"));
-        drop(removed);
         self.used -= (ptr.len * std::mem::size_of::<T>()) as u64;
+        self.counters.release();
+        let boxed = removed.into_inner();
+        let capacity = match boxed.downcast_ref::<Vec<T>>() {
+            Some(v) => v.capacity(),
+            None => 0, // mistyped free: drop the storage, accounting already done
+        };
+        if capacity > 0 {
+            // Class from *capacity* (floor log2): any future request the
+            // class covers fits in this block.
+            let class = usize::BITS - 1 - capacity.leading_zeros();
+            let slot = self.cache.entry((TypeId::of::<T>(), class)).or_default();
+            if slot.len() < CACHE_PER_CLASS {
+                slot.push(boxed);
+            } else {
+                self.counters.shed_one();
+            }
+        }
+    }
+
+    /// Gauges of the allocation cache (hits/misses/outstanding), shareable
+    /// with a `telemetry::Recorder`.
+    pub fn cache_counters(&self) -> Arc<PoolCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Storage blocks currently parked in the free-list.
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.values().map(Vec::len).sum()
     }
 
     /// Shared borrow of a buffer's contents.
@@ -267,6 +342,58 @@ mod tests {
         let mem1 = DeviceMemory::new(1, 1024);
         let ptr = mem0.alloc::<u8>(16).unwrap();
         let _ = mem1.borrow(ptr);
+    }
+
+    #[test]
+    fn alloc_free_alloc_recycles_storage() {
+        let mut mem = DeviceMemory::new(0, 4096);
+        let a = mem.alloc::<u32>(100).unwrap();
+        mem.write(a, 0, &[0xDEAD_BEEF; 100]);
+        mem.free(a);
+        assert_eq!(mem.cached_blocks(), 1);
+        let b = mem.alloc::<u32>(100).unwrap();
+        // Recycled storage must look freshly zero-initialized.
+        assert!(mem.borrow(b).iter().all(|&x| x == 0));
+        let s = mem.cache_counters().snapshot();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(mem.cached_blocks(), 0);
+    }
+
+    #[test]
+    fn cache_keeps_accounting_exact() {
+        let mut mem = DeviceMemory::new(0, 64);
+        let a = mem.alloc::<u8>(64).unwrap();
+        mem.free(a);
+        assert_eq!(mem.used(), 0);
+        // The parked block does not count against capacity; a same-size
+        // alloc succeeds and is a hit.
+        let b = mem.alloc::<u8>(64).unwrap();
+        assert_eq!(mem.used(), 64);
+        mem.free(b);
+        assert_eq!(mem.cache_counters().snapshot().hits, 1);
+    }
+
+    #[test]
+    fn cache_is_bounded_per_class() {
+        let mut mem = DeviceMemory::new(0, 1 << 20);
+        let ptrs: Vec<_> = (0..12).map(|_| mem.alloc::<u8>(256).unwrap()).collect();
+        for p in ptrs {
+            mem.free(p);
+        }
+        assert!(mem.cached_blocks() <= 8);
+        assert!(mem.cache_counters().snapshot().shed >= 4);
+    }
+
+    #[test]
+    fn cache_respects_type_and_class() {
+        let mut mem = DeviceMemory::new(0, 1 << 20);
+        let a = mem.alloc::<u32>(64).unwrap();
+        mem.free(a);
+        // Different element type must not hit the u32 block.
+        let _b = mem.alloc::<u8>(64).unwrap();
+        // Different size class must not hit it either.
+        let _c = mem.alloc::<u32>(4096).unwrap();
+        assert_eq!(mem.cache_counters().snapshot().hits, 0);
     }
 
     #[test]

@@ -31,6 +31,21 @@ impl WorkMeter {
         }
     }
 
+    /// Re-arm an existing meter for a new launch, reusing the per-warp
+    /// buffer. Equivalent to `*self = WorkMeter::new(lanes, warp_size)`
+    /// but allocation-free once the buffer has grown to the steady-state
+    /// launch width — the device keeps one meter per state and resets it
+    /// per launch, so kernel launches stay off the heap.
+    pub fn reset(&mut self, lanes: u64, warp_size: u32) {
+        assert!(warp_size > 0);
+        self.warp_size = warp_size;
+        let warps = lanes.div_ceil(warp_size as u64) as usize;
+        self.warp_max.clear();
+        self.warp_max.resize(warps, 0);
+        self.total_units = 0;
+        self.lanes_recorded = 0;
+    }
+
     /// Record `units` of work done by `lane`.
     #[inline]
     pub fn record(&mut self, lane: u64, units: u64) {

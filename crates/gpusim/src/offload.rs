@@ -132,6 +132,16 @@ pub trait Offload: Send + 'static {
         src: &Self::HostBuf<T>,
     );
 
+    /// Enqueue an asynchronous host→device copy of the first `n` elements
+    /// of `src` only — for recycled staging slabs sized to their class,
+    /// not to this batch (`n <= src.len()` and `n <=` the buffer length).
+    fn h2d_n<T: Default + Clone + Send + 'static>(
+        &mut self,
+        dst: &Self::Buffer<T>,
+        src: &Self::HostBuf<T>,
+        n: usize,
+    );
+
     /// Enqueue a kernel over at least `global_threads` lanes in blocks /
     /// work-groups of `block` threads.
     ///
@@ -162,9 +172,69 @@ pub trait Offload: Send + 'static {
         dst: &mut Self::HostBuf<T>,
     );
 
+    /// Enqueue an asynchronous device→host copy of the first `n` elements
+    /// only — the read-side counterpart of [`h2d_n`](Offload::h2d_n).
+    fn d2h_n<T: Default + Clone + Send + 'static>(
+        &mut self,
+        src: &Self::Buffer<T>,
+        dst: &mut Self::HostBuf<T>,
+        n: usize,
+    );
+
     /// Block the host until every operation issued through this offloader
     /// has completed.
     fn sync(&mut self);
+}
+
+/// Round-robin ring of recycled host staging buffers — the paper's "2×
+/// memory spaces" idiom (4× with overlap) as a reusable component.
+///
+/// Each [`next`](HostRing::next) call advances the cursor and returns a
+/// staging buffer of at least `len` elements, reallocating a slot only
+/// when it must grow (to the next power of two, so slot sizes stabilize
+/// after warmup and the steady state never touches the allocator).
+/// [`current`](HostRing::current) re-borrows the buffer `next` returned
+/// last, letting a later pipeline step read back what an earlier step
+/// staged without re-advancing the ring.
+pub struct HostRing<O: Offload, T: Default + Clone + Send + 'static> {
+    slots: Vec<Option<O::HostBuf<T>>>,
+    cursor: usize,
+}
+
+impl<O: Offload, T: Default + Clone + Send + 'static> HostRing<O, T> {
+    /// An empty ring of `n_slots` lazily-allocated staging buffers.
+    pub fn new(n_slots: usize) -> Self {
+        assert!(n_slots > 0, "a staging ring needs at least one slot");
+        HostRing {
+            slots: (0..n_slots).map(|_| None).collect(),
+            cursor: 0,
+        }
+    }
+
+    /// Advance to the next slot and return its buffer, grown to hold at
+    /// least `len` elements.
+    pub fn next(&mut self, off: &mut O, len: usize) -> &mut O::HostBuf<T> {
+        self.cursor = (self.cursor + 1) % self.slots.len();
+        let slot = &mut self.slots[self.cursor];
+        let needs_alloc = match slot {
+            Some(buf) => buf.len() < len,
+            None => true,
+        };
+        if needs_alloc {
+            *slot = Some(off.alloc_host(len.max(1).next_power_of_two()));
+        }
+        slot.as_mut().expect("slot allocated above")
+    }
+
+    /// The buffer the last [`next`](HostRing::next) returned.
+    ///
+    /// # Panics
+    /// Panics if `next` has never been called.
+    pub fn current(&self) -> &O::HostBuf<T> {
+        self.slots[self.cursor]
+            .as_ref()
+            .expect("HostRing::current before first next()")
+    }
 }
 
 /// [`Offload`] over the CUDA front end: one private stream plus pinned
@@ -225,6 +295,17 @@ impl Offload for CudaOffload {
         self.cuda.memcpy_h2d_async(dst, 0, src, &self.stream);
     }
 
+    fn h2d_n<T: Default + Clone + Send + 'static>(
+        &mut self,
+        dst: &CudaBuffer<T>,
+        src: &PinnedBuf<T>,
+        n: usize,
+    ) {
+        self.cuda.set_device(self.device);
+        self.cuda
+            .memcpy_h2d_async_prefix(dst, 0, src, n, &self.stream);
+    }
+
     fn try_launch<K: KernelFn>(
         &mut self,
         kernel: K,
@@ -243,6 +324,17 @@ impl Offload for CudaOffload {
     ) {
         self.cuda.set_device(self.device);
         self.cuda.memcpy_d2h_async(dst, src, 0, &self.stream);
+    }
+
+    fn d2h_n<T: Default + Clone + Send + 'static>(
+        &mut self,
+        src: &CudaBuffer<T>,
+        dst: &mut PinnedBuf<T>,
+        n: usize,
+    ) {
+        self.cuda.set_device(self.device);
+        self.cuda
+            .memcpy_d2h_async_prefix(dst, n, src, 0, &self.stream);
     }
 
     fn sync(&mut self) {
@@ -299,6 +391,16 @@ impl Offload for OclOffload {
         self.queue.enqueue_write_buffer(dst, false, 0, src, &[]);
     }
 
+    fn h2d_n<T: Default + Clone + Send + 'static>(
+        &mut self,
+        dst: &ClBuffer<T>,
+        src: &Vec<T>,
+        n: usize,
+    ) {
+        self.queue
+            .enqueue_write_buffer(dst, false, 0, &src[..n], &[]);
+    }
+
     fn try_launch<K: KernelFn>(
         &mut self,
         kernel: K,
@@ -318,6 +420,16 @@ impl Offload for OclOffload {
 
     fn d2h<T: Default + Clone + Send + 'static>(&mut self, src: &ClBuffer<T>, dst: &mut Vec<T>) {
         self.queue.enqueue_read_buffer(src, false, 0, dst, &[]);
+    }
+
+    fn d2h_n<T: Default + Clone + Send + 'static>(
+        &mut self,
+        src: &ClBuffer<T>,
+        dst: &mut Vec<T>,
+        n: usize,
+    ) {
+        self.queue
+            .enqueue_read_buffer(src, false, 0, &mut dst[..n], &[]);
     }
 
     fn sync(&mut self) {
@@ -404,6 +516,43 @@ mod tests {
         }
         assert_eq!(OffloadApi::parse("ocl"), Some(OffloadApi::OpenCl));
         assert_eq!(OffloadApi::parse("vulkan"), None);
+    }
+
+    fn prefix_roundtrip<O: Offload>() {
+        let system = GpuSystem::new(1, DeviceProps::titan_xp());
+        let mut off = O::attach(&system, 0);
+        let n = 100;
+        let dev: O::Buffer<u32> = off.alloc(n);
+        let mut ring: HostRing<O, u32> = HostRing::new(2);
+        // Slot sized to the class (128), payload only n elements.
+        let host = ring.next(&mut off, n);
+        assert!(host.len() >= n);
+        for (i, v) in host[..n].iter_mut().enumerate() {
+            *v = i as u32 * 3;
+        }
+        off.h2d_n(&dev, ring.current(), n);
+        let out = ring.next(&mut off, n);
+        out.iter_mut().for_each(|v| *v = u32::MAX);
+        off.d2h_n(&dev, out, n);
+        off.sync();
+        for (i, &v) in ring.current()[..n].iter().enumerate() {
+            assert_eq!(v, i as u32 * 3);
+        }
+        // Same lengths again: the ring must not reallocate.
+        let p0 = ring.next(&mut off, n).as_ptr();
+        let p1 = ring.next(&mut off, n).as_ptr();
+        assert_eq!(ring.next(&mut off, n).as_ptr(), p0);
+        assert_eq!(ring.next(&mut off, n).as_ptr(), p1);
+    }
+
+    #[test]
+    fn cuda_prefix_copies_roundtrip() {
+        prefix_roundtrip::<CudaOffload>();
+    }
+
+    #[test]
+    fn opencl_prefix_copies_roundtrip() {
+        prefix_roundtrip::<OclOffload>();
     }
 
     #[test]

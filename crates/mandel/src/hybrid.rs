@@ -25,7 +25,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use fastflow::FaultPolicy;
+use fastflow::{FaultPolicy, Recycler};
 use gpusim::GpuSystem;
 pub use gpusim::{CudaOffload, OclOffload, Offload, OffloadApi};
 use telemetry::{FaultKind, Recorder};
@@ -117,12 +117,31 @@ impl<O: Offload> BatchCompute<O> {
         batch: usize,
         batch_size: usize,
     ) -> Result<Vec<u8>, BatchFault> {
+        let mut pixels = Vec::new();
+        self.try_compute_batch_into(params, batch, batch_size, &mut pixels)?;
+        Ok(pixels)
+    }
+
+    /// [`try_compute_batch`](BatchCompute::try_compute_batch) writing into
+    /// a caller-supplied (typically recycled) vector. Device and staging
+    /// buffers are grow-only and the read-back copies just the `len`
+    /// pixels of this batch, so with a stable batch size the steady state
+    /// never touches either allocator.
+    pub fn try_compute_batch_into(
+        &mut self,
+        params: &FractalParams,
+        batch: usize,
+        batch_size: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), BatchFault> {
         let len = batch_size * params.dim;
-        if self.dev.as_ref().map(|b| O::buffer_len(b)) != Some(len) {
+        if self.dev.as_ref().map_or(0, |b| O::buffer_len(b)) < len {
             // Drop any stale buffer before re-allocating; on failure the
             // slot stays empty so the next attempt allocates again.
             self.dev = None;
             self.dev = Some(self.off.try_alloc(len).map_err(BatchFault::Oom)?);
+        }
+        if self.host.as_ref().map_or(0, |h| h.len()) < len {
             self.host = Some(self.off.alloc_host(len));
         }
         let dev = self.dev.as_ref().expect("allocated");
@@ -136,28 +155,32 @@ impl<O: Offload> BatchCompute<O> {
             .try_launch(k, len as u64, BLOCK_1D)
             .map_err(BatchFault::Kernel)?;
         let host = self.host.as_mut().expect("allocated");
-        self.off.d2h(dev, host);
+        self.off.d2h_n(dev, host, len);
         self.off.sync();
-        Ok(host.to_vec())
+        out.clear();
+        out.extend_from_slice(&host[..len]);
+        Ok(())
     }
 }
 
 /// Host implementation of one batch, row by row — byte-identical to the
 /// GPU kernels, so a fallen-back batch leaves no trace in the image.
 /// Padding rows past the image edge stay zero (the sink ignores them).
-fn cpu_batch(params: &FractalParams, batch: usize, batch_size: usize) -> Vec<u8> {
-    let mut pixels = vec![0u8; batch_size * params.dim];
+/// Writes into a caller-supplied (typically recycled) vector.
+fn cpu_batch(params: &FractalParams, batch: usize, batch_size: usize, out: &mut Vec<u8>) {
+    out.clear();
+    out.resize(batch_size * params.dim, 0);
     let first = batch * batch_size;
     for r in 0..batch_size.min(params.dim.saturating_sub(first)) {
         let line = compute_line(params, first + r);
-        pixels[r * params.dim..(r + 1) * params.dim].copy_from_slice(&line.pixels);
+        out[r * params.dim..(r + 1) * params.dim].copy_from_slice(&line.pixels);
     }
-    pixels
 }
 
 /// Compute one batch with the full recovery ladder: retry transient device
 /// faults per `policy` (recording each), then degrade to the per-row host
-/// implementation for this batch.
+/// implementation for this batch. Every rung writes into `out`, so the
+/// recovery path recycles the same buffer the happy path does.
 fn compute_with_recovery<O: Offload>(
     gpu: &mut BatchCompute<O>,
     params: &FractalParams,
@@ -165,12 +188,13 @@ fn compute_with_recovery<O: Offload>(
     batch_size: usize,
     rec: &Recorder,
     policy: FaultPolicy,
-) -> Vec<u8> {
+    out: &mut Vec<u8>,
+) {
     let mut attempts = 0u32;
     loop {
         attempts += 1;
-        match gpu.try_compute_batch(params, batch, batch_size) {
-            Ok(pixels) => return pixels,
+        match gpu.try_compute_batch_into(params, batch, batch_size, out) {
+            Ok(()) => return,
             Err(fault) => {
                 rec.fault(GPU_STAGE, fault.kind(), fault.to_string());
                 if attempts <= policy.max_retries {
@@ -189,7 +213,7 @@ fn compute_with_recovery<O: Offload>(
                     FaultKind::CpuFallback,
                     format!("batch {batch}: computing rows on the host"),
                 );
-                return cpu_batch(params, batch, batch_size);
+                return cpu_batch(params, batch, batch_size, out);
             }
         }
     }
@@ -208,11 +232,34 @@ fn install(img: &mut Image, params: &FractalParams, batch_size: usize, out: &Bat
     }
 }
 
-/// Enable command tracing on every device when the recorder is live.
+/// Install a finished batch, then push its spent pixel buffer back
+/// upstream through the recycle channel (FastFlow's feedback idiom) so
+/// the workers reuse it instead of allocating a fresh one.
+fn install_and_recycle(
+    img: &mut Image,
+    params: &FractalParams,
+    batch_size: usize,
+    out: BatchOut,
+    recycle: &Recycler<Vec<u8>>,
+) {
+    install(img, params, batch_size, &out);
+    recycle.give(out.pixels);
+}
+
+/// The pixel-buffer recycle channel for `workers` replicas: enough slots
+/// that a full pipeline (one buffer in flight per worker plus the sink's
+/// just-finished one) never sheds.
+fn pixel_recycler(workers: usize) -> Recycler<Vec<u8>> {
+    fastflow::recycler(workers * 2 + 2)
+}
+
+/// Enable command tracing on every device when the recorder is live, and
+/// expose each device's allocation-cache gauges in the report.
 fn arm_traces(system: &Arc<GpuSystem>, rec: &Recorder) {
     if rec.is_enabled() {
         for d in 0..system.device_count() {
             system.device(d).enable_trace();
+            rec.register_pool(format!("gpu{d}.cache"), &system.device(d).cache_counters());
         }
     }
 }
@@ -226,7 +273,10 @@ fn drain_traces(system: &Arc<GpuSystem>, rec: &Recorder) {
     }
 }
 
-/// Worker node owning one offloader, for SPar/FastFlow farms.
+/// Worker node owning one offloader, for SPar/FastFlow farms. Output
+/// pixel buffers come from the sink-fed recycle channel when one is
+/// available (a take miss falls back to a fresh vector, which then joins
+/// the cycle).
 struct GpuWorker<O: Offload> {
     system: Arc<GpuSystem>,
     device: usize,
@@ -234,6 +284,7 @@ struct GpuWorker<O: Offload> {
     batch_size: usize,
     gpu: Option<BatchCompute<O>>,
     rec: Recorder,
+    recycle: Recycler<Vec<u8>>,
 }
 
 impl<O: Offload> fastflow::Node for GpuWorker<O> {
@@ -250,13 +301,15 @@ impl<O: Offload> fastflow::Node for GpuWorker<O> {
         let gpu = self
             .gpu
             .get_or_insert_with(|| BatchCompute::new(&self.system, self.device));
-        let pixels = compute_with_recovery(
+        let mut pixels = self.recycle.take().unwrap_or_default();
+        compute_with_recovery(
             gpu,
             &self.params,
             batch,
             self.batch_size,
             &self.rec,
             FaultPolicy::default(),
+            &mut pixels,
         );
         out.send(BatchOut { batch, pixels });
     }
@@ -296,6 +349,9 @@ pub fn run_spar_gpu_rec<O: Offload>(
     let mut img = Image::new(p.dim);
     let sys = Arc::clone(system);
     arm_traces(system, &rec);
+    let recycle = pixel_recycler(workers);
+    rec.register_pool("mandel.pixels", recycle.counters());
+    let sink_recycle = recycle.clone();
     spar::ToStream::new()
         .recorder(rec.clone())
         .ordered(true)
@@ -313,8 +369,11 @@ pub fn run_spar_gpu_rec<O: Offload>(
             batch_size,
             gpu: None,
             rec: rec.clone(),
+            recycle: recycle.clone(),
         })
-        .last_stage(|out: BatchOut| install(&mut img, &p, batch_size, &out));
+        .last_stage(|out: BatchOut| {
+            install_and_recycle(&mut img, &p, batch_size, out, &sink_recycle)
+        });
     drain_traces(system, &rec);
     img
 }
@@ -352,6 +411,9 @@ pub fn run_fastflow_gpu_rec<O: Offload>(
     let sys = Arc::clone(system);
     let mut img = Image::new(p.dim);
     arm_traces(system, &rec);
+    let recycle = pixel_recycler(workers);
+    rec.register_pool("mandel.pixels", recycle.counters());
+    let sink_recycle = recycle.clone();
     fastflow::Pipeline::builder()
         .recorder(rec.clone())
         .source(move |em| {
@@ -368,8 +430,9 @@ pub fn run_fastflow_gpu_rec<O: Offload>(
             batch_size,
             gpu: None,
             rec: rec.clone(),
+            recycle: recycle.clone(),
         })
-        .for_each(|out| install(&mut img, &p, batch_size, &out));
+        .for_each(|out| install_and_recycle(&mut img, &p, batch_size, out, &sink_recycle));
     drain_traces(system, &rec);
     img
 }
@@ -412,6 +475,9 @@ pub fn run_tbb_gpu_rec<O: Offload>(
     let sink_img = Arc::clone(&img);
     let sys = Arc::clone(system);
     arm_traces(system, &rec);
+    let recycle = pixel_recycler(max_live_tokens);
+    rec.register_pool("mandel.pixels", recycle.counters());
+    let sink_recycle = recycle.clone();
     let mut next = 0usize;
     tbbx::Pipeline::source(move || {
         if next < n_batches {
@@ -424,14 +490,18 @@ pub fn run_tbb_gpu_rec<O: Offload>(
     .parallel({
         let rec = rec.clone();
         move |batch: usize| {
+            // Per-item GPU state (tasks have no thread identity), but the
+            // output buffer still cycles through the recycle channel.
             let mut gpu = BatchCompute::<O>::new(&sys, batch % n_gpus);
-            let pixels = compute_with_recovery(
+            let mut pixels = recycle.take().unwrap_or_default();
+            compute_with_recovery(
                 &mut gpu,
                 &p,
                 batch,
                 batch_size,
                 &rec,
                 FaultPolicy::default(),
+                &mut pixels,
             );
             BatchOut { batch, pixels }
         }
@@ -440,7 +510,7 @@ pub fn run_tbb_gpu_rec<O: Offload>(
         let mut img = sink_img
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        install(&mut img, &p, batch_size, &out);
+        install_and_recycle(&mut img, &p, batch_size, out, &sink_recycle);
     })
     .recorder(rec.clone())
     .build()

@@ -316,6 +316,105 @@ impl FlowBuf {
     }
 }
 
+/// Wait-free hit/miss/outstanding gauges for a buffer pool or allocation
+/// cache. Pools bump these on their own hot paths (one relaxed atomic op
+/// per event); telemetry only ever reads them, so registering a pool with
+/// a [`Recorder`] adds zero cost to acquire/release.
+#[derive(Debug, Default)]
+pub struct PoolCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    outstanding: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl PoolCounters {
+    /// A fresh counter set, shareable between the pool and the recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// An acquire was served from the pool.
+    #[inline]
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An acquire fell through to a fresh allocation.
+    #[inline]
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A buffer left the pool (hit or miss).
+    #[inline]
+    pub fn lease(&self) {
+        self.outstanding.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A buffer came back.
+    #[inline]
+    pub fn release(&self) {
+        // Saturating: a release without a matching lease (foreign buffer
+        // given to the pool) must not wrap the gauge.
+        let _ = self
+            .outstanding
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// A returned buffer was dropped because the pool was full.
+    #[inline]
+    pub fn shed_one(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot of the gauges.
+    pub fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            outstanding: self.outstanding.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of one pool's gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served by recycling a cached buffer.
+    pub hits: u64,
+    /// Acquires that allocated fresh storage.
+    pub misses: u64,
+    /// Buffers currently leased out.
+    pub outstanding: u64,
+    /// Returns dropped because the pool was at capacity.
+    pub shed: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquires served from the pool (1.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One registered pool's stats in a [`TelemetryReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolReport {
+    /// Name under which the pool registered.
+    pub name: String,
+    /// Gauges at report time.
+    pub stats: PoolStats,
+}
+
 #[derive(Debug)]
 pub(crate) struct Inner {
     pub(crate) epoch: Instant,
@@ -326,6 +425,7 @@ pub(crate) struct Inner {
     pub(crate) windows: Mutex<Vec<WindowSample>>,
     pub(crate) stalls: Mutex<Vec<StallEvent>>,
     faults: Mutex<Vec<FaultEvent>>,
+    pools: Mutex<Vec<(String, Arc<PoolCounters>)>>,
 }
 
 /// The run-wide collector the runtimes thread through their builders.
@@ -350,6 +450,7 @@ impl Recorder {
                 windows: Mutex::new(Vec::new()),
                 stalls: Mutex::new(Vec::new()),
                 faults: Mutex::new(Vec::new()),
+                pools: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -425,6 +526,22 @@ impl Recorder {
         }
     }
 
+    /// Register a buffer pool's gauges under `name`. The recorder reads
+    /// the shared counters at report time; registering twice under the
+    /// same name replaces the earlier registration (a run rebuilds its
+    /// backends freely).
+    pub fn register_pool(&self, name: impl Into<String>, counters: &Arc<PoolCounters>) {
+        if let Some(inner) = &self.inner {
+            let name = name.into();
+            let mut pools = inner.pools.lock().unwrap();
+            if let Some(slot) = pools.iter_mut().find(|(n, _)| *n == name) {
+                slot.1 = Arc::clone(counters);
+            } else {
+                pools.push((name, Arc::clone(counters)));
+            }
+        }
+    }
+
     /// End-to-end latency percentiles of everything recorded so far.
     pub fn e2e_snapshot(&self) -> LatencySnapshot {
         match &self.inner {
@@ -496,6 +613,16 @@ impl Recorder {
                         f.sort_by_key(|e| e.t_ns);
                         f
                     },
+                    pools: inner
+                        .pools
+                        .lock()
+                        .unwrap()
+                        .iter()
+                        .map(|(name, c)| PoolReport {
+                            name: name.clone(),
+                            stats: c.snapshot(),
+                        })
+                        .collect(),
                 }
             }
         }
@@ -675,6 +802,8 @@ pub struct TelemetryReport {
     /// Fault-path events (injected faults, retries, CPU fallbacks), in
     /// time order.
     pub faults: Vec<FaultEvent>,
+    /// Registered buffer-pool gauges at report time.
+    pub pools: Vec<PoolReport>,
 }
 
 impl TelemetryReport {
@@ -956,6 +1085,20 @@ impl TelemetryReport {
             self.retry_count(),
             self.fallback_count()
         ));
+        out.push_str("  \"pools\": [\n");
+        for (i, p) in self.pools.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"hits\": {}, \"misses\": {}, \"outstanding\": {}, \"shed\": {}, \"hit_rate\": {:.4}}}{}\n",
+                esc(&p.name),
+                p.stats.hits,
+                p.stats.misses,
+                p.stats.outstanding,
+                p.stats.shed,
+                p.stats.hit_rate(),
+                if i + 1 < self.pools.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"windows\": [\n");
         for (i, wdw) in self.windows.iter().enumerate() {
             out.push_str(&format!("    {{\"t_ns\": {}, \"stages\": [", wdw.t_ns));

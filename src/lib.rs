@@ -45,8 +45,8 @@ pub use telemetry;
 /// pinned-vs-pageable copies), `tbbx::task` (scheduler internals),
 /// `dedup`/`mandel` stage plumbing.
 pub mod prelude {
-    pub use fastflow::{Farm, Pipeline, WaitStrategy};
-    pub use gpusim::{CudaOffload, GpuSystem, OclOffload, Offload, OffloadApi};
+    pub use fastflow::{recycler, BufPool, Farm, Pipeline, PooledBuf, Recycler, WaitStrategy};
+    pub use gpusim::{CudaOffload, GpuSystem, HostRing, OclOffload, Offload, OffloadApi};
     pub use spar::{to_stream, SparConfig, StreamBuilder, ToStream};
     pub use telemetry::{Recorder, TelemetryReport};
 }
