@@ -46,6 +46,36 @@ echo "$faultlog" | grep -q '\[retry\]' || {
 }
 grep -q '"fault_counts"' "$figdir/fig4_telemetry.json"
 
+echo "== hashsearch --tiny smoke (Workload SDK end-to-end, third app) =="
+rm -f "$figdir/hashsearch.csv" "$figdir/hashsearch_telemetry.json" "$figdir/hashsearch.trace.json"
+cargo run --release --offline -p bench --bin hashsearch -- --tiny
+for f in hashsearch.csv hashsearch_topk.csv hashsearch_telemetry.json hashsearch.trace.json; do
+    if [[ ! -s "$figdir/$f" ]]; then
+        echo "FAIL: expected $figdir/$f to exist and be non-empty" >&2
+        exit 1
+    fi
+done
+
+echo "== hashsearch --tiny fault-injection smoke (ladder must retry and fall back) =="
+hslog=$(cargo run --release --offline -p bench --bin hashsearch -- --tiny --inject-faults 7)
+echo "$hslog" | grep -q 'cpu_fallback' || {
+    echo "FAIL: fault-injected hashsearch run recorded no cpu_fallback event" >&2
+    exit 1
+}
+echo "$hslog" | grep -q '\[retry\]' || {
+    echo "FAIL: fault-injected hashsearch run recorded no retry event" >&2
+    exit 1
+}
+grep -q '"fault_counts"' "$figdir/hashsearch_telemetry.json"
+
+echo "== Workload SDK conformance suite (named rerun) =="
+# Holds all three Workload impls to the same contract: bit-identical
+# CPU/GPU paths, OOM halving, retry + fallback, zero steady-state allocs.
+cargo test --release --offline --test workload_contract
+
+echo "== cargo doc (rustdoc warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 echo "== disabled-probe overhead smoke (must stay branch-only) =="
 cargo test --release --offline --test probe_overhead -- --nocapture
 

@@ -1,0 +1,165 @@
+//! Hash search — the third GPU application, driven end-to-end through
+//! the Workload SDK: a SHA-1 nonce sweep whose header is hashed once on
+//! the CPU (midstate), fanned over the simulated devices one thread per
+//! nonce, scored by leading-zero bits, and reduced to a deterministic
+//! top-k by the ordered sink.
+//!
+//! Every CUDA/OpenCL × 1/2-GPU combination must produce bit-identical
+//! rankings to the sequential host reference — the SDK's recovery ladder
+//! makes that hold even under injected device faults.
+//!
+//! Usage: `cargo run --release -p bench --bin hashsearch
+//!         [--nonces 262144] [--range 4096] [--top 8] [--workers 4]`
+//!
+//! Pass `--tiny` for a fast smoke run (reduced scale; shape checks that
+//! only hold at figure scale are skipped, telemetry is still emitted).
+//! Pass `--inject-faults <seed>` to arm deterministic GPU fault injection
+//! on the instrumented run: the ranking must stay bit-exact via retry +
+//! CPU fallback, and the recorded fault events are printed and asserted.
+
+use bench::{arg, emit_telemetry, flag, Report, ShapeChecks};
+use gpusim::{CudaOffload, DeviceProps, GpuSystem, OclOffload};
+use hashsearch::{search, search_cpu, SearchConfig};
+use telemetry::Recorder;
+
+fn main() {
+    let tiny = flag("--tiny");
+    let total: u64 = arg("--nonces", if tiny { 2_048 } else { 262_144 });
+    let range: usize = arg("--range", if tiny { 256 } else { 4_096 });
+    let k: usize = arg("--top", 8);
+    let workers: usize = arg("--workers", 4);
+
+    let mut cfg = SearchConfig::new(vec![0xA5u8; 64], total);
+    cfg.range = range;
+    cfg.k = k;
+    println!(
+        "Hash search — SHA-1 nonce sweep through the Workload SDK \
+         ({total} nonces, ranges of {range}, top-{k}, {workers} workers)"
+    );
+
+    let reference = search_cpu(&cfg);
+
+    let mut report = Report::new(
+        "hash search — device compute time and agreement per version",
+        vec!["version", "gpus", "compute busy", "matches cpu"],
+    );
+    let mut runs = Vec::new();
+    for gpus in [1usize, 2] {
+        for api in ["cuda", "opencl"] {
+            let sys = GpuSystem::new(2, DeviceProps::titan_xp());
+            let rec = Recorder::enabled();
+            let got = match api {
+                "cuda" => search::<CudaOffload>(&sys, &cfg, workers, gpus, rec.clone()),
+                _ => search::<OclOffload>(&sys, &cfg, workers, gpus, rec.clone()),
+            };
+            let rep = rec.report();
+            let busy: u64 = rep
+                .gpu
+                .iter()
+                .filter(|s| s.engine == "compute")
+                .map(|s| s.end_ns - s.start_ns)
+                .sum();
+            let ok = got == reference;
+            report.row(vec![
+                api.into(),
+                gpus.to_string(),
+                format!("{:.3} ms", busy as f64 / 1e6),
+                if ok { "yes" } else { "NO" }.into(),
+            ]);
+            runs.push((api, gpus, ok, rep));
+        }
+    }
+    report.emit("hashsearch");
+
+    let mut topk = Report::new(
+        "top candidates (identical across every version)",
+        vec!["rank", "nonce", "score (leading zero bits)", "digest"],
+    );
+    for (i, c) in reference.iter().enumerate() {
+        topk.row(vec![
+            (i + 1).to_string(),
+            c.nonce.to_string(),
+            c.score.to_string(),
+            c.digest.to_hex(),
+        ]);
+    }
+    topk.emit("hashsearch_topk");
+
+    // An instrumented run for the merged stage/engine timeline — and the
+    // fault-injection gate when armed. The armed run is serial on one
+    // device so the injected fault budget lands on consecutive attempts
+    // of the same item: the ladder deterministically walks retry → OOM
+    // halving → retry exhaustion → CPU fallback, whatever the seed.
+    let fault_seed: u64 = arg("--inject-faults", 0u64);
+    let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
+    let (tworkers, tgpus) = if fault_seed != 0 {
+        println!("\n[fault injection armed on the instrumented run: seed {fault_seed}]");
+        tsys.inject_faults(&gpusim::FaultSpec::demo(fault_seed));
+        (1, 1)
+    } else {
+        (workers, 2)
+    };
+    let trec = Recorder::enabled();
+    let tgot = search::<CudaOffload>(&tsys, &cfg, tworkers, tgpus, trec.clone());
+    assert_eq!(
+        tgot, reference,
+        "instrumented run: ranking differs from the host reference"
+    );
+    let trep = trec.report();
+    emit_telemetry("hashsearch", &trep);
+    if fault_seed != 0 {
+        assert!(
+            trep.retry_count() >= 1,
+            "fault injection armed but no retry was recorded"
+        );
+        assert!(
+            trep.fallback_count() >= 1,
+            "fault injection armed but no CPU fallback was recorded"
+        );
+        println!(
+            "fault injection: ranking bit-identical to the host reference \
+             ({} retries, {} cpu fallbacks)",
+            trep.retry_count(),
+            trep.fallback_count()
+        );
+    }
+
+    if tiny {
+        println!("\n(tiny smoke run: figure-scale shape checks skipped)");
+        return;
+    }
+
+    println!("\nShape checks:");
+    let mut checks = ShapeChecks::new();
+    checks.check(
+        "every CUDA/OpenCL × 1/2-GPU ranking matches the host reference",
+        runs.iter().all(|(_, _, ok, _)| *ok),
+    );
+    checks.check(
+        "2-GPU runs spread compute over both devices",
+        runs.iter()
+            .filter(|(_, g, _, _)| *g == 2)
+            .all(|(_, _, _, rep)| {
+                rep.gpu
+                    .iter()
+                    .any(|s| s.device == 0 && s.engine == "compute")
+                    && rep
+                        .gpu
+                        .iter()
+                        .any(|s| s.device == 1 && s.engine == "compute")
+            }),
+    );
+    checks.check(
+        "the nonce-search kernel appears on the device timeline",
+        runs[0]
+            .3
+            .gpu
+            .iter()
+            .any(|s| s.name.contains("sha1_nonce_search")),
+    );
+    checks.check(
+        "the ranking is full (k candidates survive the reduction)",
+        reference.len() == k,
+    );
+    checks.finish();
+}

@@ -51,7 +51,8 @@ pub struct ToStream {
     rec: Recorder,
 }
 
-/// Alias used by the prelude and examples.
+/// Alias once used by the prelude and examples.
+#[deprecated(since = "0.1.0", note = "use `ToStream`")]
 pub type StreamBuilder = ToStream;
 
 impl ToStream {

@@ -34,7 +34,9 @@
 pub mod builder;
 pub mod macros;
 
-pub use builder::{SparConfig, StreamBuilder, StreamStage, ToStream};
+#[allow(deprecated)]
+pub use builder::StreamBuilder;
+pub use builder::{SparConfig, StreamStage, ToStream};
 // Re-exports the macro expansion relies on.
 pub use fastflow::{Emitter, Node, SchedPolicy, WaitStrategy};
 // Fail-soft error model (see fastflow::error): stages emit typed errors

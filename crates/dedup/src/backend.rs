@@ -9,24 +9,29 @@
 //! stage 4 can only ever receive CUDA buffers, so the old "wrong buffer
 //! flavour" panics are unrepresentable.
 //!
-//! Every GPU path fails soft. Device OOM and injected kernel faults are
-//! caught, recorded as [`telemetry`] fault events, retried per the
-//! [`FaultPolicy`] (the hash stage additionally retries OOM with halved
-//! sub-batches), and finally degrade to the CPU implementation for that
-//! batch — which is byte-identical, so a faulty run still produces the
-//! exact sequential archive. `gpu: None` on a stream item means "this
-//! batch is not device-resident; compress it on the host".
+//! Every GPU path fails soft. For the trait-generic [`OffloadBackend`],
+//! the recovery ladder (retry per [`FaultPolicy`], OOM halving, CPU
+//! fallback) is *not implemented here*: the stages are declared as
+//! [`Workload`] impls ([`HashWork`], [`CompressWork`]) and the generic
+//! [`workload::WorkloadDriver`] owns every rung. The raw [`CudaBackend`]
+//! and [`OclBackend`] keep their single-shot CPU fallback — faithful to
+//! the paper's hand-written integrations, which had no retry machinery.
+//! Either way the fallback is byte-identical, so a faulty run still
+//! produces the exact sequential archive. `gpu: None` on a stream item
+//! means "this batch is not device-resident; compress it on the host".
 //!
 //! `batched = false` reproduces the paper's first, slow integration: one
 //! kernel launch per block instead of per batch.
 
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 use fastflow::{BufPool, FaultPolicy, PooledBuf};
 use gpusim::cuda::{Cuda, CudaBuffer};
 use gpusim::opencl::{ClBuffer, ClKernel, CommandQueue, Context, Platform};
-use gpusim::{DeviceFault, GpuSystem, HostRing, Offload, OutOfMemory};
+use gpusim::{GpuSystem, HostRing, Offload, OutOfMemory};
 use telemetry::{FaultKind, Recorder};
+use workload::{Workload, WorkloadDriver, WorkloadFault};
 
 use crate::archive::BlockEntry;
 use crate::batch::Batch;
@@ -105,43 +110,6 @@ impl BackendCtx {
     pub fn with_policy(mut self, policy: FaultPolicy) -> Self {
         self.policy = policy;
         self
-    }
-}
-
-/// Why a GPU stage attempt failed: the two operational fault classes the
-/// backends can recover from.
-enum GpuFail {
-    /// A device allocation was refused.
-    Oom(OutOfMemory),
-    /// A kernel launch was refused (fault injection / device error).
-    Kernel(DeviceFault),
-}
-
-impl GpuFail {
-    fn kind(&self) -> FaultKind {
-        match self {
-            GpuFail::Oom(_) => FaultKind::DeviceOom,
-            GpuFail::Kernel(_) => FaultKind::KernelFault,
-        }
-    }
-
-    fn detail(&self) -> String {
-        match self {
-            GpuFail::Oom(e) => e.to_string(),
-            GpuFail::Kernel(e) => e.to_string(),
-        }
-    }
-}
-
-impl From<OutOfMemory> for GpuFail {
-    fn from(e: OutOfMemory) -> Self {
-        GpuFail::Oom(e)
-    }
-}
-
-impl From<DeviceFault> for GpuFail {
-    fn from(e: DeviceFault) -> Self {
-        GpuFail::Kernel(e)
     }
 }
 
@@ -310,7 +278,7 @@ impl CudaBackend {
     fn hash_on_device(
         &mut self,
         batch: &Batch,
-    ) -> Result<(PooledBuf<Digest>, CudaResident), GpuFail> {
+    ) -> Result<(PooledBuf<Digest>, CudaResident), WorkloadFault> {
         self.cuda.set_device(self.device);
         let stream = self.cuda.stream_create();
         let n = batch.block_count();
@@ -378,7 +346,7 @@ impl CudaBackend {
         batch: &Batch,
         classes: &[BlockClass],
         res: &CudaResident,
-    ) -> Result<(Vec<u32>, Vec<u32>), GpuFail> {
+    ) -> Result<(Vec<u32>, Vec<u32>), WorkloadFault> {
         // The data lives on whatever device stage 2 used.
         self.cuda.set_device(res.device);
         let stream = self.cuda.stream_create();
@@ -457,7 +425,7 @@ impl DedupBackend for CudaBackend {
                 gpu: Some(res),
             },
             Err(fail) => {
-                self.rec.fault(HASH_STAGE, fail.kind(), fail.detail());
+                self.rec.fault(HASH_STAGE, fail.kind(), fail.to_string());
                 self.rec.fault(
                     HASH_STAGE,
                     FaultKind::CpuFallback,
@@ -485,7 +453,8 @@ impl DedupBackend for CudaBackend {
                     entries_from_matches(&batch, &classes, &lens, &offs, &self.lzss)
                 }
                 Err(fail) => {
-                    self.rec.fault(COMPRESS_STAGE, fail.kind(), fail.detail());
+                    self.rec
+                        .fault(COMPRESS_STAGE, fail.kind(), fail.to_string());
                     self.rec.fault(
                         COMPRESS_STAGE,
                         FaultKind::CpuFallback,
@@ -524,23 +493,29 @@ pub struct OffloadResident<O: Offload> {
 /// surface does not expose, so that ladder rung stays raw-façade-only
 /// ([`CudaBackend`] / [`OclBackend`] with `batched = false`).
 ///
-/// Recovery ladder on device faults: transient kernel faults retry per
-/// the [`FaultPolicy`]; a device OOM retries stage 2 with recursively
-/// halved sub-batches (per-block kernels are split-safe); anything that
-/// still fails degrades to the host implementation for that batch.
+/// No recovery ladder is written here: both GPU stages are declared as
+/// [`Workload`] impls ([`HashWork`], [`CompressWork`]) and the generic
+/// [`WorkloadDriver`] owns every rung — transient faults retry per the
+/// [`FaultPolicy`], a stage-2 OOM re-splits the batch into recursively
+/// halved sub-batches (losing residency), and anything that still fails
+/// degrades to the byte-identical host implementation for that batch.
 pub struct OffloadBackend<O: Offload> {
+    hash: WorkloadDriver<HashWork<O>>,
+    compress: WorkloadDriver<CompressWork<O>>,
+    gpu: DedupGpu<O>,
+}
+
+/// Per-replica device state shared by both GPU stages of an
+/// [`OffloadBackend`]: the replica's preferred device, the
+/// lazily-attached per-device lanes (stage 4 must target whatever device
+/// stage 2 uploaded to) and the reused `usize → u32` starts-conversion
+/// scratch. This is the [`Workload::Gpu`] type of both [`HashWork`] and
+/// [`CompressWork`].
+pub struct DedupGpu<O: Offload> {
     system: Arc<GpuSystem>,
     device: usize,
-    /// One lane per device, attached lazily: stage 4 must target
-    /// whatever device stage 2 uploaded to.
     lanes: Vec<Option<Lane<O>>>,
-    /// Shared digest pool (see [`BackendCtx::digests`]).
-    pool: BufPool<Digest>,
-    /// Reused `usize → u32` starts-conversion scratch.
     starts_scratch: Vec<u32>,
-    lzss: LzssConfig,
-    rec: Recorder,
-    policy: FaultPolicy,
 }
 
 /// Per-device state an [`OffloadBackend`] replica keeps across batches:
@@ -610,29 +585,73 @@ fn ensure_dev<O: Offload, T: Default + Clone + Send + 'static>(
     Ok(())
 }
 
-impl<O: Offload> OffloadBackend<O> {
+/// Stage 2 (hashing) declared as a [`Workload`]. The device path keeps
+/// the batch resident for stage 4; the OOM rung re-hashes recursively
+/// halved block ranges as standalone sub-batches (residency is lost, so
+/// stage 4 goes host-side for that batch); the host rung is the
+/// byte-identical [`sha1`]. The retry/halve/fallback ladder itself lives
+/// in [`WorkloadDriver`], not here.
+pub struct HashWork<O: Offload> {
+    system: Arc<GpuSystem>,
+    n_gpus: usize,
+    /// Shared digest pool (see [`BackendCtx::digests`]).
+    pool: BufPool<Digest>,
+    policy: FaultPolicy,
+    _off: PhantomData<fn() -> O>,
+}
+
+impl<O: Offload> Clone for HashWork<O> {
+    fn clone(&self) -> Self {
+        HashWork {
+            system: Arc::clone(&self.system),
+            n_gpus: self.n_gpus,
+            pool: self.pool.clone(),
+            policy: self.policy,
+            _off: PhantomData,
+        }
+    }
+}
+
+impl<O: Offload> HashWork<O> {
+    /// Build the stage-2 workload from a GPU pipeline context.
+    pub fn new(ctx: &BackendCtx) -> Self {
+        let system = ctx
+            .system
+            .as_ref()
+            .expect("offload backend needs a GpuSystem");
+        HashWork {
+            system: Arc::clone(system),
+            n_gpus: ctx.n_gpus,
+            pool: ctx.digests.clone(),
+            policy: ctx.policy,
+            _off: PhantomData,
+        }
+    }
+
     /// One full-batch hashing attempt that keeps the batch device-resident
     /// for stage 4. Host staging comes from the lane's rings and the
     /// digest array from the shared pool; only `d_data` / `d_starts` are
     /// per-batch device allocations (they travel downstream in the stream
     /// item), and those are device-cache hits after warmup.
     fn hash_full(
-        &mut self,
+        &self,
+        gpu: &mut DedupGpu<O>,
         batch: &Batch,
-    ) -> Result<(PooledBuf<Digest>, OffloadResident<O>), GpuFail> {
-        let device = self.device;
+        digests: &mut [Digest],
+    ) -> Result<OffloadResident<O>, WorkloadFault> {
+        let device = gpu.device;
         let n = batch.block_count();
         let data_len = batch.data.len();
-        self.starts_scratch.clear();
-        self.starts_scratch
+        gpu.starts_scratch.clear();
+        gpu.starts_scratch
             .extend(batch.starts.iter().map(|&s| s as u32));
-        let lane = lane_mut(&mut self.lanes, &self.system, device);
+        let lane = lane_mut(&mut gpu.lanes, &gpu.system, device);
         let d_data: O::Buffer<u8> = lane.off.try_alloc(data_len)?;
         let d_starts: O::Buffer<u32> = lane.off.try_alloc(n.max(1))?;
         ensure_dev(&mut lane.off, &mut lane.d_out, n * 20)?;
         lane.stage_data.next(&mut lane.off, data_len)[..data_len].clone_from_slice(&batch.data);
         lane.off.h2d_n(&d_data, lane.stage_data.current(), data_len);
-        lane.stage_starts.next(&mut lane.off, n)[..n].clone_from_slice(&self.starts_scratch);
+        lane.stage_starts.next(&mut lane.off, n)[..n].clone_from_slice(&gpu.starts_scratch);
         lane.off.h2d_n(&d_starts, lane.stage_starts.current(), n);
         lane.off.try_launch(
             Sha1Kernel {
@@ -649,49 +668,46 @@ impl<O: Offload> OffloadBackend<O> {
         lane.off
             .d2h_n(lane.d_out.as_ref().expect("ensured above"), h_out, n * 20);
         lane.off.sync();
-        let mut digests = self.pool.acquire(n);
         for (slot, c) in digests
             .iter_mut()
             .zip(lane.out_digests.current()[..n * 20].chunks_exact(20))
         {
             *slot = Digest(c.try_into().expect("20 bytes"));
         }
-        Ok((
-            digests,
-            OffloadResident {
-                device,
-                d_data,
-                d_starts,
-            },
-        ))
+        Ok(OffloadResident {
+            device,
+            d_data,
+            d_starts,
+        })
     }
 
     /// Hash blocks `lo..hi` as a standalone sub-batch (own upload, no
     /// residency), writing the digests into `out`: the smaller-allocation
-    /// retry path after an OOM. Writing into the caller's slice lets the
-    /// whole halving recursion share one pooled digest buffer.
+    /// rung after an OOM. Writing into a shared slice lets the whole
+    /// halving recursion fill one pooled digest buffer.
     fn hash_range(
-        &mut self,
+        &self,
+        gpu: &mut DedupGpu<O>,
         batch: &Batch,
         lo: usize,
         hi: usize,
         out: &mut [Digest],
-    ) -> Result<(), GpuFail> {
+    ) -> Result<(), WorkloadFault> {
         let base = batch.block_range(lo).start;
         let end = batch.block_range(hi - 1).end;
         let data = &batch.data[base..end];
         let n = hi - lo;
-        self.starts_scratch.clear();
-        self.starts_scratch
+        gpu.starts_scratch.clear();
+        gpu.starts_scratch
             .extend(batch.starts[lo..hi].iter().map(|&s| (s - base) as u32));
-        let lane = lane_mut(&mut self.lanes, &self.system, self.device);
+        let lane = lane_mut(&mut gpu.lanes, &gpu.system, gpu.device);
         let d_data: O::Buffer<u8> = lane.off.try_alloc(data.len())?;
         let d_starts: O::Buffer<u32> = lane.off.try_alloc(n)?;
         ensure_dev(&mut lane.off, &mut lane.d_out, n * 20)?;
         lane.stage_data.next(&mut lane.off, data.len())[..data.len()].clone_from_slice(data);
         lane.off
             .h2d_n(&d_data, lane.stage_data.current(), data.len());
-        lane.stage_starts.next(&mut lane.off, n)[..n].clone_from_slice(&self.starts_scratch);
+        lane.stage_starts.next(&mut lane.off, n)[..n].clone_from_slice(&gpu.starts_scratch);
         lane.off.h2d_n(&d_starts, lane.stage_starts.current(), n);
         lane.off.try_launch(
             Sha1Kernel {
@@ -716,29 +732,118 @@ impl<O: Offload> OffloadBackend<O> {
         }
         Ok(())
     }
+}
 
-    /// Recursively halve `lo..hi` until the sub-batches fit on the
-    /// device, splitting `out` alongside the block range. `false` means
-    /// even the split path failed (single-block OOM or a kernel fault) —
-    /// the caller falls back to the host.
-    fn hash_split(&mut self, batch: &Batch, lo: usize, hi: usize, out: &mut [Digest]) -> bool {
-        match self.hash_range(batch, lo, hi, out) {
-            Ok(()) => true,
-            Err(fail) => {
-                self.rec.fault(HASH_STAGE, fail.kind(), fail.detail());
-                if matches!(fail, GpuFail::Oom(_)) && hi - lo > 1 {
-                    self.rec.fault(
-                        HASH_STAGE,
-                        FaultKind::Retry,
-                        format!("batch {}: halving blocks {lo}..{hi}", batch.index),
-                    );
-                    let mid = lo + (hi - lo) / 2;
-                    let (left, right) = out.split_at_mut(mid - lo);
-                    self.hash_split(batch, lo, mid, left) && self.hash_split(batch, mid, hi, right)
-                } else {
-                    false
-                }
-            }
+impl<O: Offload> Workload for HashWork<O> {
+    type Item = Batch;
+    /// A pooled digest array plus the device residency (`None` when the
+    /// batch never made it — or stopped being — device-resident).
+    type Batch = (PooledBuf<Digest>, Option<OffloadResident<O>>);
+    type Gpu = DedupGpu<O>;
+
+    fn stage_label(&self) -> &'static str {
+        HASH_STAGE
+    }
+
+    fn policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    fn describe(&self, item: &Batch) -> String {
+        format!("batch {}", item.index)
+    }
+
+    fn attach(&self, replica: usize) -> DedupGpu<O> {
+        DedupGpu {
+            system: Arc::clone(&self.system),
+            device: replica % self.n_gpus,
+            lanes: (0..self.n_gpus).map(|_| None).collect(),
+            starts_scratch: Vec::new(),
+        }
+    }
+
+    fn make_batch(&self, item: &Batch) -> Self::Batch {
+        (self.pool.acquire(item.block_count()), None)
+    }
+
+    fn try_gpu_batch(
+        &self,
+        gpu: &mut DedupGpu<O>,
+        item: &Batch,
+        out: &mut Self::Batch,
+    ) -> Result<(), WorkloadFault> {
+        out.1 = Some(self.hash_full(gpu, item, &mut out.0)?);
+        Ok(())
+    }
+
+    fn split_units(&self, item: &Batch) -> usize {
+        item.block_count()
+    }
+
+    fn try_gpu_split(
+        &self,
+        gpu: &mut DedupGpu<O>,
+        item: &Batch,
+        lo: usize,
+        hi: usize,
+        out: &mut Self::Batch,
+    ) -> Result<(), WorkloadFault> {
+        // Residency is lost on the split path: stage 4 goes host-side.
+        out.1 = None;
+        self.hash_range(gpu, item, lo, hi, &mut out.0[lo..hi])
+    }
+
+    fn cpu_batch(&self, item: &Batch, out: &mut Self::Batch) {
+        out.1 = None;
+        for (b, slot) in out.0.iter_mut().enumerate() {
+            *slot = sha1(item.block(b));
+        }
+    }
+
+    fn register_telemetry(&self, rec: &Recorder) {
+        rec.register_pool("dedup.digests", self.pool.counters());
+    }
+}
+
+/// Stage 4 (compression) declared as a [`Workload`]. The device path runs
+/// the match kernel over the still-resident batch; the host rung encodes
+/// from byte-identical match semantics, so a fallen-back batch still
+/// reproduces the sequential archive exactly. Not splittable: the match
+/// kernel reads the whole resident buffer, so an OOM (device scratch) is
+/// retried like a transient and then degraded.
+pub struct CompressWork<O: Offload> {
+    system: Arc<GpuSystem>,
+    n_gpus: usize,
+    lzss: LzssConfig,
+    policy: FaultPolicy,
+    _off: PhantomData<fn() -> O>,
+}
+
+impl<O: Offload> Clone for CompressWork<O> {
+    fn clone(&self) -> Self {
+        CompressWork {
+            system: Arc::clone(&self.system),
+            n_gpus: self.n_gpus,
+            lzss: self.lzss,
+            policy: self.policy,
+            _off: PhantomData,
+        }
+    }
+}
+
+impl<O: Offload> CompressWork<O> {
+    /// Build the stage-4 workload from a GPU pipeline context.
+    pub fn new(ctx: &BackendCtx) -> Self {
+        let system = ctx
+            .system
+            .as_ref()
+            .expect("offload backend needs a GpuSystem");
+        CompressWork {
+            system: Arc::clone(system),
+            n_gpus: ctx.n_gpus,
+            lzss: ctx.lzss,
+            policy: ctx.policy,
+            _off: PhantomData,
         }
     }
 
@@ -750,14 +855,15 @@ impl<O: Offload> OffloadBackend<O> {
     /// `data_len`, so recycled (non-zeroed) scratch cannot leak stale
     /// matches.
     fn compress_on_device(
-        &mut self,
+        &self,
+        gpu: &mut DedupGpu<O>,
         batch: &Batch,
         res: &OffloadResident<O>,
-    ) -> Result<(), GpuFail> {
+    ) -> Result<(), WorkloadFault> {
         let len = batch.data.len();
         let lzss = self.lzss;
         // The data lives on whatever device stage 2 used.
-        let lane = lane_mut(&mut self.lanes, &self.system, res.device);
+        let lane = lane_mut(&mut gpu.lanes, &gpu.system, res.device);
         ensure_dev(&mut lane.off, &mut lane.d_len, len)?;
         ensure_dev(&mut lane.off, &mut lane.d_off, len)?;
         lane.off.try_launch(
@@ -784,144 +890,99 @@ impl<O: Offload> OffloadBackend<O> {
     }
 }
 
+impl<O: Offload> Workload for CompressWork<O> {
+    type Item = ClassifiedBatch<OffloadResident<O>>;
+    type Batch = Vec<BlockEntry>;
+    type Gpu = DedupGpu<O>;
+
+    fn stage_label(&self) -> &'static str {
+        COMPRESS_STAGE
+    }
+
+    fn policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    fn describe(&self, item: &Self::Item) -> String {
+        format!("batch {}", item.batch.index)
+    }
+
+    fn attach(&self, replica: usize) -> DedupGpu<O> {
+        DedupGpu {
+            system: Arc::clone(&self.system),
+            device: replica % self.n_gpus,
+            lanes: (0..self.n_gpus).map(|_| None).collect(),
+            starts_scratch: Vec::new(),
+        }
+    }
+
+    fn make_batch(&self, _item: &Self::Item) -> Vec<BlockEntry> {
+        Vec::new()
+    }
+
+    fn try_gpu_batch(
+        &self,
+        gpu: &mut DedupGpu<O>,
+        item: &Self::Item,
+        out: &mut Vec<BlockEntry>,
+    ) -> Result<(), WorkloadFault> {
+        let res = item
+            .gpu
+            .as_ref()
+            .expect("driver runs only device-resident batches (see compress_stage)");
+        self.compress_on_device(gpu, &item.batch, res)?;
+        let lane = gpu.lanes[res.device]
+            .as_ref()
+            .expect("lane exists after compress_on_device");
+        let len = item.batch.data.len();
+        *out = entries_from_matches(
+            &item.batch,
+            &item.classes,
+            &lane.out_lens.current()[..len],
+            &lane.out_offs.current()[..len],
+            &self.lzss,
+        );
+        Ok(())
+    }
+
+    fn cpu_batch(&self, item: &Self::Item, out: &mut Vec<BlockEntry>) {
+        *out = cpu_entries(&item.batch, &item.classes, &self.lzss);
+    }
+}
+
 impl<O: Offload> DedupBackend for OffloadBackend<O> {
     type Gpu = OffloadResident<O>;
 
     fn new(ctx: &BackendCtx, replica: usize) -> Self {
-        let system = ctx
-            .system
-            .as_ref()
-            .expect("offload backend needs a GpuSystem");
+        let hash = WorkloadDriver::new(HashWork::new(ctx)).with_recorder(ctx.rec.clone());
+        let compress = WorkloadDriver::new(CompressWork::new(ctx)).with_recorder(ctx.rec.clone());
+        let gpu = hash.attach(replica);
         OffloadBackend {
-            system: Arc::clone(system),
-            device: replica % ctx.n_gpus,
-            lanes: (0..ctx.n_gpus).map(|_| None).collect(),
-            pool: ctx.digests.clone(),
-            starts_scratch: Vec::new(),
-            lzss: ctx.lzss,
-            rec: ctx.rec.clone(),
-            policy: ctx.policy,
+            hash,
+            compress,
+            gpu,
         }
     }
 
     fn hash_stage(&mut self, batch: Batch) -> HashedBatch<OffloadResident<O>> {
-        let mut attempts = 0u32;
-        loop {
-            attempts += 1;
-            match self.hash_full(&batch) {
-                Ok((digests, res)) => {
-                    return HashedBatch {
-                        batch,
-                        digests,
-                        gpu: Some(res),
-                    }
-                }
-                Err(fail) => {
-                    self.rec.fault(HASH_STAGE, fail.kind(), fail.detail());
-                    match fail {
-                        GpuFail::Oom(_) => {
-                            // Smaller allocations may still fit: retry the
-                            // batch as recursively halved sub-batches
-                            // (residency is lost, stage 4 goes host-side).
-                            self.rec.fault(
-                                HASH_STAGE,
-                                FaultKind::Retry,
-                                format!("batch {}: retrying with halved sub-batches", batch.index),
-                            );
-                            let mut digests = self.pool.acquire(batch.block_count());
-                            if self.hash_split(&batch, 0, batch.block_count(), &mut digests) {
-                                return HashedBatch {
-                                    batch,
-                                    digests,
-                                    gpu: None,
-                                };
-                            }
-                            break;
-                        }
-                        GpuFail::Kernel(_) => {
-                            if attempts <= self.policy.max_retries {
-                                self.rec.fault(
-                                    HASH_STAGE,
-                                    FaultKind::Retry,
-                                    format!("batch {}: attempt {}", batch.index, attempts + 1),
-                                );
-                                if !self.policy.backoff.is_zero() {
-                                    std::thread::sleep(self.policy.backoff);
-                                }
-                                continue;
-                            }
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-        self.rec.fault(
-            HASH_STAGE,
-            FaultKind::CpuFallback,
-            format!("batch {}: hashing on the host", batch.index),
-        );
-        let digests = cpu_digests(&self.pool, &batch);
+        let (digests, gpu) = self.hash.process(&mut self.gpu, &batch);
         HashedBatch {
             batch,
             digests,
-            gpu: None,
+            gpu,
         }
     }
 
     fn compress_stage(&mut self, item: ClassifiedBatch<OffloadResident<O>>) -> CompressedBatch {
-        let ClassifiedBatch {
-            batch,
-            classes,
-            gpu,
-        } = item;
-        let entries = match &gpu {
-            Some(res) => {
-                let mut attempts = 0u32;
-                loop {
-                    attempts += 1;
-                    match self.compress_on_device(&batch, res) {
-                        Ok(()) => {
-                            let lane = self.lanes[res.device]
-                                .as_ref()
-                                .expect("lane exists after compress_on_device");
-                            let len = batch.data.len();
-                            break entries_from_matches(
-                                &batch,
-                                &classes,
-                                &lane.out_lens.current()[..len],
-                                &lane.out_offs.current()[..len],
-                                &self.lzss,
-                            );
-                        }
-                        Err(fail) => {
-                            self.rec.fault(COMPRESS_STAGE, fail.kind(), fail.detail());
-                            if attempts <= self.policy.max_retries {
-                                self.rec.fault(
-                                    COMPRESS_STAGE,
-                                    FaultKind::Retry,
-                                    format!("batch {}: attempt {}", batch.index, attempts + 1),
-                                );
-                                if !self.policy.backoff.is_zero() {
-                                    std::thread::sleep(self.policy.backoff);
-                                }
-                                continue;
-                            }
-                            self.rec.fault(
-                                COMPRESS_STAGE,
-                                FaultKind::CpuFallback,
-                                format!("batch {}: compressing on the host", batch.index),
-                            );
-                            break cpu_entries(&batch, &classes, &self.lzss);
-                        }
-                    }
-                }
-            }
-            // Stage 2 already fell back: the batch never reached a device.
-            None => cpu_entries(&batch, &classes, &self.lzss),
+        // `gpu: None` means "not device-resident by design" (stage 2 fell
+        // back or re-split): straight to the host path, no fault events.
+        let entries = if item.gpu.is_some() {
+            self.compress.process(&mut self.gpu, &item)
+        } else {
+            self.compress.process_host(&item)
         };
         CompressedBatch {
-            index: batch.index,
+            index: item.batch.index,
             entries,
         }
     }
@@ -955,7 +1016,7 @@ impl OclBackend {
     fn hash_on_device(
         &mut self,
         batch: &Batch,
-    ) -> Result<(PooledBuf<Digest>, OclResident), GpuFail> {
+    ) -> Result<(PooledBuf<Digest>, OclResident), WorkloadFault> {
         let dev = self.ctx.devices()[self.device];
         let n = batch.block_count();
         let d_data: ClBuffer<u8> = self.ctx.create_buffer(dev, batch.data.len())?;
@@ -1021,7 +1082,7 @@ impl OclBackend {
         batch: &Batch,
         classes: &[BlockClass],
         res: &OclResident,
-    ) -> Result<(Vec<u32>, Vec<u32>), GpuFail> {
+    ) -> Result<(Vec<u32>, Vec<u32>), WorkloadFault> {
         let dev = self.ctx.devices()[res.device];
         let len = batch.data.len();
         let d_len: ClBuffer<u32> = self.ctx.create_buffer(dev, len)?;
@@ -1115,7 +1176,7 @@ impl DedupBackend for OclBackend {
                 gpu: Some(res),
             },
             Err(fail) => {
-                self.rec.fault(HASH_STAGE, fail.kind(), fail.detail());
+                self.rec.fault(HASH_STAGE, fail.kind(), fail.to_string());
                 self.rec.fault(
                     HASH_STAGE,
                     FaultKind::CpuFallback,
@@ -1143,7 +1204,8 @@ impl DedupBackend for OclBackend {
                     entries_from_matches(&batch, &classes, &lens, &offs, &self.lzss)
                 }
                 Err(fail) => {
-                    self.rec.fault(COMPRESS_STAGE, fail.kind(), fail.detail());
+                    self.rec
+                        .fault(COMPRESS_STAGE, fail.kind(), fail.to_string());
                     self.rec.fault(
                         COMPRESS_STAGE,
                         FaultKind::CpuFallback,

@@ -150,13 +150,8 @@ pub fn run_pipeline_rec<B: DedupBackend>(
     // recorder as the stage metrics.
     let backend_ctx = backend_ctx.with_recorder(rec.clone());
     let system = backend_ctx.system.clone();
-    if rec.is_enabled() {
-        if let Some(sys) = &system {
-            for d in 0..sys.device_count() {
-                sys.device(d).enable_trace();
-                rec.register_pool(format!("gpu{d}.cache"), &sys.device(d).cache_counters());
-            }
-        }
+    if let Some(sys) = &system {
+        workload::arm_gpu_traces(sys, &rec);
     }
     let hash_ctx = backend_ctx.clone();
     let compress_ctx = backend_ctx;
@@ -202,12 +197,8 @@ pub fn run_pipeline_rec<B: DedupBackend>(
         .last_stage(|done: CompressedBatch| {
             archive.entries.extend(done.entries);
         });
-    if rec.is_enabled() {
-        if let Some(sys) = &system {
-            for d in 0..sys.device_count() {
-                gpusim::feed_recorder(&rec, d, &sys.device(d).take_trace());
-            }
-        }
+    if let Some(sys) = &system {
+        workload::drain_gpu_traces(sys, &rec);
     }
     archive
 }

@@ -110,6 +110,31 @@ impl Sha1 {
         Digest(out)
     }
 
+    /// The internal chaining state, available only on a block boundary
+    /// (`None` if a partial block is buffered). Together with
+    /// [`Sha1::resume`] this lets a caller hash a long shared prefix once
+    /// and then fork the hash over many suffixes — the midstate trick
+    /// nonce-search kernels rely on.
+    pub fn midstate(&self) -> Option<[u32; 5]> {
+        (self.buf_len == 0).then_some(self.h)
+    }
+
+    /// Rebuild a hasher from a [`Sha1::midstate`] taken after absorbing
+    /// `prefix_len` bytes. `prefix_len` must be a multiple of the 64-byte
+    /// block size (midstates only exist on block boundaries).
+    pub fn resume(h: [u32; 5], prefix_len: u64) -> Self {
+        assert!(
+            prefix_len.is_multiple_of(64),
+            "midstates exist only on 64-byte block boundaries"
+        );
+        Sha1 {
+            h,
+            len: prefix_len,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 80];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
@@ -222,6 +247,33 @@ mod tests {
     fn distinct_inputs_distinct_digests() {
         assert_ne!(sha1(b"hello"), sha1(b"hellp"));
         assert_ne!(sha1(b""), sha1(b"\0"));
+    }
+
+    #[test]
+    fn midstate_resume_agrees_with_one_shot() {
+        let prefix = vec![0xC3u8; 128];
+        let mut h = Sha1::new();
+        h.update(&prefix);
+        let mid = h.midstate().expect("128 bytes is a block boundary");
+        for suffix in [&b"nonce-1"[..], &b""[..], &[0u8; 100][..]] {
+            let mut forked = Sha1::resume(mid, prefix.len() as u64);
+            forked.update(suffix);
+            let full: Vec<u8> = prefix
+                .iter()
+                .copied()
+                .chain(suffix.iter().copied())
+                .collect();
+            assert_eq!(forked.finalize(), sha1(&full));
+        }
+    }
+
+    #[test]
+    fn midstate_absent_mid_block() {
+        let mut h = Sha1::new();
+        h.update(b"short");
+        assert!(h.midstate().is_none());
+        h.update(&[0u8; 59]);
+        assert!(h.midstate().is_some());
     }
 
     #[test]

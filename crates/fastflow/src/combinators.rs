@@ -1,0 +1,211 @@
+//! par-stream-style combinators: the one-line public face of the farm and
+//! pipeline builders.
+//!
+//! Most streaming programs want one of four shapes — map in order, map in
+//! any order, split a stream into substreams, or merge substreams back —
+//! and should not have to spell out a pipeline builder to get them. These
+//! adapters wrap the existing skeletons ([`Pipeline`]
+//! farms and [`mod@crate::channel`] SPSC channels) without adding any new
+//! runtime machinery.
+#![deny(clippy::unwrap_used)]
+
+use crate::channel::{channel, Receiver, SendError};
+use crate::node;
+use crate::pipeline::Pipeline;
+use crate::wait::WaitStrategy;
+
+/// Capacity of each per-part channel used by [`scatter`].
+const SCATTER_CAPACITY: usize = 64;
+
+/// Map `items` through `replicas` parallel workers, preserving input order
+/// in the output (FastFlow's ordered farm).
+///
+/// ```
+/// use fastflow::par_map_ordered;
+///
+/// let out = par_map_ordered(0..100u64, 4, |x| x * x);
+/// assert_eq!(out[99], 99 * 99);
+/// ```
+pub fn par_map_ordered<I, U, F>(items: I, replicas: usize, f: F) -> Vec<U>
+where
+    I: IntoIterator + Send + 'static,
+    I::Item: Send + 'static,
+    U: Send + 'static,
+    F: FnMut(I::Item) -> U + Clone + Send + 'static,
+{
+    Pipeline::builder()
+        .from_iter(items)
+        .farm_ordered(replicas, |_replica| node::map(f.clone()))
+        .collect()
+}
+
+/// Map `items` through `replicas` parallel workers, emitting results as
+/// they finish (no reordering buffer — lower latency, arbitrary order).
+///
+/// ```
+/// use fastflow::par_map_unordered;
+///
+/// let mut out = par_map_unordered(0..100u64, 4, |x| x * 2);
+/// out.sort();
+/// assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+/// ```
+pub fn par_map_unordered<I, U, F>(items: I, replicas: usize, f: F) -> Vec<U>
+where
+    I: IntoIterator + Send + 'static,
+    I::Item: Send + 'static,
+    U: Send + 'static,
+    F: FnMut(I::Item) -> U + Clone + Send + 'static,
+{
+    Pipeline::builder()
+        .from_iter(items)
+        .farm(replicas, |_replica| node::map(f.clone()))
+        .collect()
+}
+
+/// Split a stream into `parts` substreams, dealt round-robin from a feeder
+/// thread. Each [`Receiver`] can be moved to its own consumer thread;
+/// dropping one skips its share without stalling the rest.
+///
+/// ```
+/// use fastflow::{gather, scatter};
+///
+/// let parts = scatter(0..10u32, 2);
+/// let mut all = gather(parts);
+/// all.sort();
+/// assert_eq!(all, (0..10).collect::<Vec<_>>());
+/// ```
+pub fn scatter<I>(items: I, parts: usize) -> Vec<Receiver<I::Item>>
+where
+    I: IntoIterator + Send + 'static,
+    I::Item: Send + 'static,
+{
+    assert!(parts >= 1, "scatter needs at least one part");
+    let mut senders = Vec::with_capacity(parts);
+    let mut receivers = Vec::with_capacity(parts);
+    for _ in 0..parts {
+        let (tx, rx) = channel(SCATTER_CAPACITY, WaitStrategy::default());
+        senders.push(Some(tx));
+        receivers.push(rx);
+    }
+    std::thread::Builder::new()
+        .name("scatter-feeder".into())
+        .spawn(move || {
+            let mut next = 0usize;
+            for item in items {
+                // Deal to the next live part; a dropped receiver closes its
+                // branch and the item moves on to the following one.
+                let mut item = Some(item);
+                for _ in 0..senders.len() {
+                    let slot = next % senders.len();
+                    next += 1;
+                    if let Some(tx) = &senders[slot] {
+                        match tx.send(item.take().expect("undelivered item")) {
+                            Ok(()) => break,
+                            Err(SendError(v)) => {
+                                senders[slot] = None;
+                                item = Some(v);
+                            }
+                        }
+                    }
+                }
+                if senders.iter().all(Option::is_none) {
+                    break; // every consumer hung up
+                }
+            }
+        })
+        .expect("spawn scatter feeder");
+    receivers
+}
+
+/// Merge substreams (e.g. from [`scatter`]) into one `Vec`, polling each
+/// part fairly until all have reached end-of-stream. Order interleaves
+/// across parts; within one part, order is preserved.
+///
+/// ```
+/// use fastflow::{gather, scatter};
+///
+/// let parts = scatter(0..6u32, 3);
+/// assert_eq!(gather(parts).len(), 6);
+/// ```
+pub fn gather<T: Send>(parts: Vec<Receiver<T>>) -> Vec<T> {
+    let mut out = Vec::new();
+    let mut live: Vec<Receiver<T>> = parts;
+    while !live.is_empty() {
+        let mut progressed = false;
+        live.retain(|rx| {
+            while let Some(item) = rx.try_recv() {
+                out.push(item);
+                progressed = true;
+            }
+            !rx.is_eos()
+        });
+        if !progressed && !live.is_empty() {
+            std::thread::yield_now();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_ordered_keeps_order_under_contention() {
+        let out = par_map_ordered(0..1000u64, 8, |x| x + 1);
+        assert_eq!(out, (1..=1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_map_unordered_covers_all_items() {
+        let mut out = par_map_unordered(0..1000u64, 8, |x| x);
+        out.sort();
+        assert_eq!(out, (0..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn scatter_deals_round_robin() {
+        let parts = scatter(0..8u32, 2);
+        let a: Vec<u32> = std::iter::from_fn(|| parts[0].recv()).collect();
+        let b: Vec<u32> = std::iter::from_fn(|| parts[1].recv()).collect();
+        assert_eq!(a, vec![0, 2, 4, 6]);
+        assert_eq!(b, vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn scatter_skips_dropped_parts() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        // Hold the feeder until the middle part is dropped, so no item can
+        // land in its buffer (and be lost) before the drop happens.
+        let dropped = Arc::new(AtomicBool::new(false));
+        let gate = Arc::clone(&dropped);
+        let items = (0..9u32).inspect(move |_| {
+            while !gate.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        });
+        let mut parts = scatter(items, 3);
+        drop(parts.remove(1));
+        dropped.store(true, Ordering::Release);
+        let survivors = gather(parts);
+        assert_eq!(survivors.len(), 9, "dropped part's share is redealt");
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip_with_threaded_consumers() {
+        let parts = scatter(0..100u32, 4);
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|rx| {
+                std::thread::spawn(move || std::iter::from_fn(|| rx.recv()).collect::<Vec<u32>>())
+            })
+            .collect();
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("consumer thread"))
+            .collect();
+        all.sort();
+        assert_eq!(all, (0..100).collect::<Vec<u32>>());
+    }
+}

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod channel;
+pub mod combinators;
 pub mod error;
 pub mod farm;
 pub mod feedback;
@@ -41,6 +42,7 @@ pub mod stamp;
 pub mod wait;
 
 pub use channel::{channel, Receiver, SendError, Sender, TrySendError};
+pub use combinators::{gather, par_map_ordered, par_map_unordered, scatter};
 pub use error::{try_map, try_map_with, FaultPolicy, RunReport, StageError, TryMapNode};
 pub use farm::{spawn_farm, spawn_farm_traced, FarmConfig, SchedPolicy};
 pub use feedback::{spawn_feedback_farm, spawn_feedback_farm_traced, Loop};
@@ -51,4 +53,8 @@ pub use stamp::Stamped;
 pub use wait::{Signal, WaitStrategy};
 
 /// Alias kept for prelude ergonomics: a farm is configured via [`FarmConfig`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `FarmConfig` (or the `par_map_*` combinators)"
+)]
 pub type Farm = FarmConfig;

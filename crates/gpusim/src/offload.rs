@@ -101,6 +101,10 @@ pub trait Offload: Send + 'static {
     ) -> Result<Self::Buffer<T>, OutOfMemory>;
 
     /// [`try_alloc`](Offload::try_alloc), panicking on device OOM.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on device OOM; use `try_alloc` and run the recovery ladder (see `workload::WorkloadDriver`)"
+    )]
     fn alloc<T: Default + Clone + Send + 'static>(&mut self, len: usize) -> Self::Buffer<T> {
         match self.try_alloc(len) {
             Ok(buf) => buf,
@@ -148,6 +152,10 @@ pub trait Offload: Send + 'static {
     /// # Panics
     /// Panics if the device fails the launch (fault injection); recovery
     /// paths use [`try_launch`](Offload::try_launch) instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "panics on a refused launch; use `try_launch` and run the recovery ladder (see `workload::WorkloadDriver`)"
+    )]
     fn launch<K: KernelFn>(&mut self, kernel: K, global_threads: u64, block: u32) {
         if let Err(e) = self.try_launch(kernel, global_threads, block) {
             panic!("{e}");
@@ -474,15 +482,15 @@ mod tests {
         let mut off = O::attach(&system, 1);
         assert_eq!(off.device(), 1);
         let n = 1000;
-        let src: O::Buffer<u32> = off.alloc(n);
-        let dst: O::Buffer<u32> = off.alloc(n);
+        let src: O::Buffer<u32> = off.try_alloc(n).expect("healthy device");
+        let dst: O::Buffer<u32> = off.try_alloc(n).expect("healthy device");
         assert_eq!(O::buffer_len(&src), n);
         let mut host = off.alloc_host::<u32>(n);
         for (i, v) in host.iter_mut().enumerate() {
             *v = i as u32;
         }
         off.h2d(&src, &host);
-        off.launch(
+        off.try_launch(
             IncKernel {
                 src: O::buffer_ptr(&src),
                 dst: O::buffer_ptr(&dst),
@@ -490,7 +498,8 @@ mod tests {
             },
             n as u64,
             256,
-        );
+        )
+        .expect("healthy device");
         let mut out = off.alloc_host::<u32>(n);
         off.d2h(&dst, &mut out);
         off.sync();
@@ -522,7 +531,7 @@ mod tests {
         let system = GpuSystem::new(1, DeviceProps::titan_xp());
         let mut off = O::attach(&system, 0);
         let n = 100;
-        let dev: O::Buffer<u32> = off.alloc(n);
+        let dev: O::Buffer<u32> = off.try_alloc(n).expect("healthy device");
         let mut ring: HostRing<O, u32> = HostRing::new(2);
         // Slot sized to the class (128), payload only n elements.
         let host = ring.next(&mut off, n);
@@ -569,7 +578,7 @@ mod tests {
         let system = GpuSystem::new(1, DeviceProps::titan_xp());
         system.device(0).enable_trace();
         let mut off = OclOffload::attach(&system, 0);
-        let buf: ClBuffer<u32> = off.alloc(256);
+        let buf: ClBuffer<u32> = off.try_alloc(256).expect("healthy device");
         let host = off.alloc_host::<u32>(256);
         off.h2d(&buf, &host);
         let mut out = off.alloc_host::<u32>(256);

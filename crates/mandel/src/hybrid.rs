@@ -1,11 +1,15 @@
 //! Multi-core + GPU versions: SPar, FastFlow and TBB pipelines whose
 //! replicated middle stage offloads batches of lines to the simulated GPUs.
 //!
-//! The GPU work is expressed once against the unified [`Offload`] trait and
-//! instantiated per backend (`run_spar_gpu::<CudaOffload>` vs
-//! `run_spar_gpu::<OclOffload>`); a harness can also pick the backend by
-//! value with [`OffloadApi`] via [`run_spar_gpu_api`]. The integration
-//! follows §IV-A's recipe for each model:
+//! Since the Workload SDK landed, this module declares *what* Mandelbrot
+//! offload means — [`MandelWork`], a [`Workload`] impl pairing
+//! [`BatchCompute`] (the device path) with the row-by-row host
+//! implementation — and the generic [`WorkloadDriver`] owns *how* it
+//! survives: retries, OOM batch-halving (via
+//! [`RowSpanKernel`] on half-spans), and
+//! the bit-identical CPU fallback. No recovery logic lives here.
+//!
+//! The integration still follows §IV-A's recipe for each model:
 //!
 //! * **SPar / FastFlow** — every stage replica owns its own GPU state
 //!   (queue + buffers) built in the worker's `on_init`, where the mandatory
@@ -23,52 +27,23 @@
 //! through the pipeline and merges the simulated devices' command traces
 //! into the same report.
 
+use std::marker::PhantomData;
 use std::sync::{Arc, Mutex};
 
 use fastflow::{FaultPolicy, Recycler};
 use gpusim::GpuSystem;
 pub use gpusim::{CudaOffload, OclOffload, Offload, OffloadApi};
-use telemetry::{FaultKind, Recorder};
+use telemetry::Recorder;
+use workload::{arm_gpu_traces, drain_gpu_traces, Done, Workload, WorkloadDriver, WorkloadFault};
 
 use crate::core::{compute_line, FractalParams, Image};
-use crate::kernels::BatchKernel;
+use crate::kernels::{BatchKernel, RowSpanKernel};
 
 const BLOCK_1D: u32 = 256;
 
 /// Telemetry stage label for fault events from the replicated GPU stage
 /// (prefix-matches the pipeline's `stage1` row in trace exports).
 const GPU_STAGE: &str = "stage1 (gpu)";
-
-/// Why a batch failed on the device: the operational faults the hybrid
-/// runners recover from (retry, then per-row host computation).
-#[derive(Debug)]
-pub enum BatchFault {
-    /// The device refused the image-buffer allocation.
-    Oom(gpusim::OutOfMemory),
-    /// The kernel launch was refused (fault injection / device error).
-    Kernel(gpusim::DeviceFault),
-}
-
-impl BatchFault {
-    /// Telemetry classification of this fault.
-    pub fn kind(&self) -> FaultKind {
-        match self {
-            BatchFault::Oom(_) => FaultKind::DeviceOom,
-            BatchFault::Kernel(_) => FaultKind::KernelFault,
-        }
-    }
-}
-
-impl std::fmt::Display for BatchFault {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            BatchFault::Oom(e) => e.fmt(f),
-            BatchFault::Kernel(e) => e.fmt(f),
-        }
-    }
-}
-
-impl std::error::Error for BatchFault {}
 
 /// One offloader plus its lazily (re)sized device/host buffer pair —
 /// everything a stage replica needs to compute batches of lines.
@@ -89,76 +64,88 @@ impl<O: Offload> BatchCompute<O> {
         }
     }
 
-    /// Compute lines `[batch*batch_size, ...)`; returns `batch_size * dim`
-    /// pixels (tail batches include padding rows).
-    ///
-    /// # Panics
-    /// Panics on device OOM or a failed launch; recovery paths use
-    /// [`try_compute_batch`](BatchCompute::try_compute_batch) instead.
-    pub fn compute_batch(
-        &mut self,
-        params: &FractalParams,
-        batch: usize,
-        batch_size: usize,
-    ) -> Vec<u8> {
-        match self.try_compute_batch(params, batch, batch_size) {
-            Ok(pixels) => pixels,
-            Err(e) => panic!("{e}"),
+    /// Grow-only (re)allocation of the device/host buffer pair to at
+    /// least `len` pixels.
+    fn ensure_capacity(&mut self, len: usize) -> Result<(), WorkloadFault> {
+        if self.dev.as_ref().map_or(0, |b| O::buffer_len(b)) < len {
+            // Drop any stale buffer before re-allocating; on failure the
+            // slot stays empty so the next attempt allocates again.
+            self.dev = None;
+            self.dev = Some(self.off.try_alloc(len)?);
         }
+        if self.host.as_ref().map_or(0, |h| h.len()) < len {
+            self.host = Some(self.off.alloc_host(len));
+        }
+        Ok(())
     }
 
-    /// Fallible [`compute_batch`](BatchCompute::compute_batch): a refused
-    /// allocation or launch is reported instead of panicking, leaving the
-    /// compute state consistent so the caller may retry or fall back to
-    /// the host implementation.
-    pub fn try_compute_batch(
+    /// Launch `kernel` over `len` lanes and read `len` pixels back into
+    /// `out` (an exact-length slice or grow-only vector region).
+    fn launch_and_read<K: gpusim::KernelFn>(
         &mut self,
-        params: &FractalParams,
-        batch: usize,
-        batch_size: usize,
-    ) -> Result<Vec<u8>, BatchFault> {
-        let mut pixels = Vec::new();
-        self.try_compute_batch_into(params, batch, batch_size, &mut pixels)?;
-        Ok(pixels)
+        kernel: K,
+        len: usize,
+    ) -> Result<(), WorkloadFault> {
+        let dev = self.dev.as_ref().expect("allocated");
+        self.off.try_launch(kernel, len as u64, BLOCK_1D)?;
+        let host = self.host.as_mut().expect("allocated");
+        self.off.d2h_n(dev, host, len);
+        self.off.sync();
+        Ok(())
     }
 
-    /// [`try_compute_batch`](BatchCompute::try_compute_batch) writing into
-    /// a caller-supplied (typically recycled) vector. Device and staging
-    /// buffers are grow-only and the read-back copies just the `len`
-    /// pixels of this batch, so with a stable batch size the steady state
-    /// never touches either allocator.
+    /// Compute lines `[batch*batch_size, ...)` into a caller-supplied
+    /// (typically recycled) vector: `batch_size * dim` pixels, tail
+    /// batches padded with zero rows. Device and staging buffers are
+    /// grow-only and the read-back copies just this batch's pixels, so
+    /// with a stable batch size the steady state never touches either
+    /// allocator. A refused allocation or launch is reported instead of
+    /// panicking, leaving the state consistent for retry or fallback.
     pub fn try_compute_batch_into(
         &mut self,
         params: &FractalParams,
         batch: usize,
         batch_size: usize,
         out: &mut Vec<u8>,
-    ) -> Result<(), BatchFault> {
+    ) -> Result<(), WorkloadFault> {
         let len = batch_size * params.dim;
-        if self.dev.as_ref().map_or(0, |b| O::buffer_len(b)) < len {
-            // Drop any stale buffer before re-allocating; on failure the
-            // slot stays empty so the next attempt allocates again.
-            self.dev = None;
-            self.dev = Some(self.off.try_alloc(len).map_err(BatchFault::Oom)?);
-        }
-        if self.host.as_ref().map_or(0, |h| h.len()) < len {
-            self.host = Some(self.off.alloc_host(len));
-        }
-        let dev = self.dev.as_ref().expect("allocated");
+        self.ensure_capacity(len)?;
         let k = BatchKernel {
             batch,
             batch_size,
             params: *params,
-            img: O::buffer_ptr(dev),
+            img: O::buffer_ptr(self.dev.as_ref().expect("allocated")),
         };
-        self.off
-            .try_launch(k, len as u64, BLOCK_1D)
-            .map_err(BatchFault::Kernel)?;
-        let host = self.host.as_mut().expect("allocated");
-        self.off.d2h_n(dev, host, len);
-        self.off.sync();
+        self.launch_and_read(k, len)?;
+        let host = self.host.as_ref().expect("allocated");
         out.clear();
         out.extend_from_slice(&host[..len]);
+        Ok(())
+    }
+
+    /// Compute the row span `[first_row, first_row + rows)` into
+    /// `out[..rows*dim]` — the OOM-halving rung: the device buffer is
+    /// sized to the span, not the whole batch, so halves can succeed
+    /// where the full batch allocation was refused. Rows past the image
+    /// edge come back zero (the cache hands out zero-filled buffers).
+    pub fn try_compute_rows_into(
+        &mut self,
+        params: &FractalParams,
+        first_row: usize,
+        rows: usize,
+        out: &mut [u8],
+    ) -> Result<(), WorkloadFault> {
+        let len = rows * params.dim;
+        self.ensure_capacity(len)?;
+        let k = RowSpanKernel {
+            first_row,
+            rows,
+            params: *params,
+            img: O::buffer_ptr(self.dev.as_ref().expect("allocated")),
+        };
+        self.launch_and_read(k, len)?;
+        let host = self.host.as_ref().expect("allocated");
+        out[..len].copy_from_slice(&host[..len]);
         Ok(())
     }
 }
@@ -177,142 +164,144 @@ fn cpu_batch(params: &FractalParams, batch: usize, batch_size: usize, out: &mut 
     }
 }
 
-/// Compute one batch with the full recovery ladder: retry transient device
-/// faults per `policy` (recording each), then degrade to the per-row host
-/// implementation for this batch. Every rung writes into `out`, so the
-/// recovery path recycles the same buffer the happy path does.
-fn compute_with_recovery<O: Offload>(
-    gpu: &mut BatchCompute<O>,
-    params: &FractalParams,
-    batch: usize,
+/// The Mandelbrot offload stage as a [`Workload`]: items are batch
+/// indices, batches are `batch_size * dim` pixel vectors cycling through
+/// a recycle channel, GPU state is a per-replica [`BatchCompute`].
+pub struct MandelWork<O: Offload> {
+    system: Arc<GpuSystem>,
+    params: FractalParams,
     batch_size: usize,
-    rec: &Recorder,
+    n_gpus: usize,
+    recycle: Recycler<Vec<u8>>,
     policy: FaultPolicy,
-    out: &mut Vec<u8>,
-) {
-    let mut attempts = 0u32;
-    loop {
-        attempts += 1;
-        match gpu.try_compute_batch_into(params, batch, batch_size, out) {
-            Ok(()) => return,
-            Err(fault) => {
-                rec.fault(GPU_STAGE, fault.kind(), fault.to_string());
-                if attempts <= policy.max_retries {
-                    rec.fault(
-                        GPU_STAGE,
-                        FaultKind::Retry,
-                        format!("batch {batch}: attempt {}", attempts + 1),
-                    );
-                    if !policy.backoff.is_zero() {
-                        std::thread::sleep(policy.backoff);
-                    }
-                    continue;
-                }
-                rec.fault(
-                    GPU_STAGE,
-                    FaultKind::CpuFallback,
-                    format!("batch {batch}: computing rows on the host"),
-                );
-                return cpu_batch(params, batch, batch_size, out);
-            }
+    _off: PhantomData<fn() -> O>,
+}
+
+impl<O: Offload> Clone for MandelWork<O> {
+    fn clone(&self) -> Self {
+        MandelWork {
+            system: Arc::clone(&self.system),
+            params: self.params,
+            batch_size: self.batch_size,
+            n_gpus: self.n_gpus,
+            recycle: self.recycle.clone(),
+            policy: self.policy,
+            _off: PhantomData,
         }
     }
 }
 
-/// A batch of computed lines flowing between stages.
-struct BatchOut {
-    batch: usize,
-    pixels: Vec<u8>,
-}
+impl<O: Offload> MandelWork<O> {
+    /// Declare the workload. `pipeline_width` sizes the pixel-buffer
+    /// recycle channel: one buffer in flight per worker/token plus the
+    /// sink's just-finished one, so a full pipeline never sheds.
+    pub fn new(
+        system: &Arc<GpuSystem>,
+        params: &FractalParams,
+        batch_size: usize,
+        n_gpus: usize,
+        pipeline_width: usize,
+    ) -> Self {
+        assert!(n_gpus >= 1 && n_gpus <= system.device_count());
+        MandelWork {
+            system: Arc::clone(system),
+            params: *params,
+            batch_size,
+            n_gpus,
+            recycle: fastflow::recycler(pipeline_width * 2 + 2),
+            policy: FaultPolicy::default(),
+            _off: PhantomData,
+        }
+    }
 
-fn install(img: &mut Image, params: &FractalParams, batch_size: usize, out: &BatchOut) {
-    let first = out.batch * batch_size;
-    for r in 0..batch_size.min(params.dim - first) {
-        img.set_row(first + r, &out.pixels[r * params.dim..(r + 1) * params.dim]);
+    /// The pixel-buffer recycle channel (sinks push spent buffers back).
+    pub fn recycler(&self) -> &Recycler<Vec<u8>> {
+        &self.recycle
     }
 }
 
-/// Install a finished batch, then push its spent pixel buffer back
-/// upstream through the recycle channel (FastFlow's feedback idiom) so
-/// the workers reuse it instead of allocating a fresh one.
-fn install_and_recycle(
+impl<O: Offload> Workload for MandelWork<O> {
+    type Item = usize;
+    type Batch = Vec<u8>;
+    type Gpu = BatchCompute<O>;
+
+    fn stage_label(&self) -> &'static str {
+        GPU_STAGE
+    }
+
+    fn policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    fn describe(&self, batch: &usize) -> String {
+        format!("batch {batch}")
+    }
+
+    fn attach(&self, replica: usize) -> BatchCompute<O> {
+        BatchCompute::new(&self.system, replica % self.n_gpus)
+    }
+
+    fn make_batch(&self, _batch: &usize) -> Vec<u8> {
+        let mut pixels = self.recycle.take().unwrap_or_default();
+        pixels.clear();
+        pixels.resize(self.batch_size * self.params.dim, 0);
+        pixels
+    }
+
+    fn try_gpu_batch(
+        &self,
+        gpu: &mut BatchCompute<O>,
+        batch: &usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), WorkloadFault> {
+        gpu.try_compute_batch_into(&self.params, *batch, self.batch_size, out)
+    }
+
+    fn split_units(&self, _batch: &usize) -> usize {
+        self.batch_size
+    }
+
+    fn try_gpu_split(
+        &self,
+        gpu: &mut BatchCompute<O>,
+        batch: &usize,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), WorkloadFault> {
+        let dim = self.params.dim;
+        gpu.try_compute_rows_into(
+            &self.params,
+            batch * self.batch_size + lo,
+            hi - lo,
+            &mut out[lo * dim..hi * dim],
+        )
+    }
+
+    fn cpu_batch(&self, batch: &usize, out: &mut Vec<u8>) {
+        cpu_batch(&self.params, *batch, self.batch_size, out)
+    }
+
+    fn register_telemetry(&self, rec: &Recorder) {
+        rec.register_pool("mandel.pixels", self.recycle.counters());
+    }
+}
+
+/// Install a finished batch into the image, then push its spent pixel
+/// buffer back upstream through the recycle channel (FastFlow's feedback
+/// idiom) so the workers reuse it instead of allocating a fresh one.
+fn install_and_recycle<O: Offload>(
     img: &mut Image,
     params: &FractalParams,
     batch_size: usize,
-    out: BatchOut,
+    done: Done<MandelWork<O>>,
     recycle: &Recycler<Vec<u8>>,
 ) {
-    install(img, params, batch_size, &out);
-    recycle.give(out.pixels);
-}
-
-/// The pixel-buffer recycle channel for `workers` replicas: enough slots
-/// that a full pipeline (one buffer in flight per worker plus the sink's
-/// just-finished one) never sheds.
-fn pixel_recycler(workers: usize) -> Recycler<Vec<u8>> {
-    fastflow::recycler(workers * 2 + 2)
-}
-
-/// Enable command tracing on every device when the recorder is live, and
-/// expose each device's allocation-cache gauges in the report.
-fn arm_traces(system: &Arc<GpuSystem>, rec: &Recorder) {
-    if rec.is_enabled() {
-        for d in 0..system.device_count() {
-            system.device(d).enable_trace();
-            rec.register_pool(format!("gpu{d}.cache"), &system.device(d).cache_counters());
-        }
+    let first = done.item * batch_size;
+    for r in 0..batch_size.min(params.dim - first) {
+        img.set_row(first + r, &done.batch[r * params.dim..(r + 1) * params.dim]);
     }
-}
-
-/// Drain device traces into the recorder as GPU engine spans.
-fn drain_traces(system: &Arc<GpuSystem>, rec: &Recorder) {
-    if rec.is_enabled() {
-        for d in 0..system.device_count() {
-            gpusim::feed_recorder(rec, d, &system.device(d).take_trace());
-        }
-    }
-}
-
-/// Worker node owning one offloader, for SPar/FastFlow farms. Output
-/// pixel buffers come from the sink-fed recycle channel when one is
-/// available (a take miss falls back to a fresh vector, which then joins
-/// the cycle).
-struct GpuWorker<O: Offload> {
-    system: Arc<GpuSystem>,
-    device: usize,
-    params: FractalParams,
-    batch_size: usize,
-    gpu: Option<BatchCompute<O>>,
-    rec: Recorder,
-    recycle: Recycler<Vec<u8>>,
-}
-
-impl<O: Offload> fastflow::Node for GpuWorker<O> {
-    type In = usize;
-    type Out = BatchOut;
-
-    fn on_init(&mut self) {
-        // Built on the worker thread: cudaSetDevice / cl object allocation
-        // happen on the thread that will use them.
-        self.gpu = Some(BatchCompute::new(&self.system, self.device));
-    }
-
-    fn svc(&mut self, batch: usize, out: &mut fastflow::Emitter<'_, BatchOut>) {
-        let gpu = self
-            .gpu
-            .get_or_insert_with(|| BatchCompute::new(&self.system, self.device));
-        let mut pixels = self.recycle.take().unwrap_or_default();
-        compute_with_recovery(
-            gpu,
-            &self.params,
-            batch,
-            self.batch_size,
-            &self.rec,
-            FaultPolicy::default(),
-            &mut pixels,
-        );
-        out.send(BatchOut { batch, pixels });
-    }
+    recycle.give(done.batch);
 }
 
 /// SPar + GPU: the annotated pipeline with a replicated GPU stage.
@@ -343,15 +332,15 @@ pub fn run_spar_gpu_rec<O: Offload>(
     n_gpus: usize,
     rec: Recorder,
 ) -> Image {
-    assert!(n_gpus >= 1 && n_gpus <= system.device_count());
     let p = *params;
     let n_batches = p.dim.div_ceil(batch_size);
     let mut img = Image::new(p.dim);
-    let sys = Arc::clone(system);
-    arm_traces(system, &rec);
-    let recycle = pixel_recycler(workers);
-    rec.register_pool("mandel.pixels", recycle.counters());
-    let sink_recycle = recycle.clone();
+    arm_gpu_traces(system, &rec);
+    let driver = WorkloadDriver::new(MandelWork::<O>::new(
+        system, &p, batch_size, n_gpus, workers,
+    ))
+    .with_recorder(rec.clone());
+    let sink_recycle = driver.workload().recycler().clone();
     spar::ToStream::new()
         .recorder(rec.clone())
         .ordered(true)
@@ -362,23 +351,16 @@ pub fn run_spar_gpu_rec<O: Offload>(
                 }
             }
         })
-        .stage_node(workers, |replica| GpuWorker::<O> {
-            system: Arc::clone(&sys),
-            device: replica % n_gpus,
-            params: p,
-            batch_size,
-            gpu: None,
-            rec: rec.clone(),
-            recycle: recycle.clone(),
-        })
-        .last_stage(|out: BatchOut| {
-            install_and_recycle(&mut img, &p, batch_size, out, &sink_recycle)
+        .stage_node(workers, |replica| driver.node(replica))
+        .last_stage(|done: Done<MandelWork<O>>| {
+            install_and_recycle(&mut img, &p, batch_size, done, &sink_recycle)
         });
-    drain_traces(system, &rec);
+    drain_gpu_traces(system, &rec);
     img
 }
 
-/// FastFlow + GPU: explicit pipeline(source, farm(GpuWorker), sink).
+/// FastFlow + GPU: explicit pipeline(source, farm(worker), sink) — all of
+/// it owned by the generic driver's ordered-farm plumbing.
 pub fn run_fastflow_gpu<O: Offload>(
     system: &Arc<GpuSystem>,
     params: &FractalParams,
@@ -405,35 +387,19 @@ pub fn run_fastflow_gpu_rec<O: Offload>(
     n_gpus: usize,
     rec: Recorder,
 ) -> Image {
-    assert!(n_gpus >= 1 && n_gpus <= system.device_count());
     let p = *params;
     let n_batches = p.dim.div_ceil(batch_size);
-    let sys = Arc::clone(system);
     let mut img = Image::new(p.dim);
-    arm_traces(system, &rec);
-    let recycle = pixel_recycler(workers);
-    rec.register_pool("mandel.pixels", recycle.counters());
-    let sink_recycle = recycle.clone();
-    fastflow::Pipeline::builder()
-        .recorder(rec.clone())
-        .source(move |em| {
-            for b in 0..n_batches {
-                if !em.send(b) {
-                    break;
-                }
-            }
-        })
-        .farm_ordered(workers, |replica| GpuWorker::<O> {
-            system: Arc::clone(&sys),
-            device: replica % n_gpus,
-            params: p,
-            batch_size,
-            gpu: None,
-            rec: rec.clone(),
-            recycle: recycle.clone(),
-        })
-        .for_each(|out| install_and_recycle(&mut img, &p, batch_size, out, &sink_recycle));
-    drain_traces(system, &rec);
+    arm_gpu_traces(system, &rec);
+    let driver = WorkloadDriver::new(MandelWork::<O>::new(
+        system, &p, batch_size, n_gpus, workers,
+    ))
+    .with_recorder(rec.clone());
+    let sink_recycle = driver.workload().recycler().clone();
+    driver.run_ordered(workers, 0..n_batches, |done| {
+        install_and_recycle(&mut img, &p, batch_size, done, &sink_recycle)
+    });
+    drain_gpu_traces(system, &rec);
     img
 }
 
@@ -468,16 +434,20 @@ pub fn run_tbb_gpu_rec<O: Offload>(
     n_gpus: usize,
     rec: Recorder,
 ) -> Image {
-    assert!(n_gpus >= 1 && n_gpus <= system.device_count());
     let p = *params;
     let n_batches = p.dim.div_ceil(batch_size);
     let img = Arc::new(Mutex::new(Image::new(p.dim)));
     let sink_img = Arc::clone(&img);
-    let sys = Arc::clone(system);
-    arm_traces(system, &rec);
-    let recycle = pixel_recycler(max_live_tokens);
-    rec.register_pool("mandel.pixels", recycle.counters());
-    let sink_recycle = recycle.clone();
+    arm_gpu_traces(system, &rec);
+    let driver = WorkloadDriver::new(MandelWork::<O>::new(
+        system,
+        &p,
+        batch_size,
+        n_gpus,
+        max_live_tokens,
+    ))
+    .with_recorder(rec.clone());
+    let sink_recycle = driver.workload().recycler().clone();
     let mut next = 0usize;
     tbbx::Pipeline::source(move || {
         if next < n_batches {
@@ -488,34 +458,29 @@ pub fn run_tbb_gpu_rec<O: Offload>(
         }
     })
     .parallel({
-        let rec = rec.clone();
+        let driver = driver.clone();
         move |batch: usize| {
-            // Per-item GPU state (tasks have no thread identity), but the
-            // output buffer still cycles through the recycle channel.
-            let mut gpu = BatchCompute::<O>::new(&sys, batch % n_gpus);
-            let mut pixels = recycle.take().unwrap_or_default();
-            compute_with_recovery(
-                &mut gpu,
-                &p,
-                batch,
-                batch_size,
-                &rec,
-                FaultPolicy::default(),
-                &mut pixels,
-            );
-            BatchOut { batch, pixels }
+            // Per-item GPU state (tasks have no thread identity); passing
+            // the batch index as the replica keeps the round-robin device
+            // assignment. Output buffers still cycle through the recycler.
+            let mut gpu = driver.attach(batch);
+            let pixels = driver.process(&mut gpu, &batch);
+            Done {
+                item: batch,
+                batch: pixels,
+            }
         }
     })
-    .serial_in_order(move |out: BatchOut| {
+    .serial_in_order(move |done: Done<MandelWork<O>>| {
         let mut img = sink_img
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        install_and_recycle(&mut img, &p, batch_size, out, &sink_recycle);
+        install_and_recycle(&mut img, &p, batch_size, done, &sink_recycle);
     })
     .recorder(rec.clone())
     .build()
     .run(pool, max_live_tokens);
-    drain_traces(system, &rec);
+    drain_gpu_traces(system, &rec);
     Arc::try_unwrap(img)
         .map(|m| {
             m.into_inner()
@@ -690,5 +655,30 @@ mod tests {
         assert!(report.gpu.iter().any(|s| s.device == 1));
         assert!(report.gpu.iter().any(|s| s.engine == "compute"));
         assert!(report.gpu.iter().any(|s| s.engine == "d2h"));
+    }
+
+    #[test]
+    fn oom_halving_stays_on_the_device_when_memory_is_tight() {
+        // A device whose memory holds a half-batch but not a full batch:
+        // the halving rung must finish on the GPU without CPU fallback.
+        let p = FractalParams::view(64, 100);
+        let (seq, _) = run_sequential(&p);
+        let batch_size = 32; // full batch = 2048 B; halves = 1024 B
+        let mut props = DeviceProps::titan_xp();
+        props.global_mem = 1536; // fits 32*64/2 pixels, not 32*64
+        let system = GpuSystem::new(1, props);
+        let rec = Recorder::enabled();
+        let img = run_spar_gpu_rec::<CudaOffload>(&system, &p, 1, batch_size, 1, rec.clone());
+        assert_eq!(img.digest(), seq.digest());
+        let report = rec.report();
+        assert!(
+            report.faults_of(telemetry::FaultKind::DeviceOom).count() >= 1,
+            "the full-batch allocation must have been refused"
+        );
+        assert_eq!(
+            report.fallback_count(),
+            0,
+            "halved batches fit: no CPU fallback expected"
+        );
     }
 }

@@ -173,6 +173,52 @@ impl KernelFn for BatchKernel {
     }
 }
 
+/// A contiguous span of rows starting anywhere in the image — the
+/// OOM-halving rung: when a whole batch's buffer is refused, the driver
+/// re-launches halves of it, each into a buffer sized to its own rows.
+pub struct RowSpanKernel {
+    /// First image row of the span.
+    pub first_row: usize,
+    /// Rows in the span.
+    pub rows: usize,
+    /// Fractal geometry.
+    pub params: FractalParams,
+    /// Output: `rows * dim` pixels.
+    pub img: DevicePtr<u8>,
+}
+
+impl KernelFn for RowSpanKernel {
+    fn name(&self) -> &'static str {
+        "mandel_rows"
+    }
+    fn regs_per_thread(&self) -> u32 {
+        MANDEL_REGS
+    }
+    fn cycles_per_unit(&self) -> f64 {
+        CYCLES_PER_ITER
+    }
+    fn run(&self, dims: &LaunchDims, mem: &DeviceMemory, meter: &mut WorkMeter) {
+        let p = &self.params;
+        let step = p.step();
+        let mut img = mem.borrow_mut(self.img);
+        for lane in dims.lanes() {
+            let tid = lane as usize;
+            let r = tid / p.dim;
+            let i = self.first_row + r;
+            let j = tid - r * p.dim;
+            if r < self.rows && i < p.dim && j < p.dim {
+                let ci = p.init_b + step * i as f64;
+                let cr = p.init_a + step * j as f64;
+                let k = iterate(cr, ci, p.niter);
+                img[r * p.dim + j] = color(k, p.niter);
+                meter.record(lane, k.max(1) as u64);
+            } else {
+                meter.record(lane, 1);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +300,34 @@ mod tests {
             let row = 2 * batch_size + r;
             let expected = compute_line(&p, row).pixels;
             assert_eq!(&out[r * p.dim..(r + 1) * p.dim], &expected[..], "row {row}");
+        }
+    }
+
+    #[test]
+    fn row_span_kernel_matches_cpu_lines_at_any_offset() {
+        let p = params();
+        let sys = GpuSystem::new(1, DeviceProps::titan_xp());
+        let dev = sys.device(0);
+        // A 3-row span starting mid-batch (row 21): the halving rung's shape.
+        let rows = 3;
+        let buf = dev.alloc::<u8>(rows * p.dim).unwrap();
+        let k = RowSpanKernel {
+            first_row: 21,
+            rows,
+            params: p,
+            img: buf,
+        };
+        dev.launch(
+            StreamId::DEFAULT,
+            LaunchDims::cover((rows * p.dim) as u64, 256),
+            &k,
+            SimTime::ZERO,
+        );
+        let mut out = vec![0u8; rows * p.dim];
+        dev.copy_d2h(StreamId::DEFAULT, buf, 0, &mut out, false, SimTime::ZERO);
+        for r in 0..rows {
+            let expected = compute_line(&p, 21 + r).pixels;
+            assert_eq!(&out[r * p.dim..(r + 1) * p.dim], &expected[..], "row {r}");
         }
     }
 

@@ -20,7 +20,7 @@
 //! * work metering for the performance model (an optional cost function).
 //!
 //! Generated stages run on the instrumented [`fastflow`] runtime, so a
-//! [`telemetry::Recorder`] attached to the region (via
+//! `telemetry::Recorder` attached to the region (via
 //! `ToStream::recorder`) observes them like any hand-written stage:
 //! per-stage service-latency percentiles, item-level end-to-end latency
 //! from the source stamp to the sink, and watchdog stall detection all

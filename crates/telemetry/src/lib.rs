@@ -732,7 +732,7 @@ pub enum FaultKind {
     DeviceOom,
     /// A kernel launch failed (injected transient fault).
     KernelFault,
-    /// A stage emitted a typed [`StageError`]-style failure downstream.
+    /// A stage emitted a typed `StageError`-style failure downstream.
     StageError,
     /// The runtime retried the failed operation (possibly reshaped, e.g.
     /// with a halved batch).

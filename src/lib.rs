@@ -15,14 +15,22 @@
 //! * [`tbbx`] — TBB-style task scheduler and token-throttled pipeline.
 //! * [`gpusim`] — functional GPU simulator with CUDA-like and OpenCL-like
 //!   front ends plus a Titan XP cost model.
+//! * [`workload`] — the Workload SDK: the [`Workload`](workload::Workload)
+//!   trait plus the generic driver owning batching, the recovery ladder
+//!   (retry → OOM halving → bit-identical CPU fallback), buffer recycling,
+//!   ordered re-emit and telemetry.
 //! * [`mandel`] — the Mandelbrot Streaming case study (§IV-A).
 //! * [`dedup`] — the Dedup case study (§IV-B): rabin, SHA-1, LZSS, archive.
+//! * [`hashsearch`] — the third GPU application, written against the
+//!   Workload SDK: a SHA-1 nonce sweep with midstate reuse and top-k
+//!   reduction.
 //! * [`perfmodel`] — discrete-event models regenerating Figs. 1, 4 and 5.
 //! * [`simtime`] — the deterministic DES core underlying `perfmodel`.
 
 pub use dedup;
 pub use fastflow;
 pub use gpusim;
+pub use hashsearch;
 pub use mandel;
 pub use perfmodel;
 pub use simtime;
@@ -30,23 +38,54 @@ pub use spar;
 pub use spar_gpu;
 pub use tbbx;
 pub use telemetry;
+pub use workload;
 
 /// The blessed application surface, in one import.
 ///
-/// Everything a typical streaming application needs: the SPar annotation
-/// macro and builder, the FastFlow pipeline skeleton, the unified GPU
-/// [`Offload`](gpusim::Offload) trait with its two backends, and the
-/// telemetry [`Recorder`](telemetry::Recorder).
+/// Everything a typical streaming application needs, grouped by layer:
+///
+/// * **Declaring work** — [`Workload`](workload::Workload) and its driver
+///   [`WorkloadDriver`](workload::WorkloadDriver), which own batch
+///   formation, the fault-recovery ladder ([`FaultPolicy`](fastflow::FaultPolicy)),
+///   buffer recycling and ordered re-emit.
+/// * **Composing streams** — the SPar builder ([`ToStream`](spar::ToStream)),
+///   the FastFlow [`Pipeline`](fastflow::Pipeline) skeleton, and the
+///   par-stream combinators [`par_map_ordered`](fastflow::par_map_ordered),
+///   [`par_map_unordered`](fastflow::par_map_unordered),
+///   [`scatter`](fastflow::scatter), [`gather`](fastflow::gather).
+/// * **Reaching devices** — the unified [`Offload`](gpusim::Offload) trait
+///   with its CUDA-like and OpenCL-like backends.
+/// * **Memory & telemetry** — [`BufPool`](fastflow::BufPool) /
+///   [`Recycler`](fastflow::Recycler) and the
+///   [`Recorder`](telemetry::Recorder).
 ///
 /// Deeper paths stay public but are *advanced* API — reach for them only
 /// when the blessed surface is not enough: `fastflow::{spsc, channel,
 /// wait}` (runtime internals), `gpusim::{cuda, opencl}` (raw façades for
 /// backend-specific machinery such as multi-stream overlap and
 /// pinned-vs-pageable copies), `tbbx::task` (scheduler internals),
-/// `dedup`/`mandel` stage plumbing.
+/// `dedup`/`mandel`/`hashsearch` stage plumbing.
 pub mod prelude {
-    pub use fastflow::{recycler, BufPool, Farm, Pipeline, PooledBuf, Recycler, WaitStrategy};
+    pub use fastflow::{
+        gather, par_map_ordered, par_map_unordered, recycler, scatter, BufPool, FaultPolicy,
+        Pipeline, PooledBuf, Recycler, WaitStrategy,
+    };
     pub use gpusim::{CudaOffload, GpuSystem, HostRing, OclOffload, Offload, OffloadApi};
-    pub use spar::{to_stream, SparConfig, StreamBuilder, ToStream};
+    pub use spar::{to_stream, SparConfig, ToStream};
     pub use telemetry::{Recorder, TelemetryReport};
+    pub use workload::{
+        arm_gpu_traces, drain_gpu_traces, Done, Workload, WorkloadDriver, WorkloadFault,
+        WorkloadNode,
+    };
+
+    /// Alias kept for source compatibility with pre-SDK code.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `FarmConfig` (or the `par_map_*` combinators)"
+    )]
+    pub type Farm = fastflow::FarmConfig;
+
+    /// Alias kept for source compatibility with pre-SDK code.
+    #[deprecated(since = "0.1.0", note = "use `ToStream`")]
+    pub type StreamBuilder = spar::ToStream;
 }
