@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Data-path benchmark runner. Fully offline.
 #
-#   ./bench.sh                 # full run, writes BENCH_pr3.json + BENCH_pr5.json
+#   ./bench.sh                 # full run, writes BENCH_pr3/pr5/pr7.json
 #   ./bench.sh out.json        # same, custom pr3 output path
 #   BENCH_SMOKE=1 ./bench.sh   # CI smoke: same benches, skips the timing-ratio
 #                              # assertions (shared CI boxes are too noisy to
@@ -17,6 +17,8 @@
 #   - the PR 5 allocation-churn bench: the dedup per-batch buffer lifecycle,
 #     fresh allocations vs the pooled/recycled path, wall time and
 #     allocs-per-batch (counting allocator) — written to BENCH_pr5.json
+#   - the PR 7 flight-recorder bench: noop vs enabled emit cost and the
+#     contended-ring overwrite behaviour — written to BENCH_pr7.json
 # plus the wall-clock of a real `fig1 --tiny` end-to-end run.
 #
 # Output schema ("hetstream.bench.v1"):
@@ -30,6 +32,7 @@ cd "$(dirname "$0")"
 
 OUT="${1:-BENCH_pr3.json}"
 OUT5="${2:-BENCH_pr5.json}"
+OUT7="${3:-BENCH_pr7.json}"
 SMOKE="${BENCH_SMOKE:-0}"
 # cargo runs bench binaries with the package dir as CWD; hand it absolute paths.
 case "$OUT" in
@@ -39,6 +42,10 @@ esac
 case "$OUT5" in
     /*) OUT5_ABS="$OUT5" ;;
     *) OUT5_ABS="$PWD/$OUT5" ;;
+esac
+case "$OUT7" in
+    /*) OUT7_ABS="$OUT7" ;;
+    *) OUT7_ABS="$PWD/$OUT7" ;;
 esac
 
 echo "== build (release, offline) =="
@@ -54,12 +61,14 @@ echo "fig1 --tiny wall: ${FIG1_WALL}s"
 echo "== data-path micro-benches =="
 HETSTREAM_FIG1_TINY_WALL_S="$FIG1_WALL" \
     cargo bench --offline -p bench --bench datapath -- \
-    --json "$OUT_ABS" --json-pr5 "$OUT5_ABS"
+    --json "$OUT_ABS" --json-pr5 "$OUT5_ABS" --json-pr7 "$OUT7_ABS"
 
 echo "== summary ($OUT) =="
 cat "$OUT"
 echo "== summary ($OUT5) =="
 cat "$OUT5"
+echo "== summary ($OUT7) =="
+cat "$OUT7"
 
 # The headline claim of the batched data path: multi-push/multi-pop must be
 # at least 2x single-item ops on the raw SPSC micro-bench.
@@ -90,5 +99,24 @@ if [[ "$SMOKE" != "1" ]] && ! awk -v s="$pooled" 'BEGIN{exit !(s >= 1.2)}'; then
     echo "FAIL: pooled batch speedup ${pooled}x is below the 1.2x floor" >&2
     exit 1
 fi
+# PR 7 gates. The noop emit cost is near-deterministic (a branch), so even
+# smoke mode insists it stays an order of magnitude below the enabled path's
+# budget; the enabled-emit ceiling is a timing gate and skipped in smoke.
+events=$(grep -o '"flight_events_per_s": [0-9.]*' "$OUT7" | grep -o '[0-9.]*$')
+noop_ns=$(grep -o '"emit_ns_noop": [0-9.]*' "$OUT7" | grep -o '[0-9.]*$')
+enabled_ns=$(grep -o '"emit_ns_enabled": [0-9.]*' "$OUT7" | grep -o '[0-9.]*$')
+if [[ -z "$events" || -z "$noop_ns" || -z "$enabled_ns" ]]; then
+    echo "FAIL: $OUT7 is missing flight_events_per_s / emit_ns_noop / emit_ns_enabled" >&2
+    exit 1
+fi
+if ! awk -v n="$noop_ns" 'BEGIN{exit !(n < 20.0)}'; then
+    echo "FAIL: noop flight emit ${noop_ns} ns is above the 20 ns branch budget" >&2
+    exit 1
+fi
+if [[ "$SMOKE" != "1" ]] && ! awk -v e="$enabled_ns" 'BEGIN{exit !(e < 250.0)}'; then
+    echo "FAIL: enabled flight emit ${enabled_ns} ns is above the 250 ns budget" >&2
+    exit 1
+fi
 echo "bench.sh: done (spsc batched speedup: ${speedup}x," \
-     "pooled batch speedup: ${pooled}x, pool hit rate: ${hitrate})"
+     "pooled batch speedup: ${pooled}x, pool hit rate: ${hitrate}," \
+     "flight emit: ${noop_ns} ns noop / ${enabled_ns} ns enabled)"

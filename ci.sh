@@ -68,6 +68,64 @@ echo "$hslog" | grep -q '\[retry\]' || {
 }
 grep -q '"fault_counts"' "$figdir/hashsearch_telemetry.json"
 
+echo "== live observability smoke (flight dump + Prometheus endpoint mid-run) =="
+# fig1 under injected faults with the live plane armed: scrape /metrics
+# twice mid-run over raw /dev/tcp (no curl in the image), then validate
+# the exposition families, counter monotonicity across scrapes, and the
+# flight dump the CPU-fallback escalation must have produced.
+rm -f "$figdir/fig1.flight.json" "$figdir/fig1.prom"
+LIVE_PORT=9187
+cargo run --release --offline -p bench --bin fig1 -- --tiny --inject-faults 42 \
+    --live-metrics "127.0.0.1:$LIVE_PORT" --live-hold 4000 \
+    --prom-out "$figdir/fig1.prom" >fig1_live.log 2>&1 &
+LIVE_PID=$!
+scrape() {
+    # Subshell so the /dev/tcp fd (and the stderr silencing for refused
+    # connects while the server is still coming up) never leak out.
+    local out="$1" tries=0
+    while (( tries < 100 )); do
+        if (
+            exec 3<>"/dev/tcp/127.0.0.1/$LIVE_PORT"
+            printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+            cat <&3
+        ) >"$out" 2>/dev/null && [[ -s "$out" ]]; then
+            return 0
+        fi
+        tries=$((tries + 1))
+        sleep 0.1
+    done
+    return 1
+}
+scrape scrape1.prom || { echo "FAIL: live /metrics never came up" >&2; cat fig1_live.log >&2; exit 1; }
+sleep 0.5
+scrape scrape2.prom || { echo "FAIL: second live /metrics scrape failed" >&2; exit 1; }
+wait "$LIVE_PID" || { echo "FAIL: live fig1 run exited non-zero" >&2; cat fig1_live.log >&2; exit 1; }
+for fam in hetstream_up hetstream_stage_items_out_total hetstream_faults_total \
+           hetstream_flight_events_total; do
+    grep -q "# TYPE $fam" scrape1.prom || {
+        echo "FAIL: live exposition is missing family $fam" >&2
+        exit 1
+    }
+done
+ev1=$(grep -o '^hetstream_flight_events_total [0-9]*' scrape1.prom | grep -o '[0-9]*$')
+ev2=$(grep -o '^hetstream_flight_events_total [0-9]*' scrape2.prom | grep -o '[0-9]*$')
+if (( ev2 < ev1 )); then
+    echo "FAIL: flight event counter went backwards across scrapes ($ev1 -> $ev2)" >&2
+    exit 1
+fi
+test -s "$figdir/fig1.prom"
+grep -q '# TYPE hetstream_up gauge' "$figdir/fig1.prom"
+test -s "$figdir/fig1.flight.json"
+grep -q '"hetstream.flight.v1"' "$figdir/fig1.flight.json"
+grep -q '"cpu_fallback"' "$figdir/fig1.flight.json"
+grep -q '"batch_id": 1' "$figdir/fig1.flight.json"
+rm -f scrape1.prom scrape2.prom fig1_live.log
+
+echo "== flight recorder suite (named rerun) =="
+# Torn-write/wrap-around stress, stall-triggered dump, fault-storm and
+# fallback-escalation dump: the observability plane's own contract.
+cargo test --release --offline --test flight_recorder
+
 echo "== Workload SDK conformance suite (named rerun) =="
 # Holds all three Workload impls to the same contract: bit-identical
 # CPU/GPU paths, OOM halving, retry + fallback, zero steady-state allocs.
@@ -91,7 +149,7 @@ echo "== pool stress + steady-state allocation gate (named rerun) =="
 cargo test --release --offline -p fastflow --test pool_stress
 cargo test --release --offline --test steady_state_no_alloc
 
-echo "== bench.sh smoke (writes BENCH_pr3.json + BENCH_pr5.json) =="
+echo "== bench.sh smoke (writes BENCH_pr3/pr5/pr7.json) =="
 BENCH_SMOKE=1 ./bench.sh
 test -s BENCH_pr3.json
 grep -q '"schema": "hetstream.bench.v1"' BENCH_pr3.json
@@ -99,6 +157,11 @@ test -s BENCH_pr5.json
 grep -q '"entry": "pr5"' BENCH_pr5.json
 grep -q '"pooled_speedup"' BENCH_pr5.json
 grep -q '"pool_hit_rate"' BENCH_pr5.json
+test -s BENCH_pr7.json
+grep -q '"schema": "hetstream.bench.v1"' BENCH_pr7.json
+grep -q '"entry": "pr7"' BENCH_pr7.json
+grep -q '"flight_events_per_s"' BENCH_pr7.json
+grep -q '"probe_overhead_delta_ns"' BENCH_pr7.json
 
 echo
 echo "ci.sh: all gates passed"

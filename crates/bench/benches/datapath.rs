@@ -16,6 +16,11 @@
 //! `--json-pr5 <path>` to emit those rows plus the pool hit rate as
 //! `BENCH_pr5.json`.
 //!
+//! PR 7 adds the flight-recorder bench (`flight_emit`): noop vs enabled
+//! emit cost and the contended-ring overwrite behaviour. Pass
+//! `--json-pr7 <path>` to emit those rows plus the emit-cost deltas as
+//! `BENCH_pr7.json`.
+//!
 //! Keep runs short: the reproduction box can be a single core, so the
 //! numbers measure per-item overhead, not parallel speedup — which is
 //! exactly what the batching layer targets.
@@ -396,6 +401,76 @@ fn bench_alloc_churn(results: &mut Vec<Result>) -> ChurnStats {
     }
 }
 
+/// PR 7 flight-recorder numbers: emit cost disabled vs enabled and the
+/// contended ring's overwrite losses.
+struct FlightStats {
+    noop_ns: f64,
+    enabled_ns: f64,
+    contended_emitted: u64,
+    contended_lap_dropped: u64,
+}
+
+/// The flight recorder's emit path: a noop handle (disabled recorder)
+/// must price like a branch, an enabled emit like a clock read plus six
+/// uncontended atomics, and four producers hammering one small ring must
+/// keep aggregate throughput in the tens of millions of events/s with
+/// only overwrite-losses (lapped writers), never blocking.
+fn bench_flight(results: &mut Vec<Result>) -> FlightStats {
+    const N: u64 = 2_000_000;
+    const THREADS: u64 = 4;
+
+    let disabled = telemetry::Recorder::disabled();
+    let noop = disabled.flight_handle("bench");
+    let secs = median_secs(5, || {
+        for i in 0..N {
+            noop.emit(telemetry::FlightKind::BatchFormed, black_box(i), 1, 2);
+        }
+    });
+    record(results, "flight_emit", "noop", N, secs);
+    let noop_ns = secs * 1e9 / N as f64;
+
+    let rec = telemetry::Recorder::enabled();
+    let handle = rec.flight_handle("bench");
+    let secs = median_secs(5, || {
+        for i in 0..N {
+            handle.emit(telemetry::FlightKind::BatchFormed, black_box(i), 1, 2);
+        }
+    });
+    record(results, "flight_emit", "enabled", N, secs);
+    let enabled_ns = secs * 1e9 / N as f64;
+
+    // Contended mode hits the ring directly so lap losses are observable:
+    // a 1024-slot window laps thousands of times under 2M events.
+    let ring = Arc::new(telemetry::FlightRing::with_capacity(1024, Instant::now()));
+    let secs = median_secs(5, || {
+        let per = N / THREADS;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let ring = Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..per {
+                        ring.emit(
+                            telemetry::FlightKind::BatchFormed,
+                            t as u32,
+                            black_box(t * per + i),
+                            t,
+                            i,
+                        );
+                    }
+                });
+            }
+        });
+    });
+    record(results, "flight_emit", "contended4", N, secs);
+
+    FlightStats {
+        noop_ns,
+        enabled_ns,
+        contended_emitted: ring.emitted(),
+        contended_lap_dropped: ring.lap_dropped(),
+    }
+}
+
 fn find(results: &[Result], bench: &str, mode: &str) -> Option<f64> {
     results
         .iter()
@@ -480,6 +555,39 @@ fn write_json_pr5(path: &str, results: &[Result], churn: &ChurnStats) {
     println!("wrote {path}");
 }
 
+fn write_json_pr7(path: &str, results: &[Result], flight: &FlightStats) {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let mut rows = String::new();
+    for (i, r) in results
+        .iter()
+        .filter(|r| r.bench == "flight_emit")
+        .enumerate()
+    {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"items\": {}, \"items_per_s\": {:.1}}}",
+            r.bench, r.mode, r.items, r.items_per_s
+        ));
+    }
+
+    let events_per_s = find(results, "flight_emit", "enabled").unwrap_or(0.0);
+    let lap_frac = flight.contended_lap_dropped as f64 / flight.contended_emitted.max(1) as f64;
+    let json = format!(
+        "{{\n  \"schema\": \"hetstream.bench.v1\",\n  \"entry\": \"pr7\",\n  \"unix_time\": {unix_time},\n  \"results\": [\n{rows}\n  ],\n  \"derived\": {{\n    \"flight_events_per_s\": {events_per_s:.1},\n    \"emit_ns_noop\": {:.3},\n    \"emit_ns_enabled\": {:.3},\n    \"probe_overhead_delta_ns\": {:.3},\n    \"contended_lap_dropped_frac\": {lap_frac:.4}\n  }}\n}}\n",
+        flight.noop_ns,
+        flight.enabled_ns,
+        flight.enabled_ns - flight.noop_ns,
+    );
+    std::fs::write(path, json).expect("write pr7 bench json");
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args
@@ -490,6 +598,11 @@ fn main() {
     let json_pr5_path = args
         .iter()
         .position(|a| a == "--json-pr5")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let json_pr7_path = args
+        .iter()
+        .position(|a| a == "--json-pr7")
         .and_then(|i| args.get(i + 1))
         .cloned();
 
@@ -504,6 +617,7 @@ fn main() {
     bench_fig1_tiny_cpu(&mut results);
     bench_pool(&mut results);
     let churn = bench_alloc_churn(&mut results);
+    let flight = bench_flight(&mut results);
 
     if let (Some(b), Some(s)) = (
         find(&results, "spsc_channel", "batched"),
@@ -524,11 +638,22 @@ fn main() {
             churn.pooled_allocs_per_batch,
         );
     }
+    println!(
+        "flight emit: noop {:.2} ns, enabled {:.2} ns (delta {:.2} ns); \
+         contended lap-dropped {:.2}%",
+        flight.noop_ns,
+        flight.enabled_ns,
+        flight.enabled_ns - flight.noop_ns,
+        flight.contended_lap_dropped as f64 / flight.contended_emitted.max(1) as f64 * 100.0,
+    );
 
     if let Some(path) = json_path {
         write_json(&path, &results);
     }
     if let Some(path) = json_pr5_path {
         write_json_pr5(&path, &results, &churn);
+    }
+    if let Some(path) = json_pr7_path {
+        write_json_pr7(&path, &results, &flight);
     }
 }

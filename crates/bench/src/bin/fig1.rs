@@ -22,7 +22,7 @@
 
 use std::sync::Arc;
 
-use bench::{arg, emit_telemetry, flag, secs, Report, ShapeChecks};
+use bench::{arg, emit_telemetry, flag, live_observability, secs, Report, ShapeChecks};
 use gpusim::{CudaOffload, DeviceProps, GpuSystem};
 use mandel::core::FractalParams;
 use mandel::cpu::run_sequential;
@@ -137,16 +137,30 @@ fn main() {
     // whose replicated stage drives both GPUs through the unified Offload
     // surface — recorded stage-by-stage and merged with the device traces.
     let rec = Recorder::enabled();
+    let live = live_observability("fig1", &rec);
     let sampler = rec.sample_windows(std::time::Duration::from_millis(1));
     let watchdog = rec.watchdog(std::time::Duration::from_millis(10), 5);
     let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
     let fault_seed: u64 = arg("--inject-faults", 0u64);
-    if fault_seed != 0 {
+    // The armed run is serial on one device so the injected fault budget
+    // lands on consecutive attempts of the same batch: the recovery
+    // ladder deterministically walks retry → OOM halving → retry
+    // exhaustion → CPU fallback, whatever the seed (same idiom as fig4).
+    let (tworkers, tgpus) = if fault_seed != 0 {
         println!("\n[fault injection armed on the instrumented run: seed {fault_seed}]");
         tsys.inject_faults(&gpusim::FaultSpec::demo(fault_seed));
-    }
-    let timg =
-        mandel::hybrid::run_spar_gpu_rec::<CudaOffload>(&tsys, &params, 4, batch, 2, rec.clone());
+        (1, 1)
+    } else {
+        (4, 2)
+    };
+    let timg = mandel::hybrid::run_spar_gpu_rec::<CudaOffload>(
+        &tsys,
+        &params,
+        tworkers,
+        batch,
+        tgpus,
+        rec.clone(),
+    );
     assert_eq!(
         timg.digest(),
         seq_img.digest(),
@@ -173,6 +187,8 @@ fn main() {
             trep.fallback_count()
         );
     }
+    println!("{}", rec.health().describe());
+    live.finish();
 
     if tiny {
         println!("\n(tiny smoke run: figure-scale shape checks skipped)");

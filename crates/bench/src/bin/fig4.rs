@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use bench::{arg, emit_telemetry, flag, secs, Report, ShapeChecks};
+use bench::{arg, emit_telemetry, flag, live_observability, secs, Report, ShapeChecks};
 use gpusim::{DeviceProps, GpuSystem, OclOffload};
 use mandel::core::FractalParams;
 use mandel::gpu;
@@ -117,6 +117,7 @@ fn main() {
     // models fig1's telemetry (SPar + CUDA) does not cover — with stage
     // metrics and device traces on one merged timeline.
     let rec = Recorder::enabled();
+    let live = live_observability("fig4", &rec);
     let sampler = rec.sample_windows(std::time::Duration::from_millis(1));
     let watchdog = rec.watchdog(std::time::Duration::from_millis(10), 5);
     let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
@@ -179,6 +180,8 @@ fn main() {
             trep.fallback_count()
         );
     }
+    println!("{}", rec.health().describe());
+    live.finish();
 
     if tiny {
         println!("\n(tiny smoke run: figure-scale shape checks skipped)");

@@ -20,7 +20,7 @@
 //! via OOM halving / retry / CPU fallback, and the recorded fault events
 //! are printed and asserted.
 
-use bench::{arg, emit_telemetry, Report, ShapeChecks};
+use bench::{arg, emit_telemetry, live_observability, Report, ShapeChecks};
 use dedup::datasets;
 use dedup::single::{run_single_cuda, run_single_ocl};
 use dedup::{BackendCtx, DedupConfig, HostCosts, LzssConfig, OffloadBackend, RabinParams};
@@ -194,6 +194,7 @@ fn main() {
     // the 5-stage pipeline: stage metrics from the SPar region merged with
     // the two simulated devices' command traces.
     let rec = Recorder::enabled();
+    let live = live_observability("fig5", &rec);
     let sampler = rec.sample_windows(std::time::Duration::from_millis(1));
     let watchdog = rec.watchdog(std::time::Duration::from_millis(10), 5);
     let tsys = GpuSystem::new(2, DeviceProps::titan_xp());
@@ -237,6 +238,8 @@ fn main() {
             trep.fallback_count()
         );
     }
+    println!("{}", rec.health().describe());
+    live.finish();
 
     println!("\nShape checks (the paper's qualitative claims):");
     checks.finish();

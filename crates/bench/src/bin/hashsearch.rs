@@ -17,7 +17,7 @@
 //! on the instrumented run: the ranking must stay bit-exact via retry +
 //! CPU fallback, and the recorded fault events are printed and asserted.
 
-use bench::{arg, emit_telemetry, flag, Report, ShapeChecks};
+use bench::{arg, emit_telemetry, flag, live_observability, Report, ShapeChecks};
 use gpusim::{CudaOffload, DeviceProps, GpuSystem, OclOffload};
 use hashsearch::{search, search_cpu, SearchConfig};
 use telemetry::Recorder;
@@ -100,6 +100,7 @@ fn main() {
         (workers, 2)
     };
     let trec = Recorder::enabled();
+    let live = live_observability("hashsearch", &trec);
     let tgot = search::<CudaOffload>(&tsys, &cfg, tworkers, tgpus, trec.clone());
     assert_eq!(
         tgot, reference,
@@ -107,6 +108,12 @@ fn main() {
     );
     let trep = trec.report();
     emit_telemetry("hashsearch", &trep);
+    // Pool-registration parity with the figure binaries: the digest
+    // recycle pool must surface in the report (and hence in /metrics).
+    assert!(
+        trep.pools.iter().any(|p| p.name == "hashsearch.digests"),
+        "hashsearch.digests pool missing from the telemetry report"
+    );
     if fault_seed != 0 {
         assert!(
             trep.retry_count() >= 1,
@@ -123,6 +130,8 @@ fn main() {
             trep.fallback_count()
         );
     }
+    println!("{}", trec.health().describe());
+    live.finish();
 
     if tiny {
         println!("\n(tiny smoke run: figure-scale shape checks skipped)");

@@ -141,6 +141,20 @@ pub fn emit_telemetry(name: &str, report: &telemetry::TelemetryReport) {
             report.fallback_count()
         );
     }
+    if !report.pools.is_empty() {
+        println!("\n== buffer pools ({name}) ==");
+        for p in &report.pools {
+            println!(
+                "  {:<24} hit rate {:>5.1}%  ({} hits / {} misses, {} outstanding, {} shed)",
+                p.name,
+                p.stats.hit_rate() * 100.0,
+                p.stats.hits,
+                p.stats.misses,
+                p.stats.outstanding,
+                p.stats.shed
+            );
+        }
+    }
     let dir = figures_dir();
     if std::fs::create_dir_all(&dir).is_ok() {
         let json_path = dir.join(format!("{name}_telemetry.json"));
@@ -173,6 +187,89 @@ pub fn emit_telemetry(name: &str, report: &telemetry::TelemetryReport) {
 /// True if the bare flag `name` appears among the CLI arguments.
 pub fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
+}
+
+/// Guards over the live observability plane of one figure run: the
+/// blocking-TCP metrics endpoint, the periodic Prometheus file writer,
+/// and the armed flight-recorder dump. Built by [`live_observability`];
+/// call [`finish`](LiveObservability::finish) after the final report so
+/// late scrapers see the settled counters.
+pub struct LiveObservability {
+    server: Option<telemetry::MetricsServer>,
+    prom: Option<telemetry::PromWriter>,
+    hold: std::time::Duration,
+}
+
+/// Wire a recorder into the live observability plane from the CLI:
+///
+/// * `--live-metrics <addr>` — serve `/metrics`, `/health` and `/flight`
+///   at `addr` (e.g. `127.0.0.1:9187`; port `0` picks a free one — the
+///   bound address is printed);
+/// * `--live-hold <ms>` — keep the endpoint up that long after the run
+///   finishes, so external scrapers can observe the settled counters;
+/// * `--prom-out <path>` — additionally write the exposition to `path`
+///   every 200 ms (plus a final snapshot at stop);
+/// * `--flight-storm <n>` — fault-storm dump threshold (default 6,
+///   `0` disables the storm trigger; the watchdog-stall trigger is
+///   always armed).
+///
+/// The flight dump is armed at `<trace_dir>/<name>.flight.json` next to
+/// the Chrome trace whenever the recorder is enabled — no flag needed;
+/// triggers (stall or storm) are what gate it.
+pub fn live_observability(name: &str, rec: &telemetry::Recorder) -> LiveObservability {
+    if rec.is_enabled() {
+        let trace_dir = PathBuf::from(arg(
+            "--trace-out",
+            figures_dir().to_string_lossy().into_owned(),
+        ));
+        let _ = std::fs::create_dir_all(&trace_dir);
+        rec.arm_flight_dump(
+            trace_dir.join(format!("{name}.flight.json")),
+            arg("--flight-storm", 6u64),
+        );
+    }
+    let server = match arg("--live-metrics", String::new()) {
+        a if a.is_empty() => None,
+        a => match rec.serve_metrics(a.as_str()) {
+            Ok(s) => {
+                println!("[live metrics serving at http://{}/metrics]", s.addr());
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("[live metrics: failed to bind {a}: {e}]");
+                None
+            }
+        },
+    };
+    let prom = match arg("--prom-out", String::new()) {
+        p if p.is_empty() => None,
+        p => Some(rec.write_prom_snapshots(p, std::time::Duration::from_millis(200))),
+    };
+    LiveObservability {
+        server,
+        prom,
+        hold: std::time::Duration::from_millis(arg("--live-hold", 0u64)),
+    }
+}
+
+impl LiveObservability {
+    /// Hold the endpoint open for `--live-hold`, then stop the writer and
+    /// the server (final snapshots are flushed on stop).
+    pub fn finish(self) {
+        if self.server.is_some() && !self.hold.is_zero() {
+            println!(
+                "[live metrics holding for {} ms before shutdown]",
+                self.hold.as_millis()
+            );
+            std::thread::sleep(self.hold);
+        }
+        if let Some(p) = self.prom {
+            p.stop();
+        }
+        if let Some(s) = self.server {
+            s.stop();
+        }
+    }
 }
 
 /// A named shape assertion: prints PASS/FAIL and tracks overall status.

@@ -82,6 +82,10 @@ struct DevState {
     stats: DeviceStats,
     trace: Option<Vec<CommandRecord>>,
     injector: Option<FaultInjector>,
+    /// Live flight-recorder emitter (noop until attached): every copy
+    /// and kernel drops a compact event so the run's black box shows
+    /// device activity interleaved with the CPU stages and the ladder.
+    flight: telemetry::FlightHandle,
     /// Reusable work meter: reset per launch so launching allocates
     /// nothing once the per-warp buffer has grown to the launch width.
     meter: WorkMeter,
@@ -150,6 +154,7 @@ impl Device {
                 stats: DeviceStats::default(),
                 trace: None,
                 injector: None,
+                flight: telemetry::FlightHandle::noop(),
                 meter: WorkMeter::new(0, props.warp_size),
             }),
         }
@@ -218,6 +223,15 @@ impl Device {
         self.lock().mem.cache_counters()
     }
 
+    /// Attach a live flight-recorder emitter (usually
+    /// `Recorder::flight_handle("gpuN")`, one per device): copies and
+    /// kernel launches then drop compact events into the shared ring as
+    /// they are enqueued. Pass [`telemetry::FlightHandle::noop`] to
+    /// detach.
+    pub fn attach_flight(&self, handle: telemetry::FlightHandle) {
+        self.lock().flight = handle;
+    }
+
     /// Enqueue a kernel: executes functionally now, schedules on the
     /// compute engine, returns the modeled completion time.
     ///
@@ -263,6 +277,12 @@ impl Device {
             None => 1.0,
         };
         let st = &mut *st;
+        st.flight.emit(
+            telemetry::FlightKind::KernelLaunch,
+            telemetry::NO_BATCH,
+            dims.total_threads(),
+            stream.0 as u64,
+        );
         st.meter.reset(dims.total_threads(), self.props.warp_size);
         kernel.run(&dims, &st.mem, &mut st.meter);
         let mut dur = model::kernel_duration(&self.props, &dims, kernel, &st.meter);
@@ -271,7 +291,14 @@ impl Device {
             dur = SimDuration::from_secs_f64(dur.as_secs_f64() * slow);
         }
         st.stats.kernels += 1;
-        Ok(st.schedule(Engine::Compute, kernel.name(), stream, enqueue_at, dur))
+        let end = st.schedule(Engine::Compute, kernel.name(), stream, enqueue_at, dur);
+        st.flight.emit(
+            telemetry::FlightKind::KernelComplete,
+            telemetry::NO_BATCH,
+            dims.total_threads(),
+            dur.as_nanos(),
+        );
+        Ok(end)
     }
 
     /// Enqueue a host→device copy; data lands immediately (eager), timing
@@ -290,6 +317,12 @@ impl Device {
         st.mem.write(dst, dst_offset, src);
         st.stats.h2d_bytes += bytes;
         let dur = model::transfer_duration(&self.props, bytes, pinned);
+        st.flight.emit(
+            telemetry::FlightKind::H2d,
+            telemetry::NO_BATCH,
+            bytes,
+            dur.as_nanos(),
+        );
         st.schedule(Engine::Copy(XferDir::H2D), "h2d", stream, enqueue_at, dur)
     }
 
@@ -308,6 +341,12 @@ impl Device {
         st.mem.read(src, src_offset, dst);
         st.stats.d2h_bytes += bytes;
         let dur = model::transfer_duration(&self.props, bytes, pinned);
+        st.flight.emit(
+            telemetry::FlightKind::D2h,
+            telemetry::NO_BATCH,
+            bytes,
+            dur.as_nanos(),
+        );
         st.schedule(Engine::Copy(XferDir::D2H), "d2h", stream, enqueue_at, dur)
     }
 

@@ -1,0 +1,617 @@
+//! Live metrics exposition — Prometheus text format over a tiny
+//! dependency-free TCP endpoint, plus periodic on-disk snapshots.
+//!
+//! The render path reads the same wait-free atomics the runtimes bump on
+//! their hot paths ([`StageMetrics`](crate::StageMetrics) counters,
+//! [`PoolCounters`](crate::PoolCounters) gauges, the latency histograms),
+//! so scraping adds zero cost to the stream itself: a scrape is a walk
+//! over relaxed loads plus string formatting on the scraper's thread.
+//!
+//! The endpoint speaks just enough HTTP/1.1 for `curl`, Prometheus and a
+//! bash `/dev/tcp` scrape: it answers `GET /metrics` with the text
+//! exposition (version 0.0.4 content type), `GET /health` with the
+//! [`HealthSnapshot`](crate::HealthSnapshot) JSON, and `GET /flight`
+//! with a live flight-recorder dump. Anything else is a 404. One
+//! request per connection, `Connection: close` — deliberately boring.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::histo::HistoCounts;
+use crate::{FaultKind, Inner, Recorder};
+
+/// Escape a Prometheus label value (`\`, `"`, newline).
+fn esc_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Append one `# HELP` + `# TYPE` header pair.
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Render the full exposition document from a live recorder's state.
+///
+/// Counters are cumulative relaxed-atomic reads, so successive scrapes
+/// observe monotonically non-decreasing values — the property ci.sh
+/// checks between two scrapes of the same run.
+pub(crate) fn render_prometheus(inner: &Inner) -> String {
+    let mut out = String::with_capacity(4096);
+    family(
+        &mut out,
+        "hetstream_up",
+        "gauge",
+        "1 while the recorder is live.",
+    );
+    out.push_str("hetstream_up 1\n");
+    family(
+        &mut out,
+        "hetstream_uptime_seconds",
+        "gauge",
+        "Seconds since the recorder epoch.",
+    );
+    out.push_str(&format!(
+        "hetstream_uptime_seconds {:.3}\n",
+        inner.epoch.elapsed().as_secs_f64()
+    ));
+
+    // Per-replica stage counters and gauges.
+    type StageGet = fn(&crate::StageMetrics) -> u64;
+    type PoolGet = fn(&crate::PoolStats) -> u64;
+    let stages = inner.stages.lock().unwrap().clone();
+    let stage_counters: [(&str, &str, StageGet); 5] = [
+        (
+            "hetstream_stage_items_in_total",
+            "Items popped from the stage input queue.",
+            |m| m.items_in_now(),
+        ),
+        (
+            "hetstream_stage_items_out_total",
+            "Items pushed downstream by the stage.",
+            |m| m.items_out_now(),
+        ),
+        (
+            "hetstream_stage_service_ns_total",
+            "Accumulated busy (service) time, wall ns.",
+            |m| m.service_ns_now(),
+        ),
+        (
+            "hetstream_stage_push_stalls_total",
+            "Blocked-on-full-output-queue occurrences.",
+            |m| m.push_stalls_now(),
+        ),
+        (
+            "hetstream_stage_pop_waits_total",
+            "Blocked-on-empty-input-queue occurrences.",
+            |m| m.pop_waits_now(),
+        ),
+    ];
+    for (name, help, get) in stage_counters {
+        family(&mut out, name, "counter", help);
+        for m in &stages {
+            out.push_str(&format!(
+                "{name}{{stage=\"{}\",replica=\"{}\"}} {}\n",
+                esc_label(m.name()),
+                m.replica(),
+                get(m)
+            ));
+        }
+    }
+    family(
+        &mut out,
+        "hetstream_stage_queue_depth",
+        "gauge",
+        "Input-queue depth the replica last observed.",
+    );
+    for m in &stages {
+        out.push_str(&format!(
+            "hetstream_stage_queue_depth{{stage=\"{}\",replica=\"{}\"}} {}\n",
+            esc_label(m.name()),
+            m.replica(),
+            m.queue_depth_now()
+        ));
+    }
+    family(
+        &mut out,
+        "hetstream_stage_queue_hwm",
+        "gauge",
+        "Input queue-depth high-water mark.",
+    );
+    for m in &stages {
+        out.push_str(&format!(
+            "hetstream_stage_queue_hwm{{stage=\"{}\",replica=\"{}\"}} {}\n",
+            esc_label(m.name()),
+            m.replica(),
+            m.queue_hwm_now()
+        ));
+    }
+
+    // Service latency quantiles, replicas merged per stage name at the
+    // bucket level (percentiles over percentiles would be wrong).
+    family(
+        &mut out,
+        "hetstream_stage_service_latency_ns",
+        "summary",
+        "Service-latency quantiles per stage (replica histograms merged).",
+    );
+    let mut names: Vec<&str> = stages.iter().map(|m| m.name()).collect();
+    names.dedup();
+    for name in names {
+        let mut counts = HistoCounts::new();
+        for m in stages.iter().filter(|m| m.name() == name) {
+            counts.add(m.latency());
+        }
+        let snap = counts.snapshot();
+        for (q, v) in [
+            ("0.5", snap.p50_ns),
+            ("0.9", snap.p90_ns),
+            ("0.95", snap.p95_ns),
+            ("0.99", snap.p99_ns),
+        ] {
+            out.push_str(&format!(
+                "hetstream_stage_service_latency_ns{{stage=\"{}\",quantile=\"{q}\"}} {v}\n",
+                esc_label(name)
+            ));
+        }
+        out.push_str(&format!(
+            "hetstream_stage_service_latency_ns_count{{stage=\"{}\"}} {}\n",
+            esc_label(name),
+            snap.count
+        ));
+    }
+
+    // End-to-end latency.
+    let e2e = inner.e2e.snapshot();
+    family(
+        &mut out,
+        "hetstream_e2e_latency_ns",
+        "summary",
+        "End-to-end (source emit to collector) latency quantiles.",
+    );
+    for (q, v) in [
+        ("0.5", e2e.p50_ns),
+        ("0.9", e2e.p90_ns),
+        ("0.95", e2e.p95_ns),
+        ("0.99", e2e.p99_ns),
+    ] {
+        out.push_str(&format!(
+            "hetstream_e2e_latency_ns{{quantile=\"{q}\"}} {v}\n"
+        ));
+    }
+    out.push_str(&format!("hetstream_e2e_latency_ns_count {}\n", e2e.count));
+
+    // Fault-path events, every kind always present so scrapers can rely
+    // on the family existing (and on monotone per-kind counters).
+    family(
+        &mut out,
+        "hetstream_faults_total",
+        "counter",
+        "Fault-path events by kind (causes and recovery actions).",
+    );
+    let faults = inner.faults.lock().unwrap();
+    for kind in [
+        FaultKind::DeviceOom,
+        FaultKind::KernelFault,
+        FaultKind::StageError,
+        FaultKind::Retry,
+        FaultKind::CpuFallback,
+    ] {
+        let n = faults.iter().filter(|e| e.kind == kind).count();
+        out.push_str(&format!(
+            "hetstream_faults_total{{kind=\"{}\"}} {n}\n",
+            kind.label()
+        ));
+    }
+    drop(faults);
+
+    family(
+        &mut out,
+        "hetstream_stalls_total",
+        "counter",
+        "Stall episodes the watchdog reported.",
+    );
+    out.push_str(&format!(
+        "hetstream_stalls_total {}\n",
+        inner.stalls.lock().unwrap().len()
+    ));
+
+    // Pool gauges.
+    let pools = inner.pools.lock().unwrap().clone();
+    let pool_counters: [(&str, &str, &str, PoolGet); 4] = [
+        (
+            "hetstream_pool_hits_total",
+            "counter",
+            "Acquires served by recycling a cached buffer.",
+            |s| s.hits,
+        ),
+        (
+            "hetstream_pool_misses_total",
+            "counter",
+            "Acquires that allocated fresh storage.",
+            |s| s.misses,
+        ),
+        (
+            "hetstream_pool_shed_total",
+            "counter",
+            "Returns dropped because the pool was at capacity.",
+            |s| s.shed,
+        ),
+        (
+            "hetstream_pool_outstanding",
+            "gauge",
+            "Buffers currently leased out.",
+            |s| s.outstanding,
+        ),
+    ];
+    for (name, kind, help, get) in pool_counters {
+        family(&mut out, name, kind, help);
+        for (pname, c) in &pools {
+            out.push_str(&format!(
+                "{name}{{pool=\"{}\"}} {}\n",
+                esc_label(pname),
+                get(&c.snapshot())
+            ));
+        }
+    }
+    family(
+        &mut out,
+        "hetstream_pool_hit_rate",
+        "gauge",
+        "Fraction of acquires served from the pool (1.0 when idle).",
+    );
+    for (pname, c) in &pools {
+        out.push_str(&format!(
+            "hetstream_pool_hit_rate{{pool=\"{}\"}} {:.4}\n",
+            esc_label(pname),
+            c.snapshot().hit_rate()
+        ));
+    }
+
+    // GPU engine busy time (modeled ns), one series per device × engine.
+    family(
+        &mut out,
+        "hetstream_gpu_engine_busy_ns_total",
+        "counter",
+        "Accumulated GPU engine busy time, modeled ns.",
+    );
+    let gpu = inner.gpu.lock().unwrap();
+    let mut keys: Vec<(usize, &'static str)> = gpu.iter().map(|s| (s.device, s.engine)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    for (device, engine) in keys {
+        let busy: u64 = gpu
+            .iter()
+            .filter(|s| s.device == device && s.engine == engine)
+            .map(|s| s.end_ns - s.start_ns)
+            .sum();
+        out.push_str(&format!(
+            "hetstream_gpu_engine_busy_ns_total{{device=\"{device}\",engine=\"{engine}\"}} {busy}\n"
+        ));
+    }
+    drop(gpu);
+
+    // Flight-recorder throughput.
+    family(
+        &mut out,
+        "hetstream_flight_events_total",
+        "counter",
+        "Events emitted into the flight-recorder ring.",
+    );
+    out.push_str(&format!(
+        "hetstream_flight_events_total {}\n",
+        inner.flight.emitted()
+    ));
+    family(
+        &mut out,
+        "hetstream_flight_lap_dropped_total",
+        "counter",
+        "Flight events abandoned because the emitter was lapped.",
+    );
+    out.push_str(&format!(
+        "hetstream_flight_lap_dropped_total {}\n",
+        inner.flight.lap_dropped()
+    ));
+    out
+}
+
+/// The exposition document a *disabled* recorder serves or writes: the
+/// plane stays shaped, it just reports itself down.
+pub(crate) fn render_disabled() -> String {
+    let mut out = String::new();
+    family(
+        &mut out,
+        "hetstream_up",
+        "gauge",
+        "1 while the recorder is live.",
+    );
+    out.push_str("hetstream_up 0\n");
+    out
+}
+
+/// A live metrics endpoint serving one [`Recorder`] over blocking TCP.
+///
+/// Started with [`Recorder::serve_metrics`]; the background thread polls
+/// a nonblocking accept loop so [`stop`](MetricsServer::stop) (or drop)
+/// terminates promptly without a self-connect trick.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    pub(crate) fn start(rec: Recorder, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("hetstream-metrics".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // One short request per connection; a wedged
+                            // client can only stall us for the timeout.
+                            let _ = handle_conn(&rec, stream);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+            .expect("spawn metrics server thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful when the caller asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop serving and join the background thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+fn handle_conn(rec: &Recorder, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read up to the end of the request head (or 1 KiB, whichever first);
+    // only the request line matters.
+    let mut buf = [0u8; 1024];
+    let mut used = 0;
+    loop {
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                used += n;
+                if buf[..used].windows(4).any(|w| w == b"\r\n\r\n") || used == buf.len() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..used]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, ctype, body) = match path {
+        "/" | "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            rec.prometheus(),
+        ),
+        "/health" => ("200 OK", "application/json", rec.health().to_json()),
+        "/flight" => ("200 OK", "application/json", rec.flight_json("live scrape")),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            String::from("not found\n"),
+        ),
+    };
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(resp.as_bytes())
+}
+
+/// Background writer of periodic `metrics.prom` snapshots — the offline
+/// twin of [`MetricsServer`] for runs with no scraper attached.
+///
+/// Writes the exposition document to the path every interval and once
+/// more at [`stop`](PromWriter::stop) (or drop), so even a run shorter
+/// than one interval leaves a final snapshot behind.
+#[derive(Debug)]
+pub struct PromWriter {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl PromWriter {
+    pub(crate) fn start(rec: Recorder, path: PathBuf, every: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("hetstream-prom".into())
+            .spawn(move || {
+                loop {
+                    // Sliced sleep: stop() returns promptly even for long
+                    // intervals.
+                    let mut slept = Duration::ZERO;
+                    while slept < every && !stop2.load(Ordering::Relaxed) {
+                        let step = (every - slept).min(Duration::from_millis(10));
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    let _ = std::fs::write(&path, rec.prometheus());
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn prom writer thread");
+        PromWriter {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// An inert writer (what a disabled recorder returns).
+    pub(crate) fn inert() -> Self {
+        PromWriter {
+            stop: Arc::new(AtomicBool::new(true)),
+            thread: None,
+        }
+    }
+
+    /// Write one final snapshot and join the background thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PromWriter {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn exposition_has_expected_families() {
+        let rec = Recorder::enabled();
+        let h = rec.stage("work", 0);
+        h.item_in(3);
+        h.service(|| std::hint::black_box(0));
+        h.items_out(1);
+        rec.fault("work", FaultKind::Retry, "attempt 2");
+        let pool = crate::PoolCounters::new();
+        pool.hit();
+        rec.register_pool("test.pool", &pool);
+        let text = rec.prometheus();
+        for family in [
+            "hetstream_up 1",
+            "hetstream_stage_items_in_total{stage=\"work\",replica=\"0\"} 1",
+            "hetstream_stage_items_out_total",
+            "hetstream_stage_queue_depth{stage=\"work\",replica=\"0\"} 3",
+            "hetstream_stage_service_latency_ns{stage=\"work\",quantile=\"0.99\"}",
+            "hetstream_faults_total{kind=\"retry\"} 1",
+            "hetstream_faults_total{kind=\"cpu_fallback\"} 0",
+            "hetstream_pool_hits_total{pool=\"test.pool\"} 1",
+            "hetstream_pool_hit_rate{pool=\"test.pool\"} 1.0000",
+            "hetstream_flight_events_total",
+        ] {
+            assert!(text.contains(family), "missing {family:?} in:\n{text}");
+        }
+        // Every non-comment line is `name{labels} value` — one space.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+            assert!(parts.next().is_some(), "bad line {line:?}");
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_reports_down() {
+        let text = Recorder::disabled().prometheus();
+        assert!(text.contains("hetstream_up 0"));
+        assert!(!text.contains("hetstream_stage_items_in_total"));
+    }
+
+    #[test]
+    fn server_serves_metrics_health_and_flight() {
+        let rec = Recorder::enabled();
+        let h = rec.stage("serve", 0);
+        h.item_in(1);
+        h.items_out(1);
+        let srv = rec.serve_metrics("127.0.0.1:0").expect("bind");
+        let addr = srv.addr();
+        let get = |path: &str| {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).unwrap();
+            resp
+        };
+        let metrics = get("/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("hetstream_up 1"));
+        assert!(metrics.contains("stage=\"serve\""));
+        let health = get("/health");
+        assert!(health.contains("application/json"));
+        assert!(health.contains("\"status\""));
+        let flight = get("/flight");
+        assert!(flight.contains("hetstream.flight.v1"));
+        let missing = get("/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        srv.stop();
+    }
+
+    #[test]
+    fn prom_writer_leaves_final_snapshot() {
+        let dir = std::env::temp_dir().join(format!(
+            "hetstream_prom_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        let rec = Recorder::enabled();
+        let w = rec.write_prom_snapshots(&path, Duration::from_secs(3600));
+        let h = rec.stage("snap", 0);
+        h.items_out(5);
+        w.stop();
+        let text = std::fs::read_to_string(&path).expect("snapshot written");
+        assert!(text.contains("hetstream_up 1"));
+        assert!(text.contains("stage=\"snap\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -36,14 +36,23 @@
 //! nanoseconds-since-run-start in each domain's own clock — exactly how
 //! Fig. 3 juxtaposes host threads and device engines.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 mod chrome;
+mod export;
+mod flight;
+mod health;
 mod histo;
 mod monitor;
 
+pub use export::{MetricsServer, PromWriter};
+pub use flight::{
+    FlightEvent, FlightHandle, FlightKind, FlightRing, DEFAULT_FLIGHT_CAPACITY, NO_BATCH,
+};
+pub use health::{HealthSnapshot, HealthStatus, PoolHealth, StageHealth};
 pub use histo::{LatencyHisto, LatencySnapshot};
 pub use monitor::{ThroughputWindow, Watchdog};
 
@@ -77,12 +86,14 @@ pub struct StageMetrics {
     queue_last: AtomicU64,
     first_ns: AtomicU64,
     last_ns: AtomicU64,
+    invocations: AtomicU64,
     latency: LatencyHisto,
+    flight: FlightHandle,
     spans: Mutex<Vec<(u64, u64)>>,
 }
 
 impl StageMetrics {
-    fn new(name: String, replica: usize, epoch: Instant) -> Self {
+    fn new(name: String, replica: usize, epoch: Instant, flight: FlightHandle) -> Self {
         StageMetrics {
             name,
             replica,
@@ -96,7 +107,9 @@ impl StageMetrics {
             queue_last: AtomicU64::new(0),
             first_ns: AtomicU64::new(u64::MAX),
             last_ns: AtomicU64::new(0),
+            invocations: AtomicU64::new(0),
             latency: LatencyHisto::new(),
+            flight,
             spans: Mutex::new(Vec::new()),
         }
     }
@@ -133,6 +146,24 @@ impl StageMetrics {
     pub(crate) fn queue_depth_now(&self) -> u64 {
         self.queue_last.load(Ordering::Relaxed)
     }
+    pub(crate) fn queue_hwm_now(&self) -> u64 {
+        self.queue_hwm.load(Ordering::Relaxed)
+    }
+    pub(crate) fn service_ns_now(&self) -> u64 {
+        self.service_ns.load(Ordering::Relaxed)
+    }
+    pub(crate) fn push_stalls_now(&self) -> u64 {
+        self.push_stalls.load(Ordering::Relaxed)
+    }
+    pub(crate) fn pop_waits_now(&self) -> u64 {
+        self.pop_waits.load(Ordering::Relaxed)
+    }
+    pub(crate) fn latency(&self) -> &LatencyHisto {
+        &self.latency
+    }
+    pub(crate) fn flight_emit(&self, kind: FlightKind, batch_id: u64, a: u64, b: u64) {
+        self.flight.emit(kind, batch_id, a, b);
+    }
 
     fn snapshot(&self) -> StageReport {
         StageReport {
@@ -154,12 +185,12 @@ impl StageMetrics {
 
 /// An in-progress service measurement returned by [`StageHandle::begin`].
 ///
-/// Holds the start timestamp only when the recorder is enabled; a
-/// disabled handle hands out `ServiceSpan(None)` without touching the
-/// clock.
+/// Holds the start timestamp and the replica-local invocation number
+/// only when the recorder is enabled; a disabled handle hands out
+/// `ServiceSpan(None)` without touching the clock.
 #[derive(Debug, Clone, Copy)]
 #[must_use = "pass the span back to StageHandle::end"]
-pub struct ServiceSpan(Option<u64>);
+pub struct ServiceSpan(Option<(u64, u64)>);
 
 /// Per-replica instrumentation handle given to a runtime's stage loop.
 ///
@@ -224,25 +255,43 @@ impl StageHandle {
     }
 
     /// Start timing one service invocation.
+    ///
+    /// Also drops a [`FlightKind::StageEnter`] event into the flight
+    /// ring (`a` = replica-local invocation number, `b` = last observed
+    /// queue depth) so the black box shows who was running when.
     #[inline]
     pub fn begin(&self) -> ServiceSpan {
-        ServiceSpan(self.0.as_ref().map(|m| m.now_ns()))
+        ServiceSpan(self.0.as_ref().map(|m| {
+            let start = m.now_ns();
+            let inv = m.invocations.fetch_add(1, Ordering::Relaxed) + 1;
+            m.flight.emit(
+                FlightKind::StageEnter,
+                NO_BATCH,
+                inv,
+                m.queue_last.load(Ordering::Relaxed),
+            );
+            (start, inv)
+        }))
     }
 
     /// Finish timing one service invocation started with [`begin`].
     ///
     /// Also records the invocation into the stage's service-latency
-    /// histogram (wait-free, allocation-free).
+    /// histogram (wait-free, allocation-free) and drops the matching
+    /// [`FlightKind::StageExit`] event (`a` = invocation number, `b` =
+    /// service ns) into the flight ring.
     ///
     /// [`begin`]: StageHandle::begin
     #[inline]
     pub fn end(&self, span: ServiceSpan) {
-        if let (Some(m), Some(start)) = (&self.0, span.0) {
+        if let (Some(m), Some((start, inv))) = (&self.0, span.0) {
             let end = m.now_ns();
             m.service_ns.fetch_add(end - start, Ordering::Relaxed);
             m.first_ns.fetch_min(start, Ordering::Relaxed);
             m.last_ns.fetch_max(end, Ordering::Relaxed);
             m.latency.record(end - start);
+            m.flight
+                .emit(FlightKind::StageExit, NO_BATCH, inv, end - start);
             m.push_span(start, end);
         }
     }
@@ -326,6 +375,10 @@ pub struct PoolCounters {
     misses: AtomicU64,
     outstanding: AtomicU64,
     shed: AtomicU64,
+    // Armed by `Recorder::register_pool`; sheds are rare enough that a
+    // flight event per shed is free, and they are exactly the events a
+    // post-mortem wants (a shedding pool is a backpressure symptom).
+    flight: OnceLock<FlightHandle>,
 }
 
 impl PoolCounters {
@@ -367,7 +420,10 @@ impl PoolCounters {
     /// A returned buffer was dropped because the pool was full.
     #[inline]
     pub fn shed_one(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        let total = self.shed.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(f) = self.flight.get() {
+            f.emit(FlightKind::PoolShed, NO_BATCH, total, 0);
+        }
     }
 
     /// Point-in-time snapshot of the gauges.
@@ -415,17 +471,131 @@ pub struct PoolReport {
     pub stats: PoolStats,
 }
 
+/// Auto-dump configuration armed by [`Recorder::arm_flight_dump`].
+#[derive(Debug, Default)]
+struct DumpCfg {
+    path: Option<PathBuf>,
+    storm_threshold: u64,
+    fired: bool,
+    escalated: bool,
+}
+
 #[derive(Debug)]
 pub(crate) struct Inner {
     pub(crate) epoch: Instant,
     pub(crate) stages: Mutex<Vec<Arc<StageMetrics>>>,
-    gpu: Mutex<Vec<EngineSpan>>,
-    e2e: LatencyHisto,
+    pub(crate) gpu: Mutex<Vec<EngineSpan>>,
+    pub(crate) e2e: LatencyHisto,
     flows: FlowBuf,
     pub(crate) windows: Mutex<Vec<WindowSample>>,
     pub(crate) stalls: Mutex<Vec<StallEvent>>,
-    faults: Mutex<Vec<FaultEvent>>,
-    pools: Mutex<Vec<(String, Arc<PoolCounters>)>>,
+    pub(crate) faults: Mutex<Vec<FaultEvent>>,
+    pub(crate) pools: Mutex<Vec<(String, Arc<PoolCounters>)>>,
+    pub(crate) flight: Arc<FlightRing>,
+    // Interned flight source labels; a FlightEvent's `src` indexes here.
+    flight_srcs: Mutex<Vec<String>>,
+    fault_seen: AtomicU64,
+    dump: Mutex<DumpCfg>,
+}
+
+impl Inner {
+    /// Intern `label` into the flight source table (idempotent).
+    fn intern_src(&self, label: &str) -> u32 {
+        let mut srcs = self.flight_srcs.lock().unwrap();
+        if let Some(i) = srcs.iter().position(|s| s == label) {
+            i as u32
+        } else {
+            srcs.push(label.to_string());
+            (srcs.len() - 1) as u32
+        }
+    }
+
+    fn flight_handle(&self, label: &str) -> FlightHandle {
+        FlightHandle::new(Arc::clone(&self.flight), self.intern_src(label))
+    }
+
+    fn flight_json(&self, reason: &str) -> String {
+        let events = self.flight.snapshot();
+        let srcs = self.flight_srcs.lock().unwrap().clone();
+        flight::dump_json(
+            reason,
+            self.epoch.elapsed().as_nanos() as u64,
+            &self.flight,
+            &events,
+            |id| srcs.get(id as usize).cloned(),
+        )
+    }
+
+    /// Write the armed dump file if one is armed and has not fired yet.
+    /// First trigger wins — the window closest to the incident is the
+    /// one worth keeping.
+    pub(crate) fn maybe_dump(&self, reason: &str) -> Option<PathBuf> {
+        let path = {
+            let mut cfg = self.dump.lock().unwrap();
+            if cfg.fired {
+                return None;
+            }
+            let path = cfg.path.clone()?;
+            cfg.fired = true;
+            path
+        };
+        let doc = self.flight_json(reason);
+        match std::fs::write(&path, doc) {
+            Ok(()) => {
+                eprintln!(
+                    "[flight] dumped recorder window to {} ({reason})",
+                    path.display()
+                );
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("[flight] failed to write dump {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    /// Count one fault event toward the storm threshold, dumping the
+    /// flight window when the run crosses it.
+    fn storm_tick(&self) {
+        let seen = self.fault_seen.fetch_add(1, Ordering::Relaxed) + 1;
+        let threshold = self.dump.lock().unwrap().storm_threshold;
+        if threshold > 0 && seen >= threshold {
+            self.maybe_dump(&format!("fault storm: {seen} fault events"));
+        }
+    }
+
+    /// The ladder bottoming out on the host is the most severe automatic
+    /// trigger: it fires even when a storm dump already did (the later
+    /// window subsumes it and includes the fallback itself), but only
+    /// once — a fallback-heavy run must not re-serialize the ring per
+    /// item.
+    pub(crate) fn dump_escalate(&self, reason: &str) {
+        let path = {
+            let mut cfg = self.dump.lock().unwrap();
+            if cfg.escalated {
+                return;
+            }
+            let Some(path) = cfg.path.clone() else {
+                return;
+            };
+            cfg.escalated = true;
+            cfg.fired = true;
+            path
+        };
+        let doc = self.flight_json(reason);
+        match std::fs::write(&path, doc) {
+            Ok(()) => {
+                eprintln!(
+                    "[flight] dumped recorder window to {} ({reason})",
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("[flight] failed to write dump {}: {e}", path.display());
+            }
+        }
+    }
 }
 
 /// The run-wide collector the runtimes thread through their builders.
@@ -440,9 +610,10 @@ pub struct Recorder {
 impl Recorder {
     /// An enabled recorder; its creation instant is the CPU time origin.
     pub fn enabled() -> Self {
+        let epoch = Instant::now();
         Recorder {
             inner: Some(Arc::new(Inner {
-                epoch: Instant::now(),
+                epoch,
                 stages: Mutex::new(Vec::new()),
                 gpu: Mutex::new(Vec::new()),
                 e2e: LatencyHisto::new(),
@@ -451,6 +622,10 @@ impl Recorder {
                 stalls: Mutex::new(Vec::new()),
                 faults: Mutex::new(Vec::new()),
                 pools: Mutex::new(Vec::new()),
+                flight: Arc::new(FlightRing::new(epoch)),
+                flight_srcs: Mutex::new(Vec::new()),
+                fault_seen: AtomicU64::new(0),
+                dump: Mutex::new(DumpCfg::default()),
             })),
         }
     }
@@ -472,7 +647,9 @@ impl Recorder {
         match &self.inner {
             None => StageHandle::noop(),
             Some(inner) => {
-                let m = Arc::new(StageMetrics::new(name.into(), replica, inner.epoch));
+                let name = name.into();
+                let flight = inner.flight_handle(&format!("{name}/{replica}"));
+                let m = Arc::new(StageMetrics::new(name, replica, inner.epoch, flight));
                 inner.stages.lock().unwrap().push(Arc::clone(&m));
                 StageHandle(Some(m))
             }
@@ -515,14 +692,36 @@ impl Recorder {
     /// No-op when disabled; never on the per-item hot path — faults are
     /// rare by construction, so a mutex push is fine here.
     pub fn fault(&self, stage: impl Into<String>, kind: FaultKind, detail: impl Into<String>) {
+        self.fault_in_batch(stage, kind, NO_BATCH, detail);
+    }
+
+    /// [`fault`](Self::fault) with a causal batch key: callers that know
+    /// which batch the fault belongs to (the workload driver's ladder)
+    /// pass its id so the flight recorder can stitch a batch's whole
+    /// journey — fault, halvings, retries, fallback — back together.
+    pub fn fault_in_batch(
+        &self,
+        stage: impl Into<String>,
+        kind: FaultKind,
+        batch_id: u64,
+        detail: impl Into<String>,
+    ) {
         if let Some(inner) = &self.inner {
+            let stage = stage.into();
             let ev = FaultEvent {
                 t_ns: inner.epoch.elapsed().as_nanos() as u64,
-                stage: stage.into(),
+                stage,
                 kind,
                 detail: detail.into(),
             };
+            let src = inner.intern_src(&ev.stage);
+            inner.flight.emit(kind.flight_kind(), src, batch_id, 0, 0);
+            let stage = ev.stage.clone();
             inner.faults.lock().unwrap().push(ev);
+            inner.storm_tick();
+            if kind == FaultKind::CpuFallback {
+                inner.dump_escalate(&format!("cpu fallback: {stage} (batch {batch_id})"));
+            }
         }
     }
 
@@ -533,6 +732,11 @@ impl Recorder {
     pub fn register_pool(&self, name: impl Into<String>, counters: &Arc<PoolCounters>) {
         if let Some(inner) = &self.inner {
             let name = name.into();
+            // Arm the pool's shed events into the flight ring (first
+            // registration wins; OnceLock keeps shed_one branch-cheap).
+            let _ = counters
+                .flight
+                .set(inner.flight_handle(&format!("pool:{name}")));
             let mut pools = inner.pools.lock().unwrap();
             if let Some(slot) = pools.iter_mut().find(|(n, _)| *n == name) {
                 slot.1 = Arc::clone(counters);
@@ -573,6 +777,106 @@ impl Recorder {
 
     pub(crate) fn window_sample_cap() -> usize {
         MAX_WINDOW_SAMPLES
+    }
+
+    // ── Live observability plane ────────────────────────────────────
+
+    /// An emitter into the flight ring bound to the interned source
+    /// `label` (e.g. a driver stage, `"gpu0"`). Noop when disabled.
+    pub fn flight_handle(&self, label: &str) -> FlightHandle {
+        match &self.inner {
+            None => FlightHandle::noop(),
+            Some(inner) => inner.flight_handle(label),
+        }
+    }
+
+    /// Decode the flight ring's currently visible window (oldest first).
+    pub fn flight_snapshot(&self) -> Vec<FlightEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.flight.snapshot(),
+        }
+    }
+
+    /// Resolve a flight event's `src` id back to its interned label.
+    pub fn flight_src_label(&self, src: u32) -> Option<String> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.flight_srcs.lock().unwrap().get(src as usize).cloned())
+    }
+
+    /// Render the flight window as the dump JSON document (schema
+    /// `hetstream.flight.v1`) without touching the filesystem — what the
+    /// live endpoint's `/flight` route serves.
+    pub fn flight_json(&self, reason: &str) -> String {
+        match &self.inner {
+            None => String::from(
+                "{\n  \"schema\": \"hetstream.flight.v1\",\n  \"reason\": \"recorder disabled\",\n  \"events\": []\n}\n",
+            ),
+            Some(inner) => inner.flight_json(reason),
+        }
+    }
+
+    /// Arm the flight recorder's auto-dump: on the first watchdog stall,
+    /// or once `storm_threshold` fault events accumulate (0 disables the
+    /// storm trigger), the visible window is written to `path` as JSON.
+    /// First trigger wins, with one exception: the first CPU fallback
+    /// escalates over an earlier stall/storm dump, rewriting `path` with
+    /// the later window (which subsumes it and includes the fallback).
+    pub fn arm_flight_dump(&self, path: impl Into<PathBuf>, storm_threshold: u64) {
+        if let Some(inner) = &self.inner {
+            let mut cfg = inner.dump.lock().unwrap();
+            cfg.path = Some(path.into());
+            cfg.storm_threshold = storm_threshold;
+            cfg.fired = false;
+            cfg.escalated = false;
+        }
+    }
+
+    /// Force the armed dump to fire now (e.g. from a signal handler or a
+    /// test); returns the written path. `None` when disabled, unarmed,
+    /// or already fired.
+    pub fn dump_flight_now(&self, reason: &str) -> Option<PathBuf> {
+        self.inner.as_ref().and_then(|i| i.maybe_dump(reason))
+    }
+
+    /// Render the live Prometheus text exposition (format 0.0.4). A
+    /// disabled recorder reports `hetstream_up 0` and nothing else.
+    pub fn prometheus(&self) -> String {
+        match &self.inner {
+            None => export::render_disabled(),
+            Some(inner) => export::render_prometheus(inner),
+        }
+    }
+
+    /// Compute the one-struct health snapshot — queue depths, per-stage
+    /// p99, fault/retry/fallback rates, pool hit rates, watchdog state.
+    pub fn health(&self) -> HealthSnapshot {
+        match &self.inner {
+            None => HealthSnapshot::default(),
+            Some(inner) => health::snapshot(inner),
+        }
+    }
+
+    /// Serve `/metrics`, `/health` and `/flight` over blocking TCP at
+    /// `addr` (`"127.0.0.1:0"` picks a free port — see
+    /// [`MetricsServer::addr`]). Works for disabled recorders too, which
+    /// serve the `hetstream_up 0` document.
+    pub fn serve_metrics(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<MetricsServer> {
+        MetricsServer::start(self.clone(), addr)
+    }
+
+    /// Write the Prometheus exposition to `path` every `every`, plus one
+    /// final snapshot at stop — the offline twin of
+    /// [`serve_metrics`](Self::serve_metrics). Inert when disabled.
+    pub fn write_prom_snapshots(&self, path: impl AsRef<Path>, every: Duration) -> PromWriter {
+        match &self.inner {
+            None => PromWriter::inert(),
+            Some(_) => PromWriter::start(self.clone(), path.as_ref().to_path_buf(), every),
+        }
     }
 
     /// Snapshot everything collected so far.
@@ -750,6 +1054,17 @@ impl FaultKind {
             FaultKind::StageError => "stage_error",
             FaultKind::Retry => "retry",
             FaultKind::CpuFallback => "cpu_fallback",
+        }
+    }
+
+    /// The flight-recorder event kind mirroring this fault kind.
+    pub fn flight_kind(&self) -> FlightKind {
+        match self {
+            FaultKind::DeviceOom => FlightKind::DeviceOom,
+            FaultKind::KernelFault => FlightKind::KernelFault,
+            FaultKind::StageError => FlightKind::StageError,
+            FaultKind::Retry => FlightKind::Retry,
+            FaultKind::CpuFallback => FlightKind::CpuFallback,
         }
     }
 }

@@ -38,8 +38,7 @@ impl ThroughputWindow {
             .name("telemetry-window".into())
             .spawn(move || {
                 let cap = crate::Recorder::window_sample_cap();
-                while !stop2.load(Ordering::Acquire) {
-                    std::thread::sleep(tick);
+                while !sliced_sleep(tick, &stop2) {
                     let sample = take_sample(&inner);
                     let mut windows = inner.windows.lock().unwrap();
                     if windows.len() < cap {
@@ -71,6 +70,22 @@ impl Drop for ThroughputWindow {
     fn drop(&mut self) {
         self.halt();
     }
+}
+
+/// Sleep `tick` in ≤10 ms slices, returning early (true) once `stop` is
+/// raised — so `stop()`/`drop` join promptly however long the tick, and
+/// a final scan can run *after* the flag instead of being slept away.
+fn sliced_sleep(tick: Duration, stop: &AtomicBool) -> bool {
+    let mut slept = Duration::ZERO;
+    while slept < tick {
+        if stop.load(Ordering::Acquire) {
+            return true;
+        }
+        let step = (tick - slept).min(Duration::from_millis(10));
+        std::thread::sleep(step);
+        slept += step;
+    }
+    stop.load(Ordering::Acquire)
 }
 
 fn take_sample(inner: &Inner) -> WindowSample {
@@ -134,10 +149,15 @@ impl Watchdog {
             .name("telemetry-watchdog".into())
             .spawn(move || {
                 let mut tracked: Vec<Tracked> = Vec::new();
-                while !stop2.load(Ordering::Acquire) {
-                    std::thread::sleep(tick);
+                while !sliced_sleep(tick, &stop2) {
                     scan(&inner2, &mut tracked, stall_ticks);
                 }
+                // A stall episode can mature during the final sleep; one
+                // last scan flushes it as a StallEvent instead of
+                // silently dropping it at stop(). (Sub-threshold
+                // episodes still end unreported — a run's natural tail
+                // is not a stall.)
+                scan(&inner2, &mut tracked, stall_ticks);
             })
             .expect("spawn watchdog");
         Watchdog {
@@ -224,6 +244,13 @@ fn scan(inner: &Arc<Inner>, tracked: &mut Vec<Tracked>, stall_ticks: u32) {
         let pending = (g > 0 && group_in[g] < upstream_out) || m.queue_depth_now() > 0;
         if t.stalled_ticks >= stall_ticks && pending && !t.reported {
             t.reported = true;
+            let queue_depth = m.queue_depth_now();
+            m.flight_emit(
+                crate::FlightKind::Stall,
+                crate::NO_BATCH,
+                t.stalled_ticks as u64,
+                queue_depth,
+            );
             inner.stalls.lock().unwrap().push(StallEvent {
                 t_ns,
                 stage: m.name().to_string(),
@@ -232,8 +259,16 @@ fn scan(inner: &Arc<Inner>, tracked: &mut Vec<Tracked>, stall_ticks: u32) {
                 items_in: m.items_in_now(),
                 items_out: out_now,
                 upstream_out,
-                queue_depth: m.queue_depth_now(),
+                queue_depth,
             });
+            // A stall is the flight recorder's marquee trigger: dump the
+            // window while the evidence is still in the ring.
+            inner.maybe_dump(&format!(
+                "watchdog stall: {}/{} ({} ticks, queue={queue_depth})",
+                m.name(),
+                m.replica(),
+                t.stalled_ticks
+            ));
         }
     }
 }

@@ -36,11 +36,12 @@
 #![deny(missing_docs)]
 #![deny(clippy::unwrap_used)]
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fastflow::FaultPolicy;
 use gpusim::GpuSystem;
-use telemetry::{FaultKind, Recorder};
+use telemetry::{FaultKind, FlightHandle, FlightKind, Recorder};
 
 /// Why a batch failed on the device: the two operational fault classes the
 /// recovery ladder absorbs (allocation refusals and launch refusals).
@@ -187,6 +188,13 @@ pub struct Done<W: Workload> {
 pub struct WorkloadDriver<W: Workload> {
     work: W,
     rec: Recorder,
+    /// Shared causal batch-id spring: every [`process_into`] call draws a
+    /// fresh non-zero id so the flight recorder can stitch one batch's
+    /// whole ladder journey together across replicas.
+    ///
+    /// [`process_into`]: WorkloadDriver::process_into
+    batch_ids: Arc<AtomicU64>,
+    flight: FlightHandle,
 }
 
 impl<W: Workload> Clone for WorkloadDriver<W> {
@@ -194,6 +202,8 @@ impl<W: Workload> Clone for WorkloadDriver<W> {
         WorkloadDriver {
             work: self.work.clone(),
             rec: self.rec.clone(),
+            batch_ids: Arc::clone(&self.batch_ids),
+            flight: self.flight.clone(),
         }
     }
 }
@@ -204,17 +214,27 @@ impl<W: Workload> WorkloadDriver<W> {
         WorkloadDriver {
             work,
             rec: Recorder::default(),
+            batch_ids: Arc::new(AtomicU64::new(0)),
+            flight: FlightHandle::noop(),
         }
     }
 
     /// Attach a telemetry recorder; the workload's pools/gauges are
-    /// registered immediately when it is live.
+    /// registered immediately when it is live, and the driver's flight
+    /// emitter binds to `driver:<stage_label>`.
     pub fn with_recorder(mut self, rec: Recorder) -> Self {
         if rec.is_enabled() {
             self.work.register_telemetry(&rec);
         }
+        self.flight = rec.flight_handle(&format!("driver:{}", self.work.stage_label()));
         self.rec = rec;
         self
+    }
+
+    /// Draw the next causal batch id (non-zero; `0` is
+    /// [`NO_BATCH`](telemetry::NO_BATCH)).
+    fn next_batch_id(&self) -> u64 {
+        self.batch_ids.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// The wrapped workload description.
@@ -256,28 +276,34 @@ impl<W: Workload> WorkloadDriver<W> {
         let w = &self.work;
         let policy = w.policy();
         let stage = w.stage_label();
+        let units = w.split_units(item);
+        let batch_id = self.next_batch_id();
+        self.flight
+            .emit(FlightKind::BatchFormed, batch_id, units as u64, 0);
         let mut attempts = 0u32;
         loop {
             attempts += 1;
             match w.try_gpu_batch(gpu, item, out) {
                 Ok(()) => return,
                 Err(fault) => {
-                    self.rec.fault(stage, fault.kind(), fault.to_string());
-                    let units = w.split_units(item);
+                    self.rec
+                        .fault_in_batch(stage, fault.kind(), batch_id, fault.to_string());
                     if matches!(fault, WorkloadFault::Oom(_)) && units > 1 {
-                        self.rec.fault(
+                        self.rec.fault_in_batch(
                             stage,
                             FaultKind::Retry,
+                            batch_id,
                             format!("{}: retrying as halved sub-batches", w.describe(item)),
                         );
-                        if self.split_range(gpu, item, 0, units, out) {
+                        if self.split_range(gpu, item, batch_id, 0, units, out) {
                             return;
                         }
                         break; // device abandoned for this item
                     } else if attempts <= policy.max_retries {
-                        self.rec.fault(
+                        self.rec.fault_in_batch(
                             stage,
                             FaultKind::Retry,
+                            batch_id,
                             format!("{}: attempt {}", w.describe(item), attempts + 1),
                         );
                         if !policy.backoff.is_zero() {
@@ -289,9 +315,10 @@ impl<W: Workload> WorkloadDriver<W> {
                 }
             }
         }
-        self.rec.fault(
+        self.rec.fault_in_batch(
             stage,
             FaultKind::CpuFallback,
+            batch_id,
             format!("{}: computing on the host", w.describe(item)),
         );
         w.cpu_batch(item, out);
@@ -304,6 +331,7 @@ impl<W: Workload> WorkloadDriver<W> {
         &self,
         gpu: &mut W::Gpu,
         item: &W::Item,
+        batch_id: u64,
         lo: usize,
         hi: usize,
         out: &mut W::Batch,
@@ -317,20 +345,25 @@ impl<W: Workload> WorkloadDriver<W> {
             match w.try_gpu_split(gpu, item, lo, hi, out) {
                 Ok(()) => return true,
                 Err(fault) => {
-                    self.rec.fault(stage, fault.kind(), fault.to_string());
+                    self.rec
+                        .fault_in_batch(stage, fault.kind(), batch_id, fault.to_string());
                     if matches!(fault, WorkloadFault::Oom(_)) && hi - lo > 1 {
                         let mid = lo + (hi - lo) / 2;
-                        self.rec.fault(
+                        self.flight
+                            .emit(FlightKind::OomHalve, batch_id, lo as u64, hi as u64);
+                        self.rec.fault_in_batch(
                             stage,
                             FaultKind::Retry,
+                            batch_id,
                             format!("{}: halving units {lo}..{hi}", w.describe(item)),
                         );
-                        return self.split_range(gpu, item, lo, mid, out)
-                            && self.split_range(gpu, item, mid, hi, out);
+                        return self.split_range(gpu, item, batch_id, lo, mid, out)
+                            && self.split_range(gpu, item, batch_id, mid, hi, out);
                     } else if attempts <= policy.max_retries {
-                        self.rec.fault(
+                        self.rec.fault_in_batch(
                             stage,
                             FaultKind::Retry,
+                            batch_id,
                             format!(
                                 "{}: units {lo}..{hi} attempt {}",
                                 w.describe(item),
@@ -409,6 +442,9 @@ pub fn arm_gpu_traces(system: &Arc<GpuSystem>, rec: &Recorder) {
     if rec.is_enabled() {
         for d in 0..system.device_count() {
             system.device(d).enable_trace();
+            system
+                .device(d)
+                .attach_flight(rec.flight_handle(&format!("gpu{d}")));
             rec.register_pool(format!("gpu{d}.cache"), &system.device(d).cache_counters());
         }
     }

@@ -58,6 +58,12 @@ pub use workload;
 /// * **Memory & telemetry** — [`BufPool`](fastflow::BufPool) /
 ///   [`Recycler`](fastflow::Recycler) and the
 ///   [`Recorder`](telemetry::Recorder).
+/// * **Live observability** — the flight recorder
+///   ([`FlightHandle`](telemetry::FlightHandle) /
+///   [`FlightKind`](telemetry::FlightKind)), the Prometheus endpoint
+///   ([`Recorder::serve_metrics`](telemetry::Recorder::serve_metrics) →
+///   [`MetricsServer`](telemetry::MetricsServer)) and the
+///   [`HealthSnapshot`](telemetry::HealthSnapshot) contract.
 ///
 /// Deeper paths stay public but are *advanced* API — reach for them only
 /// when the blessed surface is not enough: `fastflow::{spsc, channel,
@@ -72,7 +78,10 @@ pub mod prelude {
     };
     pub use gpusim::{CudaOffload, GpuSystem, HostRing, OclOffload, Offload, OffloadApi};
     pub use spar::{to_stream, SparConfig, ToStream};
-    pub use telemetry::{Recorder, TelemetryReport};
+    pub use telemetry::{
+        FlightEvent, FlightHandle, FlightKind, HealthSnapshot, HealthStatus, MetricsServer,
+        PromWriter, Recorder, TelemetryReport, NO_BATCH,
+    };
     pub use workload::{
         arm_gpu_traces, drain_gpu_traces, Done, Workload, WorkloadDriver, WorkloadFault,
         WorkloadNode,

@@ -62,3 +62,36 @@ fn disabled_probes_stay_branch_only() {
         per_stamp / 2.0
     );
 }
+
+/// The flight recorder obeys the same discipline: a noop handle (disabled
+/// recorder) is one branch, and an enabled emit — clock read, seq claim,
+/// five relaxed stores, release publish — stays well under the cost of
+/// the work any instrumented hot loop does per item.
+#[test]
+fn flight_emit_cost_is_bounded() {
+    let disabled = Recorder::disabled();
+    let noop = disabled.flight_handle("bench");
+    let per_noop = ns_per_iter(|| {
+        for i in 0..ITERS {
+            noop.emit(FlightKind::BatchFormed, black_box(i), 1, 2);
+        }
+    });
+    assert!(
+        per_noop < 20.0,
+        "noop flight emit cost {per_noop:.2} ns — no longer branch-only?"
+    );
+
+    let rec = Recorder::enabled();
+    let handle = rec.flight_handle("bench");
+    let per_emit = ns_per_iter(|| {
+        for i in 0..ITERS {
+            handle.emit(FlightKind::BatchFormed, black_box(i), 1, 2);
+        }
+    });
+    // ~25-60 ns on the dev box (dominated by the clock read); 250 ns is
+    // generous for CI yet still catches an accidental lock or allocation.
+    assert!(
+        per_emit < 250.0,
+        "enabled flight emit cost {per_emit:.2} ns — lock or allocation on the emit path?"
+    );
+}

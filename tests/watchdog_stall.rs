@@ -65,6 +65,26 @@ fn watchdog_reports_an_artificially_wedged_stage() {
     assert_eq!(report.stalls.len(), stalls.len());
 }
 
+/// A stall episode still open when the watchdog is stopped must be
+/// flushed as a final [`StallEvent`], not silently dropped: the tick here
+/// (10 s) is far longer than the test, so the *only* scan that can run is
+/// the final one `stop()` forces after the sleep loop exits.
+#[test]
+fn stop_flushes_a_stall_episode_still_open_at_shutdown() {
+    let rec = Recorder::enabled();
+    let stage = rec.stage("wedged", 0);
+    // Work is queued for the stage but items_out never advances — the
+    // definition of a stall, held open across stop().
+    stage.item_in(3);
+    let watchdog = rec.watchdog(Duration::from_secs(10), 1);
+    // Give the watchdog thread time to enter its (sliced) sleep.
+    std::thread::sleep(Duration::from_millis(30));
+    let stalls = watchdog.stop();
+    assert_eq!(stalls.len(), 1, "open episode must be flushed at stop()");
+    assert_eq!(stalls[0].stage, "wedged");
+    assert!(stalls[0].queue_depth > 0);
+}
+
 /// The same pipeline without the gate: nothing stalls, the watchdog stays
 /// quiet (no false positives from a fast healthy run).
 #[test]
