@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Data-path benchmark runner. Fully offline.
 #
-#   ./bench.sh                 # full run, writes BENCH_pr3/pr5/pr7.json
+#   ./bench.sh                 # full run, writes BENCH_pr3/pr5/pr7/pr8.json
 #   ./bench.sh out.json        # same, custom pr3 output path
 #   BENCH_SMOKE=1 ./bench.sh   # CI smoke: same benches, skips the timing-ratio
 #                              # assertions (shared CI boxes are too noisy to
@@ -19,6 +19,9 @@
 #     allocs-per-batch (counting allocator) — written to BENCH_pr5.json
 #   - the PR 7 flight-recorder bench: noop vs enabled emit cost and the
 #     contended-ring overwrite behaviour — written to BENCH_pr7.json
+#   - the PR 8 raw-speed bench: the three SIMD kernels vs their scalar
+#     references and the zero-copy offload round trip (bytes copied per
+#     batch from the telemetry ledger) — written to BENCH_pr8.json
 # plus the wall-clock of a real `fig1 --tiny` end-to-end run.
 #
 # Output schema ("hetstream.bench.v1"):
@@ -33,6 +36,7 @@ cd "$(dirname "$0")"
 OUT="${1:-BENCH_pr3.json}"
 OUT5="${2:-BENCH_pr5.json}"
 OUT7="${3:-BENCH_pr7.json}"
+OUT8="${4:-BENCH_pr8.json}"
 SMOKE="${BENCH_SMOKE:-0}"
 # cargo runs bench binaries with the package dir as CWD; hand it absolute paths.
 case "$OUT" in
@@ -46,6 +50,10 @@ esac
 case "$OUT7" in
     /*) OUT7_ABS="$OUT7" ;;
     *) OUT7_ABS="$PWD/$OUT7" ;;
+esac
+case "$OUT8" in
+    /*) OUT8_ABS="$OUT8" ;;
+    *) OUT8_ABS="$PWD/$OUT8" ;;
 esac
 
 echo "== build (release, offline) =="
@@ -61,7 +69,8 @@ echo "fig1 --tiny wall: ${FIG1_WALL}s"
 echo "== data-path micro-benches =="
 HETSTREAM_FIG1_TINY_WALL_S="$FIG1_WALL" \
     cargo bench --offline -p bench --bench datapath -- \
-    --json "$OUT_ABS" --json-pr5 "$OUT5_ABS" --json-pr7 "$OUT7_ABS"
+    --json "$OUT_ABS" --json-pr5 "$OUT5_ABS" --json-pr7 "$OUT7_ABS" \
+    --json-pr8 "$OUT8_ABS"
 
 echo "== summary ($OUT) =="
 cat "$OUT"
@@ -69,6 +78,8 @@ echo "== summary ($OUT5) =="
 cat "$OUT5"
 echo "== summary ($OUT7) =="
 cat "$OUT7"
+echo "== summary ($OUT8) =="
+cat "$OUT8"
 
 # The headline claim of the batched data path: multi-push/multi-pop must be
 # at least 2x single-item ops on the raw SPSC micro-bench.
@@ -117,6 +128,29 @@ if [[ "$SMOKE" != "1" ]] && ! awk -v e="$enabled_ns" 'BEGIN{exit !(e < 250.0)}';
     echo "FAIL: enabled flight emit ${enabled_ns} ns is above the 250 ns budget" >&2
     exit 1
 fi
+# PR 8 gates. Bytes-copied-per-batch comes from a deterministic ledger (the
+# same transfers run every time), so the zero-copy gate holds even in smoke
+# mode; the SIMD speedup floor is a timing ratio and is skipped there.
+staging_bpb=$(grep -o '"staging_bytes_per_batch": [0-9.]*' "$OUT8" | grep -o '[0-9.]*$')
+copies_pb=$(grep -o '"copies_per_batch": [0-9.]*' "$OUT8" | grep -o '[0-9.]*$')
+best_simd=$(grep -o '"best_simd_speedup": [0-9.]*' "$OUT8" | grep -o '[0-9.]*$')
+if [[ -z "$staging_bpb" || -z "$copies_pb" || -z "$best_simd" ]]; then
+    echo "FAIL: $OUT8 is missing staging_bytes_per_batch / copies_per_batch / best_simd_speedup" >&2
+    exit 1
+fi
+if ! awk -v b="$staging_bpb" 'BEGIN{exit !(b == 0.0)}'; then
+    echo "FAIL: pinned pooled path copied ${staging_bpb} bytes per batch (must be 0)" >&2
+    exit 1
+fi
+if ! awk -v c="$copies_pb" 'BEGIN{exit !(c == 0.0)}'; then
+    echo "FAIL: pinned pooled path performed ${copies_pb} copies per batch (must be 0)" >&2
+    exit 1
+fi
+if [[ "$SMOKE" != "1" ]] && ! awk -v s="$best_simd" 'BEGIN{exit !(s >= 1.5)}'; then
+    echo "FAIL: best SIMD kernel speedup ${best_simd}x is below the 1.5x floor" >&2
+    exit 1
+fi
 echo "bench.sh: done (spsc batched speedup: ${speedup}x," \
      "pooled batch speedup: ${pooled}x, pool hit rate: ${hitrate}," \
-     "flight emit: ${noop_ns} ns noop / ${enabled_ns} ns enabled)"
+     "flight emit: ${noop_ns} ns noop / ${enabled_ns} ns enabled," \
+     "zero-copy: ${staging_bpb} B/batch, best SIMD speedup: ${best_simd}x)"

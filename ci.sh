@@ -101,7 +101,7 @@ sleep 0.5
 scrape scrape2.prom || { echo "FAIL: second live /metrics scrape failed" >&2; exit 1; }
 wait "$LIVE_PID" || { echo "FAIL: live fig1 run exited non-zero" >&2; cat fig1_live.log >&2; exit 1; }
 for fam in hetstream_up hetstream_stage_items_out_total hetstream_faults_total \
-           hetstream_flight_events_total; do
+           hetstream_flight_events_total hetstream_copy_bytes_total; do
     grep -q "# TYPE $fam" scrape1.prom || {
         echo "FAIL: live exposition is missing family $fam" >&2
         exit 1
@@ -149,7 +149,14 @@ echo "== pool stress + steady-state allocation gate (named rerun) =="
 cargo test --release --offline -p fastflow --test pool_stress
 cargo test --release --offline --test steady_state_no_alloc
 
-echo "== bench.sh smoke (writes BENCH_pr3/pr5/pr7.json) =="
+echo "== SIMD bit-exactness + zero-copy steady-state gates (named rerun) =="
+# The raw-speed pass's two contracts: every vectorized kernel must agree
+# with its scalar reference byte-for-byte, and the pooled pinned offload
+# path must perform zero host-side copies per batch after warmup.
+cargo test --release --offline --test simd_exactness
+cargo test --release --offline --test steady_state_no_copy
+
+echo "== bench.sh smoke (writes BENCH_pr3/pr5/pr7/pr8.json) =="
 BENCH_SMOKE=1 ./bench.sh
 test -s BENCH_pr3.json
 grep -q '"schema": "hetstream.bench.v1"' BENCH_pr3.json
@@ -162,6 +169,12 @@ grep -q '"schema": "hetstream.bench.v1"' BENCH_pr7.json
 grep -q '"entry": "pr7"' BENCH_pr7.json
 grep -q '"flight_events_per_s"' BENCH_pr7.json
 grep -q '"probe_overhead_delta_ns"' BENCH_pr7.json
+test -s BENCH_pr8.json
+grep -q '"schema": "hetstream.bench.v1"' BENCH_pr8.json
+grep -q '"entry": "pr8"' BENCH_pr8.json
+grep -q '"staging_bytes_per_batch"' BENCH_pr8.json
+grep -q '"copies_per_batch"' BENCH_pr8.json
+grep -q '"best_simd_speedup"' BENCH_pr8.json
 
 echo
 echo "ci.sh: all gates passed"

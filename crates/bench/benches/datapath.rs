@@ -21,6 +21,14 @@
 //! `--json-pr7 <path>` to emit those rows plus the emit-cost deltas as
 //! `BENCH_pr7.json`.
 //!
+//! PR 8 adds the raw-speed rows: the three runtime-dispatched SIMD
+//! kernels against their scalar references (`mandel_iterate`,
+//! `sha1_compress`, `rabin_scan`) and the zero-copy offload round trip
+//! (`offload_roundtrip`, pinned pooled path vs the pre-PR-8 unpinned
+//! bounce), with per-batch copied-byte figures from the
+//! `telemetry::copy` ledger. Pass `--json-pr8 <path>` to emit
+//! `BENCH_pr8.json`.
+//!
 //! Keep runs short: the reproduction box can be a single core, so the
 //! numbers measure per-item overhead, not parallel speedup — which is
 //! exactly what the batching layer targets.
@@ -471,6 +479,172 @@ fn bench_flight(results: &mut Vec<Result>) -> FlightStats {
     }
 }
 
+/// Per-batch copied-byte figures for the two offload round-trip modes.
+struct CopyPathStats {
+    /// Host-side staging bytes per batch on the pinned pooled path
+    /// (the zero-copy claim: must be 0).
+    staging_bytes_per_batch: f64,
+    /// Host-side copy *operations* per batch on the pinned pooled path.
+    copies_per_batch: f64,
+    /// Bytes bounced per batch when the same transfers run against
+    /// unregistered host memory — the pre-PR-8 cost being deleted.
+    unpinned_bytes_per_batch: f64,
+}
+
+/// PR 8: the three SIMD kernels against their scalar references. All
+/// three dispatchers fall back to the reference off x86, in which case
+/// the "simd" rows simply reproduce the scalar numbers.
+fn bench_simd_kernels(results: &mut Vec<Result>) {
+    // Mandelbrot escape iteration: rows crossing the set interior, so
+    // lanes run the full iteration budget and the 4-wide win shows.
+    {
+        let params = mandel::FractalParams::view(1024, 2000);
+        let step = params.step();
+        let rows = [256usize, 400, 512, 700];
+        let items = (params.dim * rows.len()) as u64;
+        let mut out = vec![0u32; params.dim];
+        let secs = median_secs(5, || {
+            for &row in &rows {
+                let ci = params.init_b + step * row as f64;
+                mandel::simd::iterate_line_scalar(params.init_a, step, ci, params.niter, &mut out);
+                black_box(out.last());
+            }
+        });
+        record(results, "mandel_iterate", "scalar", items, secs);
+        let secs = median_secs(5, || {
+            for &row in &rows {
+                let ci = params.init_b + step * row as f64;
+                mandel::simd::iterate_line(params.init_a, step, ci, params.niter, &mut out);
+                black_box(out.last());
+            }
+        });
+        record(results, "mandel_iterate", "simd", items, secs);
+    }
+
+    // SHA-1 compression: 8-message groups, multi-buffer vs eight scalar
+    // compressions. Items are 64-byte blocks.
+    {
+        const GROUPS: usize = 4096;
+        let blocks: [[u8; 64]; 8] =
+            std::array::from_fn(|l| std::array::from_fn(|i| (l * 64 + i) as u8));
+        let iv = [
+            0x6745_2301u32,
+            0xEFCD_AB89,
+            0x98BA_DCFE,
+            0x1032_5476,
+            0xC3D2_E1F0,
+        ];
+        let items = (GROUPS * 8) as u64;
+        let secs = median_secs(5, || {
+            let mut states = [iv; 8];
+            for _ in 0..GROUPS {
+                for (h, block) in states.iter_mut().zip(&blocks) {
+                    dedup::sha1::compress_block(h, block);
+                }
+            }
+            black_box(states[0][0]);
+        });
+        record(results, "sha1_compress", "scalar", items, secs);
+        let secs = median_secs(5, || {
+            let mut states = [iv; 8];
+            for _ in 0..GROUPS {
+                dedup::sha1mb::compress8(&mut states, &blocks);
+            }
+            black_box(states[0][0]);
+        });
+        record(results, "sha1_compress", "simd", items, secs);
+    }
+
+    // Rabin boundary scan: branchless two-phase scan vs the streaming
+    // ring-buffer reference. Items are input bytes.
+    {
+        const LEN: usize = 1 << 20;
+        let mut s = 7u64;
+        let data: Vec<u8> = (0..LEN)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s.wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8
+            })
+            .collect();
+        let params = dedup::RabinParams::default();
+        let secs = median_secs(5, || {
+            black_box(dedup::rabin::chunk_starts_reference(&data, &params).len());
+        });
+        record(results, "rabin_scan", "scalar", LEN as u64, secs);
+        let secs = median_secs(5, || {
+            black_box(dedup::rabin::chunk_starts(&data, &params).len());
+        });
+        record(results, "rabin_scan", "simd", LEN as u64, secs);
+    }
+}
+
+/// PR 8: the offload round trip through the pooled pinned path (device
+/// results land straight in the recycled batch buffer) against the same
+/// transfers forced through unregistered memory (the driver bounce the
+/// pinned registry exists to delete). Copied bytes come from the global
+/// `telemetry::copy` ledger, differenced around each timed sweep.
+fn bench_copy_path(results: &mut Vec<Result>) -> CopyPathStats {
+    use gpusim::Offload;
+
+    const BATCHES: u64 = 16;
+    let system = gpusim::GpuSystem::new(1, gpusim::DeviceProps::titan_xp());
+    let params = mandel::FractalParams::view(64, 200);
+    let batch_size = params.dim / BATCHES as usize;
+
+    // Pinned pooled path: warm the pools, then measure.
+    let mut gpu = mandel::hybrid::BatchCompute::<gpusim::CudaOffload>::new(&system, 0);
+    let mut out = Vec::new();
+    let sweep = |gpu: &mut mandel::hybrid::BatchCompute<gpusim::CudaOffload>, out: &mut Vec<u8>| {
+        for b in 0..BATCHES as usize {
+            gpu.try_compute_batch_into(&params, b, batch_size, out)
+                .expect("no faults injected");
+            telemetry::copy::record_batch();
+        }
+    };
+    for _ in 0..3 {
+        sweep(&mut gpu, &mut out);
+    }
+    let before = telemetry::copy::snapshot();
+    let secs = median_secs(5, || sweep(&mut gpu, &mut out));
+    let delta = telemetry::copy::snapshot().since(&before);
+    record(results, "offload_roundtrip", "pinned", BATCHES, secs);
+    let staging_bytes_per_batch = delta.bytes_copied() as f64 / delta.batches.max(1) as f64;
+    let copies_per_batch = delta.copy_ops() as f64 / delta.batches.max(1) as f64;
+
+    // Unpinned contrast: the same readback volume into an unregistered
+    // staging vector, then the host memcpy into the batch buffer — the
+    // two-hop shape the zero-copy verbs replaced.
+    let mut off = gpusim::CudaOffload::attach(&system, 0);
+    let len = batch_size * params.dim;
+    let dev = off
+        .try_alloc::<u8>(len)
+        .expect("device has room for one batch");
+    let mut staging = vec![0u8; len];
+    let mut batches = 0u64;
+    let before = telemetry::copy::snapshot();
+    let secs = median_secs(5, || {
+        for _ in 0..BATCHES {
+            off.d2h(&dev, &mut staging);
+            off.sync();
+            out.clear();
+            out.extend_from_slice(&staging);
+            black_box(out.last());
+            batches += 1;
+        }
+    });
+    let delta = telemetry::copy::snapshot().since(&before);
+    record(results, "offload_roundtrip", "unpinned", BATCHES, secs);
+    let unpinned_bytes_per_batch = delta.bytes_copied() as f64 / batches.max(1) as f64;
+
+    CopyPathStats {
+        staging_bytes_per_batch,
+        copies_per_batch,
+        unpinned_bytes_per_batch,
+    }
+}
+
 fn find(results: &[Result], bench: &str, mode: &str) -> Option<f64> {
     results
         .iter()
@@ -588,6 +762,50 @@ fn write_json_pr7(path: &str, results: &[Result], flight: &FlightStats) {
     println!("wrote {path}");
 }
 
+fn write_json_pr8(path: &str, results: &[Result], copies: &CopyPathStats) {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let mut rows = String::new();
+    for (i, r) in results
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.bench,
+                "mandel_iterate" | "sha1_compress" | "rabin_scan" | "offload_roundtrip"
+            )
+        })
+        .enumerate()
+    {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"items\": {}, \"items_per_s\": {:.1}}}",
+            r.bench, r.mode, r.items, r.items_per_s
+        ));
+    }
+
+    let speedup = |bench: &str| -> f64 {
+        match (find(results, bench, "simd"), find(results, bench, "scalar")) {
+            (Some(v), Some(s)) if s > 0.0 => v / s,
+            _ => 0.0,
+        }
+    };
+    let mandel = speedup("mandel_iterate");
+    let sha1 = speedup("sha1_compress");
+    let rabin = speedup("rabin_scan");
+    let best = mandel.max(sha1).max(rabin);
+    let json = format!(
+        "{{\n  \"schema\": \"hetstream.bench.v1\",\n  \"entry\": \"pr8\",\n  \"unix_time\": {unix_time},\n  \"results\": [\n{rows}\n  ],\n  \"derived\": {{\n    \"staging_bytes_per_batch\": {:.3},\n    \"copies_per_batch\": {:.4},\n    \"unpinned_bytes_per_batch\": {:.1},\n    \"mandel_simd_speedup\": {mandel:.3},\n    \"sha1_simd_speedup\": {sha1:.3},\n    \"rabin_fast_speedup\": {rabin:.3},\n    \"best_simd_speedup\": {best:.3}\n  }}\n}}\n",
+        copies.staging_bytes_per_batch, copies.copies_per_batch, copies.unpinned_bytes_per_batch,
+    );
+    std::fs::write(path, json).expect("write pr8 bench json");
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args
@@ -605,6 +823,11 @@ fn main() {
         .position(|a| a == "--json-pr7")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let json_pr8_path = args
+        .iter()
+        .position(|a| a == "--json-pr8")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     println!(
         "{:<28} {:<10} {:>15}  {:>22}",
@@ -618,6 +841,8 @@ fn main() {
     bench_pool(&mut results);
     let churn = bench_alloc_churn(&mut results);
     let flight = bench_flight(&mut results);
+    bench_simd_kernels(&mut results);
+    let copies = bench_copy_path(&mut results);
 
     if let (Some(b), Some(s)) = (
         find(&results, "spsc_channel", "batched"),
@@ -647,6 +872,19 @@ fn main() {
         flight.contended_lap_dropped as f64 / flight.contended_emitted.max(1) as f64 * 100.0,
     );
 
+    for bench in ["mandel_iterate", "sha1_compress", "rabin_scan"] {
+        if let (Some(v), Some(s)) = (
+            find(&results, bench, "simd"),
+            find(&results, bench, "scalar"),
+        ) {
+            println!("{bench} simd/scalar speedup: {:.2}x", v / s);
+        }
+    }
+    println!(
+        "offload roundtrip: pinned {:.1} B/batch ({:.2} copies/batch), unpinned {:.1} B/batch",
+        copies.staging_bytes_per_batch, copies.copies_per_batch, copies.unpinned_bytes_per_batch,
+    );
+
     if let Some(path) = json_path {
         write_json(&path, &results);
     }
@@ -655,5 +893,8 @@ fn main() {
     }
     if let Some(path) = json_pr7_path {
         write_json_pr7(&path, &results, &flight);
+    }
+    if let Some(path) = json_pr8_path {
+        write_json_pr8(&path, &results, &copies);
     }
 }

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use fastflow::{BufPool, FaultPolicy, PooledBuf};
 use gpusim::cuda::{Cuda, CudaBuffer};
 use gpusim::opencl::{ClBuffer, ClKernel, CommandQueue, Context, Platform};
-use gpusim::{GpuSystem, HostRing, Offload, OutOfMemory};
+use gpusim::{GpuSystem, Offload, OutOfMemory, PinnedSlab};
 use telemetry::{FaultKind, Recorder};
 use workload::{Workload, WorkloadDriver, WorkloadFault};
 
@@ -67,8 +67,12 @@ pub struct BackendCtx {
     /// Shared digest buffer pool: every stage-2 replica acquires its
     /// per-batch digest array here and the sink's drop returns it, so the
     /// steady state recycles a handful of arrays instead of allocating
-    /// one per batch.
+    /// one per batch. Slabs are page-locked for their pooled lifetime
+    /// ([`workload::pinned_pool`]), so digests DMA straight into them.
     pub digests: BufPool<Digest>,
+    /// Shared pool for stage-4 per-position match arrays (lens/offs),
+    /// likewise pinned so the match kernel's read-backs are zero-copy.
+    pub matches: BufPool<u32>,
 }
 
 impl BackendCtx {
@@ -81,7 +85,8 @@ impl BackendCtx {
             lzss,
             rec: Recorder::default(),
             policy: FaultPolicy::default(),
-            digests: BufPool::new(),
+            digests: workload::pinned_pool(),
+            matches: workload::pinned_pool(),
         }
     }
 
@@ -95,13 +100,15 @@ impl BackendCtx {
             lzss,
             rec: Recorder::default(),
             policy: FaultPolicy::default(),
-            digests: BufPool::new(),
+            digests: workload::pinned_pool(),
+            matches: workload::pinned_pool(),
         }
     }
 
     /// Attach a telemetry recorder for fault events and pool gauges.
     pub fn with_recorder(mut self, rec: Recorder) -> Self {
         rec.register_pool("dedup.digests", self.digests.counters());
+        rec.register_pool("dedup.matches", self.matches.counters());
         self.rec = rec;
         self
     }
@@ -519,19 +526,12 @@ pub struct DedupGpu<O: Offload> {
 }
 
 /// Per-device state an [`OffloadBackend`] replica keeps across batches:
-/// the offloader plus every staging and scratch buffer the stages
-/// recycle. Host rings hold two slots — the paper's "2× memory spaces"
-/// idiom — so a buffer a later pipeline step still reads from is not the
-/// one the next batch stages into.
+/// the offloader plus the recycled device scratch. The host-side staging
+/// rings the lanes used to carry are gone — the zero-copy handoff pins
+/// the source/destination memory itself (the batch's vectors, the pooled
+/// digest/match arrays) and transfers straight from/into it.
 struct Lane<O: Offload> {
     off: O,
-    /// H2D staging for batch bytes and block starts.
-    stage_data: HostRing<O, u8>,
-    stage_starts: HostRing<O, u32>,
-    /// D2H staging for digests and per-position match arrays.
-    out_digests: HostRing<O, u8>,
-    out_lens: HostRing<O, u32>,
-    out_offs: HostRing<O, u32>,
     /// Recycled device scratch for stage outputs. Unlike `d_data` /
     /// `d_starts` (which travel downstream inside [`OffloadResident`]
     /// and are churned through the device-side allocation cache), these
@@ -545,16 +545,19 @@ impl<O: Offload> Lane<O> {
     fn new(system: &Arc<GpuSystem>, device: usize) -> Self {
         Lane {
             off: O::attach(system, device),
-            stage_data: HostRing::new(2),
-            stage_starts: HostRing::new(2),
-            out_digests: HostRing::new(2),
-            out_lens: HostRing::new(2),
-            out_offs: HostRing::new(2),
             d_out: None,
             d_len: None,
             d_off: None,
         }
     }
+}
+
+/// A pooled digest array viewed as its raw bytes, so the device's
+/// 20-byte-per-block digest stream can DMA directly into it.
+fn digest_bytes_mut(digests: &mut [Digest]) -> &mut [u8] {
+    // SAFETY: `Digest` is `repr(transparent)` over `[u8; 20]` — same
+    // layout, no padding, every bit pattern valid.
+    unsafe { std::slice::from_raw_parts_mut(digests.as_mut_ptr().cast::<u8>(), digests.len() * 20) }
 }
 
 /// The lazily-attached lane for `device`. A free function over the split
@@ -629,8 +632,10 @@ impl<O: Offload> HashWork<O> {
     }
 
     /// One full-batch hashing attempt that keeps the batch device-resident
-    /// for stage 4. Host staging comes from the lane's rings and the
-    /// digest array from the shared pool; only `d_data` / `d_starts` are
+    /// for stage 4. Zero-copy on both directions: the batch bytes and the
+    /// starts scratch are page-locked in place and uploaded as-is, and the
+    /// digest stream DMAs straight into the pooled (already-pinned) digest
+    /// array — no staging ring, no memcpy. Only `d_data` / `d_starts` are
     /// per-batch device allocations (they travel downstream in the stream
     /// item), and those are device-cache hits after warmup.
     fn hash_full(
@@ -645,14 +650,16 @@ impl<O: Offload> HashWork<O> {
         gpu.starts_scratch.clear();
         gpu.starts_scratch
             .extend(batch.starts.iter().map(|&s| s as u32));
+        // Per-batch pins for the two host sources (the pooled digest
+        // destination is pinned for its whole pooled lifetime already).
+        let _pin_data = PinnedSlab::register(&batch.data[..]);
+        let _pin_starts = PinnedSlab::register(&gpu.starts_scratch[..]);
         let lane = lane_mut(&mut gpu.lanes, &gpu.system, device);
         let d_data: O::Buffer<u8> = lane.off.try_alloc(data_len)?;
         let d_starts: O::Buffer<u32> = lane.off.try_alloc(n.max(1))?;
         ensure_dev(&mut lane.off, &mut lane.d_out, n * 20)?;
-        lane.stage_data.next(&mut lane.off, data_len)[..data_len].clone_from_slice(&batch.data);
-        lane.off.h2d_n(&d_data, lane.stage_data.current(), data_len);
-        lane.stage_starts.next(&mut lane.off, n)[..n].clone_from_slice(&gpu.starts_scratch);
-        lane.off.h2d_n(&d_starts, lane.stage_starts.current(), n);
+        lane.off.h2d_pinned(&d_data, &batch.data, data_len);
+        lane.off.h2d_pinned(&d_starts, &gpu.starts_scratch, n);
         lane.off.try_launch(
             Sha1Kernel {
                 data: O::buffer_ptr(&d_data),
@@ -664,16 +671,12 @@ impl<O: Offload> HashWork<O> {
             n as u64,
             64,
         )?;
-        let h_out = lane.out_digests.next(&mut lane.off, n * 20);
-        lane.off
-            .d2h_n(lane.d_out.as_ref().expect("ensured above"), h_out, n * 20);
+        lane.off.d2h_pinned(
+            lane.d_out.as_ref().expect("ensured above"),
+            digest_bytes_mut(digests),
+            n * 20,
+        );
         lane.off.sync();
-        for (slot, c) in digests
-            .iter_mut()
-            .zip(lane.out_digests.current()[..n * 20].chunks_exact(20))
-        {
-            *slot = Digest(c.try_into().expect("20 bytes"));
-        }
         Ok(OffloadResident {
             device,
             d_data,
@@ -700,15 +703,17 @@ impl<O: Offload> HashWork<O> {
         gpu.starts_scratch.clear();
         gpu.starts_scratch
             .extend(batch.starts[lo..hi].iter().map(|&s| (s - base) as u32));
+        // Pin the sub-range's source bytes in place; the digest slice is
+        // a window into the pooled (pinned) array, so the read-back DMAs
+        // straight into the caller's positions.
+        let _pin_data = PinnedSlab::register(data);
+        let _pin_starts = PinnedSlab::register(&gpu.starts_scratch[..]);
         let lane = lane_mut(&mut gpu.lanes, &gpu.system, gpu.device);
         let d_data: O::Buffer<u8> = lane.off.try_alloc(data.len())?;
         let d_starts: O::Buffer<u32> = lane.off.try_alloc(n)?;
         ensure_dev(&mut lane.off, &mut lane.d_out, n * 20)?;
-        lane.stage_data.next(&mut lane.off, data.len())[..data.len()].clone_from_slice(data);
-        lane.off
-            .h2d_n(&d_data, lane.stage_data.current(), data.len());
-        lane.stage_starts.next(&mut lane.off, n)[..n].clone_from_slice(&gpu.starts_scratch);
-        lane.off.h2d_n(&d_starts, lane.stage_starts.current(), n);
+        lane.off.h2d_pinned(&d_data, data, data.len());
+        lane.off.h2d_pinned(&d_starts, &gpu.starts_scratch, n);
         lane.off.try_launch(
             Sha1Kernel {
                 data: O::buffer_ptr(&d_data),
@@ -720,16 +725,12 @@ impl<O: Offload> HashWork<O> {
             n as u64,
             64,
         )?;
-        let h_out = lane.out_digests.next(&mut lane.off, n * 20);
-        lane.off
-            .d2h_n(lane.d_out.as_ref().expect("ensured above"), h_out, n * 20);
+        lane.off.d2h_pinned(
+            lane.d_out.as_ref().expect("ensured above"),
+            digest_bytes_mut(out),
+            n * 20,
+        );
         lane.off.sync();
-        for (slot, c) in out
-            .iter_mut()
-            .zip(lane.out_digests.current()[..n * 20].chunks_exact(20))
-        {
-            *slot = Digest(c.try_into().expect("20 bytes"));
-        }
         Ok(())
     }
 }
@@ -816,6 +817,9 @@ pub struct CompressWork<O: Offload> {
     n_gpus: usize,
     lzss: LzssConfig,
     policy: FaultPolicy,
+    /// Shared pinned pool for the per-position match arrays (see
+    /// [`BackendCtx::matches`]).
+    pool: BufPool<u32>,
     _off: PhantomData<fn() -> O>,
 }
 
@@ -826,6 +830,7 @@ impl<O: Offload> Clone for CompressWork<O> {
             n_gpus: self.n_gpus,
             lzss: self.lzss,
             policy: self.policy,
+            pool: self.pool.clone(),
             _off: PhantomData,
         }
     }
@@ -843,25 +848,27 @@ impl<O: Offload> CompressWork<O> {
             n_gpus: ctx.n_gpus,
             lzss: ctx.lzss,
             policy: ctx.policy,
+            pool: ctx.matches.clone(),
             _off: PhantomData,
         }
     }
 
-    /// Stage-4 match kernel over a device-resident batch. On `Ok(())`
-    /// the per-position match arrays sit in the lane's `out_lens` /
-    /// `out_offs` staging rings ([`HostRing::current`]) instead of
-    /// freshly allocated vectors; the device scratch is recycled via
-    /// [`ensure_dev`]. The batched kernel writes every position below
-    /// `data_len`, so recycled (non-zeroed) scratch cannot leak stale
-    /// matches.
+    /// Stage-4 match kernel over a device-resident batch. The
+    /// per-position match arrays come from the shared pinned pool and
+    /// the kernel's results DMA straight into them — no staging ring;
+    /// the device scratch is recycled via [`ensure_dev`]. The batched
+    /// kernel writes every position below `data_len`, so recycled
+    /// (non-zeroed) buffers cannot leak stale matches.
     fn compress_on_device(
         &self,
         gpu: &mut DedupGpu<O>,
         batch: &Batch,
         res: &OffloadResident<O>,
-    ) -> Result<(), WorkloadFault> {
+    ) -> Result<(PooledBuf<u32>, PooledBuf<u32>), WorkloadFault> {
         let len = batch.data.len();
         let lzss = self.lzss;
+        let mut lens = self.pool.acquire(len);
+        let mut offs = self.pool.acquire(len);
         // The data lives on whatever device stage 2 used.
         let lane = lane_mut(&mut gpu.lanes, &gpu.system, res.device);
         ensure_dev(&mut lane.off, &mut lane.d_len, len)?;
@@ -879,14 +886,12 @@ impl<O: Offload> CompressWork<O> {
             len as u64,
             BLOCK_1D,
         )?;
-        let h_len = lane.out_lens.next(&mut lane.off, len);
         lane.off
-            .d2h_n(lane.d_len.as_ref().expect("ensured above"), h_len, len);
-        let h_off = lane.out_offs.next(&mut lane.off, len);
+            .d2h_pinned(lane.d_len.as_ref().expect("ensured above"), &mut lens, len);
         lane.off
-            .d2h_n(lane.d_off.as_ref().expect("ensured above"), h_off, len);
+            .d2h_pinned(lane.d_off.as_ref().expect("ensured above"), &mut offs, len);
         lane.off.sync();
-        Ok(())
+        Ok((lens, offs))
     }
 }
 
@@ -930,18 +935,8 @@ impl<O: Offload> Workload for CompressWork<O> {
             .gpu
             .as_ref()
             .expect("driver runs only device-resident batches (see compress_stage)");
-        self.compress_on_device(gpu, &item.batch, res)?;
-        let lane = gpu.lanes[res.device]
-            .as_ref()
-            .expect("lane exists after compress_on_device");
-        let len = item.batch.data.len();
-        *out = entries_from_matches(
-            &item.batch,
-            &item.classes,
-            &lane.out_lens.current()[..len],
-            &lane.out_offs.current()[..len],
-            &self.lzss,
-        );
+        let (lens, offs) = self.compress_on_device(gpu, &item.batch, res)?;
+        *out = entries_from_matches(&item.batch, &item.classes, &lens, &offs, &self.lzss);
         Ok(())
     }
 

@@ -39,6 +39,7 @@ pub mod lzss;
 pub mod pipeline;
 pub mod rabin;
 pub mod sha1;
+pub mod sha1mb;
 pub mod single;
 pub mod stats;
 

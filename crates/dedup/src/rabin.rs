@@ -104,7 +104,84 @@ impl RollingHash {
 
 /// Scan `data` and return the start index of every chunk (Fig. 2's
 /// `startPos` array). Always begins with 0; every value is `< data.len()`.
+///
+/// This is the branchless fast path: because the fingerprint after a
+/// chunk reset is purely position-local (the polynomial over the
+/// trailing `window` bytes), the per-byte ring buffer, modulo, and
+/// primed/min-chunk checks of [`chunk_starts_reference`] all vanish.
+/// Each chunk is scanned in two phases — prime the window ending at the
+/// first index where a boundary may legally fire, then roll with a
+/// single masked compare per byte until a match or the forced
+/// `max_chunk` cut. Output is bit-identical to the reference.
 pub fn chunk_starts(data: &[u8], params: &RabinParams) -> Vec<usize> {
+    assert!(
+        params.min_chunk >= params.window,
+        "window must fit in min chunk"
+    );
+    assert!(params.max_chunk >= params.min_chunk);
+    let mut starts = vec![0usize];
+    if data.is_empty() {
+        return starts;
+    }
+    let window = params.window;
+    let mut pow_out = 1u64;
+    for _ in 0..window - 1 {
+        pow_out = pow_out.wrapping_mul(PRIME);
+    }
+    // Earliest in-chunk offset where the fingerprint test may fire.
+    let floor = params.min_chunk.max(window).min(params.max_chunk);
+    // A cut at index i starts a new chunk at i + 1, recorded only when
+    // i + 1 < len — so the last index worth scanning is len - 2.
+    let last = data.len().saturating_sub(2);
+    let mut s = 0usize;
+    loop {
+        let first = s + floor - 1;
+        let forced = s + params.max_chunk - 1;
+        if first > last {
+            break;
+        }
+        // Prime: fingerprint of the window ending at `first`. The whole
+        // window lies inside the current chunk (floor >= window), so this
+        // equals the reference's post-reset rolling state.
+        let mut fp = 0u64;
+        for &b in &data[first + 1 - window..=first] {
+            fp = fp.wrapping_mul(PRIME).wrapping_add(b as u64);
+        }
+        // Scan: one masked compare per byte, outgoing byte read straight
+        // from `data` — no ring buffer.
+        let stop = forced.min(last);
+        let mut i = first;
+        let cut = loop {
+            if (fp & params.mask) == params.magic {
+                break Some(i);
+            }
+            if i >= stop {
+                break None;
+            }
+            fp = fp
+                .wrapping_sub((data[i + 1 - window] as u64).wrapping_mul(pow_out))
+                .wrapping_mul(PRIME)
+                .wrapping_add(data[i + 1] as u64);
+            i += 1;
+        };
+        let cut = match cut {
+            Some(c) => c,
+            // No fingerprint match in range: the max_chunk cut fires iff
+            // it lands before the unrecordable tail.
+            None if forced <= last => forced,
+            None => break,
+        };
+        starts.push(cut + 1);
+        s = cut + 1;
+    }
+    starts
+}
+
+/// The streaming reference scanner: one [`RollingHash::push`] per byte
+/// with explicit primed/min-chunk/max-chunk checks, exactly as the
+/// paper's CPU stage describes it. [`chunk_starts`] must agree with this
+/// bit-for-bit; it also serves as the baseline in the scan benchmarks.
+pub fn chunk_starts_reference(data: &[u8], params: &RabinParams) -> Vec<usize> {
     assert!(
         params.min_chunk >= params.window,
         "window must fit in min chunk"
@@ -243,6 +320,42 @@ mod tests {
         assert_eq!(chunk_starts(&[1, 2, 3], &p), vec![0]);
         let cs = chunks(&[1, 2, 3], &[0]);
         assert_eq!(cs, vec![&[1u8, 2, 3][..]]);
+    }
+
+    #[test]
+    fn fast_scan_matches_reference_exactly() {
+        let p = test_params();
+        for seed in 1..=8u64 {
+            let data = pseudo_random(48 * 1024, seed);
+            assert_eq!(
+                chunk_starts(&data, &p),
+                chunk_starts_reference(&data, &p),
+                "seed {seed}"
+            );
+        }
+        let p = RabinParams::default();
+        let data = pseudo_random(512 * 1024, 99);
+        assert_eq!(chunk_starts(&data, &p), chunk_starts_reference(&data, &p));
+    }
+
+    #[test]
+    fn fast_scan_matches_reference_on_length_edges() {
+        let p = test_params();
+        // Lengths bracketing min_chunk, max_chunk, and the window.
+        for len in [0, 1, 15, 16, 17, 31, 32, 33, 511, 512, 513, 1024, 2047] {
+            let data = pseudo_random(len, 5 + len as u64);
+            assert_eq!(
+                chunk_starts(&data, &p),
+                chunk_starts_reference(&data, &p),
+                "len {len}"
+            );
+            let zeros = vec![0u8; len];
+            assert_eq!(
+                chunk_starts(&zeros, &p),
+                chunk_starts_reference(&zeros, &p),
+                "zeros len {len}"
+            );
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use farm::{spawn_farm, spawn_farm_traced, FarmConfig, SchedPolicy};
 pub use feedback::{spawn_feedback_farm, spawn_feedback_farm_traced, Loop};
 pub use node::{Emitter, Node};
 pub use pipeline::{PipeConfig, Pipeline, PipelineBuilder, PipelineStart, PipelineThreads};
-pub use pool::{recycler, BufPool, PooledBuf, Recycler};
+pub use pool::{recycler, BufPool, PooledBuf, Recycler, SlabRegistrar};
 pub use stamp::Stamped;
 pub use wait::{Signal, WaitStrategy};
 

@@ -169,20 +169,71 @@ fn class_for_capacity(capacity: usize) -> usize {
     (usize::BITS - 1 - capacity.leading_zeros()) as usize
 }
 
+/// Hook letting an external allocator observe pool slab lifetimes.
+///
+/// The motivating implementor lives in the `workload` crate: it registers
+/// every slab the pool allocates with the GPU simulator's pinned-memory
+/// registry, so pooled buffers are page-locked for their whole cached
+/// lifetime and `h2d_pinned`/`d2h_pinned` transfers touching them never
+/// bounce through staging memory. `register` fires once per allocator
+/// miss; `unregister` fires when a slab permanently leaves the pool
+/// (shed, [`PooledBuf::detach`], or pool drop) — never on the recycle
+/// path, so the steady state stays free of registry churn.
+pub trait SlabRegistrar: Send + Sync {
+    /// A slab of `bytes` bytes at address `ptr` now belongs to the pool.
+    fn register(&self, ptr: usize, bytes: usize);
+    /// The slab previously registered at `(ptr, bytes)` is leaving the
+    /// pool and is about to be freed (or handed to an outside owner).
+    fn unregister(&self, ptr: usize, bytes: usize);
+}
+
 struct PoolCore<T> {
     classes: Box<[MpmcRing<Vec<T>>]>,
     counters: Arc<PoolCounters>,
+    registrar: Option<Arc<dyn SlabRegistrar>>,
+}
+
+/// Address and byte extent of a vector's full backing allocation.
+#[inline]
+fn slab_extent<T>(vec: &Vec<T>) -> (usize, usize) {
+    (
+        vec.as_ptr() as usize,
+        vec.capacity() * std::mem::size_of::<T>(),
+    )
 }
 
 impl<T> PoolCore<T> {
+    fn unregister_slab(&self, vec: &Vec<T>) {
+        if let Some(reg) = &self.registrar {
+            let (ptr, bytes) = slab_extent(vec);
+            if bytes > 0 {
+                reg.unregister(ptr, bytes);
+            }
+        }
+    }
+
     /// Return `vec` to the class its capacity can serve; shed when full.
     fn give_back(&self, vec: Vec<T>) {
         if vec.capacity() == 0 {
             return; // nothing worth caching
         }
         let class = class_for_capacity(vec.capacity());
-        if self.classes[class].try_push(vec).is_err() {
+        if let Err(vec) = self.classes[class].try_push(vec) {
+            self.unregister_slab(&vec);
             self.counters.shed_one();
+        }
+    }
+}
+
+impl<T> Drop for PoolCore<T> {
+    fn drop(&mut self) {
+        // Unpin every cached slab before the rings free them.
+        if self.registrar.is_some() {
+            for class in self.classes.iter() {
+                while let Some(vec) = class.try_pop() {
+                    self.unregister_slab(&vec);
+                }
+            }
         }
     }
 }
@@ -214,6 +265,17 @@ impl<T: Default + Clone + Send + 'static> BufPool<T> {
 
     /// Pool caching up to `per_class` buffers in each size class.
     pub fn with_capacity(per_class: usize) -> Self {
+        Self::build(per_class, None)
+    }
+
+    /// Pool whose slabs are announced to `registrar` for their whole
+    /// pooled lifetime (see [`SlabRegistrar`]). Uses the default
+    /// per-class capacity.
+    pub fn with_registrar(registrar: Arc<dyn SlabRegistrar>) -> Self {
+        Self::build(DEFAULT_PER_CLASS, Some(registrar))
+    }
+
+    fn build(per_class: usize, registrar: Option<Arc<dyn SlabRegistrar>>) -> Self {
         let classes = (0..N_CLASSES)
             .map(|_| MpmcRing::new(per_class))
             .collect::<Vec<_>>()
@@ -222,6 +284,7 @@ impl<T: Default + Clone + Send + 'static> BufPool<T> {
             core: Arc::new(PoolCore {
                 classes,
                 counters: PoolCounters::new(),
+                registrar,
             }),
         }
     }
@@ -239,7 +302,14 @@ impl<T: Default + Clone + Send + 'static> BufPool<T> {
             }
             None => {
                 self.core.counters.miss();
-                Vec::with_capacity(1usize << class)
+                let vec = Vec::with_capacity(1usize << class);
+                if let Some(reg) = &self.core.registrar {
+                    let (ptr, bytes) = slab_extent(&vec);
+                    if bytes > 0 {
+                        reg.register(ptr, bytes);
+                    }
+                }
+                vec
             }
         };
         debug_assert!(vec.capacity() >= len);
@@ -273,7 +343,9 @@ impl<T> PooledBuf<T> {
     /// Detach the storage from the pool (it will not be recycled).
     pub fn detach(mut self) -> Vec<T> {
         self.core.counters.release();
-        self.vec.take().expect("pooled buffer present until drop")
+        let vec = self.vec.take().expect("pooled buffer present until drop");
+        self.core.unregister_slab(&vec);
+        vec
     }
 }
 
@@ -430,6 +502,83 @@ mod tests {
         assert_eq!(pool.stats().outstanding, 0);
         assert_eq!(pool.acquire(8).len(), 8); // miss: nothing was returned
         assert_eq!(pool.stats().misses, 2);
+    }
+
+    /// Registrar that mirrors the pool's announcements into a set, so
+    /// tests can assert the register/unregister pairing is exact.
+    #[derive(Default)]
+    struct LedgerRegistrar {
+        live: std::sync::Mutex<Vec<(usize, usize)>>,
+        registers: AtomicUsize,
+        unregisters: AtomicUsize,
+    }
+
+    impl SlabRegistrar for LedgerRegistrar {
+        fn register(&self, ptr: usize, bytes: usize) {
+            self.registers.fetch_add(1, Ordering::Relaxed);
+            self.live.lock().unwrap().push((ptr, bytes));
+        }
+        fn unregister(&self, ptr: usize, bytes: usize) {
+            self.unregisters.fetch_add(1, Ordering::Relaxed);
+            let mut live = self.live.lock().unwrap();
+            let i = live
+                .iter()
+                .position(|&e| e == (ptr, bytes))
+                .expect("unregister matches a live registration");
+            live.swap_remove(i);
+        }
+    }
+
+    #[test]
+    fn registrar_sees_slabs_for_their_whole_pooled_lifetime() {
+        let ledger = Arc::new(LedgerRegistrar::default());
+        let pool: BufPool<u32> = BufPool::with_registrar(ledger.clone());
+
+        // Miss: allocation announced once, with full-class byte extent.
+        let b = pool.acquire(100);
+        assert_eq!(ledger.registers.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            ledger.live.lock().unwrap()[0].1,
+            128 * std::mem::size_of::<u32>()
+        );
+
+        // Recycle + hit: no registry churn on the steady-state path.
+        drop(b);
+        let b = pool.acquire(128);
+        assert_eq!(ledger.registers.load(Ordering::Relaxed), 1);
+        assert_eq!(ledger.unregisters.load(Ordering::Relaxed), 0);
+
+        // Detach hands the slab to an outside owner: unregistered.
+        let v = b.detach();
+        assert_eq!(ledger.unregisters.load(Ordering::Relaxed), 1);
+        assert!(ledger.live.lock().unwrap().is_empty());
+        drop(v);
+
+        // Pool drop unpins everything still cached.
+        let c = pool.acquire(8);
+        drop(c);
+        assert_eq!(ledger.registers.load(Ordering::Relaxed), 2);
+        drop(pool);
+        assert_eq!(ledger.unregisters.load(Ordering::Relaxed), 2);
+        assert!(ledger.live.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn shed_slabs_are_unregistered() {
+        let ledger = Arc::new(LedgerRegistrar::default());
+        let pool: BufPool<u8> = BufPool::with_registrar(ledger.clone());
+        // Default per-class capacity is 32; hold 40 live so at least 8
+        // returns find a full ring and shed to the allocator.
+        let bufs: Vec<_> = (0..40).map(|_| pool.acquire(16)).collect();
+        assert_eq!(ledger.registers.load(Ordering::Relaxed), 40);
+        drop(bufs);
+        let shed = pool.stats().shed as usize;
+        assert!(shed >= 8, "expected sheds, got {shed}");
+        assert_eq!(ledger.unregisters.load(Ordering::Relaxed), shed);
+        drop(pool);
+        // Cached + shed together must unpin everything exactly once.
+        assert_eq!(ledger.unregisters.load(Ordering::Relaxed), 40);
+        assert!(ledger.live.lock().unwrap().is_empty());
     }
 
     #[test]

@@ -38,9 +38,14 @@ pub struct Cuda {
 }
 
 /// Page-locked host memory (`cudaMallocHost`). Transfers from/to it run at
-/// full PCIe bandwidth and may be truly asynchronous.
+/// full PCIe bandwidth and may be truly asynchronous. The backing range is
+/// registered in the [`crate::pinned`] registry for its lifetime, so the
+/// pinned-aware slice verbs recognize it too.
 pub struct PinnedBuf<T> {
     data: Vec<T>,
+    // Declared after `data`: the registration is dropped while the Vec is
+    // still alive (fields drop in declaration order).
+    _slab: crate::pinned::PinnedSlab,
 }
 
 impl<T> Deref for PinnedBuf<T> {
@@ -177,9 +182,9 @@ impl Cuda {
     /// Allocate page-locked host memory (`cudaMallocHost`).
     pub fn malloc_host<T: Default + Clone>(&self, len: usize) -> PinnedBuf<T> {
         self.api_cost(self.current_device());
-        PinnedBuf {
-            data: vec![T::default(); len],
-        }
+        let data = vec![T::default(); len];
+        let _slab = crate::pinned::PinnedSlab::register(&data);
+        PinnedBuf { data, _slab }
     }
 
     /// Create a stream on the current device (`cudaStreamCreate`).
@@ -241,7 +246,8 @@ impl Cuda {
 
     /// `cudaMemcpyAsync` from **pageable** memory: per CUDA semantics this
     /// degrades to a synchronous copy — the host blocks until the transfer
-    /// completes, at pageable bandwidth.
+    /// completes, at pageable bandwidth — and the driver bounces the data
+    /// through its own staging area (charged to `telemetry::copy`).
     pub fn memcpy_h2d_pageable<T: Clone + Send + 'static>(
         &self,
         dst: &CudaBuffer<T>,
@@ -250,12 +256,37 @@ impl Cuda {
         stream: &CudaStream,
     ) {
         self.check_binding(dst.device, stream);
+        telemetry::copy::count_bounce(std::mem::size_of_val(src));
         let now = self.api_cost(stream.device);
         let end = self
             .system
             .device(stream.device)
             .copy_h2d(stream.id, src, dst.ptr, dst_offset, false, now);
         self.system.host_wait_until(end);
+    }
+
+    /// Pinned-aware host→device copy from an arbitrary slice: if the
+    /// source range is registered in the [`crate::pinned`] registry the
+    /// transfer is a true async DMA; otherwise it degrades to
+    /// [`memcpy_h2d_pageable`](Self::memcpy_h2d_pageable) (synchronous +
+    /// driver bounce). This is `cudaMemcpyAsync`'s actual contract — the
+    /// *memory*, not the call site, decides.
+    pub fn memcpy_h2d_auto<T: Clone + Send + 'static>(
+        &self,
+        dst: &CudaBuffer<T>,
+        dst_offset: usize,
+        src: &[T],
+        stream: &CudaStream,
+    ) {
+        if crate::pinned::is_pinned(src) {
+            self.check_binding(dst.device, stream);
+            let now = self.api_cost(stream.device);
+            self.system
+                .device(stream.device)
+                .copy_h2d(stream.id, src, dst.ptr, dst_offset, true, now);
+        } else {
+            self.memcpy_h2d_pageable(dst, dst_offset, src, stream);
+        }
     }
 
     /// Asynchronous device→host copy into pinned memory.
@@ -300,7 +331,8 @@ impl Cuda {
         );
     }
 
-    /// Device→host copy into pageable memory: synchronous, like CUDA.
+    /// Device→host copy into pageable memory: synchronous, like CUDA, and
+    /// bounced through the driver's staging area (`telemetry::copy`).
     pub fn memcpy_d2h_pageable<T: Clone + Send + 'static>(
         &self,
         dst: &mut [T],
@@ -309,12 +341,35 @@ impl Cuda {
         stream: &CudaStream,
     ) {
         self.check_binding(src.device, stream);
+        telemetry::copy::count_bounce(std::mem::size_of_val(dst));
         let now = self.api_cost(stream.device);
         let end = self
             .system
             .device(stream.device)
             .copy_d2h(stream.id, src.ptr, src_offset, dst, false, now);
         self.system.host_wait_until(end);
+    }
+
+    /// Pinned-aware device→host copy into an arbitrary slice — the read
+    /// counterpart of [`memcpy_h2d_auto`](Self::memcpy_h2d_auto):
+    /// registered destination → async DMA, anything else → synchronous
+    /// pageable bounce.
+    pub fn memcpy_d2h_auto<T: Clone + Send + 'static>(
+        &self,
+        dst: &mut [T],
+        src: &CudaBuffer<T>,
+        src_offset: usize,
+        stream: &CudaStream,
+    ) {
+        if crate::pinned::is_pinned(dst) {
+            self.check_binding(src.device, stream);
+            let now = self.api_cost(stream.device);
+            self.system
+                .device(stream.device)
+                .copy_d2h(stream.id, src.ptr, src_offset, dst, true, now);
+        } else {
+            self.memcpy_d2h_pageable(dst, src, src_offset, stream);
+        }
     }
 
     /// Launch `kernel` with `<<<grid, block>>>` on `stream` (asynchronous).

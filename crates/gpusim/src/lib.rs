@@ -32,6 +32,7 @@ pub mod meter;
 pub mod model;
 pub mod offload;
 pub mod opencl;
+pub mod pinned;
 pub mod props;
 pub mod trace;
 
@@ -41,5 +42,6 @@ pub use kernel::{Dim3, KernelFn, LaunchDims};
 pub use mem::{DeviceMemory, DevicePtr, OutOfMemory};
 pub use meter::WorkMeter;
 pub use offload::{CudaOffload, HostRing, OclOffload, Offload, OffloadApi};
+pub use pinned::PinnedSlab;
 pub use props::DeviceProps;
 pub use trace::{feed_recorder, overlap_fraction, render_timeline, CommandRecord, TraceEngine};

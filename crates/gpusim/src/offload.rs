@@ -129,16 +129,31 @@ pub trait Offload: Send + 'static {
         Self::buffer_ptr(buf).len()
     }
 
-    /// Enqueue an asynchronous host→device copy.
-    fn h2d<T: Default + Clone + Send + 'static>(
+    /// Enqueue a host→device copy from an arbitrary slice. Truly
+    /// asynchronous when the slice's memory is registered as pinned
+    /// ([`crate::pinned`]); otherwise the backend is allowed to degrade
+    /// it to a synchronous driver bounce (charged to `telemetry::copy`).
+    fn h2d<T: Default + Clone + Send + 'static>(&mut self, dst: &Self::Buffer<T>, src: &[T]) {
+        self.h2d_pinned(dst, src, src.len());
+    }
+
+    /// Pinned-aware host→device copy of the first `n` elements of `src` —
+    /// the zero-copy verb: a [`fastflow`-pooled] buffer whose slab is
+    /// registered in the pinned registry travels pool→device with no
+    /// intermediate staging memcpy.
+    ///
+    /// [`fastflow`-pooled]: crate::pinned
+    fn h2d_pinned<T: Default + Clone + Send + 'static>(
         &mut self,
         dst: &Self::Buffer<T>,
-        src: &Self::HostBuf<T>,
+        src: &[T],
+        n: usize,
     );
 
     /// Enqueue an asynchronous host→device copy of the first `n` elements
-    /// of `src` only — for recycled staging slabs sized to their class,
-    /// not to this batch (`n <= src.len()` and `n <=` the buffer length).
+    /// of a backend staging buffer — for recycled staging slabs sized to
+    /// their class, not to this batch (`n <= src.len()` and `n <=` the
+    /// buffer length).
     fn h2d_n<T: Default + Clone + Send + 'static>(
         &mut self,
         dst: &Self::Buffer<T>,
@@ -172,16 +187,27 @@ pub trait Offload: Send + 'static {
         block: u32,
     ) -> Result<(), crate::fault::DeviceFault>;
 
-    /// Enqueue an asynchronous device→host copy. `dst` holds defined
-    /// contents only after [`sync`](Offload::sync).
-    fn d2h<T: Default + Clone + Send + 'static>(
+    /// Enqueue a device→host copy into an arbitrary slice. `dst` holds
+    /// defined contents only after [`sync`](Offload::sync). Pinned-aware
+    /// like [`h2d`](Offload::h2d).
+    fn d2h<T: Default + Clone + Send + 'static>(&mut self, src: &Self::Buffer<T>, dst: &mut [T]) {
+        let n = dst.len();
+        self.d2h_pinned(src, dst, n);
+    }
+
+    /// Pinned-aware device→host copy into the first `n` elements of
+    /// `dst` — the read-side zero-copy verb: results land directly in a
+    /// registered pooled buffer, no staging slab in between.
+    fn d2h_pinned<T: Default + Clone + Send + 'static>(
         &mut self,
         src: &Self::Buffer<T>,
-        dst: &mut Self::HostBuf<T>,
+        dst: &mut [T],
+        n: usize,
     );
 
     /// Enqueue an asynchronous device→host copy of the first `n` elements
-    /// only — the read-side counterpart of [`h2d_n`](Offload::h2d_n).
+    /// into a backend staging buffer — the read-side counterpart of
+    /// [`h2d_n`](Offload::h2d_n).
     fn d2h_n<T: Default + Clone + Send + 'static>(
         &mut self,
         src: &Self::Buffer<T>,
@@ -291,16 +317,17 @@ impl Offload for CudaOffload {
         buf.ptr()
     }
 
-    fn h2d<T: Default + Clone + Send + 'static>(
+    fn h2d_pinned<T: Default + Clone + Send + 'static>(
         &mut self,
         dst: &CudaBuffer<T>,
-        src: &PinnedBuf<T>,
+        src: &[T],
+        n: usize,
     ) {
         // Re-bind before every operation: the raw integrations must remember
         // this themselves (the paper's bug class); the façade encapsulates it
         // so several offloaders can share one thread.
         self.cuda.set_device(self.device);
-        self.cuda.memcpy_h2d_async(dst, 0, src, &self.stream);
+        self.cuda.memcpy_h2d_auto(dst, 0, &src[..n], &self.stream);
     }
 
     fn h2d_n<T: Default + Clone + Send + 'static>(
@@ -325,13 +352,15 @@ impl Offload for CudaOffload {
         self.cuda.try_launch(&kernel, blocks, block, &self.stream)
     }
 
-    fn d2h<T: Default + Clone + Send + 'static>(
+    fn d2h_pinned<T: Default + Clone + Send + 'static>(
         &mut self,
         src: &CudaBuffer<T>,
-        dst: &mut PinnedBuf<T>,
+        dst: &mut [T],
+        n: usize,
     ) {
         self.cuda.set_device(self.device);
-        self.cuda.memcpy_d2h_async(dst, src, 0, &self.stream);
+        self.cuda
+            .memcpy_d2h_auto(&mut dst[..n], src, 0, &self.stream);
     }
 
     fn d2h_n<T: Default + Clone + Send + 'static>(
@@ -395,8 +424,14 @@ impl Offload for OclOffload {
         buf.ptr()
     }
 
-    fn h2d<T: Default + Clone + Send + 'static>(&mut self, dst: &ClBuffer<T>, src: &Vec<T>) {
-        self.queue.enqueue_write_buffer(dst, false, 0, src, &[]);
+    fn h2d_pinned<T: Default + Clone + Send + 'static>(
+        &mut self,
+        dst: &ClBuffer<T>,
+        src: &[T],
+        n: usize,
+    ) {
+        self.queue
+            .enqueue_write_buffer(dst, false, 0, &src[..n], &[]);
     }
 
     fn h2d_n<T: Default + Clone + Send + 'static>(
@@ -426,8 +461,14 @@ impl Offload for OclOffload {
             .map(|_| ())
     }
 
-    fn d2h<T: Default + Clone + Send + 'static>(&mut self, src: &ClBuffer<T>, dst: &mut Vec<T>) {
-        self.queue.enqueue_read_buffer(src, false, 0, dst, &[]);
+    fn d2h_pinned<T: Default + Clone + Send + 'static>(
+        &mut self,
+        src: &ClBuffer<T>,
+        dst: &mut [T],
+        n: usize,
+    ) {
+        self.queue
+            .enqueue_read_buffer(src, false, 0, &mut dst[..n], &[]);
     }
 
     fn d2h_n<T: Default + Clone + Send + 'static>(
@@ -489,7 +530,7 @@ mod tests {
         for (i, v) in host.iter_mut().enumerate() {
             *v = i as u32;
         }
-        off.h2d(&src, &host);
+        off.h2d_n(&src, &host, n);
         off.try_launch(
             IncKernel {
                 src: O::buffer_ptr(&src),
@@ -501,7 +542,7 @@ mod tests {
         )
         .expect("healthy device");
         let mut out = off.alloc_host::<u32>(n);
-        off.d2h(&dst, &mut out);
+        off.d2h_n(&dst, &mut out, n);
         off.sync();
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, i as u32 + 1);
@@ -564,6 +605,69 @@ mod tests {
         prefix_roundtrip::<OclOffload>();
     }
 
+    fn pinned_slice_roundtrip<O: Offload>() {
+        let system = GpuSystem::new(1, DeviceProps::titan_xp());
+        let mut off = O::attach(&system, 0);
+        let n = 300;
+        let dev: O::Buffer<u32> = off.try_alloc(n).expect("healthy device");
+        let data: Vec<u32> = (0..n as u32).map(|i| i * 7).collect();
+        let mut out = vec![0u32; n];
+        let _pin_in = crate::pinned::PinnedSlab::register(&data);
+        let _pin_out = crate::pinned::PinnedSlab::register(&out);
+        off.h2d_pinned(&dev, &data, n);
+        off.d2h_pinned(&dev, &mut out, n);
+        off.sync();
+        assert_eq!(out, data);
+        // Prefix form: only the first 10 elements are overwritten.
+        let mut tail = vec![u32::MAX; n];
+        {
+            let _pin = crate::pinned::PinnedSlab::register(&tail);
+            off.d2h_pinned(&dev, &mut tail, 10);
+            off.sync();
+        }
+        assert_eq!(&tail[..10], &data[..10]);
+        assert!(tail[10..].iter().all(|&v| v == u32::MAX));
+    }
+
+    #[test]
+    fn cuda_pinned_slice_verbs_roundtrip() {
+        pinned_slice_roundtrip::<CudaOffload>();
+    }
+
+    #[test]
+    fn opencl_pinned_slice_verbs_roundtrip() {
+        pinned_slice_roundtrip::<OclOffload>();
+    }
+
+    #[test]
+    fn unregistered_slices_bounce_and_block_under_cuda() {
+        let system = GpuSystem::new(1, DeviceProps::titan_xp());
+        let mut off = CudaOffload::attach(&system, 0);
+        let n = 1 << 20;
+        let dev: crate::cuda::CudaBuffer<u8> = off.try_alloc(n).expect("healthy device");
+        let src = vec![1u8; n];
+        let t0 = system.host_now();
+        {
+            let _pin = crate::pinned::PinnedSlab::register(&src);
+            off.h2d_pinned(&dev, &src, n);
+        }
+        let t_pinned = system.host_now().since(t0);
+        system.reset_clock();
+        let before = telemetry::copy::snapshot();
+        let t1 = system.host_now();
+        off.h2d_pinned(&dev, &src, n); // guard dropped: pageable now
+        let t_bounce = system.host_now().since(t1);
+        let delta = telemetry::copy::snapshot().since(&before);
+        assert!(
+            delta.bounce_bytes >= n as u64,
+            "unregistered transfer must be charged as a driver bounce"
+        );
+        assert!(
+            t_bounce.as_nanos() > 10 * t_pinned.as_nanos(),
+            "unregistered copy must block the host: pinned={t_pinned:?} bounce={t_bounce:?}"
+        );
+    }
+
     #[test]
     fn try_alloc_reports_oom() {
         let mut props = DeviceProps::titan_xp();
@@ -580,9 +684,9 @@ mod tests {
         let mut off = OclOffload::attach(&system, 0);
         let buf: ClBuffer<u32> = off.try_alloc(256).expect("healthy device");
         let host = off.alloc_host::<u32>(256);
-        off.h2d(&buf, &host);
+        off.h2d_n(&buf, &host, 256);
         let mut out = off.alloc_host::<u32>(256);
-        off.d2h(&buf, &mut out);
+        off.d2h_n(&buf, &mut out, 256);
         off.sync();
         let trace = system.device(0).take_trace();
         assert!(trace.iter().any(|r| r.engine == crate::TraceEngine::H2D));

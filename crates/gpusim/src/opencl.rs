@@ -244,6 +244,12 @@ impl CommandQueue {
         wait_list: &[ClEvent],
     ) -> ClEvent {
         assert_eq!(buf.device, self.device, "buffer/queue device mismatch");
+        // Real OpenCL runtimes bounce writes from unregistered host memory
+        // through a driver staging area; the simulator keeps the timing
+        // optimistic but charges the copy so the data path stays honest.
+        if !crate::pinned::is_pinned(src) {
+            telemetry::copy::count_bounce(std::mem::size_of_val(src));
+        }
         self.apply_waits(wait_list);
         let now = self.api_cost();
         let end =
@@ -268,6 +274,9 @@ impl CommandQueue {
         wait_list: &[ClEvent],
     ) -> ClEvent {
         assert_eq!(buf.device, self.device, "buffer/queue device mismatch");
+        if !crate::pinned::is_pinned(dst) {
+            telemetry::copy::count_bounce(std::mem::size_of_val(dst));
+        }
         self.apply_waits(wait_list);
         let now = self.api_cost();
         let end =

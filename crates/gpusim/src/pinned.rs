@@ -1,0 +1,146 @@
+//! Host-memory pinning registry — the simulator's `cudaHostRegister`.
+//!
+//! Real CUDA can page-lock *any* host allocation after the fact
+//! (`cudaHostRegister`), which is how frameworks make externally owned
+//! buffers DMA-able without copying them into driver-owned staging
+//! memory. The simulator mirrors that: pinnedness here is a property of
+//! an *address range*, tracked in a process-wide registry, and the copy
+//! verbs consult it to decide whether a transfer is a true async DMA
+//! (registered range) or a pageable bounce through the simulated
+//! driver's staging area (anything else — charged to
+//! `telemetry::copy::count_bounce`).
+//!
+//! Ownership rules (see DESIGN.md §"Zero-copy handoff"):
+//!
+//! * Registration is RAII: a [`PinnedSlab`] guard pins the range on
+//!   construction and unpins it on drop. The guard borrows nothing — the
+//!   caller must keep the backing memory alive and un-moved (no
+//!   reallocation) while the guard lives, exactly the real-CUDA rule
+//!   that a registered range must not be freed or `realloc`ed.
+//! * Registration is idempotent in effect: nested/overlapping
+//!   registrations each need their own guard; a range is pinned while at
+//!   least one covering guard lives.
+//! * The registry keeps its capacity across register/unregister cycles,
+//!   so a steady-state stream that pins and unpins per batch allocates
+//!   nothing.
+
+use std::sync::Mutex;
+
+/// Registered `(start, len_bytes)` ranges. A plain vector: the registry
+/// holds a handful of pool slabs, and a linear scan on the (already
+/// API-cost-modeled) copy path is cheaper than any tree would be.
+static RANGES: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+
+/// RAII registration of one host address range as pinned.
+///
+/// While this guard lives, transfers whose host side falls entirely
+/// inside the range are treated as page-locked (true async DMA, no
+/// bounce). Dropping the guard unpins the range.
+#[derive(Debug)]
+pub struct PinnedSlab {
+    start: usize,
+    bytes: usize,
+}
+
+impl PinnedSlab {
+    /// Pin the memory backing `slice`. Empty slices yield an inert guard.
+    pub fn register<T>(slice: &[T]) -> PinnedSlab {
+        Self::register_raw(slice.as_ptr() as usize, std::mem::size_of_val(slice))
+    }
+
+    /// Pin `bytes` bytes starting at `start` (for callers that hold raw
+    /// capacity rather than an initialized slice).
+    pub fn register_raw(start: usize, bytes: usize) -> PinnedSlab {
+        if bytes > 0 {
+            RANGES.lock().expect("pinned registry").push((start, bytes));
+        }
+        PinnedSlab { start, bytes }
+    }
+
+    /// The registered range, for diagnostics.
+    pub fn range(&self) -> (usize, usize) {
+        (self.start, self.bytes)
+    }
+}
+
+impl Drop for PinnedSlab {
+    fn drop(&mut self) {
+        if self.bytes == 0 {
+            return;
+        }
+        let mut r = RANGES.lock().expect("pinned registry");
+        if let Some(i) = r
+            .iter()
+            .position(|&(s, b)| s == self.start && b == self.bytes)
+        {
+            // swap_remove keeps the Vec's capacity: steady-state
+            // pin/unpin cycles never touch the allocator.
+            r.swap_remove(i);
+        }
+    }
+}
+
+/// True when `[start, start+bytes)` lies entirely inside one registered
+/// range. Zero-length queries are pinned by convention (nothing moves).
+pub fn is_pinned_raw(start: usize, bytes: usize) -> bool {
+    if bytes == 0 {
+        return true;
+    }
+    let end = start + bytes;
+    RANGES
+        .lock()
+        .expect("pinned registry")
+        .iter()
+        .any(|&(s, b)| start >= s && end <= s + b)
+}
+
+/// True when the memory backing `slice` is registered as pinned.
+pub fn is_pinned<T>(slice: &[T]) -> bool {
+    is_pinned_raw(slice.as_ptr() as usize, std::mem::size_of_val(slice))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_covers_subranges_and_unpins_on_drop() {
+        let buf = vec![0u8; 4096];
+        assert!(!is_pinned(&buf[..]));
+        {
+            let _g = PinnedSlab::register(&buf[..]);
+            assert!(is_pinned(&buf[..]));
+            assert!(is_pinned(&buf[100..200]), "interior subrange is pinned");
+            assert!(is_pinned(&buf[4090..]), "tail subrange is pinned");
+        }
+        assert!(!is_pinned(&buf[..]), "drop unpins");
+    }
+
+    #[test]
+    fn empty_ranges_are_trivially_pinned_and_inert() {
+        let buf: Vec<u8> = Vec::new();
+        assert!(is_pinned(&buf[..]), "zero bytes move for an empty slice");
+        let g = PinnedSlab::register(&buf[..]);
+        assert_eq!(g.range().1, 0);
+        drop(g); // must not disturb other registrations
+    }
+
+    #[test]
+    fn overlapping_guards_keep_range_pinned_until_last_drop() {
+        let buf = [0u8; 64];
+        let g1 = PinnedSlab::register(&buf[..]);
+        let g2 = PinnedSlab::register(&buf[..]);
+        drop(g1);
+        assert!(is_pinned(&buf[..]), "second guard still covers the range");
+        drop(g2);
+        assert!(!is_pinned(&buf[..]));
+    }
+
+    #[test]
+    fn typed_slices_use_byte_extents() {
+        let buf = vec![0u32; 100];
+        let _g = PinnedSlab::register(&buf[..]);
+        assert!(is_pinned(&buf[..]));
+        assert!(is_pinned(&buf[50..100]));
+    }
+}

@@ -11,6 +11,7 @@
 //! declares [`SearchWork`] and its kernel.
 
 pub mod kernels;
+pub mod simd;
 
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -164,12 +165,13 @@ impl TopK {
     }
 }
 
-/// One offloader plus its lazily (re)sized device/host digest buffers —
-/// a replica's GPU state (`Workload::Gpu`).
+/// One offloader plus its lazily (re)sized device digest buffer — a
+/// replica's GPU state (`Workload::Gpu`). There is no host staging
+/// buffer: digests DMA straight into the caller's batch under a
+/// per-transfer pin.
 pub struct SearchCompute<O: Offload> {
     off: O,
     dev: Option<O::Buffer<u8>>,
-    host: Option<O::HostBuf<u8>>,
 }
 
 impl<O: Offload> SearchCompute<O> {
@@ -178,14 +180,15 @@ impl<O: Offload> SearchCompute<O> {
         SearchCompute {
             off: O::attach(system, device),
             dev: None,
-            host: None,
         }
     }
 
     /// Hash nonces `start..start + count`, writing `count * 20` digest
-    /// bytes into `out`. Buffers are grow-only, so with a stable range
-    /// size the steady state never touches an allocator; a sub-range
-    /// after an OOM allocates only its own (halved) span.
+    /// bytes into `out`. The device buffer is grow-only and the
+    /// read-back lands directly in `out[..len]` (page-locked for the
+    /// transfer), so with a stable range size the steady state touches
+    /// neither an allocator nor memcpy; a sub-range after an OOM
+    /// allocates only its own (halved) span.
     pub fn try_search_into(
         &mut self,
         midstate: [u32; 5],
@@ -199,9 +202,6 @@ impl<O: Offload> SearchCompute<O> {
             self.dev = None;
             self.dev = Some(self.off.try_alloc(len)?);
         }
-        if self.host.as_ref().map_or(0, |h| h.len()) < len {
-            self.host = Some(self.off.alloc_host(len));
-        }
         let dev = self.dev.as_ref().expect("allocated");
         self.off.try_launch(
             NonceSearchKernel {
@@ -214,10 +214,10 @@ impl<O: Offload> SearchCompute<O> {
             count as u64,
             BLOCK_1D,
         )?;
-        let host = self.host.as_mut().expect("allocated");
-        self.off.d2h_n(dev, host, len);
+        // Idempotent for pool-backed buffers; covers recycled Vecs too.
+        let _pin = gpusim::PinnedSlab::register(&out[..len]);
+        self.off.d2h_pinned(dev, &mut out[..len], len);
         self.off.sync();
-        out[..len].copy_from_slice(&host[..len]);
         Ok(())
     }
 }
@@ -335,11 +335,7 @@ impl<O: Offload> Workload for SearchWork<O> {
     }
 
     fn cpu_batch(&self, item: &NonceRange, out: &mut Vec<u8>) {
-        for i in 0..item.count {
-            let mut h = Sha1::resume(self.midstate, self.header_len);
-            h.update(&(item.start + i as u64).to_be_bytes());
-            out[i * DIGEST_BYTES..(i + 1) * DIGEST_BYTES].copy_from_slice(&h.finalize().0);
-        }
+        simd::hash_nonces(self.midstate, self.header_len, item.start, item.count, out);
     }
 
     fn register_telemetry(&self, rec: &Recorder) {

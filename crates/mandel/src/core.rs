@@ -91,17 +91,14 @@ pub struct Line {
 }
 
 /// Compute one line of the fractal (the body of the replicated stage).
+/// The escape loop runs through [`crate::simd::iterate_line`]: 4 pixels
+/// per AVX2 lane group where available, bit-identical scalar otherwise.
 pub fn compute_line(params: &FractalParams, row: usize) -> Line {
     let step = params.step();
     let ci = params.init_b + step * row as f64;
-    let mut pixels = Vec::with_capacity(params.dim);
-    let mut iters = Vec::with_capacity(params.dim);
-    for j in 0..params.dim {
-        let cr = params.init_a + step * j as f64;
-        let k = iterate(cr, ci, params.niter);
-        pixels.push(color(k, params.niter));
-        iters.push(k);
-    }
+    let mut iters = vec![0u32; params.dim];
+    crate::simd::iterate_line(params.init_a, step, ci, params.niter, &mut iters);
+    let pixels = iters.iter().map(|&k| color(k, params.niter)).collect();
     Line { row, pixels, iters }
 }
 

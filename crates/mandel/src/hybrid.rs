@@ -45,12 +45,13 @@ const BLOCK_1D: u32 = 256;
 /// (prefix-matches the pipeline's `stage1` row in trace exports).
 const GPU_STAGE: &str = "stage1 (gpu)";
 
-/// One offloader plus its lazily (re)sized device/host buffer pair —
-/// everything a stage replica needs to compute batches of lines.
+/// One offloader plus its lazily (re)sized device buffer — everything a
+/// stage replica needs to compute batches of lines. Since the zero-copy
+/// handoff there is no host-side staging buffer: read-backs DMA straight
+/// into the caller's batch vector under a per-transfer pin.
 pub struct BatchCompute<O: Offload> {
     off: O,
     dev: Option<O::Buffer<u8>>,
-    host: Option<O::HostBuf<u8>>,
 }
 
 impl<O: Offload> BatchCompute<O> {
@@ -60,12 +61,11 @@ impl<O: Offload> BatchCompute<O> {
         BatchCompute {
             off: O::attach(system, device),
             dev: None,
-            host: None,
         }
     }
 
-    /// Grow-only (re)allocation of the device/host buffer pair to at
-    /// least `len` pixels.
+    /// Grow-only (re)allocation of the device buffer to at least `len`
+    /// pixels.
     fn ensure_capacity(&mut self, len: usize) -> Result<(), WorkloadFault> {
         if self.dev.as_ref().map_or(0, |b| O::buffer_len(b)) < len {
             // Drop any stale buffer before re-allocating; on failure the
@@ -73,34 +73,37 @@ impl<O: Offload> BatchCompute<O> {
             self.dev = None;
             self.dev = Some(self.off.try_alloc(len)?);
         }
-        if self.host.as_ref().map_or(0, |h| h.len()) < len {
-            self.host = Some(self.off.alloc_host(len));
-        }
         Ok(())
     }
 
-    /// Launch `kernel` over `len` lanes and read `len` pixels back into
-    /// `out` (an exact-length slice or grow-only vector region).
-    fn launch_and_read<K: gpusim::KernelFn>(
+    /// Launch `kernel` over `len` lanes and read `len` pixels back
+    /// directly into `out[..len]`. The destination is page-locked for
+    /// the duration of the transfer, so the read-back is a true DMA into
+    /// the caller's (typically recycled) buffer — no staging copy.
+    fn launch_and_read_into<K: gpusim::KernelFn>(
         &mut self,
         kernel: K,
         len: usize,
+        out: &mut [u8],
     ) -> Result<(), WorkloadFault> {
         let dev = self.dev.as_ref().expect("allocated");
         self.off.try_launch(kernel, len as u64, BLOCK_1D)?;
-        let host = self.host.as_mut().expect("allocated");
-        self.off.d2h_n(dev, host, len);
+        // Idempotent for pool-backed buffers (already registered); this
+        // per-use guard covers recycler-cycled Vec<u8> batches too.
+        let _pin = gpusim::PinnedSlab::register(&out[..len]);
+        self.off.d2h_pinned(dev, &mut out[..len], len);
         self.off.sync();
         Ok(())
     }
 
     /// Compute lines `[batch*batch_size, ...)` into a caller-supplied
     /// (typically recycled) vector: `batch_size * dim` pixels, tail
-    /// batches padded with zero rows. Device and staging buffers are
-    /// grow-only and the read-back copies just this batch's pixels, so
-    /// with a stable batch size the steady state never touches either
-    /// allocator. A refused allocation or launch is reported instead of
-    /// panicking, leaving the state consistent for retry or fallback.
+    /// batches padded with zero rows. The device buffer is grow-only and
+    /// the read-back DMAs straight into `out` (no host staging buffer
+    /// exists), so with a stable batch size the steady state touches
+    /// neither the allocator nor memcpy. A refused allocation or launch
+    /// is reported instead of panicking, leaving the state consistent
+    /// for retry or fallback.
     pub fn try_compute_batch_into(
         &mut self,
         params: &FractalParams,
@@ -116,11 +119,11 @@ impl<O: Offload> BatchCompute<O> {
             params: *params,
             img: O::buffer_ptr(self.dev.as_ref().expect("allocated")),
         };
-        self.launch_and_read(k, len)?;
-        let host = self.host.as_ref().expect("allocated");
+        // Recycled vectors carry capacity, so this resize is alloc-free
+        // in the steady state.
         out.clear();
-        out.extend_from_slice(&host[..len]);
-        Ok(())
+        out.resize(len, 0);
+        self.launch_and_read_into(k, len, out)
     }
 
     /// Compute the row span `[first_row, first_row + rows)` into
@@ -143,10 +146,7 @@ impl<O: Offload> BatchCompute<O> {
             params: *params,
             img: O::buffer_ptr(self.dev.as_ref().expect("allocated")),
         };
-        self.launch_and_read(k, len)?;
-        let host = self.host.as_ref().expect("allocated");
-        out[..len].copy_from_slice(&host[..len]);
-        Ok(())
+        self.launch_and_read_into(k, len, out)
     }
 }
 

@@ -20,5 +20,6 @@ pub mod cpu;
 pub mod gpu;
 pub mod hybrid;
 pub mod kernels;
+pub mod simd;
 
 pub use crate::core::{color, compute_line, iterate, FractalParams, Image, Line};

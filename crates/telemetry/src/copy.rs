@@ -1,0 +1,153 @@
+//! Process-wide data-path copy accounting.
+//!
+//! The zero-copy pinned-slab handoff (DESIGN.md §"Zero-copy handoff")
+//! claims the steady-state pooled path performs **no** host-side staging
+//! memcpys. This module is how that claim stays checkable: every byte
+//! that still crosses a host-side copy is charged to one of two paths,
+//!
+//! * `staging` — an explicit host→host memcpy into or out of a staging
+//!   slab (the pre-PR-8 `clone_from_slice`/`extend_from_slice` sites);
+//! * `bounce` — a transfer that touched *unregistered* host memory, so
+//!   the simulated driver had to treat it as pageable and bounce it
+//!   through its own staging area (CUDA pageable copies, pinned-verb
+//!   fallbacks, OpenCL enqueues from unpinned slices).
+//!
+//! Counters are global relaxed atomics rather than `Recorder` state
+//! because the copies happen deep inside `gpusim` and `fastflow`, layers
+//! that deliberately do not thread a recorder through their hot paths.
+//! They are cumulative and monotone, which is exactly the contract the
+//! Prometheus `hetstream_copy_bytes_total` family needs; tests and
+//! benches that want per-batch figures difference two [`snapshot`]s.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static STAGING_BYTES: AtomicU64 = AtomicU64::new(0);
+static STAGING_OPS: AtomicU64 = AtomicU64::new(0);
+static BOUNCE_BYTES: AtomicU64 = AtomicU64::new(0);
+static BOUNCE_OPS: AtomicU64 = AtomicU64::new(0);
+static BATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Charge one explicit host→host staging memcpy of `bytes`.
+#[inline]
+pub fn count_staging(bytes: usize) {
+    STAGING_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    STAGING_OPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Charge one driver bounce of `bytes` (a transfer from/into host memory
+/// that was not registered as pinned).
+#[inline]
+pub fn count_bounce(bytes: usize) {
+    BOUNCE_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+    BOUNCE_OPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record that one workload batch went through the data path — the
+/// denominator of [`CopyStats::copies_per_batch`].
+#[inline]
+pub fn record_batch() {
+    BATCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Point-in-time copy totals since process start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CopyStats {
+    /// Bytes moved by explicit host→host staging memcpys.
+    pub staging_bytes: u64,
+    /// Explicit staging memcpy operations.
+    pub staging_ops: u64,
+    /// Bytes the simulated driver bounced because the host side of a
+    /// transfer was not registered as pinned.
+    pub bounce_bytes: u64,
+    /// Driver bounce operations.
+    pub bounce_ops: u64,
+    /// Workload batches processed (see [`record_batch`]).
+    pub batches: u64,
+}
+
+impl CopyStats {
+    /// All host-side copied bytes, both paths.
+    pub fn bytes_copied(&self) -> u64 {
+        self.staging_bytes + self.bounce_bytes
+    }
+
+    /// All host-side copy operations, both paths.
+    pub fn copy_ops(&self) -> u64 {
+        self.staging_ops + self.bounce_ops
+    }
+
+    /// Copy operations per processed batch (0.0 before any batch).
+    pub fn copies_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.copy_ops() as f64 / self.batches as f64
+        }
+    }
+
+    /// Copied bytes per processed batch (0.0 before any batch).
+    pub fn bytes_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.bytes_copied() as f64 / self.batches as f64
+        }
+    }
+
+    /// Per-field difference `self - earlier` (saturating; counters are
+    /// monotone so a negative delta only means a torn baseline).
+    pub fn since(&self, earlier: &CopyStats) -> CopyStats {
+        CopyStats {
+            staging_bytes: self.staging_bytes.saturating_sub(earlier.staging_bytes),
+            staging_ops: self.staging_ops.saturating_sub(earlier.staging_ops),
+            bounce_bytes: self.bounce_bytes.saturating_sub(earlier.bounce_bytes),
+            bounce_ops: self.bounce_ops.saturating_sub(earlier.bounce_ops),
+            batches: self.batches.saturating_sub(earlier.batches),
+        }
+    }
+}
+
+/// Read the global counters.
+pub fn snapshot() -> CopyStats {
+    CopyStats {
+        staging_bytes: STAGING_BYTES.load(Ordering::Relaxed),
+        staging_ops: STAGING_OPS.load(Ordering::Relaxed),
+        bounce_bytes: BOUNCE_BYTES.load(Ordering::Relaxed),
+        bounce_ops: BOUNCE_OPS.load(Ordering::Relaxed),
+        batches: BATCHES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_difference() {
+        let before = snapshot();
+        count_staging(100);
+        count_bounce(40);
+        count_bounce(2);
+        record_batch();
+        let d = snapshot().since(&before);
+        // Other test threads may also be counting: deltas are lower
+        // bounds, which is all a cumulative counter promises.
+        assert!(d.staging_bytes >= 100);
+        assert!(d.staging_ops >= 1);
+        assert!(d.bounce_bytes >= 42);
+        assert!(d.bounce_ops >= 2);
+        assert!(d.batches >= 1);
+        assert!(d.bytes_copied() >= 142);
+        assert!(d.copy_ops() >= 3);
+        assert!(d.copies_per_batch() > 0.0);
+        assert!(d.bytes_per_batch() > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let z = CopyStats::default();
+        assert_eq!(z.copies_per_batch(), 0.0);
+        assert_eq!(z.bytes_per_batch(), 0.0);
+        assert_eq!(z.bytes_copied(), 0);
+    }
+}

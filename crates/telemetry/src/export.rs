@@ -274,6 +274,40 @@ pub(crate) fn render_prometheus(inner: &Inner) -> String {
         ));
     }
 
+    // Host-side copy accounting (process-wide cumulative atomics — see
+    // `crate::copy`). Both paths always present so the family exists even
+    // on a fully zero-copy run.
+    let cp = crate::copy::snapshot();
+    family(
+        &mut out,
+        "hetstream_copy_bytes_total",
+        "counter",
+        "Host-side copied bytes by path (staging memcpys, driver bounces).",
+    );
+    for (path, v) in [("staging", cp.staging_bytes), ("bounce", cp.bounce_bytes)] {
+        out.push_str(&format!(
+            "hetstream_copy_bytes_total{{path=\"{path}\"}} {v}\n"
+        ));
+    }
+    family(
+        &mut out,
+        "hetstream_copy_ops_total",
+        "counter",
+        "Host-side copy operations by path.",
+    );
+    for (path, v) in [("staging", cp.staging_ops), ("bounce", cp.bounce_ops)] {
+        out.push_str(&format!(
+            "hetstream_copy_ops_total{{path=\"{path}\"}} {v}\n"
+        ));
+    }
+    family(
+        &mut out,
+        "hetstream_copy_batches_total",
+        "counter",
+        "Workload batches processed (denominator of copies-per-batch).",
+    );
+    out.push_str(&format!("hetstream_copy_batches_total {}\n", cp.batches));
+
     // GPU engine busy time (modeled ns), one series per device × engine.
     family(
         &mut out,
@@ -545,6 +579,11 @@ mod tests {
             "hetstream_faults_total{kind=\"cpu_fallback\"} 0",
             "hetstream_pool_hits_total{pool=\"test.pool\"} 1",
             "hetstream_pool_hit_rate{pool=\"test.pool\"} 1.0000",
+            "# TYPE hetstream_copy_bytes_total counter",
+            "hetstream_copy_bytes_total{path=\"staging\"}",
+            "hetstream_copy_bytes_total{path=\"bounce\"}",
+            "hetstream_copy_ops_total{path=\"staging\"}",
+            "hetstream_copy_batches_total",
             "hetstream_flight_events_total",
         ] {
             assert!(text.contains(family), "missing {family:?} in:\n{text}");

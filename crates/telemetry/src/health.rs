@@ -98,6 +98,11 @@ pub struct HealthSnapshot {
     pub pools: Vec<PoolHealth>,
     /// Events emitted into the flight ring so far.
     pub flight_events: u64,
+    /// Host-side copied bytes so far (staging + driver bounces;
+    /// process-wide cumulative — see [`crate::copy`]).
+    pub copy_bytes: u64,
+    /// Host-side copy operations per processed batch.
+    pub copies_per_batch: f64,
 }
 
 impl HealthSnapshot {
@@ -106,7 +111,7 @@ impl HealthSnapshot {
         let depth: u64 = self.stages.iter().map(|s| s.queue_depth).sum();
         format!(
             "health: {} at t={}ns (stages={} queued={} faults={} retries={} \
-             fallbacks={} stalls={})",
+             fallbacks={} stalls={} copied={}B copies/batch={:.2})",
             self.status.label(),
             self.t_ns,
             self.stages.len(),
@@ -114,7 +119,9 @@ impl HealthSnapshot {
             self.fault_causes,
             self.retries,
             self.cpu_fallbacks,
-            self.stalls
+            self.stalls,
+            self.copy_bytes,
+            self.copies_per_batch
         )
     }
 
@@ -172,6 +179,10 @@ impl HealthSnapshot {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"copy\": {{\"bytes_copied\": {}, \"copies_per_batch\": {:.4}}},\n",
+            self.copy_bytes, self.copies_per_batch
+        ));
         out.push_str(&format!("  \"flight_events\": {}\n", self.flight_events));
         out.push_str("}\n");
         out
@@ -195,6 +206,8 @@ impl Default for HealthSnapshot {
             stalls: 0,
             pools: Vec::new(),
             flight_events: 0,
+            copy_bytes: 0,
+            copies_per_batch: 0.0,
         }
     }
 }
@@ -244,6 +257,7 @@ pub(crate) fn snapshot(inner: &Inner) -> HealthSnapshot {
         }
     }
     let stalls = inner.stalls.lock().unwrap().len() as u64;
+    let cp = crate::copy::snapshot();
     let status = if stalls > 0 {
         HealthStatus::Stalled
     } else if causes + retries + fallbacks > 0 {
@@ -279,6 +293,8 @@ pub(crate) fn snapshot(inner: &Inner) -> HealthSnapshot {
             })
             .collect(),
         flight_events: inner.flight.emitted(),
+        copy_bytes: cp.bytes_copied(),
+        copies_per_batch: cp.copies_per_batch(),
     }
 }
 

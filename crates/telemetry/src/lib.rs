@@ -42,12 +42,14 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 mod chrome;
+pub mod copy;
 mod export;
 mod flight;
 mod health;
 mod histo;
 mod monitor;
 
+pub use copy::CopyStats;
 pub use export::{MetricsServer, PromWriter};
 pub use flight::{
     FlightEvent, FlightHandle, FlightKind, FlightRing, DEFAULT_FLIGHT_CAPACITY, NO_BATCH,
@@ -927,6 +929,7 @@ impl Recorder {
                             stats: c.snapshot(),
                         })
                         .collect(),
+                    copy: copy::snapshot(),
                 }
             }
         }
@@ -1119,6 +1122,9 @@ pub struct TelemetryReport {
     pub faults: Vec<FaultEvent>,
     /// Registered buffer-pool gauges at report time.
     pub pools: Vec<PoolReport>,
+    /// Host-side copy accounting (process-wide cumulative totals; see
+    /// [`copy`]).
+    pub copy: CopyStats,
 }
 
 impl TelemetryReport {
@@ -1414,6 +1420,20 @@ impl TelemetryReport {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"copy\": {{\"bytes_copied\": {}, \"copy_ops\": {}, \"staging_bytes\": {}, \
+             \"staging_ops\": {}, \"bounce_bytes\": {}, \"bounce_ops\": {}, \"batches\": {}, \
+             \"copies_per_batch\": {:.4}, \"bytes_per_batch\": {:.2}}},\n",
+            self.copy.bytes_copied(),
+            self.copy.copy_ops(),
+            self.copy.staging_bytes,
+            self.copy.staging_ops,
+            self.copy.bounce_bytes,
+            self.copy.bounce_ops,
+            self.copy.batches,
+            self.copy.copies_per_batch(),
+            self.copy.bytes_per_batch(),
+        ));
         out.push_str("  \"windows\": [\n");
         for (i, wdw) in self.windows.iter().enumerate() {
             out.push_str(&format!("    {{\"t_ns\": {}, \"stages\": [", wdw.t_ns));

@@ -43,6 +43,9 @@ use fastflow::FaultPolicy;
 use gpusim::GpuSystem;
 use telemetry::{FaultKind, FlightHandle, FlightKind, Recorder};
 
+pub mod pinned;
+pub use pinned::{pinned_pool, GpuPinnedRegistrar};
+
 /// Why a batch failed on the device: the two operational fault classes the
 /// recovery ladder absorbs (allocation refusals and launch refusals).
 #[derive(Debug)]
@@ -273,6 +276,9 @@ impl<W: Workload> WorkloadDriver<W> {
     /// OOM, degrade to the host — always writing into `out` so recovery
     /// recycles the same buffer the happy path does.
     pub fn process_into(&self, gpu: &mut W::Gpu, item: &W::Item, out: &mut W::Batch) {
+        // One batch crossing the data path: the copy ledger divides its
+        // byte counters by this to report copies-per-batch.
+        telemetry::copy::record_batch();
         let w = &self.work;
         let policy = w.policy();
         let stage = w.stage_label();

@@ -1,0 +1,119 @@
+//! Bit-exactness gate for every vectorized/fast kernel added by the
+//! raw-speed pass: the runtime-dispatched paths must agree with their
+//! scalar references byte-for-byte on every input — lane remainders
+//! (widths not divisible by the lane count), empty batches, single
+//! items, and deterministic pseudo-random sweeps. On machines without
+//! AVX2 the dispatchers fall back to the references themselves and the
+//! suite degenerates to a tautology, which is exactly the contract.
+
+use hetstream::dedup::rabin::{chunk_starts, chunk_starts_reference};
+use hetstream::dedup::sha1::{compress_block, Sha1};
+use hetstream::dedup::sha1mb::compress8;
+use hetstream::dedup::RabinParams;
+use hetstream::hashsearch::simd::{hash_nonces, hash_nonces_scalar};
+use hetstream::hashsearch::DIGEST_BYTES;
+use hetstream::mandel::simd::{iterate_line, iterate_line_scalar};
+
+/// xorshift64* byte stream — deterministic test data, no external crates.
+fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+    let mut s = seed.max(1);
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn mandel_iterate_line_matches_scalar_at_every_width() {
+    // Widths sweep every remainder class of the 4-lane groups, plus
+    // empty and single-pixel rows.
+    let niter = 300;
+    for width in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 9, 31, 64, 101] {
+        let step = 3.0 / 101.0;
+        for (row, ci) in [(0usize, -1.5f64), (33, -0.52), (50, 0.0)] {
+            let init_a = -2.125;
+            let mut fast = vec![0u32; width];
+            let mut slow = vec![0u32; width];
+            iterate_line(init_a, step, ci, niter, &mut fast);
+            iterate_line_scalar(init_a, step, ci, niter, &mut slow);
+            assert_eq!(fast, slow, "width {width} row {row}");
+        }
+    }
+}
+
+#[test]
+fn sha1_compress8_matches_scalar_on_random_blocks_and_states() {
+    for seed in 1..=16u64 {
+        let raw = pseudo_random(8 * 64 + 8 * 20, seed);
+        let blocks: [[u8; 64]; 8] =
+            std::array::from_fn(|l| raw[l * 64..(l + 1) * 64].try_into().expect("64 bytes"));
+        // Random chaining states too: exactness must hold mid-stream,
+        // not just from the IV.
+        let mut states: [[u32; 5]; 8] = std::array::from_fn(|l| {
+            let base = 8 * 64 + l * 20;
+            std::array::from_fn(|j| {
+                u32::from_be_bytes(raw[base + j * 4..base + j * 4 + 4].try_into().expect("4"))
+            })
+        });
+        let mut reference = states;
+        compress8(&mut states, &blocks);
+        for (h, block) in reference.iter_mut().zip(&blocks) {
+            compress_block(h, block);
+        }
+        assert_eq!(states, reference, "seed {seed}");
+    }
+}
+
+#[test]
+fn hash_nonces_matches_scalar_at_every_remainder() {
+    let mut h = Sha1::new();
+    h.update(&pseudo_random(192, 77));
+    let mid = h.midstate().expect("192 bytes is a block boundary");
+    // Counts covering empty, single, every lane remainder, and a few
+    // full groups; starts exercising carry into the high nonce bytes.
+    for count in [0usize, 1, 2, 5, 7, 8, 9, 15, 16, 17, 40] {
+        for start in [0u64, 255, u32::MAX as u64 - 3] {
+            let mut fast = vec![0u8; count * DIGEST_BYTES];
+            let mut slow = vec![0u8; count * DIGEST_BYTES];
+            hash_nonces(mid, 192, start, count, &mut fast);
+            hash_nonces_scalar(mid, 192, start, count, &mut slow);
+            assert_eq!(fast, slow, "count {count} start {start}");
+        }
+    }
+}
+
+#[test]
+fn rabin_fast_scan_matches_reference_across_params_and_lengths() {
+    let small = RabinParams {
+        window: 16,
+        mask: (1 << 6) - 1,
+        magic: 0x15,
+        min_chunk: 32,
+        max_chunk: 512,
+    };
+    for params in [small, RabinParams::default()] {
+        for (len, seed) in [
+            (0usize, 1u64),
+            (1, 2),
+            (params.window, 3),
+            (params.min_chunk - 1, 4),
+            (params.min_chunk, 5),
+            (params.min_chunk + 1, 6),
+            (params.max_chunk, 7),
+            (params.max_chunk + 1, 8),
+            (4 * params.max_chunk + 13, 9),
+        ] {
+            let data = pseudo_random(len, seed);
+            assert_eq!(
+                chunk_starts(&data, &params),
+                chunk_starts_reference(&data, &params),
+                "len {len} window {}",
+                params.window
+            );
+        }
+    }
+}
