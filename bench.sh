@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Data-path benchmark runner. Fully offline.
 #
-#   ./bench.sh                 # full run, writes BENCH_pr3/pr5/pr7/pr8.json
+#   ./bench.sh                 # full run, writes BENCH_pr3/pr5/pr7/pr8/pr9.json
 #   ./bench.sh out.json        # same, custom pr3 output path
 #   BENCH_SMOKE=1 ./bench.sh   # CI smoke: same benches, skips the timing-ratio
 #                              # assertions (shared CI boxes are too noisy to
@@ -22,6 +22,9 @@
 #   - the PR 8 raw-speed bench: the three SIMD kernels vs their scalar
 #     references and the zero-copy offload round trip (bytes copied per
 #     batch from the telemetry ledger) — written to BENCH_pr8.json
+#   - the PR 9 ingress bench: durable file-log produce/replay, the pinned
+#     pooled pump (staging bytes per record must be 0) and the loopback
+#     TCP round trip with windowed acks — written to BENCH_pr9.json
 # plus the wall-clock of a real `fig1 --tiny` end-to-end run.
 #
 # Output schema ("hetstream.bench.v1"):
@@ -37,6 +40,7 @@ OUT="${1:-BENCH_pr3.json}"
 OUT5="${2:-BENCH_pr5.json}"
 OUT7="${3:-BENCH_pr7.json}"
 OUT8="${4:-BENCH_pr8.json}"
+OUT9="${5:-BENCH_pr9.json}"
 SMOKE="${BENCH_SMOKE:-0}"
 # cargo runs bench binaries with the package dir as CWD; hand it absolute paths.
 case "$OUT" in
@@ -55,6 +59,10 @@ case "$OUT8" in
     /*) OUT8_ABS="$OUT8" ;;
     *) OUT8_ABS="$PWD/$OUT8" ;;
 esac
+case "$OUT9" in
+    /*) OUT9_ABS="$OUT9" ;;
+    *) OUT9_ABS="$PWD/$OUT9" ;;
+esac
 
 echo "== build (release, offline) =="
 cargo build --release --offline -p bench --benches --bin fig1
@@ -70,7 +78,7 @@ echo "== data-path micro-benches =="
 HETSTREAM_FIG1_TINY_WALL_S="$FIG1_WALL" \
     cargo bench --offline -p bench --bench datapath -- \
     --json "$OUT_ABS" --json-pr5 "$OUT5_ABS" --json-pr7 "$OUT7_ABS" \
-    --json-pr8 "$OUT8_ABS"
+    --json-pr8 "$OUT8_ABS" --json-pr9 "$OUT9_ABS"
 
 echo "== summary ($OUT) =="
 cat "$OUT"
@@ -80,6 +88,8 @@ echo "== summary ($OUT7) =="
 cat "$OUT7"
 echo "== summary ($OUT8) =="
 cat "$OUT8"
+echo "== summary ($OUT9) =="
+cat "$OUT9"
 
 # The headline claim of the batched data path: multi-push/multi-pop must be
 # at least 2x single-item ops on the raw SPSC micro-bench.
@@ -150,7 +160,27 @@ if [[ "$SMOKE" != "1" ]] && ! awk -v s="$best_simd" 'BEGIN{exit !(s >= 1.5)}'; t
     echo "FAIL: best SIMD kernel speedup ${best_simd}x is below the 1.5x floor" >&2
     exit 1
 fi
+# PR 9 gates. The ingress staging-bytes figure comes from the same
+# deterministic ledger as the PR 8 one (the pump reads into pooled pinned
+# slabs — any copy would be a code change, not noise), so it is asserted
+# even in smoke mode; the TCP records/s figure is recorded, not gated (it
+# is a timing number), but must be present and positive.
+ing_staging=$(grep -o '"ingress_staging_bytes_per_record": [0-9.]*' "$OUT9" | grep -o '[0-9.]*$')
+tcp_rps=$(grep -o '"tcp_records_per_s": [0-9.]*' "$OUT9" | grep -o '[0-9.]*$')
+if [[ -z "$ing_staging" || -z "$tcp_rps" ]]; then
+    echo "FAIL: $OUT9 is missing ingress_staging_bytes_per_record / tcp_records_per_s" >&2
+    exit 1
+fi
+if ! awk -v b="$ing_staging" 'BEGIN{exit !(b == 0.0)}'; then
+    echo "FAIL: pinned ingress pump copied ${ing_staging} bytes per record (must be 0)" >&2
+    exit 1
+fi
+if ! awk -v r="$tcp_rps" 'BEGIN{exit !(r > 0.0)}'; then
+    echo "FAIL: tcp ingress throughput ${tcp_rps} records/s is not positive" >&2
+    exit 1
+fi
 echo "bench.sh: done (spsc batched speedup: ${speedup}x," \
      "pooled batch speedup: ${pooled}x, pool hit rate: ${hitrate}," \
      "flight emit: ${noop_ns} ns noop / ${enabled_ns} ns enabled," \
-     "zero-copy: ${staging_bpb} B/batch, best SIMD speedup: ${best_simd}x)"
+     "zero-copy: ${staging_bpb} B/batch, best SIMD speedup: ${best_simd}x," \
+     "ingress tcp: ${tcp_rps} records/s at ${ing_staging} B/record staged)"

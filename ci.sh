@@ -34,6 +34,43 @@ grep -q '"e2e"' "$figdir/fig1_telemetry.json"
 grep -q '^stage,' "$figdir/fig1_telemetry.csv"
 grep -q '"traceEvents"' "$figdir/fig1.trace.json"
 
+echo "== fig1 ingress smoke (file source: produce, kill mid-stream, resume, bit-exact) =="
+# The exactly-once contract, end to end: run 1 produces the input log and
+# is killed after its 3rd egress record is durable but before that
+# record's input offset commits; run 2 must resume from the committed
+# offsets, skip the already-emitted record instead of re-emitting it, and
+# still assemble the bit-identical image with 0 staged bytes on the
+# pinned ingress path.
+ingdir=$(mktemp -d)
+killlog=$(cargo run --release --offline -q -p bench --bin fig1 -- \
+    --tiny --source file --ingress-dir "$ingdir" --kill-after 3)
+echo "$killlog" | grep -q 'killed after 3 batches' || {
+    echo "FAIL: fig1 --kill-after 3 did not report the kill" >&2
+    exit 1
+}
+resumelog=$(cargo run --release --offline -q -p bench --bin fig1 -- \
+    --tiny --source file --ingress-dir "$ingdir")
+for want in 'resumed shard' '1 skipped re-emits' 'ingress image bit-identical' \
+            'ingress copy ledger: 0 staging bytes/batch'; do
+    echo "$resumelog" | grep -q "$want" || {
+        echo "FAIL: fig1 ingress resume run did not report '$want'" >&2
+        echo "$resumelog" >&2
+        exit 1
+    }
+done
+rm -rf "$ingdir"
+
+echo "== fig1 ingress smoke (tcp source: loopback transport, pinned landing) =="
+tcplog=$(cargo run --release --offline -q -p bench --bin fig1 -- --tiny --source tcp)
+echo "$tcplog" | grep -q 'ingress image bit-identical (tcp source' || {
+    echo "FAIL: fig1 --source tcp did not render the bit-identical image" >&2
+    exit 1
+}
+echo "$tcplog" | grep -q 'ingress copy ledger: 0 staging bytes/batch' || {
+    echo "FAIL: fig1 --source tcp copied bytes on the pinned ingress path" >&2
+    exit 1
+}
+
 echo "== fig4 --tiny fault-injection smoke (must degrade to CPU, stay bit-exact) =="
 faultlog=$(cargo run --release --offline -p bench --bin fig4 -- --tiny --inject-faults 42)
 echo "$faultlog" | grep -q 'cpu_fallback' || {
@@ -156,7 +193,17 @@ echo "== SIMD bit-exactness + zero-copy steady-state gates (named rerun) =="
 cargo test --release --offline --test simd_exactness
 cargo test --release --offline --test steady_state_no_copy
 
-echo "== bench.sh smoke (writes BENCH_pr3/pr5/pr7/pr8.json) =="
+echo "== ingress contract suite + transport tests (named rerun) =="
+# The ingress layer's guarantees on their own CI lines: resume
+# bit-exactness after a mid-stream kill, group-rebalance exactly-once,
+# seek/rewind determinism, pump backpressure, pinned zero-copy landing —
+# plus the crate's own torn-tail / CRC / wire-framing tests and the
+# metrics-endpoint stalled-client regression.
+cargo test --release --offline --test ingress_contract
+cargo test --release --offline -p ingress
+cargo test --release --offline -p telemetry stalled_client_does_not_block_other_scrapers
+
+echo "== bench.sh smoke (writes BENCH_pr3/pr5/pr7/pr8/pr9.json) =="
 BENCH_SMOKE=1 ./bench.sh
 test -s BENCH_pr3.json
 grep -q '"schema": "hetstream.bench.v1"' BENCH_pr3.json
@@ -175,6 +222,11 @@ grep -q '"entry": "pr8"' BENCH_pr8.json
 grep -q '"staging_bytes_per_batch"' BENCH_pr8.json
 grep -q '"copies_per_batch"' BENCH_pr8.json
 grep -q '"best_simd_speedup"' BENCH_pr8.json
+test -s BENCH_pr9.json
+grep -q '"schema": "hetstream.bench.v1"' BENCH_pr9.json
+grep -q '"entry": "pr9"' BENCH_pr9.json
+grep -q '"tcp_records_per_s"' BENCH_pr9.json
+grep -q '"ingress_staging_bytes_per_record": 0.000' BENCH_pr9.json
 
 echo
 echo "ci.sh: all gates passed"

@@ -29,6 +29,13 @@
 //! `telemetry::copy` ledger. Pass `--json-pr8 <path>` to emit
 //! `BENCH_pr8.json`.
 //!
+//! PR 9 adds the ingress rows: durable file-log produce (append + CRC +
+//! windowed fsync) and replay consume (`ingress_filelog`), the pinned
+//! pooled pump path under a delta-scoped copy ledger (`ingress_pump` —
+//! the bytes-per-record figure must be 0), and the windowed-ack TCP
+//! round trip over a real loopback socket (`ingress_tcp`). Pass
+//! `--json-pr9 <path>` to emit `BENCH_pr9.json`.
+//!
 //! Keep runs short: the reproduction box can be a single core, so the
 //! numbers measure per-item overhead, not parallel speedup — which is
 //! exactly what the batching layer targets.
@@ -645,6 +652,153 @@ fn bench_copy_path(results: &mut Vec<Result>) -> CopyPathStats {
     }
 }
 
+/// PR 9 derived figures from [`bench_ingress`].
+struct IngressPathStats {
+    /// Host bytes copied per pumped record on the pinned pooled path
+    /// (the zero-copy gate: must be 0).
+    staging_bytes_per_record: f64,
+    /// Records per second through the loopback TCP transport.
+    tcp_records_per_s: f64,
+}
+
+/// PR 9: the ingress transports end to end. File log produce and replay
+/// are timed once (appends are cumulative, so repeated sweeps would
+/// measure a growing log); the pump and TCP paths run the real threads.
+fn bench_ingress(results: &mut Vec<Result>) -> IngressPathStats {
+    use ingress::{
+        FileLogSink, FileLogSource, PumpConfig, ShardId, Sink, Source, StreamKey, TcpIngressServer,
+        TcpSink,
+    };
+
+    const N: u64 = 4096;
+    const SHARDS: u32 = 2;
+    let payload = [0xabu8; 64];
+    let root = std::env::temp_dir().join(format!("hetstream_bench_ingress_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let key = StreamKey::new("bench").expect("valid key");
+
+    // Durable produce: append + CRC + fsync every in-flight window.
+    let t0 = Instant::now();
+    {
+        let mut sink = FileLogSink::open(&root, &key, SHARDS).expect("open sink");
+        for i in 0..N {
+            sink.send(ShardId((i % u64::from(SHARDS)) as u32), &payload)
+                .expect("send");
+        }
+        sink.flush().expect("flush");
+    }
+    record(
+        results,
+        "ingress_filelog",
+        "produce",
+        N,
+        t0.elapsed().as_secs_f64(),
+    );
+
+    // Replay consume: CRC-checked reads through the offset index.
+    let t0 = Instant::now();
+    {
+        let mut src =
+            FileLogSource::open_replay(&root, &key, fastflow::BufPool::new()).expect("open replay");
+        let mut batch = Vec::new();
+        let mut got = 0u64;
+        while got < N {
+            batch.clear();
+            let n = src.next_batch(&mut batch, 256).expect("next_batch");
+            assert!(n > 0, "replay ran dry at {got}/{N}");
+            got += n as u64;
+        }
+    }
+    record(
+        results,
+        "ingress_filelog",
+        "replay",
+        N,
+        t0.elapsed().as_secs_f64(),
+    );
+
+    // The pumped pinned path under a delta-scoped ledger: external bytes
+    // land in page-locked pooled slabs with zero host copies.
+    let ledger = telemetry::copy::CopyLedger::new();
+    let rec = telemetry::Recorder::default();
+    let stats = ingress::IngressStats::new(&rec, "bench");
+    let src = FileLogSource::open_replay(&root, &key, workload::pinned_pool::<u8>())
+        .expect("open pinned replay");
+    let (tx, rx) = fastflow::channel::<usize>(256, fastflow::WaitStrategy::Block);
+    let t0 = Instant::now();
+    let pump = ingress::spawn_pump(
+        Box::new(src),
+        tx,
+        |m| m.payload.len(),
+        PumpConfig {
+            ledger: Some(ledger.clone()),
+            max_batch: 256,
+            ..PumpConfig::default()
+        },
+        &rec,
+        stats,
+    );
+    let mut got = Vec::new();
+    while (got.len() as u64) < N {
+        if rx.recv_batch(&mut got, 256) == 0 {
+            panic!("ingress pump hung up early");
+        }
+    }
+    let pumped = pump.join().expect("pump result");
+    record(
+        results,
+        "ingress_pump",
+        "pinned",
+        pumped,
+        t0.elapsed().as_secs_f64(),
+    );
+    let delta = ledger.stats();
+    let staging_bytes_per_record = delta.bytes_copied() as f64 / pumped.max(1) as f64;
+
+    // TCP round trip over loopback: windowed in-flight sends, ack frames
+    // drained by the producer, records consumed off the bounded queue.
+    const TN: u64 = 2048;
+    let server = TcpIngressServer::bind("127.0.0.1:0", &key, fastflow::BufPool::new(), 512)
+        .expect("bind ingress server");
+    let addr = server.addr();
+    let mut src = server.source();
+    let producer = std::thread::spawn(move || {
+        let key = StreamKey::new("bench").expect("valid key");
+        let mut sink = TcpSink::connect(addr, &key, SHARDS)
+            .expect("connect")
+            .with_max_in_flight(64);
+        let payload = [0xabu8; 64];
+        for i in 0..TN {
+            sink.send(ShardId((i % u64::from(SHARDS)) as u32), &payload)
+                .expect("tcp send");
+        }
+        sink.flush().expect("tcp flush");
+    });
+    let t0 = Instant::now();
+    let mut batch = Vec::new();
+    let mut got = 0u64;
+    while got < TN {
+        batch.clear();
+        let n = src.next_batch(&mut batch, 256).expect("next_batch");
+        if n == 0 {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            continue;
+        }
+        got += n as u64;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    producer.join().expect("producer thread");
+    server.stop();
+    record(results, "ingress_tcp", "roundtrip", TN, secs);
+    let tcp_records_per_s = TN as f64 / secs.max(1e-9);
+
+    let _ = std::fs::remove_dir_all(&root);
+    IngressPathStats {
+        staging_bytes_per_record,
+        tcp_records_per_s,
+    }
+}
+
 fn find(results: &[Result], bench: &str, mode: &str) -> Option<f64> {
     results
         .iter()
@@ -806,6 +960,38 @@ fn write_json_pr8(path: &str, results: &[Result], copies: &CopyPathStats) {
     println!("wrote {path}");
 }
 
+fn write_json_pr9(path: &str, results: &[Result], ingress_path: &IngressPathStats) {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let mut rows = String::new();
+    for (i, r) in results
+        .iter()
+        .filter(|r| matches!(r.bench, "ingress_filelog" | "ingress_pump" | "ingress_tcp"))
+        .enumerate()
+    {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"items\": {}, \"items_per_s\": {:.1}}}",
+            r.bench, r.mode, r.items, r.items_per_s
+        ));
+    }
+
+    let produce = find(results, "ingress_filelog", "produce").unwrap_or(0.0);
+    let replay = find(results, "ingress_filelog", "replay").unwrap_or(0.0);
+    let pump = find(results, "ingress_pump", "pinned").unwrap_or(0.0);
+    let json = format!(
+        "{{\n  \"schema\": \"hetstream.bench.v1\",\n  \"entry\": \"pr9\",\n  \"unix_time\": {unix_time},\n  \"results\": [\n{rows}\n  ],\n  \"derived\": {{\n    \"filelog_produce_records_per_s\": {produce:.1},\n    \"filelog_replay_records_per_s\": {replay:.1},\n    \"pump_records_per_s\": {pump:.1},\n    \"tcp_records_per_s\": {:.1},\n    \"ingress_staging_bytes_per_record\": {:.3}\n  }}\n}}\n",
+        ingress_path.tcp_records_per_s, ingress_path.staging_bytes_per_record,
+    );
+    std::fs::write(path, json).expect("write pr9 bench json");
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args
@@ -828,6 +1014,11 @@ fn main() {
         .position(|a| a == "--json-pr8")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let json_pr9_path = args
+        .iter()
+        .position(|a| a == "--json-pr9")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     println!(
         "{:<28} {:<10} {:>15}  {:>22}",
@@ -843,6 +1034,7 @@ fn main() {
     let flight = bench_flight(&mut results);
     bench_simd_kernels(&mut results);
     let copies = bench_copy_path(&mut results);
+    let ingress_path = bench_ingress(&mut results);
 
     if let (Some(b), Some(s)) = (
         find(&results, "spsc_channel", "batched"),
@@ -884,6 +1076,10 @@ fn main() {
         "offload roundtrip: pinned {:.1} B/batch ({:.2} copies/batch), unpinned {:.1} B/batch",
         copies.staging_bytes_per_batch, copies.copies_per_batch, copies.unpinned_bytes_per_batch,
     );
+    println!(
+        "ingress: tcp {:.0} records/s, pinned pump staging {:.1} B/record",
+        ingress_path.tcp_records_per_s, ingress_path.staging_bytes_per_record,
+    );
 
     if let Some(path) = json_path {
         write_json(&path, &results);
@@ -896,5 +1092,8 @@ fn main() {
     }
     if let Some(path) = json_pr8_path {
         write_json_pr8(&path, &results, &copies);
+    }
+    if let Some(path) = json_pr9_path {
+        write_json_pr9(&path, &results, &ingress_path);
     }
 }

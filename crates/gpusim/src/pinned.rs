@@ -49,12 +49,16 @@ impl PinnedSlab {
     }
 
     /// Pin `bytes` bytes starting at `start` (for callers that hold raw
-    /// capacity rather than an initialized slice).
+    /// capacity rather than an initialized slice). A range whose end would
+    /// overflow the address space cannot describe real memory; it yields
+    /// an inert guard instead of poisoning the registry.
     pub fn register_raw(start: usize, bytes: usize) -> PinnedSlab {
-        if bytes > 0 {
+        if bytes > 0 && start.checked_add(bytes).is_some() {
             RANGES.lock().expect("pinned registry").push((start, bytes));
+            PinnedSlab { start, bytes }
+        } else {
+            PinnedSlab { start, bytes: 0 }
         }
-        PinnedSlab { start, bytes }
     }
 
     /// The registered range, for diagnostics.
@@ -80,18 +84,43 @@ impl Drop for PinnedSlab {
     }
 }
 
-/// True when `[start, start+bytes)` lies entirely inside one registered
-/// range. Zero-length queries are pinned by convention (nothing moves).
+/// True when `[start, start+bytes)` lies entirely inside registered
+/// memory. Zero-length queries are pinned by convention (nothing moves).
+///
+/// Adjacent registered slabs coalesce: a query spanning two *abutting*
+/// ranges (one pool slab ending exactly where the next begins) is pinned,
+/// because every byte of it is page-locked — which registration guard
+/// covers which half is an accounting detail the DMA engine never sees.
+/// All arithmetic is checked; a query whose end would overflow the
+/// address space cannot be a real buffer and reports unpinned instead of
+/// panicking (debug) or wrapping into a false positive (release).
 pub fn is_pinned_raw(start: usize, bytes: usize) -> bool {
     if bytes == 0 {
         return true;
     }
-    let end = start + bytes;
-    RANGES
-        .lock()
-        .expect("pinned registry")
-        .iter()
-        .any(|&(s, b)| start >= s && end <= s + b)
+    let Some(end) = start.checked_add(bytes) else {
+        return false;
+    };
+    let ranges = RANGES.lock().expect("pinned registry");
+    // Greedy sweep, no allocation (this sits on the per-transfer copy
+    // path): repeatedly extend covered ground by the farthest-reaching
+    // range that contains the current frontier. Abutting slabs chain
+    // because the next range starts exactly at the frontier.
+    let mut frontier = start;
+    loop {
+        let mut reach = None;
+        for &(s, b) in ranges.iter() {
+            let Some(e) = s.checked_add(b) else { continue };
+            if s <= frontier && frontier < e {
+                reach = Some(reach.map_or(e, |r: usize| r.max(e)));
+            }
+        }
+        match reach {
+            Some(e) if e >= end => return true,
+            Some(e) => frontier = e,
+            None => return false,
+        }
+    }
 }
 
 /// True when the memory backing `slice` is registered as pinned.
@@ -134,6 +163,41 @@ mod tests {
         assert!(is_pinned(&buf[..]), "second guard still covers the range");
         drop(g2);
         assert!(!is_pinned(&buf[..]));
+    }
+
+    #[test]
+    fn near_address_space_end_queries_do_not_overflow() {
+        // `start + bytes` overflows usize: the old unchecked add panicked
+        // in debug builds and wrapped to a tiny `end` in release builds,
+        // where any low registered range made the query a false positive.
+        let _low = PinnedSlab::register_raw(0x1000, 0x10000);
+        assert!(!is_pinned_raw(usize::MAX - 8, 64));
+        assert!(!is_pinned_raw(usize::MAX, 1));
+        // Registering a wrapping range is refused (inert guard), so it can
+        // never satisfy containment queries either.
+        let g = PinnedSlab::register_raw(usize::MAX - 4, 1024);
+        assert_eq!(g.range().1, 0, "wrapping registration must be inert");
+        assert!(!is_pinned_raw(usize::MAX - 4, 8));
+    }
+
+    #[test]
+    fn range_spanning_two_abutting_slabs_is_pinned() {
+        // One backing buffer registered as two adjacent slabs — the shape
+        // a size-classed pool produces for neighbouring class slabs. A
+        // transfer spanning the seam is fully page-locked and must not be
+        // charged as a driver bounce.
+        let buf = vec![0u8; 8192];
+        let base = buf.as_ptr() as usize;
+        let _g1 = PinnedSlab::register_raw(base, 4096);
+        let _g2 = PinnedSlab::register_raw(base + 4096, 4096);
+        assert!(is_pinned_raw(base, 8192), "seam-spanning range is pinned");
+        assert!(is_pinned_raw(base + 4000, 200), "window over the seam");
+        assert!(!is_pinned_raw(base, 8193), "past the second slab is not");
+        assert!(!is_pinned_raw(base.wrapping_sub(1), 2), "before the first");
+        // Overlapping + abutting mix: a third guard overlapping the seam
+        // must not confuse the sweep.
+        let _g3 = PinnedSlab::register_raw(base + 2048, 4096);
+        assert!(is_pinned_raw(base, 8192));
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Load-balanced consumer groups: shard assignment across members.
+//!
+//! The coordinator is in-process (the repo's streams are files and
+//! sockets, not a brokered cluster), but the contract matches the
+//! brokered shape: members join and leave, every membership change bumps
+//! a *generation*, and each member derives its shard slice from the
+//! current member list by rank — shard `s` belongs to the member whose
+//! rank equals `s mod member_count`. Sources poll the generation at each
+//! `next_batch` and rebuild their reader sets when it moves, resuming
+//! newly acquired shards from the group's committed offsets.
+//!
+//! Exactly-once across a rebalance therefore holds under *clean handoff*:
+//! a leaving member commits its offsets before [`GroupMembership::leave`]
+//! (or drop). A member killed mid-batch re-delivers from its last commit
+//! — at-least-once — and the consumer's egress watermark dedup (DESIGN.md
+//! §"Ingress/egress") upgrades that back to exactly-once re-emit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::ShardId;
+
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Member ids in join order; rank = index.
+    members: Vec<u64>,
+    next_id: u64,
+}
+
+/// In-process coordinator for one consumer group.
+#[derive(Debug, Clone, Default)]
+pub struct GroupCoordinator {
+    state: Arc<Mutex<GroupState>>,
+    generation: Arc<AtomicU64>,
+}
+
+impl GroupCoordinator {
+    /// A coordinator with no members yet.
+    pub fn new() -> GroupCoordinator {
+        GroupCoordinator::default()
+    }
+
+    /// Join the group; the returned membership carries this member's
+    /// identity and tracks rebalances. Bumps the generation.
+    pub fn join(&self) -> GroupMembership {
+        let id = {
+            let mut s = self.state.lock().expect("group state");
+            s.next_id += 1;
+            let id = s.next_id;
+            s.members.push(id);
+            id
+        };
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        GroupMembership {
+            id,
+            state: Arc::clone(&self.state),
+            generation: Arc::clone(&self.generation),
+        }
+    }
+
+    /// The current rebalance generation (bumps on every join/leave).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// How many members are currently in the group.
+    pub fn member_count(&self) -> usize {
+        self.state.lock().expect("group state").members.len()
+    }
+}
+
+/// One member's view of a consumer group; dropping it leaves the group.
+#[derive(Debug)]
+pub struct GroupMembership {
+    id: u64,
+    state: Arc<Mutex<GroupState>>,
+    generation: Arc<AtomicU64>,
+}
+
+impl GroupMembership {
+    /// The rebalance generation this membership currently observes.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The slice of `all_shards` assigned to this member under the
+    /// current membership: shard at position `i` goes to rank `i mod n`.
+    /// A departed member gets nothing.
+    pub fn assigned(&self, all_shards: &[ShardId]) -> Vec<ShardId> {
+        let s = self.state.lock().expect("group state");
+        let n = s.members.len();
+        let Some(rank) = s.members.iter().position(|&m| m == self.id) else {
+            return Vec::new();
+        };
+        all_shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % n == rank)
+            .map(|(_, &sh)| sh)
+            .collect()
+    }
+
+    /// Leave the group explicitly (drop does the same). Commit your
+    /// offsets first for a clean — exactly-once — handoff.
+    pub fn leave(self) {
+        // Drop impl does the work.
+    }
+}
+
+impl Drop for GroupMembership {
+    fn drop(&mut self) {
+        let mut s = self.state.lock().expect("group state");
+        if let Some(i) = s.members.iter().position(|&m| m == self.id) {
+            s.members.remove(i);
+            drop(s);
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(n: u32) -> Vec<ShardId> {
+        (0..n).map(ShardId).collect()
+    }
+
+    #[test]
+    fn members_partition_shards_without_overlap() {
+        let coord = GroupCoordinator::new();
+        let a = coord.join();
+        let b = coord.join();
+        let all = shards(5);
+        let sa = a.assigned(&all);
+        let sb = b.assigned(&all);
+        assert_eq!(sa.len() + sb.len(), 5);
+        for s in &all {
+            assert_eq!(
+                sa.contains(s) as u32 + sb.contains(s) as u32,
+                1,
+                "shard {s} must be owned by exactly one member"
+            );
+        }
+    }
+
+    #[test]
+    fn leave_bumps_generation_and_reassigns_everything() {
+        let coord = GroupCoordinator::new();
+        let a = coord.join();
+        let b = coord.join();
+        let g = a.generation();
+        let all = shards(4);
+        assert_eq!(a.assigned(&all).len(), 2);
+        b.leave();
+        assert!(a.generation() > g, "leave must bump the generation");
+        assert_eq!(a.assigned(&all), all, "sole survivor owns every shard");
+    }
+
+    #[test]
+    fn single_member_owns_all_and_departed_owns_none() {
+        let coord = GroupCoordinator::new();
+        let a = coord.join();
+        let all = shards(3);
+        assert_eq!(a.assigned(&all), all);
+        let b = coord.join();
+        let before = b.assigned(&all);
+        assert!(!before.is_empty());
+        drop(a);
+        assert_eq!(b.assigned(&all), all);
+        assert_eq!(coord.member_count(), 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! Stream ingress/egress: the boundary where external records enter and
+//! leave the runtime.
+//!
+//! Everything upstream of this crate was born in-process — harness
+//! generator loops feeding farms. This layer adds the missing edge in
+//! the sea-streamer mold: streams are addressed by
+//! [`StreamKey`] + [`ShardId`] + [`SequenceNo`], consumed in real-time,
+//! resumable-from-offset, or load-balanced consumer-group modes, and
+//! replayed with [`Source::seek`]/[`Source::rewind`]. Producers batch
+//! in-flight sends and learn durability through acknowledged
+//! [`Receipt`]s.
+//!
+//! Two transports implement the contract:
+//!
+//! * [`filelog`] — a segmented on-disk log with an offset index,
+//!   fsync-on-ack durability, and restart-and-resume consumer offsets;
+//! * [`tcp`] — a length-prefixed TCP transport with windowed in-flight
+//!   sends and ack frames, for live feeds.
+//!
+//! Payloads land in [`fastflow::PooledBuf`]s acquired from the pool the
+//! caller supplies — hand a `workload::pinned_pool()` and external bytes
+//! are read straight into page-locked slabs, so the downstream offload
+//! path keeps its zero-copy guarantee (the copy ledger stays at
+//! 0 bytes/batch). [`pump`] routes a source's shards into the batched
+//! `fastflow` channels that feed existing `Workload` pipelines.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+pub mod filelog;
+pub mod group;
+pub mod pump;
+pub mod tcp;
+
+pub use filelog::{FileLogSink, FileLogSource, GroupOffsets};
+pub use group::{GroupCoordinator, GroupMembership};
+pub use pump::{spawn_pump, IngressStats, PumpConfig, PumpHandle};
+pub use tcp::{TcpIngressServer, TcpSink, TcpSource};
+
+/// A validated stream name: 1–64 chars of `[a-z0-9._-]`. Doubles as the
+/// on-disk directory name for the file transport, hence the restriction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StreamKey(String);
+
+impl StreamKey {
+    /// Validate `name` as a stream key.
+    pub fn new(name: impl Into<String>) -> Result<StreamKey, IngressError> {
+        let name = name.into();
+        let ok = !name.is_empty()
+            && name.len() <= 64
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b"._-".contains(&b));
+        if ok {
+            Ok(StreamKey(name))
+        } else {
+            Err(IngressError::BadKey(name))
+        }
+    }
+
+    /// The key as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for StreamKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One shard (partition) of a stream. Records are totally ordered
+/// *within* a shard, unordered across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(pub u32);
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Position of a record within its shard: dense, starting at 0.
+pub type SequenceNo = u64;
+
+/// Where to (re)position a shard cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqPos {
+    /// The oldest retained record.
+    Beginning,
+    /// Past the newest record — i.e. only new data from here on.
+    End,
+    /// The record with this sequence number.
+    At(SequenceNo),
+}
+
+/// One record delivered by a [`Source`]: its shard address plus the
+/// payload in a pooled buffer (pinned, when the pool is a
+/// `workload::pinned_pool()`).
+#[derive(Debug)]
+pub struct Message {
+    /// The shard this record belongs to.
+    pub shard: ShardId,
+    /// Its position within the shard.
+    pub seq: SequenceNo,
+    /// The record payload, in a pool-acquired buffer.
+    pub payload: fastflow::PooledBuf<u8>,
+}
+
+/// Errors from ingress transports.
+#[derive(Debug)]
+pub enum IngressError {
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// The on-disk or on-wire data failed validation (CRC, framing).
+    Corrupt(String),
+    /// The operation is not supported by this transport (e.g. `seek` on
+    /// the real-time TCP source).
+    Unsupported(&'static str),
+    /// The peer or transport has shut down.
+    Closed,
+    /// An invalid stream key.
+    BadKey(String),
+    /// The shard id is not part of this stream / assignment.
+    UnknownShard(ShardId),
+}
+
+impl fmt::Display for IngressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngressError::Io(e) => write!(f, "ingress i/o: {e}"),
+            IngressError::Corrupt(what) => write!(f, "ingress corrupt data: {what}"),
+            IngressError::Unsupported(op) => write!(f, "ingress operation unsupported: {op}"),
+            IngressError::Closed => write!(f, "ingress transport closed"),
+            IngressError::BadKey(k) => write!(f, "invalid stream key: {k:?}"),
+            IngressError::UnknownShard(s) => write!(f, "unknown shard {s}"),
+        }
+    }
+}
+
+impl std::error::Error for IngressError {}
+
+impl From<std::io::Error> for IngressError {
+    fn from(e: std::io::Error) -> Self {
+        IngressError::Io(e)
+    }
+}
+
+/// A sharded record source (consumer side of a stream).
+///
+/// `next_batch` is non-blocking-ish: it returns however many records are
+/// available now (up to `max`), possibly 0 — liveness (wait/retry) is
+/// the caller's policy, usually [`pump::spawn_pump`]'s idle backoff.
+pub trait Source: Send {
+    /// The stream this source consumes.
+    fn stream_key(&self) -> &StreamKey;
+
+    /// The shards this source currently reads (the full set, or this
+    /// member's slice under a consumer group).
+    fn assigned_shards(&self) -> Vec<ShardId>;
+
+    /// Append up to `max` available records to `out`, round-robin across
+    /// assigned shards. Returns how many were appended (0 = nothing
+    /// available right now).
+    fn next_batch(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, IngressError>;
+
+    /// Reposition one shard's cursor.
+    fn seek(&mut self, shard: ShardId, pos: SeqPos) -> Result<(), IngressError>;
+
+    /// Reposition every assigned shard to [`SeqPos::Beginning`].
+    fn rewind(&mut self) -> Result<(), IngressError> {
+        for shard in self.assigned_shards() {
+            self.seek(shard, SeqPos::Beginning)?;
+        }
+        Ok(())
+    }
+
+    /// Durably record that this consumer (group) has processed shard
+    /// records *below* `next_seq`; a later `open_resume` starts there.
+    /// Transports without offset storage accept and ignore it.
+    fn commit(&mut self, shard: ShardId, next_seq: SequenceNo) -> Result<(), IngressError>;
+}
+
+/// Producer-side acknowledgement of one sent record. Starts pending;
+/// flips acked exactly when the record is durable (fsynced, or
+/// ack-framed by the TCP peer).
+#[derive(Debug, Clone)]
+pub struct Receipt {
+    shard: ShardId,
+    seq: SequenceNo,
+    acked: Arc<AtomicBool>,
+}
+
+impl Receipt {
+    /// A pending receipt for `(shard, seq)`.
+    pub fn pending(shard: ShardId, seq: SequenceNo) -> Receipt {
+        Receipt {
+            shard,
+            seq,
+            acked: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The shard the record was sent to.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// The sequence number the transport assigned to the record.
+    pub fn seq(&self) -> SequenceNo {
+        self.seq
+    }
+
+    /// True once the record is durable.
+    pub fn is_acked(&self) -> bool {
+        self.acked.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn mark_acked(&self) {
+        self.acked.store(true, Ordering::Release);
+    }
+}
+
+/// A sharded record sink (producer side of a stream).
+///
+/// Sends are batched: a [`send`](Sink::send) may buffer; receipts ack on
+/// [`flush`](Sink::flush) (or earlier, at the transport's discretion —
+/// e.g. when the in-flight window fills and the sink syncs internally).
+pub trait Sink: Send {
+    /// The stream this sink produces into.
+    fn stream_key(&self) -> &StreamKey;
+
+    /// Queue one record for `shard`; the returned receipt acks when the
+    /// record is durable.
+    fn send(&mut self, shard: ShardId, payload: &[u8]) -> Result<Receipt, IngressError>;
+
+    /// Make every queued record durable and ack its receipt.
+    fn flush(&mut self) -> Result<(), IngressError>;
+}
+
+/// CRC32 (IEEE, reflected) over `bytes` — the record checksum both
+/// transports use. Table-driven, table built at compile time.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_keys_validate() {
+        assert!(StreamKey::new("fig1-pixels.v2").is_ok());
+        assert!(StreamKey::new("").is_err());
+        assert!(StreamKey::new("Upper").is_err());
+        assert!(StreamKey::new("has space").is_err());
+        assert!(StreamKey::new("a/b").is_err());
+        assert!(StreamKey::new("x".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn receipts_start_pending_and_ack_once() {
+        let r = Receipt::pending(ShardId(3), 17);
+        assert!(!r.is_acked());
+        assert_eq!(r.shard(), ShardId(3));
+        assert_eq!(r.seq(), 17);
+        let clone = r.clone();
+        r.mark_acked();
+        assert!(clone.is_acked(), "clones share the ack cell");
+    }
+}

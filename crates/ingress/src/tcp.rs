@@ -1,0 +1,570 @@
+//! Length-prefixed TCP transport: live feeds with windowed in-flight
+//! sends and explicit ack frames.
+//!
+//! Wire format, little-endian: every frame is `[u32 len][u8 kind][body]`
+//! where `len` counts the kind byte plus the body.
+//!
+//! ```text
+//! kind 0  HELLO  body = stream key bytes          (client -> server)
+//! kind 1  DATA   body = [u32 shard][u64 seq][payload]  (client -> server)
+//! kind 2  ACK    body = [u32 shard][u64 seq]      (server -> client)
+//! ```
+//!
+//! The server acks a DATA frame after enqueueing it for the consumer, so
+//! a [`Receipt`] acking means "the consumer side holds it", not merely
+//! "the kernel buffered it". The queue is bounded: when the pipeline
+//! falls behind, enqueue blocks, the connection thread stops reading,
+//! TCP flow control fills the producer's window, and
+//! [`TcpSink`] blocks in its in-flight window — backpressure end to end
+//! with no unbounded buffer anywhere.
+//!
+//! This transport is real-time only: [`TcpSource::seek`] and `rewind`
+//! report [`IngressError::Unsupported`]; replay belongs to the file log.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::io::{BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::{IngressError, Message, Receipt, SeqPos, SequenceNo, ShardId, Sink, Source, StreamKey};
+
+const KIND_HELLO: u8 = 0;
+const KIND_DATA: u8 = 1;
+const KIND_ACK: u8 = 2;
+
+/// Largest accepted frame body; a frame claiming more is protocol
+/// corruption, not a big record.
+const MAX_FRAME: usize = 64 << 20;
+
+/// Default bound on the server's consumer queue (messages).
+const DEFAULT_QUEUE_CAP: usize = 1024;
+
+/// Default producer in-flight window (unacked sends).
+const DEFAULT_MAX_IN_FLIGHT: usize = 64;
+
+/// Read `buf.len()` bytes, tolerating read-timeout wakeups so `stop` is
+/// polled. Returns the bytes actually read (short = EOF or shutdown).
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(filled);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(filled),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Bounded handoff queue between connection threads and the source.
+#[derive(Debug)]
+struct SharedQueue {
+    q: Mutex<VecDeque<Message>>,
+    not_full: Condvar,
+    cap: usize,
+    stop: AtomicBool,
+}
+
+impl SharedQueue {
+    fn new(cap: usize) -> SharedQueue {
+        SharedQueue {
+            q: Mutex::new(VecDeque::new()),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Block until there is room (backpressure), then enqueue. Returns
+    /// false when the server is stopping.
+    fn push(&self, msg: Message) -> bool {
+        let mut q = self.q.lock().expect("ingress queue");
+        while q.len() >= self.cap {
+            if self.stop.load(Ordering::Relaxed) {
+                return false;
+            }
+            let (guard, _) = self
+                .not_full
+                .wait_timeout(q, Duration::from_millis(50))
+                .expect("ingress queue");
+            q = guard;
+        }
+        q.push_back(msg);
+        true
+    }
+
+    fn pop_many(&self, out: &mut Vec<Message>, max: usize) -> usize {
+        let mut q = self.q.lock().expect("ingress queue");
+        let n = max.min(q.len());
+        out.extend(q.drain(..n));
+        if n > 0 {
+            self.not_full.notify_all();
+        }
+        n
+    }
+}
+
+/// Server half of the TCP transport: accepts producer connections for
+/// one stream and queues their records for a [`TcpSource`].
+pub struct TcpIngressServer {
+    key: StreamKey,
+    addr: SocketAddr,
+    queue: Arc<SharedQueue>,
+    shards_seen: Arc<Mutex<BTreeSet<u32>>>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpIngressServer {
+    /// Bind `addr` (port 0 picks a free port) and start accepting
+    /// producers for `key`. Payloads are read straight into buffers from
+    /// `pool` — hand a pinned pool for the zero-copy path.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        key: &StreamKey,
+        pool: fastflow::BufPool<u8>,
+        queue_cap: usize,
+    ) -> Result<TcpIngressServer, IngressError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(SharedQueue::new(if queue_cap == 0 {
+            DEFAULT_QUEUE_CAP
+        } else {
+            queue_cap
+        }));
+        let shards_seen = Arc::new(Mutex::new(BTreeSet::new()));
+        let accept_queue = Arc::clone(&queue);
+        let accept_shards = Arc::clone(&shards_seen);
+        let accept_key = key.clone();
+        let accept_pool = pool;
+        let accept_thread = std::thread::Builder::new()
+            .name("hetstream-ingress-accept".into())
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                while !accept_queue.stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let q = Arc::clone(&accept_queue);
+                            let sh = Arc::clone(&accept_shards);
+                            let k = accept_key.clone();
+                            let p = accept_pool.clone();
+                            if let Ok(h) = std::thread::Builder::new()
+                                .name("hetstream-ingress-conn".into())
+                                .spawn(move || serve_producer(stream, k, q, sh, p))
+                            {
+                                conns.push(h);
+                            }
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+                for h in conns {
+                    let _ = h.join();
+                }
+            })
+            .expect("spawn ingress accept thread");
+        Ok(TcpIngressServer {
+            key: key.clone(),
+            addr,
+            queue,
+            shards_seen,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A consumer over this server's queue. Multiple sources share the
+    /// queue load-balanced (each record goes to exactly one).
+    pub fn source(&self) -> TcpSource {
+        TcpSource {
+            key: self.key.clone(),
+            queue: Arc::clone(&self.queue),
+            shards_seen: Arc::clone(&self.shards_seen),
+        }
+    }
+
+    /// Stop accepting and wake blocked connection threads.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.queue.stop.store(true, Ordering::Relaxed);
+        self.queue.not_full.notify_all();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpIngressServer {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// One producer connection: HELLO handshake, then DATA frames acked
+/// after enqueue.
+fn serve_producer(
+    mut stream: TcpStream,
+    key: StreamKey,
+    queue: Arc<SharedQueue>,
+    shards_seen: Arc<Mutex<BTreeSet<u32>>>,
+    pool: fastflow::BufPool<u8>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let stop = &queue.stop;
+    let mut head = [0u8; 5];
+    let mut hello = true;
+    loop {
+        match read_full(&mut stream, &mut head, stop) {
+            Ok(n) if n == head.len() => {}
+            _ => return, // EOF, shutdown, or error: drop the connection
+        }
+        let len = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes")) as usize;
+        let kind = head[4];
+        if len == 0 || len > MAX_FRAME {
+            return;
+        }
+        let body_len = len - 1;
+        match (hello, kind) {
+            (true, KIND_HELLO) => {
+                let mut body = vec![0u8; body_len];
+                if read_full(&mut stream, &mut body, stop).unwrap_or(0) != body_len {
+                    return;
+                }
+                if body != key.as_str().as_bytes() {
+                    return; // wrong stream: refuse silently
+                }
+                hello = false;
+            }
+            (false, KIND_DATA) => {
+                if body_len < 12 {
+                    return;
+                }
+                let mut meta = [0u8; 12];
+                if read_full(&mut stream, &mut meta, stop).unwrap_or(0) != meta.len() {
+                    return;
+                }
+                let shard = u32::from_le_bytes(meta[0..4].try_into().expect("4 bytes"));
+                let seq = u64::from_le_bytes(meta[4..12].try_into().expect("8 bytes"));
+                let payload_len = body_len - 12;
+                let mut payload = pool.acquire(payload_len);
+                if read_full(&mut stream, &mut payload[..], stop).unwrap_or(0) != payload_len {
+                    return;
+                }
+                shards_seen.lock().expect("shard set").insert(shard);
+                let msg = Message {
+                    shard: ShardId(shard),
+                    seq,
+                    payload,
+                };
+                if !queue.push(msg) {
+                    return; // server stopping
+                }
+                // Ack *after* enqueue: the receipt means the consumer
+                // side holds the record.
+                let mut ack = [0u8; 4 + 1 + 12];
+                ack[0..4].copy_from_slice(&13u32.to_le_bytes());
+                ack[4] = KIND_ACK;
+                ack[5..9].copy_from_slice(&shard.to_le_bytes());
+                ack[9..17].copy_from_slice(&seq.to_le_bytes());
+                if stream.write_all(&ack).is_err() {
+                    return;
+                }
+            }
+            _ => return, // protocol violation
+        }
+    }
+}
+
+/// Consumer over a [`TcpIngressServer`]'s queue. Real-time only.
+pub struct TcpSource {
+    key: StreamKey,
+    queue: Arc<SharedQueue>,
+    shards_seen: Arc<Mutex<BTreeSet<u32>>>,
+}
+
+impl Source for TcpSource {
+    fn stream_key(&self) -> &StreamKey {
+        &self.key
+    }
+
+    fn assigned_shards(&self) -> Vec<ShardId> {
+        self.shards_seen
+            .lock()
+            .expect("shard set")
+            .iter()
+            .map(|&s| ShardId(s))
+            .collect()
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, IngressError> {
+        Ok(self.queue.pop_many(out, max))
+    }
+
+    fn seek(&mut self, _shard: ShardId, _pos: SeqPos) -> Result<(), IngressError> {
+        Err(IngressError::Unsupported(
+            "seek on the real-time TCP source",
+        ))
+    }
+
+    fn rewind(&mut self) -> Result<(), IngressError> {
+        Err(IngressError::Unsupported(
+            "rewind on the real-time TCP source",
+        ))
+    }
+
+    fn commit(&mut self, _shard: ShardId, _next_seq: SequenceNo) -> Result<(), IngressError> {
+        Ok(()) // no offset storage; commits are meaningful on the file log
+    }
+}
+
+/// Producer over one TCP connection: batched writes, a bounded in-flight
+/// window, receipts acked by the server's ACK frames (in send order).
+pub struct TcpSink {
+    key: StreamKey,
+    writer: BufWriter<TcpStream>,
+    reader: TcpStream,
+    next_seq: Vec<SequenceNo>,
+    pending: VecDeque<Receipt>,
+    max_in_flight: usize,
+}
+
+impl TcpSink {
+    /// Connect to a [`TcpIngressServer`] and handshake for `key` with
+    /// `shards` sequence counters starting at 0.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        key: &StreamKey,
+        shards: u32,
+    ) -> Result<TcpSink, IngressError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let reader = stream.try_clone()?;
+        let mut writer = BufWriter::new(stream);
+        let body = key.as_str().as_bytes();
+        writer.write_all(&(1 + body.len() as u32).to_le_bytes())?;
+        writer.write_all(&[KIND_HELLO])?;
+        writer.write_all(body)?;
+        writer.flush()?;
+        Ok(TcpSink {
+            key: key.clone(),
+            writer,
+            reader,
+            next_seq: vec![0; shards.max(1) as usize],
+            pending: VecDeque::new(),
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+        })
+    }
+
+    /// Override the in-flight window (unacked sends tolerated before
+    /// `send` blocks for acks).
+    pub fn with_max_in_flight(mut self, n: usize) -> Self {
+        self.max_in_flight = n.max(1);
+        self
+    }
+
+    /// Block until the oldest pending receipt is acked by the server.
+    fn await_one_ack(&mut self) -> Result<(), IngressError> {
+        let mut frame = [0u8; 17];
+        let mut filled = 0;
+        while filled < frame.len() {
+            match self.reader.read(&mut frame[filled..]) {
+                Ok(0) => return Err(IngressError::Closed),
+                Ok(n) => filled += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(IngressError::Io(e))
+                }
+                Err(e) => return Err(IngressError::Io(e)),
+            }
+        }
+        let len = u32::from_le_bytes(frame[0..4].try_into().expect("4 bytes"));
+        if len != 13 || frame[4] != KIND_ACK {
+            return Err(IngressError::Corrupt(format!(
+                "expected ACK frame, got kind {} len {len}",
+                frame[4]
+            )));
+        }
+        let shard = u32::from_le_bytes(frame[5..9].try_into().expect("4 bytes"));
+        let seq = u64::from_le_bytes(frame[9..17].try_into().expect("8 bytes"));
+        let Some(front) = self.pending.pop_front() else {
+            return Err(IngressError::Corrupt("unsolicited ACK".into()));
+        };
+        if front.shard().0 != shard || front.seq() != seq {
+            return Err(IngressError::Corrupt(format!(
+                "ACK out of order: got shard {shard} seq {seq}, expected shard {} seq {}",
+                front.shard(),
+                front.seq()
+            )));
+        }
+        front.mark_acked();
+        Ok(())
+    }
+}
+
+impl Sink for TcpSink {
+    fn stream_key(&self) -> &StreamKey {
+        &self.key
+    }
+
+    fn send(&mut self, shard: ShardId, payload: &[u8]) -> Result<Receipt, IngressError> {
+        let counter = self
+            .next_seq
+            .get_mut(shard.0 as usize)
+            .ok_or(IngressError::UnknownShard(shard))?;
+        let seq = *counter;
+        *counter += 1;
+        let body_len = 12 + payload.len();
+        self.writer
+            .write_all(&(1 + body_len as u32).to_le_bytes())?;
+        self.writer.write_all(&[KIND_DATA])?;
+        self.writer.write_all(&shard.0.to_le_bytes())?;
+        self.writer.write_all(&seq.to_le_bytes())?;
+        self.writer.write_all(payload)?;
+        let receipt = Receipt::pending(shard, seq);
+        self.pending.push_back(receipt.clone());
+        if self.pending.len() >= self.max_in_flight {
+            // Window full: push bytes out and absorb acks until there is
+            // room again — this is where server-side backpressure lands.
+            self.writer.flush()?;
+            while self.pending.len() >= self.max_in_flight {
+                self.await_one_ack()?;
+            }
+        }
+        Ok(receipt)
+    }
+
+    fn flush(&mut self) -> Result<(), IngressError> {
+        self.writer.flush()?;
+        while !self.pending.is_empty() {
+            self.await_one_ack()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> StreamKey {
+        StreamKey::new("live").expect("valid key")
+    }
+
+    #[test]
+    fn produce_ack_consume_over_tcp() {
+        let server = TcpIngressServer::bind("127.0.0.1:0", &key(), fastflow::BufPool::new(), 64)
+            .expect("bind");
+        let mut sink = TcpSink::connect(server.addr(), &key(), 2).expect("connect");
+        let mut receipts = Vec::new();
+        for i in 0..10u32 {
+            receipts.push(
+                sink.send(ShardId(i % 2), format!("rec-{i}").as_bytes())
+                    .expect("send"),
+            );
+        }
+        sink.flush().expect("flush");
+        assert!(receipts.iter().all(Receipt::is_acked));
+        let mut src = server.source();
+        let mut msgs = Vec::new();
+        while msgs.len() < 10 {
+            if src.next_batch(&mut msgs, 16).expect("pop") == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        assert_eq!(msgs.len(), 10);
+        // Per-shard order is preserved and sequences are dense.
+        for shard in 0..2u32 {
+            let seqs: Vec<u64> = msgs
+                .iter()
+                .filter(|m| m.shard.0 == shard)
+                .map(|m| m.seq)
+                .collect();
+            assert_eq!(seqs, (0..5).collect::<Vec<u64>>());
+        }
+        assert_eq!(src.assigned_shards(), vec![ShardId(0), ShardId(1)]);
+        assert!(matches!(
+            src.seek(ShardId(0), SeqPos::Beginning),
+            Err(IngressError::Unsupported(_))
+        ));
+        server.stop();
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_without_deadlock() {
+        // Queue of 4, window of 4, 64 records: the producer must block on
+        // acks while the consumer drains slowly — and still finish.
+        let server = TcpIngressServer::bind("127.0.0.1:0", &key(), fastflow::BufPool::new(), 4)
+            .expect("bind");
+        let addr = server.addr();
+        let producer = std::thread::spawn(move || {
+            let mut sink = TcpSink::connect(addr, &key(), 1)
+                .expect("connect")
+                .with_max_in_flight(4);
+            for i in 0..64u8 {
+                sink.send(ShardId(0), &[i; 100]).expect("send");
+            }
+            sink.flush().expect("flush");
+        });
+        let mut src = server.source();
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while got.len() < 64 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "backpressured transfer deadlocked ({} of 64)",
+                got.len()
+            );
+            if src.next_batch(&mut got, 3).expect("pop") == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            } else {
+                // A slow consumer: drain in dribbles.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        producer.join().expect("producer");
+        assert_eq!(got.len(), 64);
+        let seqs: Vec<u64> = got.iter().map(|m| m.seq).collect();
+        assert_eq!(seqs, (0..64).collect::<Vec<u64>>());
+        server.stop();
+    }
+
+    #[test]
+    fn wrong_stream_key_is_refused() {
+        let server = TcpIngressServer::bind("127.0.0.1:0", &key(), fastflow::BufPool::new(), 16)
+            .expect("bind");
+        let other = StreamKey::new("not-live").expect("valid");
+        let mut sink = TcpSink::connect(server.addr(), &other, 1).expect("connect");
+        // The server drops the connection on the mismatched HELLO; the
+        // failure surfaces on the ack path.
+        let _ = sink.send(ShardId(0), b"x");
+        assert!(sink.flush().is_err(), "mismatched key must not ack");
+        server.stop();
+    }
+}

@@ -16,10 +16,22 @@
 //! because the copies happen deep inside `gpusim` and `fastflow`, layers
 //! that deliberately do not thread a recorder through their hot paths.
 //! They are cumulative and monotone, which is exactly the contract the
-//! Prometheus `hetstream_copy_bytes_total` family needs; tests and
-//! benches that want per-batch figures difference two [`snapshot`]s.
+//! Prometheus `hetstream_copy_bytes_total` family needs.
+//!
+//! The globals alone, however, cannot answer "how many bytes did *my*
+//! pipeline copy?" — two pipelines sharing the process (or parallel
+//! `cargo test` threads) contaminate each other's deltas. For that there
+//! is [`CopyLedger`]: a delta-scoped handle a thread [`enter`]s; while
+//! the scope guard lives, every charge on that thread lands in the
+//! ledger *in addition to* the globals. Tests and the ingress path
+//! measure their own traffic on a fresh ledger; Prometheus keeps reading
+//! the process totals.
+//!
+//! [`enter`]: CopyLedger::enter
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 static STAGING_BYTES: AtomicU64 = AtomicU64::new(0);
 static STAGING_OPS: AtomicU64 = AtomicU64::new(0);
@@ -27,11 +39,105 @@ static BOUNCE_BYTES: AtomicU64 = AtomicU64::new(0);
 static BOUNCE_OPS: AtomicU64 = AtomicU64::new(0);
 static BATCHES: AtomicU64 = AtomicU64::new(0);
 
+/// The ledger cells a [`CopyLedger`] accumulates into. Separate from
+/// `CopyStats` so the handle can be cloned across threads while all
+/// clones share one set of counters.
+#[derive(Debug, Default)]
+struct LedgerCells {
+    staging_bytes: AtomicU64,
+    staging_ops: AtomicU64,
+    bounce_bytes: AtomicU64,
+    bounce_ops: AtomicU64,
+    batches: AtomicU64,
+}
+
+thread_local! {
+    /// Stack of ledgers active on this thread. A stack, not a slot:
+    /// nested scopes (a test ledger around a pipeline that also carries
+    /// its own ingress ledger) each see the traffic, outermost included.
+    static ACTIVE: RefCell<Vec<Arc<LedgerCells>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A delta-scoped copy ledger: charges land here only while (and on the
+/// threads where) a [`CopyLedger::enter`] guard is alive, so concurrent
+/// pipelines or parallel test threads cannot contaminate each other's
+/// readings. Cloning the handle shares the counters — enter the clone on
+/// each worker thread of one pipeline to get that pipeline's total.
+#[derive(Debug, Clone, Default)]
+pub struct CopyLedger {
+    cells: Arc<LedgerCells>,
+}
+
+/// RAII scope for a [`CopyLedger`] on the current thread; created by
+/// [`CopyLedger::enter`], deactivates the ledger on drop.
+#[derive(Debug)]
+pub struct LedgerScope {
+    cells: Arc<LedgerCells>,
+}
+
+impl CopyLedger {
+    /// A fresh ledger with zeroed counters.
+    pub fn new() -> CopyLedger {
+        CopyLedger::default()
+    }
+
+    /// Activate this ledger on the current thread until the returned
+    /// guard drops. Charges made by *this thread* inside the scope are
+    /// added to the ledger (and still to the process-wide globals).
+    #[must_use = "the ledger only records while the scope guard lives"]
+    pub fn enter(&self) -> LedgerScope {
+        ACTIVE.with(|stack| stack.borrow_mut().push(Arc::clone(&self.cells)));
+        LedgerScope {
+            cells: Arc::clone(&self.cells),
+        }
+    }
+
+    /// Point-in-time totals recorded by this ledger.
+    pub fn stats(&self) -> CopyStats {
+        CopyStats {
+            staging_bytes: self.cells.staging_bytes.load(Ordering::Relaxed),
+            staging_ops: self.cells.staging_ops.load(Ordering::Relaxed),
+            bounce_bytes: self.cells.bounce_bytes.load(Ordering::Relaxed),
+            bounce_ops: self.cells.bounce_ops.load(Ordering::Relaxed),
+            batches: self.cells.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for LedgerScope {
+    fn drop(&mut self) {
+        ACTIVE.with(|stack| {
+            let mut s = stack.borrow_mut();
+            // Pop *this* ledger even under out-of-order guard drops.
+            if let Some(i) = s.iter().rposition(|c| Arc::ptr_eq(c, &self.cells)) {
+                s.remove(i);
+            }
+        });
+    }
+}
+
+/// Apply `f` to every ledger active on this thread.
+#[inline]
+fn charge_active(f: impl Fn(&LedgerCells)) {
+    ACTIVE.with(|stack| {
+        let s = stack.borrow();
+        if !s.is_empty() {
+            for cells in s.iter() {
+                f(cells);
+            }
+        }
+    });
+}
+
 /// Charge one explicit host→host staging memcpy of `bytes`.
 #[inline]
 pub fn count_staging(bytes: usize) {
     STAGING_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
     STAGING_OPS.fetch_add(1, Ordering::Relaxed);
+    charge_active(|c| {
+        c.staging_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        c.staging_ops.fetch_add(1, Ordering::Relaxed);
+    });
 }
 
 /// Charge one driver bounce of `bytes` (a transfer from/into host memory
@@ -40,6 +146,10 @@ pub fn count_staging(bytes: usize) {
 pub fn count_bounce(bytes: usize) {
     BOUNCE_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
     BOUNCE_OPS.fetch_add(1, Ordering::Relaxed);
+    charge_active(|c| {
+        c.bounce_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        c.bounce_ops.fetch_add(1, Ordering::Relaxed);
+    });
 }
 
 /// Record that one workload batch went through the data path — the
@@ -47,6 +157,9 @@ pub fn count_bounce(bytes: usize) {
 #[inline]
 pub fn record_batch() {
     BATCHES.fetch_add(1, Ordering::Relaxed);
+    charge_active(|c| {
+        c.batches.fetch_add(1, Ordering::Relaxed);
+    });
 }
 
 /// Point-in-time copy totals since process start.
@@ -149,5 +262,69 @@ mod tests {
         assert_eq!(z.copies_per_batch(), 0.0);
         assert_eq!(z.bytes_per_batch(), 0.0);
         assert_eq!(z.bytes_copied(), 0);
+    }
+
+    #[test]
+    fn ledger_scopes_to_its_own_thread_and_lifetime() {
+        let ledger = CopyLedger::new();
+        count_staging(11); // before the scope: not ours
+        {
+            let _scope = ledger.enter();
+            count_staging(100);
+            count_bounce(40);
+            record_batch();
+            // A *different* thread charging concurrently must not leak
+            // into this ledger — that is the whole point.
+            std::thread::spawn(|| {
+                count_staging(1_000_000);
+                count_bounce(1_000_000);
+                record_batch();
+            })
+            .join()
+            .expect("charger thread");
+        }
+        count_bounce(7); // after the scope: not ours
+        let s = ledger.stats();
+        assert_eq!(s.staging_bytes, 100);
+        assert_eq!(s.staging_ops, 1);
+        assert_eq!(s.bounce_bytes, 40);
+        assert_eq!(s.bounce_ops, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.bytes_per_batch(), 140.0);
+    }
+
+    #[test]
+    fn ledger_clones_share_counters_across_threads() {
+        let ledger = CopyLedger::new();
+        let worker = {
+            let l = ledger.clone();
+            std::thread::spawn(move || {
+                let _scope = l.enter();
+                count_staging(64);
+                record_batch();
+            })
+        };
+        worker.join().expect("worker");
+        {
+            let _scope = ledger.enter();
+            count_staging(36);
+        }
+        let s = ledger.stats();
+        assert_eq!(s.staging_bytes, 100);
+        assert_eq!(s.batches, 1);
+    }
+
+    #[test]
+    fn nested_ledgers_both_record() {
+        let outer = CopyLedger::new();
+        let inner = CopyLedger::new();
+        let _o = outer.enter();
+        {
+            let _i = inner.enter();
+            count_bounce(8);
+        }
+        count_bounce(2);
+        assert_eq!(inner.stats().bounce_bytes, 8);
+        assert_eq!(outer.stats().bounce_bytes, 10);
     }
 }

@@ -17,10 +17,10 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::histo::HistoCounts;
 use crate::{FaultKind, Inner, Recorder};
@@ -308,6 +308,49 @@ pub(crate) fn render_prometheus(inner: &Inner) -> String {
     );
     out.push_str(&format!("hetstream_copy_batches_total {}\n", cp.batches));
 
+    // Ingress shards, one series per (stream, shard). The families are
+    // emitted whenever rows are registered; `lag` is a derived gauge
+    // (produced watermark minus committed watermark), the others are
+    // cumulative counters.
+    let ingress = inner.ingress.lock().unwrap().clone();
+    type IngGet = fn(&crate::IngressCounters) -> u64;
+    let ingress_families: [(&str, &str, &str, IngGet); 4] = [
+        (
+            "hetstream_ingress_records_total",
+            "counter",
+            "Records delivered from ingress sources into pipelines.",
+            |c| c.records(),
+        ),
+        (
+            "hetstream_ingress_bytes_total",
+            "counter",
+            "Payload bytes delivered from ingress sources.",
+            |c| c.bytes(),
+        ),
+        (
+            "hetstream_ingress_acks_total",
+            "counter",
+            "Producer receipts acknowledged durable.",
+            |c| c.acks(),
+        ),
+        (
+            "hetstream_ingress_lag_total",
+            "gauge",
+            "Consumer lag in records (produced minus committed watermark).",
+            |c| c.lag(),
+        ),
+    ];
+    for (name, kind, help, get) in ingress_families {
+        family(&mut out, name, kind, help);
+        for (stream, shard, c) in &ingress {
+            out.push_str(&format!(
+                "{name}{{stream=\"{}\",shard=\"{shard}\"}} {}\n",
+                esc_label(stream),
+                get(c)
+            ));
+        }
+    }
+
     // GPU engine busy time (modeled ns), one series per device × engine.
     family(
         &mut out,
@@ -391,18 +434,19 @@ impl MetricsServer {
         let thread = std::thread::Builder::new()
             .name("hetstream-metrics".into())
             .spawn(move || {
+                // Connections are serviced on detached helper threads so a
+                // wedged client burning its head-read deadline cannot stall
+                // other scrapers; the count is bounded so a connection flood
+                // degrades to inline (serial) service, not thread exhaustion.
+                let in_flight = Arc::new(AtomicUsize::new(0));
                 while !stop2.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            // One short request per connection; a wedged
-                            // client can only stall us for the timeout.
-                            let _ = handle_conn(&rec, stream);
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    // Drain *every* queued connection before sleeping — the
+                    // old one-accept-per-5ms-wake loop let a backlog build
+                    // behind a single slow client.
+                    while let Ok((stream, _)) = listener.accept() {
+                        serve_conn(&rec, stream, &in_flight);
                     }
+                    std::thread::sleep(Duration::from_millis(5));
                 }
             })
             .expect("spawn metrics server thread");
@@ -437,12 +481,42 @@ impl Drop for MetricsServer {
     }
 }
 
+/// Most connections a single endpoint will service concurrently. Beyond
+/// this, new connections are handled inline on the accept thread — the
+/// pre-fix serial behavior, acceptable as flood degradation.
+const MAX_CONN_THREADS: usize = 64;
+
+/// Dispatch one accepted connection to a detached service thread (or
+/// inline past the thread cap / on spawn failure).
+fn serve_conn(rec: &Recorder, stream: TcpStream, in_flight: &Arc<AtomicUsize>) {
+    if in_flight.fetch_add(1, Ordering::AcqRel) < MAX_CONN_THREADS {
+        let rec = rec.clone();
+        let gauge = Arc::clone(in_flight);
+        let spawned = std::thread::Builder::new()
+            .name("hetstream-metrics-conn".into())
+            .spawn(move || {
+                let _ = handle_conn(&rec, stream);
+                gauge.fetch_sub(1, Ordering::AcqRel);
+            });
+        if spawned.is_err() {
+            // The closure (and the stream with it) was dropped unrun:
+            // the client sees a closed connection, nobody else blocks.
+            in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+    } else {
+        in_flight.fetch_sub(1, Ordering::AcqRel);
+        let _ = handle_conn(rec, stream);
+    }
+}
+
 fn handle_conn(rec: &Recorder, mut stream: TcpStream) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
     // Read up to the end of the request head (or 1 KiB, whichever first);
-    // only the request line matters.
+    // only the request line matters. The wall-clock deadline bounds total
+    // service even against a client trickling one byte per read-timeout.
+    let deadline = Instant::now() + Duration::from_secs(1);
     let mut buf = [0u8; 1024];
     let mut used = 0;
     loop {
@@ -450,7 +524,10 @@ fn handle_conn(rec: &Recorder, mut stream: TcpStream) -> std::io::Result<()> {
             Ok(0) => break,
             Ok(n) => {
                 used += n;
-                if buf[..used].windows(4).any(|w| w == b"\r\n\r\n") || used == buf.len() {
+                if buf[..used].windows(4).any(|w| w == b"\r\n\r\n")
+                    || used == buf.len()
+                    || Instant::now() >= deadline
+                {
                     break;
                 }
             }
@@ -568,6 +645,12 @@ mod tests {
         let pool = crate::PoolCounters::new();
         pool.hit();
         rec.register_pool("test.pool", &pool);
+        let ing = Arc::new(crate::IngressCounters::new());
+        ing.add_records(3, 300);
+        ing.add_acks(3);
+        ing.produced_to(5);
+        ing.committed_to(3);
+        rec.register_ingress("test.stream", 1, &ing);
         let text = rec.prometheus();
         for family in [
             "hetstream_up 1",
@@ -584,6 +667,10 @@ mod tests {
             "hetstream_copy_bytes_total{path=\"bounce\"}",
             "hetstream_copy_ops_total{path=\"staging\"}",
             "hetstream_copy_batches_total",
+            "hetstream_ingress_records_total{stream=\"test.stream\",shard=\"1\"} 3",
+            "hetstream_ingress_bytes_total{stream=\"test.stream\",shard=\"1\"} 300",
+            "hetstream_ingress_acks_total{stream=\"test.stream\",shard=\"1\"} 3",
+            "hetstream_ingress_lag_total{stream=\"test.stream\",shard=\"1\"} 2",
             "hetstream_flight_events_total",
         ] {
             assert!(text.contains(family), "missing {family:?} in:\n{text}");
@@ -631,6 +718,41 @@ mod tests {
         assert!(flight.contains("hetstream.flight.v1"));
         let missing = get("/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
+        srv.stop();
+    }
+
+    #[test]
+    fn stalled_client_does_not_block_other_scrapers() {
+        // Regression: the accept loop used to service one connection at a
+        // time on the accept thread, so a client that connected and then
+        // sent nothing held the 500 ms head-read timeout while every
+        // other scraper queued behind it. With per-connection service
+        // threads, a healthy scrape must complete while several wedged
+        // clients are still mid-stall.
+        let rec = Recorder::enabled();
+        let srv = rec.serve_metrics("127.0.0.1:0").expect("bind");
+        let addr = srv.addr();
+        // Four wedged clients: connected, no bytes sent. Serially these
+        // cost >= 4 * 500 ms before anyone else is served.
+        let wedged: Vec<TcpStream> = (0..4)
+            .map(|_| TcpStream::connect(addr).expect("connect wedged"))
+            .collect();
+        // Give the accept loop a moment to take them all.
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        let mut s = TcpStream::connect(addr).expect("connect scraper");
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let elapsed = start.elapsed();
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("hetstream_up 1"));
+        assert!(
+            elapsed < Duration::from_millis(1500),
+            "scrape stalled behind wedged clients: {elapsed:?}"
+        );
+        drop(wedged);
         srv.stop();
     }
 

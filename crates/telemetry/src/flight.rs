@@ -79,6 +79,13 @@ pub enum FlightKind {
     PoolShed = 13,
     /// The watchdog flagged a stalled stage (`a` = ticks stalled, `b` = queue depth).
     Stall = 14,
+    /// An ingress source delivered a batch of records into a pipeline
+    /// (`a` = record count, `b` = payload bytes). `batch_id` carries the
+    /// shard id so replay and lag are traceable per shard.
+    IngressBatch = 15,
+    /// An ingress producer receipt was acknowledged durable (`a` = last
+    /// acked sequence number). `batch_id` carries the shard id.
+    IngressAck = 16,
 }
 
 impl FlightKind {
@@ -100,6 +107,8 @@ impl FlightKind {
             FlightKind::CpuFallback => "cpu_fallback",
             FlightKind::PoolShed => "pool_shed",
             FlightKind::Stall => "stall",
+            FlightKind::IngressBatch => "ingress_batch",
+            FlightKind::IngressAck => "ingress_ack",
         }
     }
 
@@ -120,6 +129,8 @@ impl FlightKind {
             12 => FlightKind::CpuFallback,
             13 => FlightKind::PoolShed,
             14 => FlightKind::Stall,
+            15 => FlightKind::IngressBatch,
+            16 => FlightKind::IngressAck,
             _ => return None,
         })
     }
@@ -440,11 +451,11 @@ mod tests {
 
     #[test]
     fn kind_roundtrip() {
-        for v in 0..15u8 {
+        for v in 0..17u8 {
             let k = FlightKind::from_u8(v).unwrap();
             assert_eq!(k as u8, v);
             assert!(!k.label().is_empty());
         }
-        assert_eq!(FlightKind::from_u8(15), None);
+        assert_eq!(FlightKind::from_u8(17), None);
     }
 }

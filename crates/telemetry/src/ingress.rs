@@ -1,0 +1,118 @@
+//! Per-shard ingress/egress counters for the stream boundary layer.
+//!
+//! The ingress transports (`crates/ingress`) live below the harnesses and
+//! deliberately do not depend on a `Recorder`; like
+//! [`PoolCounters`](crate::PoolCounters), a shard's counters are plain
+//! wait-free atomics the pump threads bump, registered once with a live
+//! recorder so the Prometheus families
+//! `hetstream_ingress_{records,bytes,acks,lag}_total` can walk them at
+//! scrape time. `lag` is derived, not stored: the distance between the
+//! highest sequence number the producer has made durable and the highest
+//! the consumer group has committed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wait-free per-shard ingress counters (one instance per
+/// `(stream, shard)`, shared by producer and consumer sides).
+#[derive(Debug, Default)]
+pub struct IngressCounters {
+    records: AtomicU64,
+    bytes: AtomicU64,
+    acks: AtomicU64,
+    /// Highest sequence number made durable by a producer, plus one
+    /// (i.e. "produced up to"; 0 = nothing produced).
+    produced: AtomicU64,
+    /// Highest sequence number committed by the consumer group, plus one.
+    committed: AtomicU64,
+}
+
+impl IngressCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count `n` records totalling `bytes` payload bytes delivered into
+    /// the pipeline.
+    #[inline]
+    pub fn add_records(&self, n: u64, bytes: u64) {
+        self.records.fetch_add(n, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Count `n` producer receipts acknowledged durable.
+    #[inline]
+    pub fn add_acks(&self, n: u64) {
+        self.acks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise the produced watermark to `next_seq` (monotone max — late
+    /// or repeated reports never lower it).
+    #[inline]
+    pub fn produced_to(&self, next_seq: u64) {
+        self.produced.fetch_max(next_seq, Ordering::Relaxed);
+    }
+
+    /// Raise the committed watermark to `next_seq` (monotone max).
+    #[inline]
+    pub fn committed_to(&self, next_seq: u64) {
+        self.committed.fetch_max(next_seq, Ordering::Relaxed);
+    }
+
+    /// Records delivered so far.
+    pub fn records(&self) -> u64 {
+        self.records.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes delivered so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Receipts acknowledged so far.
+    pub fn acks(&self) -> u64 {
+        self.acks.load(Ordering::Relaxed)
+    }
+
+    /// Consumer lag in records: produced watermark minus committed
+    /// watermark (saturating — a replay consumer rewound behind a fresh
+    /// producer reads 0, not an underflow).
+    pub fn lag(&self) -> u64 {
+        self.produced
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.committed.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = IngressCounters::new();
+        c.add_records(4, 1024);
+        c.add_records(1, 56);
+        c.add_acks(5);
+        assert_eq!(c.records(), 5);
+        assert_eq!(c.bytes(), 1080);
+        assert_eq!(c.acks(), 5);
+    }
+
+    #[test]
+    fn lag_is_produced_minus_committed_saturating() {
+        let c = IngressCounters::new();
+        assert_eq!(c.lag(), 0);
+        c.produced_to(10);
+        assert_eq!(c.lag(), 10);
+        c.committed_to(7);
+        assert_eq!(c.lag(), 3);
+        // Watermarks are monotone: a stale lower report changes nothing.
+        c.produced_to(5);
+        assert_eq!(c.lag(), 3);
+        // A committed watermark past produced (fresh producer, replayed
+        // consumer) saturates to zero.
+        c.committed_to(12);
+        assert_eq!(c.lag(), 0);
+    }
+}

@@ -47,6 +47,7 @@ mod export;
 mod flight;
 mod health;
 mod histo;
+pub mod ingress;
 mod monitor;
 
 pub use copy::CopyStats;
@@ -56,6 +57,7 @@ pub use flight::{
 };
 pub use health::{HealthSnapshot, HealthStatus, PoolHealth, StageHealth};
 pub use histo::{LatencyHisto, LatencySnapshot};
+pub use ingress::IngressCounters;
 pub use monitor::{ThroughputWindow, Watchdog};
 
 /// Maximum busy spans retained per stage before coalescing everything new
@@ -493,6 +495,8 @@ pub(crate) struct Inner {
     pub(crate) stalls: Mutex<Vec<StallEvent>>,
     pub(crate) faults: Mutex<Vec<FaultEvent>>,
     pub(crate) pools: Mutex<Vec<(String, Arc<PoolCounters>)>>,
+    /// `(stream, shard, counters)` rows registered by ingress pumps.
+    pub(crate) ingress: Mutex<Vec<(String, u32, Arc<IngressCounters>)>>,
     pub(crate) flight: Arc<FlightRing>,
     // Interned flight source labels; a FlightEvent's `src` indexes here.
     flight_srcs: Mutex<Vec<String>>,
@@ -624,6 +628,7 @@ impl Recorder {
                 stalls: Mutex::new(Vec::new()),
                 faults: Mutex::new(Vec::new()),
                 pools: Mutex::new(Vec::new()),
+                ingress: Mutex::new(Vec::new()),
                 flight: Arc::new(FlightRing::new(epoch)),
                 flight_srcs: Mutex::new(Vec::new()),
                 fault_seen: AtomicU64::new(0),
@@ -744,6 +749,31 @@ impl Recorder {
                 slot.1 = Arc::clone(counters);
             } else {
                 pools.push((name, Arc::clone(counters)));
+            }
+        }
+    }
+
+    /// Register one ingress shard's counters under `(stream, shard)`.
+    /// Like [`register_pool`](Recorder::register_pool), the recorder only
+    /// reads the shared atomics at scrape time; re-registering the same
+    /// `(stream, shard)` replaces the earlier row (a resumed consumer
+    /// rebuilds its pumps freely).
+    pub fn register_ingress(
+        &self,
+        stream: impl Into<String>,
+        shard: u32,
+        counters: &Arc<IngressCounters>,
+    ) {
+        if let Some(inner) = &self.inner {
+            let stream = stream.into();
+            let mut rows = inner.ingress.lock().unwrap();
+            if let Some(slot) = rows
+                .iter_mut()
+                .find(|(s, sh, _)| *s == stream && *sh == shard)
+            {
+                slot.2 = Arc::clone(counters);
+            } else {
+                rows.push((stream, shard, Arc::clone(counters)));
             }
         }
     }

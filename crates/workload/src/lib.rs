@@ -198,6 +198,11 @@ pub struct WorkloadDriver<W: Workload> {
     /// [`process_into`]: WorkloadDriver::process_into
     batch_ids: Arc<AtomicU64>,
     flight: FlightHandle,
+    /// Optional delta-scoped copy ledger; when set, every
+    /// [`process_into`](WorkloadDriver::process_into) call runs under a
+    /// ledger scope so this pipeline's copy traffic is measurable in
+    /// isolation from anything else sharing the process.
+    copy_ledger: Option<telemetry::copy::CopyLedger>,
 }
 
 impl<W: Workload> Clone for WorkloadDriver<W> {
@@ -207,6 +212,7 @@ impl<W: Workload> Clone for WorkloadDriver<W> {
             rec: self.rec.clone(),
             batch_ids: Arc::clone(&self.batch_ids),
             flight: self.flight.clone(),
+            copy_ledger: self.copy_ledger.clone(),
         }
     }
 }
@@ -219,6 +225,7 @@ impl<W: Workload> WorkloadDriver<W> {
             rec: Recorder::default(),
             batch_ids: Arc::new(AtomicU64::new(0)),
             flight: FlightHandle::noop(),
+            copy_ledger: None,
         }
     }
 
@@ -231,6 +238,14 @@ impl<W: Workload> WorkloadDriver<W> {
         }
         self.flight = rec.flight_handle(&format!("driver:{}", self.work.stage_label()));
         self.rec = rec;
+        self
+    }
+
+    /// Attribute this driver's data-path copies to `ledger`. The ledger
+    /// travels with driver clones, so every farm replica charges the same
+    /// counters — cloning shares, it does not fork.
+    pub fn with_copy_ledger(mut self, ledger: telemetry::copy::CopyLedger) -> Self {
+        self.copy_ledger = Some(ledger);
         self
     }
 
@@ -276,6 +291,9 @@ impl<W: Workload> WorkloadDriver<W> {
     /// OOM, degrade to the host — always writing into `out` so recovery
     /// recycles the same buffer the happy path does.
     pub fn process_into(&self, gpu: &mut W::Gpu, item: &W::Item, out: &mut W::Batch) {
+        // Activate the driver's scoped ledger (if any) for the whole
+        // ladder walk, so retries and CPU fallbacks are charged too.
+        let _ledger_scope = self.copy_ledger.as_ref().map(|l| l.enter());
         // One batch crossing the data path: the copy ledger divides its
         // byte counters by this to report copies-per-batch.
         telemetry::copy::record_batch();

@@ -31,6 +31,7 @@ pub use dedup;
 pub use fastflow;
 pub use gpusim;
 pub use hashsearch;
+pub use ingress;
 pub use mandel;
 pub use perfmodel;
 pub use simtime;

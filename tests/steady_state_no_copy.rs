@@ -6,12 +6,12 @@
 //! (mandel pixels, dedup batch data), so every `h2d_pinned`/`d2h_pinned`
 //! verb finds registered memory and moves bytes by DMA, not memcpy.
 //!
-//! The copy ledger (`telemetry::copy`) is process-global, so this binary
-//! holds a single `#[test]` — the same discipline as
-//! `steady_state_no_alloc.rs` — and differences snapshots around each
-//! sweep. Warmup absorbs the cold-path copies (first-touch allocations
-//! are allowed to stage); the steady-state delta must be exactly zero,
-//! not merely small.
+//! Each measured sweep runs under its own delta-scoped
+//! [`copy::CopyLedger`], so only traffic charged by *this* thread inside
+//! the sweep counts — concurrent tests elsewhere in the process can no
+//! longer contaminate the per-batch figures. Warmup absorbs the
+//! cold-path copies (first-touch allocations are allowed to stage); the
+//! steady-state ledger must read exactly zero, not merely small.
 
 use std::collections::VecDeque;
 
@@ -33,9 +33,12 @@ fn assert_no_copies(label: &str, mut sweep: impl FnMut()) {
         sweep();
     }
     for attempt in 0..SWEEPS {
-        let before = copy::snapshot();
-        sweep();
-        let delta = copy::snapshot().since(&before);
+        let ledger = copy::CopyLedger::new();
+        {
+            let _scope = ledger.enter();
+            sweep();
+        }
+        let delta = ledger.stats();
         assert_eq!(
             delta.bytes_copied(),
             0,
