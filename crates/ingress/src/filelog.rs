@@ -47,6 +47,11 @@ const DEFAULT_MAX_IN_FLIGHT: usize = 64;
 const REC_HEADER: usize = 4 + 4 + 8;
 const IDX_ENTRY: usize = 8 + 8;
 
+/// Largest accepted record payload. A header claiming more is a torn or
+/// corrupt tail, never a real record — checked *before* any allocation
+/// so garbage bytes cannot demand gigabytes (mirrors `tcp::MAX_FRAME`).
+const MAX_RECORD: usize = 64 << 20;
+
 fn shard_dir(stream_dir: &Path, shard: ShardId) -> PathBuf {
     stream_dir.join(format!("shard-{}", shard.0))
 }
@@ -75,12 +80,15 @@ fn list_segments(dir: &Path) -> Result<Vec<SequenceNo>, IngressError> {
 }
 
 /// Scan one segment from the front, validating records. Returns
-/// `(next_seq, good_bytes)`: the sequence after the last intact record
-/// and the byte length of the intact prefix.
-fn scan_segment(dir: &Path, base: SequenceNo) -> Result<(SequenceNo, u64), IngressError> {
+/// `(next_seq, good_bytes, positions)`: the sequence after the last
+/// intact record, the byte length of the intact prefix, and the byte
+/// offset of each intact record — everything a correct offset index
+/// must contain, so recovery can rebuild one.
+fn scan_segment(dir: &Path, base: SequenceNo) -> Result<(SequenceNo, u64, Vec<u64>), IngressError> {
     let mut f = BufReader::new(File::open(seg_path(dir, base, "log"))?);
     let mut next = base;
     let mut good = 0u64;
+    let mut positions = Vec::new();
     let mut payload = Vec::new();
     loop {
         let mut head = [0u8; REC_HEADER];
@@ -91,6 +99,9 @@ fn scan_segment(dir: &Path, base: SequenceNo) -> Result<(SequenceNo, u64), Ingre
         let len = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
         let seq = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+        if len > MAX_RECORD {
+            break; // garbage header: don't even allocate for it
+        }
         payload.clear();
         payload.resize(len, 0);
         if f.read_exact(&mut payload).is_err() {
@@ -99,10 +110,11 @@ fn scan_segment(dir: &Path, base: SequenceNo) -> Result<(SequenceNo, u64), Ingre
         if seq != next || crate::crc32(&payload) != crc {
             break; // wrong seq chain or corrupt payload: stop trusting
         }
+        positions.push(good);
         next += 1;
         good += (REC_HEADER + len) as u64;
     }
-    Ok((next, good))
+    Ok((next, good, positions))
 }
 
 /// The durable watermark of one shard directory: `(tail_base, next_seq)`
@@ -112,7 +124,7 @@ fn shard_tail(dir: &Path) -> Result<Option<(SequenceNo, SequenceNo)>, IngressErr
     let Some(&base) = bases.last() else {
         return Ok(None);
     };
-    let (next, _) = scan_segment(dir, base)?;
+    let (next, _, _) = scan_segment(dir, base)?;
     Ok(Some((base, next)))
 }
 
@@ -135,11 +147,11 @@ impl ShardWriter {
     fn open(dir: PathBuf) -> Result<ShardWriter, IngressError> {
         fs::create_dir_all(&dir)?;
         let (base, next_seq) = shard_tail(&dir)?.unwrap_or_default();
-        let good = if next_seq > base {
-            let (_, good) = scan_segment(&dir, base)?;
-            good
+        let (good, positions) = if next_seq > base {
+            let (_, good, positions) = scan_segment(&dir, base)?;
+            (good, positions)
         } else {
-            0
+            (0, Vec::new())
         };
         let log_path = seg_path(&dir, base, "log");
         let idx_path = seg_path(&dir, base, "idx");
@@ -151,16 +163,49 @@ impl ShardWriter {
             .write(true)
             .open(&log_path)?;
         log.set_len(good)?;
+        // The log and idx can be torn *independently* (the log buffer
+        // flushes to the OS far more often than the 16-byte-per-record
+        // idx buffer, and a crash can land between the two syncs), so
+        // the idx is trusted only as far as it agrees with the log scan.
+        // Everything past that prefix — including entries the crash
+        // never wrote — is rebuilt from the scanned record positions;
+        // zero-extending here would plant seq=0/pos=0 entries that later
+        // seeks read as hard corruption.
         let idx = OpenOptions::new()
             .create(true)
             .truncate(false)
+            .read(true)
             .write(true)
             .open(&idx_path)?;
-        idx.set_len((next_seq - base) * IDX_ENTRY as u64)?;
+        let mut valid = 0usize;
+        {
+            let mut rdr = BufReader::new(&idx);
+            let mut e = [0u8; IDX_ENTRY];
+            while valid < positions.len() {
+                if rdr.read_exact(&mut e).is_err() {
+                    break;
+                }
+                let seq = u64::from_le_bytes(e[0..8].try_into().expect("8 bytes"));
+                let pos = u64::from_le_bytes(e[8..16].try_into().expect("8 bytes"));
+                if seq != base + valid as u64 || pos != positions[valid] {
+                    break;
+                }
+                valid += 1;
+            }
+        }
+        idx.set_len((valid * IDX_ENTRY) as u64)?;
+        let mut idx = BufWriter::new(idx);
+        idx.seek(SeekFrom::Start((valid * IDX_ENTRY) as u64))?;
+        for (i, &pos) in positions.iter().enumerate().skip(valid) {
+            idx.write_all(&(base + i as u64).to_le_bytes())?;
+            idx.write_all(&pos.to_le_bytes())?;
+        }
+        if valid < positions.len() {
+            idx.flush()?;
+            idx.get_ref().sync_data()?;
+        }
         let mut log = BufWriter::new(log);
         log.seek(SeekFrom::End(0))?;
-        let mut idx = BufWriter::new(idx);
-        idx.seek(SeekFrom::End(0))?;
         Ok(ShardWriter {
             dir,
             log,
@@ -509,6 +554,13 @@ impl ShardReader {
         let len = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
         let seq = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+        if len > MAX_RECORD {
+            // A garbage header could claim ~4 GiB; treat it as a torn
+            // tail (the writer-side reopen truncates it) rather than
+            // letting corrupt bytes size an allocation.
+            self.open = None;
+            return Ok(None);
+        }
         let mut payload = pool.acquire(len);
         if log.read_exact(&mut payload[..]).is_err() {
             // Torn / partially flushed: rewind by reopening next time.
@@ -719,20 +771,43 @@ impl FileLogSource {
         self.generation = gen;
         Ok(())
     }
-}
 
-impl Source for FileLogSource {
-    fn stream_key(&self) -> &StreamKey {
-        &self.key
+    /// Pick up shard directories created after this source was opened
+    /// (non-group mode — group mode rediscovers through `rebalance`).
+    /// A source opened before the producer ever wrote would otherwise
+    /// keep an empty reader set forever. Newly found shards start at
+    /// their committed offset when one exists, else at the beginning:
+    /// every record in a shard born after open is "new" to this reader,
+    /// whatever mode it was opened in. Returns true when a shard was
+    /// added.
+    fn refresh_shards(&mut self) -> Result<bool, IngressError> {
+        let mut added = false;
+        for id in Self::discover_shards(&self.stream_dir)? {
+            if self.readers.iter().any(|r| r.id == id) {
+                continue;
+            }
+            let dir = shard_dir(&self.stream_dir, id);
+            let mut r = ShardReader::new(id, dir, 0);
+            match &self.offsets {
+                Some(store) => match store.load(id)? {
+                    Some(next) => r.next_seq = next,
+                    None => r.seek(SeqPos::Beginning)?,
+                },
+                None => r.seek(SeqPos::Beginning)?,
+            }
+            self.readers.push(r);
+            added = true;
+        }
+        if added {
+            self.readers.sort_unstable_by_key(|r| r.id);
+            self.rr = 0;
+        }
+        Ok(added)
     }
 
-    fn assigned_shards(&self) -> Vec<ShardId> {
-        self.readers.iter().map(|r| r.id).collect()
-    }
-
-    fn next_batch(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, IngressError> {
-        self.rebalance()?;
-        if self.readers.is_empty() || max == 0 {
+    /// One round-robin sweep over the current reader set.
+    fn poll_readers(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, IngressError> {
+        if self.readers.is_empty() {
             return Ok(0);
         }
         let mut got = 0;
@@ -748,6 +823,31 @@ impl Source for FileLogSource {
                 }
                 None => dry += 1,
             }
+        }
+        Ok(got)
+    }
+}
+
+impl Source for FileLogSource {
+    fn stream_key(&self) -> &StreamKey {
+        &self.key
+    }
+
+    fn assigned_shards(&self) -> Vec<ShardId> {
+        self.readers.iter().map(|r| r.id).collect()
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Message>, max: usize) -> Result<usize, IngressError> {
+        self.rebalance()?;
+        if max == 0 {
+            return Ok(0);
+        }
+        let mut got = self.poll_readers(out, max)?;
+        // An idle sweep is the cheap moment to look for shard
+        // directories that did not exist at open (producer started
+        // later, or added shards); group mode gets this via rebalance.
+        if got == 0 && self.membership.is_none() && self.refresh_shards()? {
+            got = self.poll_readers(out, max)?;
         }
         Ok(got)
     }
@@ -907,6 +1007,154 @@ mod tests {
             all[&0],
             vec![b"alpha".to_vec(), b"beta".to_vec(), b"gamma".to_vec()]
         );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopen_rebuilds_index_entries_lost_in_crash() {
+        // The log can be durable while the trailing idx entries are not
+        // (crash between the two syncs, or BufWriter flush asymmetry).
+        // Reopen must rebuild those entries from the log scan — the old
+        // zero-extend planted seq=0/pos=0 entries that made any later
+        // seek into that range a hard Corrupt error.
+        let root = tmpdir("idxloss");
+        {
+            let mut sink = FileLogSink::open(&root, &key(), 1).expect("open");
+            for i in 0..6u8 {
+                sink.send(ShardId(0), &[i; 10]).expect("send");
+            }
+            sink.flush().expect("flush");
+        }
+        let idx = seg_path(&shard_dir(&root.join("t"), ShardId(0)), 0, "idx");
+        let full = fs::metadata(&idx).expect("meta").len();
+        let f = OpenOptions::new().write(true).open(&idx).expect("open idx");
+        f.set_len(full - 2 * IDX_ENTRY as u64)
+            .expect("drop last two idx entries");
+        drop(f);
+        let mut sink = FileLogSink::open(&root, &key(), 1).expect("reopen");
+        assert_eq!(sink.next_seq(ShardId(0)).expect("seq"), 6);
+        assert_eq!(
+            fs::metadata(&idx).expect("meta").len(),
+            full,
+            "reopen restores the missing idx entries"
+        );
+        // Seek straight into the formerly zero-extended range.
+        let mut src =
+            FileLogSource::open_replay(&root, &key(), fastflow::BufPool::new()).expect("open");
+        src.seek(ShardId(0), SeqPos::At(4)).expect("seek");
+        let mut msgs = Vec::new();
+        while src
+            .next_batch(&mut msgs, 8)
+            .expect("read past rebuilt entries")
+            > 0
+        {}
+        assert_eq!(
+            msgs.iter().map(|m| m.seq).collect::<Vec<_>>(),
+            vec![4, 5],
+            "rebuilt index addresses the tail records"
+        );
+        assert_eq!(&msgs[0].payload[..], &[4u8; 10]);
+        // And the reopened sink keeps appending consistently.
+        sink.send(ShardId(0), &[6; 10]).expect("send");
+        sink.flush().expect("flush");
+        let all = read_all(&root, &key()).expect("read back");
+        assert_eq!(all[&0].len(), 7);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopen_replaces_corrupt_index_entries() {
+        // Not just missing entries: garbage in the idx (torn write) must
+        // be detected against the log scan and rewritten.
+        let root = tmpdir("idxgarbage");
+        {
+            let mut sink = FileLogSink::open(&root, &key(), 1).expect("open");
+            for i in 0..4u8 {
+                sink.send(ShardId(0), &[i; 8]).expect("send");
+            }
+            sink.flush().expect("flush");
+        }
+        let idx = seg_path(&shard_dir(&root.join("t"), ShardId(0)), 0, "idx");
+        let mut f = OpenOptions::new().write(true).open(&idx).expect("open idx");
+        f.seek(SeekFrom::Start(2 * IDX_ENTRY as u64)).expect("seek");
+        f.write_all(&[0xAA; 2 * IDX_ENTRY]).expect("scribble");
+        drop(f);
+        let _ = FileLogSink::open(&root, &key(), 1).expect("reopen");
+        let mut src =
+            FileLogSource::open_replay(&root, &key(), fastflow::BufPool::new()).expect("open");
+        src.seek(ShardId(0), SeqPos::At(2)).expect("seek");
+        let mut msgs = Vec::new();
+        while src.next_batch(&mut msgs, 8).expect("read") > 0 {}
+        assert_eq!(msgs.iter().map(|m| m.seq).collect::<Vec<_>>(), vec![2, 3]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn oversized_length_header_is_torn_tail_not_allocation() {
+        // A garbage header claiming ~4 GiB must be rejected before any
+        // buffer is sized from it — reader treats it as a torn tail,
+        // writer reopen truncates it.
+        let root = tmpdir("hugelen");
+        {
+            let mut sink = FileLogSink::open(&root, &key(), 1).expect("open");
+            sink.send(ShardId(0), b"good").expect("send");
+            sink.flush().expect("flush");
+        }
+        let log = seg_path(&shard_dir(&root.join("t"), ShardId(0)), 0, "log");
+        let full = fs::metadata(&log).expect("meta").len();
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(&log)
+            .expect("open log");
+        let mut garbage = Vec::new();
+        garbage.extend_from_slice(&u32::MAX.to_le_bytes()); // len ~4 GiB
+        garbage.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes()); // crc
+        garbage.extend_from_slice(&1u64.to_le_bytes()); // seq (would chain)
+        f.write_all(&garbage).expect("append garbage header");
+        drop(f);
+        let mut src =
+            FileLogSource::open_replay(&root, &key(), fastflow::BufPool::new()).expect("open");
+        let mut msgs = Vec::new();
+        while src
+            .next_batch(&mut msgs, 8)
+            .expect("no error, no huge alloc")
+            > 0
+        {}
+        assert_eq!(msgs.len(), 1, "only the intact record is delivered");
+        let mut sink = FileLogSink::open(&root, &key(), 1).expect("reopen");
+        assert_eq!(sink.next_seq(ShardId(0)).expect("seq"), 1);
+        assert_eq!(
+            fs::metadata(&log).expect("meta").len(),
+            full,
+            "reopen truncates the garbage tail"
+        );
+        sink.send(ShardId(0), b"next").expect("send");
+        sink.flush().expect("flush");
+        let all = read_all(&root, &key()).expect("read back");
+        assert_eq!(all[&0], vec![b"good".to_vec(), b"next".to_vec()]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn source_opened_before_sink_discovers_shards_later() {
+        // A non-group source opened before the producer created any
+        // shard directory must pick them up once they appear instead of
+        // returning 0 forever.
+        let root = tmpdir("latesink");
+        fs::create_dir_all(root.join("t")).expect("stream dir");
+        let mut src =
+            FileLogSource::open_replay(&root, &key(), fastflow::BufPool::new()).expect("open");
+        let mut msgs = Vec::new();
+        assert_eq!(src.next_batch(&mut msgs, 8).expect("read"), 0);
+        assert!(src.assigned_shards().is_empty());
+        let mut sink = FileLogSink::open(&root, &key(), 2).expect("open sink");
+        for i in 0..4u8 {
+            sink.send(ShardId(u32::from(i % 2)), &[i]).expect("send");
+        }
+        sink.flush().expect("flush");
+        while src.next_batch(&mut msgs, 8).expect("read") > 0 {}
+        assert_eq!(msgs.len(), 4, "late-created shards are discovered");
+        assert_eq!(src.assigned_shards(), vec![ShardId(0), ShardId(1)]);
         let _ = fs::remove_dir_all(&root);
     }
 

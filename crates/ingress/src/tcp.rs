@@ -360,6 +360,9 @@ impl TcpSink {
     ) -> Result<TcpSink, IngressError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        // Poll interval for the ack wait, not a deadline: await_one_ack
+        // loops on timeout, so a backpressured consumer blocks the sink
+        // (as documented) instead of erroring it out.
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
         let reader = stream.try_clone()?;
         let mut writer = BufWriter::new(stream);
@@ -385,7 +388,22 @@ impl TcpSink {
         self
     }
 
+    /// Override how often the ack wait re-polls its socket. This bounds
+    /// poll latency only — never how long the sink will wait for a
+    /// backpressured consumer. Mostly useful to speed up tests.
+    pub fn with_ack_poll(self, interval: Duration) -> Result<Self, IngressError> {
+        self.reader
+            .set_read_timeout(Some(interval.max(Duration::from_millis(1))))?;
+        Ok(self)
+    }
+
     /// Block until the oldest pending receipt is acked by the server.
+    ///
+    /// A read-timeout wakeup is *not* an error: the server withholds
+    /// acks exactly when the consumer is backpressured, and the
+    /// documented contract is that the sink blocks in its in-flight
+    /// window until the pipeline drains — however long that takes. A
+    /// closed connection (`Ok(0)`) is still a hard [`IngressError::Closed`].
     fn await_one_ack(&mut self) -> Result<(), IngressError> {
         let mut frame = [0u8; 17];
         let mut filled = 0;
@@ -399,7 +417,7 @@ impl TcpSink {
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) =>
                 {
-                    return Err(IngressError::Io(e))
+                    continue; // stalled consumer = backpressure, keep waiting
                 }
                 Err(e) => return Err(IngressError::Io(e)),
             }
@@ -552,6 +570,43 @@ mod tests {
         assert_eq!(got.len(), 64);
         let seqs: Vec<u64> = got.iter().map(|m| m.seq).collect();
         assert_eq!(seqs, (0..64).collect::<Vec<u64>>());
+        server.stop();
+    }
+
+    #[test]
+    fn consumer_stalled_past_read_timeout_blocks_producer_instead_of_erroring() {
+        // The exact condition backpressure exists for: the consumer goes
+        // quiet for longer than the sink's socket read timeout. The
+        // sink must keep waiting for acks (blocked, per the module
+        // contract), not fail with Io(TimedOut).
+        let server = TcpIngressServer::bind("127.0.0.1:0", &key(), fastflow::BufPool::new(), 1)
+            .expect("bind");
+        let addr = server.addr();
+        let producer = std::thread::spawn(move || {
+            let mut sink = TcpSink::connect(addr, &key(), 1)
+                .expect("connect")
+                .with_max_in_flight(1)
+                .with_ack_poll(Duration::from_millis(20))
+                .expect("ack poll");
+            for i in 0..3u8 {
+                sink.send(ShardId(0), &[i; 50])
+                    .expect("send must block through the stall, not time out");
+            }
+            sink.flush().expect("flush");
+        });
+        // Stall well past several poll intervals before draining.
+        std::thread::sleep(Duration::from_millis(300));
+        let mut src = server.source();
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while got.len() < 3 {
+            assert!(std::time::Instant::now() < deadline, "transfer wedged");
+            if src.next_batch(&mut got, 4).expect("pop") == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        producer.join().expect("producer survived the stall");
+        assert_eq!(got.iter().map(|m| m.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
         server.stop();
     }
 

@@ -442,8 +442,14 @@ impl MetricsServer {
                 while !stop2.load(Ordering::Relaxed) {
                     // Drain *every* queued connection before sleeping — the
                     // old one-accept-per-5ms-wake loop let a backlog build
-                    // behind a single slow client.
+                    // behind a single slow client. The drain itself re-checks
+                    // stop: under a sustained connection stream the accept
+                    // loop never goes dry, and shutdown (stop/Drop joins this
+                    // thread) must stay bounded anyway.
                     while let Ok((stream, _)) = listener.accept() {
+                        if stop2.load(Ordering::Relaxed) {
+                            return; // drop the stream unserved; we're closing
+                        }
                         serve_conn(&rec, stream, &in_flight);
                     }
                     std::thread::sleep(Duration::from_millis(5));
@@ -754,6 +760,36 @@ mod tests {
         );
         drop(wedged);
         srv.stop();
+    }
+
+    #[test]
+    fn stop_is_bounded_under_a_sustained_connection_flood() {
+        // Regression: the accept-drain loop only noticed the stop flag
+        // when accept returned Err, so a steady stream of incoming
+        // connections kept stop()/Drop (which joins the accept thread)
+        // hanging indefinitely. The drain must re-check stop per accept.
+        let rec = Recorder::enabled();
+        let srv = rec.serve_metrics("127.0.0.1:0").expect("bind");
+        let addr = srv.addr();
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let flooder = std::thread::spawn(move || {
+            while !done2.load(Ordering::Relaxed) {
+                // Keep the accept queue non-empty; failures after the
+                // listener closes are expected and ignored.
+                let _ = TcpStream::connect(addr);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        srv.stop();
+        let elapsed = start.elapsed();
+        done.store(true, Ordering::Relaxed);
+        flooder.join().expect("flooder");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "stop hung under connection flood: {elapsed:?}"
+        );
     }
 
     #[test]
