@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Data-path benchmark runner. Fully offline.
 #
-#   ./bench.sh                 # full run, writes BENCH_pr3/pr5/pr7/pr8/pr9.json
+#   ./bench.sh                 # full run, writes BENCH_pr3/pr5/pr7/pr8/pr9/pr10.json
 #   ./bench.sh out.json        # same, custom pr3 output path
 #   BENCH_SMOKE=1 ./bench.sh   # CI smoke: same benches, skips the timing-ratio
 #                              # assertions (shared CI boxes are too noisy to
@@ -25,6 +25,10 @@
 #   - the PR 9 ingress bench: durable file-log produce/replay, the pinned
 #     pooled pump (staging bytes per record must be 0) and the loopback
 #     TCP round trip with windowed acks — written to BENCH_pr9.json
+#   - the PR 10 task-graph bench: cost-model placement vs static round-robin
+#     over the N=4 mixed fleet (max-device-busy makespan proxy, per-decision
+#     overhead gated under 1 µs) and the online batch/memory-space
+#     auto-tuner vs the hand-picked fig1 rung — written to BENCH_pr10.json
 # plus the wall-clock of a real `fig1 --tiny` end-to-end run.
 #
 # Output schema ("hetstream.bench.v1"):
@@ -41,6 +45,7 @@ OUT5="${2:-BENCH_pr5.json}"
 OUT7="${3:-BENCH_pr7.json}"
 OUT8="${4:-BENCH_pr8.json}"
 OUT9="${5:-BENCH_pr9.json}"
+OUT10="${6:-BENCH_pr10.json}"
 SMOKE="${BENCH_SMOKE:-0}"
 # cargo runs bench binaries with the package dir as CWD; hand it absolute paths.
 case "$OUT" in
@@ -63,6 +68,10 @@ case "$OUT9" in
     /*) OUT9_ABS="$OUT9" ;;
     *) OUT9_ABS="$PWD/$OUT9" ;;
 esac
+case "$OUT10" in
+    /*) OUT10_ABS="$OUT10" ;;
+    *) OUT10_ABS="$PWD/$OUT10" ;;
+esac
 
 echo "== build (release, offline) =="
 cargo build --release --offline -p bench --benches --bin fig1
@@ -78,7 +87,7 @@ echo "== data-path micro-benches =="
 HETSTREAM_FIG1_TINY_WALL_S="$FIG1_WALL" \
     cargo bench --offline -p bench --bench datapath -- \
     --json "$OUT_ABS" --json-pr5 "$OUT5_ABS" --json-pr7 "$OUT7_ABS" \
-    --json-pr8 "$OUT8_ABS" --json-pr9 "$OUT9_ABS"
+    --json-pr8 "$OUT8_ABS" --json-pr9 "$OUT9_ABS" --json-pr10 "$OUT10_ABS"
 
 echo "== summary ($OUT) =="
 cat "$OUT"
@@ -90,6 +99,8 @@ echo "== summary ($OUT8) =="
 cat "$OUT8"
 echo "== summary ($OUT9) =="
 cat "$OUT9"
+echo "== summary ($OUT10) =="
+cat "$OUT10"
 
 # The headline claim of the batched data path: multi-push/multi-pop must be
 # at least 2x single-item ops on the raw SPSC micro-bench.
@@ -179,8 +190,38 @@ if ! awk -v r="$tcp_rps" 'BEGIN{exit !(r > 0.0)}'; then
     echo "FAIL: tcp ingress throughput ${tcp_rps} records/s is not positive" >&2
     exit 1
 fi
+# PR 10 gates. The max-device-busy figures are functions of the
+# deterministic modeled timeline, so cost-model-beats-round-robin holds even
+# in smoke mode. The placement overhead is wall time, but it is a hard
+# acceptance gate with >2x headroom (a few mutex ops and a scan over 4
+# device models vs a 1 µs budget), so it stays on everywhere too. The
+# auto-tune ratio is gated end-to-end by fig1 --auto-tune (ci.sh); here it
+# must merely be present and positive.
+cm_busy=$(grep -o '"costmodel_max_busy_ns": [0-9.]*' "$OUT10" | grep -o '[0-9.]*$')
+rr_busy=$(grep -o '"roundrobin_max_busy_ns": [0-9.]*' "$OUT10" | grep -o '[0-9.]*$')
+place_ns=$(grep -o '"placement_overhead_ns_per_batch": [0-9.]*' "$OUT10" | grep -o '[0-9.]*$')
+tune_ratio=$(grep -o '"autotune_ratio": [0-9.]*' "$OUT10" | grep -o '[0-9.]*$')
+if [[ -z "$cm_busy" || -z "$rr_busy" || -z "$place_ns" || -z "$tune_ratio" ]]; then
+    echo "FAIL: $OUT10 is missing costmodel_max_busy_ns / roundrobin_max_busy_ns /" \
+         "placement_overhead_ns_per_batch / autotune_ratio" >&2
+    exit 1
+fi
+if ! awk -v c="$cm_busy" -v r="$rr_busy" 'BEGIN{exit !(c > 0 && c < r)}'; then
+    echo "FAIL: cost-model max-device-busy ${cm_busy} ns does not beat round-robin ${rr_busy} ns" >&2
+    exit 1
+fi
+if ! awk -v p="$place_ns" 'BEGIN{exit !(p < 1000.0)}'; then
+    echo "FAIL: placement overhead ${place_ns} ns/batch is above the 1 µs budget" >&2
+    exit 1
+fi
+if ! awk -v t="$tune_ratio" 'BEGIN{exit !(t > 0.0)}'; then
+    echo "FAIL: auto-tune ratio ${tune_ratio} is not positive" >&2
+    exit 1
+fi
 echo "bench.sh: done (spsc batched speedup: ${speedup}x," \
      "pooled batch speedup: ${pooled}x, pool hit rate: ${hitrate}," \
      "flight emit: ${noop_ns} ns noop / ${enabled_ns} ns enabled," \
      "zero-copy: ${staging_bpb} B/batch, best SIMD speedup: ${best_simd}x," \
-     "ingress tcp: ${tcp_rps} records/s at ${ing_staging} B/record staged)"
+     "ingress tcp: ${tcp_rps} records/s at ${ing_staging} B/record staged," \
+     "placement: ${place_ns} ns/batch at $(awk -v c="$cm_busy" -v r="$rr_busy" 'BEGIN{printf "%.2f", r/c}')x over round-robin," \
+     "auto-tune ratio: ${tune_ratio})"

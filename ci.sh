@@ -71,6 +71,59 @@ echo "$tcplog" | grep -q 'ingress copy ledger: 0 staging bytes/batch' || {
     exit 1
 }
 
+echo "== fig1 --auto-tune --tiny convergence smoke (controller must rediscover the ladder) =="
+# The closed loop at tiny scale: the auto-tuner climbs the modeled
+# landscape from the naive corner (the >=0.90-of-hand-picked gate is
+# asserted inside the binary), then the cost-model scheduler places the
+# stream over the N=4 mixed fleet with one logged decision per batch.
+tunelog=$(cargo run --release --offline -q -p bench --bin fig1 -- --tiny --auto-tune)
+for want in 'auto-tune converged: batch=' \
+            'auto-tune throughput ratio vs hand-picked' \
+            'placement on N=4 mixed fleet'; do
+    echo "$tunelog" | grep -q "$want" || {
+        echo "FAIL: fig1 --auto-tune run did not report '$want'" >&2
+        echo "$tunelog" >&2
+        exit 1
+    }
+done
+
+echo "== fig4/fig5 --source file smoke (per-key sharded ingress, exactly-once resume) =="
+# Both remaining figure harnesses now ride the durable ingress layer with
+# per-key sharding (fig4 by row span, fig5 by segment index): a fresh run
+# produces and consumes the log with zero staged bytes, and a second run
+# over the same directory resumes from committed offsets without
+# re-emitting, still bit-exact.
+ingdir45=$(mktemp -d)
+f4log=$(cargo run --release --offline -q -p bench --bin fig4 -- \
+    --tiny --source file --shards 3 --ingress-dir "$ingdir45/fig4")
+echo "$f4log" | grep -q 'ingress image bit-identical' || {
+    echo "FAIL: fig4 --source file did not render the bit-identical image" >&2
+    exit 1
+}
+f4resume=$(cargo run --release --offline -q -p bench --bin fig4 -- \
+    --tiny --source file --shards 3 --ingress-dir "$ingdir45/fig4")
+for want in 'resumed shard' 'ingress copy ledger: 0 staging bytes/batch'; do
+    echo "$f4resume" | grep -q "$want" || {
+        echo "FAIL: fig4 --source file resume run did not report '$want'" >&2
+        exit 1
+    }
+done
+f5log=$(cargo run --release --offline -q -p bench --bin fig5 -- \
+    --mb 0.3 --source file --shards 3 --ingress-dir "$ingdir45/fig5")
+echo "$f5log" | grep -q 'ingress archive bit-exact' || {
+    echo "FAIL: fig5 --source file did not reassemble the bit-exact archive" >&2
+    exit 1
+}
+f5resume=$(cargo run --release --offline -q -p bench --bin fig5 -- \
+    --mb 0.3 --source file --shards 3 --ingress-dir "$ingdir45/fig5")
+for want in 'resumed shard' 'ingress copy ledger: 0 staging bytes/batch'; do
+    echo "$f5resume" | grep -q "$want" || {
+        echo "FAIL: fig5 --source file resume run did not report '$want'" >&2
+        exit 1
+    }
+done
+rm -rf "$ingdir45"
+
 echo "== fig4 --tiny fault-injection smoke (must degrade to CPU, stay bit-exact) =="
 faultlog=$(cargo run --release --offline -p bench --bin fig4 -- --tiny --inject-faults 42)
 echo "$faultlog" | grep -q 'cpu_fallback' || {
@@ -193,6 +246,13 @@ echo "== SIMD bit-exactness + zero-copy steady-state gates (named rerun) =="
 cargo test --release --offline --test simd_exactness
 cargo test --release --offline --test steady_state_no_copy
 
+echo "== task-graph placement determinism + scheduler unit suite (named rerun) =="
+# The cost-model scheduler's contract on its own CI lines: the placement
+# flight log replays bit-identically across runs, the output is bit-exact
+# under any placement, and the crate's own explore/skew/residency tests.
+cargo test --release --offline --test taskgraph_placement
+cargo test --release --offline -p taskgraph
+
 echo "== ingress contract suite + transport tests (named rerun) =="
 # The ingress layer's guarantees on their own CI lines: resume
 # bit-exactness after a mid-stream kill, group-rebalance exactly-once,
@@ -203,7 +263,7 @@ cargo test --release --offline --test ingress_contract
 cargo test --release --offline -p ingress
 cargo test --release --offline -p telemetry stalled_client_does_not_block_other_scrapers
 
-echo "== bench.sh smoke (writes BENCH_pr3/pr5/pr7/pr8/pr9.json) =="
+echo "== bench.sh smoke (writes BENCH_pr3/pr5/pr7/pr8/pr9/pr10.json) =="
 BENCH_SMOKE=1 ./bench.sh
 test -s BENCH_pr3.json
 grep -q '"schema": "hetstream.bench.v1"' BENCH_pr3.json
@@ -227,6 +287,13 @@ grep -q '"schema": "hetstream.bench.v1"' BENCH_pr9.json
 grep -q '"entry": "pr9"' BENCH_pr9.json
 grep -q '"tcp_records_per_s"' BENCH_pr9.json
 grep -q '"ingress_staging_bytes_per_record": 0.000' BENCH_pr9.json
+test -s BENCH_pr10.json
+grep -q '"schema": "hetstream.bench.v1"' BENCH_pr10.json
+grep -q '"entry": "pr10"' BENCH_pr10.json
+grep -q '"costmodel_max_busy_ns"' BENCH_pr10.json
+grep -q '"roundrobin_max_busy_ns"' BENCH_pr10.json
+grep -q '"placement_overhead_ns_per_batch"' BENCH_pr10.json
+grep -q '"autotune_ratio"' BENCH_pr10.json
 
 echo
 echo "ci.sh: all gates passed"

@@ -36,6 +36,14 @@
 //! round trip over a real loopback socket (`ingress_tcp`). Pass
 //! `--json-pr9 <path>` to emit `BENCH_pr9.json`.
 //!
+//! PR 10 adds the task-graph rows: the cost-model scheduler against
+//! static round-robin over the N=4 mixed fleet (`taskgraph_place`, with
+//! the max-device-busy makespan proxy and the per-decision placement
+//! overhead that must stay under 1 µs) and the online batch/memory-space
+//! auto-tuner climbing the modeled fig1 landscape
+//! (`taskgraph_autotune`). Pass `--json-pr10 <path>` to emit
+//! `BENCH_pr10.json`.
+//!
 //! Keep runs short: the reproduction box can be a single core, so the
 //! numbers measure per-item overhead, not parallel speedup — which is
 //! exactly what the batching layer targets.
@@ -799,6 +807,141 @@ fn bench_ingress(results: &mut Vec<Result>) -> IngressPathStats {
     }
 }
 
+/// PR 10 derived figures from [`bench_taskgraph`].
+struct TaskgraphStats {
+    /// Max modeled device-busy ns under cost-model placement (N=4 mixed).
+    costmodel_max_busy_ns: u64,
+    /// Same stream under static round-robin placement.
+    roundrobin_max_busy_ns: u64,
+    /// Mean wall time inside one placement decision (the <1 µs gate).
+    placement_overhead_ns_per_batch: f64,
+    /// Decisions that kept a key on its resident device.
+    residency_hits: u64,
+    /// Tuned throughput / hand-picked (batch 32, 4 spaces) throughput.
+    autotune_ratio: f64,
+    /// Operating point the controller converged to.
+    autotune_batch: usize,
+    /// Memory spaces at convergence.
+    autotune_spaces: usize,
+    /// Configurations probed before convergence.
+    autotune_probes: u64,
+}
+
+/// PR 10: the cost-model task-graph scheduler against static round-robin
+/// on the N=4 mixed fleet (two full Titan XPs, two derated to half rate),
+/// and the online batch/memory-space auto-tuner climbing from the naive
+/// corner. Makespan proxy is max modeled device-busy, a pure function of
+/// placement — deterministic across runs.
+fn bench_taskgraph(results: &mut Vec<Result>) -> TaskgraphStats {
+    use taskgraph::{AutoTuner, CostModelScheduler, EpochMeasure, SchedConfig};
+    use workload::{Placement, RoundRobinPlacement, WorkloadDriver};
+
+    let n_dev = 4usize;
+    let batch = 8usize;
+    let params = mandel::FractalParams::view(600, 200);
+    let dim = params.dim;
+    let n_batches = dim.div_ceil(batch);
+
+    let mixed = || {
+        gpusim::GpuSystem::new_mixed(vec![
+            gpusim::DeviceProps::titan_xp(),
+            gpusim::DeviceProps::titan_xp(),
+            gpusim::DeviceProps::titan_xp().derated("titan-xp-half", 0.5),
+            gpusim::DeviceProps::titan_xp().derated("titan-xp-half", 0.5),
+        ])
+    };
+    let rec = telemetry::Recorder::disabled();
+    // One placed render on a fresh fleet; returns the makespan proxy.
+    let run = |placer: Arc<dyn Placement>, sys: &Arc<gpusim::GpuSystem>| -> u64 {
+        let work = mandel::hybrid::MandelWork::<gpusim::CudaOffload>::new(
+            sys, &params, batch, n_dev, n_dev,
+        );
+        let driver = WorkloadDriver::new(work).with_recorder(rec.clone());
+        let mut pixels = 0usize;
+        driver.run_placed(
+            placer,
+            n_dev,
+            |b| *b as u64,
+            0..n_batches,
+            |done| {
+                pixels += done.batch.len();
+            },
+        );
+        assert_eq!(pixels, dim * dim, "placed render covered every row");
+        (0..n_dev)
+            .map(|d| sys.device(d).stats().total_busy().as_nanos())
+            .max()
+            .unwrap_or(0)
+    };
+
+    let mut costmodel_max_busy_ns = 0;
+    let mut overhead = 0.0;
+    let mut residency_hits = 0;
+    let secs = median_secs(3, || {
+        let sys = mixed();
+        let sched = CostModelScheduler::new(&sys, SchedConfig::for_devices(n_dev), &rec, "bench");
+        costmodel_max_busy_ns = run(Arc::clone(&sched) as Arc<dyn Placement>, &sys);
+        let snap = sched.counters().snapshot();
+        overhead = snap.overhead_per_decision_ns();
+        residency_hits = snap.residency_hits;
+    });
+    record(
+        results,
+        "taskgraph_place",
+        "costmodel",
+        n_batches as u64,
+        secs,
+    );
+
+    let mut roundrobin_max_busy_ns = 0;
+    let secs = median_secs(3, || {
+        let sys = mixed();
+        roundrobin_max_busy_ns = run(RoundRobinPlacement::new(n_dev), &sys);
+    });
+    record(
+        results,
+        "taskgraph_place",
+        "roundrobin",
+        n_batches as u64,
+        secs,
+    );
+
+    // The controller climbs the real modeled landscape; the hand-picked
+    // reference is fig1's fastest rung (batch 32, 4 spaces, 2 GPUs).
+    let sys = gpusim::GpuSystem::new(2, gpusim::DeviceProps::titan_xp());
+    let pixels = (dim * dim) as f64;
+    let (_, t_hand) = mandel::gpu::cuda_overlap(&sys, &params, 32, 4, 2);
+    let hand_tput = pixels / t_hand.as_secs_f64();
+    let mut probes = 0u64;
+    let t0 = Instant::now();
+    let outcome = AutoTuner::new().run(|b, s| {
+        probes += 1;
+        let (_, t) = mandel::gpu::cuda_overlap(&sys, &params, b, s, 2);
+        EpochMeasure {
+            throughput: pixels / t.as_secs_f64(),
+            p99_ns: t.as_nanos() / dim.div_ceil(b) as u64,
+        }
+    });
+    record(
+        results,
+        "taskgraph_autotune",
+        "climb",
+        probes,
+        t0.elapsed().as_secs_f64(),
+    );
+
+    TaskgraphStats {
+        costmodel_max_busy_ns,
+        roundrobin_max_busy_ns,
+        placement_overhead_ns_per_batch: overhead,
+        residency_hits,
+        autotune_ratio: outcome.measure.throughput / hand_tput,
+        autotune_batch: outcome.batch_size,
+        autotune_spaces: outcome.mem_spaces,
+        autotune_probes: probes,
+    }
+}
+
 fn find(results: &[Result], bench: &str, mode: &str) -> Option<f64> {
     results
         .iter()
@@ -992,6 +1135,47 @@ fn write_json_pr9(path: &str, results: &[Result], ingress_path: &IngressPathStat
     println!("wrote {path}");
 }
 
+fn write_json_pr10(path: &str, results: &[Result], tg: &TaskgraphStats) {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    let mut rows = String::new();
+    for (i, r) in results
+        .iter()
+        .filter(|r| matches!(r.bench, "taskgraph_place" | "taskgraph_autotune"))
+        .enumerate()
+    {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"mode\": \"{}\", \"items\": {}, \"items_per_s\": {:.1}}}",
+            r.bench, r.mode, r.items, r.items_per_s
+        ));
+    }
+
+    let speedup = if tg.costmodel_max_busy_ns > 0 {
+        tg.roundrobin_max_busy_ns as f64 / tg.costmodel_max_busy_ns as f64
+    } else {
+        0.0
+    };
+    let json = format!(
+        "{{\n  \"schema\": \"hetstream.bench.v1\",\n  \"entry\": \"pr10\",\n  \"unix_time\": {unix_time},\n  \"results\": [\n{rows}\n  ],\n  \"derived\": {{\n    \"costmodel_max_busy_ns\": {},\n    \"roundrobin_max_busy_ns\": {},\n    \"costmodel_speedup\": {speedup:.4},\n    \"placement_overhead_ns_per_batch\": {:.1},\n    \"residency_hits\": {},\n    \"autotune_ratio\": {:.4},\n    \"autotune_batch\": {},\n    \"autotune_mem_spaces\": {},\n    \"autotune_probes\": {}\n  }}\n}}\n",
+        tg.costmodel_max_busy_ns,
+        tg.roundrobin_max_busy_ns,
+        tg.placement_overhead_ns_per_batch,
+        tg.residency_hits,
+        tg.autotune_ratio,
+        tg.autotune_batch,
+        tg.autotune_spaces,
+        tg.autotune_probes,
+    );
+    std::fs::write(path, json).expect("write pr10 bench json");
+    println!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_path = args
@@ -1019,6 +1203,11 @@ fn main() {
         .position(|a| a == "--json-pr9")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let json_pr10_path = args
+        .iter()
+        .position(|a| a == "--json-pr10")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     println!(
         "{:<28} {:<10} {:>15}  {:>22}",
@@ -1035,6 +1224,7 @@ fn main() {
     bench_simd_kernels(&mut results);
     let copies = bench_copy_path(&mut results);
     let ingress_path = bench_ingress(&mut results);
+    let taskgraph = bench_taskgraph(&mut results);
 
     if let (Some(b), Some(s)) = (
         find(&results, "spsc_channel", "batched"),
@@ -1080,6 +1270,19 @@ fn main() {
         "ingress: tcp {:.0} records/s, pinned pump staging {:.1} B/record",
         ingress_path.tcp_records_per_s, ingress_path.staging_bytes_per_record,
     );
+    println!(
+        "taskgraph: cost-model {:.3} ms vs round-robin {:.3} ms max device busy \
+         ({:.0} ns/decision, {} residency hits); auto-tune -> batch {} / {} spaces \
+         at {:.3}x hand-picked after {} probes",
+        taskgraph.costmodel_max_busy_ns as f64 / 1e6,
+        taskgraph.roundrobin_max_busy_ns as f64 / 1e6,
+        taskgraph.placement_overhead_ns_per_batch,
+        taskgraph.residency_hits,
+        taskgraph.autotune_batch,
+        taskgraph.autotune_spaces,
+        taskgraph.autotune_ratio,
+        taskgraph.autotune_probes,
+    );
 
     if let Some(path) = json_path {
         write_json(&path, &results);
@@ -1095,5 +1298,8 @@ fn main() {
     }
     if let Some(path) = json_pr9_path {
         write_json_pr9(&path, &results, &ingress_path);
+    }
+    if let Some(path) = json_pr10_path {
+        write_json_pr10(&path, &results, &taskgraph);
     }
 }

@@ -330,6 +330,19 @@ pub fn secs(d: simtime::SimDuration) -> String {
     }
 }
 
+/// Deterministic per-key shard assignment (FNV-1a over the key), shared
+/// by the harnesses' `--source file` ingress paths: records of the same
+/// stream key always land on the same shard, so per-shard FIFO gives
+/// per-key ordering — unlike round-robin, which scatters a key.
+pub fn shard_of(key: u64, shards: u32) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % u64::from(shards)) as u32
+}
+
 /// Parse `--key value` style arguments with a default.
 pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     let args: Vec<String> = std::env::args().collect();
@@ -378,5 +391,17 @@ mod tests {
     #[test]
     fn arg_returns_default_when_absent() {
         assert_eq!(arg("--definitely-not-passed", 42u32), 42);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for key in 0..1000u64 {
+            let s = shard_of(key, 4);
+            assert!(s < 4);
+            assert_eq!(s, shard_of(key, 4), "same key, same shard");
+        }
+        // Not degenerate: several shards actually used.
+        let used: std::collections::HashSet<u32> = (0..32).map(|k| shard_of(k, 4)).collect();
+        assert!(used.len() >= 3, "keys spread over shards: {used:?}");
     }
 }

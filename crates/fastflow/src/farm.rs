@@ -110,10 +110,56 @@ where
 pub fn spawn_farm_traced<N, F>(
     rx: Receiver<Stamped<N::In>>,
     replicas: usize,
+    factory: F,
+    cfg: FarmConfig,
+    rec: &Recorder,
+    stage_name: &str,
+) -> (Receiver<Stamped<N::Out>>, Vec<JoinHandle<()>>)
+where
+    N: Node,
+    F: FnMut(usize) -> N,
+{
+    spawn_farm_inner(rx, replicas, factory, cfg, rec, stage_name, None)
+}
+
+/// A worker-selection function for [`spawn_farm_routed`]: given an
+/// item's farm sequence number (assigned serially by the emitter, 0, 1,
+/// 2, …) and the item itself, returns the worker replica that must run
+/// it. Values `>= replicas` wrap modulo the replica count.
+pub type Router<I> = Box<dyn FnMut(u64, &I) -> usize + Send>;
+
+/// [`spawn_farm_traced`] with explicit worker selection: the emitter
+/// asks `router` — not a fixed policy — which replica gets each item.
+/// This is the graph-node adapter a placement scheduler drives: with
+/// one replica pinned per device, routing an item *is* placing its
+/// batch on a device, and because the emitter calls the router serially
+/// in stream order, placement decisions form a deterministic log even
+/// though the workers themselves run concurrently.
+pub fn spawn_farm_routed<N, F>(
+    rx: Receiver<Stamped<N::In>>,
+    replicas: usize,
+    factory: F,
+    mut router: Router<N::In>,
+    cfg: FarmConfig,
+    rec: &Recorder,
+    stage_name: &str,
+) -> (Receiver<Stamped<N::Out>>, Vec<JoinHandle<()>>)
+where
+    N: Node,
+    F: FnMut(usize) -> N,
+{
+    let route: Router<Stamped<N::In>> = Box::new(move |seq, s| router(seq, &s.item));
+    spawn_farm_inner(rx, replicas, factory, cfg, rec, stage_name, Some(route))
+}
+
+fn spawn_farm_inner<N, F>(
+    rx: Receiver<Stamped<N::In>>,
+    replicas: usize,
     mut factory: F,
     cfg: FarmConfig,
     rec: &Recorder,
     stage_name: &str,
+    route: Option<Router<Stamped<N::In>>>,
 ) -> (Receiver<Stamped<N::Out>>, Vec<JoinHandle<()>>)
 where
     N: Node,
@@ -153,7 +199,10 @@ where
         handles.push(
             thread::Builder::new()
                 .name("ff-emitter".into())
-                .spawn(move || run_emitter(rx, to_workers, policy, burst))
+                .spawn(move || match route {
+                    Some(router) => run_emitter_routed(rx, to_workers, router, burst),
+                    None => run_emitter(rx, to_workers, policy, burst),
+                })
                 .expect("spawn emitter"),
         );
     }
@@ -249,6 +298,35 @@ fn run_emitter<I: Send + 'static>(
                     }
                     seq += 1;
                 }
+            }
+        }
+    }
+    // Senders drop here => EOS to every worker.
+}
+
+fn run_emitter_routed<I: Send + 'static>(
+    rx: Receiver<I>,
+    to_workers: Vec<Sender<(u64, I)>>,
+    mut router: Router<I>,
+    burst: usize,
+) {
+    let n = to_workers.len();
+    let mut seq: u64 = 0;
+    let mut in_buf: Vec<I> = Vec::with_capacity(burst);
+    // Same burst-partitioned delivery as the round-robin emitter, with
+    // the destination chosen per item by the router. The router runs on
+    // this single emitter thread, in seq order — the property placement
+    // determinism rests on.
+    let mut scratch: Vec<Vec<(u64, I)>> = (0..n).map(|_| Vec::with_capacity(burst)).collect();
+    'stream: while rx.recv_batch(&mut in_buf, burst) > 0 {
+        for item in in_buf.drain(..) {
+            let w = router(seq, &item) % n;
+            scratch[w].push((seq, item));
+            seq += 1;
+        }
+        for (w, buf) in scratch.iter_mut().enumerate() {
+            if !buf.is_empty() && to_workers[w].send_batch(buf.drain(..)).is_err() {
+                break 'stream; // worker died; stop the stream
             }
         }
     }
@@ -558,6 +636,54 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(got, (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn routed_farm_honors_the_router_and_keeps_order() {
+        struct Tagged {
+            replica: u64,
+        }
+        impl Node for Tagged {
+            type In = u64;
+            type Out = (u64, u64);
+            fn svc(&mut self, input: u64, out: &mut Emitter<'_, (u64, u64)>) {
+                out.send((self.replica, input));
+            }
+        }
+        use crate::node::Emitter;
+        let cfg = FarmConfig {
+            ordered: true,
+            ..FarmConfig::default()
+        };
+        let (tx, rx) = channel::<Stamped<u64>>(cfg.capacity, cfg.wait);
+        let producer = thread::spawn(move || {
+            for v in 0..200u64 {
+                tx.send(Stamped::bare(v)).unwrap();
+            }
+        });
+        let (out_rx, handles) = spawn_farm_routed::<Tagged, _>(
+            rx,
+            3,
+            |idx| Tagged {
+                replica: idx as u64,
+            },
+            Box::new(|_seq, item: &u64| (*item % 3) as usize),
+            cfg,
+            &Recorder::default(),
+            "routed",
+        );
+        let got: Vec<(u64, u64)> = out_rx.into_iter().map(Stamped::into_inner).collect();
+        producer.join().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every item ran on the replica the router named, and the
+        // ordered collector restored stream order.
+        assert_eq!(got.len(), 200);
+        for (i, (replica, item)) in got.iter().enumerate() {
+            assert_eq!(*item, i as u64);
+            assert_eq!(*replica, item % 3, "item {item} ran on replica {replica}");
+        }
     }
 
     #[test]

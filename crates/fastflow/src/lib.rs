@@ -44,7 +44,7 @@ pub mod wait;
 pub use channel::{channel, Receiver, SendError, Sender, TrySendError};
 pub use combinators::{gather, par_map_ordered, par_map_unordered, scatter};
 pub use error::{try_map, try_map_with, FaultPolicy, RunReport, StageError, TryMapNode};
-pub use farm::{spawn_farm, spawn_farm_traced, FarmConfig, SchedPolicy};
+pub use farm::{spawn_farm, spawn_farm_routed, spawn_farm_traced, FarmConfig, Router, SchedPolicy};
 pub use feedback::{spawn_feedback_farm, spawn_feedback_farm_traced, Loop};
 pub use node::{Emitter, Node};
 pub use pipeline::{PipeConfig, Pipeline, PipelineBuilder, PipelineStart, PipelineThreads};

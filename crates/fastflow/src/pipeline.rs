@@ -11,7 +11,7 @@ use std::thread::{self, JoinHandle};
 use telemetry::{Recorder, StageHandle};
 
 use crate::channel::{channel, Receiver, Sender};
-use crate::farm::{spawn_farm_traced, FarmConfig, SchedPolicy};
+use crate::farm::{spawn_farm_routed, spawn_farm_traced, FarmConfig, Router, SchedPolicy};
 use crate::node::{map, Emitter, Node};
 use crate::stamp::Stamped;
 use crate::wait::WaitStrategy;
@@ -386,6 +386,46 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         F: FnMut(usize) -> N,
     {
         self.farm_with(replicas, factory, SchedPolicy::RoundRobin, true)
+    }
+
+    /// Append an order-preserving farm whose worker selection is driven
+    /// by `router` instead of a fixed policy (see
+    /// [`spawn_farm_routed`]). The router runs serially on the emitter
+    /// thread in stream order — the hook a placement scheduler uses to
+    /// pin each item to a device-owning replica deterministically.
+    pub fn farm_routed<N, F>(
+        mut self,
+        replicas: usize,
+        factory: F,
+        router: Router<T>,
+    ) -> PipelineBuilder<N::Out>
+    where
+        N: Node<In = T>,
+        F: FnMut(usize) -> N,
+    {
+        let cfg = FarmConfig {
+            capacity: self.cfg.capacity,
+            wait: self.cfg.wait,
+            policy: SchedPolicy::RoundRobin,
+            ordered: true,
+            // burst 1: deliver each item before routing the next. A
+            // routing policy may block a decision on feedback from items
+            // it already routed (a placement scheduler's lookahead
+            // window); with a larger burst those items could still sit
+            // unsent in emitter scratch — a deadlock.
+            burst: 1,
+        };
+        let name = self.next_stage_name();
+        let (out_rx, mut farm_handles) =
+            spawn_farm_routed::<N, F>(self.rx, replicas, factory, router, cfg, &self.rec, &name);
+        self.handles.append(&mut farm_handles);
+        PipelineBuilder {
+            cfg: self.cfg,
+            rec: self.rec,
+            stage_no: self.stage_no,
+            rx: out_rx,
+            handles: self.handles,
+        }
     }
 
     /// Append a farm stage with full control over scheduling and ordering.

@@ -67,6 +67,17 @@ pub struct DeviceStats {
     pub d2h_busy: SimDuration,
 }
 
+impl DeviceStats {
+    /// Total modeled busy time across all three engines. Busy time only
+    /// ever accumulates, and one worker thread per device serializes its
+    /// batches, so differencing this around a batch yields that batch's
+    /// modeled cost deterministically — the cost-model scheduler's
+    /// measurement primitive.
+    pub fn total_busy(&self) -> SimDuration {
+        self.compute_busy + self.h2d_busy + self.d2h_busy
+    }
+}
+
 #[derive(Clone, Copy)]
 enum Engine {
     Compute,
@@ -436,7 +447,9 @@ impl Device {
     }
 }
 
-/// A host plus a set of identical devices sharing one virtual clock.
+/// A host plus a set of devices sharing one virtual clock. The devices
+/// are identical when built with [`GpuSystem::new`] and may differ per
+/// slot when built with [`GpuSystem::new_mixed`].
 pub struct GpuSystem {
     devices: Vec<Arc<Device>>,
     host_now: AtomicU64, // ns; atomic max-advance
@@ -449,9 +462,24 @@ impl GpuSystem {
     /// Panics if `n_devices == 0`.
     pub fn new(n_devices: usize, props: DeviceProps) -> Arc<Self> {
         assert!(n_devices > 0, "need at least one device");
+        Self::new_mixed((0..n_devices).map(|_| props.clone()).collect())
+    }
+
+    /// Build a heterogeneous system: one property sheet per device slot,
+    /// in device-index order. This is what an N-device scheduler runs
+    /// against — a fleet where the cost of the same batch genuinely
+    /// differs by device, so placement quality is observable in the
+    /// modeled makespan.
+    ///
+    /// # Panics
+    /// Panics if `props` is empty.
+    pub fn new_mixed(props: Vec<DeviceProps>) -> Arc<Self> {
+        assert!(!props.is_empty(), "need at least one device");
         Arc::new(GpuSystem {
-            devices: (0..n_devices)
-                .map(|i| Arc::new(Device::new(i as u32, props.clone())))
+            devices: props
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| Arc::new(Device::new(i as u32, p)))
                 .collect(),
             host_now: AtomicU64::new(0),
         })

@@ -88,6 +88,27 @@ impl DeviceProps {
         }
     }
 
+    /// A derated copy of this sheet: core clock and host↔device
+    /// bandwidths scaled by `factor` (in `(0, 1]`). Building an
+    /// N-device [`GpuSystem::new_mixed`](crate::GpuSystem::new_mixed)
+    /// fleet from full-rate and derated sheets gives a heterogeneous
+    /// system where per-device cost genuinely differs — the setting a
+    /// cost-model scheduler must beat round-robin in.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 < factor <= 1.0`.
+    pub fn derated(mut self, name: &'static str, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "derate factor must be in (0, 1], got {factor}"
+        );
+        self.name = name;
+        self.clock_hz *= factor;
+        self.pcie_pinned_bw *= factor;
+        self.pcie_pageable_bw *= factor;
+        self
+    }
+
     /// Resident warps per SM allowed by the thread limit.
     pub fn max_warps_per_sm(&self) -> u32 {
         self.max_threads_per_sm / self.warp_size

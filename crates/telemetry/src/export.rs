@@ -351,7 +351,10 @@ pub(crate) fn render_prometheus(inner: &Inner) -> String {
         }
     }
 
-    // GPU engine busy time (modeled ns), one series per device × engine.
+    // GPU engine busy time (modeled ns), one series per device × engine,
+    // plus the derived utilization ratio the auto-tuner scrapes: busy
+    // time over the modeled makespan (max span end across all devices),
+    // so an engine that never idles reads 1.0.
     family(
         &mut out,
         "hetstream_gpu_engine_busy_ns_total",
@@ -362,6 +365,8 @@ pub(crate) fn render_prometheus(inner: &Inner) -> String {
     let mut keys: Vec<(usize, &'static str)> = gpu.iter().map(|s| (s.device, s.engine)).collect();
     keys.sort_unstable();
     keys.dedup();
+    let makespan = gpu.iter().map(|s| s.end_ns).max().unwrap_or(0);
+    let mut ratios = String::new();
     for (device, engine) in keys {
         let busy: u64 = gpu
             .iter()
@@ -371,8 +376,69 @@ pub(crate) fn render_prometheus(inner: &Inner) -> String {
         out.push_str(&format!(
             "hetstream_gpu_engine_busy_ns_total{{device=\"{device}\",engine=\"{engine}\"}} {busy}\n"
         ));
+        let ratio = if makespan == 0 {
+            0.0
+        } else {
+            busy as f64 / makespan as f64
+        };
+        ratios.push_str(&format!(
+            "hetstream_gpu_engine_busy_ratio{{device=\"{device}\",engine=\"{engine}\"}} {ratio:.4}\n"
+        ));
     }
     drop(gpu);
+    family(
+        &mut out,
+        "hetstream_gpu_engine_busy_ratio",
+        "gauge",
+        "GPU engine utilization: busy time over the modeled run makespan.",
+    );
+    out.push_str(&ratios);
+
+    // Task-graph scheduler decision counters, one series per scheduler.
+    let sched = inner.sched.lock().unwrap().clone();
+    type SchedGet = fn(&crate::SchedStats) -> u64;
+    let sched_families: [(&str, &str, &str, SchedGet); 5] = [
+        (
+            "hetstream_sched_decisions_total",
+            "counter",
+            "Placement decisions made by the task-graph scheduler.",
+            |s| s.decisions,
+        ),
+        (
+            "hetstream_sched_residency_hits_total",
+            "counter",
+            "Decisions that kept a key on the device holding its state.",
+            |s| s.residency_hits,
+        ),
+        (
+            "hetstream_sched_migrations_total",
+            "counter",
+            "Decisions that moved a key off its resident device.",
+            |s| s.migrations,
+        ),
+        (
+            "hetstream_sched_overhead_ns_total",
+            "counter",
+            "Wall time spent inside the placement decision, ns.",
+            |s| s.overhead_ns,
+        ),
+        (
+            "hetstream_sched_retunes_total",
+            "counter",
+            "Auto-tuner operating-point changes (batch / space count).",
+            |s| s.retunes,
+        ),
+    ];
+    for (name, kind, help, get) in sched_families {
+        family(&mut out, name, kind, help);
+        for (sname, c) in &sched {
+            out.push_str(&format!(
+                "{name}{{sched=\"{}\"}} {}\n",
+                esc_label(sname),
+                get(&c.snapshot())
+            ));
+        }
+    }
 
     // Flight-recorder throughput.
     family(
@@ -657,6 +723,18 @@ mod tests {
         ing.produced_to(5);
         ing.committed_to(3);
         rec.register_ingress("test.stream", 1, &ing);
+        let sched = crate::SchedCounters::new();
+        sched.decision(250);
+        sched.residency_hit();
+        rec.register_sched("test.graph", &sched);
+        rec.gpu_span(crate::EngineSpan {
+            device: 0,
+            engine: "compute",
+            name: "k".into(),
+            stream: 0,
+            start_ns: 0,
+            end_ns: 100,
+        });
         let text = rec.prometheus();
         for family in [
             "hetstream_up 1",
@@ -677,6 +755,13 @@ mod tests {
             "hetstream_ingress_bytes_total{stream=\"test.stream\",shard=\"1\"} 300",
             "hetstream_ingress_acks_total{stream=\"test.stream\",shard=\"1\"} 3",
             "hetstream_ingress_lag_total{stream=\"test.stream\",shard=\"1\"} 2",
+            "hetstream_gpu_engine_busy_ns_total{device=\"0\",engine=\"compute\"} 100",
+            "hetstream_gpu_engine_busy_ratio{device=\"0\",engine=\"compute\"} 1.0000",
+            "hetstream_sched_decisions_total{sched=\"test.graph\"} 1",
+            "hetstream_sched_residency_hits_total{sched=\"test.graph\"} 1",
+            "hetstream_sched_migrations_total{sched=\"test.graph\"} 0",
+            "hetstream_sched_overhead_ns_total{sched=\"test.graph\"} 250",
+            "hetstream_sched_retunes_total{sched=\"test.graph\"} 0",
             "hetstream_flight_events_total",
         ] {
             assert!(text.contains(family), "missing {family:?} in:\n{text}");

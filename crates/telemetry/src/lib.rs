@@ -475,6 +475,98 @@ pub struct PoolReport {
     pub stats: PoolStats,
 }
 
+/// Wait-free decision counters for a task-graph scheduler. The scheduler
+/// bumps these on its placement path (one relaxed atomic op per event);
+/// telemetry only reads them at report/scrape time, so registering a
+/// scheduler with a [`Recorder`] adds zero cost to placement itself.
+#[derive(Debug, Default)]
+pub struct SchedCounters {
+    decisions: AtomicU64,
+    residency_hits: AtomicU64,
+    migrations: AtomicU64,
+    overhead_ns: AtomicU64,
+    retunes: AtomicU64,
+}
+
+impl SchedCounters {
+    /// A fresh counter set, shareable between scheduler and recorder.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// One placement decision was made; `overhead_ns` is the wall time
+    /// the decision itself took (the figure the <1 µs/batch gate reads).
+    #[inline]
+    pub fn decision(&self, overhead_ns: u64) {
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        self.overhead_ns.fetch_add(overhead_ns, Ordering::Relaxed);
+    }
+
+    /// The decision kept the batch on the device holding its lane state.
+    #[inline]
+    pub fn residency_hit(&self) {
+        self.residency_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The decision moved a key away from its resident device.
+    #[inline]
+    pub fn migration(&self) {
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The auto-tuner changed an operating point (batch / space count).
+    #[inline]
+    pub fn retune(&self) {
+        self.retunes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot of the counters.
+    pub fn snapshot(&self) -> SchedStats {
+        SchedStats {
+            decisions: self.decisions.load(Ordering::Relaxed),
+            residency_hits: self.residency_hits.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
+            overhead_ns: self.overhead_ns.load(Ordering::Relaxed),
+            retunes: self.retunes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of one scheduler's decision counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Placement decisions made.
+    pub decisions: u64,
+    /// Decisions that kept a key on its resident device.
+    pub residency_hits: u64,
+    /// Decisions that moved a key off its resident device.
+    pub migrations: u64,
+    /// Accumulated wall time spent inside the placement decision, ns.
+    pub overhead_ns: u64,
+    /// Auto-tuner operating-point changes.
+    pub retunes: u64,
+}
+
+impl SchedStats {
+    /// Mean placement overhead per decision, ns (0 when idle).
+    pub fn overhead_per_decision_ns(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.overhead_ns as f64 / self.decisions as f64
+        }
+    }
+}
+
+/// One registered scheduler's stats in a [`TelemetryReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedReport {
+    /// Name under which the scheduler registered.
+    pub name: String,
+    /// Counters at report time.
+    pub stats: SchedStats,
+}
+
 /// Auto-dump configuration armed by [`Recorder::arm_flight_dump`].
 #[derive(Debug, Default)]
 struct DumpCfg {
@@ -497,6 +589,8 @@ pub(crate) struct Inner {
     pub(crate) pools: Mutex<Vec<(String, Arc<PoolCounters>)>>,
     /// `(stream, shard, counters)` rows registered by ingress pumps.
     pub(crate) ingress: Mutex<Vec<(String, u32, Arc<IngressCounters>)>>,
+    /// `(name, counters)` rows registered by task-graph schedulers.
+    pub(crate) sched: Mutex<Vec<(String, Arc<SchedCounters>)>>,
     pub(crate) flight: Arc<FlightRing>,
     // Interned flight source labels; a FlightEvent's `src` indexes here.
     flight_srcs: Mutex<Vec<String>>,
@@ -629,6 +723,7 @@ impl Recorder {
                 faults: Mutex::new(Vec::new()),
                 pools: Mutex::new(Vec::new()),
                 ingress: Mutex::new(Vec::new()),
+                sched: Mutex::new(Vec::new()),
                 flight: Arc::new(FlightRing::new(epoch)),
                 flight_srcs: Mutex::new(Vec::new()),
                 fault_seen: AtomicU64::new(0),
@@ -774,6 +869,23 @@ impl Recorder {
                 slot.2 = Arc::clone(counters);
             } else {
                 rows.push((stream, shard, Arc::clone(counters)));
+            }
+        }
+    }
+
+    /// Register a task-graph scheduler's decision counters under `name`.
+    /// Like [`register_pool`](Recorder::register_pool), the recorder only
+    /// reads the shared atomics at scrape time; re-registering the same
+    /// name replaces the earlier row (a run rebuilds its scheduler
+    /// freely, e.g. per auto-tune epoch).
+    pub fn register_sched(&self, name: impl Into<String>, counters: &Arc<SchedCounters>) {
+        if let Some(inner) = &self.inner {
+            let name = name.into();
+            let mut rows = inner.sched.lock().unwrap();
+            if let Some(slot) = rows.iter_mut().find(|(n, _)| *n == name) {
+                slot.1 = Arc::clone(counters);
+            } else {
+                rows.push((name, Arc::clone(counters)));
             }
         }
     }
@@ -955,6 +1067,16 @@ impl Recorder {
                         .unwrap()
                         .iter()
                         .map(|(name, c)| PoolReport {
+                            name: name.clone(),
+                            stats: c.snapshot(),
+                        })
+                        .collect(),
+                    sched: inner
+                        .sched
+                        .lock()
+                        .unwrap()
+                        .iter()
+                        .map(|(name, c)| SchedReport {
                             name: name.clone(),
                             stats: c.snapshot(),
                         })
@@ -1152,6 +1274,8 @@ pub struct TelemetryReport {
     pub faults: Vec<FaultEvent>,
     /// Registered buffer-pool gauges at report time.
     pub pools: Vec<PoolReport>,
+    /// Registered task-graph scheduler counters at report time.
+    pub sched: Vec<SchedReport>,
     /// Host-side copy accounting (process-wide cumulative totals; see
     /// [`copy`]).
     pub copy: CopyStats,

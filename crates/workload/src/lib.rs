@@ -291,6 +291,22 @@ impl<W: Workload> WorkloadDriver<W> {
     /// OOM, degrade to the host — always writing into `out` so recovery
     /// recycles the same buffer the happy path does.
     pub fn process_into(&self, gpu: &mut W::Gpu, item: &W::Item, out: &mut W::Batch) {
+        let batch_id = self.next_batch_id();
+        self.process_into_with_id(gpu, item, out, batch_id);
+    }
+
+    /// [`process_into`](Self::process_into) with a caller-supplied causal
+    /// batch id. The placement path draws ids serially at feed time (so
+    /// the id order is the stream order regardless of which device runs
+    /// the batch) and hands them through here; the plain path draws one
+    /// per call.
+    pub fn process_into_with_id(
+        &self,
+        gpu: &mut W::Gpu,
+        item: &W::Item,
+        out: &mut W::Batch,
+        batch_id: u64,
+    ) {
         // Activate the driver's scoped ledger (if any) for the whole
         // ladder walk, so retries and CPU fallbacks are charged too.
         let _ledger_scope = self.copy_ledger.as_ref().map(|l| l.enter());
@@ -301,7 +317,6 @@ impl<W: Workload> WorkloadDriver<W> {
         let policy = w.policy();
         let stage = w.stage_label();
         let units = w.split_units(item);
-        let batch_id = self.next_batch_id();
         self.flight
             .emit(FlightKind::BatchFormed, batch_id, units as u64, 0);
         let mut attempts = 0u32;
@@ -428,6 +443,185 @@ impl<W: Workload> WorkloadDriver<W> {
             .from_iter(items)
             .farm_ordered(workers, |replica| self.node(replica))
             .for_each(sink);
+    }
+
+    /// The graph/placement path next to the fixed ladder: run `items`
+    /// through an ordered farm of `n_devices` replicas — replica *i*
+    /// owning device *i* — where `placer` chooses the device for every
+    /// batch instead of round-robin.
+    ///
+    /// Determinism contract:
+    ///
+    /// * Causal batch ids are drawn **serially in the feeder thread**, so
+    ///   id order is stream order regardless of placement.
+    /// * [`Placement::place`] runs serially on the farm's emitter thread
+    ///   in batch-id order, and every decision is logged as a
+    ///   [`FlightKind::Placement`] event keyed by the batch id.
+    /// * [`Placement::observe`] runs on the device-owning worker right
+    ///   after the batch's ladder walk finishes; one replica per device
+    ///   serializes the observations a device produces.
+    /// * The collector restores submission order, so `sink` sees outputs
+    ///   bit-identically and in the same order under *any* placement.
+    ///
+    /// `key_of` extracts the stream key residency is tracked by (shard,
+    /// lane, …).
+    pub fn run_placed<I, K, F>(
+        &self,
+        placer: Arc<dyn Placement>,
+        n_devices: usize,
+        key_of: K,
+        items: I,
+        sink: F,
+    ) where
+        I: IntoIterator<Item = W::Item> + Send + 'static,
+        K: Fn(&W::Item) -> u64 + Send + 'static,
+        F: FnMut(Done<W>),
+    {
+        assert!(n_devices > 0, "placement needs at least one device");
+        let ids = Arc::clone(&self.batch_ids);
+        let work = self.work.clone();
+        let flight = self.flight.clone();
+        let route_placer = Arc::clone(&placer);
+        let router: fastflow::Router<Keyed<W::Item>> = Box::new(move |_seq, k| {
+            let d = route_placer.place(k.batch_id, k.key, work.split_units(&k.item) as u64);
+            flight.emit(
+                FlightKind::Placement,
+                k.batch_id,
+                d.device as u64,
+                d.predicted_ns,
+            );
+            d.device
+        });
+        let driver = self.clone();
+        fastflow::Pipeline::builder()
+            .recorder(self.rec.clone())
+            .source(move |em| {
+                for item in items {
+                    let batch_id = ids.fetch_add(1, Ordering::Relaxed) + 1;
+                    let key = key_of(&item);
+                    if !em.send(Keyed {
+                        batch_id,
+                        key,
+                        item,
+                    }) {
+                        break;
+                    }
+                }
+            })
+            .farm_routed(
+                n_devices,
+                |replica| PlacedNode {
+                    driver: driver.clone(),
+                    placer: Arc::clone(&placer),
+                    replica,
+                    gpu: None,
+                },
+                router,
+            )
+            .for_each(sink);
+    }
+}
+
+/// One placement decision: the chosen device and the cost the policy
+/// predicts for it (`0` when the policy does not model cost).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Device (= farm replica) index.
+    pub device: usize,
+    /// Predicted modeled cost of the batch on that device, ns.
+    pub predicted_ns: u64,
+}
+
+/// A device-placement policy driving [`WorkloadDriver::run_placed`].
+///
+/// `place` is invoked serially on the farm's emitter thread in causal
+/// batch-id order; `observe` is invoked from the device-owning worker
+/// thread right after a batch finishes (per-device serialized, since one
+/// replica owns each device). Implementations use interior mutability;
+/// the driver guarantees the deterministic call order, the policy must
+/// keep its *decisions* a pure function of that order.
+pub trait Placement: Send + Sync + 'static {
+    /// Choose a device for batch `batch_id` carrying `units` work units
+    /// under stream key `key`.
+    fn place(&self, batch_id: u64, key: u64, units: u64) -> Decision;
+
+    /// A batch this policy placed has finished on `device`; measure and
+    /// fold its cost into the model.
+    fn observe(&self, batch_id: u64, device: usize);
+}
+
+/// The static baseline placement: cyclic assignment, blind to cost,
+/// residency and queue pressure — exactly what the paper's hand-coded
+/// versions do over their 2 GPUs, generalized to N.
+#[derive(Debug)]
+pub struct RoundRobinPlacement {
+    n: usize,
+    next: AtomicU64,
+}
+
+impl RoundRobinPlacement {
+    /// Cyclic placement over `n` devices.
+    pub fn new(n: usize) -> Arc<Self> {
+        assert!(n > 0, "need at least one device");
+        Arc::new(RoundRobinPlacement {
+            n,
+            next: AtomicU64::new(0),
+        })
+    }
+}
+
+impl Placement for RoundRobinPlacement {
+    fn place(&self, _batch_id: u64, _key: u64, _units: u64) -> Decision {
+        Decision {
+            device: (self.next.fetch_add(1, Ordering::Relaxed) as usize) % self.n,
+            predicted_ns: 0,
+        }
+    }
+
+    fn observe(&self, _batch_id: u64, _device: usize) {}
+}
+
+/// One stream item annotated with its pre-drawn causal batch id and
+/// stream key, flowing through a placed farm.
+pub struct Keyed<T> {
+    /// Causal batch id, drawn serially at feed time.
+    pub batch_id: u64,
+    /// Stream key residency is tracked by.
+    pub key: u64,
+    /// The item itself.
+    pub item: T,
+}
+
+/// Worker node of the placement path: like [`WorkloadNode`] but
+/// consuming [`Keyed`] items (the pre-drawn batch id rides along) and
+/// reporting each finished batch back to the [`Placement`] policy.
+pub struct PlacedNode<W: Workload> {
+    driver: WorkloadDriver<W>,
+    placer: Arc<dyn Placement>,
+    replica: usize,
+    gpu: Option<W::Gpu>,
+}
+
+impl<W: Workload> fastflow::Node for PlacedNode<W> {
+    type In = Keyed<W::Item>;
+    type Out = Done<W>;
+
+    fn on_init(&mut self) {
+        self.gpu = Some(self.driver.attach(self.replica));
+    }
+
+    fn svc(&mut self, keyed: Keyed<W::Item>, out: &mut fastflow::Emitter<'_, Done<W>>) {
+        let gpu = self
+            .gpu
+            .get_or_insert_with(|| self.driver.work.attach(self.replica));
+        let mut batch = self.driver.work.make_batch(&keyed.item);
+        self.driver
+            .process_into_with_id(gpu, &keyed.item, &mut batch, keyed.batch_id);
+        self.placer.observe(keyed.batch_id, self.replica);
+        out.send(Done {
+            item: keyed.item,
+            batch,
+        });
     }
 }
 
@@ -706,6 +900,84 @@ mod tests {
             seen.push(done.item.0);
         });
         assert_eq!(seen, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn run_placed_round_robin_matches_run_ordered() {
+        let d = WorkloadDriver::new(Toy::new(vec![], 1));
+        let mut seen = Vec::new();
+        d.run_placed(
+            RoundRobinPlacement::new(3),
+            3,
+            |item: &(u64, usize)| item.0 % 2,
+            (0..50u64).map(|b| (b, 2)),
+            |done| {
+                assert_eq!(done.batch, gpu_result(done.item.0, 2));
+                seen.push(done.item.0);
+            },
+        );
+        assert_eq!(seen, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn run_placed_calls_place_in_batch_id_order_and_observes_on_the_placed_device() {
+        struct Pin {
+            placed: Mutex<Vec<(u64, u64)>>,
+            observed: Mutex<Vec<(u64, usize)>>,
+        }
+        impl Placement for Pin {
+            fn place(&self, batch_id: u64, key: u64, _units: u64) -> Decision {
+                self.placed.lock().expect("lock").push((batch_id, key));
+                Decision {
+                    device: key as usize,
+                    predicted_ns: 7,
+                }
+            }
+            fn observe(&self, batch_id: u64, device: usize) {
+                self.observed.lock().expect("lock").push((batch_id, device));
+            }
+        }
+        let rec = Recorder::enabled();
+        let pin = Arc::new(Pin {
+            placed: Mutex::new(Vec::new()),
+            observed: Mutex::new(Vec::new()),
+        });
+        let d = WorkloadDriver::new(Toy::new(vec![], 1)).with_recorder(rec.clone());
+        let mut n = 0usize;
+        d.run_placed(
+            Arc::clone(&pin) as Arc<dyn Placement>,
+            2,
+            |item: &(u64, usize)| item.0 % 2,
+            (0..20u64).map(|b| (b, 2)),
+            |done| {
+                assert_eq!(done.batch, gpu_result(done.item.0, 2));
+                n += 1;
+            },
+        );
+        assert_eq!(n, 20);
+        // place() ran serially in strictly increasing batch-id order.
+        let placed = pin.placed.lock().expect("lock").clone();
+        assert_eq!(placed.len(), 20);
+        assert!(placed.windows(2).all(|w| w[0].0 < w[1].0));
+        // Every observation came from the device the key pinned.
+        let observed = pin.observed.lock().expect("lock").clone();
+        assert_eq!(observed.len(), 20);
+        let by_id: std::collections::HashMap<u64, u64> = placed.iter().copied().collect();
+        for (batch_id, device) in &observed {
+            assert_eq!(*device as u64, by_id[batch_id] % 2);
+        }
+        // Every decision landed in the flight log as a Placement event
+        // keyed by the causal batch id, carrying device + predicted cost.
+        let events = rec.flight_snapshot();
+        let placements: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == FlightKind::Placement)
+            .collect();
+        assert_eq!(placements.len(), 20);
+        for e in placements {
+            assert_eq!(e.a, by_id[&e.batch_id] % 2);
+            assert_eq!(e.b, 7);
+        }
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * [`hashsearch`] — the third GPU application, written against the
 //!   Workload SDK: a SHA-1 nonce sweep with midstate reuse and top-k
 //!   reduction.
+//! * [`taskgraph`] — cost-model task-graph scheduling over N simulated
+//!   devices (EWMA per-device cost, residency, queue pressure) plus the
+//!   online batch/memory-space auto-tuner behind `fig1 --auto-tune`.
 //! * [`perfmodel`] — discrete-event models regenerating Figs. 1, 4 and 5.
 //! * [`simtime`] — the deterministic DES core underlying `perfmodel`.
 
@@ -37,6 +40,7 @@ pub use perfmodel;
 pub use simtime;
 pub use spar;
 pub use spar_gpu;
+pub use taskgraph;
 pub use tbbx;
 pub use telemetry;
 pub use workload;
